@@ -1,0 +1,550 @@
+//! Subcommand implementations and hand-rolled option parsing.
+
+use atoms_core::dynamics::{classify_bursts, BurstClass, DynamicsConfig};
+use atoms_core::formation::{formation as run_formation, formation_with_regrouping, PrependMethod};
+use atoms_core::pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
+use atoms_core::report::{count, pct};
+use atoms_core::sanitize::SanitizeConfig;
+use atoms_core::stability::stability as stability_pair;
+use bgp_collect::{Archive, CapturedSnapshot, CapturedUpdates, ReplayState};
+use bgp_sim::{generate_window, Era, Scenario};
+use bgp_types::{Family, SimTime};
+use std::process::ExitCode;
+
+/// Parsed command-line options (shared across subcommands).
+#[derive(Debug)]
+pub struct Options {
+    pub date: Option<SimTime>,
+    pub t1: Option<SimTime>,
+    pub t2: Option<SimTime>,
+    pub family: Family,
+    pub scale: Option<f64>,
+    pub archive: Option<String>,
+    pub out: Option<String>,
+    pub horizons: bool,
+    pub json: bool,
+    pub reproduction: bool,
+    pub method: PrependMethod,
+}
+
+impl Options {
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options {
+            date: None,
+            t1: None,
+            t2: None,
+            family: Family::Ipv4,
+            scale: None,
+            archive: None,
+            out: None,
+            horizons: false,
+            json: false,
+            reproduction: false,
+            method: PrependMethod::UniqueOnRaw,
+        };
+        let mut it = args.iter();
+        let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--date" => opts.date = Some(parse_date(&value(&mut it, "--date")?)?),
+                "--t1" => opts.t1 = Some(parse_date(&value(&mut it, "--t1")?)?),
+                "--t2" => opts.t2 = Some(parse_date(&value(&mut it, "--t2")?)?),
+                "--family" => {
+                    opts.family = match value(&mut it, "--family")?.as_str() {
+                        "v4" | "ipv4" | "4" => Family::Ipv4,
+                        "v6" | "ipv6" | "6" => Family::Ipv6,
+                        other => return Err(format!("unknown family `{other}`")),
+                    }
+                }
+                "--scale" => {
+                    let denom: f64 = value(&mut it, "--scale")?
+                        .parse()
+                        .map_err(|_| "--scale needs a number".to_string())?;
+                    opts.scale = Some(1.0 / denom);
+                }
+                "--archive" => opts.archive = Some(value(&mut it, "--archive")?),
+                "--out" => opts.out = Some(value(&mut it, "--out")?),
+                "--horizons" => opts.horizons = true,
+                "--json" => opts.json = true,
+                "--reproduction" => opts.reproduction = true,
+                "--method" => {
+                    opts.method = match value(&mut it, "--method")?.as_str() {
+                        "i" | "1" => PrependMethod::StripBeforeGrouping,
+                        "ii" | "2" => PrependMethod::StripAfterGrouping,
+                        "iii" | "3" => PrependMethod::UniqueOnRaw,
+                        other => return Err(format!("unknown method `{other}`")),
+                    }
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn pipeline_config(&self) -> PipelineConfig {
+        if self.reproduction {
+            PipelineConfig {
+                sanitize: SanitizeConfig {
+                    min_collectors: 1,
+                    min_peer_ases: 1,
+                    length_caps: false,
+                    ..SanitizeConfig::default()
+                },
+            }
+        } else {
+            PipelineConfig::default()
+        }
+    }
+}
+
+fn parse_date(s: &str) -> Result<SimTime, String> {
+    s.parse()
+        .map_err(|_| format!("cannot parse `{s}` as a date (yyyy-mm-dd [hh:mm])"))
+}
+
+fn need<T: Clone>(opt: &Option<T>, what: &str) -> Result<T, String> {
+    opt.clone().ok_or_else(|| format!("missing {what}"))
+}
+
+pub fn usage(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "pa — policy atoms from BGP archives\n\n\
+         subcommands:\n\
+           simulate  --date D [--family v4|v6] [--scale N] [--horizons] --out DIR\n\
+           inspect   --archive DIR --date D [--family v4|v6]\n\
+           atoms     --archive DIR --date D [--family] [--json] [--reproduction]\n\
+           formation --archive DIR --date D [--family] [--method i|ii|iii]\n\
+           stability --archive DIR --t1 D --t2 D [--family]\n\
+           dynamics  --archive DIR --date D [--family]\n\
+           replay    --archive DIR --date D [--t2 T] [--family]\n\
+           siblings  --archive DIR --date D (needs v4+v6 snapshots)\n\n\
+         dates: \"yyyy-mm-dd hh:mm\" (quote the space) or yyyy-mm-dd"
+    );
+    if msg.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+/// `pa simulate`: synthesize an archive for one study date.
+pub fn simulate(opts: &Options) -> Result<(), String> {
+    let date = need(&opts.date, "--date")?;
+    let out = need(&opts.out, "--out")?;
+    let era = Era::for_date(date, opts.family, opts.scale);
+    let churn = era.churn;
+    eprintln!(
+        "building scenario: {} ASes, {} peers, scale {:.5}",
+        era.topology.n_tier1 + era.topology.n_transit + era.topology.n_stub,
+        era.n_full_peers + era.n_partial_peers,
+        era.scale
+    );
+    let mut scenario = Scenario::build(era);
+    let archive = Archive::new(&out);
+    let snap = scenario.snapshot(date);
+    let mut files = archive.store_snapshot(&snap).map_err(|e| e.to_string())?;
+    let events = generate_window(&mut scenario, date, 4, 0x5EED);
+    files.extend(
+        archive
+            .store_updates(&snap, &events, date)
+            .map_err(|e| e.to_string())?,
+    );
+    if opts.horizons {
+        // The paper's §2.4.1 ladder: +8 h, +24 h, +1 week snapshots.
+        let offsets = [8 * 3600u64, 24 * 3600, 7 * 86_400];
+        let mut applied = 0.0;
+        for (i, (&target, offset)) in churn.iter().zip(offsets).enumerate() {
+            scenario.perturb_units((target - applied).max(0.0), 0xC0FFEE + i as u64);
+            applied = target;
+            let snap = scenario.snapshot(date.plus_secs(offset));
+            files.extend(archive.store_snapshot(&snap).map_err(|e| e.to_string())?);
+        }
+    }
+    println!("wrote {} MRT files under {out}", files.len());
+    Ok(())
+}
+
+fn load(opts: &Options, date: SimTime) -> Result<(CapturedSnapshot, CapturedUpdates), String> {
+    let archive = Archive::new(need(&opts.archive, "--archive")?);
+    let snap = archive
+        .load_snapshot(date, opts.family)
+        .map_err(|e| e.to_string())?;
+    if snap.tables.is_empty() {
+        return Err(format!(
+            "no RIB files for {date} under {}",
+            archive.root().display()
+        ));
+    }
+    let updates = archive.load_updates(date).map_err(|e| e.to_string())?;
+    Ok((snap, updates))
+}
+
+fn analyze(opts: &Options, date: SimTime) -> Result<(SnapshotAnalysis, CapturedUpdates), String> {
+    let (snap, updates) = load(opts, date)?;
+    let analysis = analyze_snapshot(&snap, Some(&updates), &opts.pipeline_config());
+    Ok((analysis, updates))
+}
+
+/// `pa inspect`: what is in the archive at this date?
+pub fn inspect(opts: &Options) -> Result<(), String> {
+    let date = need(&opts.date, "--date")?;
+    let (snap, updates) = load(opts, date)?;
+    println!("collectors: {}", snap.collector_names.join(", "));
+    println!(
+        "{} peer tables, {} entries, {} distinct prefixes",
+        snap.tables.len(),
+        snap.tables.iter().map(|t| t.entries.len()).sum::<usize>(),
+        {
+            let mut v: Vec<_> = snap
+                .tables
+                .iter()
+                .flat_map(|t| t.entries.iter().map(|e| e.prefix))
+                .collect();
+            v.sort();
+            v.dedup();
+            v.len()
+        }
+    );
+    let vantage = atoms_core::vantage::infer_full_feed(&snap);
+    println!(
+        "full-feed inference: max {} prefixes, threshold {}, {} full feeds",
+        vantage.max_prefixes,
+        vantage.threshold,
+        vantage.full_feed_count()
+    );
+    for (peer, n, full) in vantage.per_peer.iter().take(30) {
+        println!("  {peer:<30} {n:>8} {}", if *full { "full" } else { "partial" });
+    }
+    if vantage.per_peer.len() > 30 {
+        println!("  … {} more peers", vantage.per_peer.len() - 30);
+    }
+    println!(
+        "updates: {} records, {} parse warnings ({} with ADD-PATH signatures)",
+        updates.records.len(),
+        updates.warnings.len(),
+        updates
+            .warnings
+            .iter()
+            .filter(|w| w.kind.is_addpath_signature())
+            .count()
+    );
+    Ok(())
+}
+
+/// `pa atoms`: the headline pipeline.
+pub fn atoms(opts: &Options) -> Result<(), String> {
+    let date = need(&opts.date, "--date")?;
+    let (analysis, _) = analyze(opts, date)?;
+    let s = &analysis.stats;
+    if opts.json {
+        let json = serde_json::json!({
+            "date": date.to_string(),
+            "stats": s,
+            "sanitize": analysis.sanitized.report,
+        });
+        println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+        return Ok(());
+    }
+    let r = &analysis.sanitized.report;
+    println!("sanitization:");
+    println!(
+        "  peers: {} kept / {} partial excluded / {} ADD-PATH / {} private-ASN / {} duplicate-heavy",
+        analysis.sanitized.peers.len(),
+        r.excluded_partial_peers,
+        r.removed_addpath_peers.len(),
+        r.removed_private_asn_peers.len(),
+        r.removed_duplicate_peers.len()
+    );
+    println!(
+        "  prefixes: {} → {} (length {}, <collectors {}, <peer-ASes {}); MOAS kept: {}",
+        count(r.prefixes_before),
+        count(r.prefixes_after),
+        r.dropped_by_length,
+        r.dropped_by_collectors,
+        r.dropped_by_peer_ases,
+        r.moas_prefixes
+    );
+    println!("atoms:");
+    println!("  prefixes           {}", count(s.n_prefixes));
+    println!("  origin ASes        {}", count(s.n_ases));
+    println!(
+        "  atoms              {} (mean {:.2}, p99 {}, max {})",
+        count(s.n_atoms),
+        s.mean_atom_size,
+        s.p99_atom_size,
+        s.max_atom_size
+    );
+    println!(
+        "  single-atom ASes   {}",
+        pct(100.0 * s.single_atom_as_share())
+    );
+    println!(
+        "  single-prefix atoms {}",
+        pct(100.0 * s.single_prefix_atom_share())
+    );
+    Ok(())
+}
+
+/// `pa formation`: formation-distance distribution.
+pub fn formation(opts: &Options) -> Result<(), String> {
+    let date = need(&opts.date, "--date")?;
+    let (analysis, _) = analyze(opts, date)?;
+    let f = match opts.method {
+        PrependMethod::StripBeforeGrouping => formation_with_regrouping(&analysis.sanitized),
+        m => run_formation(&analysis.atoms, m),
+    };
+    println!(
+        "formation distance over {} atoms ({} origins):",
+        f.n_atoms, f.n_origins
+    );
+    for d in 1..=f.atom_distance_pct.len().min(6) {
+        println!("  distance {d}: {:>5}", pct(f.at_distance(d)));
+    }
+    println!(
+        "  d1 breakdown: single-atom AS {}, unique peer set {}, prepend-only {}",
+        pct(f.d1_breakdown.0),
+        pct(f.d1_breakdown.1),
+        pct(f.d1_breakdown.2)
+    );
+    if f.excluded_indistinguishable > 0 {
+        println!(
+            "  excluded as indistinguishable (method ii): {}",
+            f.excluded_indistinguishable
+        );
+    }
+    Ok(())
+}
+
+/// `pa stability`: CAM/MPM between two archive snapshots.
+pub fn stability(opts: &Options) -> Result<(), String> {
+    let t1 = need(&opts.t1, "--t1")?;
+    let t2 = need(&opts.t2, "--t2")?;
+    // Broken-peer removal must be consistent across both instants or the
+    // peer-set difference masquerades as atom churn: pool the update
+    // warnings of both windows and apply them to both analyses (horizon
+    // snapshots often have no updates file of their own).
+    let (snap1, upd1) = load(opts, t1)?;
+    let (snap2, upd2) = load(opts, t2)?;
+    let mut pooled = upd1.clone();
+    pooled.warnings.extend(upd2.warnings.iter().cloned());
+    let cfg = opts.pipeline_config();
+    let a1 = analyze_snapshot(&snap1, Some(&pooled), &cfg);
+    let a2 = analyze_snapshot(&snap2, Some(&pooled), &cfg);
+    let s = stability_pair(&a1.atoms, &a2.atoms);
+    println!(
+        "{} atoms at {t1} vs {} atoms at {t2}",
+        count(a1.atoms.len()),
+        count(a2.atoms.len())
+    );
+    println!("complete atom match  (CAM): {}", pct(s.cam_pct));
+    println!("maximized prefix match (MPM): {}", pct(s.mpm_pct));
+    Ok(())
+}
+
+/// `pa siblings`: §7.3 IPv4/IPv6 sibling-atom matching across the two
+/// family snapshots at `--date`.
+pub fn siblings(opts: &Options) -> Result<(), String> {
+    let date = need(&opts.date, "--date")?;
+    let cfg = opts.pipeline_config();
+    let mut v4_opts = Options { family: Family::Ipv4, ..clone_opts(opts) };
+    let mut v6_opts = Options { family: Family::Ipv6, ..clone_opts(opts) };
+    v4_opts.date = Some(date);
+    v6_opts.date = Some(date);
+    let (snap4, upd4) = load(&v4_opts, date)?;
+    let (snap6, upd6) = load(&v6_opts, date)?;
+    let a4 = analyze_snapshot(&snap4, Some(&upd4), &cfg);
+    let a6 = analyze_snapshot(&snap6, Some(&upd6), &cfg);
+    let (pairs, report) =
+        atoms_core::siblings::match_siblings(&a4.atoms, &a6.atoms, 0.45);
+    println!(
+        "dual-stack origins {} | pairs {} | fully matched {} | mean score {:.2}",
+        report.dual_stack_origins, report.pairs, report.fully_matched_origins, report.mean_score
+    );
+    let mut ranked = pairs;
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score));
+    for p in ranked.iter().take(10) {
+        println!(
+            "  {} score {:.2}: v4 atom #{} ({} pfx) ↔ v6 atom #{} ({} pfx)",
+            p.origin,
+            p.score,
+            p.v4_atom,
+            a4.atoms.atoms[p.v4_atom as usize].size(),
+            p.v6_atom,
+            a6.atoms.atoms[p.v6_atom as usize].size()
+        );
+    }
+    Ok(())
+}
+
+fn clone_opts(opts: &Options) -> Options {
+    Options {
+        date: opts.date,
+        t1: opts.t1,
+        t2: opts.t2,
+        family: opts.family,
+        scale: opts.scale,
+        archive: opts.archive.clone(),
+        out: opts.out.clone(),
+        horizons: opts.horizons,
+        json: opts.json,
+        reproduction: opts.reproduction,
+        method: opts.method,
+    }
+}
+
+/// `pa replay`: apply the update window to the base snapshot up to `--t2`
+/// and report how the table and the atoms moved.
+pub fn replay(opts: &Options) -> Result<(), String> {
+    let date = need(&opts.date, "--date")?;
+    let until = opts.t2.unwrap_or_else(|| date.plus_hours(4));
+    let (snap, updates) = load(opts, date)?;
+    let cfg = opts.pipeline_config();
+    let base = analyze_snapshot(&snap, Some(&updates), &cfg);
+
+    let mut state = ReplayState::from_snapshot(&snap);
+    let stats = state.apply_until(&updates.records, until);
+    let replayed = state.to_snapshot(&snap);
+    let after = analyze_snapshot(&replayed, Some(&updates), &cfg);
+    let s = atoms_core::stability::stability(&base.atoms, &after.atoms);
+
+    println!("replayed {} updates up to {until}:", state.applied());
+    println!(
+        "  announced {} / withdrawn {} / spurious withdrawals {} / new peers {}",
+        stats.announced, stats.withdrawn, stats.spurious_withdrawals, stats.new_peers
+    );
+    println!(
+        "  routes {} → {}",
+        count(snap.entry_count()),
+        count(replayed.entry_count())
+    );
+    println!(
+        "  atoms {} → {} | intra-window CAM {} MPM {}",
+        count(base.atoms.len()),
+        count(after.atoms.len()),
+        pct(s.cam_pct),
+        pct(s.mpm_pct)
+    );
+    Ok(())
+}
+
+/// `pa dynamics`: §7.2 burst classification over the update window.
+pub fn dynamics(opts: &Options) -> Result<(), String> {
+    let date = need(&opts.date, "--date")?;
+    let (analysis, updates) = analyze(opts, date)?;
+    let (bursts, report) =
+        classify_bursts(&analysis.atoms, &updates.records, &DynamicsConfig::default());
+    println!(
+        "{} bursts from {} update records:",
+        bursts.len(),
+        updates.records.len()
+    );
+    println!(
+        "  atom-level events : {:>6}  ({} records)",
+        report.atom_events, report.records_in_events
+    );
+    println!(
+        "  prefix noise      : {:>6}  ({} records suppressed)",
+        report.noise_bursts, report.records_in_noise
+    );
+    println!("  single-prefix     : {:>6}", report.single_prefix_bursts);
+    println!(
+        "  event share among multi-prefix atoms: {}",
+        pct(100.0 * report.event_share())
+    );
+    let mut events: Vec<_> = bursts
+        .iter()
+        .filter(|b| b.class == BurstClass::AtomEvent)
+        .collect();
+    events.sort_by_key(|b| std::cmp::Reverse(b.atom_size));
+    if !events.is_empty() {
+        println!("  largest events:");
+        for b in events.iter().take(5) {
+            println!(
+                "    atom #{} ({} prefixes) at {} via {} — {} records over {}s",
+                b.atom,
+                b.atom_size,
+                b.start,
+                b.peer,
+                b.records,
+                b.end.since(b.start)
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&v)
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&[
+            "--date", "2024-10-15 08:00",
+            "--family", "v6",
+            "--scale", "100",
+            "--archive", "/tmp/a",
+            "--out", "/tmp/b",
+            "--horizons", "--json", "--reproduction",
+            "--method", "ii",
+            "--t1", "2024-10-15",
+            "--t2", "2024-10-22",
+        ])
+        .unwrap();
+        assert_eq!(o.date.unwrap().to_string(), "2024-10-15 08:00:00");
+        assert_eq!(o.family, Family::Ipv6);
+        assert!((o.scale.unwrap() - 0.01).abs() < 1e-12);
+        assert_eq!(o.archive.as_deref(), Some("/tmp/a"));
+        assert_eq!(o.out.as_deref(), Some("/tmp/b"));
+        assert!(o.horizons && o.json && o.reproduction);
+        assert_eq!(o.method, PrependMethod::StripAfterGrouping);
+        assert!(o.t1.unwrap() < o.t2.unwrap());
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.family, Family::Ipv4);
+        assert_eq!(o.method, PrependMethod::UniqueOnRaw);
+        assert!(o.date.is_none() && !o.json);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--date"]).is_err());
+        assert!(parse(&["--date", "not-a-date"]).is_err());
+        assert!(parse(&["--family", "v5"]).is_err());
+        assert!(parse(&["--method", "iv"]).is_err());
+        assert!(parse(&["--scale", "fast"]).is_err());
+    }
+
+    #[test]
+    fn method_aliases() {
+        assert_eq!(parse(&["--method", "1"]).unwrap().method, PrependMethod::StripBeforeGrouping);
+        assert_eq!(parse(&["--method", "3"]).unwrap().method, PrependMethod::UniqueOnRaw);
+    }
+
+    #[test]
+    fn reproduction_config_relaxes_filters() {
+        let o = parse(&["--reproduction"]).unwrap();
+        let cfg = o.pipeline_config();
+        assert_eq!(cfg.sanitize.min_collectors, 1);
+        assert_eq!(cfg.sanitize.min_peer_ases, 1);
+        assert!(!cfg.sanitize.length_caps);
+        let d = parse(&[]).unwrap().pipeline_config();
+        assert_eq!(d.sanitize.min_collectors, 2);
+    }
+}

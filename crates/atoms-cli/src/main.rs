@@ -1,0 +1,63 @@
+//! `pa` — the policy-atoms command line.
+//!
+//! ```text
+//! pa simulate  --date D [--family v4|v6] [--scale N] [--horizons] --out DIR
+//! pa inspect   --archive DIR --date D [--family v4|v6]
+//! pa atoms     --archive DIR --date D [--family v4|v6] [--json] [--reproduction]
+//! pa formation --archive DIR --date D [--family v4|v6] [--method i|ii|iii]
+//! pa stability --archive DIR --t1 D --t2 D [--family v4|v6]
+//! pa dynamics  --archive DIR --date D [--family v4|v6]
+//! pa replay    --archive DIR --date D [--t2 T] [--family v4|v6]
+//! ```
+//!
+//! `simulate` writes a synthetic MRT archive; every other subcommand works
+//! on any archive in the standard `<collector>/<yyyy.mm>/{RIBS,UPDATES}`
+//! layout — including real RIS/RouteViews mirrors.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Exit quietly when the consumer closes the pipe (`pa … | head`):
+    // Rust's print macros panic on EPIPE by default.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("Broken pipe"));
+        if broken_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return commands::usage("");
+    };
+    let opts = match commands::Options::parse(rest) {
+        Ok(opts) => opts,
+        Err(e) => return commands::usage(&e),
+    };
+    let result = match cmd.as_str() {
+        "simulate" => commands::simulate(&opts),
+        "inspect" => commands::inspect(&opts),
+        "atoms" => commands::atoms(&opts),
+        "formation" => commands::formation(&opts),
+        "stability" => commands::stability(&opts),
+        "dynamics" => commands::dynamics(&opts),
+        "replay" => commands::replay(&opts),
+        "siblings" => commands::siblings(&opts),
+        "-h" | "--help" | "help" => return commands::usage(""),
+        other => return commands::usage(&format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end CLI tests driving the built `pa` binary.
+
+use std::process::Command;
+
+fn pa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pa"))
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pa-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn help_and_errors() {
+    let out = pa().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("subcommands"));
+
+    let out = pa().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+
+    let out = pa().args(["atoms", "--archive", "/nonexistent"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --date"));
+}
+
+#[test]
+fn simulate_then_analyze() {
+    let dir = tmpdir("e2e");
+    let date = "2015-07-15 08:00";
+    let out = pa()
+        .args(["simulate", "--date", date, "--scale", "400", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
+
+    let out = pa()
+        .args(["atoms", "--date", date, "--json", "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("atoms --json emits JSON");
+    assert!(json["stats"]["n_atoms"].as_u64().unwrap() > 0);
+
+    let out = pa()
+        .args(["formation", "--date", date, "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("distance 1"));
+
+    let out = pa()
+        .args(["inspect", "--date", date, "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("full-feed inference"));
+
+    let out = pa()
+        .args(["dynamics", "--date", date, "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("atom-level events"));
+
+    let out = pa()
+        .args(["replay", "--date", date, "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("intra-window CAM"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn siblings_across_families() {
+    let dir = tmpdir("sib");
+    let date = "2024-01-15 08:00";
+    for fam in ["v4", "v6"] {
+        let out = pa()
+            .args(["simulate", "--date", date, "--family", fam, "--scale", "400", "--out"])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let out = pa()
+        .args(["siblings", "--date", date, "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dual-stack origins"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_snapshot_is_a_clean_error() {
+    let dir = tmpdir("empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = pa()
+        .args(["atoms", "--date", "2015-07-15 08:00", "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no RIB files"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,319 @@
+//! Policy atom computation (§2.1).
+//!
+//! Prefixes are grouped by their **path signature**: the sparse vector of
+//! (vantage point → AS path), with absence ("empty path") distinguishing —
+//! a prefix missing from some vantage point's table never shares an atom
+//! with one that is present there, exactly as Afek et al. specify.
+//!
+//! Paths are interned so signatures are small integer vectors; atoms with
+//! identical signatures merge regardless of which announcement produced
+//! them.
+
+use crate::sanitize::SanitizedSnapshot;
+use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// One policy atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The atom's prefixes, sorted.
+    pub prefixes: Vec<Prefix>,
+    /// Sparse signature: `(peer index, path id)`, sorted by peer index.
+    /// Peers absent from the signature did not carry the atom's prefixes.
+    pub signature: Vec<(u16, u32)>,
+    /// The origin AS, when every path agrees on it; `None` for atoms whose
+    /// observed origins conflict across vantage points (possible for MOAS
+    /// prefixes) — such atoms are excluded from per-origin analyses, as in
+    /// the paper's formation study.
+    pub origin: Option<Asn>,
+}
+
+impl Atom {
+    /// Number of prefixes in the atom.
+    pub fn size(&self) -> usize {
+        self.prefixes.len()
+    }
+}
+
+/// The set of atoms computed from one snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomSet {
+    /// Snapshot time.
+    pub timestamp: SimTime,
+    /// Address family.
+    pub family: Family,
+    /// Vantage points, in signature-index order.
+    pub peers: Vec<PeerKey>,
+    /// Interned paths; signatures reference these by index.
+    pub paths: Vec<AsPath>,
+    /// The atoms, in deterministic (first-prefix) order.
+    pub atoms: Vec<Atom>,
+}
+
+impl AtomSet {
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Returns `true` when no atoms exist.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Total prefixes across atoms.
+    pub fn prefix_count(&self) -> usize {
+        self.atoms.iter().map(Atom::size).sum()
+    }
+
+    /// The path atom `a` shows at peer `peer_idx` (`None` = empty path).
+    pub fn path_of(&self, a: usize, peer_idx: u16) -> Option<&AsPath> {
+        let atom = &self.atoms[a];
+        atom.signature
+            .binary_search_by_key(&peer_idx, |&(p, _)| p)
+            .ok()
+            .map(|i| &self.paths[atom.signature[i].1 as usize])
+    }
+
+    /// Map from prefix to atom index.
+    pub fn prefix_to_atom(&self) -> HashMap<Prefix, u32> {
+        let mut out = HashMap::with_capacity(self.prefix_count());
+        for (i, atom) in self.atoms.iter().enumerate() {
+            for &p in &atom.prefixes {
+                out.insert(p, i as u32);
+            }
+        }
+        out
+    }
+
+    /// Atom indices grouped by (unambiguous) origin AS, sorted by origin.
+    pub fn atoms_by_origin(&self) -> BTreeMap<Asn, Vec<u32>> {
+        let mut out: BTreeMap<Asn, Vec<u32>> = BTreeMap::new();
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if let Some(origin) = atom.origin {
+                out.entry(origin).or_default().push(i as u32);
+            }
+        }
+        out
+    }
+
+    /// Number of atoms whose origin conflicts across vantage points.
+    pub fn origin_conflicts(&self) -> usize {
+        self.atoms.iter().filter(|a| a.origin.is_none()).count()
+    }
+}
+
+/// Computes policy atoms from a sanitized snapshot.
+pub fn compute_atoms(snap: &SanitizedSnapshot) -> AtomSet {
+    // Intern paths.
+    let mut paths: Vec<AsPath> = Vec::new();
+    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
+    // prefix → sparse signature.
+    let mut signatures: BTreeMap<Prefix, Vec<(u16, u32)>> = BTreeMap::new();
+    for (peer_idx, table) in snap.tables.iter().enumerate() {
+        for (prefix, path) in table {
+            let id = match path_ids.get(path) {
+                Some(&id) => id,
+                None => {
+                    let id = paths.len() as u32;
+                    paths.push(path.clone());
+                    id
+                }
+            };
+            // NOTE: we can't hold `&path` into `paths` across pushes, so
+            // re-insert keys from the table's storage (stable for the whole
+            // loop).
+            path_ids.entry(path).or_insert(id);
+            signatures.entry(*prefix).or_default().push((peer_idx as u16, id));
+        }
+    }
+    // Group prefixes by signature. Tables are per-peer sorted, so each
+    // prefix's signature is built in increasing peer order already.
+    let mut groups: HashMap<&[(u16, u32)], Vec<Prefix>> = HashMap::new();
+    for (prefix, sig) in &signatures {
+        groups.entry(sig.as_slice()).or_default().push(*prefix);
+    }
+    let mut atoms: Vec<Atom> = groups
+        .into_iter()
+        .map(|(sig, prefixes)| {
+            let origin = atom_origin(sig, &paths);
+            Atom {
+                prefixes,
+                signature: sig.to_vec(),
+                origin,
+            }
+        })
+        .collect();
+    for atom in &mut atoms {
+        atom.prefixes.sort();
+    }
+    atoms.sort_by_key(|a| a.prefixes[0]);
+    AtomSet {
+        timestamp: snap.timestamp,
+        family: snap.family,
+        peers: snap.peers.clone(),
+        paths,
+        atoms,
+    }
+}
+
+fn atom_origin(signature: &[(u16, u32)], paths: &[AsPath]) -> Option<Asn> {
+    let mut origin: Option<Asn> = None;
+    for &(_, path_id) in signature {
+        let this = paths[path_id as usize].origin()?;
+        match origin {
+            None => origin = Some(this),
+            Some(o) if o != this => return None,
+            Some(_) => {}
+        }
+    }
+    origin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitize::SanitizeReport;
+
+    /// Builds a sanitized snapshot from (peer asn, [(prefix, path)]).
+    fn snap(tables: &[(u32, &[(&str, &str)])]) -> SanitizedSnapshot {
+        let peers: Vec<PeerKey> = tables
+            .iter()
+            .enumerate()
+            .map(|(i, (asn, _))| {
+                PeerKey::new(Asn(*asn), format!("10.0.0.{}", i + 1).parse().unwrap())
+            })
+            .collect();
+        let tables = tables
+            .iter()
+            .map(|(_, entries)| {
+                let mut t: Vec<(Prefix, AsPath)> = entries
+                    .iter()
+                    .map(|(p, path)| (p.parse().unwrap(), path.parse().unwrap()))
+                    .collect();
+                t.sort_by_key(|(p, _)| *p);
+                t
+            })
+            .collect();
+        SanitizedSnapshot {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            peers,
+            tables,
+            report: SanitizeReport::default(),
+        }
+    }
+
+    #[test]
+    fn same_paths_merge_different_paths_split() {
+        let s = snap(&[
+            (
+                1,
+                &[
+                    ("10.0.0.0/24", "1 5 9"),
+                    ("10.0.1.0/24", "1 5 9"),
+                    ("10.0.2.0/24", "1 6 9"),
+                ],
+            ),
+            (
+                2,
+                &[
+                    ("10.0.0.0/24", "2 5 9"),
+                    ("10.0.1.0/24", "2 5 9"),
+                    ("10.0.2.0/24", "2 5 9"),
+                ],
+            ),
+        ]);
+        let atoms = compute_atoms(&s);
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms.prefix_count(), 3);
+        let sizes: Vec<usize> = atoms.atoms.iter().map(Atom::size).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+        // Everyone originates at AS9.
+        assert!(atoms.atoms.iter().all(|a| a.origin == Some(Asn(9))));
+    }
+
+    #[test]
+    fn missing_path_distinguishes() {
+        // Prefix B absent at peer 2: even though it matches A at peer 1,
+        // they are different atoms ("empty path" rule).
+        let s = snap(&[
+            (1, &[("10.0.0.0/24", "1 9"), ("10.0.1.0/24", "1 9")]),
+            (2, &[("10.0.0.0/24", "2 9")]),
+        ]);
+        let atoms = compute_atoms(&s);
+        assert_eq!(atoms.len(), 2);
+    }
+
+    #[test]
+    fn prepend_differences_split_atoms() {
+        // Raw-path grouping (method iii): prepended copies distinguish.
+        let s = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.1.0/24", "2 5 9")]),
+        ]);
+        let atoms = compute_atoms(&s);
+        assert_eq!(atoms.len(), 2);
+    }
+
+    #[test]
+    fn path_of_and_prefix_map() {
+        let s = snap(&[
+            (1, &[("10.0.0.0/24", "1 9"), ("10.0.1.0/24", "1 8 9")]),
+            (2, &[("10.0.0.0/24", "2 9")]),
+        ]);
+        let atoms = compute_atoms(&s);
+        let map = atoms.prefix_to_atom();
+        let a = map[&"10.0.0.0/24".parse().unwrap()] as usize;
+        let b = map[&"10.0.1.0/24".parse().unwrap()] as usize;
+        assert_ne!(a, b);
+        assert_eq!(atoms.path_of(a, 0).unwrap().to_string(), "1 9");
+        assert_eq!(atoms.path_of(a, 1).unwrap().to_string(), "2 9");
+        assert_eq!(atoms.path_of(b, 1), None, "absent at peer 2");
+    }
+
+    #[test]
+    fn conflicting_origins_yield_none() {
+        // MOAS prefix: origin 9 at peer 1, origin 7 at peer 2.
+        let s = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9")]),
+            (2, &[("10.0.0.0/24", "2 5 7")]),
+        ]);
+        let atoms = compute_atoms(&s);
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms.atoms[0].origin, None);
+        assert_eq!(atoms.origin_conflicts(), 1);
+        assert!(atoms.atoms_by_origin().is_empty());
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let s = snap(&[
+            (1, &[("10.0.2.0/24", "1 9"), ("10.0.0.0/24", "1 8"), ("10.0.1.0/24", "1 7")]),
+        ]);
+        let atoms = compute_atoms(&s);
+        let firsts: Vec<Prefix> = atoms.atoms.iter().map(|a| a.prefixes[0]).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort();
+        assert_eq!(firsts, sorted);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = snap(&[]);
+        let atoms = compute_atoms(&s);
+        assert!(atoms.is_empty());
+        assert_eq!(atoms.prefix_count(), 0);
+    }
+
+    #[test]
+    fn interning_shares_identical_paths() {
+        let s = snap(&[
+            (1, &[("10.0.0.0/24", "1 9"), ("10.0.1.0/24", "1 9"), ("10.0.2.0/24", "1 9")]),
+        ]);
+        let atoms = compute_atoms(&s);
+        assert_eq!(atoms.paths.len(), 1, "one distinct path interned once");
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms.atoms[0].size(), 3);
+    }
+}

@@ -1,0 +1,327 @@
+//! Policy atoms as a lens on BGP dynamics (the paper's §7.2).
+//!
+//! "Because prefixes inside an atom have a high likelihood of changing AS
+//! path together in UPDATE bursts, policy atoms are a useful tool for
+//! understanding BGP dynamics. Unstable routes that affect an entire atom
+//! reflect a policy change or a network event, whereas churn associated to
+//! one prefix inside an atom is far more likely to be noise, leakage or
+//! transient misconfiguration."
+//!
+//! This module implements that filter: it groups an update stream into
+//! per-atom bursts and classifies each burst as an **atom-level event**
+//! (most of the atom updated within a time window) or **prefix noise**
+//! (an isolated flap inside a historically stable atom).
+
+use crate::atom::AtomSet;
+use bgp_types::{PeerKey, Prefix, SimTime, UpdateRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Classification of one burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BurstClass {
+    /// The burst covered (almost) the whole atom: a real routing event.
+    AtomEvent,
+    /// The burst touched a strict minority of a multi-prefix atom:
+    /// likely noise, leakage, or transient misconfiguration.
+    PrefixNoise,
+    /// The atom has a single prefix; atom-level and prefix-level are
+    /// indistinguishable.
+    SinglePrefix,
+}
+
+/// One detected burst: updates for one atom at one vantage point within
+/// the coalescing window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Burst {
+    /// The atom index in the originating [`AtomSet`].
+    pub atom: u32,
+    /// Size of the atom.
+    pub atom_size: usize,
+    /// The vantage point that sent the updates.
+    pub peer: PeerKey,
+    /// First update in the burst.
+    pub start: SimTime,
+    /// Last update in the burst.
+    pub end: SimTime,
+    /// Distinct prefixes of the atom touched.
+    pub touched: usize,
+    /// Number of update records coalesced.
+    pub records: usize,
+    /// The verdict.
+    pub class: BurstClass,
+}
+
+/// Configuration for burst detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsConfig {
+    /// Updates for the same (atom, peer) within this many seconds coalesce
+    /// into one burst.
+    pub coalesce_secs: u64,
+    /// A burst is an [`BurstClass::AtomEvent`] when it touches at least
+    /// this fraction of the atom's prefixes.
+    pub event_coverage: f64,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        DynamicsConfig {
+            coalesce_secs: 120,
+            event_coverage: 0.8,
+        }
+    }
+}
+
+/// Summary counts over a classified stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DynamicsReport {
+    /// Bursts classified as real atom-level events.
+    pub atom_events: usize,
+    /// Bursts classified as single-prefix (or minority) noise.
+    pub noise_bursts: usize,
+    /// Bursts on single-prefix atoms (unclassifiable).
+    pub single_prefix_bursts: usize,
+    /// Update records that were part of atom events.
+    pub records_in_events: usize,
+    /// Update records suppressed as noise.
+    pub records_in_noise: usize,
+}
+
+impl DynamicsReport {
+    /// Share of multi-prefix-atom bursts that were real events (0–1).
+    pub fn event_share(&self) -> f64 {
+        let classified = self.atom_events + self.noise_bursts;
+        if classified == 0 {
+            0.0
+        } else {
+            self.atom_events as f64 / classified as f64
+        }
+    }
+}
+
+/// Groups an update stream into bursts and classifies each one.
+///
+/// Updates must be in non-decreasing timestamp order (collector archives
+/// are). Prefixes not present in the atom set are ignored, as are
+/// withdraw-only records for unknown prefixes.
+pub fn classify_bursts(
+    atoms: &AtomSet,
+    updates: &[UpdateRecord],
+    cfg: &DynamicsConfig,
+) -> (Vec<Burst>, DynamicsReport) {
+    let prefix_atom = atoms.prefix_to_atom();
+
+    struct Open {
+        start: SimTime,
+        end: SimTime,
+        touched: BTreeSet<Prefix>,
+        records: usize,
+    }
+    let mut open: HashMap<(u32, PeerKey), Open> = HashMap::new();
+    let mut bursts: Vec<Burst> = Vec::new();
+    let mut report = DynamicsReport::default();
+
+    let mut close = |atom: u32, peer: PeerKey, o: Open, atoms: &AtomSet, report: &mut DynamicsReport| {
+        let atom_size = atoms.atoms[atom as usize].size();
+        let coverage = o.touched.len() as f64 / atom_size as f64;
+        let class = if atom_size == 1 {
+            BurstClass::SinglePrefix
+        } else if coverage >= cfg.event_coverage {
+            BurstClass::AtomEvent
+        } else {
+            BurstClass::PrefixNoise
+        };
+        match class {
+            BurstClass::AtomEvent => {
+                report.atom_events += 1;
+                report.records_in_events += o.records;
+            }
+            BurstClass::PrefixNoise => {
+                report.noise_bursts += 1;
+                report.records_in_noise += o.records;
+            }
+            BurstClass::SinglePrefix => report.single_prefix_bursts += 1,
+        }
+        bursts.push(Burst {
+            atom,
+            atom_size,
+            peer,
+            start: o.start,
+            end: o.end,
+            touched: o.touched.len(),
+            records: o.records,
+            class,
+        });
+    };
+
+    for record in updates {
+        // Which atoms does this record touch?
+        let mut touched: HashMap<u32, Vec<Prefix>> = HashMap::new();
+        for p in record.prefixes() {
+            if let Some(&a) = prefix_atom.get(&p) {
+                touched.entry(a).or_default().push(p);
+            }
+        }
+        for (atom, prefixes) in touched {
+            let key = (atom, record.peer);
+            match open.get_mut(&key) {
+                Some(o) if record.timestamp.since(o.end) <= cfg.coalesce_secs => {
+                    o.end = record.timestamp;
+                    o.touched.extend(prefixes);
+                    o.records += 1;
+                }
+                maybe_stale => {
+                    if maybe_stale.is_some() {
+                        let o = open.remove(&key).expect("entry exists");
+                        close(atom, record.peer, o, atoms, &mut report);
+                    }
+                    open.insert(
+                        key,
+                        Open {
+                            start: record.timestamp,
+                            end: record.timestamp,
+                            touched: prefixes.into_iter().collect(),
+                            records: 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    // Flush remaining bursts, deterministically.
+    let mut rest: Vec<((u32, PeerKey), Open)> = open.into_iter().collect();
+    rest.sort_by_key(|((a, p), _)| (*a, *p));
+    for ((atom, peer), o) in rest {
+        close(atom, peer, o, atoms, &mut report);
+    }
+    bursts.sort_by_key(|b| (b.start, b.atom, b.peer));
+    (bursts, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use bgp_types::{Asn, Family, RouteAttrs};
+
+    fn p(i: u32) -> Prefix {
+        Prefix::v4((10 << 24) | (i << 8), 24).unwrap()
+    }
+
+    fn atoms() -> AtomSet {
+        AtomSet {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            peers: vec![],
+            paths: vec![],
+            atoms: vec![
+                Atom {
+                    prefixes: vec![p(0), p(1), p(2)],
+                    signature: vec![],
+                    origin: Some(Asn(1)),
+                },
+                Atom {
+                    prefixes: vec![p(3)],
+                    signature: vec![],
+                    origin: Some(Asn(2)),
+                },
+            ],
+        }
+    }
+
+    fn peer() -> PeerKey {
+        PeerKey::new(Asn(3356), "10.0.0.1".parse().unwrap())
+    }
+
+    fn rec(ts: u64, ids: &[u32]) -> UpdateRecord {
+        UpdateRecord::announce(
+            SimTime::from_unix(ts),
+            peer(),
+            ids.iter().map(|&i| p(i)).collect(),
+            RouteAttrs::default(),
+        )
+    }
+
+    #[test]
+    fn full_atom_burst_is_an_event() {
+        let set = atoms();
+        let (bursts, report) =
+            classify_bursts(&set, &[rec(10, &[0, 1, 2])], &DynamicsConfig::default());
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].class, BurstClass::AtomEvent);
+        assert_eq!(bursts[0].touched, 3);
+        assert_eq!(report.atom_events, 1);
+        assert_eq!(report.event_share(), 1.0);
+    }
+
+    #[test]
+    fn straggling_updates_coalesce() {
+        let set = atoms();
+        let updates = vec![rec(10, &[0]), rec(40, &[1]), rec(80, &[2])];
+        let (bursts, report) = classify_bursts(&set, &updates, &DynamicsConfig::default());
+        assert_eq!(bursts.len(), 1, "one coalesced burst");
+        assert_eq!(bursts[0].class, BurstClass::AtomEvent);
+        assert_eq!(bursts[0].records, 3);
+        assert_eq!(report.records_in_events, 3);
+    }
+
+    #[test]
+    fn isolated_flap_is_noise() {
+        let set = atoms();
+        let (bursts, report) =
+            classify_bursts(&set, &[rec(10, &[0])], &DynamicsConfig::default());
+        assert_eq!(bursts[0].class, BurstClass::PrefixNoise);
+        assert_eq!(report.noise_bursts, 1);
+        assert_eq!(report.event_share(), 0.0);
+    }
+
+    #[test]
+    fn gap_splits_bursts() {
+        let set = atoms();
+        // Two flaps of the same prefix, 10 minutes apart: two noise bursts.
+        let updates = vec![rec(10, &[0]), rec(10 + 600, &[0])];
+        let (bursts, _) = classify_bursts(&set, &updates, &DynamicsConfig::default());
+        assert_eq!(bursts.len(), 2);
+        assert!(bursts.iter().all(|b| b.class == BurstClass::PrefixNoise));
+    }
+
+    #[test]
+    fn single_prefix_atoms_are_unclassifiable() {
+        let set = atoms();
+        let (bursts, report) =
+            classify_bursts(&set, &[rec(5, &[3])], &DynamicsConfig::default());
+        assert_eq!(bursts[0].class, BurstClass::SinglePrefix);
+        assert_eq!(report.single_prefix_bursts, 1);
+    }
+
+    #[test]
+    fn different_peers_do_not_coalesce() {
+        let set = atoms();
+        let other = PeerKey::new(Asn(1299), "10.0.0.2".parse().unwrap());
+        let mut r2 = rec(12, &[1]);
+        r2.peer = other;
+        let (bursts, _) = classify_bursts(&set, &[rec(10, &[0]), r2], &DynamicsConfig::default());
+        assert_eq!(bursts.len(), 2);
+    }
+
+    #[test]
+    fn unknown_prefixes_are_ignored() {
+        let set = atoms();
+        let (bursts, _) = classify_bursts(&set, &[rec(10, &[99])], &DynamicsConfig::default());
+        assert!(bursts.is_empty());
+    }
+
+    #[test]
+    fn coverage_threshold_is_configurable() {
+        let set = atoms();
+        let cfg = DynamicsConfig {
+            event_coverage: 0.5,
+            ..Default::default()
+        };
+        // 2 of 3 prefixes = 0.67 ≥ 0.5 ⇒ event under the lax config.
+        let (bursts, _) = classify_bursts(&set, &[rec(10, &[0, 1])], &cfg);
+        assert_eq!(bursts[0].class, BurstClass::AtomEvent);
+        let (bursts, _) = classify_bursts(&set, &[rec(10, &[0, 1])], &DynamicsConfig::default());
+        assert_eq!(bursts[0].class, BurstClass::PrefixNoise);
+    }
+}

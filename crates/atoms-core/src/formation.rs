@@ -1,0 +1,575 @@
+//! Formation distance of policy atoms (§3.4, §4.3, §5.4).
+//!
+//! The **splitting point** of two atoms from the same origin is the first
+//! AS (counting from the origin, position 1 = the origin itself) at which
+//! their AS paths diverge, minimized over vantage points; a missing path at
+//! any vantage point forces the splitting point to 1. The **formation
+//! distance** of an atom is the maximum splitting point against every
+//! other atom of the same origin — the shortest distance at which the atom
+//! becomes distinguishable from all of them.
+//!
+//! Prepend handling (§3.4.2) comes in the paper's three flavours:
+//!
+//! * **method (i)** — strip prepends *before* grouping (discards policy:
+//!   prepend-differentiated atoms merge);
+//! * **method (ii)** — group on raw paths, strip before measuring
+//!   distance (pairs differing only by prepending become
+//!   *indistinguishable* and are excluded — the paper's criticism);
+//! * **method (iii)** — the paper's adopted method: group on raw paths,
+//!   count *unique* ASes when locating the divergence, and assign
+//!   prepend-only pairs distance 1.
+
+use crate::atom::{compute_atoms, Atom, AtomSet};
+use crate::sanitize::SanitizedSnapshot;
+use bgp_types::Asn;
+use serde::{Deserialize, Serialize};
+
+/// The paper's three prepend-handling methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrependMethod {
+    /// (i) strip prepends before grouping prefixes into atoms.
+    StripBeforeGrouping,
+    /// (ii) group on raw paths; strip before computing distance.
+    StripAfterGrouping,
+    /// (iii) group on raw paths; count unique ASes for the split point;
+    /// prepend-only divergence lands at distance 1. The paper's choice.
+    UniqueOnRaw,
+}
+
+/// Why an atom formed at distance 1 (the paper's §3.4.3 breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum D1Reason {
+    /// The only atom of its origin AS.
+    SingleAtomAs,
+    /// Observed by a different set of vantage points than some sibling
+    /// atom (a missing path forces split = 1).
+    UniquePeerSet,
+    /// Distinguishable from its siblings only by AS-path prepending.
+    PrependOnly,
+}
+
+/// Formation-distance results for one snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FormationResult {
+    /// % of atoms with formation distance d, index d-1 (non-cumulative).
+    pub atom_distance_pct: Vec<f64>,
+    /// Same, excluding atoms whose origin has a single atom (Fig. 4's
+    /// dashed series).
+    pub atom_distance_pct_multi: Vec<f64>,
+    /// Cumulative % of atoms formed at distance ≤ d ("% atoms created at
+    /// distance", Fig. 1).
+    pub atom_distance_cum: Vec<f64>,
+    /// Cumulative % of origin ASes whose *first* atom split (d_min) is ≤ d.
+    pub first_split_cum: Vec<f64>,
+    /// Cumulative % of origin ASes whose *last* atom split (d_max) is ≤ d.
+    pub all_split_cum: Vec<f64>,
+    /// Breakdown of distance-1 atoms: (single-atom-AS %, unique-peer-set %,
+    /// prepend-only %) as shares of **all** atoms.
+    pub d1_breakdown: (f64, f64, f64),
+    /// Atoms excluded as indistinguishable (method (ii) only).
+    pub excluded_indistinguishable: usize,
+    /// Atoms excluded for conflicting origins (MOAS artifacts).
+    pub excluded_origin_conflicts: usize,
+    /// Atoms that entered the histogram.
+    pub n_atoms: usize,
+    /// Origin ASes considered.
+    pub n_origins: usize,
+}
+
+impl FormationResult {
+    /// % of atoms formed at exactly distance `d` (1-based).
+    pub fn at_distance(&self, d: usize) -> f64 {
+        self.atom_distance_pct.get(d - 1).copied().unwrap_or(0.0)
+    }
+}
+
+/// The outcome of comparing one atom pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairSplit {
+    /// Paths diverge (or a vantage point sees only one of the two) at this
+    /// distance; the flag records whether a missing path decided it.
+    At { distance: usize, by_missing: bool },
+    /// The pair differs only by prepending (stripped paths equal at every
+    /// shared vantage point, both always co-visible).
+    PrependOnly,
+}
+
+/// Computes formation distances for an atom set under the chosen method.
+///
+/// For method (i), prefer [`formation_with_regrouping`], which re-derives
+/// the atoms from stripped paths first; calling this directly with
+/// `StripBeforeGrouping` behaves like method (iii) on already-stripped
+/// paths.
+pub fn formation(atoms: &AtomSet, method: PrependMethod) -> FormationResult {
+    // Pre-strip every interned path into origin-first unique-AS form.
+    let stripped: Vec<Vec<Asn>> = atoms
+        .paths
+        .iter()
+        .map(|p| p.from_origin_unique())
+        .collect();
+
+    let by_origin = atoms.atoms_by_origin();
+    let excluded_origin_conflicts = atoms.origin_conflicts();
+
+    let mut distances: Vec<(usize, D1ReasonOpt, bool)> = Vec::new(); // (d, reason, multi-atom-AS)
+    let mut excluded_indistinguishable = 0usize;
+    let mut dmins: Vec<usize> = Vec::new();
+    let mut dmaxs: Vec<usize> = Vec::new();
+
+    for atom_ids in by_origin.values() {
+        if atom_ids.len() == 1 {
+            distances.push((1, D1ReasonOpt::Single, false));
+            dmins.push(1);
+            dmaxs.push(1);
+            continue;
+        }
+        let mut origin_dmin = usize::MAX;
+        let mut origin_dmax = 0usize;
+        for &ai in atom_ids {
+            let mut d = 0usize;
+            let mut any_missing = false;
+            let mut any_prepend_pair = false;
+            let mut defined = false;
+            for &aj in atom_ids {
+                if ai == aj {
+                    continue;
+                }
+                match pair_split(
+                    &atoms.atoms[ai as usize],
+                    &atoms.atoms[aj as usize],
+                    &stripped,
+                ) {
+                    PairSplit::At {
+                        distance,
+                        by_missing,
+                    } => {
+                        defined = true;
+                        if distance > d {
+                            d = distance;
+                            any_missing = by_missing;
+                        } else if distance == d {
+                            any_missing = any_missing || by_missing;
+                        }
+                    }
+                    PairSplit::PrependOnly => match method {
+                        PrependMethod::UniqueOnRaw | PrependMethod::StripBeforeGrouping => {
+                            // Distance-1 candidate; only matters if no pair
+                            // demands more.
+                            defined = true;
+                            if d == 0 {
+                                d = 1;
+                            }
+                            any_prepend_pair = true;
+                        }
+                        PrependMethod::StripAfterGrouping => {
+                            // Pair imposes no constraint; atom may end up
+                            // indistinguishable.
+                        }
+                    },
+                }
+            }
+            if !defined {
+                excluded_indistinguishable += 1;
+                continue;
+            }
+            let reason = if d > 1 {
+                D1ReasonOpt::NotD1
+            } else if any_missing {
+                D1ReasonOpt::Missing
+            } else if any_prepend_pair {
+                D1ReasonOpt::Prepend
+            } else {
+                // d == 1 decided purely by divergence at position 1 —
+                // cannot happen for same-origin atoms; classify as missing.
+                D1ReasonOpt::Missing
+            };
+            distances.push((d, reason, true));
+            origin_dmin = origin_dmin.min(d);
+            origin_dmax = origin_dmax.max(d);
+        }
+        if origin_dmax > 0 {
+            dmins.push(origin_dmin);
+            dmaxs.push(origin_dmax);
+        }
+    }
+
+    summarize(
+        distances,
+        dmins,
+        dmaxs,
+        excluded_indistinguishable,
+        excluded_origin_conflicts,
+    )
+}
+
+/// Method (i): strips prepends from every table path, regroups atoms, and
+/// measures distances on the result.
+pub fn formation_with_regrouping(snap: &SanitizedSnapshot) -> FormationResult {
+    let mut stripped = snap.clone();
+    for table in &mut stripped.tables {
+        for (_, path) in table.iter_mut() {
+            *path = path.strip_prepends();
+        }
+    }
+    let atoms = compute_atoms(&stripped);
+    formation(&atoms, PrependMethod::StripBeforeGrouping)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum D1ReasonOpt {
+    Single,
+    Missing,
+    Prepend,
+    NotD1,
+}
+
+/// Splitting point of two atoms: minimum over vantage points.
+fn pair_split(a: &Atom, b: &Atom, stripped: &[Vec<Asn>]) -> PairSplit {
+    let mut best: Option<(usize, bool)> = None;
+    let mut saw_prepend_only = false;
+    let (mut i, mut j) = (0usize, 0usize);
+    let sa = &a.signature;
+    let sb = &b.signature;
+    while i < sa.len() || j < sb.len() {
+        let pa = sa.get(i).map(|&(p, _)| p);
+        let pb = sb.get(j).map(|&(p, _)| p);
+        match (pa, pb) {
+            (Some(x), Some(y)) if x == y => {
+                let (ida, idb) = (sa[i].1, sb[j].1);
+                i += 1;
+                j += 1;
+                if ida == idb {
+                    continue; // identical raw path here
+                }
+                let (va, vb) = (&stripped[ida as usize], &stripped[idb as usize]);
+                if va == vb {
+                    saw_prepend_only = true;
+                    continue;
+                }
+                let limit = va.len().min(vb.len());
+                let mut split = limit + 1; // one path is a strict prefix
+                for k in 0..limit {
+                    if va[k] != vb[k] {
+                        split = k + 1;
+                        break;
+                    }
+                }
+                if best.map_or(true, |(d, _)| split < d) {
+                    best = Some((split, false));
+                    if split == 1 {
+                        return PairSplit::At {
+                            distance: 1,
+                            by_missing: false,
+                        };
+                    }
+                }
+            }
+            // One atom visible at a vantage point where the other is not:
+            // the paper's "empty path" rule forces split = 1.
+            _ => {
+                return PairSplit::At {
+                    distance: 1,
+                    by_missing: true,
+                };
+            }
+        }
+    }
+    match best {
+        Some((distance, by_missing)) => PairSplit::At {
+            distance,
+            by_missing,
+        },
+        None => {
+            debug_assert!(
+                saw_prepend_only,
+                "distinct atoms with identical signatures cannot exist"
+            );
+            PairSplit::PrependOnly
+        }
+    }
+}
+
+fn summarize(
+    distances: Vec<(usize, D1ReasonOpt, bool)>,
+    dmins: Vec<usize>,
+    dmaxs: Vec<usize>,
+    excluded_indistinguishable: usize,
+    excluded_origin_conflicts: usize,
+) -> FormationResult {
+    let n_atoms = distances.len();
+    let n_origins = dmins.len();
+    let max_d = distances
+        .iter()
+        .map(|&(d, _, _)| d)
+        .chain(dmaxs.iter().copied())
+        .max()
+        .unwrap_or(1);
+    let mut hist = vec![0usize; max_d];
+    let mut hist_multi = vec![0usize; max_d];
+    let mut n_multi = 0usize;
+    let (mut single, mut missing, mut prepend) = (0usize, 0usize, 0usize);
+    for &(d, reason, from_multi) in &distances {
+        hist[d - 1] += 1;
+        if from_multi {
+            hist_multi[d - 1] += 1;
+            n_multi += 1;
+        }
+        match reason {
+            D1ReasonOpt::Single => single += 1,
+            D1ReasonOpt::Missing => missing += 1,
+            D1ReasonOpt::Prepend => prepend += 1,
+            D1ReasonOpt::NotD1 => {}
+        }
+    }
+    let pct = |count: usize, total: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / total as f64
+        }
+    };
+    let cum = |hist: &[usize], total: usize| {
+        let mut acc = 0usize;
+        hist.iter()
+            .map(|&c| {
+                acc += c;
+                pct(acc, total)
+            })
+            .collect::<Vec<f64>>()
+    };
+    let cum_of = |values: &[usize]| {
+        let mut h = vec![0usize; max_d];
+        for &v in values {
+            h[v - 1] += 1;
+        }
+        cum(&h, values.len())
+    };
+    FormationResult {
+        atom_distance_pct: hist.iter().map(|&c| pct(c, n_atoms)).collect(),
+        atom_distance_pct_multi: hist_multi.iter().map(|&c| pct(c, n_multi)).collect(),
+        atom_distance_cum: cum(&hist, n_atoms),
+        first_split_cum: cum_of(&dmins),
+        all_split_cum: cum_of(&dmaxs),
+        d1_breakdown: (
+            pct(single, n_atoms),
+            pct(missing, n_atoms),
+            pct(prepend, n_atoms),
+        ),
+        excluded_indistinguishable,
+        excluded_origin_conflicts,
+        n_atoms,
+        n_origins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitize::SanitizeReport;
+    use bgp_types::{AsPath, Family, PeerKey, Prefix, SimTime};
+
+    /// Builds an AtomSet straight from per-peer tables.
+    fn atoms_from(tables: &[(u32, &[(&str, &str)])]) -> AtomSet {
+        let peers: Vec<PeerKey> = tables
+            .iter()
+            .enumerate()
+            .map(|(i, (asn, _))| {
+                PeerKey::new(Asn(*asn), format!("10.0.0.{}", i + 1).parse().unwrap())
+            })
+            .collect();
+        let tables: Vec<Vec<(Prefix, AsPath)>> = tables
+            .iter()
+            .map(|(_, entries)| {
+                let mut t: Vec<(Prefix, AsPath)> = entries
+                    .iter()
+                    .map(|(p, path)| (p.parse().unwrap(), path.parse().unwrap()))
+                    .collect();
+                t.sort_by_key(|(p, _)| *p);
+                t
+            })
+            .collect();
+        let snap = SanitizedSnapshot {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            peers,
+            tables,
+            report: SanitizeReport::default(),
+        };
+        compute_atoms(&snap)
+    }
+
+    #[test]
+    fn single_atom_origin_is_distance_one() {
+        let atoms = atoms_from(&[(1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")])]);
+        assert_eq!(atoms.len(), 1);
+        let f = formation(&atoms, PrependMethod::UniqueOnRaw);
+        assert_eq!(f.at_distance(1), 100.0);
+        assert_eq!(f.d1_breakdown.0, 100.0);
+        assert_eq!(f.n_origins, 1);
+        assert_eq!(f.first_split_cum[0], 100.0);
+        assert_eq!(f.all_split_cum[0], 100.0);
+    }
+
+    #[test]
+    fn origin_level_split_is_distance_two() {
+        // Origin 9 sends A via 5 and B via 6: divergence at the second AS.
+        let atoms = atoms_from(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.1.0/24", "2 6 9")]),
+        ]);
+        assert_eq!(atoms.len(), 2);
+        let f = formation(&atoms, PrependMethod::UniqueOnRaw);
+        assert_eq!(f.at_distance(2), 100.0);
+        assert_eq!(f.at_distance(1), 0.0);
+    }
+
+    #[test]
+    fn transit_split_is_distance_three() {
+        // Both atoms go through transit 5, diverging beyond it.
+        let atoms = atoms_from(&[
+            (1, &[("10.0.0.0/24", "1 7 5 9"), ("10.0.1.0/24", "1 8 5 9")]),
+            (2, &[("10.0.0.0/24", "2 7 5 9"), ("10.0.1.0/24", "2 8 5 9")]),
+        ]);
+        let f = formation(&atoms, PrependMethod::UniqueOnRaw);
+        assert_eq!(f.at_distance(3), 100.0);
+    }
+
+    #[test]
+    fn min_over_peers_wins() {
+        // Peer 1 sees divergence at 3, peer 2 at 2 ⇒ split is 2.
+        let atoms = atoms_from(&[
+            (1, &[("10.0.0.0/24", "1 7 5 9"), ("10.0.1.0/24", "1 8 5 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.1.0/24", "2 6 9")]),
+        ]);
+        let f = formation(&atoms, PrependMethod::UniqueOnRaw);
+        assert_eq!(f.at_distance(2), 100.0);
+    }
+
+    #[test]
+    fn missing_path_forces_distance_one() {
+        let atoms = atoms_from(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9")]), // peer 2 never sees B
+        ]);
+        let f = formation(&atoms, PrependMethod::UniqueOnRaw);
+        assert_eq!(f.at_distance(1), 100.0);
+        let (_, unique_peer, _) = f.d1_breakdown;
+        assert_eq!(unique_peer, 100.0);
+    }
+
+    #[test]
+    fn prepend_only_pairs_by_method() {
+        // Identical except B prepends the origin towards everyone.
+        let tables: &[(u32, &[(&str, &str)])] = &[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.1.0/24", "2 5 9 9")]),
+        ];
+        let atoms = atoms_from(tables);
+        assert_eq!(atoms.len(), 2, "raw grouping distinguishes prepends");
+
+        // Method (iii): both atoms land at distance 1, prepend bucket.
+        let f3 = formation(&atoms, PrependMethod::UniqueOnRaw);
+        assert_eq!(f3.at_distance(1), 100.0);
+        assert_eq!(f3.d1_breakdown.2, 100.0);
+        assert_eq!(f3.excluded_indistinguishable, 0);
+
+        // Method (ii): the pair is indistinguishable; both are excluded.
+        let f2 = formation(&atoms, PrependMethod::StripAfterGrouping);
+        assert_eq!(f2.excluded_indistinguishable, 2);
+        assert_eq!(f2.n_atoms, 0);
+    }
+
+    #[test]
+    fn method_one_merges_prepend_atoms() {
+        let tables: &[(u32, &[(&str, &str)])] = &[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.1.0/24", "2 5 9 9")]),
+        ];
+        let peers: Vec<PeerKey> = (1..=2)
+            .map(|i| PeerKey::new(Asn(i), format!("10.0.0.{i}").parse().unwrap()))
+            .collect();
+        let snap = SanitizedSnapshot {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            peers,
+            tables: tables
+                .iter()
+                .map(|(_, entries)| {
+                    entries
+                        .iter()
+                        .map(|(p, path)| (p.parse().unwrap(), path.parse().unwrap()))
+                        .collect()
+                })
+                .collect(),
+            report: SanitizeReport::default(),
+        };
+        let f1 = formation_with_regrouping(&snap);
+        // The two prefixes merge into one atom: single-atom origin, d = 1.
+        assert_eq!(f1.n_atoms, 1);
+        assert_eq!(f1.at_distance(1), 100.0);
+        assert_eq!(f1.d1_breakdown.0, 100.0, "single-atom AS bucket");
+    }
+
+    #[test]
+    fn prepending_does_not_inflate_distance_in_method_three() {
+        // A diverges from B at the transit, but B also prepends heavily;
+        // raw-position counting would say distance 5, unique counting 3.
+        let atoms = atoms_from(&[
+            (1, &[("10.0.0.0/24", "1 7 5 9"), ("10.0.1.0/24", "1 8 5 9 9 9")]),
+            (2, &[("10.0.0.0/24", "2 7 5 9"), ("10.0.1.0/24", "2 8 5 9 9 9")]),
+        ]);
+        let f = formation(&atoms, PrependMethod::UniqueOnRaw);
+        assert_eq!(f.at_distance(3), 100.0);
+    }
+
+    #[test]
+    fn formation_distance_is_max_over_siblings() {
+        // Three atoms: A vs B diverge at 2; A vs C diverge at 3
+        // (A shares transit 5 with C, diverging after it).
+        let atoms = atoms_from(&[(
+            1,
+            &[
+                ("10.0.0.0/24", "1 7 5 9"),
+                ("10.0.1.0/24", "1 6 9"),
+                ("10.0.2.0/24", "1 8 5 9"),
+            ],
+        )]);
+        assert_eq!(atoms.len(), 3);
+        let f = formation(&atoms, PrependMethod::UniqueOnRaw);
+        // A (10.0.0.0/24): vs B split 2, vs C split 3 ⇒ d = 3.
+        // B: vs A 2, vs C 2 ⇒ 2. C: vs B 2, vs A 3 ⇒ 3.
+        assert!((f.at_distance(2) - 100.0 / 3.0).abs() < 1e-9);
+        assert!((f.at_distance(3) - 200.0 / 3.0).abs() < 1e-9);
+        // d_min = 2, d_max = 3 for the single origin.
+        assert_eq!(f.first_split_cum[1], 100.0);
+        assert!(f.all_split_cum[1] < 100.0);
+        assert_eq!(f.all_split_cum[2], 100.0);
+    }
+
+    #[test]
+    fn origin_conflict_atoms_are_excluded() {
+        let atoms = atoms_from(&[
+            (1, &[("10.0.0.0/24", "1 5 9")]),
+            (2, &[("10.0.0.0/24", "2 5 7")]), // MOAS view conflict
+        ]);
+        let f = formation(&atoms, PrependMethod::UniqueOnRaw);
+        assert_eq!(f.excluded_origin_conflicts, 1);
+        assert_eq!(f.n_atoms, 0);
+    }
+
+    #[test]
+    fn multi_atom_histogram_excludes_singletons() {
+        let atoms = atoms_from(&[
+            // Origin 9: one atom. Origin 8: two atoms diverging at 2.
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.1.0.0/24", "1 5 8"), ("10.2.0.0/24", "1 6 8")]),
+            (2, &[("10.0.0.0/24", "2 5 9"), ("10.1.0.0/24", "2 5 8"), ("10.2.0.0/24", "2 6 8")]),
+        ]);
+        let f = formation(&atoms, PrependMethod::UniqueOnRaw);
+        assert_eq!(f.n_atoms, 3);
+        // All atoms: 1/3 at d1 (the single-atom AS), 2/3 at d2.
+        assert!((f.at_distance(1) - 100.0 / 3.0).abs() < 1e-9);
+        // Multi-atom-AS histogram: 100 % at d2.
+        assert_eq!(f.atom_distance_pct_multi[1], 100.0);
+        assert_eq!(f.atom_distance_pct_multi[0], 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Policy-atom computation and the full analysis suite of
+//! *"Replication: A Two Decade Review of Policy Atoms"* (IMC 2025).
+//!
+//! A **policy atom** (Broido & Claffy 2001; Afek et al. 2002) is a maximal
+//! group of prefixes that share the same AS path at *every* global vantage
+//! point. This crate implements:
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`vantage`] | §2.4.2 full-feed peer inference (≥ 90 % of max) |
+//! | [`mod@sanitize`] | §2.4.3–§2.4.4 prefix filters, AS-SET rules, broken-peer removal |
+//! | [`atom`] | §2.1 atom computation |
+//! | [`stats`] | §3.2 / §4.1 / §5.1 general statistics and distributions |
+//! | [`update_corr`] | §3.3 / §4.2 / §5.3 correlation with UPDATE records |
+//! | [`formation`] | §3.4 / §4.3 / §5.4 formation distance (methods i–iii) |
+//! | [`stability`] | §3.5 / §4.4 / §5.2 CAM and MPM stability metrics |
+//! | [`splits`] | §4.4.1 split-event detection and observer counting |
+//! | [`pipeline`] | end-to-end orchestration |
+//! | [`dynamics`] | §7.2 atom-level event vs. prefix-noise classification |
+//! | [`siblings`] | §7.3 IPv4/IPv6 sibling-atom matching |
+//! | [`report`] | table/CSV/JSON rendering for the experiment harness |
+//!
+//! The pipeline consumes [`bgp_collect::CapturedSnapshot`] /
+//! [`bgp_collect::CapturedUpdates`] — neutral inputs carrying no simulator
+//! ground truth — so everything here works identically on real MRT
+//! archives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod dynamics;
+pub mod formation;
+pub mod pipeline;
+pub mod report;
+pub mod sanitize;
+pub mod siblings;
+pub mod splits;
+pub mod stability;
+pub mod stats;
+pub mod update_corr;
+pub mod vantage;
+
+pub use atom::{Atom, AtomSet};
+pub use pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
+pub use sanitize::{sanitize, SanitizeConfig, SanitizeReport, SanitizedSnapshot};
+pub use vantage::{infer_full_feed, VantageReport};

@@ -1,0 +1,161 @@
+//! Plain-text table rendering and JSON/CSV emission for the experiment
+//! harness.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders an aligned text table; the first row is the header.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = widths.get(i).copied().unwrap_or(cell.len());
+            let _ = write!(out, "{cell:<pad$}");
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    render_row(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        render_row(&mut out, row);
+    }
+    out
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Formats a count with thousands separators.
+pub fn count(v: usize) -> String {
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Writes a serializable result as pretty JSON next to the text output.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    fs::write(path, json)
+}
+
+/// Writes a CSV (header + rows).
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["Metric", "2004", "2024"],
+            &[
+                vec!["Prefixes".into(), "131,526".into(), "1,028,444".into()],
+                vec!["Atoms".into(), "34,261".into(), "483,117".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Metric"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("131,526"));
+        // Columns align: "2024" header starts at the same offset in every row.
+        let col = lines[0].find("2024").unwrap();
+        assert_eq!(&lines[3][col..col + 7], "483,117");
+    }
+
+    #[test]
+    fn count_separators() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1000), "1,000");
+        assert_eq!(count(1_028_444), "1,028,444");
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(57.6531), "57.7%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let dir = std::env::temp_dir().join(format!("pa-report-{}", std::process::id()));
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["x,y".into(), "q\"z".into()]],
+        )
+        .unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n\"x,y\",\"q\"\"z\"\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join(format!("pa-json-{}", std::process::id()));
+        let path = dir.join("v.json");
+        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let v: Vec<i32> = serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,601 @@
+//! Data sanitization (§2.4.3–§2.4.4, Appendix A8.3).
+//!
+//! Order of operations, mirroring the paper:
+//!
+//! 1. infer full-feed peers (≥ 90 % of the max unique-prefix count);
+//! 2. remove peers whose records carry ADD-PATH parse-warning signatures;
+//! 3. remove peers leaking private ASNs into > 10 % of their paths;
+//! 4. remove peers with > 10 % duplicate prefixes;
+//! 5. per entry: cap prefix lengths (≤ /24 IPv4, ≤ /48 IPv6), expand
+//!    singleton AS-SETs, drop paths with multi-member AS-SETs;
+//! 6. keep only prefixes seen at ≥ 2 collectors **and** ≥ 4 peer ASes;
+//! 7. label (but keep) MOAS prefixes.
+
+use crate::vantage::{infer_full_feed_with_ratio, VantageReport};
+use bgp_collect::CapturedSnapshot;
+use bgp_mrt::MrtWarning;
+use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Tunable thresholds; defaults are the paper's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SanitizeConfig {
+    /// Prefixes must be seen at at least this many collectors (paper: 2).
+    pub min_collectors: usize,
+    /// …and in tables from at least this many peer ASes (paper: 4).
+    pub min_peer_ases: usize,
+    /// Apply the /24 (IPv4) and /48 (IPv6) length caps.
+    pub length_caps: bool,
+    /// Full-feed inference ratio (paper: 0.9).
+    pub full_feed_ratio: f64,
+    /// Remove peers whose private-ASN path share exceeds this (A8.3.2).
+    pub private_asn_peer_threshold: f64,
+    /// Remove peers whose duplicate-prefix share exceeds this (§2.4.4).
+    pub duplicate_peer_threshold: f64,
+}
+
+impl Default for SanitizeConfig {
+    fn default() -> Self {
+        SanitizeConfig {
+            min_collectors: 2,
+            min_peer_ases: 4,
+            length_caps: true,
+            full_feed_ratio: 0.9,
+            private_asn_peer_threshold: 0.10,
+            duplicate_peer_threshold: 0.10,
+        }
+    }
+}
+
+/// What sanitization did, for reporting and validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SanitizeReport {
+    /// Full-feed inference result.
+    pub vantage: Option<VantageReport>,
+    /// Peers removed for ADD-PATH warning signatures, with warning counts.
+    pub removed_addpath_peers: Vec<(PeerKey, usize)>,
+    /// Peers removed for private-ASN leakage, with the leaking share.
+    pub removed_private_asn_peers: Vec<(PeerKey, f64)>,
+    /// Peers removed for excessive duplicates, with the duplicate share.
+    pub removed_duplicate_peers: Vec<(PeerKey, f64)>,
+    /// Partial-feed peers excluded by the 90 % rule.
+    pub excluded_partial_peers: usize,
+    /// Distinct prefixes before any prefix-level filtering.
+    pub prefixes_before: usize,
+    /// Entries dropped by the per-family length caps.
+    pub dropped_by_length: usize,
+    /// Paths with a multi-member AS-SET (entry dropped).
+    pub dropped_as_set_paths: usize,
+    /// Paths whose singleton AS-SET was expanded (entry kept).
+    pub expanded_as_set_paths: usize,
+    /// Duplicate (peer, prefix) entries collapsed.
+    pub collapsed_duplicates: usize,
+    /// Prefixes dropped by the ≥ N collectors rule.
+    pub dropped_by_collectors: usize,
+    /// Prefixes dropped by the ≥ N peer-AS rule.
+    pub dropped_by_peer_ases: usize,
+    /// Prefixes surviving all filters.
+    pub prefixes_after: usize,
+    /// Surviving prefixes originated by more than one AS (kept, §2.4.3).
+    pub moas_prefixes: usize,
+    /// Surviving prefixes that are more-specifics of another surviving
+    /// prefix (kept; context for the paper's §2.4.3 aggregate discussion —
+    /// such prefixes legitimately appear without full-table coverage).
+    pub covered_by_aggregate: usize,
+}
+
+/// The sanitized analysis input: one table per kept vantage point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizedSnapshot {
+    /// Snapshot time.
+    pub timestamp: SimTime,
+    /// Address family.
+    pub family: Family,
+    /// Kept vantage points, sorted by peer key.
+    pub peers: Vec<PeerKey>,
+    /// Per-peer `(prefix, path)` tables, sorted by prefix, one entry per
+    /// prefix, parallel to `peers`.
+    pub tables: Vec<Vec<(Prefix, AsPath)>>,
+    /// What happened.
+    pub report: SanitizeReport,
+}
+
+impl SanitizedSnapshot {
+    /// Distinct prefixes across all kept tables.
+    pub fn prefix_count(&self) -> usize {
+        let mut all: BTreeSet<Prefix> = BTreeSet::new();
+        for t in &self.tables {
+            all.extend(t.iter().map(|(p, _)| *p));
+        }
+        all.len()
+    }
+}
+
+/// Identifies the peers to remove for ADD-PATH signatures from parse
+/// warnings (snapshot warnings plus the update window's).
+fn addpath_peers(warnings: &[&MrtWarning]) -> BTreeMap<PeerKey, usize> {
+    let mut out: BTreeMap<PeerKey, usize> = BTreeMap::new();
+    for w in warnings {
+        if w.kind.is_addpath_signature() {
+            if let Some(peer) = w.peer {
+                *out.entry(peer).or_default() += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Runs the full sanitization pipeline.
+pub fn sanitize(
+    snap: &CapturedSnapshot,
+    update_warnings: &[MrtWarning],
+    cfg: &SanitizeConfig,
+) -> SanitizedSnapshot {
+    let mut report = SanitizeReport::default();
+
+    // (1) Full-feed inference over the raw tables.
+    let vantage = infer_full_feed_with_ratio(snap, cfg.full_feed_ratio);
+    let full_flags: HashMap<PeerKey, bool> = vantage
+        .per_peer
+        .iter()
+        .map(|&(p, _, f)| (p, f))
+        .collect();
+    report.excluded_partial_peers =
+        vantage.per_peer.iter().filter(|&&(_, _, f)| !f).count();
+    report.vantage = Some(vantage);
+
+    // (2) ADD-PATH-broken peers, from all warnings available.
+    let all_warnings: Vec<&MrtWarning> = snap
+        .warnings
+        .iter()
+        .chain(update_warnings.iter())
+        .collect();
+    let broken = addpath_peers(&all_warnings);
+    // Removal is by peer ASN (the paper removes the AS's peers entirely).
+    let broken_asns: BTreeSet<Asn> = broken.keys().map(|p| p.asn).collect();
+    report.removed_addpath_peers = broken.into_iter().collect();
+
+    // (3)+(4) per-peer misbehaviour shares, computed on raw tables.
+    let mut removed_private: Vec<(PeerKey, f64)> = Vec::new();
+    let mut removed_duplicates: Vec<(PeerKey, f64)> = Vec::new();
+    let mut kept: Vec<(&PeerKey, Vec<(Prefix, AsPath)>)> = Vec::new();
+    for table in &snap.tables {
+        let full = *full_flags.get(&table.peer).unwrap_or(&false);
+        if !full {
+            continue;
+        }
+        if broken_asns.contains(&table.peer.asn) {
+            continue;
+        }
+        let n = table.entries.len().max(1);
+        let private_share = table
+            .entries
+            .iter()
+            .filter(|e| e.attrs.path.contains_private_asn())
+            .count() as f64
+            / n as f64;
+        if private_share > cfg.private_asn_peer_threshold {
+            removed_private.push((table.peer, private_share));
+            continue;
+        }
+        let distinct = {
+            let mut v: Vec<Prefix> = table.entries.iter().map(|e| e.prefix).collect();
+            v.sort();
+            v.dedup();
+            v.len()
+        };
+        let dup_share = (table.entries.len() - distinct) as f64 / n as f64;
+        if dup_share > cfg.duplicate_peer_threshold {
+            removed_duplicates.push((table.peer, dup_share));
+            continue;
+        }
+
+        // (5) entry-level cleaning.
+        let mut cleaned: Vec<(Prefix, AsPath)> = Vec::with_capacity(table.entries.len());
+        let mut seen: BTreeSet<Prefix> = BTreeSet::new();
+        for e in &table.entries {
+            if cfg.length_caps && !e.prefix.within_global_routing_len() {
+                report.dropped_by_length += 1;
+                continue;
+            }
+            if !seen.insert(e.prefix) {
+                report.collapsed_duplicates += 1;
+                continue;
+            }
+            let path = if e.attrs.path.has_as_set() {
+                match e.attrs.path.expand_singleton_sets() {
+                    Ok(expanded) => {
+                        report.expanded_as_set_paths += 1;
+                        expanded
+                    }
+                    Err(_) => {
+                        report.dropped_as_set_paths += 1;
+                        seen.remove(&e.prefix);
+                        continue;
+                    }
+                }
+            } else {
+                e.attrs.path.clone()
+            };
+            cleaned.push((e.prefix, path));
+        }
+        kept.push((&table.peer, cleaned));
+    }
+    report.removed_private_asn_peers = removed_private;
+    report.removed_duplicate_peers = removed_duplicates;
+
+    // (6) visibility filters across kept peers.
+    let peer_collector: HashMap<PeerKey, u16> = snap
+        .tables
+        .iter()
+        .map(|t| (t.peer, t.collector))
+        .collect();
+    let mut collectors_of: BTreeMap<Prefix, BTreeSet<u16>> = BTreeMap::new();
+    let mut peer_ases_of: BTreeMap<Prefix, BTreeSet<Asn>> = BTreeMap::new();
+    for (peer, table) in &kept {
+        let collector = peer_collector[peer];
+        for (prefix, _) in table {
+            collectors_of.entry(*prefix).or_default().insert(collector);
+            peer_ases_of.entry(*prefix).or_default().insert(peer.asn);
+        }
+    }
+    report.prefixes_before = collectors_of.len();
+    let mut eligible: BTreeSet<Prefix> = BTreeSet::new();
+    for (prefix, collectors) in &collectors_of {
+        if collectors.len() < cfg.min_collectors {
+            report.dropped_by_collectors += 1;
+            continue;
+        }
+        if peer_ases_of[prefix].len() < cfg.min_peer_ases {
+            report.dropped_by_peer_ases += 1;
+            continue;
+        }
+        eligible.insert(*prefix);
+    }
+    report.prefixes_after = eligible.len();
+
+    // (7) MOAS labelling on eligible prefixes.
+    let mut origins_of: BTreeMap<Prefix, BTreeSet<Asn>> = BTreeMap::new();
+    for (_, table) in &kept {
+        for (prefix, path) in table {
+            if !eligible.contains(prefix) {
+                continue;
+            }
+            if let Some(origin) = path.origin() {
+                origins_of.entry(*prefix).or_default().insert(origin);
+            }
+        }
+    }
+    report.moas_prefixes = origins_of.values().filter(|o| o.len() > 1).count();
+
+    // Aggregate coverage: eligible prefixes covered by another eligible
+    // prefix (strictly less specific).
+    let mut trie = bgp_types::PrefixTrie::new();
+    for &prefix in &eligible {
+        let _ = trie.insert(prefix, ());
+    }
+    report.covered_by_aggregate = eligible
+        .iter()
+        .filter(|&&p| trie.covering(p).is_some())
+        .count();
+
+    // Materialize, sorted by peer for determinism.
+    let mut final_tables: Vec<(PeerKey, Vec<(Prefix, AsPath)>)> = kept
+        .into_iter()
+        .map(|(peer, table)| {
+            let filtered: Vec<(Prefix, AsPath)> = table
+                .into_iter()
+                .filter(|(p, _)| eligible.contains(p))
+                .collect();
+            (*peer, filtered)
+        })
+        .collect();
+    final_tables.sort_by_key(|(peer, _)| *peer);
+
+    SanitizedSnapshot {
+        timestamp: snap.timestamp,
+        family: snap.family,
+        peers: final_tables.iter().map(|(p, _)| *p).collect(),
+        tables: final_tables.into_iter().map(|(_, t)| t).collect(),
+        report,
+    }
+}
+
+/// Counts prefixes surviving every `(min collectors, min peer ASes)`
+/// threshold pair — the paper's Table 7 sensitivity grid. Operates on the
+/// same kept-peer tables as [`sanitize`] with the given base config.
+pub fn threshold_sensitivity(
+    snap: &CapturedSnapshot,
+    update_warnings: &[MrtWarning],
+    cfg: &SanitizeConfig,
+    collector_range: std::ops::RangeInclusive<usize>,
+    peer_as_range: std::ops::RangeInclusive<usize>,
+) -> Vec<(usize, usize, usize)> {
+    // Run the pipeline once with no visibility filters to get cleaned
+    // tables, then count under each threshold pair.
+    let relaxed = SanitizeConfig {
+        min_collectors: 0,
+        min_peer_ases: 0,
+        ..cfg.clone()
+    };
+    let sanitized = sanitize(snap, update_warnings, &relaxed);
+    let peer_collector: HashMap<PeerKey, u16> = snap
+        .tables
+        .iter()
+        .map(|t| (t.peer, t.collector))
+        .collect();
+    let mut collectors_of: BTreeMap<Prefix, BTreeSet<u16>> = BTreeMap::new();
+    let mut peer_ases_of: BTreeMap<Prefix, BTreeSet<Asn>> = BTreeMap::new();
+    for (peer, table) in sanitized.peers.iter().zip(&sanitized.tables) {
+        let collector = peer_collector[peer];
+        for (prefix, _) in table {
+            collectors_of.entry(*prefix).or_default().insert(collector);
+            peer_ases_of.entry(*prefix).or_default().insert(peer.asn);
+        }
+    }
+    let mut out = Vec::new();
+    for c in collector_range.clone() {
+        for p in peer_as_range.clone() {
+            let count = collectors_of
+                .iter()
+                .filter(|(prefix, colls)| {
+                    colls.len() >= c && peer_ases_of[*prefix].len() >= p
+                })
+                .count();
+            out.push((c, p, count));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_collect::CapturedTable;
+    use bgp_mrt::WarningKind;
+    use bgp_types::RibEntry;
+
+    /// Builds a snapshot: `peers` entries of (asn, collector, n_prefixes).
+    /// All peers share a common pool of prefixes 0..n.
+    fn snapshot(peers: &[(u32, u16, u32)]) -> CapturedSnapshot {
+        let tables = peers
+            .iter()
+            .enumerate()
+            .map(|(i, &(asn, collector, n))| CapturedTable {
+                collector,
+                peer: PeerKey::new(Asn(asn), format!("10.9.0.{}", i + 1).parse().unwrap()),
+                entries: (0..n)
+                    .map(|k| {
+                        RibEntry::new(
+                            Prefix::v4((10 << 24) | (k << 8), 24).unwrap(),
+                            format!("{asn} 3356 64496").parse().unwrap(),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        CapturedSnapshot {
+            collector_names: vec!["rrc00".into(), "rv2".into(), "rrc01".into()],
+            tables,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn happy_path_keeps_everything() {
+        let snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100)]);
+        let s = sanitize(&snap, &[], &SanitizeConfig::default());
+        assert_eq!(s.peers.len(), 4);
+        assert_eq!(s.prefix_count(), 100);
+        assert_eq!(s.report.prefixes_after, 100);
+        assert_eq!(s.report.moas_prefixes, 0);
+    }
+
+    #[test]
+    fn partial_feeds_are_excluded() {
+        let snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 0, 30)]);
+        let s = sanitize(&snap, &[], &SanitizeConfig::default());
+        assert_eq!(s.peers.len(), 4);
+        assert_eq!(s.report.excluded_partial_peers, 1);
+    }
+
+    #[test]
+    fn addpath_warned_peers_are_removed_by_asn() {
+        let snap = snapshot(&[(136557, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 0, 100)]);
+        let warning = MrtWarning {
+            record_index: 0,
+            timestamp: None,
+            peer: Some(PeerKey::new(Asn(136557), "10.99.0.1".parse().unwrap())),
+            kind: WarningKind::UnknownSubtype {
+                mrt_type: 16,
+                subtype: 9,
+            },
+        };
+        let s = sanitize(&snap, &[warning], &SanitizeConfig::default());
+        assert_eq!(s.peers.len(), 4);
+        assert!(s.peers.iter().all(|p| p.asn != Asn(136557)));
+        assert_eq!(s.report.removed_addpath_peers.len(), 1);
+    }
+
+    #[test]
+    fn non_addpath_warnings_do_not_remove_peers() {
+        let snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100)]);
+        let warning = MrtWarning {
+            record_index: 0,
+            timestamp: None,
+            peer: Some(snap.tables[0].peer),
+            kind: WarningKind::BadMarker,
+        };
+        let s = sanitize(&snap, &[warning], &SanitizeConfig::default());
+        assert_eq!(s.peers.len(), 4);
+    }
+
+    #[test]
+    fn private_asn_leaker_is_removed() {
+        let mut snap = snapshot(&[(25885, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 2, 100)]);
+        // Leak AS65000 into 60% of peer 0's paths.
+        for (i, e) in snap.tables[0].entries.iter_mut().enumerate() {
+            if i % 5 < 3 {
+                e.attrs.path = "25885 65000 3356 64496".parse().unwrap();
+            }
+        }
+        let s = sanitize(&snap, &[], &SanitizeConfig::default());
+        assert!(s.peers.iter().all(|p| p.asn != Asn(25885)));
+        assert_eq!(s.report.removed_private_asn_peers.len(), 1);
+        assert!(s.report.removed_private_asn_peers[0].1 > 0.5);
+    }
+
+    #[test]
+    fn duplicate_heavy_peer_is_removed_but_light_is_deduped() {
+        let mut snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100)]);
+        // Peer 0: 20% duplicates → removed. Peer 1: 5% duplicates → kept,
+        // duplicates collapsed.
+        let dup: Vec<RibEntry> = snap.tables[0].entries[..20].to_vec();
+        snap.tables[0].entries.extend(dup);
+        let dup: Vec<RibEntry> = snap.tables[1].entries[..5].to_vec();
+        snap.tables[1].entries.extend(dup);
+        let s = sanitize(&snap, &[], &SanitizeConfig::default());
+        assert_eq!(s.report.removed_duplicate_peers.len(), 1);
+        assert_eq!(s.report.removed_duplicate_peers[0].0.asn, Asn(1));
+        assert_eq!(s.report.collapsed_duplicates, 5);
+        // Visibility drops to 3 peers; min_peer_ases=4 still satisfied? No:
+        // 3 < 4 ⇒ everything filtered. Use the report to check the path.
+        assert_eq!(s.report.prefixes_after, 0);
+        assert_eq!(s.report.dropped_by_peer_ases, 100);
+    }
+
+    #[test]
+    fn length_caps_apply() {
+        let mut snap = snapshot(&[(1, 0, 50), (2, 1, 50), (3, 0, 50), (4, 1, 50)]);
+        for t in &mut snap.tables {
+            t.entries.push(RibEntry::new(
+                "192.0.2.128/25".parse().unwrap(),
+                "1 64496".parse().unwrap(),
+            ));
+        }
+        let s = sanitize(&snap, &[], &SanitizeConfig::default());
+        assert_eq!(s.report.dropped_by_length, 4);
+        assert_eq!(s.prefix_count(), 50);
+        // Caps can be disabled.
+        let s = sanitize(
+            &snap,
+            &[],
+            &SanitizeConfig {
+                length_caps: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.prefix_count(), 51);
+    }
+
+    #[test]
+    fn as_set_rules() {
+        let mut snap = snapshot(&[(1, 0, 50), (2, 1, 50), (3, 0, 50), (4, 1, 50)]);
+        // Peer 0, prefix 0: singleton set (expanded); prefix 1: multi set
+        // (dropped at this peer only).
+        snap.tables[0].entries[0].attrs.path = "1 3356 [64496]".parse().unwrap();
+        snap.tables[0].entries[1].attrs.path = "1 3356 [64496 64497]".parse().unwrap();
+        let s = sanitize(&snap, &[], &SanitizeConfig::default());
+        assert_eq!(s.report.expanded_as_set_paths, 1);
+        assert_eq!(s.report.dropped_as_set_paths, 1);
+        // The expanded path has no sets left.
+        let table0 = &s.tables[0];
+        assert!(table0.iter().all(|(_, path)| !path.has_as_set()));
+        // Prefix 1 still eligible (3 other peers see it... but 3 < 4).
+        // With min_peer_ases = 4 it is dropped; relax to check it survives
+        // at the other peers.
+        let s = sanitize(
+            &snap,
+            &[],
+            &SanitizeConfig {
+                min_peer_ases: 3,
+                ..Default::default()
+            },
+        );
+        let p1: Prefix = Prefix::v4((10 << 24) | (1 << 8), 24).unwrap();
+        assert!(s.tables.iter().flatten().any(|(p, _)| *p == p1));
+    }
+
+    #[test]
+    fn visibility_filters() {
+        // 4 full-feed peers on 2 collectors + prefix X only at one peer,
+        // prefix Y at 4 peers of one collector.
+        let mut snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 0, 100), (6, 0, 100)]);
+        // x: 2 collectors but only 2 peer ASes ⇒ fails the peer-AS rule.
+        let x: Prefix = "203.0.113.0/24".parse().unwrap();
+        snap.tables[0]
+            .entries
+            .push(RibEntry::new(x, "1 9 900000".parse().unwrap()));
+        snap.tables[1]
+            .entries
+            .push(RibEntry::new(x, "2 9 900000".parse().unwrap()));
+        let y: Prefix = "198.51.100.0/24".parse().unwrap();
+        for t in snap.tables.iter_mut().filter(|t| t.collector == 0) {
+            let asn = t.peer.asn;
+            t.entries
+                .push(RibEntry::new(y, format!("{} 9 900001", asn.0).parse().unwrap()));
+        }
+        let s = sanitize(&snap, &[], &SanitizeConfig::default());
+        let surviving: BTreeSet<Prefix> =
+            s.tables.iter().flatten().map(|(p, _)| *p).collect();
+        assert!(!surviving.contains(&x), "single-peer prefix filtered");
+        assert!(!surviving.contains(&y), "single-collector prefix filtered");
+        assert!(s.report.dropped_by_collectors >= 1);
+        assert!(s.report.dropped_by_peer_ases >= 1);
+    }
+
+    #[test]
+    fn aggregate_coverage_is_counted() {
+        let mut snap = snapshot(&[(1, 0, 50), (2, 1, 50), (3, 0, 50), (4, 1, 50)]);
+        let baseline = sanitize(&snap, &[], &SanitizeConfig::default());
+        assert_eq!(baseline.report.covered_by_aggregate, 0);
+        // Everyone also announces 10.0.0.0/21, covering the pool's
+        // 10.0.<k>.0/24 entries for k < 8.
+        for t in &mut snap.tables {
+            let asn = t.peer.asn;
+            t.entries.push(RibEntry::new(
+                "10.0.0.0/21".parse().unwrap(),
+                format!("{} 3356 64496", asn.0).parse().unwrap(),
+            ));
+        }
+        let s = sanitize(&snap, &[], &SanitizeConfig::default());
+        assert_eq!(s.report.covered_by_aggregate, 8);
+    }
+
+    #[test]
+    fn moas_is_counted_not_removed() {
+        let mut snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100)]);
+        // Prefix 0 gets origin 64999 at peers 0/1 and 64496 elsewhere.
+        for t in snap.tables.iter_mut().take(2) {
+            let asn = t.peer.asn;
+            t.entries[0].attrs.path = format!("{} 3356 64999", asn.0).parse().unwrap();
+        }
+        let s = sanitize(&snap, &[], &SanitizeConfig::default());
+        assert_eq!(s.report.moas_prefixes, 1);
+        assert_eq!(s.report.prefixes_after, 100);
+    }
+
+    #[test]
+    fn sensitivity_grid_is_monotone() {
+        let snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 2, 80)]);
+        let grid = threshold_sensitivity(
+            &snap,
+            &[],
+            &SanitizeConfig::default(),
+            1..=3,
+            1..=5,
+        );
+        assert_eq!(grid.len(), 15);
+        // Counts decrease (weakly) as thresholds rise.
+        let count = |c: usize, p: usize| {
+            grid.iter()
+                .find(|&&(gc, gp, _)| gc == c && gp == p)
+                .unwrap()
+                .2
+        };
+        assert!(count(1, 1) >= count(2, 4));
+        assert!(count(2, 4) >= count(3, 5));
+        assert_eq!(count(1, 1), 100);
+    }
+}

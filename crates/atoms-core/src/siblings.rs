@@ -1,0 +1,305 @@
+//! Mapping IPv4 and IPv6 policy atoms within the same AS (the paper's
+//! §7.3).
+//!
+//! "We believe that it is possible to leverage the concept of policy atoms
+//! — and the structure of these atoms (e.g., their structure, formation
+//! distance, etc.) — to characterize IPv4 and IPv6 prefixes and identify
+//! 'sibling prefixes' (i.e., prefixes that serve similar purposes in IPv4
+//! and IPv6)."
+//!
+//! Given an IPv4 atom set and an IPv6 atom set from the same instant, this
+//! module matches atoms of the same origin AS by structural similarity:
+//! relative size rank within the origin, path-length profile, and the
+//! overlap of the transit ASes on their paths. Matched pairs are candidate
+//! *sibling atoms*; their member prefixes are candidate sibling prefixes.
+
+use crate::atom::AtomSet;
+use bgp_types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A matched (IPv4 atom, IPv6 atom) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiblingPair {
+    /// Common origin AS.
+    pub origin: Asn,
+    /// Index of the IPv4 atom in its set.
+    pub v4_atom: u32,
+    /// Index of the IPv6 atom in its set.
+    pub v6_atom: u32,
+    /// Similarity score in [0, 1].
+    pub score: f64,
+}
+
+/// Per-run summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SiblingReport {
+    /// Origin ASes present in both families.
+    pub dual_stack_origins: usize,
+    /// Origins where every atom found a partner.
+    pub fully_matched_origins: usize,
+    /// Matched pairs emitted.
+    pub pairs: usize,
+    /// Mean similarity over emitted pairs.
+    pub mean_score: f64,
+}
+
+/// Structural features of one atom used for matching.
+#[derive(Debug, Clone)]
+struct Features {
+    /// Rank of the atom's size among its origin's atoms (0 = largest).
+    size_rank: usize,
+    /// Mean unique-hop path length across vantage points.
+    mean_path_len: f64,
+    /// The transit ASNs on the atom's paths (origin and peer hops
+    /// excluded).
+    transits: BTreeSet<Asn>,
+}
+
+fn features_of(atoms: &AtomSet, ids: &[u32]) -> Vec<(u32, Features)> {
+    // Size ranks within the origin.
+    let mut by_size: Vec<u32> = ids.to_vec();
+    by_size.sort_by_key(|&a| std::cmp::Reverse(atoms.atoms[a as usize].size()));
+    let rank_of: BTreeMap<u32, usize> = by_size
+        .iter()
+        .enumerate()
+        .map(|(r, &a)| (a, r))
+        .collect();
+    ids.iter()
+        .map(|&a| {
+            let atom = &atoms.atoms[a as usize];
+            let mut total_len = 0usize;
+            let mut transits = BTreeSet::new();
+            for &(_, path_id) in &atom.signature {
+                let hops = atoms.paths[path_id as usize].from_origin_unique();
+                total_len += hops.len();
+                // Skip the origin (first) and the vantage point (last).
+                for asn in hops.iter().skip(1).rev().skip(1) {
+                    transits.insert(*asn);
+                }
+            }
+            let n = atom.signature.len().max(1);
+            (
+                a,
+                Features {
+                    size_rank: rank_of[&a],
+                    mean_path_len: total_len as f64 / n as f64,
+                    transits,
+                },
+            )
+        })
+        .collect()
+}
+
+fn similarity(a: &Features, b: &Features) -> f64 {
+    // Rank agreement: 1 when equal, decaying with distance.
+    let rank = 1.0 / (1.0 + (a.size_rank as f64 - b.size_rank as f64).abs());
+    // Path-length agreement (families differ systematically; tolerant).
+    let len = 1.0 / (1.0 + (a.mean_path_len - b.mean_path_len).abs() / 2.0);
+    // Transit overlap (Jaccard); the strongest signal when present —
+    // dual-stack networks reuse upstreams across families.
+    let inter = a.transits.intersection(&b.transits).count() as f64;
+    let union = a.transits.union(&b.transits).count() as f64;
+    let jaccard = if union == 0.0 { 0.0 } else { inter / union };
+    0.3 * rank + 0.2 * len + 0.5 * jaccard
+}
+
+/// Matches IPv4 atoms to IPv6 atoms per dual-stack origin (greedy, best
+/// score first). Pairs below `min_score` are not emitted.
+pub fn match_siblings(
+    v4: &AtomSet,
+    v6: &AtomSet,
+    min_score: f64,
+) -> (Vec<SiblingPair>, SiblingReport) {
+    let by_origin_v4 = v4.atoms_by_origin();
+    let by_origin_v6 = v6.atoms_by_origin();
+    let mut pairs: Vec<SiblingPair> = Vec::new();
+    let mut report = SiblingReport::default();
+    for (origin, ids4) in &by_origin_v4 {
+        let Some(ids6) = by_origin_v6.get(origin) else {
+            continue;
+        };
+        report.dual_stack_origins += 1;
+        let f4 = features_of(v4, ids4);
+        let f6 = features_of(v6, ids6);
+        let mut candidates: Vec<(f64, u32, u32)> = Vec::new();
+        for (a4, feat4) in &f4 {
+            for (a6, feat6) in &f6 {
+                let score = similarity(feat4, feat6);
+                if score >= min_score {
+                    candidates.push((score, *a4, *a6));
+                }
+            }
+        }
+        candidates.sort_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2)));
+        let mut used4 = BTreeSet::new();
+        let mut used6 = BTreeSet::new();
+        let mut matched_here = 0usize;
+        for (score, a4, a6) in candidates {
+            if used4.contains(&a4) || used6.contains(&a6) {
+                continue;
+            }
+            used4.insert(a4);
+            used6.insert(a6);
+            matched_here += 1;
+            pairs.push(SiblingPair {
+                origin: *origin,
+                v4_atom: a4,
+                v6_atom: a6,
+                score,
+            });
+        }
+        if matched_here == ids4.len().min(ids6.len()) && matched_here > 0 {
+            report.fully_matched_origins += 1;
+        }
+    }
+    report.pairs = pairs.len();
+    report.mean_score = if pairs.is_empty() {
+        0.0
+    } else {
+        pairs.iter().map(|p| p.score).sum::<f64>() / pairs.len() as f64
+    };
+    (pairs, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use bgp_types::{AsPath, Family, Prefix, SimTime};
+
+    fn set(family: Family, atoms: Vec<(Vec<Prefix>, Vec<&str>, u32)>) -> AtomSet {
+        let mut paths: Vec<AsPath> = Vec::new();
+        let built = atoms
+            .into_iter()
+            .map(|(prefixes, atom_paths, origin)| {
+                let signature = atom_paths
+                    .iter()
+                    .enumerate()
+                    .map(|(peer, p)| {
+                        paths.push(p.parse().unwrap());
+                        (peer as u16, (paths.len() - 1) as u32)
+                    })
+                    .collect();
+                Atom {
+                    prefixes,
+                    signature,
+                    origin: Some(Asn(origin)),
+                }
+            })
+            .collect();
+        AtomSet {
+            timestamp: SimTime::from_unix(0),
+            family,
+            peers: vec![],
+            paths,
+            atoms: built,
+        }
+    }
+
+    fn p4(i: u32) -> Prefix {
+        Prefix::v4((10 << 24) | (i << 8), 24).unwrap()
+    }
+
+    fn p6(i: u32) -> Prefix {
+        Prefix::v6((0x2001u128 << 112) | ((i as u128) << 80), 48).unwrap()
+    }
+
+    #[test]
+    fn same_transits_match_strongly() {
+        // Origin 9: v4 big atom via 3356, small via 1299; v6 likewise.
+        let v4 = set(
+            Family::Ipv4,
+            vec![
+                (vec![p4(0), p4(1), p4(2)], vec!["7 3356 9"], 9),
+                (vec![p4(3)], vec!["7 1299 9"], 9),
+            ],
+        );
+        let v6 = set(
+            Family::Ipv6,
+            vec![
+                (vec![p6(0), p6(1)], vec!["7 3356 9"], 9),
+                (vec![p6(2)], vec!["7 1299 9"], 9),
+            ],
+        );
+        let (pairs, report) = match_siblings(&v4, &v6, 0.5);
+        assert_eq!(report.dual_stack_origins, 1);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(report.fully_matched_origins, 1);
+        // The big v4 atom matches the big v6 atom (same transit 3356).
+        let big4 = pairs
+            .iter()
+            .find(|p| v4.atoms[p.v4_atom as usize].size() == 3)
+            .unwrap();
+        assert_eq!(v6.atoms[big4.v6_atom as usize].size(), 2);
+        assert!(big4.score > 0.9, "{}", big4.score);
+    }
+
+    #[test]
+    fn non_dual_stack_origins_are_skipped() {
+        let v4 = set(Family::Ipv4, vec![(vec![p4(0)], vec!["7 3356 9"], 9)]);
+        let v6 = set(Family::Ipv6, vec![(vec![p6(0)], vec!["7 3356 8"], 8)]);
+        let (pairs, report) = match_siblings(&v4, &v6, 0.1);
+        assert!(pairs.is_empty());
+        assert_eq!(report.dual_stack_origins, 0);
+    }
+
+    #[test]
+    fn min_score_filters_weak_pairs() {
+        // Disjoint transits and different ranks: weak similarity.
+        let v4 = set(
+            Family::Ipv4,
+            vec![(vec![p4(0)], vec!["7 3356 9"], 9)],
+        );
+        let v6 = set(
+            Family::Ipv6,
+            vec![(vec![p6(0)], vec!["8 6939 174 9"], 9)],
+        );
+        let (strict, _) = match_siblings(&v4, &v6, 0.8);
+        assert!(strict.is_empty());
+        let (lax, report) = match_siblings(&v4, &v6, 0.1);
+        assert_eq!(lax.len(), 1);
+        assert!(report.mean_score < 0.8);
+    }
+
+    #[test]
+    fn greedy_is_one_to_one() {
+        let v4 = set(
+            Family::Ipv4,
+            vec![
+                (vec![p4(0)], vec!["7 3356 9"], 9),
+                (vec![p4(1)], vec!["7 3356 9"], 9),
+            ],
+        );
+        let v6 = set(Family::Ipv6, vec![(vec![p6(0)], vec!["7 3356 9"], 9)]);
+        let (pairs, _) = match_siblings(&v4, &v6, 0.1);
+        assert_eq!(pairs.len(), 1, "single v6 atom can partner only once");
+    }
+
+    #[test]
+    fn simulator_dual_stack_smoke() {
+        // The simulator generates v4 and v6 independently, so the overlap
+        // is structural only — the matcher must still run cleanly.
+        use crate::pipeline::{analyze_snapshot, PipelineConfig};
+        use bgp_collect::CapturedSnapshot;
+        use bgp_sim::{Era, Scenario};
+        let date: SimTime = "2024-01-15 08:00".parse().unwrap();
+        let analyze = |family| {
+            let era = Era::for_date(date, family, Some(1.0 / 400.0));
+            let mut s = Scenario::build(era);
+            analyze_snapshot(
+                &CapturedSnapshot::from_sim(&s.snapshot(date)),
+                None,
+                &PipelineConfig::default(),
+            )
+        };
+        let v4 = analyze(Family::Ipv4);
+        let v6 = analyze(Family::Ipv6);
+        let (pairs, report) = match_siblings(&v4.atoms, &v6.atoms, 0.3);
+        // Scores are valid and the mapping is one-to-one per origin.
+        for p in &pairs {
+            assert!((0.0..=1.0).contains(&p.score));
+        }
+        assert!(report.pairs == pairs.len());
+    }
+}

@@ -1,0 +1,310 @@
+//! Split-event detection and observer counting (§4.4.1).
+//!
+//! Over daily snapshots `t`, `t+1`, `t+2`:
+//!
+//! 1. **Detect**: an atom (identified by prefix composition) present in
+//!    both `t` and `t+1` is *split* if at `t+2` its prefixes are no longer
+//!    grouped in a single atom.
+//! 2. **Count observers**: the vantage points of `t+2` that previously saw
+//!    all the atom's prefixes with one path but now see them in different
+//!    atoms — i.e. the peers at which the post-split atoms' paths
+//!    (including absence) actually differ.
+//!
+//! The paper's Figs 6/7/16 show most splits are observed by very few VPs,
+//! usually one.
+
+use crate::atom::AtomSet;
+use bgp_types::{PeerKey, Prefix, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// One detected split event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitEvent {
+    /// Time of the snapshot where the split became visible (`t+2`).
+    pub seen_at: SimTime,
+    /// The split atom's prefixes (composition at `t`/`t+1`).
+    pub prefixes: Vec<Prefix>,
+    /// Number of post-split atoms the prefixes landed in.
+    pub fragments: usize,
+    /// The vantage points observing the split.
+    pub observers: Vec<PeerKey>,
+}
+
+impl SplitEvent {
+    /// Number of observing vantage points.
+    pub fn observer_count(&self) -> usize {
+        self.observers.len()
+    }
+}
+
+/// Detects split events across a `(t, t+1, t+2)` snapshot triple.
+pub fn detect_splits(t0: &AtomSet, t1: &AtomSet, t2: &AtomSet) -> Vec<SplitEvent> {
+    // Atoms present (same composition) in both t0 and t1.
+    let sets_t0: HashSet<&[Prefix]> = t0.atoms.iter().map(|a| a.prefixes.as_slice()).collect();
+    let stable: Vec<&crate::atom::Atom> = t1
+        .atoms
+        .iter()
+        .filter(|a| a.prefixes.len() > 1 && sets_t0.contains(a.prefixes.as_slice()))
+        .collect();
+    let t2_of = t2.prefix_to_atom();
+    // Peer index alignment: observer checks use t2's peer list.
+    let mut events = Vec::new();
+    for atom in stable {
+        // Which t2 atoms do the prefixes land in? (Missing prefix = its own
+        // pseudo-fragment.)
+        let mut fragment_ids: BTreeSet<Option<u32>> = BTreeSet::new();
+        for p in &atom.prefixes {
+            fragment_ids.insert(t2_of.get(p).copied());
+        }
+        if fragment_ids.len() <= 1 {
+            continue; // still together (a merge does not count, per the paper)
+        }
+        let observers = count_observers(t2, &fragment_ids);
+        events.push(SplitEvent {
+            seen_at: t2.timestamp,
+            prefixes: atom.prefixes.clone(),
+            fragments: fragment_ids.len(),
+            observers,
+        });
+    }
+    events
+}
+
+/// The peers at which the post-split fragments are actually
+/// distinguishable: some pair of fragments has different paths (absence
+/// counts as a distinct value) there.
+fn count_observers(t2: &AtomSet, fragments: &BTreeSet<Option<u32>>) -> Vec<PeerKey> {
+    let mut observers = Vec::new();
+    for (peer_idx, peer) in t2.peers.iter().enumerate() {
+        let mut seen: HashSet<Option<u32>> = HashSet::new();
+        for f in fragments {
+            let path_id = f.and_then(|a| {
+                let atom = &t2.atoms[a as usize];
+                atom.signature
+                    .binary_search_by_key(&(peer_idx as u16), |&(p, _)| p)
+                    .ok()
+                    .map(|i| atom.signature[i].1)
+            });
+            seen.insert(path_id);
+        }
+        if seen.len() > 1 {
+            observers.push(*peer);
+        }
+    }
+    observers
+}
+
+/// Daily aggregate for Fig. 7/16: split counts by observer multiplicity,
+/// with the single-observer share broken down by which peer observed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailySplitBreakdown {
+    /// Day label (`t+2` of the triple).
+    pub day: SimTime,
+    /// Total split events.
+    pub total: usize,
+    /// Events observed by more than one vantage point.
+    pub multi_observer: usize,
+    /// Events observed by exactly one vantage point, keyed by that peer,
+    /// descending by count.
+    pub single_observer_by_peer: Vec<(PeerKey, usize)>,
+}
+
+impl DailySplitBreakdown {
+    /// Builds the breakdown from one day's events.
+    pub fn from_events(day: SimTime, events: &[SplitEvent]) -> DailySplitBreakdown {
+        let mut single: HashMap<PeerKey, usize> = HashMap::new();
+        let mut multi = 0;
+        for e in events {
+            match e.observers.as_slice() {
+                [only] => *single.entry(*only).or_default() += 1,
+                observers if observers.len() > 1 => multi += 1,
+                _ => {} // zero observers: fragments indistinguishable at every peer
+            }
+        }
+        let mut single_observer_by_peer: Vec<(PeerKey, usize)> = single.into_iter().collect();
+        single_observer_by_peer.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        DailySplitBreakdown {
+            day,
+            total: events.len(),
+            multi_observer: multi,
+            single_observer_by_peer,
+        }
+    }
+
+    /// Events observed by exactly one vantage point.
+    pub fn single_observer(&self) -> usize {
+        self.single_observer_by_peer.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+/// The observer-count CDF over all events (Fig. 6): `(observers, share ≤)`.
+pub fn observer_cdf(events: &[SplitEvent]) -> Vec<(usize, f64)> {
+    let counts: Vec<usize> = events
+        .iter()
+        .map(SplitEvent::observer_count)
+        .filter(|&c| c > 0)
+        .collect();
+    crate::stats::cdf(&counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::sanitize::{SanitizeReport, SanitizedSnapshot};
+    use bgp_types::{AsPath, Asn, Family};
+
+    fn p(i: u32) -> Prefix {
+        Prefix::v4((10 << 24) | (i << 8), 24).unwrap()
+    }
+
+    /// AtomSet from explicit per-peer paths: tables[peer] = [(prefix, path)].
+    fn build(tables: &[&[(u32, &str)]]) -> AtomSet {
+        let peers: Vec<PeerKey> = (0..tables.len())
+            .map(|i| PeerKey::new(Asn(i as u32 + 1), format!("10.0.0.{}", i + 1).parse().unwrap()))
+            .collect();
+        let tables: Vec<Vec<(Prefix, AsPath)>> = tables
+            .iter()
+            .map(|entries| {
+                let mut t: Vec<(Prefix, AsPath)> = entries
+                    .iter()
+                    .map(|&(i, path)| (p(i), path.parse().unwrap()))
+                    .collect();
+                t.sort_by_key(|(pr, _)| *pr);
+                t
+            })
+            .collect();
+        crate::atom::compute_atoms(&SanitizedSnapshot {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            peers,
+            tables,
+            report: SanitizeReport::default(),
+        })
+    }
+
+    #[test]
+    fn no_change_no_splits() {
+        let a = build(&[&[(0, "1 9"), (1, "1 9")], &[(0, "2 9"), (1, "2 9")]]);
+        let events = detect_splits(&a, &a, &a);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn split_observed_by_one_peer() {
+        let before = build(&[&[(0, "1 9"), (1, "1 9")], &[(0, "2 9"), (1, "2 9")]]);
+        // Peer 1 (index 0) now sees different paths for the two prefixes;
+        // peer 2 unchanged.
+        let after = build(&[&[(0, "1 9"), (1, "1 5 9")], &[(0, "2 9"), (1, "2 9")]]);
+        let events = detect_splits(&before, &before, &after);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].fragments, 2);
+        assert_eq!(events[0].observer_count(), 1);
+        assert_eq!(events[0].observers[0].asn, Asn(1));
+    }
+
+    #[test]
+    fn split_observed_by_all_peers() {
+        let before = build(&[&[(0, "1 9"), (1, "1 9")], &[(0, "2 9"), (1, "2 9")]]);
+        let after = build(&[
+            &[(0, "1 9"), (1, "1 5 9")],
+            &[(0, "2 9"), (1, "2 5 9")],
+        ]);
+        let events = detect_splits(&before, &before, &after);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].observer_count(), 2);
+    }
+
+    #[test]
+    fn vanished_prefix_counts_as_fragment() {
+        let before = build(&[&[(0, "1 9"), (1, "1 9")]]);
+        let after = build(&[&[(0, "1 9")]]); // prefix 1 gone entirely
+        let events = detect_splits(&before, &before, &after);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].fragments, 2);
+        // Peer 1 sees prefix 0 with a path and prefix 1 absent: observer.
+        assert_eq!(events[0].observer_count(), 1);
+    }
+
+    #[test]
+    fn atom_must_be_stable_across_t0_t1() {
+        let t0 = build(&[&[(0, "1 9"), (1, "1 5 9")]]); // already apart at t0
+        let t1 = build(&[&[(0, "1 9"), (1, "1 9")]]);
+        let t2 = build(&[&[(0, "1 9"), (1, "1 5 9")]]);
+        // The {0,1} atom exists only at t1, not t0 ⇒ not "present in t and
+        // t+1" ⇒ no event.
+        let events = detect_splits(&t0, &t1, &t2);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn merges_are_ignored() {
+        let before = build(&[&[(0, "1 9"), (1, "1 5 9")]]); // two atoms
+        let after = build(&[&[(0, "1 9"), (1, "1 9")]]); // merged
+        let events = detect_splits(&before, &before, &after);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn daily_breakdown() {
+        let day = SimTime::from_unix(86_400);
+        let peer1 = PeerKey::new(Asn(1), "10.0.0.1".parse().unwrap());
+        let peer2 = PeerKey::new(Asn(2), "10.0.0.2".parse().unwrap());
+        let ev = |observers: Vec<PeerKey>| SplitEvent {
+            seen_at: day,
+            prefixes: vec![p(0), p(1)],
+            fragments: 2,
+            observers,
+        };
+        let events = vec![
+            ev(vec![peer1]),
+            ev(vec![peer1]),
+            ev(vec![peer2]),
+            ev(vec![peer1, peer2]),
+        ];
+        let b = DailySplitBreakdown::from_events(day, &events);
+        assert_eq!(b.total, 4);
+        assert_eq!(b.multi_observer, 1);
+        assert_eq!(b.single_observer(), 3);
+        assert_eq!(b.single_observer_by_peer[0], (peer1, 2));
+        assert_eq!(b.single_observer_by_peer[1], (peer2, 1));
+    }
+
+    #[test]
+    fn observer_cdf_shape() {
+        let day = SimTime::from_unix(0);
+        let peer1 = PeerKey::new(Asn(1), "10.0.0.1".parse().unwrap());
+        let peer2 = PeerKey::new(Asn(2), "10.0.0.2".parse().unwrap());
+        let ev = |observers: Vec<PeerKey>| SplitEvent {
+            seen_at: day,
+            prefixes: vec![],
+            fragments: 2,
+            observers,
+        };
+        let events = vec![
+            ev(vec![peer1]),
+            ev(vec![peer1]),
+            ev(vec![peer1, peer2]),
+            ev(vec![]),
+        ];
+        let cdf = observer_cdf(&events);
+        assert_eq!(cdf, vec![(1, 2.0 / 3.0), (2, 1.0)]);
+    }
+
+    fn dummy_atom() -> Atom {
+        Atom {
+            prefixes: vec![p(0)],
+            signature: vec![],
+            origin: None,
+        }
+    }
+
+    #[test]
+    fn single_prefix_atoms_cannot_split() {
+        let mut set = build(&[&[(0, "1 9")]]);
+        set.atoms = vec![dummy_atom()];
+        let events = detect_splits(&set, &set, &set);
+        assert!(events.is_empty());
+    }
+}

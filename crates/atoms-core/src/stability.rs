@@ -1,0 +1,213 @@
+//! Stability of policy atoms (§3.5, §4.4, §5.2).
+//!
+//! Two metrics, following Afek et al.:
+//!
+//! * **CAM** (complete atom match): the fraction of atoms at `t2` whose
+//!   exact prefix set also forms an atom at `t1`, normalized by `|A_t1|`.
+//! * **MPM** (maximized prefix match): a greedy one-to-one mapping
+//!   `φ : A_t1 → A_t2` maximizing total prefix overlap;
+//!   `MPM = Σ |Prefix(a) ∩ Prefix(φ(a))| / Σ |Prefix(a)|` over `a ∈ A_t1` —
+//!   the share of prefixes that stayed grouped even when atoms split or
+//!   merged.
+
+use crate::atom::AtomSet;
+use bgp_types::Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Both stability metrics for one snapshot pair, in percent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StabilityPair {
+    /// Complete atom match, %.
+    pub cam_pct: f64,
+    /// Maximized prefix match, %.
+    pub mpm_pct: f64,
+}
+
+/// Complete atom match between two snapshots, in percent.
+pub fn cam(t1: &AtomSet, t2: &AtomSet) -> f64 {
+    if t1.atoms.is_empty() {
+        // Two empty populations are vacuously identical; an empty baseline
+        // compared against a non-empty one is fully unstable.
+        return if t2.atoms.is_empty() { 100.0 } else { 0.0 };
+    }
+    let sets_t1: HashSet<&[Prefix]> = t1
+        .atoms
+        .iter()
+        .map(|a| a.prefixes.as_slice())
+        .collect();
+    let matched = t2
+        .atoms
+        .iter()
+        .filter(|a| sets_t1.contains(a.prefixes.as_slice()))
+        .count();
+    100.0 * matched as f64 / t1.atoms.len() as f64
+}
+
+/// Maximized prefix match between two snapshots, in percent (greedy
+/// assignment, as in the paper).
+pub fn mpm(t1: &AtomSet, t2: &AtomSet) -> f64 {
+    let total: usize = t1.prefix_count();
+    if total == 0 {
+        return 0.0;
+    }
+    // Overlap counts per (atom1, atom2) pair via the t2 membership map.
+    let t2_of = t2.prefix_to_atom();
+    let mut overlaps: HashMap<(u32, u32), u32> = HashMap::new();
+    for (i, atom) in t1.atoms.iter().enumerate() {
+        for p in &atom.prefixes {
+            if let Some(&j) = t2_of.get(p) {
+                *overlaps.entry((i as u32, j)).or_default() += 1;
+            }
+        }
+    }
+    // Greedy: largest overlap first. Ties are broken by the atoms' first
+    // prefixes — an *intrinsic* key — so the result does not depend on the
+    // order atoms happen to be stored in (the paper's greedy is otherwise
+    // underspecified).
+    let mut triples: Vec<(u32, Prefix, Prefix, u32, u32)> = overlaps
+        .into_iter()
+        .map(|((i, j), c)| {
+            (
+                c,
+                t1.atoms[i as usize].prefixes[0],
+                t2.atoms[j as usize].prefixes[0],
+                i,
+                j,
+            )
+        })
+        .collect();
+    triples.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut used1 = vec![false; t1.atoms.len()];
+    let mut used2 = vec![false; t2.atoms.len()];
+    let mut matched: u64 = 0;
+    for (c, _, _, i, j) in triples {
+        if used1[i as usize] || used2[j as usize] {
+            continue;
+        }
+        used1[i as usize] = true;
+        used2[j as usize] = true;
+        matched += c as u64;
+    }
+    100.0 * matched as f64 / total as f64
+}
+
+/// Convenience: both metrics at once.
+pub fn stability(t1: &AtomSet, t2: &AtomSet) -> StabilityPair {
+    StabilityPair {
+        cam_pct: cam(t1, t2),
+        mpm_pct: mpm(t1, t2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use bgp_types::{Asn, Family, SimTime};
+
+    fn p(i: u32) -> Prefix {
+        Prefix::v4((10 << 24) | (i << 8), 24).unwrap()
+    }
+
+    fn set(groups: &[&[u32]]) -> AtomSet {
+        AtomSet {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            peers: vec![],
+            paths: vec![],
+            atoms: groups
+                .iter()
+                .map(|ids| Atom {
+                    prefixes: ids.iter().map(|&i| p(i)).collect(),
+                    signature: vec![],
+                    origin: Some(Asn(1)),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_sets_are_fully_stable() {
+        let a = set(&[&[0, 1], &[2], &[3, 4, 5]]);
+        let b = set(&[&[0, 1], &[2], &[3, 4, 5]]);
+        assert_eq!(cam(&a, &b), 100.0);
+        assert_eq!(mpm(&a, &b), 100.0);
+        let s = stability(&a, &b);
+        assert_eq!((s.cam_pct, s.mpm_pct), (100.0, 100.0));
+    }
+
+    #[test]
+    fn cam_counts_matches_over_t1_size() {
+        // t1: {0,1}, {2}. t2: {0,1}, {2}, {3} — numerator counts t2 atoms
+        // present in t1 (2), denominator |A_t1| = 2.
+        let t1 = set(&[&[0, 1], &[2]]);
+        let t2 = set(&[&[0, 1], &[2], &[3]]);
+        assert_eq!(cam(&t1, &t2), 100.0);
+        // Reversed: only 2 of t1's... numerator = t1-side atoms present in
+        // t2? No: atoms of the *second* argument found in the first,
+        // normalized by the first's count.
+        let r = cam(&t2, &t1);
+        assert!((r - 100.0 * 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_atom_fails_cam_but_keeps_most_prefixes_in_mpm() {
+        // One 4-prefix atom splits into 3+1.
+        let t1 = set(&[&[0, 1, 2, 3]]);
+        let t2 = set(&[&[0, 1, 2], &[3]]);
+        assert_eq!(cam(&t1, &t2), 0.0);
+        // Greedy maps {0,1,2,3} → {0,1,2}: 3 of 4 prefixes stay together.
+        assert_eq!(mpm(&t1, &t2), 75.0);
+    }
+
+    #[test]
+    fn merged_atoms_in_mpm() {
+        // Two atoms merge: φ is one-to-one, so only one can map to the
+        // merged atom; the other contributes nothing.
+        let t1 = set(&[&[0, 1], &[2, 3]]);
+        let t2 = set(&[&[0, 1, 2, 3]]);
+        assert_eq!(mpm(&t1, &t2), 50.0);
+        assert_eq!(cam(&t1, &t2), 0.0);
+    }
+
+    #[test]
+    fn greedy_prefers_larger_overlap() {
+        // t1 a={0,1,2}, b={3}. t2 x={0,1,3}, y={2}.
+        // Overlaps: (a,x)=2, (a,y)=1, (b,x)=1.
+        // Greedy: a→x (2), then b is left with nothing free but… x used,
+        // so b unmatched. Total = 2/4.
+        let t1 = set(&[&[0, 1, 2], &[3]]);
+        let t2 = set(&[&[0, 1, 3], &[2]]);
+        assert_eq!(mpm(&t1, &t2), 50.0);
+    }
+
+    #[test]
+    fn disjoint_sets_are_fully_unstable() {
+        let t1 = set(&[&[0, 1]]);
+        let t2 = set(&[&[5, 6]]);
+        assert_eq!(cam(&t1, &t2), 0.0);
+        assert_eq!(mpm(&t1, &t2), 0.0);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let empty = set(&[]);
+        let full = set(&[&[0]]);
+        assert_eq!(cam(&empty, &full), 0.0);
+        assert_eq!(mpm(&empty, &full), 0.0);
+        assert_eq!(cam(&full, &empty), 0.0);
+        assert_eq!(mpm(&full, &empty), 0.0);
+        assert_eq!(cam(&empty, &empty), 100.0, "vacuously identical");
+    }
+
+    #[test]
+    fn mpm_is_deterministic_under_ties() {
+        let t1 = set(&[&[0, 1], &[2, 3]]);
+        let t2 = set(&[&[0, 2], &[1, 3]]);
+        let a = mpm(&t1, &t2);
+        let b = mpm(&t1, &t2);
+        assert_eq!(a, b);
+        assert_eq!(a, 50.0); // each mapping recovers one prefix per atom
+    }
+}

@@ -1,0 +1,225 @@
+//! General statistics for ASes and atoms (§3.2, §4.1, §5.1).
+//!
+//! Produces the rows of Tables 1 and 4 and the distributions behind
+//! Figures 2, 8, and 14.
+
+use crate::atom::AtomSet;
+use bgp_types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The general-statistics rows of Tables 1 and 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneralStats {
+    /// Total prefixes across atoms.
+    pub n_prefixes: usize,
+    /// Distinct (unambiguous) origin ASes.
+    pub n_ases: usize,
+    /// ASes whose prefixes form exactly one atom.
+    pub n_single_atom_ases: usize,
+    /// Total atoms.
+    pub n_atoms: usize,
+    /// Atoms holding exactly one prefix.
+    pub n_single_prefix_atoms: usize,
+    /// Mean prefixes per atom.
+    pub mean_atom_size: f64,
+    /// 99th percentile of atom size.
+    pub p99_atom_size: usize,
+    /// Largest atom.
+    pub max_atom_size: usize,
+    /// Atoms excluded from per-AS rows because their origin conflicts
+    /// across vantage points (MOAS artifacts).
+    pub origin_conflict_atoms: usize,
+}
+
+impl GeneralStats {
+    /// Share of single-atom ASes (0–1).
+    pub fn single_atom_as_share(&self) -> f64 {
+        if self.n_ases == 0 {
+            0.0
+        } else {
+            self.n_single_atom_ases as f64 / self.n_ases as f64
+        }
+    }
+
+    /// Share of single-prefix atoms (0–1).
+    pub fn single_prefix_atom_share(&self) -> f64 {
+        if self.n_atoms == 0 {
+            0.0
+        } else {
+            self.n_single_prefix_atoms as f64 / self.n_atoms as f64
+        }
+    }
+}
+
+/// Computes the Table 1 / Table 4 rows.
+pub fn general_stats(atoms: &AtomSet) -> GeneralStats {
+    let n_atoms = atoms.len();
+    let n_prefixes = atoms.prefix_count();
+    let n_single_prefix_atoms = atoms.atoms.iter().filter(|a| a.size() == 1).count();
+    let by_origin = atoms.atoms_by_origin();
+    let n_ases = by_origin.len();
+    let n_single_atom_ases = by_origin.values().filter(|v| v.len() == 1).count();
+    let mut sizes: Vec<usize> = atoms.atoms.iter().map(|a| a.size()).collect();
+    sizes.sort_unstable();
+    let p99_atom_size = percentile(&sizes, 0.99);
+    let max_atom_size = sizes.last().copied().unwrap_or(0);
+    GeneralStats {
+        n_prefixes,
+        n_ases,
+        n_single_atom_ases,
+        n_atoms,
+        n_single_prefix_atoms,
+        mean_atom_size: if n_atoms == 0 {
+            0.0
+        } else {
+            n_prefixes as f64 / n_atoms as f64
+        },
+        p99_atom_size,
+        max_atom_size,
+        origin_conflict_atoms: atoms.origin_conflicts(),
+    }
+}
+
+/// `q`-th percentile (0–1) of pre-sorted values, nearest-rank.
+fn percentile(sorted: &[usize], q: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Atoms-per-AS sample (one value per origin AS) — Fig 2/8 left.
+pub fn atoms_per_as(atoms: &AtomSet) -> Vec<usize> {
+    atoms.atoms_by_origin().values().map(Vec::len).collect()
+}
+
+/// Prefixes-per-atom sample (one value per atom) — Fig 2/8 right.
+pub fn prefixes_per_atom(atoms: &AtomSet) -> Vec<usize> {
+    atoms.atoms.iter().map(|a| a.size()).collect()
+}
+
+/// Distinct-prefixes-per-AS sample — Fig 14's third curve.
+pub fn prefixes_per_as(atoms: &AtomSet) -> Vec<usize> {
+    let mut per_as: BTreeMap<Asn, usize> = BTreeMap::new();
+    for atom in &atoms.atoms {
+        if let Some(origin) = atom.origin {
+            *per_as.entry(origin).or_default() += atom.size();
+        }
+    }
+    per_as.into_values().collect()
+}
+
+/// An empirical CDF over positive integer samples: `(value, cumulative
+/// share ≤ value)` at each distinct value.
+pub fn cdf(samples: &[usize]) -> Vec<(usize, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut out: Vec<(usize, f64)> = Vec::new();
+    for (i, v) in sorted.iter().enumerate() {
+        match out.last_mut() {
+            Some((last, share)) if last == v => *share = (i + 1) as f64 / n,
+            _ => out.push((*v, (i + 1) as f64 / n)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use bgp_types::{Family, Prefix, SimTime};
+
+    fn atom(prefix_start: u32, size: usize, origin: Option<u32>) -> Atom {
+        Atom {
+            prefixes: (0..size as u32)
+                .map(|i| Prefix::v4((10 << 24) | ((prefix_start + i) << 8), 24).unwrap())
+                .collect(),
+            signature: vec![],
+            origin: origin.map(Asn),
+        }
+    }
+
+    fn set(atoms: Vec<Atom>) -> AtomSet {
+        AtomSet {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            peers: vec![],
+            paths: vec![],
+            atoms,
+        }
+    }
+
+    #[test]
+    fn table_rows() {
+        // AS 1: two atoms (sizes 3, 1); AS 2: one atom (size 1);
+        // one MOAS-conflicted atom (size 2).
+        let atoms = set(vec![
+            atom(0, 3, Some(1)),
+            atom(10, 1, Some(1)),
+            atom(20, 1, Some(2)),
+            atom(30, 2, None),
+        ]);
+        let s = general_stats(&atoms);
+        assert_eq!(s.n_prefixes, 7);
+        assert_eq!(s.n_atoms, 4);
+        assert_eq!(s.n_ases, 2);
+        assert_eq!(s.n_single_atom_ases, 1);
+        assert_eq!(s.n_single_prefix_atoms, 2);
+        assert!((s.mean_atom_size - 1.75).abs() < 1e-9);
+        assert_eq!(s.max_atom_size, 3);
+        assert_eq!(s.origin_conflict_atoms, 1);
+        assert!((s.single_atom_as_share() - 0.5).abs() < 1e-9);
+        assert!((s.single_prefix_atom_share() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<usize> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&v, 0.5), 50);
+        assert_eq!(percentile(&[], 0.99), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn distributions() {
+        let atoms = set(vec![
+            atom(0, 3, Some(1)),
+            atom(10, 1, Some(1)),
+            atom(20, 1, Some(2)),
+        ]);
+        let mut apa = atoms_per_as(&atoms);
+        apa.sort_unstable();
+        assert_eq!(apa, vec![1, 2]);
+        let mut ppa = prefixes_per_atom(&atoms);
+        ppa.sort_unstable();
+        assert_eq!(ppa, vec![1, 1, 3]);
+        let mut ppas = prefixes_per_as(&atoms);
+        ppas.sort_unstable();
+        assert_eq!(ppas, vec![1, 4]);
+    }
+
+    #[test]
+    fn cdf_shape() {
+        let c = cdf(&[1, 1, 2, 4]);
+        assert_eq!(c, vec![(1, 0.5), (2, 0.75), (4, 1.0)]);
+        assert!(cdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_set_is_all_zero() {
+        let s = general_stats(&set(vec![]));
+        assert_eq!(s.n_atoms, 0);
+        assert_eq!(s.mean_atom_size, 0.0);
+        assert_eq!(s.single_atom_as_share(), 0.0);
+        assert_eq!(s.single_prefix_atom_share(), 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Correlation of atom structure with BGP UPDATE records (§3.3, §4.2, §5.3).
+//!
+//! For every group (atom or AS) of `k` prefixes and every update record
+//! that mentions at least one of them:
+//!
+//! * **full**: all `k` prefixes appear in the record;
+//! * **partial**: some but not all appear.
+//!
+//! `Pr_full(k) = Σ N_all / Σ (N_all + N_partial)` aggregated over groups of
+//! size `k` — the curves of Figures 3, 10, and 15. AS curves come in three
+//! flavours: all ASes, ASes with at least one multi-prefix atom, and ASes
+//! whose atoms are all single-prefix (the paper's "nearly zero" curve).
+
+use crate::atom::AtomSet;
+use bgp_types::{Asn, Prefix, UpdateRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// One point of a correlation curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Group size (number of prefixes).
+    pub k: usize,
+    /// Probability of being seen in full, in percent (0–100).
+    pub pr_full_pct: f64,
+    /// Number of (group, record) touch events aggregated.
+    pub touches: u64,
+}
+
+/// A full correlation curve, indexed by group size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CorrelationCurve {
+    /// Points for k = 1..=max observed, in order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl CorrelationCurve {
+    /// The percentage at size `k`, if observed.
+    pub fn at(&self, k: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.k == k)
+            .map(|p| p.pr_full_pct)
+    }
+}
+
+/// All four curves of Fig. 3 / Fig. 10.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CorrelationReport {
+    /// Atoms with k prefixes.
+    pub atoms: CorrelationCurve,
+    /// ASes with k prefixes.
+    pub ases: CorrelationCurve,
+    /// ASes with at least one atom of size > 1.
+    pub ases_with_multi_atom: CorrelationCurve,
+    /// ASes whose atoms are all single-prefix.
+    pub ases_all_singleton: CorrelationCurve,
+}
+
+#[derive(Default)]
+struct Tally {
+    /// Per group size: (full count, touch count).
+    by_k: BTreeMap<usize, (u64, u64)>,
+}
+
+impl Tally {
+    fn record(&mut self, k: usize, full: bool) {
+        let e = self.by_k.entry(k).or_default();
+        e.1 += 1;
+        if full {
+            e.0 += 1;
+        }
+    }
+
+    fn curve(&self, max_k: usize) -> CorrelationCurve {
+        CorrelationCurve {
+            points: self
+                .by_k
+                .iter()
+                .filter(|(k, _)| **k <= max_k)
+                .map(|(&k, &(full, touches))| CurvePoint {
+                    k,
+                    pr_full_pct: if touches == 0 {
+                        0.0
+                    } else {
+                        100.0 * full as f64 / touches as f64
+                    },
+                    touches,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Runs the correlation analysis.
+///
+/// `max_k` bounds the reported curve (the paper plots k ≤ 7, which already
+/// covers 95 % of atoms in 2024); groups larger than `max_k` are still
+/// tallied internally but not reported.
+pub fn correlate(
+    atoms: &AtomSet,
+    updates: &[UpdateRecord],
+    max_k: usize,
+) -> CorrelationReport {
+    // Group memberships.
+    let prefix_atom = atoms.prefix_to_atom();
+    let atom_size: Vec<usize> = atoms.atoms.iter().map(|a| a.size()).collect();
+
+    let mut as_prefixes: BTreeMap<Asn, usize> = BTreeMap::new();
+    let mut as_has_multi_atom: BTreeMap<Asn, bool> = BTreeMap::new();
+    let mut prefix_as: HashMap<Prefix, Asn> = HashMap::new();
+    for atom in &atoms.atoms {
+        let Some(origin) = atom.origin else { continue };
+        *as_prefixes.entry(origin).or_default() += atom.size();
+        let multi = as_has_multi_atom.entry(origin).or_default();
+        *multi = *multi || atom.size() > 1;
+        for &p in &atom.prefixes {
+            prefix_as.insert(p, origin);
+        }
+    }
+    let as_index: HashMap<Asn, u32> = as_prefixes
+        .keys()
+        .enumerate()
+        .map(|(i, &a)| (a, i as u32))
+        .collect();
+    let as_size: Vec<usize> = as_prefixes.values().copied().collect();
+    let as_multi: Vec<bool> = as_prefixes
+        .keys()
+        .map(|a| as_has_multi_atom[a])
+        .collect();
+
+    let mut atom_tally = Tally::default();
+    let mut as_tally = Tally::default();
+    let mut as_multi_tally = Tally::default();
+    let mut as_single_tally = Tally::default();
+
+    let mut touched_atoms: HashMap<u32, usize> = HashMap::new();
+    let mut touched_ases: HashMap<u32, usize> = HashMap::new();
+    for record in updates {
+        touched_atoms.clear();
+        touched_ases.clear();
+        // Dedup the record's prefixes: a withdraw+announce of one prefix in
+        // one message must count once.
+        let mut prefixes: Vec<Prefix> = record.prefixes().collect();
+        prefixes.sort();
+        prefixes.dedup();
+        for p in prefixes {
+            if let Some(&a) = prefix_atom.get(&p) {
+                *touched_atoms.entry(a).or_default() += 1;
+            }
+            if let Some(&asn) = prefix_as.get(&p) {
+                *touched_ases.entry(as_index[&asn]).or_default() += 1;
+            }
+        }
+        for (&a, &cnt) in &touched_atoms {
+            let k = atom_size[a as usize];
+            atom_tally.record(k, cnt >= k);
+        }
+        for (&a, &cnt) in &touched_ases {
+            let k = as_size[a as usize];
+            let full = cnt >= k;
+            as_tally.record(k, full);
+            if as_multi[a as usize] {
+                as_multi_tally.record(k, full);
+            } else {
+                as_single_tally.record(k, full);
+            }
+        }
+    }
+
+    CorrelationReport {
+        atoms: atom_tally.curve(max_k),
+        ases: as_tally.curve(max_k),
+        ases_with_multi_atom: as_multi_tally.curve(max_k),
+        ases_all_singleton: as_single_tally.curve(max_k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use bgp_types::{Family, PeerKey, RouteAttrs, SimTime};
+
+    fn p(i: u32) -> Prefix {
+        Prefix::v4((10 << 24) | (i << 8), 24).unwrap()
+    }
+
+    fn atom_of(ids: &[u32], origin: u32) -> Atom {
+        Atom {
+            prefixes: ids.iter().map(|&i| p(i)).collect(),
+            signature: vec![],
+            origin: Some(Asn(origin)),
+        }
+    }
+
+    fn peer() -> PeerKey {
+        PeerKey::new(Asn(3356), "10.0.0.1".parse().unwrap())
+    }
+
+    fn announce(ids: &[u32]) -> UpdateRecord {
+        UpdateRecord::announce(
+            SimTime::from_unix(0),
+            peer(),
+            ids.iter().map(|&i| p(i)).collect(),
+            RouteAttrs::default(),
+        )
+    }
+
+    fn atoms() -> AtomSet {
+        // AS 1: atoms {0,1} and {2}; AS 2: atoms {3} and {4} (all single).
+        AtomSet {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            peers: vec![],
+            paths: vec![],
+            atoms: vec![
+                atom_of(&[0, 1], 1),
+                atom_of(&[2], 1),
+                atom_of(&[3], 2),
+                atom_of(&[4], 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn full_and_partial_counting() {
+        let set = atoms();
+        let updates = vec![
+            announce(&[0, 1]), // atom {0,1} full; AS1 partial (2 of 3)
+            announce(&[0]),    // atom {0,1} partial; AS1 partial
+            announce(&[2]),    // atom {2} full; AS1 partial
+        ];
+        let r = correlate(&set, &updates, 8);
+        // Atom size 2: 1 full of 2 touches.
+        assert_eq!(r.atoms.at(2), Some(50.0));
+        // Atom size 1: {2} touched once, full.
+        assert_eq!(r.atoms.at(1), Some(100.0));
+        // AS 1 (size 3): 3 touches, none full.
+        assert_eq!(r.ases.at(3), Some(0.0));
+        assert_eq!(r.ases_with_multi_atom.at(3), Some(0.0));
+        assert!(r.ases_all_singleton.at(3).is_none());
+    }
+
+    #[test]
+    fn as_seen_in_full() {
+        let set = atoms();
+        let updates = vec![announce(&[0, 1, 2])];
+        let r = correlate(&set, &updates, 8);
+        assert_eq!(r.ases.at(3), Some(100.0));
+        assert_eq!(r.atoms.at(2), Some(100.0));
+        assert_eq!(r.atoms.at(1), Some(100.0));
+    }
+
+    #[test]
+    fn singleton_as_category() {
+        let set = atoms();
+        // AS 2 has prefixes {3,4} in two single-prefix atoms.
+        let updates = vec![announce(&[3]), announce(&[3, 4])];
+        let r = correlate(&set, &updates, 8);
+        // AS2 (k=2): touches 2, full once.
+        assert_eq!(r.ases_all_singleton.at(2), Some(50.0));
+        assert!(r.ases_with_multi_atom.at(2).is_none());
+    }
+
+    #[test]
+    fn withdrawals_count_as_mentions() {
+        let set = atoms();
+        let mut rec = announce(&[0]);
+        rec.withdrawn = vec![p(1)];
+        let r = correlate(&set, &[rec], 8);
+        assert_eq!(r.atoms.at(2), Some(100.0), "announce+withdraw covers the atom");
+    }
+
+    #[test]
+    fn duplicate_mentions_are_deduped() {
+        let set = atoms();
+        let mut rec = announce(&[0]);
+        rec.withdrawn = vec![p(0)];
+        let r = correlate(&set, &[rec], 8);
+        assert_eq!(r.atoms.at(2), Some(0.0), "one distinct prefix of two");
+    }
+
+    #[test]
+    fn unknown_prefixes_are_ignored() {
+        let set = atoms();
+        let r = correlate(&set, &[announce(&[99])], 8);
+        assert!(r.atoms.points.is_empty());
+        assert!(r.ases.points.is_empty());
+    }
+
+    #[test]
+    fn max_k_truncates_reporting() {
+        let set = atoms();
+        let r = correlate(&set, &[announce(&[0, 1, 2])], 1);
+        assert!(r.atoms.at(2).is_none());
+        assert!(r.atoms.at(1).is_some());
+    }
+}

@@ -1,0 +1,146 @@
+//! Full-feed vantage point inference (§2.4.2).
+//!
+//! Collector infrastructures do not track which peers send full tables, so
+//! the paper infers it: a peer is **full-feed** if it shares data for more
+//! than 90 % of the maximum unique-prefix count any peer shares in the
+//! snapshot. Figures 12 and 13 plot the resulting threshold and peer count
+//! over the study window.
+
+use bgp_collect::CapturedSnapshot;
+use bgp_types::{PeerKey, Prefix};
+use serde::{Deserialize, Serialize};
+
+/// Per-peer visibility and the inferred full-feed set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VantageReport {
+    /// Maximum unique-prefix count over peers.
+    pub max_prefixes: usize,
+    /// The inferred cut-off (`ratio × max`), i.e. the Fig. 12 series.
+    pub threshold: usize,
+    /// The ratio used (paper: 0.9).
+    pub ratio: f64,
+    /// `(peer, unique prefix count, inferred full-feed)` for every peer,
+    /// in input order.
+    pub per_peer: Vec<(PeerKey, usize, bool)>,
+}
+
+impl VantageReport {
+    /// The inferred full-feed peers, in input order.
+    pub fn full_feed(&self) -> Vec<PeerKey> {
+        self.per_peer
+            .iter()
+            .filter(|(_, _, full)| *full)
+            .map(|(p, _, _)| *p)
+            .collect()
+    }
+
+    /// Number of inferred full-feed peers (the Fig. 13 series).
+    pub fn full_feed_count(&self) -> usize {
+        self.per_peer.iter().filter(|(_, _, full)| *full).count()
+    }
+}
+
+/// Infers full-feed peers with the paper's 90 % rule.
+pub fn infer_full_feed(snap: &CapturedSnapshot) -> VantageReport {
+    infer_full_feed_with_ratio(snap, 0.9)
+}
+
+/// Infers full-feed peers with a custom ratio (sensitivity analyses).
+pub fn infer_full_feed_with_ratio(snap: &CapturedSnapshot, ratio: f64) -> VantageReport {
+    let mut per_peer: Vec<(PeerKey, usize, bool)> = snap
+        .tables
+        .iter()
+        .map(|t| {
+            let mut prefixes: Vec<Prefix> = t.entries.iter().map(|e| e.prefix).collect();
+            prefixes.sort();
+            prefixes.dedup();
+            (t.peer, prefixes.len(), false)
+        })
+        .collect();
+    let max_prefixes = per_peer.iter().map(|&(_, n, _)| n).max().unwrap_or(0);
+    let threshold = (max_prefixes as f64 * ratio).ceil() as usize;
+    for entry in &mut per_peer {
+        entry.2 = entry.1 >= threshold && max_prefixes > 0;
+    }
+    VantageReport {
+        max_prefixes,
+        threshold,
+        ratio,
+        per_peer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_collect::CapturedTable;
+    use bgp_types::{Asn, RibEntry};
+
+    fn snap_with_counts(counts: &[usize]) -> CapturedSnapshot {
+        let tables = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| CapturedTable {
+                collector: 0,
+                peer: PeerKey::new(Asn(i as u32 + 1), format!("10.0.0.{}", i + 1).parse().unwrap()),
+                entries: (0..n as u32)
+                    .map(|k| {
+                        RibEntry::new(
+                            Prefix::v4((10 << 24) | (k << 8), 24).unwrap(),
+                            format!("{} 64496", i + 1).parse().unwrap(),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        CapturedSnapshot {
+            tables,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ninety_percent_rule() {
+        let snap = snap_with_counts(&[1000, 950, 899, 500, 10]);
+        let r = infer_full_feed(&snap);
+        assert_eq!(r.max_prefixes, 1000);
+        assert_eq!(r.threshold, 900);
+        let flags: Vec<bool> = r.per_peer.iter().map(|&(_, _, f)| f).collect();
+        assert_eq!(flags, vec![true, true, false, false, false]);
+        assert_eq!(r.full_feed_count(), 2);
+        assert_eq!(r.full_feed().len(), 2);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_visibility() {
+        let mut snap = snap_with_counts(&[100]);
+        // Duplicate every entry; unique count must stay 100.
+        let dup = snap.tables[0].entries.clone();
+        snap.tables[0].entries.extend(dup);
+        let r = infer_full_feed(&snap);
+        assert_eq!(r.max_prefixes, 100);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let snap = snap_with_counts(&[]);
+        let r = infer_full_feed(&snap);
+        assert_eq!(r.max_prefixes, 0);
+        assert_eq!(r.full_feed_count(), 0);
+    }
+
+    #[test]
+    fn custom_ratio() {
+        let snap = snap_with_counts(&[1000, 700]);
+        let r = infer_full_feed_with_ratio(&snap, 0.5);
+        assert_eq!(r.threshold, 500);
+        assert_eq!(r.full_feed_count(), 2);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let snap = snap_with_counts(&[1000, 900]);
+        let r = infer_full_feed(&snap);
+        assert_eq!(r.full_feed_count(), 2, "exactly 90% counts as full");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the analysis metrics: invariants that must
+//! hold for arbitrary atom populations.
+
+use atoms_core::atom::{Atom, AtomSet};
+use atoms_core::formation::{formation, PrependMethod};
+use atoms_core::stability::{cam, mpm};
+use atoms_core::update_corr::correlate;
+use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, RouteAttrs, SimTime, UpdateRecord};
+use proptest::prelude::*;
+
+fn p(i: u32) -> Prefix {
+    Prefix::v4((10 << 24) | (i << 8), 24).unwrap()
+}
+
+/// A random partition of prefixes 0..n into atoms (sizes drawn from the
+/// partition strategy), all with valid single-peer signatures.
+fn arb_atom_set(max_prefixes: usize) -> impl Strategy<Value = AtomSet> {
+    (1..max_prefixes)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                prop::collection::vec(1usize..5, 1..=n), // group size seeds
+                any::<u64>(),
+            )
+        })
+        .prop_map(|(n, sizes, seed)| {
+            let mut atoms = Vec::new();
+            let mut next = 0u32;
+            let mut paths: Vec<AsPath> = Vec::new();
+            let mut size_iter = sizes.into_iter().cycle();
+            while (next as usize) < n {
+                let size = size_iter.next().expect("cycle never ends");
+                let size = size.min(n - next as usize);
+                let prefixes: Vec<Prefix> = (0..size as u32).map(|i| p(next + i)).collect();
+                next += size as u32;
+                // Distinct paths per atom so signatures differ.
+                let origin = 9000 + (seed % 7) as u32 + atoms.len() as u32 % 5;
+                let path: AsPath = format!("77 {} {}", 100 + atoms.len(), origin)
+                    .parse()
+                    .unwrap();
+                paths.push(path);
+                atoms.push(Atom {
+                    prefixes,
+                    signature: vec![(0, (paths.len() - 1) as u32)],
+                    origin: Some(Asn(origin)),
+                });
+            }
+            AtomSet {
+                timestamp: SimTime::from_unix(0),
+                family: Family::Ipv4,
+                peers: vec![PeerKey::new(Asn(77), "10.0.0.1".parse().unwrap())],
+                paths,
+                atoms,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CAM and MPM are percentages, identical sets score 100, and MPM
+    /// dominates CAM-weighted-by-size intuitions: both within [0, 100].
+    #[test]
+    fn stability_bounds(a in arb_atom_set(60), b in arb_atom_set(60)) {
+        for (x, y) in [(&a, &b), (&b, &a), (&a, &a)] {
+            let c = cam(x, y);
+            let m = mpm(x, y);
+            prop_assert!((0.0..=100.0).contains(&c), "cam {c}");
+            prop_assert!((0.0..=100.0).contains(&m), "mpm {m}");
+        }
+        prop_assert_eq!(cam(&a, &a), 100.0);
+        prop_assert_eq!(mpm(&a, &a), 100.0);
+    }
+
+    /// MPM is invariant under atom reordering of either side.
+    #[test]
+    fn mpm_is_order_invariant(a in arb_atom_set(40), b in arb_atom_set(40), seed in any::<u64>()) {
+        let shuffle = |s: &AtomSet, seed: u64| {
+            let mut s = s.clone();
+            let n = s.atoms.len();
+            for i in (1..n).rev() {
+                let j = (seed.wrapping_mul(i as u64 + 1) % (i as u64 + 1)) as usize;
+                s.atoms.swap(i, j);
+            }
+            s
+        };
+        let base = mpm(&a, &b);
+        prop_assert_eq!(mpm(&shuffle(&a, seed), &b), base);
+        prop_assert_eq!(mpm(&a, &shuffle(&b, seed)), base);
+        let c = cam(&a, &b);
+        prop_assert_eq!(cam(&shuffle(&a, seed), &b), c);
+    }
+
+    /// Formation-distance percentages are a distribution over d ≥ 1 and the
+    /// method (i) regrouping never reports a prepend bucket.
+    #[test]
+    fn formation_is_a_distribution(a in arb_atom_set(60)) {
+        let f = formation(&a, PrependMethod::UniqueOnRaw);
+        if f.n_atoms > 0 {
+            let sum: f64 = f.atom_distance_pct.iter().sum();
+            prop_assert!((sum - 100.0).abs() < 1e-6);
+            for v in &f.atom_distance_pct {
+                prop_assert!((0.0..=100.0).contains(v));
+            }
+            // Cumulative curves are monotone and end at 100.
+            for w in f.atom_distance_cum.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-9);
+            }
+            prop_assert!((f.atom_distance_cum.last().unwrap() - 100.0).abs() < 1e-6);
+        }
+    }
+
+    /// Correlation: percentages within bounds; touches monotone in update
+    /// volume (duplicating the stream doubles touches, keeps Pr_full).
+    #[test]
+    fn correlation_scales_with_volume(a in arb_atom_set(40), picks in prop::collection::vec(0u32..40, 1..20)) {
+        let peer = PeerKey::new(Asn(77), "10.0.0.1".parse().unwrap());
+        let updates: Vec<UpdateRecord> = picks
+            .iter()
+            .map(|&i| {
+                UpdateRecord::announce(
+                    SimTime::from_unix(i as u64),
+                    peer,
+                    vec![p(i % a.prefix_count().max(1) as u32)],
+                    RouteAttrs::default(),
+                )
+            })
+            .collect();
+        let once = correlate(&a, &updates, 10);
+        let mut doubled_stream = updates.clone();
+        doubled_stream.extend(updates.iter().cloned());
+        let twice = correlate(&a, &doubled_stream, 10);
+        for (p1, p2) in once.atoms.points.iter().zip(&twice.atoms.points) {
+            prop_assert_eq!(p1.k, p2.k);
+            prop_assert_eq!(p2.touches, p1.touches * 2);
+            prop_assert!((p1.pr_full_pct - p2.pr_full_pct).abs() < 1e-9);
+            prop_assert!((0.0..=100.0).contains(&p1.pr_full_pct));
+        }
+    }
+}

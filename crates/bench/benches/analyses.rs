@@ -1,0 +1,60 @@
+//! The paper's four analyses as micro-benchmarks: formation distance,
+//! update correlation, CAM/MPM stability, and split detection.
+
+use atoms_core::formation::{formation, PrependMethod};
+use atoms_core::pipeline::{analyze_snapshot, PipelineConfig};
+use atoms_core::splits::detect_splits;
+use atoms_core::stability::{cam, mpm};
+use atoms_core::update_corr::correlate;
+use bgp_collect::{CapturedSnapshot, CapturedUpdates};
+use bgp_sim::{generate_window, Era, Scenario};
+use bgp_types::{Family, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_analyses(c: &mut Criterion) {
+    let date: SimTime = "2016-01-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 200.0));
+    let churn = era.churn;
+    let mut scenario = Scenario::build(era);
+    let cfg = PipelineConfig::default();
+    let base = analyze_snapshot(
+        &CapturedSnapshot::from_sim(&scenario.snapshot(date)),
+        None,
+        &cfg,
+    );
+    let events = generate_window(&mut scenario, date, 4, 1);
+    let updates = CapturedUpdates::from_sim(&events);
+    scenario.perturb_units(churn[0], 1);
+    let later = analyze_snapshot(
+        &CapturedSnapshot::from_sim(&scenario.snapshot(date.plus_hours(8))),
+        None,
+        &cfg,
+    );
+    scenario.perturb_units(churn[1], 2);
+    let latest = analyze_snapshot(
+        &CapturedSnapshot::from_sim(&scenario.snapshot(date.plus_hours(32))),
+        None,
+        &cfg,
+    );
+
+    let mut group = c.benchmark_group("analyses");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(base.atoms.len() as u64));
+    group.bench_function("formation_method_iii", |b| {
+        b.iter(|| formation(&base.atoms, PrependMethod::UniqueOnRaw))
+    });
+    group.throughput(Throughput::Elements(updates.records.len() as u64));
+    group.bench_function("update_correlation", |b| {
+        b.iter(|| correlate(&base.atoms, &updates.records, 7))
+    });
+    group.throughput(Throughput::Elements(base.atoms.len() as u64));
+    group.bench_function("cam", |b| b.iter(|| cam(&base.atoms, &later.atoms)));
+    group.bench_function("mpm_greedy", |b| b.iter(|| mpm(&base.atoms, &later.atoms)));
+    group.bench_function("detect_splits", |b| {
+        b.iter(|| detect_splits(&base.atoms, &later.atoms, &latest.atoms))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyses);
+criterion_main!(benches);

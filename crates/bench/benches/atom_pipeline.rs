@@ -1,0 +1,42 @@
+//! The analysis pipeline's hot path: sanitization and atom computation on
+//! a mid-size captured snapshot.
+
+use atoms_core::atom::compute_atoms;
+use atoms_core::sanitize::{sanitize, SanitizeConfig};
+use bgp_collect::CapturedSnapshot;
+use bgp_sim::{Era, Scenario};
+use bgp_types::{Family, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn captured() -> CapturedSnapshot {
+    let date: SimTime = "2016-01-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 200.0));
+    let mut scenario = Scenario::build(era);
+    CapturedSnapshot::from_sim(&scenario.snapshot(date))
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let snap = captured();
+    let cfg = SanitizeConfig::default();
+    let entries = snap.entry_count();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(entries as u64));
+    group.bench_function("sanitize", |b| b.iter(|| sanitize(&snap, &[], &cfg)));
+
+    let sanitized = sanitize(&snap, &[], &cfg);
+    group.throughput(Throughput::Elements(sanitized.prefix_count() as u64));
+    group.bench_function("compute_atoms", |b| b.iter(|| compute_atoms(&sanitized)));
+
+    group.bench_function("snapshot_capture", |b| {
+        let date: SimTime = "2016-01-15 08:00".parse().unwrap();
+        let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 200.0));
+        let mut scenario = Scenario::build(era);
+        b.iter(|| std::hint::black_box(scenario.snapshot(date)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! MRT wire-format throughput: serialize and parse the RIB dump and update
+//! stream of a mid-size snapshot.
+
+use bgp_collect::capture::{rib_dump_bytes, tables_by_collector, updates_bytes};
+use bgp_mrt::reader::{RibDumpReader, UpdatesReader};
+use bgp_sim::{generate_window, Era, Scenario, SnapshotData};
+use bgp_sim::updates::UpdateEvent;
+use bgp_types::{Family, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn snapshot() -> (SnapshotData, Vec<UpdateEvent>) {
+    let date: SimTime = "2016-01-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 200.0));
+    let mut scenario = Scenario::build(era);
+    let snap = scenario.snapshot(date);
+    let events = generate_window(&mut scenario, date, 4, 1);
+    (snap, events)
+}
+
+fn bench_mrt(c: &mut Criterion) {
+    let (snap, events) = snapshot();
+    let tables = tables_by_collector(&snap);
+    let (_, first_tables) = &tables[0];
+    let entry_count: usize = first_tables.iter().map(|(_, e)| e.len()).sum();
+
+    let mut group = c.benchmark_group("mrt_rib");
+    group.throughput(Throughput::Elements(entry_count as u64));
+    group.bench_function("serialize", |b| {
+        b.iter(|| rib_dump_bytes(snap.timestamp, first_tables).expect("serialize"))
+    });
+    let bytes = rib_dump_bytes(snap.timestamp, first_tables).expect("serialize");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| RibDumpReader::read_all(&bytes[..]).expect("parse"))
+    });
+    group.finish();
+
+    let refs: Vec<&UpdateEvent> = events.iter().collect();
+    let mut group = c.benchmark_group("mrt_updates");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("serialize", |b| {
+        b.iter(|| updates_bytes(&refs, Family::Ipv4).expect("serialize"))
+    });
+    let bytes = updates_bytes(&refs, Family::Ipv4).expect("serialize");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| UpdatesReader::read_all(&bytes[..]).expect("parse"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mrt);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Valley-free propagation throughput: units routed per second over a
+//! mid-size topology, with and without selective-export filtering.
+
+use bgp_sim::policy::{PolicySet, UnitId};
+use bgp_sim::routing::{PropagationCtx, Propagator};
+use bgp_sim::{Era, Topology};
+use bgp_sim::addressing::Allocation;
+use bgp_types::{Family, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn setup() -> (Topology, PolicySet) {
+    let date: SimTime = "2016-01-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 200.0));
+    let topo = Topology::generate(&era.topology);
+    let alloc = Allocation::generate(&topo, &era.addressing);
+    let policy = PolicySet::generate(&topo, &alloc, &era.policy);
+    (topo, policy)
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let (topo, policy) = setup();
+    let propagator = Propagator::new(&topo);
+    let ctx = PropagationCtx::default();
+
+    let plain: Vec<UnitId> = policy
+        .units
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.selective_depth == 0)
+        .map(|(i, _)| i as UnitId)
+        .take(64)
+        .collect();
+    let selective: Vec<UnitId> = policy
+        .units
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.selective_depth > 0)
+        .map(|(i, _)| i as UnitId)
+        .take(64)
+        .collect();
+
+    let mut group = c.benchmark_group("propagation");
+    group.throughput(Throughput::Elements(plain.len() as u64));
+    group.bench_function("plain_units", |b| {
+        b.iter(|| {
+            for &u in &plain {
+                let r = propagator.propagate(&policy.units[u as usize], u, &ctx);
+                std::hint::black_box(r.reachable_count());
+            }
+        })
+    });
+    group.throughput(Throughput::Elements(selective.len() as u64));
+    group.bench_function("selective_units", |b| {
+        b.iter(|| {
+            for &u in &selective {
+                let r = propagator.propagate(&policy.units[u as usize], u, &ctx);
+                std::hint::black_box(r.reachable_count());
+            }
+        })
+    });
+    // Path extraction at a vantage point (the snapshot hot path).
+    let unit = plain[0];
+    let routing = propagator.propagate(&policy.units[unit as usize], unit, &ctx);
+    let vp = (topo.len() / 2) as u32;
+    group.bench_function("path_reconstruction", |b| {
+        b.iter(|| std::hint::black_box(routing.as_path(&topo, vp)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Calibration probe: prints headline metrics for key study dates so era
+//! anchors can be tuned against the paper's targets.
+
+use atoms_core::formation::{formation, PrependMethod};
+use atoms_core::update_corr::correlate;
+use bench::Workbench;
+use bgp_types::Family;
+use std::time::Instant;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(|d| 1.0 / d);
+    let wb = Workbench::new(scale, "results");
+    for (date, family) in [
+        ("2002-01-15 08:00", Family::Ipv4),
+        ("2004-01-15 08:00", Family::Ipv4),
+        ("2024-10-15 08:00", Family::Ipv4),
+        ("2011-01-15 08:00", Family::Ipv6),
+        ("2024-10-15 08:00", Family::Ipv6),
+    ] {
+        let t0 = Instant::now();
+        let prep = wb.prepare(date.parse().unwrap(), family);
+        let build = t0.elapsed();
+        let s = &prep.analysis.stats;
+        let t1 = Instant::now();
+        let f = formation(&prep.analysis.atoms, PrependMethod::UniqueOnRaw);
+        let tf = t1.elapsed();
+        let t2 = Instant::now();
+        let c = correlate(&prep.analysis.atoms, &prep.updates.records, 7);
+        let tc = t2.elapsed();
+        println!("=== {date} {family} (build {build:.1?}, formation {tf:.1?}, corr {tc:.1?})");
+        println!(
+            "  prefixes {} ases {} atoms {} | single-atom-AS {:.1}% single-prefix-atom {:.1}% | mean size {:.2} p99 {} max {}",
+            s.n_prefixes, s.n_ases, s.n_atoms,
+            100.0 * s.single_atom_as_share(), 100.0 * s.single_prefix_atom_share(),
+            s.mean_atom_size, s.p99_atom_size, s.max_atom_size
+        );
+        println!(
+            "  formation d1-d5: {:.0}/{:.0}/{:.0}/{:.0}/{:.0}  d1 breakdown single/missing/prepend: {:.0}/{:.0}/{:.0}",
+            f.at_distance(1), f.at_distance(2), f.at_distance(3), f.at_distance(4), f.at_distance(5),
+            f.d1_breakdown.0, f.d1_breakdown.1, f.d1_breakdown.2
+        );
+        let fmt_curve = |c: &atoms_core::update_corr::CorrelationCurve| -> String {
+            (2..=6).map(|k| c.at(k).map(|v| format!("{v:.0}")).unwrap_or("-".into()))
+                .collect::<Vec<_>>().join("/")
+        };
+        println!(
+            "  corr k=2..6 atoms {} ases {} singletons {}",
+            fmt_curve(&c.atoms), fmt_curve(&c.ases), fmt_curve(&c.ases_all_singleton)
+        );
+        let r = &prep.analysis.sanitized.report;
+        println!(
+            "  sanitize: peers kept {} (partial excl {}, addpath {}, private {}, dup {}), prefixes {}→{} (len {}, coll {}, peerAS {}), moas {} ({:.2}%)",
+            prep.analysis.sanitized.peers.len(), r.excluded_partial_peers,
+            r.removed_addpath_peers.len(), r.removed_private_asn_peers.len(), r.removed_duplicate_peers.len(),
+            r.prefixes_before, r.prefixes_after, r.dropped_by_length, r.dropped_by_collectors, r.dropped_by_peer_ases,
+            r.moas_prefixes, 100.0 * r.moas_prefixes as f64 / r.prefixes_after.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! General statistics: Tables 1 and 4, Figures 2, 8, and 14.
+
+use super::{Comparison, ExperimentOutput};
+use crate::Workbench;
+use atoms_core::report::{count, pct, render_table};
+use atoms_core::stats::{atoms_per_as, cdf, general_stats, prefixes_per_as, prefixes_per_atom};
+use atoms_core::stats::GeneralStats;
+use bgp_types::Family;
+
+fn stats_rows(columns: &[(&str, &GeneralStats)]) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let push = |rows: &mut Vec<Vec<String>>, name: &str, f: &dyn Fn(&GeneralStats) -> String| {
+        let mut row = vec![name.to_string()];
+        for (_, s) in columns {
+            row.push(f(s));
+        }
+        rows.push(row);
+    };
+    push(&mut rows, "Number of prefixes", &|s| count(s.n_prefixes));
+    push(&mut rows, "Number of ASes", &|s| count(s.n_ases));
+    push(&mut rows, "ASes with one atom", &|s| {
+        format!(
+            "{} ({})",
+            count(s.n_single_atom_ases),
+            pct(100.0 * s.single_atom_as_share())
+        )
+    });
+    push(&mut rows, "Number of atoms", &|s| count(s.n_atoms));
+    push(&mut rows, "Atoms with one prefix", &|s| {
+        format!(
+            "{} ({})",
+            count(s.n_single_prefix_atoms),
+            pct(100.0 * s.single_prefix_atom_share())
+        )
+    });
+    push(&mut rows, "Mean atom size", &|s| {
+        format!("{:.2}", s.mean_atom_size)
+    });
+    push(&mut rows, "99th pct atom size", &|s| count(s.p99_atom_size));
+    push(&mut rows, "Largest atom size", &|s| count(s.max_atom_size));
+    rows
+}
+
+/// Table 1: general statistics of atoms, Jan 2004 vs Oct 2024 (IPv4).
+pub fn table1(wb: &Workbench) -> ExperimentOutput {
+    let p04 = wb.prepare("2004-01-15 08:00".parse().unwrap(), Family::Ipv4);
+    let p24 = wb.prepare("2024-10-15 08:00".parse().unwrap(), Family::Ipv4);
+    let (s04, s24) = (&p04.analysis.stats, &p24.analysis.stats);
+    let text = render_table(
+        &["Metric", "Jan 2004", "Oct 2024"],
+        &stats_rows(&[("2004", s04), ("2024", s24)]),
+    );
+    let ratio = |f: &dyn Fn(&GeneralStats) -> f64| f(s24) / f(s04).max(1e-9);
+    let comparison = vec![
+        Comparison::new(
+            "prefix growth 2004→2024",
+            "7.8× (131,526 → 1,028,444)",
+            format!("{:.1}× ({} → {})", ratio(&|s| s.n_prefixes as f64), count(s04.n_prefixes), count(s24.n_prefixes)),
+        ),
+        Comparison::new(
+            "atom growth 2004→2024",
+            "14.1× (34,261 → 483,117)",
+            format!("{:.1}× ({} → {})", ratio(&|s| s.n_atoms as f64), count(s04.n_atoms), count(s24.n_atoms)),
+        ),
+        Comparison::new(
+            "single-atom AS share",
+            "59.5% → 40.4%",
+            format!(
+                "{} → {}",
+                pct(100.0 * s04.single_atom_as_share()),
+                pct(100.0 * s24.single_atom_as_share())
+            ),
+        ),
+        Comparison::new(
+            "single-prefix atom share",
+            "57.7% → 73.5%",
+            format!(
+                "{} → {}",
+                pct(100.0 * s04.single_prefix_atom_share()),
+                pct(100.0 * s24.single_prefix_atom_share())
+            ),
+        ),
+        Comparison::new(
+            "mean atom size",
+            "3.84 → 2.13",
+            format!("{:.2} → {:.2}", s04.mean_atom_size, s24.mean_atom_size),
+        ),
+        Comparison::new(
+            "99th percentile atom size",
+            "40 → 17 (shrinks)",
+            format!("{} → {}", s04.p99_atom_size, s24.p99_atom_size),
+        ),
+        Comparison::new(
+            "largest atom",
+            "1,020 → 3,072 (grows ~3×)",
+            format!("{} → {}", s04.max_atom_size, s24.max_atom_size),
+        ),
+    ];
+    ExperimentOutput {
+        id: "table1".into(),
+        title: "Table 1: general statistics of atoms, 2004 vs 2024 (IPv4)".into(),
+        text,
+        json: serde_json::json!({"2004": s04, "2024": s24}),
+        comparison,
+    }
+}
+
+/// Table 4: IPv4 vs IPv6 general statistics.
+pub fn table4(wb: &Workbench) -> ExperimentOutput {
+    let v4 = wb.prepare("2024-10-15 08:00".parse().unwrap(), Family::Ipv4);
+    let v6_24 = wb.prepare("2024-10-15 08:00".parse().unwrap(), Family::Ipv6);
+    let v6_11 = wb.prepare("2011-01-15 08:00".parse().unwrap(), Family::Ipv6);
+    let (s4, s624, s611) = (
+        &v4.analysis.stats,
+        &v6_24.analysis.stats,
+        &v6_11.analysis.stats,
+    );
+    let text = render_table(
+        &["Metric", "v4 (2024)", "v6 (2024)", "v6 (2011)"],
+        &stats_rows(&[("v4", s4), ("v6-24", s624), ("v6-11", s611)]),
+    );
+    let comparison = vec![
+        Comparison::new(
+            "v6 single-atom AS share 2011→2024",
+            "87.1% → 65.3% (falls)",
+            format!(
+                "{} → {}",
+                pct(100.0 * s611.single_atom_as_share()),
+                pct(100.0 * s624.single_atom_as_share())
+            ),
+        ),
+        Comparison::new(
+            "v6 mean atom size 2011→2024",
+            "1.20 → 2.41 (rises past v4's 2.13)",
+            format!(
+                "{:.2} → {:.2} (v4: {:.2})",
+                s611.mean_atom_size, s624.mean_atom_size, s4.mean_atom_size
+            ),
+        ),
+        Comparison::new(
+            "largest v6 atom approaches v4's",
+            "2,317 vs 3,072 (same order)",
+            format!("{} vs {}", s624.max_atom_size, s4.max_atom_size),
+        ),
+        Comparison::new(
+            "v6 single-prefix atom share 2011→2024",
+            "92.5% → 77.6% (falls)",
+            format!(
+                "{} → {}",
+                pct(100.0 * s611.single_prefix_atom_share()),
+                pct(100.0 * s624.single_prefix_atom_share())
+            ),
+        ),
+    ];
+    ExperimentOutput {
+        id: "table4".into(),
+        title: "Table 4: general statistics, IPv4 vs IPv6".into(),
+        text,
+        json: serde_json::json!({"v4_2024": s4, "v6_2024": s624, "v6_2011": s611}),
+        comparison,
+    }
+}
+
+fn cdf_summary(name: &str, samples: &[usize]) -> String {
+    let c = cdf(samples);
+    let share_le = |v: usize| {
+        c.iter()
+            .take_while(|&&(x, _)| x <= v)
+            .last()
+            .map(|&(_, s)| 100.0 * s)
+            .unwrap_or(0.0)
+    };
+    format!(
+        "{name}: n={} | ≤1 {:.1}% ≤2 {:.1}% ≤4 {:.1}% ≤8 {:.1}% ≤16 {:.1}% | max {}",
+        samples.len(),
+        share_le(1),
+        share_le(2),
+        share_le(4),
+        share_le(8),
+        share_le(16),
+        samples.iter().max().copied().unwrap_or(0)
+    )
+}
+
+/// Fig 2: distributions of atoms-per-AS and prefixes-per-atom, 2004 vs 2024.
+pub fn fig2(wb: &Workbench) -> ExperimentOutput {
+    let p04 = wb.prepare("2004-01-15 08:00".parse().unwrap(), Family::Ipv4);
+    let p24 = wb.prepare("2024-10-15 08:00".parse().unwrap(), Family::Ipv4);
+    let apa04 = atoms_per_as(&p04.analysis.atoms);
+    let apa24 = atoms_per_as(&p24.analysis.atoms);
+    let ppa04 = prefixes_per_atom(&p04.analysis.atoms);
+    let ppa24 = prefixes_per_atom(&p24.analysis.atoms);
+    let text = [
+        cdf_summary("atoms/AS 2004", &apa04),
+        cdf_summary("atoms/AS 2024", &apa24),
+        cdf_summary("prefixes/atom 2004", &ppa04),
+        cdf_summary("prefixes/atom 2024", &ppa24),
+    ]
+    .join("\n")
+        + "\n";
+    let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;
+    let comparison = vec![
+        Comparison::new(
+            "atoms-per-AS CDF shifts right 2004→2024",
+            "2024 has more atoms per AS",
+            format!("mean {:.2} → {:.2}", mean(&apa04), mean(&apa24)),
+        ),
+        Comparison::new(
+            "prefixes-per-atom CDF shifts left 2004→2024",
+            "2024 has fewer prefixes per atom",
+            format!("mean {:.2} → {:.2}", mean(&ppa04), mean(&ppa24)),
+        ),
+    ];
+    ExperimentOutput {
+        id: "fig2".into(),
+        title: "Fig 2: atoms per AS and prefixes per atom, 2004 vs 2024".into(),
+        text,
+        json: serde_json::json!({
+            "atoms_per_as": {"2004": cdf(&apa04), "2024": cdf(&apa24)},
+            "prefixes_per_atom": {"2004": cdf(&ppa04), "2024": cdf(&ppa24)},
+        }),
+        comparison,
+    }
+}
+
+/// Fig 8: the same distributions, IPv4 vs IPv6 (2024).
+pub fn fig8(wb: &Workbench) -> ExperimentOutput {
+    let v4 = wb.prepare("2024-10-15 08:00".parse().unwrap(), Family::Ipv4);
+    let v6 = wb.prepare("2024-10-15 08:00".parse().unwrap(), Family::Ipv6);
+    let apa4 = atoms_per_as(&v4.analysis.atoms);
+    let apa6 = atoms_per_as(&v6.analysis.atoms);
+    let ppa4 = prefixes_per_atom(&v4.analysis.atoms);
+    let ppa6 = prefixes_per_atom(&v6.analysis.atoms);
+    let text = [
+        cdf_summary("atoms/AS v4", &apa4),
+        cdf_summary("atoms/AS v6", &apa6),
+        cdf_summary("prefixes/atom v4", &ppa4),
+        cdf_summary("prefixes/atom v6", &ppa6),
+    ]
+    .join("\n")
+        + "\n";
+    let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;
+    let comparison = vec![Comparison::new(
+        "v6 has fewer atoms per AS than v4, similar prefixes per atom",
+        "v6 curve left of v4 (atoms/AS); right curves similar",
+        format!(
+            "atoms/AS mean v4 {:.2} vs v6 {:.2}; prefixes/atom mean v4 {:.2} vs v6 {:.2}",
+            mean(&apa4),
+            mean(&apa6),
+            mean(&ppa4),
+            mean(&ppa6)
+        ),
+    )];
+    ExperimentOutput {
+        id: "fig8".into(),
+        title: "Fig 8: atom distributions, IPv4 vs IPv6 (2024)".into(),
+        text,
+        json: serde_json::json!({
+            "atoms_per_as": {"v4": cdf(&apa4), "v6": cdf(&apa6)},
+            "prefixes_per_atom": {"v4": cdf(&ppa4), "v6": cdf(&ppa6)},
+        }),
+        comparison,
+    }
+}
+
+/// Fig 14 (+ §3.2): the 2002 reproduction's distributions and counts.
+pub fn fig14(wb: &Workbench) -> ExperimentOutput {
+    let p02 = wb.prepare_cached(
+        "2002-01-15 08:00".parse().unwrap(),
+        Family::Ipv4,
+        &Workbench::reproduction_config(),
+    );
+    let atoms = &p02.analysis.atoms;
+    let stats = general_stats(atoms);
+    let apa = atoms_per_as(atoms);
+    let ppa = prefixes_per_atom(atoms);
+    let ppas = prefixes_per_as(atoms);
+    let scale = wb
+        .scale
+        .unwrap_or(bgp_sim::evolution::DEFAULT_SCALE);
+    let text = format!(
+        "2002 reproduction (RRC00, {} peers, scale {:.4}):\n\
+         ASes {} | prefixes {} | atoms {}\n{}\n{}\n{}\n",
+        p02.analysis.sanitized.peers.len(),
+        scale,
+        count(stats.n_ases),
+        count(stats.n_prefixes),
+        count(stats.n_atoms),
+        cdf_summary("atoms/AS", &apa),
+        cdf_summary("prefixes/atom", &ppa),
+        cdf_summary("prefixes/AS", &ppas),
+    );
+    let comparison = vec![
+        Comparison::new(
+            "2002 counts (scaled by 1/scale)",
+            "12.5K ASes, 115K prefixes, 26K atoms",
+            format!(
+                "{:.1}K ASes, {:.1}K prefixes, {:.1}K atoms (descaled)",
+                stats.n_ases as f64 / scale / 1000.0,
+                stats.n_prefixes as f64 / scale / 1000.0,
+                stats.n_atoms as f64 / scale / 1000.0
+            ),
+        ),
+        Comparison::new(
+            "atoms/AS ≈ 2.08 in 2002",
+            "26K / 12.5K ≈ 2.1",
+            format!("{:.2}", stats.n_atoms as f64 / stats.n_ases.max(1) as f64),
+        ),
+        Comparison::new(
+            "13 full-feed peers at RRC00",
+            "13",
+            format!("{}", p02.analysis.sanitized.peers.len()),
+        ),
+    ];
+    ExperimentOutput {
+        id: "fig14".into(),
+        title: "Fig 14: 2002 reproduction — AS and atom distributions".into(),
+        text,
+        json: serde_json::json!({
+            "stats": stats,
+            "atoms_per_as": cdf(&apa),
+            "prefixes_per_atom": cdf(&ppa),
+            "prefixes_per_as": cdf(&ppas),
+        }),
+        comparison,
+    }
+}

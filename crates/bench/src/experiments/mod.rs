@@ -1,0 +1,117 @@
+//! One module per group of paper artifacts, plus the shared output and
+//! sweep machinery.
+//!
+//! Every experiment returns an [`ExperimentOutput`]: rendered text, a JSON
+//! value with the raw series, and paper-vs-measured comparison rows that
+//! EXPERIMENTS.md aggregates.
+
+pub mod correlation;
+pub mod formation;
+pub mod general;
+pub mod sanitization;
+pub mod splits;
+pub mod stability;
+pub mod sweep;
+pub mod vantage;
+
+use crate::Workbench;
+use serde::Serialize;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Comparison {
+    /// What is being compared.
+    pub metric: String,
+    /// The paper's value (free text: number, percentage, trend).
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+}
+
+impl Comparison {
+    /// Convenience constructor.
+    pub fn new(
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> Comparison {
+        Comparison {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+        }
+    }
+}
+
+/// The result of one experiment run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentOutput {
+    /// Stable id, e.g. `table1` or `fig4`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Rendered text (tables / series).
+    pub text: String,
+    /// Raw data for plotting.
+    pub json: serde_json::Value,
+    /// Paper-vs-measured rows.
+    pub comparison: Vec<Comparison>,
+}
+
+impl ExperimentOutput {
+    /// Writes `<out>/<id>.txt` and `<out>/<id>.json`.
+    pub fn write(&self, out_dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(out_dir)?;
+        fs::write(out_dir.join(format!("{}.txt", self.id)), &self.text)?;
+        let payload = serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "data": self.json,
+            "comparison": self.comparison,
+        });
+        fs::write(
+            out_dir.join(format!("{}.json", self.id)),
+            serde_json::to_string_pretty(&payload).expect("experiment output serializes"),
+        )
+    }
+}
+
+/// All experiment ids in paper order.
+pub const ALL: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig1", "fig2", "fig3",
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "ablation",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str, wb: &Workbench) -> Option<ExperimentOutput> {
+    Some(match id {
+        "table1" => general::table1(wb),
+        "table2" => formation::table2(wb),
+        "table3" => stability::table3(wb),
+        "table4" => general::table4(wb),
+        "table5" => sanitization::table5(wb),
+        "table6" => stability::table6(wb),
+        "table7" => sanitization::table7(wb),
+        "fig1" => formation::fig1(wb),
+        "fig2" => general::fig2(wb),
+        "fig3" => correlation::fig3(wb),
+        "fig4" => formation::fig4(wb),
+        "fig5" => stability::fig5(wb),
+        "fig6" => splits::fig6(wb),
+        "fig7" => splits::fig7(wb),
+        "fig8" => general::fig8(wb),
+        "fig9" => stability::fig9(wb),
+        "fig10" => correlation::fig10(wb),
+        "fig11" => formation::fig11(wb),
+        "fig12" => vantage::fig12(wb),
+        "fig13" => vantage::fig13(wb),
+        "fig14" => general::fig14(wb),
+        "fig15" => correlation::fig15(wb),
+        "ablation" => sanitization::ablation(wb),
+        _ => return None,
+    })
+}

@@ -1,0 +1,275 @@
+//! Sanitization experiments: Table 5 (abnormal peers) and Table 7
+//! (prefix-filter threshold sensitivity).
+
+use super::{Comparison, ExperimentOutput};
+use crate::Workbench;
+use atoms_core::atom::compute_atoms;
+use atoms_core::report::{count, pct, render_table};
+use atoms_core::sanitize::{sanitize, threshold_sensitivity, SanitizeConfig};
+use atoms_core::stats::general_stats;
+use bgp_types::Family;
+
+/// Table 5: abnormal BGP peers detected and removed (2021 snapshot, the
+/// middle of the paper's affected periods).
+pub fn table5(wb: &Workbench) -> ExperimentOutput {
+    let prep = wb.prepare("2021-07-15 08:00".parse().unwrap(), Family::Ipv4);
+    let report = &prep.analysis.sanitized.report;
+    let mut rows = Vec::new();
+    for (peer, warnings) in &report.removed_addpath_peers {
+        rows.push(vec![
+            peer.asn.to_string(),
+            "ADD-PATH parse warnings".into(),
+            format!("{warnings} warning(s)"),
+        ]);
+    }
+    for (peer, share) in &report.removed_private_asn_peers {
+        rows.push(vec![
+            peer.asn.to_string(),
+            "private ASN (AS65000) in paths".into(),
+            pct(100.0 * share),
+        ]);
+    }
+    for (peer, share) in &report.removed_duplicate_peers {
+        rows.push(vec![
+            peer.asn.to_string(),
+            "> 10% duplicate prefixes".into(),
+            pct(100.0 * share),
+        ]);
+    }
+    let text = render_table(&["Peer ASN", "Reason", "Evidence"], &rows);
+
+    // Demonstrate the AS25885 atom inflation (§A8.3.2): recompute atoms
+    // with the private-ASN filter disabled and compare counts.
+    let keep_leaker = SanitizeConfig {
+        private_asn_peer_threshold: 1.1, // never triggers
+        ..SanitizeConfig::default()
+    };
+    let dirty = sanitize(&prep.captured, &prep.updates.warnings, &keep_leaker);
+    let dirty_atoms = compute_atoms(&dirty);
+    let clean_count = prep.analysis.atoms.len();
+    let inflation = 100.0 * (dirty_atoms.len() as f64 - clean_count as f64)
+        / clean_count.max(1) as f64;
+
+    let expected_addpath: Vec<u32> = bgp_sim::artifacts::ADDPATH_BROKEN_ASNS.to_vec();
+    let detected_addpath: Vec<u32> = report
+        .removed_addpath_peers
+        .iter()
+        .map(|(p, _)| p.asn.0)
+        .collect();
+    let comparison = vec![
+        Comparison::new(
+            "ADD-PATH peers detected by warning signatures",
+            "AS136557, AS57695, AS42541, AS47065 (period-dependent subset)",
+            format!(
+                "{:?} (all ∈ paper's set: {})",
+                detected_addpath,
+                detected_addpath.iter().all(|a| expected_addpath.contains(a))
+            ),
+        ),
+        Comparison::new(
+            "private-ASN peer removed",
+            "AS25885 (AS65000 immediately after the peer)",
+            format!(
+                "{:?}",
+                report
+                    .removed_private_asn_peers
+                    .iter()
+                    .map(|(p, _)| p.asn.0)
+                    .collect::<Vec<_>>()
+            ),
+        ),
+        Comparison::new(
+            "keeping the leaking peer inflates the atom count",
+            "≈ +30% (350K → 450K)",
+            format!(
+                "+{inflation:.1}% ({} → {})",
+                count(clean_count),
+                count(dirty_atoms.len())
+            ),
+        ),
+    ];
+    ExperimentOutput {
+        id: "table5".into(),
+        title: "Table 5: abnormal BGP peers removed (2021 snapshot)".into(),
+        text,
+        json: serde_json::json!({
+            "addpath": report.removed_addpath_peers.iter().map(|(p, n)| (p.to_string(), n)).collect::<Vec<_>>(),
+            "private": report.removed_private_asn_peers.iter().map(|(p, s)| (p.to_string(), s)).collect::<Vec<_>>(),
+            "duplicates": report.removed_duplicate_peers.iter().map(|(p, s)| (p.to_string(), s)).collect::<Vec<_>>(),
+            "atom_inflation_pct": inflation,
+        }),
+        comparison,
+    }
+}
+
+/// Table 7: count of valid prefixes under different (collector, peer-AS)
+/// visibility thresholds.
+pub fn table7(wb: &Workbench) -> ExperimentOutput {
+    let prep = wb.prepare("2024-10-15 08:00".parse().unwrap(), Family::Ipv4);
+    let grid = threshold_sensitivity(
+        &prep.captured,
+        &prep.updates.warnings,
+        &SanitizeConfig::default(),
+        1..=3,
+        1..=5,
+    );
+    let mut rows = Vec::new();
+    for c in 1..=3 {
+        let mut row = vec![c.to_string()];
+        for p in 1..=5 {
+            let v = grid
+                .iter()
+                .find(|&&(gc, gp, _)| gc == c && gp == p)
+                .map(|&(_, _, n)| n)
+                .unwrap_or(0);
+            row.push(count(v));
+        }
+        rows.push(row);
+    }
+    let text = render_table(
+        &["collectors \\ peer ASes", "1", "2", "3", "4", "5"],
+        &rows,
+    );
+    let at = |c: usize, p: usize| {
+        grid.iter()
+            .find(|&&(gc, gp, _)| gc == c && gp == p)
+            .map(|&(_, _, n)| n)
+            .unwrap_or(0)
+    };
+    let drop_c2p4_to_p5 = 100.0 * (at(2, 4) - at(2, 5)) as f64 / at(2, 4).max(1) as f64;
+    let drop_c2_to_c3 = 100.0 * (at(2, 4) - at(3, 4)) as f64 / at(2, 4).max(1) as f64;
+    let comparison = vec![
+        Comparison::new(
+            "≥ 4 peer ASes: raising to 5 removes < 0.5% of prefixes",
+            "< 0.5%",
+            pct(drop_c2p4_to_p5),
+        ),
+        Comparison::new(
+            "raising the collector threshold has minimal impact",
+            "tiny reduction from ≥2 to ≥3 collectors",
+            pct(drop_c2_to_c3),
+        ),
+        Comparison::new(
+            "the (1,1) cell is visibly larger than the adopted (2,4) cell",
+            "1,083,140 vs 1,028,444 (~5% of prefixes are localized/artifacts)",
+            format!(
+                "{} vs {} ({} dropped)",
+                count(at(1, 1)),
+                count(at(2, 4)),
+                pct(100.0 * (at(1, 1) - at(2, 4)) as f64 / at(1, 1).max(1) as f64)
+            ),
+        ),
+    ];
+    ExperimentOutput {
+        id: "table7".into(),
+        title: "Table 7: prefix counts under visibility-threshold pairs".into(),
+        text,
+        json: serde_json::json!(grid),
+        comparison,
+    }
+}
+
+/// Ablation: re-run the pipeline with each sanitization stage disabled and
+/// report how the atom population distorts. Not a paper artifact — it
+/// quantifies why each of §2.4's design choices exists.
+pub fn ablation(wb: &Workbench) -> ExperimentOutput {
+    let prep = wb.prepare("2021-07-15 08:00".parse().unwrap(), Family::Ipv4);
+    let baseline_cfg = SanitizeConfig::default();
+
+    let variants: Vec<(&str, SanitizeConfig)> = vec![
+        ("baseline (paper §2.4)", baseline_cfg.clone()),
+        (
+            "no full-feed inference (threshold 0)",
+            SanitizeConfig {
+                full_feed_ratio: 0.0,
+                ..baseline_cfg.clone()
+            },
+        ),
+        (
+            "keep ADD-PATH + private-ASN peers",
+            SanitizeConfig {
+                private_asn_peer_threshold: 1.1,
+                duplicate_peer_threshold: 1.1,
+                ..baseline_cfg.clone()
+            },
+        ),
+        (
+            "no visibility filters (≥1 collector, ≥1 peer AS)",
+            SanitizeConfig {
+                min_collectors: 1,
+                min_peer_ases: 1,
+                ..baseline_cfg.clone()
+            },
+        ),
+        (
+            "no length caps",
+            SanitizeConfig {
+                length_caps: false,
+                ..baseline_cfg.clone()
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut baseline_atoms = 0usize;
+    for (i, (name, cfg)) in variants.iter().enumerate() {
+        // The broken-peer stage consumes parse warnings only when peers are
+        // removed by ASN; "keep" variants pass no warnings.
+        let warnings: &[bgp_mrt::MrtWarning] = if name.starts_with("keep ADD-PATH") {
+            &[]
+        } else {
+            &prep.updates.warnings
+        };
+        let sanitized = sanitize(&prep.captured, warnings, cfg);
+        let atoms = compute_atoms(&sanitized);
+        let stats = general_stats(&atoms);
+        if i == 0 {
+            baseline_atoms = stats.n_atoms;
+        }
+        let delta = 100.0 * (stats.n_atoms as f64 - baseline_atoms as f64)
+            / baseline_atoms.max(1) as f64;
+        rows.push(vec![
+            name.to_string(),
+            sanitized.peers.len().to_string(),
+            count(stats.n_prefixes),
+            count(stats.n_atoms),
+            if i == 0 {
+                "—".into()
+            } else {
+                format!("{delta:+.1}%")
+            },
+            format!("{:.2}", stats.mean_atom_size),
+        ]);
+        json_rows.push(serde_json::json!({
+            "variant": name,
+            "peers": sanitized.peers.len(),
+            "prefixes": stats.n_prefixes,
+            "atoms": stats.n_atoms,
+            "mean_atom_size": stats.mean_atom_size,
+        }));
+    }
+    let text = render_table(
+        &["variant", "peers", "prefixes", "atoms", "Δ atoms", "mean size"],
+        &rows,
+    );
+    let comparison = vec![
+        Comparison::new(
+            "keeping misbehaving peers inflates atoms",
+            "the paper reports ≈ +30% from AS25885 alone (A8.3.2)",
+            rows[2][4].clone(),
+        ),
+        Comparison::new(
+            "dropping visibility filters adds localized prefixes",
+            "Table 7: ~5% more prefixes at thresholds (1,1)",
+            format!("prefixes {} → {}", rows[0][2], rows[3][2]),
+        ),
+    ];
+    ExperimentOutput {
+        id: "ablation".into(),
+        title: "Ablation: what each sanitization stage is for".into(),
+        text,
+        json: serde_json::json!(json_rows),
+        comparison,
+    }
+}

@@ -1,0 +1,248 @@
+//! Stability: Tables 3 and 6, Figures 5 and 9.
+
+use super::sweep::quarterly;
+use super::{Comparison, ExperimentOutput};
+use crate::Workbench;
+use atoms_core::report::{pct, render_table};
+use atoms_core::stability::{cam, mpm};
+use bgp_types::Family;
+
+struct Ladder {
+    cam: [f64; 3],
+    mpm: [f64; 3],
+}
+
+fn run_ladder(wb: &Workbench, date: &str, family: Family, reproduction: bool) -> Ladder {
+    let cfg = if reproduction {
+        Workbench::reproduction_config()
+    } else {
+        Default::default()
+    };
+    let ladder = wb.stability_ladder_with(date.parse().unwrap(), family, &cfg);
+    let mut out = Ladder {
+        cam: [0.0; 3],
+        mpm: [0.0; 3],
+    };
+    for (i, h) in ladder.horizons.iter().enumerate() {
+        out.cam[i] = cam(&ladder.base.atoms, &h.atoms);
+        out.mpm[i] = mpm(&ladder.base.atoms, &h.atoms);
+    }
+    out
+}
+
+const HORIZONS: [&str; 3] = ["After 8 hours", "After 24 hours", "After 1 week"];
+
+/// Table 3: stability of atoms, 2004 vs 2024 (CAM and MPM at three
+/// horizons).
+pub fn table3(wb: &Workbench) -> ExperimentOutput {
+    let l04 = run_ladder(wb, "2004-01-15 08:00", Family::Ipv4, false);
+    let l24 = run_ladder(wb, "2024-10-15 08:00", Family::Ipv4, false);
+    let rows: Vec<Vec<String>> = (0..3)
+        .map(|i| {
+            vec![
+                HORIZONS[i].to_string(),
+                pct(l04.cam[i]),
+                pct(l04.mpm[i]),
+                pct(l24.cam[i]),
+                pct(l24.mpm[i]),
+            ]
+        })
+        .collect();
+    let text = render_table(
+        &[
+            "",
+            "2004 CAM",
+            "2004 MPM",
+            "2024 CAM",
+            "2024 MPM",
+        ],
+        &rows,
+    );
+    let paper = [
+        // (2004 cam, 2004 mpm, 2024 cam, 2024 mpm)
+        (96.3, 98.3, 83.7, 90.6),
+        (91.4, 95.0, 79.3, 87.2),
+        (80.3, 88.8, 71.9, 80.1),
+    ];
+    let mut comparison: Vec<Comparison> = (0..3)
+        .map(|i| {
+            Comparison::new(
+                format!("{} (CAM/MPM, 2004 vs 2024)", HORIZONS[i]),
+                format!(
+                    "{:.1}/{:.1} vs {:.1}/{:.1}",
+                    paper[i].0, paper[i].1, paper[i].2, paper[i].3
+                ),
+                format!(
+                    "{:.1}/{:.1} vs {:.1}/{:.1}",
+                    l04.cam[i], l04.mpm[i], l24.cam[i], l24.mpm[i]
+                ),
+            )
+        })
+        .collect();
+    comparison.push(Comparison::new(
+        "stability ordering",
+        "8h > 24h > 1wk; MPM > CAM; 2004 > 2024 at every horizon",
+        format!(
+            "monotone horizons: {}; MPM>CAM: {}; 2004>2024: {}",
+            l04.cam[0] >= l04.cam[1] && l04.cam[1] >= l04.cam[2]
+                && l24.cam[0] >= l24.cam[1] && l24.cam[1] >= l24.cam[2],
+            (0..3).all(|i| l04.mpm[i] >= l04.cam[i] && l24.mpm[i] >= l24.cam[i]),
+            (0..3).all(|i| l04.cam[i] >= l24.cam[i]),
+        ),
+    ));
+    ExperimentOutput {
+        id: "table3".into(),
+        title: "Table 3: stability of atoms, 2004 vs 2024".into(),
+        text,
+        json: serde_json::json!({
+            "2004": {"cam": l04.cam, "mpm": l04.mpm},
+            "2024": {"cam": l24.cam, "mpm": l24.mpm},
+        }),
+        comparison,
+    }
+}
+
+/// Table 6: the 2002 reproduction's stability vs the original paper.
+pub fn table6(wb: &Workbench) -> ExperimentOutput {
+    let l02 = run_ladder(wb, "2002-01-15 08:00", Family::Ipv4, true);
+    let original = [(95.3, 97.7), (91.6, 97.0), (77.5, 86.0)];
+    let reproduced = [(94.2, 97.5), (91.8, 96.2), (77.6, 87.0)];
+    let spans = ["8 Hours", "1 Day", "1 Week"];
+    let rows: Vec<Vec<String>> = (0..3)
+        .map(|i| {
+            vec![
+                spans[i].to_string(),
+                format!("{:.1}% / {:.1}%", original[i].0, original[i].1),
+                format!("{:.1}% / {:.1}%", reproduced[i].0, reproduced[i].1),
+                format!("{:.1}% / {:.1}%", l02.cam[i], l02.mpm[i]),
+            ]
+        })
+        .collect();
+    let text = render_table(
+        &[
+            "Time span",
+            "Original paper (CAM/MPM)",
+            "Paper's reproduction",
+            "This library",
+        ],
+        &rows,
+    );
+    let comparison = (0..3)
+        .map(|i| {
+            Comparison::new(
+                format!("2002 stability over {} (CAM/MPM)", spans[i]),
+                format!("original {:.1}/{:.1}", original[i].0, original[i].1),
+                format!("{:.1}/{:.1}", l02.cam[i], l02.mpm[i]),
+            )
+        })
+        .collect();
+    ExperimentOutput {
+        id: "table6".into(),
+        title: "Table 6: reproduced 2002 stability vs the original paper".into(),
+        text,
+        json: serde_json::json!({"cam": l02.cam, "mpm": l02.mpm}),
+        comparison,
+    }
+}
+
+fn stability_trend(
+    id: &str,
+    title: &str,
+    wb: &Workbench,
+    family: Family,
+    from: i32,
+    to: i32,
+) -> ExperimentOutput {
+    let sweep = quarterly(wb, family, from, to);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|q| {
+            vec![
+                q.label.clone(),
+                pct(q.stab_8h.cam_pct),
+                pct(q.stab_8h.mpm_pct),
+                pct(q.stab_1w.cam_pct),
+                pct(q.stab_1w.mpm_pct),
+            ]
+        })
+        .collect();
+    let text = render_table(
+        &["quarter", "CAM 8h", "MPM 8h", "CAM 1wk", "MPM 1wk"],
+        &rows,
+    );
+    let min8 = sweep
+        .iter()
+        .map(|q| q.stab_8h.cam_pct)
+        .fold(f64::INFINITY, f64::min);
+    let mean_w = sweep.iter().map(|q| q.stab_1w.cam_pct).sum::<f64>() / sweep.len() as f64;
+    let comparison = vec![
+        Comparison::new(
+            "short-term stability stays high across the window",
+            "8-hour CAM ≈ 90+% throughout (2024 dip to ~84%)",
+            format!("min 8h CAM {}", pct(min8)),
+        ),
+        Comparison::new(
+            "long-term stability reasonable",
+            "1-week CAM ≈ 80% (v4) / higher (v6)",
+            format!("mean 1wk CAM {}", pct(mean_w)),
+        ),
+    ];
+    ExperimentOutput {
+        id: id.into(),
+        title: title.into(),
+        text,
+        json: serde_json::json!(sweep
+            .iter()
+            .map(|q| serde_json::json!({
+                "label": q.label,
+                "cam_8h": q.stab_8h.cam_pct,
+                "mpm_8h": q.stab_8h.mpm_pct,
+                "cam_1w": q.stab_1w.cam_pct,
+                "mpm_1w": q.stab_1w.mpm_pct,
+            }))
+            .collect::<Vec<_>>()),
+        comparison,
+    }
+}
+
+/// Fig 5: stability trend, IPv4 2004–2024.
+pub fn fig5(wb: &Workbench) -> ExperimentOutput {
+    stability_trend(
+        "fig5",
+        "Fig 5: short- and long-term stability of atoms, IPv4 2004–2024",
+        wb,
+        Family::Ipv4,
+        2004,
+        2024,
+    )
+}
+
+/// Fig 9: stability trend, IPv6 2011–2024 (higher than IPv4's).
+pub fn fig9(wb: &Workbench) -> ExperimentOutput {
+    let mut out = stability_trend(
+        "fig9",
+        "Fig 9: short- and long-term stability of atoms, IPv6 2011–2024",
+        wb,
+        Family::Ipv6,
+        2011,
+        2024,
+    );
+    out.id = "fig9".into();
+    let v4 = quarterly(wb, Family::Ipv4, 2004, 2024);
+    let v6 = quarterly(wb, Family::Ipv6, 2011, 2024);
+    let mean = |s: &[super::sweep::QuarterMetrics], f: &dyn Fn(&super::sweep::QuarterMetrics) -> f64| {
+        s.iter().map(f).sum::<f64>() / s.len() as f64
+    };
+    out.comparison.push(Comparison::new(
+        "IPv6 stability exceeds IPv4's",
+        "both horizons higher for v6",
+        format!(
+            "mean 8h CAM v6 {} vs v4 {}; mean 1wk CAM v6 {} vs v4 {}",
+            pct(mean(&v6, &|q| q.stab_8h.cam_pct)),
+            pct(mean(&v4, &|q| q.stab_8h.cam_pct)),
+            pct(mean(&v6, &|q| q.stab_1w.cam_pct)),
+            pct(mean(&v4, &|q| q.stab_1w.cam_pct)),
+        ),
+    ));
+    out
+}

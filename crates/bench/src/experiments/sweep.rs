@@ -1,0 +1,124 @@
+//! The shared quarterly sweep: one scenario per study date, analyzed once,
+//! reused by every longitudinal figure (4, 5, 9, 11, 12, 13).
+//!
+//! Results are cached per `(family, scale, from, to)` for the lifetime of
+//! the process, and quarters are computed on a crossbeam scoped-thread
+//! pool sized to the machine.
+
+use crate::Workbench;
+use atoms_core::formation::{formation, FormationResult, PrependMethod};
+use atoms_core::pipeline::{analyze_snapshot, PipelineConfig};
+use atoms_core::stability::{stability, StabilityPair};
+use atoms_core::stats::GeneralStats;
+use atoms_core::vantage::infer_full_feed;
+use bgp_collect::CapturedSnapshot;
+use bgp_sim::Scenario;
+use bgp_types::{Family, SimTime};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Everything the longitudinal figures need from one quarter.
+#[derive(Debug, Clone, Serialize)]
+pub struct QuarterMetrics {
+    /// Snapshot date.
+    pub date: SimTime,
+    /// Date label (`yyyy-mm`).
+    pub label: String,
+    /// Table-1-style statistics.
+    pub stats: GeneralStats,
+    /// Formation distances, method (iii).
+    pub formation: FormationResult,
+    /// Full-feed inference threshold (Fig. 12 series).
+    pub vantage_threshold: usize,
+    /// Full-feed peer count (Fig. 13 series).
+    pub vantage_count: usize,
+    /// Stability after 8 hours.
+    pub stab_8h: StabilityPair,
+    /// Stability after one week.
+    pub stab_1w: StabilityPair,
+}
+
+fn compute_quarter(wb: &Workbench, date: SimTime, family: Family) -> QuarterMetrics {
+    let era = wb.era(date, family);
+    let churn = era.churn;
+    let mut scenario = Scenario::build(era);
+    let cfg = PipelineConfig::default();
+    let snap = scenario.snapshot(date);
+    let captured = CapturedSnapshot::from_sim(&snap);
+    let vantage = infer_full_feed(&captured);
+    let analysis = analyze_snapshot(&captured, None, &cfg);
+    let form = formation(&analysis.atoms, PrependMethod::UniqueOnRaw);
+
+    // 8-hour horizon.
+    scenario.perturb_units(churn[0], 0xC0FFEE);
+    let snap8 = scenario.snapshot(date.plus_hours(8));
+    let a8 = analyze_snapshot(&CapturedSnapshot::from_sim(&snap8), None, &cfg);
+    let stab_8h = stability(&analysis.atoms, &a8.atoms);
+
+    // One-week horizon (cumulative churn).
+    scenario.perturb_units((churn[2] - churn[0]).max(0.0), 0xC0FFEF);
+    let snap_w = scenario.snapshot(date.plus_secs(SimTime::WEEK));
+    let aw = analyze_snapshot(&CapturedSnapshot::from_sim(&snap_w), None, &cfg);
+    let stab_1w = stability(&analysis.atoms, &aw.atoms);
+
+    let civil = date.civil();
+    QuarterMetrics {
+        date,
+        label: format!("{:04}-{:02}", civil.year, civil.month),
+        stats: analysis.stats,
+        formation: form,
+        vantage_threshold: vantage.threshold,
+        vantage_count: vantage.full_feed_count(),
+        stab_8h,
+        stab_1w,
+    }
+}
+
+type SweepKey = (Family, u64, i32, i32);
+type SweepCache = Mutex<HashMap<SweepKey, Vec<QuarterMetrics>>>;
+
+fn cache() -> &'static SweepCache {
+    static CACHE: OnceLock<SweepCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Runs (or fetches) the quarterly sweep for a family over `[from, to]`.
+pub fn quarterly(wb: &Workbench, family: Family, from: i32, to: i32) -> Vec<QuarterMetrics> {
+    let scale_key = (wb.scale.unwrap_or(bgp_sim::evolution::DEFAULT_SCALE) * 1e9) as u64;
+    let key = (family, scale_key, from, to);
+    if let Some(hit) = cache().lock().expect("sweep cache lock").get(&key) {
+        return hit.clone();
+    }
+    let dates = Workbench::quarterly(from, to);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(dates.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<QuarterMetrics>>> = Mutex::new(vec![None; dates.len()]);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= dates.len() {
+                    break;
+                }
+                let metrics = compute_quarter(wb, dates[i], family);
+                results.lock().expect("sweep results lock")[i] = Some(metrics);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    let out: Vec<QuarterMetrics> = results
+        .into_inner()
+        .expect("sweep results lock")
+        .into_iter()
+        .map(|m| m.expect("every quarter computed"))
+        .collect();
+    cache()
+        .lock()
+        .expect("sweep cache lock")
+        .insert(key, out.clone());
+    out
+}

@@ -1,0 +1,10 @@
+//! Experiment harness shared code: scenario preparation, quarterly sweeps,
+//! and result output, used by the `experiments` binary and the Criterion
+//! benches.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod workbench;
+
+pub use workbench::{PreparedSnapshot, StabilityLadder, Workbench};

@@ -1,0 +1,177 @@
+//! Scenario preparation and snapshot-ladder helpers.
+
+use atoms_core::pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
+use atoms_core::sanitize::SanitizeConfig;
+use bgp_collect::{CapturedSnapshot, CapturedUpdates};
+use bgp_sim::{generate_window, Era, Scenario};
+use bgp_types::{Family, SimTime};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Shared experiment context: scale factor and output directory.
+#[derive(Debug, Clone)]
+pub struct Workbench {
+    /// Scale factor relative to the real Internet (None = library default).
+    pub scale: Option<f64>,
+    /// Where results are written.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Workbench {
+    fn default() -> Self {
+        Workbench {
+            scale: None,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// One fully prepared snapshot: scenario, captured inputs, analysis.
+pub struct PreparedSnapshot {
+    /// The (still perturbable) scenario.
+    pub scenario: Scenario,
+    /// The neutral snapshot input.
+    pub captured: CapturedSnapshot,
+    /// The captured 4-hour update window.
+    pub updates: CapturedUpdates,
+    /// Sanitize → atoms → stats result.
+    pub analysis: SnapshotAnalysis,
+}
+
+/// Atoms at t, t+8 h, t+24 h, t+1 week (the paper's §2.4.1 ladder).
+pub struct StabilityLadder {
+    /// Analysis at the base snapshot.
+    pub base: SnapshotAnalysis,
+    /// Analyses at +8 h, +24 h, +1 week.
+    pub horizons: [SnapshotAnalysis; 3],
+}
+
+impl Workbench {
+    /// Creates a workbench writing to `out_dir`.
+    pub fn new(scale: Option<f64>, out_dir: impl Into<PathBuf>) -> Workbench {
+        Workbench {
+            scale,
+            out_dir: out_dir.into(),
+        }
+    }
+
+    /// Builds the era for a date.
+    pub fn era(&self, date: SimTime, family: Family) -> Era {
+        Era::for_date(date, family, self.scale)
+    }
+
+    /// The sanitization used for the 2002 reproduction (§3.1): the original
+    /// papers' methodology predates the modern filters — one collector
+    /// (RRC00), all prefixes, no length caps.
+    pub fn reproduction_config() -> PipelineConfig {
+        PipelineConfig {
+            sanitize: SanitizeConfig {
+                min_collectors: 1,
+                min_peer_ases: 1,
+                length_caps: false,
+                ..SanitizeConfig::default()
+            },
+        }
+    }
+
+    /// Builds, captures, and analyzes one snapshot (with its 4-hour update
+    /// window feeding broken-peer detection, as in the paper).
+    ///
+    /// Results are cached per (date, family, scale, config) for the process
+    /// lifetime: several experiments share the same headline snapshots.
+    pub fn prepare(&self, date: SimTime, family: Family) -> Arc<PreparedSnapshot> {
+        self.prepare_cached(date, family, &PipelineConfig::default())
+    }
+
+    /// Cached variant of [`Workbench::prepare_with`].
+    pub fn prepare_cached(
+        &self,
+        date: SimTime,
+        family: Family,
+        cfg: &PipelineConfig,
+    ) -> Arc<PreparedSnapshot> {
+        type Key = (u64, Family, u64, String);
+        type Cache = Mutex<HashMap<Key, Arc<PreparedSnapshot>>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        let scale_key =
+            (self.scale.unwrap_or(bgp_sim::evolution::DEFAULT_SCALE) * 1e9) as u64;
+        let cfg_key = format!("{cfg:?}");
+        let key: Key = (date.unix(), family, scale_key, cfg_key);
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().expect("prepare cache lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        let prepared = Arc::new(self.prepare_with(date, family, cfg));
+        cache
+            .lock()
+            .expect("prepare cache lock")
+            .insert(key, Arc::clone(&prepared));
+        prepared
+    }
+
+    /// [`Workbench::prepare`] with a custom pipeline configuration (the 2002
+    /// reproduction uses [`Workbench::reproduction_config`]).
+    pub fn prepare_with(
+        &self,
+        date: SimTime,
+        family: Family,
+        cfg: &PipelineConfig,
+    ) -> PreparedSnapshot {
+        let era = self.era(date, family);
+        let mut scenario = Scenario::build(era);
+        let snap = scenario.snapshot(date);
+        let events = generate_window(&mut scenario, date, 4, 0x5EED);
+        let captured = CapturedSnapshot::from_sim(&snap);
+        let updates = CapturedUpdates::from_sim(&events);
+        let analysis = analyze_snapshot(&captured, Some(&updates), cfg);
+        PreparedSnapshot {
+            scenario,
+            captured,
+            updates,
+            analysis,
+        }
+    }
+
+    /// Builds the stability ladder: perturbs the same scenario with the
+    /// era's per-horizon churn and re-analyzes at each step.
+    pub fn stability_ladder(&self, date: SimTime, family: Family) -> StabilityLadder {
+        self.stability_ladder_with(date, family, &PipelineConfig::default())
+    }
+
+    /// [`Workbench::stability_ladder`] with a custom pipeline configuration.
+    pub fn stability_ladder_with(
+        &self,
+        date: SimTime,
+        family: Family,
+        cfg: &PipelineConfig,
+    ) -> StabilityLadder {
+        let era = self.era(date, family);
+        let churn = era.churn;
+        let mut scenario = Scenario::build(era);
+        let snap = scenario.snapshot(date);
+        let captured = CapturedSnapshot::from_sim(&snap);
+        let base = analyze_snapshot(&captured, None, cfg);
+
+        let mut horizons = Vec::with_capacity(3);
+        let offsets = [8 * 3600u64, 24 * 3600, 7 * 86_400];
+        let mut applied = 0.0;
+        for (i, (&target, &offset)) in churn.iter().zip(&offsets).enumerate() {
+            let delta = (target - applied).max(0.0);
+            scenario.perturb_units(delta, 0xC0FFEE + i as u64);
+            applied = target;
+            let snap = scenario.snapshot(date.plus_secs(offset));
+            let captured = CapturedSnapshot::from_sim(&snap);
+            horizons.push(analyze_snapshot(&captured, None, cfg));
+        }
+        let horizons: [SnapshotAnalysis; 3] = horizons
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("exactly three horizons"));
+        StabilityLadder { base, horizons }
+    }
+
+    /// The paper's quarterly snapshot dates.
+    pub fn quarterly(from: i32, to: i32) -> Vec<SimTime> {
+        Era::quarterly_dates(from, to)
+    }
+}

@@ -1,0 +1,277 @@
+//! On-disk archive layout and loading.
+//!
+//! Mirrors the public archives' directory convention:
+//!
+//! ```text
+//! <root>/<collector>/<yyyy.mm>/RIBS/rib.<yyyymmdd.hhmm>.mrt
+//! <root>/<collector>/<yyyy.mm>/UPDATES/updates.<yyyymmdd.hhmm>.mrt
+//! ```
+
+use crate::capture::{
+    events_by_collector, rib_dump_bytes, rib_dump_bytes_v1, tables_by_collector, updates_bytes,
+    TABLE_DUMP_V2_FROM_YEAR,
+};
+use crate::input::{CapturedSnapshot, CapturedTable, CapturedUpdates};
+use bgp_mrt::reader::{RibDumpReader, UpdatesReader};
+use bgp_sim::updates::UpdateEvent;
+use bgp_sim::SnapshotData;
+use bgp_types::{Family, SimTime};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A filesystem-backed MRT archive.
+#[derive(Debug, Clone)]
+pub struct Archive {
+    root: PathBuf,
+}
+
+impl Archive {
+    /// Opens (or designates) an archive rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Archive {
+        Archive { root: root.into() }
+    }
+
+    /// The archive root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn rib_path(&self, collector: &str, time: SimTime) -> PathBuf {
+        self.root
+            .join(collector)
+            .join(time.archive_month())
+            .join("RIBS")
+            .join(format!("rib.{}.mrt", time.archive_stamp()))
+    }
+
+    fn updates_path(&self, collector: &str, time: SimTime) -> PathBuf {
+        self.root
+            .join(collector)
+            .join(time.archive_month())
+            .join("UPDATES")
+            .join(format!("updates.{}.mrt", time.archive_stamp()))
+    }
+
+    /// Stores a snapshot: one RIB file per collector. Returns the files
+    /// written.
+    pub fn store_snapshot(&self, snap: &SnapshotData) -> io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
+        let legacy = snap.timestamp.civil().year < TABLE_DUMP_V2_FROM_YEAR;
+        for (collector, tables) in tables_by_collector(snap) {
+            let name = &snap.collector_names[collector as usize];
+            let path = self.rib_path(name, snap.timestamp);
+            fs::create_dir_all(path.parent().expect("rib path has a parent"))?;
+            let bytes = if legacy {
+                rib_dump_bytes_v1(snap.timestamp, &tables)?
+            } else {
+                rib_dump_bytes(snap.timestamp, &tables)?
+            };
+            fs::write(&path, bytes)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// Stores an update window: one updates file per collector (keyed by
+    /// the window start time). Returns the files written.
+    pub fn store_updates(
+        &self,
+        snap: &SnapshotData,
+        events: &[UpdateEvent],
+        window_start: SimTime,
+    ) -> io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
+        for (collector, coll_events) in events_by_collector(snap, events) {
+            let name = &snap.collector_names[collector as usize];
+            let path = self.updates_path(name, window_start);
+            fs::create_dir_all(path.parent().expect("updates path has a parent"))?;
+            let bytes = updates_bytes(&coll_events, snap.family)?;
+            fs::write(&path, bytes)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// Lists collector directories present in the archive, sorted.
+    pub fn collectors(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        if !self.root.exists() {
+            return Ok(names);
+        }
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Loads the full snapshot at `time` across all collectors, returning
+    /// the neutral analysis input (ground truth stripped by construction —
+    /// MRT files never carried it).
+    pub fn load_snapshot(&self, time: SimTime, family: Family) -> io::Result<CapturedSnapshot> {
+        let collector_names = self.collectors()?;
+        let mut out = CapturedSnapshot {
+            timestamp: time,
+            family,
+            collector_names: collector_names.clone(),
+            ..Default::default()
+        };
+        for (ci, name) in collector_names.iter().enumerate() {
+            let path = self.rib_path(name, time);
+            if !path.exists() {
+                continue;
+            }
+            let file = fs::File::open(&path)?;
+            let dump = RibDumpReader::read_all(io::BufReader::new(file))
+                .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+            out.warnings.extend(dump.warnings.iter().cloned());
+            // Regroup per peer.
+            let (entries, missing) = dump.entries();
+            out.warnings.extend(missing);
+            let mut per_peer: std::collections::BTreeMap<_, Vec<_>> = dump
+                .table
+                .peers
+                .iter()
+                .map(|p| (p.key(), Vec::new()))
+                .collect();
+            for (peer, entry) in entries {
+                per_peer.entry(peer).or_default().push(entry);
+            }
+            for (peer, entries) in per_peer {
+                // Keep only the requested family (collectors can mix
+                // families in one dump).
+                let entries: Vec<_> = entries
+                    .into_iter()
+                    .filter(|e| e.prefix.family() == family)
+                    .collect();
+                if entries.is_empty() {
+                    continue;
+                }
+                out.tables.push(CapturedTable {
+                    collector: ci as u16,
+                    peer,
+                    entries,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Loads the update window starting at `time` across all collectors.
+    pub fn load_updates(&self, time: SimTime) -> io::Result<CapturedUpdates> {
+        let mut out = CapturedUpdates::default();
+        for name in self.collectors()? {
+            let path = self.updates_path(&name, time);
+            if !path.exists() {
+                continue;
+            }
+            let file = fs::File::open(&path)?;
+            let (records, warnings) = UpdatesReader::read_all(io::BufReader::new(file))
+                .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+            out.records.extend(records);
+            out.warnings.extend(warnings);
+        }
+        out.records.sort_by_key(|r| (r.timestamp, r.peer));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::CapturedTable;
+    use bgp_sim::{Era, Scenario};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pa-archive-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn snapshot_store_load_round_trip() {
+        let date: SimTime = "2012-01-15 08:00".parse().unwrap();
+        let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 500.0));
+        let mut s = Scenario::build(era);
+        let snap = s.snapshot(date);
+        let dir = tmpdir("snap");
+        let archive = Archive::new(&dir);
+        let files = archive.store_snapshot(&snap).unwrap();
+        assert_eq!(files.len(), snap.collector_names.len().min(
+            snap.tables.iter().map(|t| t.collector).collect::<std::collections::BTreeSet<_>>().len()
+        ));
+        assert!(files[0].to_string_lossy().contains("2012.01/RIBS/rib.20120115.0800.mrt"));
+
+        let loaded = archive.load_snapshot(date, Family::Ipv4).unwrap();
+        assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+        assert_eq!(loaded.entry_count(), snap.entry_count());
+        // Same per-peer tables as the in-memory capture.
+        let mem = crate::input::CapturedSnapshot::from_sim(&snap);
+        let key = |t: &CapturedTable| (t.peer, t.entries.len());
+        let mut a: Vec<_> = loaded.tables.iter().map(key).collect();
+        let mut b: Vec<_> = mem.tables.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn updates_store_load_round_trip() {
+        let date: SimTime = "2021-07-15 08:00".parse().unwrap();
+        let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 500.0));
+        let mut s = Scenario::build(era);
+        let snap = s.snapshot(date);
+        let events = bgp_sim::generate_window(&mut s, date, 4, 1);
+        let dir = tmpdir("upd");
+        let archive = Archive::new(&dir);
+        archive.store_updates(&snap, &events, date).unwrap();
+        let loaded = archive.load_updates(date).unwrap();
+        let mem = CapturedUpdates::from_sim(&events);
+        assert_eq!(loaded.records.len(), mem.records.len());
+        assert!(!loaded.warnings.is_empty(), "garbled peers must warn");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_2005_snapshots_use_legacy_table_dump() {
+        let date: SimTime = "2002-01-15 08:00".parse().unwrap();
+        let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 500.0));
+        let mut s = Scenario::build(era);
+        let snap = s.snapshot(date);
+        let dir = tmpdir("v1");
+        let archive = Archive::new(&dir);
+        let files = archive.store_snapshot(&snap).unwrap();
+        // The file really is TABLE_DUMP v1: first record's type field = 12.
+        let bytes = fs::read(&files[0]).unwrap();
+        assert_eq!(u16::from_be_bytes([bytes[4], bytes[5]]), 12);
+        // And it loads back with identical content.
+        let loaded = archive.load_snapshot(date, Family::Ipv4).unwrap();
+        assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+        assert_eq!(loaded.entry_count(), snap.entry_count());
+        let mem = crate::input::CapturedSnapshot::from_sim(&snap);
+        let key = |t: &CapturedTable| (t.peer, t.entries.len());
+        let mut a: Vec<_> = loaded.tables.iter().map(key).collect();
+        let mut b: Vec<_> = mem.tables.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_archive_is_empty_not_an_error() {
+        let archive = Archive::new("/nonexistent/definitely/missing");
+        assert!(archive.collectors().unwrap().is_empty());
+        let snap = archive
+            .load_snapshot(SimTime::from_unix(0), Family::Ipv4)
+            .unwrap();
+        assert!(snap.tables.is_empty());
+        let upd = archive.load_updates(SimTime::from_unix(0)).unwrap();
+        assert!(upd.records.is_empty());
+    }
+}

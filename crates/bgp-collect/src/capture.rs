@@ -1,0 +1,313 @@
+//! Serialize simulator snapshots and update windows into MRT bytes, one
+//! file per collector.
+
+use bgp_mrt::attrs::{MpReach, ParsedAttrs};
+use bgp_mrt::record::{PeerEntry, PeerIndexTable};
+use bgp_mrt::table_dump_v1::TableDumpWriter;
+use bgp_mrt::writer::{CorruptionMode, RibDumpWriter, UpdateDumpWriter};
+use bgp_sim::updates::UpdateEvent;
+use bgp_sim::SnapshotData;
+use bgp_types::{Asn, Family, PeerKey, Prefix, RibEntry, SimTime};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::IpAddr;
+
+/// The collector-side identity used on every synthesized session.
+pub fn collector_identity(family: Family) -> (Asn, IpAddr) {
+    match family {
+        Family::Ipv4 => (Asn(12654), "198.51.100.1".parse().expect("static addr")),
+        Family::Ipv6 => (Asn(12654), "2001:db8:ffff::1".parse().expect("static addr")),
+    }
+}
+
+/// Converts an analysis-level [`RibEntry`] into wire attributes, filling
+/// plausible next hops (the analysis never reads them, but real dumps carry
+/// them and the reader must cope).
+fn entry_attrs(entry: &RibEntry, peer: &PeerKey) -> ParsedAttrs {
+    let mut attrs = ParsedAttrs {
+        origin: entry.attrs.origin,
+        as_path: entry.attrs.path.clone(),
+        communities: entry.attrs.communities.clone(),
+        ..Default::default()
+    };
+    match (entry.prefix.family(), peer.addr) {
+        (Family::Ipv4, IpAddr::V4(a)) => attrs.next_hop = Some(a),
+        (Family::Ipv4, IpAddr::V6(_)) => {
+            attrs.next_hop = Some("192.0.2.1".parse().expect("static addr"))
+        }
+        (Family::Ipv6, addr) => {
+            attrs.mp_reach = Some(MpReach {
+                next_hop: Some(match addr {
+                    IpAddr::V6(a) => a,
+                    IpAddr::V4(_) => "2001:db8::1".parse().expect("static addr"),
+                }),
+                nlri: vec![],
+            });
+        }
+    }
+    attrs
+}
+
+/// Serializes one collector's view of a snapshot as a TABLE_DUMP_V2 dump.
+///
+/// Tables must all belong to the same collector. Routes are grouped per
+/// prefix (one RIB record per prefix, entries across peers), sorted, and
+/// byte-deterministic.
+pub fn rib_dump_bytes(
+    timestamp: SimTime,
+    tables: &[(&PeerKey, &[RibEntry])],
+) -> io::Result<Vec<u8>> {
+    let peer_table = PeerIndexTable {
+        collector_bgp_id: 0xC0A8_0001,
+        view_name: String::new(),
+        peers: tables
+            .iter()
+            .enumerate()
+            .map(|(i, (peer, _))| PeerEntry {
+                bgp_id: i as u32 + 1,
+                addr: peer.addr,
+                asn: peer.asn,
+            })
+            .collect(),
+    };
+    // prefix → [(peer index, attrs)], preserving duplicates (the
+    // duplicate-prefix artifact must survive the round trip).
+    let mut by_prefix: BTreeMap<Prefix, Vec<(u16, ParsedAttrs)>> = BTreeMap::new();
+    for (idx, (peer, entries)) in tables.iter().enumerate() {
+        for e in *entries {
+            by_prefix
+                .entry(e.prefix)
+                .or_default()
+                .push((idx as u16, entry_attrs(e, peer)));
+        }
+    }
+    let mut w = RibDumpWriter::new(Vec::new());
+    w.write_peer_table(timestamp, &peer_table)?;
+    for (prefix, entries) in &by_prefix {
+        w.write_route(timestamp, *prefix, entries)?;
+    }
+    Ok(w.into_inner())
+}
+
+/// Serializes one collector's update stream as a BGP4MP file. Garbled
+/// events are written as corrupted records (rotating through the paper's
+/// three ADD-PATH corruption signatures).
+pub fn updates_bytes(events: &[&UpdateEvent], family: Family) -> io::Result<Vec<u8>> {
+    let (asn, addr) = collector_identity(family);
+    let mut w = UpdateDumpWriter::new(Vec::new(), asn, addr);
+    let mut garbled_counter = 0usize;
+    for e in events {
+        if e.garbled {
+            let mode = match garbled_counter % 3 {
+                0 => CorruptionMode::AddPathSubtype,
+                1 => CorruptionMode::DuplicateAttribute,
+                _ => CorruptionMode::InvalidMpReach,
+            };
+            garbled_counter += 1;
+            w.write_corrupted(&e.record, mode)?;
+        } else {
+            w.write_update(&e.record)?;
+        }
+    }
+    Ok(w.into_inner())
+}
+
+/// Serializes one collector's snapshot in the legacy TABLE_DUMP (v1)
+/// format used by the 2002-era archives: one record per (peer, prefix)
+/// route, in prefix order.
+pub fn rib_dump_bytes_v1(
+    timestamp: SimTime,
+    tables: &[(&PeerKey, &[RibEntry])],
+) -> io::Result<Vec<u8>> {
+    let mut by_prefix: BTreeMap<Prefix, Vec<(&PeerKey, ParsedAttrs)>> = BTreeMap::new();
+    for (peer, entries) in tables {
+        for e in *entries {
+            by_prefix
+                .entry(e.prefix)
+                .or_default()
+                .push((peer, entry_attrs(e, peer)));
+        }
+    }
+    let mut w = TableDumpWriter::new(Vec::new());
+    for (prefix, routes) in &by_prefix {
+        for (peer, attrs) in routes {
+            w.write_route(timestamp, *prefix, peer, attrs)?;
+        }
+    }
+    Ok(w.into_inner())
+}
+
+/// The cut-over year: snapshots before this are written in legacy
+/// TABLE_DUMP (v1), as the public archives of that era were.
+pub const TABLE_DUMP_V2_FROM_YEAR: i32 = 2005;
+
+/// One collector's borrowed tables: `(peer, entries)` pairs.
+pub type CollectorTables<'a> = Vec<(&'a PeerKey, &'a [RibEntry])>;
+
+/// Splits a snapshot's tables per collector, ready for
+/// [`rib_dump_bytes`]. Returns `(collector index, tables)` pairs in
+/// collector order.
+pub fn tables_by_collector(snap: &SnapshotData) -> Vec<(u16, CollectorTables<'_>)> {
+    let mut out: BTreeMap<u16, CollectorTables<'_>> = BTreeMap::new();
+    for t in &snap.tables {
+        out.entry(t.collector)
+            .or_default()
+            .push((&t.peer, t.entries.as_slice()));
+    }
+    out.into_iter().collect()
+}
+
+/// Groups update events per collector using the peer→collector map of the
+/// snapshot.
+pub fn events_by_collector<'e>(
+    snap: &SnapshotData,
+    events: &'e [UpdateEvent],
+) -> Vec<(u16, Vec<&'e UpdateEvent>)> {
+    let peer_to_collector: BTreeMap<PeerKey, u16> = snap
+        .tables
+        .iter()
+        .map(|t| (t.peer, t.collector))
+        .collect();
+    let mut out: BTreeMap<u16, Vec<&UpdateEvent>> = BTreeMap::new();
+    for e in events {
+        if let Some(&c) = peer_to_collector.get(&e.record.peer) {
+            out.entry(c).or_default().push(e);
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_mrt::reader::{RibDumpReader, UpdatesReader};
+    use bgp_sim::{Era, Scenario};
+
+    fn scenario(date: &str, family: Family) -> (Scenario, SnapshotData) {
+        let era = Era::for_date(date.parse().unwrap(), family, Some(1.0 / 500.0));
+        let mut s = Scenario::build(era);
+        let snap = s.snapshot(date.parse().unwrap());
+        (s, snap)
+    }
+
+    #[test]
+    fn rib_round_trip_preserves_every_entry() {
+        let (_, snap) = scenario("2012-01-15 08:00", Family::Ipv4);
+        for (collector, tables) in tables_by_collector(&snap) {
+            let bytes = rib_dump_bytes(snap.timestamp, &tables).unwrap();
+            let dump = RibDumpReader::read_all(&bytes[..]).unwrap();
+            assert!(dump.warnings.is_empty(), "{:?}", dump.warnings);
+            let (entries, missing) = dump.entries();
+            assert!(missing.is_empty());
+            let want: usize = tables.iter().map(|(_, e)| e.len()).sum();
+            assert_eq!(entries.len(), want, "collector {collector}");
+            // Spot-check: every decoded (peer, prefix, path) matches input.
+            let mut want_set: Vec<(PeerKey, Prefix, String)> = tables
+                .iter()
+                .flat_map(|(p, es)| {
+                    es.iter()
+                        .map(|e| (**p, e.prefix, e.attrs.path.to_string()))
+                })
+                .collect();
+            let mut got_set: Vec<(PeerKey, Prefix, String)> = entries
+                .iter()
+                .map(|(p, e)| (*p, e.prefix, e.attrs.path.to_string()))
+                .collect();
+            want_set.sort();
+            got_set.sort();
+            assert_eq!(want_set, got_set);
+        }
+    }
+
+    #[test]
+    fn v6_rib_round_trip() {
+        let (_, snap) = scenario("2016-01-15 08:00", Family::Ipv6);
+        let (collector, tables) = tables_by_collector(&snap).remove(0);
+        let bytes = rib_dump_bytes(snap.timestamp, &tables).unwrap();
+        let dump = RibDumpReader::read_all(&bytes[..]).unwrap();
+        assert!(dump.warnings.is_empty(), "collector {collector}: {:?}", dump.warnings);
+        assert!(!dump.routes.is_empty());
+        assert_eq!(dump.routes[0].prefix.family(), Family::Ipv6);
+    }
+
+    #[test]
+    fn communities_survive_the_round_trip() {
+        let (_, snap) = scenario("2020-01-15 08:00", Family::Ipv4);
+        let has_communities = snap
+            .tables
+            .iter()
+            .flat_map(|t| &t.entries)
+            .any(|e| !e.attrs.communities.is_empty());
+        assert!(has_communities, "scenario should attach steering communities");
+        let (_, tables) = tables_by_collector(&snap).remove(0);
+        let bytes = rib_dump_bytes(snap.timestamp, &tables).unwrap();
+        let dump = RibDumpReader::read_all(&bytes[..]).unwrap();
+        let decoded_with_comms = dump
+            .routes
+            .iter()
+            .flat_map(|r| &r.entries)
+            .filter(|e| !e.attrs.communities.is_empty())
+            .count();
+        let original_with_comms = tables
+            .iter()
+            .flat_map(|(_, es)| es.iter())
+            .filter(|e| !e.attrs.communities.is_empty())
+            .count();
+        assert_eq!(decoded_with_comms, original_with_comms);
+    }
+
+    #[test]
+    fn updates_round_trip_matches_in_memory_conversion() {
+        use crate::input::CapturedUpdates;
+        let (mut s, snap) = scenario("2021-07-15 08:00", Family::Ipv4);
+        let start = snap.timestamp;
+        let events = bgp_sim::generate_window(&mut s, start, 4, 5);
+        assert!(events.iter().any(|e| e.garbled));
+
+        // On-disk path.
+        let mut disk_records = Vec::new();
+        let mut disk_warnings = Vec::new();
+        for (_, coll_events) in events_by_collector(&snap, &events) {
+            let bytes = updates_bytes(&coll_events, Family::Ipv4).unwrap();
+            let (mut recs, mut warns) = UpdatesReader::read_all(&bytes[..]).unwrap();
+            disk_records.append(&mut recs);
+            disk_warnings.append(&mut warns);
+        }
+
+        // In-memory path.
+        let mem = CapturedUpdates::from_sim(&events);
+
+        // Same record multiset (orders differ across collectors).
+        let mut disk_keys: Vec<_> = disk_records
+            .iter()
+            .map(|r| (r.timestamp, r.peer, r.announced.clone(), r.withdrawn.clone()))
+            .collect();
+        let mut mem_keys: Vec<_> = mem
+            .records
+            .iter()
+            .map(|r| (r.timestamp, r.peer, r.announced.clone(), r.withdrawn.clone()))
+            .collect();
+        disk_keys.sort();
+        mem_keys.sort();
+        assert_eq!(disk_keys, mem_keys);
+
+        // Same set of warned-about peers, all with ADD-PATH signatures.
+        let peer_set = |ws: &[bgp_mrt::MrtWarning]| {
+            let mut v: Vec<_> = ws.iter().filter_map(|w| w.peer).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        assert_eq!(peer_set(&disk_warnings), peer_set(&mem.warnings));
+        assert!(disk_warnings.iter().all(|w| w.kind.is_addpath_signature()));
+    }
+
+    #[test]
+    fn deterministic_bytes() {
+        let (_, snap) = scenario("2008-01-15 08:00", Family::Ipv4);
+        let (_, tables) = tables_by_collector(&snap).remove(0);
+        let a = rib_dump_bytes(snap.timestamp, &tables).unwrap();
+        let b = rib_dump_bytes(snap.timestamp, &tables).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,161 @@
+//! Neutral analysis inputs: what a researcher downloading public archives
+//! actually has.
+//!
+//! No simulator ground truth crosses this boundary — full-feed status,
+//! artifact classes, and unit structure must all be *inferred* by the
+//! analysis pipeline, exactly as the paper infers them from RIS/RouteViews
+//! data.
+
+use bgp_mrt::{MrtWarning, WarningKind};
+use bgp_sim::updates::UpdateEvent;
+use bgp_sim::SnapshotData;
+use bgp_types::{Family, PeerKey, RibEntry, SimTime, UpdateRecord};
+use serde::{Deserialize, Serialize};
+
+/// One peer's table as captured at a collector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapturedTable {
+    /// Collector index (into [`CapturedSnapshot::collector_names`]).
+    pub collector: u16,
+    /// The peer session.
+    pub peer: PeerKey,
+    /// RIB entries as captured.
+    pub entries: Vec<RibEntry>,
+}
+
+/// All tables captured at one snapshot instant, across collectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapturedSnapshot {
+    /// Capture time.
+    pub timestamp: SimTime,
+    /// Address family.
+    pub family: Family,
+    /// Collector names.
+    pub collector_names: Vec<String>,
+    /// Per-peer tables.
+    pub tables: Vec<CapturedTable>,
+    /// Parse warnings collected while reading the archives (empty on the
+    /// in-memory path — RIB dumps of well-formed snapshots decode cleanly).
+    pub warnings: Vec<MrtWarning>,
+}
+
+impl Default for CapturedSnapshot {
+    fn default() -> Self {
+        CapturedSnapshot {
+            timestamp: SimTime::default(),
+            family: Family::Ipv4,
+            collector_names: Vec::new(),
+            tables: Vec::new(),
+            warnings: Vec::new(),
+        }
+    }
+}
+
+impl CapturedSnapshot {
+    /// Strips a simulator snapshot down to what a researcher would see.
+    pub fn from_sim(snap: &SnapshotData) -> CapturedSnapshot {
+        CapturedSnapshot {
+            timestamp: snap.timestamp,
+            family: snap.family,
+            collector_names: snap.collector_names.clone(),
+            tables: snap
+                .tables
+                .iter()
+                .map(|t| CapturedTable {
+                    collector: t.collector,
+                    peer: t.peer,
+                    entries: t.entries.clone(),
+                })
+                .collect(),
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Total entries across tables.
+    pub fn entry_count(&self) -> usize {
+        self.tables.iter().map(|t| t.entries.len()).sum()
+    }
+}
+
+/// The update window as captured: records plus the parse warnings that
+/// garbled records produce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CapturedUpdates {
+    /// Successfully decoded update records, in time order.
+    pub records: Vec<UpdateRecord>,
+    /// Warnings for records that did not decode (the ADD-PATH signatures
+    /// the paper keys on).
+    pub warnings: Vec<MrtWarning>,
+}
+
+impl CapturedUpdates {
+    /// Converts simulator update events directly, mirroring what the MRT
+    /// round trip produces: garbled events become `unknown BGP4MP record
+    /// subtype 9` warnings attributed to the peer; clean events become
+    /// records.
+    pub fn from_sim(events: &[UpdateEvent]) -> CapturedUpdates {
+        let mut records = Vec::new();
+        let mut warnings = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            if e.garbled {
+                warnings.push(MrtWarning {
+                    record_index: i as u64,
+                    timestamp: Some(e.record.timestamp),
+                    peer: Some(e.record.peer),
+                    kind: WarningKind::UnknownSubtype {
+                        mrt_type: 16,
+                        subtype: 9,
+                    },
+                });
+            } else {
+                records.push(e.record.clone());
+            }
+        }
+        CapturedUpdates { records, warnings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{Asn, RouteAttrs};
+
+    #[test]
+    fn from_sim_strips_ground_truth() {
+        use bgp_sim::{Era, Scenario};
+        let era = Era::for_date(
+            "2012-01-15 08:00".parse().unwrap(),
+            Family::Ipv4,
+            Some(1.0 / 500.0),
+        );
+        let mut s = Scenario::build(era);
+        let snap = s.snapshot("2012-01-15 08:00".parse().unwrap());
+        let captured = CapturedSnapshot::from_sim(&snap);
+        assert_eq!(captured.tables.len(), snap.tables.len());
+        assert_eq!(captured.entry_count(), snap.entry_count());
+        assert_eq!(captured.timestamp, snap.timestamp);
+    }
+
+    #[test]
+    fn garbled_events_become_addpath_warnings() {
+        let peer = PeerKey::new(Asn(136557), "10.0.0.9".parse().unwrap());
+        let clean = UpdateEvent {
+            record: UpdateRecord::announce(
+                SimTime::from_unix(10),
+                peer,
+                vec!["10.0.0.0/24".parse().unwrap()],
+                RouteAttrs::default(),
+            ),
+            garbled: false,
+        };
+        let garbled = UpdateEvent {
+            garbled: true,
+            ..clean.clone()
+        };
+        let cap = CapturedUpdates::from_sim(&[clean.clone(), garbled]);
+        assert_eq!(cap.records.len(), 1);
+        assert_eq!(cap.warnings.len(), 1);
+        assert!(cap.warnings[0].kind.is_addpath_signature());
+        assert_eq!(cap.warnings[0].peer, Some(peer));
+    }
+}

@@ -1,0 +1,32 @@
+//! Model of the BGP collection infrastructure (RIPE RIS / RouteViews).
+//!
+//! Responsibilities:
+//!
+//! * **Capture** ([`capture`]): serialize a simulator snapshot into one
+//!   TABLE_DUMP_V2 RIB dump per collector and the 4-hour update window into
+//!   one BGP4MP file per collector — garbled peers' records are corrupted
+//!   exactly as ADD-PATH-incompatible collectors corrupt them.
+//! * **Archive** ([`archive`]): the on-disk layout
+//!   (`<root>/<collector>/<yyyy.mm>/{RIBS,UPDATES}/…`), indexing, and
+//!   loading back into analysis inputs.
+//! * **Replay** ([`replay`]): apply update streams to a base snapshot to
+//!   derive table state at any instant between RIB dumps.
+//! * **Neutral inputs** ([`input`]): [`CapturedSnapshot`] /
+//!   [`CapturedUpdates`], the boundary types `atoms-core` consumes. They
+//!   carry *no simulator ground truth* — the analysis must infer full-feed
+//!   peers and broken peers on its own, as the paper does.
+//!
+//! The in-memory path ([`input::CapturedSnapshot::from_sim`]) and the
+//! on-disk path (capture → archive → load) are tested to agree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod capture;
+pub mod input;
+pub mod replay;
+
+pub use archive::Archive;
+pub use input::{CapturedSnapshot, CapturedTable, CapturedUpdates};
+pub use replay::{ReplayState, ReplayStats};

@@ -1,0 +1,557 @@
+//! BGP path attribute encoding and decoding (RFC 4271 §4.3, RFC 4760).
+
+use crate::error::DecodeError;
+use crate::nlri;
+use crate::wire::Cursor;
+use bgp_types::{AsPath, Asn, Community, Family, Prefix, RouteOrigin, Segment};
+use bytes::{BufMut, BytesMut};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Attribute type codes this crate understands.
+pub mod type_code {
+    /// ORIGIN.
+    pub const ORIGIN: u8 = 1;
+    /// AS_PATH.
+    pub const AS_PATH: u8 = 2;
+    /// NEXT_HOP.
+    pub const NEXT_HOP: u8 = 3;
+    /// MULTI_EXIT_DISC.
+    pub const MED: u8 = 4;
+    /// LOCAL_PREF.
+    pub const LOCAL_PREF: u8 = 5;
+    /// ATOMIC_AGGREGATE.
+    pub const ATOMIC_AGGREGATE: u8 = 6;
+    /// AGGREGATOR.
+    pub const AGGREGATOR: u8 = 7;
+    /// COMMUNITIES (RFC 1997).
+    pub const COMMUNITIES: u8 = 8;
+    /// MP_REACH_NLRI (RFC 4760).
+    pub const MP_REACH_NLRI: u8 = 14;
+    /// MP_UNREACH_NLRI (RFC 4760).
+    pub const MP_UNREACH_NLRI: u8 = 15;
+}
+
+/// Segment type codes inside AS_PATH.
+const SEG_AS_SET: u8 = 1;
+const SEG_AS_SEQUENCE: u8 = 2;
+
+/// How MP_REACH_NLRI is laid out in the surrounding record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpReachForm {
+    /// Full RFC 4760 form (AFI, SAFI, next hop, reserved byte, NLRI) — used
+    /// in BGP UPDATE messages.
+    Full,
+    /// Abbreviated RFC 6396 §4.3.4 form (next-hop length + next hop only) —
+    /// used inside TABLE_DUMP_V2 RIB entries, where the prefix lives in the
+    /// record header.
+    Abbreviated,
+}
+
+/// MP_REACH_NLRI contents.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MpReach {
+    /// IPv6 next hop (global scope address).
+    pub next_hop: Option<Ipv6Addr>,
+    /// Announced IPv6 prefixes (empty in the abbreviated RIB form).
+    pub nlri: Vec<Prefix>,
+}
+
+/// The decoded path attributes of one route.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedAttrs {
+    /// ORIGIN; defaults to IGP when absent.
+    pub origin: RouteOrigin,
+    /// AS_PATH; empty path when absent.
+    pub as_path: AsPath,
+    /// NEXT_HOP (IPv4).
+    pub next_hop: Option<Ipv4Addr>,
+    /// MULTI_EXIT_DISC.
+    pub med: Option<u32>,
+    /// LOCAL_PREF.
+    pub local_pref: Option<u32>,
+    /// ATOMIC_AGGREGATE presence.
+    pub atomic_aggregate: bool,
+    /// AGGREGATOR (ASN + router id).
+    pub aggregator: Option<(Asn, Ipv4Addr)>,
+    /// Standard communities.
+    pub communities: Vec<Community>,
+    /// MP_REACH_NLRI (IPv6 announcements).
+    pub mp_reach: Option<MpReach>,
+    /// MP_UNREACH_NLRI (IPv6 withdrawals).
+    pub mp_unreach: Option<Vec<Prefix>>,
+}
+
+impl ParsedAttrs {
+    /// Builds attributes carrying just an AS path (the common case for
+    /// synthesized records).
+    pub fn from_path(as_path: AsPath) -> Self {
+        ParsedAttrs {
+            as_path,
+            ..Default::default()
+        }
+    }
+}
+
+fn decode_as_path(cur: &mut Cursor, asn_bytes: usize) -> Result<AsPath, DecodeError> {
+    let mut segments = Vec::new();
+    while !cur.is_empty() {
+        let seg_type = cur.u8("AS_PATH segment type")?;
+        let count = cur.u8("AS_PATH segment length")? as usize;
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            let asn = match asn_bytes {
+                2 => cur.u16("AS_PATH ASN")? as u32,
+                _ => cur.u32("AS_PATH ASN")?,
+            };
+            asns.push(Asn(asn));
+        }
+        match seg_type {
+            SEG_AS_SEQUENCE => segments.push(Segment::Sequence(asns)),
+            SEG_AS_SET => segments.push(Segment::Set(asns)),
+            _ => {
+                return Err(DecodeError::Invalid {
+                    context: "AS_PATH segment type",
+                })
+            }
+        }
+    }
+    Ok(AsPath::from_segments(segments))
+}
+
+fn encode_as_path(path: &AsPath, asn_bytes: usize, out: &mut BytesMut) {
+    for seg in path.segments() {
+        let (code, asns) = match seg {
+            Segment::Sequence(v) => (SEG_AS_SEQUENCE, v),
+            Segment::Set(v) => (SEG_AS_SET, v),
+        };
+        // BGP caps a segment at 255 ASNs; split longer ones.
+        for chunk in asns.chunks(255) {
+            out.put_u8(code);
+            out.put_u8(chunk.len() as u8);
+            for asn in chunk {
+                match asn_bytes {
+                    2 => out.put_u16(asn.0 as u16),
+                    _ => out.put_u32(asn.0),
+                }
+            }
+        }
+    }
+}
+
+fn decode_mp_reach(cur: &mut Cursor, form: MpReachForm) -> Result<MpReach, DecodeError> {
+    match form {
+        MpReachForm::Full => {
+            let afi = cur.u16("MP_REACH_NLRI AFI")?;
+            let safi = cur.u8("MP_REACH_NLRI SAFI")?;
+            if afi != 2 || safi != 1 {
+                return Err(DecodeError::Invalid {
+                    context: "MP_REACH_NLRI AFI/SAFI",
+                });
+            }
+            let nh = decode_mp_next_hop(cur)?;
+            cur.skip(1, "MP_REACH_NLRI reserved byte")?;
+            let nlri = nlri::decode_prefix_run(cur, Family::Ipv6).map_err(|_| {
+                DecodeError::Invalid {
+                    context: "MP_REACH_NLRI prefixes",
+                }
+            })?;
+            Ok(MpReach {
+                next_hop: nh,
+                nlri,
+            })
+        }
+        MpReachForm::Abbreviated => {
+            let nh = decode_mp_next_hop(cur)?;
+            if !cur.is_empty() {
+                return Err(DecodeError::Invalid {
+                    context: "MP_REACH_NLRI trailing bytes",
+                });
+            }
+            Ok(MpReach {
+                next_hop: nh,
+                nlri: Vec::new(),
+            })
+        }
+    }
+}
+
+fn decode_mp_next_hop(cur: &mut Cursor) -> Result<Option<Ipv6Addr>, DecodeError> {
+    let nh_len = cur.u8("MP_REACH_NLRI next-hop length")? as usize;
+    match nh_len {
+        0 => Ok(None),
+        16 | 32 => {
+            // 32 = global + link-local; we keep the global address.
+            let global = cur.u128("MP_REACH_NLRI next hop")?;
+            if nh_len == 32 {
+                cur.skip(16, "MP_REACH_NLRI link-local next hop")?;
+            }
+            Ok(Some(Ipv6Addr::from(global)))
+        }
+        _ => Err(DecodeError::Invalid {
+            context: "MP_REACH_NLRI next-hop length",
+        }),
+    }
+}
+
+/// Decodes a full path-attribute block.
+///
+/// `asn_bytes` is 2 for legacy `BGP4MP_MESSAGE` records and 4 everywhere
+/// else (TABLE_DUMP_V2 stores 4-byte ASNs unconditionally). `mp_form`
+/// selects the MP_REACH layout of the surrounding record type.
+///
+/// A repeated attribute type is a decode error ("Duplicate Path Attribute"
+/// in bgpreader terms — one of the paper's ADD-PATH corruption signatures).
+pub fn decode_attrs(
+    cur: &mut Cursor,
+    asn_bytes: usize,
+    mp_form: MpReachForm,
+) -> Result<ParsedAttrs, DecodeError> {
+    let mut out = ParsedAttrs::default();
+    let mut seen = [false; 256];
+    while !cur.is_empty() {
+        let flags = cur.u8("attribute flags")?;
+        let code = cur.u8("attribute type")?;
+        let len = if flags & 0x10 != 0 {
+            cur.u16("attribute extended length")? as usize
+        } else {
+            cur.u8("attribute length")? as usize
+        };
+        if seen[code as usize] {
+            return Err(DecodeError::Invalid {
+                context: "duplicate path attribute",
+            });
+        }
+        seen[code as usize] = true;
+        let mut body = cur.sub(len, "attribute body")?;
+        match code {
+            type_code::ORIGIN => {
+                let v = body.u8("ORIGIN value")?;
+                out.origin = RouteOrigin::from_code(v).ok_or(DecodeError::Invalid {
+                    context: "ORIGIN value",
+                })?;
+            }
+            type_code::AS_PATH => {
+                out.as_path = decode_as_path(&mut body, asn_bytes)?;
+            }
+            type_code::NEXT_HOP => {
+                let v = body.u32("NEXT_HOP")?;
+                out.next_hop = Some(Ipv4Addr::from(v));
+            }
+            type_code::MED => {
+                out.med = Some(body.u32("MED")?);
+            }
+            type_code::LOCAL_PREF => {
+                out.local_pref = Some(body.u32("LOCAL_PREF")?);
+            }
+            type_code::ATOMIC_AGGREGATE => {
+                out.atomic_aggregate = true;
+            }
+            type_code::AGGREGATOR => {
+                let asn = match asn_bytes {
+                    2 => body.u16("AGGREGATOR ASN")? as u32,
+                    _ => body.u32("AGGREGATOR ASN")?,
+                };
+                let id = body.u32("AGGREGATOR router id")?;
+                out.aggregator = Some((Asn(asn), Ipv4Addr::from(id)));
+            }
+            type_code::COMMUNITIES => {
+                let mut communities = Vec::with_capacity(body.remaining() / 4);
+                while !body.is_empty() {
+                    communities.push(Community(body.u32("COMMUNITIES member")?));
+                }
+                out.communities = communities;
+            }
+            type_code::MP_REACH_NLRI => {
+                out.mp_reach = Some(decode_mp_reach(&mut body, mp_form)?);
+            }
+            type_code::MP_UNREACH_NLRI => {
+                let afi = body.u16("MP_UNREACH_NLRI AFI")?;
+                let safi = body.u8("MP_UNREACH_NLRI SAFI")?;
+                if afi != 2 || safi != 1 {
+                    return Err(DecodeError::Invalid {
+                        context: "MP_UNREACH_NLRI AFI/SAFI",
+                    });
+                }
+                let prefixes =
+                    nlri::decode_prefix_run(&mut body, Family::Ipv6).map_err(|_| {
+                        DecodeError::Invalid {
+                            context: "MP_UNREACH_NLRI prefixes",
+                        }
+                    })?;
+                out.mp_unreach = Some(prefixes);
+            }
+            _ => {
+                // Unknown attribute: skip (the body sub-cursor already
+                // consumed it), as RFC 4271 requires for optional attributes.
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn put_attr(out: &mut BytesMut, flags: u8, code: u8, body: &[u8]) {
+    if body.len() > 255 {
+        out.put_u8(flags | 0x10);
+        out.put_u8(code);
+        out.put_u16(body.len() as u16);
+    } else {
+        out.put_u8(flags);
+        out.put_u8(code);
+        out.put_u8(body.len() as u8);
+    }
+    out.put_slice(body);
+}
+
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_OPTIONAL_TRANSITIVE: u8 = 0xC0;
+const FLAG_OPTIONAL: u8 = 0x80;
+
+/// Encodes a path-attribute block in canonical (ascending type) order.
+///
+/// Identical input always yields identical bytes, which the archive layer
+/// relies on for reproducible snapshots.
+pub fn encode_attrs(attrs: &ParsedAttrs, asn_bytes: usize, mp_form: MpReachForm) -> BytesMut {
+    let mut out = BytesMut::with_capacity(64);
+    // ORIGIN is well-known mandatory: always emitted.
+    put_attr(
+        &mut out,
+        FLAG_TRANSITIVE,
+        type_code::ORIGIN,
+        &[attrs.origin.code()],
+    );
+    let mut path_body = BytesMut::with_capacity(attrs.as_path.raw_len() * asn_bytes + 8);
+    encode_as_path(&attrs.as_path, asn_bytes, &mut path_body);
+    put_attr(&mut out, FLAG_TRANSITIVE, type_code::AS_PATH, &path_body);
+    if let Some(nh) = attrs.next_hop {
+        put_attr(
+            &mut out,
+            FLAG_TRANSITIVE,
+            type_code::NEXT_HOP,
+            &u32::from(nh).to_be_bytes(),
+        );
+    }
+    if let Some(med) = attrs.med {
+        put_attr(&mut out, FLAG_OPTIONAL, type_code::MED, &med.to_be_bytes());
+    }
+    if let Some(lp) = attrs.local_pref {
+        put_attr(
+            &mut out,
+            FLAG_TRANSITIVE,
+            type_code::LOCAL_PREF,
+            &lp.to_be_bytes(),
+        );
+    }
+    if attrs.atomic_aggregate {
+        put_attr(&mut out, FLAG_TRANSITIVE, type_code::ATOMIC_AGGREGATE, &[]);
+    }
+    if let Some((asn, id)) = attrs.aggregator {
+        let mut body = BytesMut::new();
+        match asn_bytes {
+            2 => body.put_u16(asn.0 as u16),
+            _ => body.put_u32(asn.0),
+        }
+        body.put_u32(u32::from(id));
+        put_attr(
+            &mut out,
+            FLAG_OPTIONAL_TRANSITIVE,
+            type_code::AGGREGATOR,
+            &body,
+        );
+    }
+    if !attrs.communities.is_empty() {
+        let mut body = BytesMut::with_capacity(attrs.communities.len() * 4);
+        for c in &attrs.communities {
+            body.put_u32(c.0);
+        }
+        put_attr(
+            &mut out,
+            FLAG_OPTIONAL_TRANSITIVE,
+            type_code::COMMUNITIES,
+            &body,
+        );
+    }
+    if let Some(mp) = &attrs.mp_reach {
+        let mut body = BytesMut::new();
+        if mp_form == MpReachForm::Full {
+            body.put_u16(2); // AFI IPv6
+            body.put_u8(1); // SAFI unicast
+        }
+        match mp.next_hop {
+            Some(nh) => {
+                body.put_u8(16);
+                body.put_u128(u128::from(nh));
+            }
+            None => body.put_u8(0),
+        }
+        if mp_form == MpReachForm::Full {
+            body.put_u8(0); // reserved
+            for p in &mp.nlri {
+                nlri::encode_prefix(&mut body, *p);
+            }
+        }
+        put_attr(&mut out, FLAG_OPTIONAL, type_code::MP_REACH_NLRI, &body);
+    }
+    if let Some(withdrawn) = &attrs.mp_unreach {
+        let mut body = BytesMut::new();
+        body.put_u16(2);
+        body.put_u8(1);
+        for p in withdrawn {
+            nlri::encode_prefix(&mut body, *p);
+        }
+        put_attr(&mut out, FLAG_OPTIONAL, type_code::MP_UNREACH_NLRI, &body);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn round_trip(attrs: &ParsedAttrs, asn_bytes: usize, form: MpReachForm) -> ParsedAttrs {
+        let bytes = encode_attrs(attrs, asn_bytes, form);
+        let mut cur = Cursor::new(bytes.freeze());
+        let decoded = decode_attrs(&mut cur, asn_bytes, form).unwrap();
+        assert!(cur.is_empty());
+        decoded
+    }
+
+    #[test]
+    fn minimal_attrs_round_trip() {
+        let attrs = ParsedAttrs::from_path("3356 1299 64496".parse().unwrap());
+        assert_eq!(round_trip(&attrs, 4, MpReachForm::Full), attrs);
+    }
+
+    #[test]
+    fn two_byte_asn_round_trip() {
+        let attrs = ParsedAttrs::from_path("3356 1299 702".parse().unwrap());
+        assert_eq!(round_trip(&attrs, 2, MpReachForm::Full), attrs);
+    }
+
+    #[test]
+    fn all_fields_round_trip() {
+        let attrs = ParsedAttrs {
+            origin: RouteOrigin::Incomplete,
+            as_path: "1 2 [3 4] 5".parse().unwrap(),
+            next_hop: Some(Ipv4Addr::new(192, 0, 2, 1)),
+            med: Some(50),
+            local_pref: Some(100),
+            atomic_aggregate: true,
+            aggregator: Some((Asn(65001), Ipv4Addr::new(10, 0, 0, 1))),
+            communities: vec![Community::new(3257, 2990), Community::NO_EXPORT],
+            mp_reach: None,
+            mp_unreach: None,
+        };
+        assert_eq!(round_trip(&attrs, 4, MpReachForm::Full), attrs);
+    }
+
+    #[test]
+    fn mp_reach_full_round_trip() {
+        let attrs = ParsedAttrs {
+            as_path: "6939 64500".parse().unwrap(),
+            mp_reach: Some(MpReach {
+                next_hop: Some("2001:db8::1".parse().unwrap()),
+                nlri: vec!["2001:db8::/32".parse().unwrap(), "240a:a000::/20".parse().unwrap()],
+            }),
+            mp_unreach: Some(vec!["2001:db8:dead::/48".parse().unwrap()]),
+            ..Default::default()
+        };
+        assert_eq!(round_trip(&attrs, 4, MpReachForm::Full), attrs);
+    }
+
+    #[test]
+    fn mp_reach_abbreviated_round_trip() {
+        let attrs = ParsedAttrs {
+            as_path: "6939 64500".parse().unwrap(),
+            mp_reach: Some(MpReach {
+                next_hop: Some("2001:db8::1".parse().unwrap()),
+                nlri: vec![],
+            }),
+            ..Default::default()
+        };
+        assert_eq!(round_trip(&attrs, 4, MpReachForm::Abbreviated), attrs);
+    }
+
+    #[test]
+    fn long_as_path_uses_extended_length() {
+        // 200 hops * 4 bytes > 255 => extended-length attribute.
+        let hops: Vec<Asn> = (1..=200).map(Asn).collect();
+        let attrs = ParsedAttrs::from_path(AsPath::from_asns(hops));
+        assert_eq!(round_trip(&attrs, 4, MpReachForm::Full), attrs);
+    }
+
+    #[test]
+    fn very_long_segment_splits_at_255() {
+        let hops: Vec<Asn> = (1..=300).map(Asn).collect();
+        let attrs = ParsedAttrs::from_path(AsPath::from_asns(hops.clone()));
+        let decoded = round_trip(&attrs, 4, MpReachForm::Full);
+        // Wire format forces a split into two sequence segments, but
+        // canonical from_segments merges them back.
+        assert_eq!(decoded.as_path, AsPath::from_asns(hops));
+    }
+
+    #[test]
+    fn duplicate_attribute_is_rejected() {
+        let attrs = ParsedAttrs::from_path("1 2".parse().unwrap());
+        let mut bytes = encode_attrs(&attrs, 4, MpReachForm::Full);
+        let copy = bytes.clone();
+        bytes.extend_from_slice(&copy); // every attribute now appears twice
+        let mut cur = Cursor::new(bytes.freeze());
+        let err = decode_attrs(&mut cur, 4, MpReachForm::Full).unwrap_err();
+        assert_eq!(err.context(), "duplicate path attribute");
+    }
+
+    #[test]
+    fn unknown_attribute_is_skipped() {
+        let mut bytes = encode_attrs(
+            &ParsedAttrs::from_path("1 2".parse().unwrap()),
+            4,
+            MpReachForm::Full,
+        );
+        // Append an unknown optional attribute (type 99, 3-byte body).
+        bytes.put_u8(FLAG_OPTIONAL);
+        bytes.put_u8(99);
+        bytes.put_u8(3);
+        bytes.put_slice(&[1, 2, 3]);
+        let mut cur = Cursor::new(bytes.freeze());
+        let decoded = decode_attrs(&mut cur, 4, MpReachForm::Full).unwrap();
+        assert_eq!(decoded.as_path, "1 2".parse().unwrap());
+    }
+
+    #[test]
+    fn truncated_attribute_is_an_error() {
+        let bytes = encode_attrs(
+            &ParsedAttrs::from_path("1 2".parse().unwrap()),
+            4,
+            MpReachForm::Full,
+        );
+        for cut in 1..bytes.len() {
+            let mut cur = Cursor::new(Bytes::copy_from_slice(&bytes[..cut]));
+            // Must never panic; truncations are decode errors (or, for cuts
+            // landing exactly between attributes, a shorter valid block).
+            let _ = decode_attrs(&mut cur, 4, MpReachForm::Full);
+        }
+    }
+
+    #[test]
+    fn bad_origin_value_is_rejected() {
+        let mut bytes = BytesMut::new();
+        put_attr(&mut bytes, FLAG_TRANSITIVE, type_code::ORIGIN, &[9]);
+        let mut cur = Cursor::new(bytes.freeze());
+        assert!(decode_attrs(&mut cur, 4, MpReachForm::Full).is_err());
+    }
+
+    #[test]
+    fn bad_mp_afi_is_rejected() {
+        let mut body = BytesMut::new();
+        body.put_u16(1); // AFI v4 inside MP_REACH: not supported
+        body.put_u8(1);
+        body.put_u8(0);
+        body.put_u8(0);
+        let mut bytes = BytesMut::new();
+        put_attr(&mut bytes, FLAG_OPTIONAL, type_code::MP_REACH_NLRI, &body);
+        let mut cur = Cursor::new(bytes.freeze());
+        let err = decode_attrs(&mut cur, 4, MpReachForm::Full).unwrap_err();
+        assert!(err.context().contains("MP_REACH"));
+    }
+}

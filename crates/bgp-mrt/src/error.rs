@@ -1,0 +1,122 @@
+//! Errors for MRT encoding and decoding.
+
+use std::fmt;
+use std::io;
+
+/// A fatal error while reading or writing an MRT stream.
+///
+/// Per-record *format* problems are not fatal: the tolerant reader converts
+/// them into [`crate::MrtWarning`]s and resynchronizes. `MrtError` is
+/// reserved for conditions that prevent continuing at all (I/O failure, a
+/// header that cannot be framed).
+#[derive(Debug)]
+pub enum MrtError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The stream ended in the middle of an MRT common header.
+    TruncatedHeader {
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A record declared a length larger than the configured sanity cap,
+    /// which would otherwise let a corrupt length field demand gigabytes.
+    RecordTooLarge {
+        /// Declared body length.
+        declared: u32,
+        /// The cap in force.
+        cap: u32,
+    },
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Io(e) => write!(f, "I/O error: {e}"),
+            MrtError::TruncatedHeader { have } => {
+                write!(f, "stream ends inside an MRT header ({have} bytes left)")
+            }
+            MrtError::RecordTooLarge { declared, cap } => {
+                write!(f, "MRT record declares {declared} bytes, cap is {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MrtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrtError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MrtError {
+    fn from(e: io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}
+
+/// A non-fatal decode problem within one record body.
+///
+/// Converted by the reader into an [`crate::MrtWarning`] carrying record
+/// context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The record body ended before a field was complete.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A field held a value the decoder cannot represent.
+    Invalid {
+        /// What was being decoded.
+        context: &'static str,
+    },
+}
+
+impl DecodeError {
+    /// Short label used in warning text.
+    pub fn context(&self) -> &'static str {
+        match self {
+            DecodeError::Truncated { context } | DecodeError::Invalid { context } => context,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { context } => write!(f, "truncated while decoding {context}"),
+            DecodeError::Invalid { context } => write!(f, "invalid {context}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        let e = MrtError::TruncatedHeader { have: 3 };
+        assert!(e.to_string().contains("3 bytes"));
+        let e = MrtError::RecordTooLarge {
+            declared: 1 << 30,
+            cap: 1 << 24,
+        };
+        assert!(e.to_string().contains("cap"));
+        let e = DecodeError::Truncated { context: "AS_PATH" };
+        assert_eq!(e.to_string(), "truncated while decoding AS_PATH");
+        assert_eq!(e.context(), "AS_PATH");
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        let e: MrtError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("eof"));
+    }
+}

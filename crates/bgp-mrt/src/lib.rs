@@ -1,0 +1,88 @@
+//! Reader and writer for the MRT export format (RFC 6396) as used by the
+//! RIPE RIS and RouteViews BGP collector archives.
+//!
+//! # Scope
+//!
+//! Like the archives the paper consumes, this crate supports exactly:
+//!
+//! * `TABLE_DUMP_V2` (type 13): `PEER_INDEX_TABLE`, `RIB_IPV4_UNICAST`,
+//!   `RIB_IPV6_UNICAST`. The ADD-PATH subtypes (RFC 8050) are *recognized*
+//!   but not decoded — the reader emits a [`MrtWarning`] and skips them,
+//!   matching the behaviour (and the warning text) the paper keys on to
+//!   identify broken peers (Appendix A8.3).
+//! * legacy `TABLE_DUMP` (type 12): the 2002-era format the paper's §3
+//!   reproduction reads (one record per route, 2-byte ASNs).
+//! * `BGP4MP` / `BGP4MP_ET` (types 16/17): `MESSAGE` and `MESSAGE_AS4`
+//!   carrying BGP UPDATE messages, including `MP_REACH_NLRI` /
+//!   `MP_UNREACH_NLRI` for IPv6.
+//!
+//! Everything else is intentionally absent and produces a warning, never a
+//! panic: the reader must survive arbitrary bytes (fault-injection tests
+//! feed it truncated and bit-flipped records).
+//!
+//! # Tolerant parsing
+//!
+//! [`reader::MrtReader`] is *strict per record* but *tolerant per stream*:
+//! a malformed record yields an [`MrtWarning`] and the reader resynchronizes
+//! at the next record boundary using the MRT length field. This mirrors
+//! `bgpreader`, whose warnings ("unknown BGP4MP record subtype 9",
+//! "Duplicate Path Attribute", "Invalid MP(UN)REACH NLRI") are the paper's
+//! signal for ADD-PATH-incompatible peers.
+//!
+//! # Writing
+//!
+//! The writer half ([`writer`]) produces byte-identical output for identical
+//! input and supports deliberate *corruption modes* so the simulator can
+//! inject the artifact classes the paper sanitizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attrs;
+pub mod error;
+pub mod nlri;
+pub mod reader;
+pub mod record;
+pub mod table_dump_v1;
+pub mod warnings;
+pub mod wire;
+pub mod writer;
+
+pub use error::MrtError;
+pub use reader::{MrtReader, RibDumpReader, UpdatesReader};
+pub use record::{
+    Bgp4mpMessage, BgpMessage, MrtRecord, PeerEntry, PeerIndexTable, RibEntriesRecord,
+    RibEntryRaw, UpdateMessage,
+};
+pub use warnings::{MrtWarning, WarningKind};
+pub use writer::{CorruptionMode, RibDumpWriter, UpdateDumpWriter};
+
+/// MRT record type: TABLE_DUMP (v1, 2002-era archives).
+pub const TYPE_TABLE_DUMP: u16 = 12;
+/// MRT record type: TABLE_DUMP_V2.
+pub const TYPE_TABLE_DUMP_V2: u16 = 13;
+/// MRT record type: BGP4MP.
+pub const TYPE_BGP4MP: u16 = 16;
+/// MRT record type: BGP4MP_ET (extended timestamp).
+pub const TYPE_BGP4MP_ET: u16 = 17;
+
+/// TABLE_DUMP_V2 subtype: PEER_INDEX_TABLE.
+pub const SUBTYPE_PEER_INDEX_TABLE: u16 = 1;
+/// TABLE_DUMP_V2 subtype: RIB_IPV4_UNICAST.
+pub const SUBTYPE_RIB_IPV4_UNICAST: u16 = 2;
+/// TABLE_DUMP_V2 subtype: RIB_IPV6_UNICAST.
+pub const SUBTYPE_RIB_IPV6_UNICAST: u16 = 4;
+/// TABLE_DUMP_V2 subtype: RIB_IPV4_UNICAST_ADDPATH (RFC 8050), flagged only.
+pub const SUBTYPE_RIB_IPV4_UNICAST_ADDPATH: u16 = 8;
+/// TABLE_DUMP_V2 subtype: RIB_IPV6_UNICAST_ADDPATH (RFC 8050), flagged only.
+pub const SUBTYPE_RIB_IPV6_UNICAST_ADDPATH: u16 = 10;
+
+/// BGP4MP subtype: MESSAGE (2-byte ASNs).
+pub const SUBTYPE_BGP4MP_MESSAGE: u16 = 1;
+/// BGP4MP subtype: MESSAGE_AS4 (4-byte ASNs).
+pub const SUBTYPE_BGP4MP_MESSAGE_AS4: u16 = 4;
+/// BGP4MP subtype: MESSAGE_ADDPATH (RFC 8050), flagged only.
+pub const SUBTYPE_BGP4MP_MESSAGE_ADDPATH: u16 = 8;
+/// BGP4MP subtype: MESSAGE_AS4_ADDPATH (RFC 8050) — the "unknown BGP4MP
+/// record subtype 9" of the paper's Appendix A8.3 — flagged only.
+pub const SUBTYPE_BGP4MP_MESSAGE_AS4_ADDPATH: u16 = 9;

@@ -1,0 +1,170 @@
+//! NLRI (prefix) encoding and decoding (RFC 4271 §4.3).
+//!
+//! A prefix on the wire is one length byte followed by
+//! `ceil(len / 8)` address bytes.
+
+use crate::error::DecodeError;
+use crate::wire::Cursor;
+use bgp_types::{Family, Ipv4Prefix, Ipv6Prefix, Prefix};
+use bytes::BufMut;
+
+/// Number of address bytes a prefix of `len` bits occupies on the wire.
+pub fn wire_bytes(len: u8) -> usize {
+    (len as usize).div_ceil(8)
+}
+
+/// Decodes one prefix of the given family from the cursor.
+///
+/// Fails on lengths above the family maximum and on set host bits in the
+/// trailing partial byte (non-canonical announcements do occur in the wild;
+/// we mask rather than reject whole-byte garbage, but a length byte above
+/// the family max is unrecoverable).
+pub fn decode_prefix(cur: &mut Cursor, family: Family) -> Result<Prefix, DecodeError> {
+    let len = cur.u8("NLRI length")?;
+    if len > family.max_len() {
+        return Err(DecodeError::Invalid {
+            context: "NLRI length",
+        });
+    }
+    let nbytes = wire_bytes(len);
+    let raw = cur.take(nbytes, "NLRI address bytes")?;
+    match family {
+        Family::Ipv4 => {
+            let mut octets = [0u8; 4];
+            octets[..nbytes].copy_from_slice(&raw);
+            let addr = u32::from_be_bytes(octets);
+            Ok(Prefix::V4(
+                Ipv4Prefix::new_masked(addr, len).expect("len validated above"),
+            ))
+        }
+        Family::Ipv6 => {
+            let mut octets = [0u8; 16];
+            octets[..nbytes].copy_from_slice(&raw);
+            let addr = u128::from_be_bytes(octets);
+            Ok(Prefix::V6(
+                Ipv6Prefix::new_masked(addr, len).expect("len validated above"),
+            ))
+        }
+    }
+}
+
+/// Decodes prefixes of one family until the cursor is exhausted.
+pub fn decode_prefix_run(cur: &mut Cursor, family: Family) -> Result<Vec<Prefix>, DecodeError> {
+    let mut out = Vec::new();
+    while !cur.is_empty() {
+        out.push(decode_prefix(cur, family)?);
+    }
+    Ok(out)
+}
+
+/// Encodes one prefix in wire form.
+pub fn encode_prefix(out: &mut impl BufMut, prefix: Prefix) {
+    match prefix {
+        Prefix::V4(p) => {
+            out.put_u8(p.len());
+            let bytes = p.addr().to_be_bytes();
+            out.put_slice(&bytes[..wire_bytes(p.len())]);
+        }
+        Prefix::V6(p) => {
+            out.put_u8(p.len());
+            let bytes = p.addr().to_be_bytes();
+            out.put_slice(&bytes[..wire_bytes(p.len())]);
+        }
+    }
+}
+
+/// Bytes `encode_prefix` will emit for this prefix (length byte included).
+pub fn encoded_len(prefix: Prefix) -> usize {
+    1 + wire_bytes(prefix.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::{Bytes, BytesMut};
+
+    fn round_trip(s: &str) {
+        let p: Prefix = s.parse().unwrap();
+        let mut buf = BytesMut::new();
+        encode_prefix(&mut buf, p);
+        assert_eq!(buf.len(), encoded_len(p));
+        let mut cur = Cursor::new(buf.freeze());
+        let decoded = decode_prefix(&mut cur, p.family()).unwrap();
+        assert_eq!(decoded, p);
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn round_trips_v4() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "192.0.2.128/25", "1.2.3.4/32"] {
+            round_trip(s);
+        }
+    }
+
+    #[test]
+    fn round_trips_v6() {
+        for s in ["::/0", "2001:db8::/32", "240a:a000::/20", "2001:db8::1/128"] {
+            round_trip(s);
+        }
+    }
+
+    #[test]
+    fn partial_byte_encoding_is_minimal() {
+        let p: Prefix = "10.128.0.0/9".parse().unwrap();
+        let mut buf = BytesMut::new();
+        encode_prefix(&mut buf, p);
+        // 1 length byte + 2 address bytes for /9.
+        assert_eq!(buf.as_ref(), &[9, 10, 128]);
+    }
+
+    #[test]
+    fn decode_masks_stray_host_bits() {
+        // /8 with a second byte present-but-dirty is not possible (only one
+        // byte on the wire); /9 with low bits set in byte 2 gets masked.
+        let mut cur = Cursor::new(Bytes::from_static(&[9, 10, 0xFF]));
+        let p = decode_prefix(&mut cur, Family::Ipv4).unwrap();
+        assert_eq!(p.to_string(), "10.128.0.0/9");
+    }
+
+    #[test]
+    fn decode_rejects_oversized_length() {
+        let mut cur = Cursor::new(Bytes::from_static(&[33, 1, 2, 3, 4, 5]));
+        assert!(decode_prefix(&mut cur, Family::Ipv4).is_err());
+        let mut cur = Cursor::new(Bytes::from_static(&[129]));
+        assert!(decode_prefix(&mut cur, Family::Ipv6).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut cur = Cursor::new(Bytes::from_static(&[24, 10, 0]));
+        assert!(matches!(
+            decode_prefix(&mut cur, Family::Ipv4),
+            Err(DecodeError::Truncated { .. })
+        ));
+        let mut cur = Cursor::new(Bytes::from_static(&[]));
+        assert!(decode_prefix(&mut cur, Family::Ipv4).is_err());
+    }
+
+    #[test]
+    fn run_decoding() {
+        let mut buf = BytesMut::new();
+        let a: Prefix = "10.0.0.0/8".parse().unwrap();
+        let b: Prefix = "192.0.2.0/24".parse().unwrap();
+        encode_prefix(&mut buf, a);
+        encode_prefix(&mut buf, b);
+        let mut cur = Cursor::new(buf.freeze());
+        let run = decode_prefix_run(&mut cur, Family::Ipv4).unwrap();
+        assert_eq!(run, vec![a, b]);
+    }
+
+    #[test]
+    fn wire_bytes_boundaries() {
+        assert_eq!(wire_bytes(0), 0);
+        assert_eq!(wire_bytes(1), 1);
+        assert_eq!(wire_bytes(8), 1);
+        assert_eq!(wire_bytes(9), 2);
+        assert_eq!(wire_bytes(24), 3);
+        assert_eq!(wire_bytes(32), 4);
+        assert_eq!(wire_bytes(128), 16);
+    }
+}

@@ -1,0 +1,543 @@
+//! Tolerant, streaming MRT reader.
+
+use crate::attrs::{self, MpReachForm};
+use crate::error::{DecodeError, MrtError};
+use crate::record::{
+    Bgp4mpMessage, BgpMessage, MrtRecord, PeerEntry, PeerIndexTable, RibEntriesRecord,
+    RibEntryRaw, UpdateMessage,
+};
+use crate::warnings::{MrtWarning, WarningKind};
+use crate::wire::Cursor;
+use crate::table_dump_v1::{decode_table_dump, SUBTYPE_AFI_IPV4, SUBTYPE_AFI_IPV6};
+use crate::{
+    SUBTYPE_BGP4MP_MESSAGE, SUBTYPE_BGP4MP_MESSAGE_ADDPATH, SUBTYPE_BGP4MP_MESSAGE_AS4,
+    SUBTYPE_BGP4MP_MESSAGE_AS4_ADDPATH, SUBTYPE_PEER_INDEX_TABLE, SUBTYPE_RIB_IPV4_UNICAST,
+    SUBTYPE_RIB_IPV4_UNICAST_ADDPATH, SUBTYPE_RIB_IPV6_UNICAST, SUBTYPE_RIB_IPV6_UNICAST_ADDPATH,
+    TYPE_BGP4MP, TYPE_BGP4MP_ET, TYPE_TABLE_DUMP, TYPE_TABLE_DUMP_V2,
+};
+use bgp_types::{Asn, Family, PeerKey, RibEntry, RouteAttrs, SimTime, UpdateRecord};
+use bytes::Bytes;
+use std::io::Read;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Default cap on a single record body; protects against corrupt length
+/// fields demanding absurd allocations.
+pub const DEFAULT_RECORD_CAP: u32 = 32 * 1024 * 1024;
+
+/// A framed-but-undecoded MRT record.
+#[derive(Debug, Clone)]
+pub struct RawRecord {
+    /// Header timestamp (Unix seconds).
+    pub timestamp: u32,
+    /// MRT type code.
+    pub mrt_type: u16,
+    /// MRT subtype code.
+    pub subtype: u16,
+    /// The record body.
+    pub body: Bytes,
+}
+
+/// Output of one reader step: a decoded record or a warning for a record
+/// that was skipped.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum ReadItem {
+    /// A successfully decoded record.
+    Record(MrtRecord),
+    /// A record that could not be decoded and was skipped.
+    Warning(MrtWarning),
+}
+
+/// Streaming MRT reader: strict per record, tolerant per stream.
+#[derive(Debug)]
+pub struct MrtReader<R> {
+    inner: R,
+    record_index: u64,
+    cap: u32,
+}
+
+impl<R: Read> MrtReader<R> {
+    /// Wraps a byte source.
+    pub fn new(inner: R) -> Self {
+        Self::with_cap(inner, DEFAULT_RECORD_CAP)
+    }
+
+    /// Wraps a byte source with a custom record-size cap.
+    pub fn with_cap(inner: R, cap: u32) -> Self {
+        MrtReader {
+            inner,
+            record_index: 0,
+            cap,
+        }
+    }
+
+    /// Index of the next record to be read.
+    pub fn record_index(&self) -> u64 {
+        self.record_index
+    }
+
+    /// Frames the next record without decoding its body.
+    ///
+    /// Returns `Ok(None)` at a clean end of stream.
+    pub fn next_raw(&mut self) -> Result<Option<RawRecord>, MrtError> {
+        let mut header = [0u8; 12];
+        let mut filled = 0;
+        while filled < header.len() {
+            let n = self.inner.read(&mut header[filled..])?;
+            if n == 0 {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(MrtError::TruncatedHeader { have: filled })
+                };
+            }
+            filled += n;
+        }
+        let timestamp = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+        let mrt_type = u16::from_be_bytes([header[4], header[5]]);
+        let subtype = u16::from_be_bytes([header[6], header[7]]);
+        let length = u32::from_be_bytes([header[8], header[9], header[10], header[11]]);
+        if length > self.cap {
+            return Err(MrtError::RecordTooLarge {
+                declared: length,
+                cap: self.cap,
+            });
+        }
+        let mut body = vec![0u8; length as usize];
+        self.inner.read_exact(&mut body).map_err(MrtError::Io)?;
+        self.record_index += 1;
+        Ok(Some(RawRecord {
+            timestamp,
+            mrt_type,
+            subtype,
+            body: Bytes::from(body),
+        }))
+    }
+
+    /// Decodes the next record, converting per-record failures into
+    /// warnings. Returns `Ok(None)` at a clean end of stream; `Err` only
+    /// for stream-fatal conditions.
+    ///
+    /// (Deliberately named like `Iterator::next`; a fallible pull API
+    /// cannot implement `Iterator` without hiding stream-fatal errors.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<ReadItem>, MrtError> {
+        let Some(raw) = self.next_raw()? else {
+            return Ok(None);
+        };
+        let index = self.record_index - 1;
+        Ok(Some(decode_record(&raw, index)))
+    }
+
+    /// Drains the stream into (records, warnings).
+    pub fn read_all(mut self) -> Result<(Vec<MrtRecord>, Vec<MrtWarning>), MrtError> {
+        let mut records = Vec::new();
+        let mut warnings = Vec::new();
+        while let Some(item) = self.next()? {
+            match item {
+                ReadItem::Record(r) => records.push(r),
+                ReadItem::Warning(w) => warnings.push(w),
+            }
+        }
+        Ok((records, warnings))
+    }
+}
+
+/// Decodes a framed record, mapping failures to warnings.
+pub fn decode_record(raw: &RawRecord, index: u64) -> ReadItem {
+    let ts = SimTime::from_unix(raw.timestamp as u64);
+    let warn = |kind: WarningKind, peer: Option<PeerKey>| {
+        ReadItem::Warning(MrtWarning {
+            record_index: index,
+            timestamp: Some(ts),
+            peer,
+            kind,
+        })
+    };
+    match (raw.mrt_type, raw.subtype) {
+        (TYPE_TABLE_DUMP, sub @ (SUBTYPE_AFI_IPV4 | SUBTYPE_AFI_IPV6)) => {
+            let family = if sub == SUBTYPE_AFI_IPV4 {
+                Family::Ipv4
+            } else {
+                Family::Ipv6
+            };
+            match decode_table_dump(&mut Cursor::new(raw.body.clone()), family) {
+                Ok(r) => ReadItem::Record(MrtRecord::TableDumpV1(r)),
+                Err(e) => warn(WarningKind::from_decode(&e), None),
+            }
+        }
+        (TYPE_TABLE_DUMP, sub) => warn(
+            WarningKind::UnknownSubtype {
+                mrt_type: TYPE_TABLE_DUMP,
+                subtype: sub,
+            },
+            None,
+        ),
+        (TYPE_TABLE_DUMP_V2, SUBTYPE_PEER_INDEX_TABLE) => {
+            match decode_peer_index_table(&mut Cursor::new(raw.body.clone())) {
+                Ok(t) => ReadItem::Record(MrtRecord::PeerIndexTable(t)),
+                Err(e) => warn(WarningKind::from_decode(&e), None),
+            }
+        }
+        (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST) => {
+            match decode_rib(&mut Cursor::new(raw.body.clone()), Family::Ipv4) {
+                Ok(r) => ReadItem::Record(MrtRecord::RibEntries(r)),
+                Err(e) => warn(WarningKind::from_decode(&e), None),
+            }
+        }
+        (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV6_UNICAST) => {
+            match decode_rib(&mut Cursor::new(raw.body.clone()), Family::Ipv6) {
+                Ok(r) => ReadItem::Record(MrtRecord::RibEntries(r)),
+                Err(e) => warn(WarningKind::from_decode(&e), None),
+            }
+        }
+        (
+            TYPE_TABLE_DUMP_V2,
+            sub @ (SUBTYPE_RIB_IPV4_UNICAST_ADDPATH | SUBTYPE_RIB_IPV6_UNICAST_ADDPATH),
+        ) => warn(
+            WarningKind::UnknownSubtype {
+                mrt_type: TYPE_TABLE_DUMP_V2,
+                subtype: sub,
+            },
+            None,
+        ),
+        (TYPE_TABLE_DUMP_V2, sub) => warn(
+            WarningKind::UnknownSubtype {
+                mrt_type: TYPE_TABLE_DUMP_V2,
+                subtype: sub,
+            },
+            None,
+        ),
+        (t @ (TYPE_BGP4MP | TYPE_BGP4MP_ET), sub) => {
+            let mut cur = Cursor::new(raw.body.clone());
+            if t == TYPE_BGP4MP_ET {
+                if let Err(e) = cur.skip(4, "BGP4MP_ET microseconds") {
+                    return warn(WarningKind::from_decode(&e), None);
+                }
+            }
+            match sub {
+                SUBTYPE_BGP4MP_MESSAGE | SUBTYPE_BGP4MP_MESSAGE_AS4 => {
+                    let as4 = sub == SUBTYPE_BGP4MP_MESSAGE_AS4;
+                    match decode_bgp4mp_message(&mut cur, as4, ts) {
+                        Ok(m) => ReadItem::Record(MrtRecord::Bgp4mp(m)),
+                        Err((e, peer)) => warn(WarningKind::from_decode(&e), peer),
+                    }
+                }
+                SUBTYPE_BGP4MP_MESSAGE_ADDPATH
+                | SUBTYPE_BGP4MP_MESSAGE_AS4_ADDPATH
+                | 10
+                | 11 => {
+                    // ADD-PATH records: we do not decode them, but the peer
+                    // fields sit before the NLRI, so best-effort attribution
+                    // is possible — the paper attributes these warnings to
+                    // specific peer ASNs.
+                    let as4 = sub == SUBTYPE_BGP4MP_MESSAGE_AS4_ADDPATH || sub == 11;
+                    let peer = decode_bgp4mp_peer(&mut cur, as4).ok().map(|(p, _)| p);
+                    warn(
+                        WarningKind::UnknownSubtype {
+                            mrt_type: t,
+                            subtype: sub,
+                        },
+                        peer,
+                    )
+                }
+                _ => warn(
+                    WarningKind::UnknownSubtype {
+                        mrt_type: t,
+                        subtype: sub,
+                    },
+                    None,
+                ),
+            }
+        }
+        (t, _) => warn(WarningKind::UnknownType { mrt_type: t }, None),
+    }
+}
+
+fn decode_peer_index_table(cur: &mut Cursor) -> Result<PeerIndexTable, DecodeError> {
+    let collector_bgp_id = cur.u32("collector BGP id")?;
+    let name_len = cur.u16("view name length")? as usize;
+    let name_bytes = cur.take(name_len, "view name")?;
+    let view_name = String::from_utf8_lossy(&name_bytes).into_owned();
+    let count = cur.u16("peer count")? as usize;
+    let mut peers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let peer_type = cur.u8("peer type")?;
+        let bgp_id = cur.u32("peer BGP id")?;
+        let addr = if peer_type & 0x01 != 0 {
+            IpAddr::V6(Ipv6Addr::from(cur.u128("peer IPv6 address")?))
+        } else {
+            IpAddr::V4(Ipv4Addr::from(cur.u32("peer IPv4 address")?))
+        };
+        let asn = if peer_type & 0x02 != 0 {
+            Asn(cur.u32("peer ASN (4 byte)")?)
+        } else {
+            Asn(cur.u16("peer ASN (2 byte)")? as u32)
+        };
+        peers.push(PeerEntry { bgp_id, addr, asn });
+    }
+    if !cur.is_empty() {
+        return Err(DecodeError::Invalid {
+            context: "trailing bytes after PEER_INDEX_TABLE",
+        });
+    }
+    Ok(PeerIndexTable {
+        collector_bgp_id,
+        view_name,
+        peers,
+    })
+}
+
+fn decode_rib(cur: &mut Cursor, family: Family) -> Result<RibEntriesRecord, DecodeError> {
+    let sequence = cur.u32("RIB sequence number")?;
+    let prefix = crate::nlri::decode_prefix(cur, family)?;
+    let count = cur.u16("RIB entry count")? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let peer_index = cur.u16("RIB entry peer index")?;
+        let originated = cur.u32("RIB entry originated time")?;
+        let attr_len = cur.u16("RIB entry attribute length")? as usize;
+        let mut body = cur.sub(attr_len, "RIB entry attributes")?;
+        let attrs = attrs::decode_attrs(&mut body, 4, MpReachForm::Abbreviated)?;
+        entries.push(RibEntryRaw {
+            peer_index,
+            originated,
+            attrs,
+        });
+    }
+    if !cur.is_empty() {
+        return Err(DecodeError::Invalid {
+            context: "trailing bytes after RIB record",
+        });
+    }
+    Ok(RibEntriesRecord {
+        sequence,
+        prefix,
+        entries,
+    })
+}
+
+type PeerContext = (PeerKey, (Asn, IpAddr));
+
+/// Decodes the BGP4MP peer/local preamble; returns (peer, (local_asn,
+/// local_addr)).
+fn decode_bgp4mp_peer(cur: &mut Cursor, as4: bool) -> Result<PeerContext, DecodeError> {
+    let (peer_asn, local_asn) = if as4 {
+        (Asn(cur.u32("peer ASN")?), Asn(cur.u32("local ASN")?))
+    } else {
+        (
+            Asn(cur.u16("peer ASN")? as u32),
+            Asn(cur.u16("local ASN")? as u32),
+        )
+    };
+    cur.skip(2, "interface index")?;
+    let afi = cur.u16("address family")?;
+    let (peer_addr, local_addr) = match afi {
+        1 => (
+            IpAddr::V4(Ipv4Addr::from(cur.u32("peer address")?)),
+            IpAddr::V4(Ipv4Addr::from(cur.u32("local address")?)),
+        ),
+        2 => (
+            IpAddr::V6(Ipv6Addr::from(cur.u128("peer address")?)),
+            IpAddr::V6(Ipv6Addr::from(cur.u128("local address")?)),
+        ),
+        _ => {
+            return Err(DecodeError::Invalid {
+                context: "BGP4MP address family",
+            })
+        }
+    };
+    Ok((PeerKey::new(peer_asn, peer_addr), (local_asn, local_addr)))
+}
+
+#[allow(clippy::result_large_err)]
+fn decode_bgp4mp_message(
+    cur: &mut Cursor,
+    as4: bool,
+    ts: SimTime,
+) -> Result<Bgp4mpMessage, (DecodeError, Option<PeerKey>)> {
+    let (peer, (local_asn, local_addr)) =
+        decode_bgp4mp_peer(cur, as4).map_err(|e| (e, None))?;
+    let fail = |e: DecodeError| (e, Some(peer));
+
+    // BGP message header: 16-byte marker, 2-byte length, 1-byte type.
+    let marker = cur.take(16, "BGP marker").map_err(fail)?;
+    if marker.iter().any(|&b| b != 0xFF) {
+        return Err(fail(DecodeError::Invalid {
+            context: "BGP marker",
+        }));
+    }
+    let msg_len = cur.u16("BGP message length").map_err(fail)? as usize;
+    let msg_type = cur.u8("BGP message type").map_err(fail)?;
+    if msg_len < 19 {
+        return Err(fail(DecodeError::Invalid {
+            context: "BGP message length",
+        }));
+    }
+    let mut body = cur.sub(msg_len - 19, "BGP message body").map_err(fail)?;
+    if !cur.is_empty() {
+        return Err(fail(DecodeError::Invalid {
+            context: "trailing bytes after BGP message",
+        }));
+    }
+    let message = if msg_type == 2 {
+        let withdrawn_len = body.u16("withdrawn routes length").map_err(fail)? as usize;
+        let mut wcur = body.sub(withdrawn_len, "withdrawn routes").map_err(fail)?;
+        let withdrawn =
+            crate::nlri::decode_prefix_run(&mut wcur, Family::Ipv4).map_err(fail)?;
+        let attr_len = body.u16("path attribute length").map_err(fail)? as usize;
+        let mut acur = body.sub(attr_len, "path attributes").map_err(fail)?;
+        let attrs = attrs::decode_attrs(&mut acur, if as4 { 4 } else { 2 }, MpReachForm::Full)
+            .map_err(fail)?;
+        let announced =
+            crate::nlri::decode_prefix_run(&mut body, Family::Ipv4).map_err(fail)?;
+        BgpMessage::Update(UpdateMessage {
+            withdrawn,
+            attrs,
+            announced,
+        })
+    } else {
+        BgpMessage::Other { msg_type }
+    };
+    Ok(Bgp4mpMessage {
+        timestamp: ts,
+        peer_asn: peer.asn,
+        peer_addr: peer.addr,
+        local_asn,
+        local_addr,
+        message,
+    })
+}
+
+/// A fully read RIB dump (TABLE_DUMP_V2 or legacy TABLE_DUMP).
+#[derive(Debug, Clone, Default)]
+pub struct RibDump {
+    /// The peer index table (empty if the dump had none).
+    pub table: PeerIndexTable,
+    /// All TABLE_DUMP_V2 RIB records in file order.
+    pub routes: Vec<RibEntriesRecord>,
+    /// Legacy TABLE_DUMP (v1) route records in file order.
+    pub v1_routes: Vec<crate::table_dump_v1::TableDumpRecord>,
+    /// Warnings collected while reading.
+    pub warnings: Vec<MrtWarning>,
+}
+
+impl RibDump {
+    /// Iterates `(peer, prefix, attrs-as-RouteAttrs)` over every entry,
+    /// resolving peer indexes. Entries with dangling indexes are appended to
+    /// a fresh warning list returned alongside.
+    pub fn entries(&self) -> (Vec<(PeerKey, RibEntry)>, Vec<MrtWarning>) {
+        let mut out = Vec::new();
+        let mut warnings = Vec::new();
+        for rec in &self.v1_routes {
+            out.push((
+                rec.peer,
+                RibEntry {
+                    prefix: rec.prefix,
+                    attrs: RouteAttrs {
+                        path: rec.attrs.as_path.clone(),
+                        origin: rec.attrs.origin,
+                        communities: rec.attrs.communities.clone(),
+                    },
+                },
+            ));
+        }
+        for (i, rec) in self.routes.iter().enumerate() {
+            for e in &rec.entries {
+                match self.table.peer_key(e.peer_index) {
+                    Some(peer) => {
+                        let attrs = RouteAttrs {
+                            path: e.attrs.as_path.clone(),
+                            origin: e.attrs.origin,
+                            communities: e.attrs.communities.clone(),
+                        };
+                        out.push((
+                            peer,
+                            RibEntry {
+                                prefix: rec.prefix,
+                                attrs,
+                            },
+                        ));
+                    }
+                    None => warnings.push(MrtWarning {
+                        record_index: i as u64,
+                        timestamp: None,
+                        peer: None,
+                        kind: WarningKind::MissingPeerIndex {
+                            index: e.peer_index,
+                        },
+                    }),
+                }
+            }
+        }
+        (out, warnings)
+    }
+}
+
+/// Reads an entire TABLE_DUMP_V2 RIB dump from a byte source.
+#[derive(Debug)]
+pub struct RibDumpReader;
+
+impl RibDumpReader {
+    /// Reads until end of stream, collecting the peer table, routes, and
+    /// warnings.
+    pub fn read_all<R: Read>(reader: R) -> Result<RibDump, MrtError> {
+        let mut mrt = MrtReader::new(reader);
+        let mut dump = RibDump::default();
+        while let Some(item) = mrt.next()? {
+            match item {
+                ReadItem::Record(MrtRecord::PeerIndexTable(t)) => dump.table = t,
+                ReadItem::Record(MrtRecord::RibEntries(r)) => dump.routes.push(r),
+                ReadItem::Record(MrtRecord::TableDumpV1(r)) => dump.v1_routes.push(r),
+                ReadItem::Record(MrtRecord::Bgp4mp(_)) => {
+                    dump.warnings.push(MrtWarning {
+                        record_index: mrt.record_index() - 1,
+                        timestamp: None,
+                        peer: None,
+                        kind: WarningKind::Decode {
+                            context: "BGP4MP record inside a RIB dump".into(),
+                        },
+                    });
+                }
+                ReadItem::Warning(w) => dump.warnings.push(w),
+            }
+        }
+        Ok(dump)
+    }
+}
+
+/// Reads an entire BGP4MP updates file from a byte source.
+#[derive(Debug)]
+pub struct UpdatesReader;
+
+impl UpdatesReader {
+    /// Reads until end of stream, converting UPDATE messages into
+    /// [`UpdateRecord`]s. Non-UPDATE BGP messages are ignored.
+    pub fn read_all<R: Read>(
+        reader: R,
+    ) -> Result<(Vec<UpdateRecord>, Vec<MrtWarning>), MrtError> {
+        let mut mrt = MrtReader::new(reader);
+        let mut updates = Vec::new();
+        let mut warnings = Vec::new();
+        while let Some(item) = mrt.next()? {
+            match item {
+                ReadItem::Record(MrtRecord::Bgp4mp(m)) => {
+                    if let Some(u) = m.to_update_record() {
+                        updates.push(u);
+                    }
+                }
+                ReadItem::Record(_) => warnings.push(MrtWarning {
+                    record_index: mrt.record_index() - 1,
+                    timestamp: None,
+                    peer: None,
+                    kind: WarningKind::Decode {
+                        context: "RIB record inside an updates file".into(),
+                    },
+                }),
+                ReadItem::Warning(w) => warnings.push(w),
+            }
+        }
+        Ok((updates, warnings))
+    }
+}
+

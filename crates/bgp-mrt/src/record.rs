@@ -1,0 +1,262 @@
+//! Decoded MRT record types.
+
+use crate::attrs::ParsedAttrs;
+use bgp_types::{Asn, Family, PeerKey, Prefix, RouteAttrs, SimTime, UpdateRecord};
+use std::net::{IpAddr, Ipv4Addr};
+
+/// One peer entry of a TABLE_DUMP_V2 PEER_INDEX_TABLE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// The peer's BGP identifier.
+    pub bgp_id: u32,
+    /// The peer router's address.
+    pub addr: IpAddr,
+    /// The peer's AS.
+    pub asn: Asn,
+}
+
+impl PeerEntry {
+    /// The vantage-point identity of this entry.
+    pub fn key(&self) -> PeerKey {
+        PeerKey::new(self.asn, self.addr)
+    }
+}
+
+/// TABLE_DUMP_V2 PEER_INDEX_TABLE: maps the `peer_index` of RIB entries to
+/// peers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PeerIndexTable {
+    /// The collector's BGP identifier.
+    pub collector_bgp_id: u32,
+    /// Optional view name (usually empty).
+    pub view_name: String,
+    /// Peer entries; `RibEntryRaw::peer_index` indexes this list.
+    pub peers: Vec<PeerEntry>,
+}
+
+impl PeerIndexTable {
+    /// Looks up the vantage-point identity for a RIB entry's peer index.
+    pub fn peer_key(&self, index: u16) -> Option<PeerKey> {
+        self.peers.get(index as usize).map(PeerEntry::key)
+    }
+}
+
+/// One route within a TABLE_DUMP_V2 RIB record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntryRaw {
+    /// Index into the PEER_INDEX_TABLE.
+    pub peer_index: u16,
+    /// When the route was received (Unix seconds).
+    pub originated: u32,
+    /// Decoded path attributes.
+    pub attrs: ParsedAttrs,
+}
+
+/// A TABLE_DUMP_V2 RIB_IPV4_UNICAST / RIB_IPV6_UNICAST record: one prefix
+/// and the routes every peer reported for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntriesRecord {
+    /// Record sequence number.
+    pub sequence: u32,
+    /// The prefix all entries describe.
+    pub prefix: Prefix,
+    /// Per-peer routes.
+    pub entries: Vec<RibEntryRaw>,
+}
+
+impl RibEntriesRecord {
+    /// The address family of the record's prefix.
+    pub fn family(&self) -> Family {
+        self.prefix.family()
+    }
+}
+
+/// A decoded BGP UPDATE message body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UpdateMessage {
+    /// IPv4 prefixes withdrawn in the fixed withdrawal field.
+    pub withdrawn: Vec<Prefix>,
+    /// Path attributes (IPv6 reach/unreach ride inside).
+    pub attrs: ParsedAttrs,
+    /// IPv4 prefixes announced in the trailing NLRI field.
+    pub announced: Vec<Prefix>,
+}
+
+impl UpdateMessage {
+    /// All announced prefixes: IPv4 NLRI plus MP_REACH_NLRI.
+    pub fn all_announced(&self) -> Vec<Prefix> {
+        let mut v = self.announced.clone();
+        if let Some(mp) = &self.attrs.mp_reach {
+            v.extend(mp.nlri.iter().copied());
+        }
+        v
+    }
+
+    /// All withdrawn prefixes: IPv4 withdrawals plus MP_UNREACH_NLRI.
+    pub fn all_withdrawn(&self) -> Vec<Prefix> {
+        let mut v = self.withdrawn.clone();
+        if let Some(mp) = &self.attrs.mp_unreach {
+            v.extend(mp.iter().copied());
+        }
+        v
+    }
+}
+
+/// A BGP message carried in a BGP4MP record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)] // Update dominates by design; boxing costs more than it saves
+pub enum BgpMessage {
+    /// An UPDATE (type 2) — the only message type the analysis uses.
+    Update(UpdateMessage),
+    /// Any other message type (OPEN, KEEPALIVE, NOTIFICATION, …), carried
+    /// opaquely.
+    Other {
+        /// The BGP message type byte.
+        msg_type: u8,
+    },
+}
+
+/// A decoded BGP4MP MESSAGE / MESSAGE_AS4 record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpMessage {
+    /// Collector receive time.
+    pub timestamp: SimTime,
+    /// The peer's AS.
+    pub peer_asn: Asn,
+    /// The peer router's address.
+    pub peer_addr: IpAddr,
+    /// The collector's AS.
+    pub local_asn: Asn,
+    /// The collector's address.
+    pub local_addr: IpAddr,
+    /// The BGP message.
+    pub message: BgpMessage,
+}
+
+impl Bgp4mpMessage {
+    /// The vantage-point identity of the sending peer.
+    pub fn peer_key(&self) -> PeerKey {
+        PeerKey::new(self.peer_asn, self.peer_addr)
+    }
+
+    /// Converts an UPDATE into the analysis-level [`UpdateRecord`]
+    /// (announced = v4 NLRI + MP_REACH, withdrawn = v4 + MP_UNREACH).
+    /// Returns `None` for non-UPDATE messages.
+    pub fn to_update_record(&self) -> Option<UpdateRecord> {
+        let BgpMessage::Update(u) = &self.message else {
+            return None;
+        };
+        Some(UpdateRecord {
+            timestamp: self.timestamp,
+            peer: self.peer_key(),
+            announced: u.all_announced(),
+            withdrawn: u.all_withdrawn(),
+            attrs: RouteAttrs {
+                path: u.attrs.as_path.clone(),
+                origin: u.attrs.origin,
+                communities: u.attrs.communities.clone(),
+            },
+        })
+    }
+}
+
+/// Any successfully decoded MRT record.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum MrtRecord {
+    /// TABLE_DUMP_V2 PEER_INDEX_TABLE.
+    PeerIndexTable(PeerIndexTable),
+    /// TABLE_DUMP_V2 RIB record.
+    RibEntries(RibEntriesRecord),
+    /// Legacy TABLE_DUMP (v1) route record (2002-era archives).
+    TableDumpV1(crate::table_dump_v1::TableDumpRecord),
+    /// BGP4MP message record.
+    Bgp4mp(Bgp4mpMessage),
+}
+
+/// Placeholder collector-side identity used when synthesizing records.
+pub fn collector_local_addr() -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_index_lookup() {
+        let table = PeerIndexTable {
+            collector_bgp_id: 1,
+            view_name: String::new(),
+            peers: vec![
+                PeerEntry {
+                    bgp_id: 10,
+                    addr: "10.0.0.1".parse().unwrap(),
+                    asn: Asn(3356),
+                },
+                PeerEntry {
+                    bgp_id: 11,
+                    addr: "10.0.0.2".parse().unwrap(),
+                    asn: Asn(1299),
+                },
+            ],
+        };
+        assert_eq!(
+            table.peer_key(1),
+            Some(PeerKey::new(Asn(1299), "10.0.0.2".parse().unwrap()))
+        );
+        assert_eq!(table.peer_key(2), None);
+    }
+
+    #[test]
+    fn update_message_merges_families() {
+        let mut msg = UpdateMessage {
+            announced: vec!["10.0.0.0/8".parse().unwrap()],
+            withdrawn: vec!["11.0.0.0/8".parse().unwrap()],
+            ..Default::default()
+        };
+        msg.attrs.mp_reach = Some(crate::attrs::MpReach {
+            next_hop: None,
+            nlri: vec!["2001:db8::/32".parse().unwrap()],
+        });
+        msg.attrs.mp_unreach = Some(vec!["2001:db8:1::/48".parse().unwrap()]);
+        assert_eq!(msg.all_announced().len(), 2);
+        assert_eq!(msg.all_withdrawn().len(), 2);
+    }
+
+    #[test]
+    fn bgp4mp_to_update_record() {
+        let m = Bgp4mpMessage {
+            timestamp: SimTime::from_unix(1000),
+            peer_asn: Asn(3356),
+            peer_addr: "10.0.0.1".parse().unwrap(),
+            local_asn: Asn(12654),
+            local_addr: collector_local_addr(),
+            message: BgpMessage::Update(UpdateMessage {
+                announced: vec!["10.0.0.0/8".parse().unwrap()],
+                attrs: ParsedAttrs::from_path("3356 64500".parse().unwrap()),
+                ..Default::default()
+            }),
+        };
+        let r = m.to_update_record().unwrap();
+        assert_eq!(r.peer.asn, Asn(3356));
+        assert_eq!(r.announced.len(), 1);
+        assert_eq!(r.attrs.path.to_string(), "3356 64500");
+
+        let other = Bgp4mpMessage {
+            message: BgpMessage::Other { msg_type: 4 },
+            ..m
+        };
+        assert!(other.to_update_record().is_none());
+    }
+
+    #[test]
+    fn rib_record_family() {
+        let r = RibEntriesRecord {
+            sequence: 0,
+            prefix: "2001:db8::/32".parse().unwrap(),
+            entries: vec![],
+        };
+        assert_eq!(r.family(), Family::Ipv6);
+    }
+}

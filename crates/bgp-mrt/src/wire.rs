@@ -1,0 +1,131 @@
+//! Checked big-endian cursor over a record body.
+//!
+//! `bytes::Buf` panics on under-read; MRT decoding must never panic on
+//! untrusted input, so this thin wrapper converts every read into a
+//! `Result` carrying the decode context.
+
+use crate::error::DecodeError;
+use bytes::{Buf, Bytes};
+
+/// A bounds-checked cursor over one MRT record body.
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    buf: Bytes,
+}
+
+impl Cursor {
+    /// Wraps a record body.
+    pub fn new(buf: Bytes) -> Self {
+        Cursor { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Returns `true` when the body is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.remaining() == 0
+    }
+
+    fn need(&self, n: usize, context: &'static str) -> Result<(), DecodeError> {
+        if self.buf.remaining() < n {
+            Err(DecodeError::Truncated { context })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, DecodeError> {
+        self.need(1, context)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, DecodeError> {
+        self.need(2, context)?;
+        Ok(self.buf.get_u16())
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, DecodeError> {
+        self.need(4, context)?;
+        Ok(self.buf.get_u32())
+    }
+
+    /// Reads a big-endian `u128`.
+    pub fn u128(&mut self, context: &'static str) -> Result<u128, DecodeError> {
+        self.need(16, context)?;
+        Ok(self.buf.get_u128())
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take(&mut self, n: usize, context: &'static str) -> Result<Bytes, DecodeError> {
+        self.need(n, context)?;
+        Ok(self.buf.split_to(n))
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize, context: &'static str) -> Result<(), DecodeError> {
+        self.need(n, context)?;
+        self.buf.advance(n);
+        Ok(())
+    }
+
+    /// Splits off a length-delimited sub-cursor.
+    pub fn sub(&mut self, n: usize, context: &'static str) -> Result<Cursor, DecodeError> {
+        Ok(Cursor::new(self.take(n, context)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cur(bytes: &[u8]) -> Cursor {
+        Cursor::new(Bytes::copy_from_slice(bytes))
+    }
+
+    #[test]
+    fn reads_big_endian() {
+        let mut c = cur(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07]);
+        assert_eq!(c.u8("a").unwrap(), 1);
+        assert_eq!(c.u16("b").unwrap(), 0x0203);
+        assert_eq!(c.u32("c").unwrap(), 0x0405_0607);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn under_read_is_an_error_not_a_panic() {
+        let mut c = cur(&[0x01]);
+        assert_eq!(
+            c.u32("field"),
+            Err(DecodeError::Truncated { context: "field" })
+        );
+        // The failed read consumed nothing.
+        assert_eq!(c.remaining(), 1);
+        assert_eq!(c.u8("x").unwrap(), 1);
+    }
+
+    #[test]
+    fn take_skip_sub() {
+        let mut c = cur(&[1, 2, 3, 4, 5]);
+        assert_eq!(c.take(2, "t").unwrap().as_ref(), &[1, 2]);
+        c.skip(1, "s").unwrap();
+        let mut s = c.sub(2, "sub").unwrap();
+        assert_eq!(s.u16("v").unwrap(), 0x0405);
+        assert!(c.is_empty());
+        assert!(c.take(1, "over").is_err());
+        assert!(c.skip(1, "over").is_err());
+        assert!(c.sub(1, "over").is_err());
+    }
+
+    #[test]
+    fn u128_read() {
+        let mut c = cur(&[0xFF; 16]);
+        assert_eq!(c.u128("v6").unwrap(), u128::MAX);
+        assert!(cur(&[0u8; 15]).u128("v6").is_err());
+    }
+}

@@ -1,0 +1,859 @@
+//! MRT writer: RIB dumps, update files, and deliberate corruption modes.
+//!
+//! Output is deterministic: identical input produces identical bytes, which
+//! the archive layer relies on for reproducible synthetic snapshots.
+
+use crate::attrs::{self, MpReach, MpReachForm, ParsedAttrs};
+use crate::nlri;
+use crate::record::PeerIndexTable;
+use crate::{
+    SUBTYPE_BGP4MP_MESSAGE_AS4, SUBTYPE_BGP4MP_MESSAGE_AS4_ADDPATH, SUBTYPE_PEER_INDEX_TABLE,
+    SUBTYPE_RIB_IPV4_UNICAST, SUBTYPE_RIB_IPV4_UNICAST_ADDPATH, SUBTYPE_RIB_IPV6_UNICAST,
+    SUBTYPE_RIB_IPV6_UNICAST_ADDPATH, TYPE_BGP4MP, TYPE_TABLE_DUMP_V2,
+};
+use bgp_types::{Asn, Family, Prefix, SimTime, UpdateRecord};
+use bytes::{BufMut, BytesMut};
+use std::io::{self, Write};
+use std::net::IpAddr;
+
+/// Maximum size of a BGP message (RFC 4271). Updates whose prefixes do not
+/// fit are split across messages, exactly as a real router would.
+pub const MAX_BGP_MESSAGE: usize = 4096;
+
+/// BGP message header size (marker + length + type).
+const BGP_HEADER: usize = 19;
+
+/// Writes one framed MRT record.
+pub fn write_raw(
+    w: &mut impl Write,
+    timestamp: u32,
+    mrt_type: u16,
+    subtype: u16,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut header = [0u8; 12];
+    header[0..4].copy_from_slice(&timestamp.to_be_bytes());
+    header[4..6].copy_from_slice(&mrt_type.to_be_bytes());
+    header[6..8].copy_from_slice(&subtype.to_be_bytes());
+    header[8..12].copy_from_slice(&(body.len() as u32).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(body)
+}
+
+fn encode_peer_index_table(table: &PeerIndexTable) -> BytesMut {
+    let mut body = BytesMut::with_capacity(16 + table.peers.len() * 12);
+    body.put_u32(table.collector_bgp_id);
+    body.put_u16(table.view_name.len() as u16);
+    body.put_slice(table.view_name.as_bytes());
+    body.put_u16(table.peers.len() as u16);
+    for peer in &table.peers {
+        // Always use 4-byte ASNs (bit 1); bit 0 marks IPv6 addresses.
+        let type_byte = match peer.addr {
+            IpAddr::V4(_) => 0x02,
+            IpAddr::V6(_) => 0x03,
+        };
+        body.put_u8(type_byte);
+        body.put_u32(peer.bgp_id);
+        match peer.addr {
+            IpAddr::V4(a) => body.put_u32(u32::from(a)),
+            IpAddr::V6(a) => body.put_u128(u128::from(a)),
+        }
+        body.put_u32(peer.asn.0);
+    }
+    body
+}
+
+/// Writes a TABLE_DUMP_V2 RIB dump: one PEER_INDEX_TABLE, then one RIB
+/// record per prefix.
+#[derive(Debug)]
+pub struct RibDumpWriter<W> {
+    w: W,
+    sequence: u32,
+    wrote_table: bool,
+}
+
+impl<W: Write> RibDumpWriter<W> {
+    /// Wraps a byte sink.
+    pub fn new(w: W) -> Self {
+        RibDumpWriter {
+            w,
+            sequence: 0,
+            wrote_table: false,
+        }
+    }
+
+    /// Writes the PEER_INDEX_TABLE. Must be called once, before any routes.
+    pub fn write_peer_table(
+        &mut self,
+        timestamp: SimTime,
+        table: &PeerIndexTable,
+    ) -> io::Result<()> {
+        assert!(!self.wrote_table, "peer table already written");
+        let body = encode_peer_index_table(table);
+        write_raw(
+            &mut self.w,
+            timestamp.unix() as u32,
+            TYPE_TABLE_DUMP_V2,
+            SUBTYPE_PEER_INDEX_TABLE,
+            &body,
+        )?;
+        self.wrote_table = true;
+        Ok(())
+    }
+
+    /// Writes one RIB record: a prefix plus `(peer index, attrs)` per peer
+    /// carrying it. Entries must reference the previously written table.
+    pub fn write_route(
+        &mut self,
+        timestamp: SimTime,
+        prefix: Prefix,
+        entries: &[(u16, ParsedAttrs)],
+    ) -> io::Result<()> {
+        assert!(self.wrote_table, "peer table must be written first");
+        let subtype = match prefix.family() {
+            Family::Ipv4 => SUBTYPE_RIB_IPV4_UNICAST,
+            Family::Ipv6 => SUBTYPE_RIB_IPV6_UNICAST,
+        };
+        let mut body = BytesMut::with_capacity(16 + entries.len() * 48);
+        body.put_u32(self.sequence);
+        nlri::encode_prefix(&mut body, prefix);
+        body.put_u16(entries.len() as u16);
+        for (peer_index, attrs) in entries {
+            body.put_u16(*peer_index);
+            body.put_u32(timestamp.unix() as u32);
+            let attr_bytes = attrs::encode_attrs(attrs, 4, MpReachForm::Abbreviated);
+            body.put_u16(attr_bytes.len() as u16);
+            body.put_slice(&attr_bytes);
+        }
+        self.sequence += 1;
+        write_raw(
+            &mut self.w,
+            timestamp.unix() as u32,
+            TYPE_TABLE_DUMP_V2,
+            subtype,
+            &body,
+        )
+    }
+
+    /// Writes an ADD-PATH RIB record stub that readers without RFC 8050
+    /// support (including ours) will flag and skip — used by artifact
+    /// injection.
+    pub fn write_addpath_stub(&mut self, timestamp: SimTime, family: Family) -> io::Result<()> {
+        let subtype = match family {
+            Family::Ipv4 => SUBTYPE_RIB_IPV4_UNICAST_ADDPATH,
+            Family::Ipv6 => SUBTYPE_RIB_IPV6_UNICAST_ADDPATH,
+        };
+        // A minimal plausible body; content is irrelevant since the reader
+        // refuses the subtype before decoding.
+        let body = [0u8; 8];
+        write_raw(
+            &mut self.w,
+            timestamp.unix() as u32,
+            TYPE_TABLE_DUMP_V2,
+            subtype,
+            &body,
+        )
+    }
+
+    /// Unwraps the sink.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+/// Deliberate corruption applied when writing an update, reproducing the
+/// artifact signatures of the paper's Appendix A8.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionMode {
+    /// Emit the record under the ADD-PATH subtype (9): readers report
+    /// "unknown BGP4MP record subtype 9".
+    AddPathSubtype,
+    /// Append a second ORIGIN attribute: readers report
+    /// "Duplicate Path Attribute".
+    DuplicateAttribute,
+    /// Truncate the MP_REACH_NLRI attribute body: readers report
+    /// "Invalid MP(UN)REACH NLRI".
+    InvalidMpReach,
+}
+
+/// Writes BGP4MP MESSAGE_AS4 update records.
+#[derive(Debug)]
+pub struct UpdateDumpWriter<W> {
+    w: W,
+    local_asn: Asn,
+    local_addr: IpAddr,
+}
+
+/// Splits an update's prefixes so each message stays under
+/// [`MAX_BGP_MESSAGE`]. Returns `(announced chunks, withdrawn chunks)`
+/// per family-specific message.
+fn partition_families(rec: &UpdateRecord) -> [(Vec<Prefix>, Vec<Prefix>); 2] {
+    let mut v4 = (Vec::new(), Vec::new());
+    let mut v6 = (Vec::new(), Vec::new());
+    for p in &rec.announced {
+        match p.family() {
+            Family::Ipv4 => v4.0.push(*p),
+            Family::Ipv6 => v6.0.push(*p),
+        }
+    }
+    for p in &rec.withdrawn {
+        match p.family() {
+            Family::Ipv4 => v4.1.push(*p),
+            Family::Ipv6 => v6.1.push(*p),
+        }
+    }
+    [v4, v6]
+}
+
+impl<W: Write> UpdateDumpWriter<W> {
+    /// Wraps a byte sink; `local_asn`/`local_addr` identify the collector
+    /// side of every session.
+    pub fn new(w: W, local_asn: Asn, local_addr: IpAddr) -> Self {
+        UpdateDumpWriter {
+            w,
+            local_asn,
+            local_addr,
+        }
+    }
+
+    /// Writes an update, splitting it into as many BGP messages as needed to
+    /// respect [`MAX_BGP_MESSAGE`] and separating families (IPv4 prefixes in
+    /// classic NLRI, IPv6 in MP_REACH/MP_UNREACH). Returns the number of MRT
+    /// records written.
+    pub fn write_update(&mut self, rec: &UpdateRecord) -> io::Result<usize> {
+        let mut written = 0;
+        let [(v4a, v4w), (v6a, v6w)] = partition_families(rec);
+
+        // IPv4 messages: header + withdrawn block + attrs + NLRI.
+        if !v4a.is_empty() || !v4w.is_empty() {
+            let base_attrs = self.v4_attrs(rec);
+            let attr_bytes = attrs::encode_attrs(&base_attrs, 4, MpReachForm::Full);
+            let budget = MAX_BGP_MESSAGE - BGP_HEADER - 4 - attr_bytes.len();
+            for (ann, wd) in pack_prefixes(&v4a, &v4w, budget) {
+                self.write_message(rec, &attr_bytes, &wd, &ann, None)?;
+                written += 1;
+            }
+        }
+        // IPv6 messages: prefixes ride inside MP attributes.
+        if !v6a.is_empty() || !v6w.is_empty() {
+            // Budget: leave room for the MP attribute headers and next hop.
+            let base_attrs = self.v6_attrs(rec, &[], &[]);
+            // Reserve room for the MP attribute headers, next hop, and
+            // reserved bytes (≈ 32 bytes when both MP attributes appear).
+            let attr_overhead =
+                attrs::encode_attrs(&base_attrs, 4, MpReachForm::Full).len() + 64;
+            let budget = MAX_BGP_MESSAGE - BGP_HEADER - 4 - attr_overhead;
+            for (ann, wd) in pack_prefixes(&v6a, &v6w, budget) {
+                let a = self.v6_attrs(rec, &ann, &wd);
+                let attr_bytes = attrs::encode_attrs(&a, 4, MpReachForm::Full);
+                self.write_message(rec, &attr_bytes, &[], &[], None)?;
+                written += 1;
+            }
+        }
+        Ok(written)
+    }
+
+    fn v4_attrs(&self, rec: &UpdateRecord) -> ParsedAttrs {
+        ParsedAttrs {
+            origin: rec.attrs.origin,
+            as_path: rec.attrs.path.clone(),
+            next_hop: match rec.peer.addr {
+                IpAddr::V4(a) => Some(a),
+                IpAddr::V6(_) => Some(std::net::Ipv4Addr::new(192, 0, 2, 1)),
+            },
+            communities: rec.attrs.communities.clone(),
+            ..Default::default()
+        }
+    }
+
+    fn v6_attrs(&self, rec: &UpdateRecord, ann: &[Prefix], wd: &[Prefix]) -> ParsedAttrs {
+        let mut attrs = ParsedAttrs {
+            origin: rec.attrs.origin,
+            as_path: rec.attrs.path.clone(),
+            communities: rec.attrs.communities.clone(),
+            ..Default::default()
+        };
+        if !ann.is_empty() {
+            attrs.mp_reach = Some(MpReach {
+                next_hop: match rec.peer.addr {
+                    IpAddr::V6(a) => Some(a),
+                    IpAddr::V4(_) => Some("2001:db8::1".parse().expect("static addr")),
+                },
+                nlri: ann.to_vec(),
+            });
+        }
+        if !wd.is_empty() {
+            attrs.mp_unreach = Some(wd.to_vec());
+        }
+        attrs
+    }
+
+    fn write_message(
+        &mut self,
+        rec: &UpdateRecord,
+        attr_bytes: &[u8],
+        withdrawn: &[Prefix],
+        announced: &[Prefix],
+        _ts: Option<SimTime>,
+    ) -> io::Result<()> {
+        let body = encode_bgp4mp_update_body(
+            rec.peer.asn,
+            rec.peer.addr,
+            self.local_asn,
+            self.local_addr,
+            attr_bytes,
+            withdrawn,
+            announced,
+        );
+        write_raw(
+            &mut self.w,
+            rec.timestamp.unix() as u32,
+            TYPE_BGP4MP,
+            SUBTYPE_BGP4MP_MESSAGE_AS4,
+            &body,
+        )
+    }
+
+    /// Writes a deliberately corrupted version of `rec` that triggers the
+    /// chosen warning class in tolerant readers.
+    pub fn write_corrupted(
+        &mut self,
+        rec: &UpdateRecord,
+        mode: CorruptionMode,
+    ) -> io::Result<()> {
+        match mode {
+            CorruptionMode::AddPathSubtype => {
+                let attrs = self.v4_attrs(rec);
+                let attr_bytes = attrs::encode_attrs(&attrs, 4, MpReachForm::Full);
+                let v4: Vec<Prefix> = rec
+                    .announced
+                    .iter()
+                    .copied()
+                    .filter(|p| p.family() == Family::Ipv4)
+                    .collect();
+                let body = encode_bgp4mp_update_body(
+                    rec.peer.asn,
+                    rec.peer.addr,
+                    self.local_asn,
+                    self.local_addr,
+                    &attr_bytes,
+                    &[],
+                    &v4,
+                );
+                write_raw(
+                    &mut self.w,
+                    rec.timestamp.unix() as u32,
+                    TYPE_BGP4MP,
+                    SUBTYPE_BGP4MP_MESSAGE_AS4_ADDPATH,
+                    &body,
+                )
+            }
+            CorruptionMode::DuplicateAttribute => {
+                let attrs = self.v4_attrs(rec);
+                let mut attr_bytes = attrs::encode_attrs(&attrs, 4, MpReachForm::Full);
+                // Append a second ORIGIN attribute (flags 0x40, type 1,
+                // length 1, value 0).
+                attr_bytes.extend_from_slice(&[0x40, 0x01, 0x01, 0x00]);
+                let v4: Vec<Prefix> = rec
+                    .announced
+                    .iter()
+                    .copied()
+                    .filter(|p| p.family() == Family::Ipv4)
+                    .collect();
+                let body = encode_bgp4mp_update_body(
+                    rec.peer.asn,
+                    rec.peer.addr,
+                    self.local_asn,
+                    self.local_addr,
+                    &attr_bytes,
+                    &[],
+                    &v4,
+                );
+                write_raw(
+                    &mut self.w,
+                    rec.timestamp.unix() as u32,
+                    TYPE_BGP4MP,
+                    SUBTYPE_BGP4MP_MESSAGE_AS4,
+                    &body,
+                )
+            }
+            CorruptionMode::InvalidMpReach => {
+                let attrs = self.v4_attrs(rec);
+                let mut attr_bytes = attrs::encode_attrs(&attrs, 4, MpReachForm::Full);
+                // Append an MP_REACH_NLRI with an unsupported AFI (99).
+                attr_bytes.extend_from_slice(&[0x80, 0x0E, 0x05, 0x00, 0x63, 0x01, 0x00, 0x00]);
+                let body = encode_bgp4mp_update_body(
+                    rec.peer.asn,
+                    rec.peer.addr,
+                    self.local_asn,
+                    self.local_addr,
+                    &attr_bytes,
+                    &[],
+                    &[],
+                );
+                write_raw(
+                    &mut self.w,
+                    rec.timestamp.unix() as u32,
+                    TYPE_BGP4MP,
+                    SUBTYPE_BGP4MP_MESSAGE_AS4,
+                    &body,
+                )
+            }
+        }
+    }
+
+    /// Unwraps the sink.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+/// Greedily packs announced/withdrawn prefixes into chunks whose total wire
+/// size stays within `budget` bytes. Withdrawals and announcements share a
+/// message when they fit.
+fn pack_prefixes(
+    announced: &[Prefix],
+    withdrawn: &[Prefix],
+    budget: usize,
+) -> Vec<(Vec<Prefix>, Vec<Prefix>)> {
+    let budget = budget.max(64); // always fits at least a handful of prefixes
+    let mut chunks = Vec::new();
+    let mut cur_a = Vec::new();
+    let mut cur_w = Vec::new();
+    let mut used = 0usize;
+    let push_chunk =
+        |a: &mut Vec<Prefix>, w: &mut Vec<Prefix>, chunks: &mut Vec<(Vec<Prefix>, Vec<Prefix>)>| {
+            if !a.is_empty() || !w.is_empty() {
+                chunks.push((std::mem::take(a), std::mem::take(w)));
+            }
+        };
+    for &p in withdrawn {
+        let sz = nlri::encoded_len(p);
+        if used + sz > budget {
+            push_chunk(&mut cur_a, &mut cur_w, &mut chunks);
+            used = 0;
+        }
+        cur_w.push(p);
+        used += sz;
+    }
+    for &p in announced {
+        let sz = nlri::encoded_len(p);
+        if used + sz > budget {
+            push_chunk(&mut cur_a, &mut cur_w, &mut chunks);
+            used = 0;
+        }
+        cur_a.push(p);
+        used += sz;
+    }
+    push_chunk(&mut cur_a, &mut cur_w, &mut chunks);
+    if chunks.is_empty() {
+        chunks.push((Vec::new(), Vec::new()));
+    }
+    chunks
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_bgp4mp_update_body(
+    peer_asn: Asn,
+    peer_addr: IpAddr,
+    local_asn: Asn,
+    local_addr: IpAddr,
+    attr_bytes: &[u8],
+    withdrawn: &[Prefix],
+    announced: &[Prefix],
+) -> BytesMut {
+    let mut body = BytesMut::with_capacity(64 + attr_bytes.len());
+    body.put_u32(peer_asn.0);
+    body.put_u32(local_asn.0);
+    body.put_u16(0); // interface index
+    match (peer_addr, local_addr) {
+        (IpAddr::V4(p), IpAddr::V4(l)) => {
+            body.put_u16(1);
+            body.put_u32(u32::from(p));
+            body.put_u32(u32::from(l));
+        }
+        (IpAddr::V6(p), IpAddr::V6(l)) => {
+            body.put_u16(2);
+            body.put_u128(u128::from(p));
+            body.put_u128(u128::from(l));
+        }
+        // Mixed families cannot occur on one session; normalize to v4 slot
+        // with a mapped collector address.
+        (IpAddr::V4(p), IpAddr::V6(_)) => {
+            body.put_u16(1);
+            body.put_u32(u32::from(p));
+            body.put_u32(u32::from(std::net::Ipv4Addr::new(198, 51, 100, 1)));
+        }
+        (IpAddr::V6(p), IpAddr::V4(_)) => {
+            body.put_u16(2);
+            body.put_u128(u128::from(p));
+            body.put_u128(u128::from(std::net::Ipv6Addr::LOCALHOST));
+        }
+    }
+
+    // BGP message.
+    let mut wd = BytesMut::new();
+    for &p in withdrawn {
+        nlri::encode_prefix(&mut wd, p);
+    }
+    let mut nl = BytesMut::new();
+    for &p in announced {
+        nlri::encode_prefix(&mut nl, p);
+    }
+    let msg_len = BGP_HEADER + 2 + wd.len() + 2 + attr_bytes.len() + nl.len();
+    debug_assert!(msg_len <= MAX_BGP_MESSAGE, "caller must pack within budget");
+    body.put_slice(&[0xFF; 16]);
+    body.put_u16(msg_len as u16);
+    body.put_u8(2); // UPDATE
+    body.put_u16(wd.len() as u16);
+    body.put_slice(&wd);
+    body.put_u16(attr_bytes.len() as u16);
+    body.put_slice(attr_bytes);
+    body.put_slice(&nl);
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PeerEntry;
+    use crate::reader::{MrtReader, ReadItem, RibDumpReader, UpdatesReader};
+    use crate::warnings::WarningKind;
+    use bgp_types::{PeerKey, RouteAttrs};
+
+    fn peer() -> PeerKey {
+        PeerKey::new(Asn(3356), "10.0.0.1".parse().unwrap())
+    }
+
+    fn collector() -> (Asn, IpAddr) {
+        (Asn(12654), "198.51.100.1".parse().unwrap())
+    }
+
+    fn simple_update(prefixes: &[&str]) -> UpdateRecord {
+        UpdateRecord::announce(
+            SimTime::from_ymd_hms(2024, 10, 15, 8, 0, 0),
+            peer(),
+            prefixes.iter().map(|s| s.parse().unwrap()).collect(),
+            RouteAttrs::from_path("3356 1299 64496".parse().unwrap()),
+        )
+    }
+
+    #[test]
+    fn update_round_trip_v4() {
+        let rec = simple_update(&["192.0.2.0/24", "198.51.100.0/24"]);
+        let (la, laddr) = collector();
+        let mut w = UpdateDumpWriter::new(Vec::new(), la, laddr);
+        assert_eq!(w.write_update(&rec).unwrap(), 1);
+        let bytes = w.into_inner();
+        let (updates, warnings) = UpdatesReader::read_all(&bytes[..]).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].announced, rec.announced);
+        assert_eq!(updates[0].peer, rec.peer);
+        assert_eq!(updates[0].attrs.path, rec.attrs.path);
+        assert_eq!(updates[0].timestamp, rec.timestamp);
+    }
+
+    #[test]
+    fn update_round_trip_v6() {
+        let rec = simple_update(&["2001:db8::/32", "240a:a000::/20"]);
+        let (la, laddr) = collector();
+        let mut w = UpdateDumpWriter::new(Vec::new(), la, laddr);
+        assert_eq!(w.write_update(&rec).unwrap(), 1);
+        let bytes = w.into_inner();
+        let (updates, warnings) = UpdatesReader::read_all(&bytes[..]).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].announced, rec.announced);
+    }
+
+    #[test]
+    fn v6_session_round_trip() {
+        // Peer and collector both on IPv6 addresses: the BGP4MP preamble
+        // uses AFI 2 with 16-byte addresses.
+        let peer6 = PeerKey::new(Asn(6939), "2001:7f8::1".parse().unwrap());
+        let rec = UpdateRecord::announce(
+            SimTime::from_unix(777),
+            peer6,
+            vec!["2001:db8::/32".parse().unwrap()],
+            RouteAttrs::from_path("6939 64496".parse().unwrap()),
+        );
+        let mut w = UpdateDumpWriter::new(
+            Vec::new(),
+            Asn(12654),
+            "2001:db8:ffff::1".parse().unwrap(),
+        );
+        assert_eq!(w.write_update(&rec).unwrap(), 1);
+        let (updates, warnings) = UpdatesReader::read_all(&w.into_inner()[..]).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(updates[0].peer, peer6);
+        assert_eq!(updates[0].announced, rec.announced);
+    }
+
+    #[test]
+    fn update_with_withdrawals_round_trip() {
+        let mut rec = simple_update(&["192.0.2.0/24"]);
+        rec.withdrawn = vec!["203.0.113.0/24".parse().unwrap()];
+        let (la, laddr) = collector();
+        let mut w = UpdateDumpWriter::new(Vec::new(), la, laddr);
+        w.write_update(&rec).unwrap();
+        let (updates, warnings) = UpdatesReader::read_all(&w.into_inner()[..]).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(updates[0].withdrawn, rec.withdrawn);
+        assert_eq!(updates[0].announced, rec.announced);
+    }
+
+    #[test]
+    fn oversized_update_splits_into_multiple_messages() {
+        // 2000 /24s * 4 bytes each ≈ 8 kB > MAX_BGP_MESSAGE: must split.
+        let prefixes: Vec<Prefix> = (0..2000u32)
+            .map(|i| Prefix::v4(((10 << 24) | (i << 8)) & 0xFFFF_FF00, 24).unwrap())
+            .collect();
+        let rec = UpdateRecord::announce(
+            SimTime::from_unix(0),
+            peer(),
+            prefixes.clone(),
+            RouteAttrs::from_path("3356 64496".parse().unwrap()),
+        );
+        let (la, laddr) = collector();
+        let mut w = UpdateDumpWriter::new(Vec::new(), la, laddr);
+        let n = w.write_update(&rec).unwrap();
+        assert!(n >= 2, "expected a split, got {n} message(s)");
+        let (updates, warnings) = UpdatesReader::read_all(&w.into_inner()[..]).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(updates.len(), n);
+        let all: Vec<Prefix> = updates.iter().flat_map(|u| u.announced.clone()).collect();
+        assert_eq!(all, prefixes);
+    }
+
+    #[test]
+    fn mixed_family_update_splits_by_family() {
+        let rec = simple_update(&["192.0.2.0/24", "2001:db8::/32"]);
+        let (la, laddr) = collector();
+        let mut w = UpdateDumpWriter::new(Vec::new(), la, laddr);
+        let n = w.write_update(&rec).unwrap();
+        assert_eq!(n, 2);
+        let (updates, _) = UpdatesReader::read_all(&w.into_inner()[..]).unwrap();
+        assert_eq!(updates.len(), 2);
+        let families: Vec<_> = updates
+            .iter()
+            .map(|u| u.announced[0].family())
+            .collect();
+        assert_eq!(families, vec![Family::Ipv4, Family::Ipv6]);
+    }
+
+    fn sample_table() -> PeerIndexTable {
+        PeerIndexTable {
+            collector_bgp_id: 0xC0000201,
+            view_name: String::new(),
+            peers: vec![
+                PeerEntry {
+                    bgp_id: 1,
+                    addr: "10.0.0.1".parse().unwrap(),
+                    asn: Asn(3356),
+                },
+                PeerEntry {
+                    bgp_id: 2,
+                    addr: "2001:db8::2".parse().unwrap(),
+                    asn: Asn(6939),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn rib_dump_round_trip() {
+        let ts = SimTime::from_ymd_hms(2024, 10, 15, 8, 0, 0);
+        let mut w = RibDumpWriter::new(Vec::new());
+        w.write_peer_table(ts, &sample_table()).unwrap();
+        let attrs0 = ParsedAttrs::from_path("3356 1299 64496".parse().unwrap());
+        let attrs1 = ParsedAttrs::from_path("6939 64496".parse().unwrap());
+        w.write_route(
+            ts,
+            "192.0.2.0/24".parse().unwrap(),
+            &[(0, attrs0.clone()), (1, attrs1.clone())],
+        )
+        .unwrap();
+        w.write_route(ts, "2001:db8::/32".parse().unwrap(), &[(1, attrs1.clone())])
+            .unwrap();
+        let dump = RibDumpReader::read_all(&w.into_inner()[..]).unwrap();
+        assert!(dump.warnings.is_empty(), "{:?}", dump.warnings);
+        assert_eq!(dump.table.peers.len(), 2);
+        assert_eq!(dump.routes.len(), 2);
+        assert_eq!(dump.routes[0].sequence, 0);
+        assert_eq!(dump.routes[1].sequence, 1);
+        assert_eq!(dump.routes[0].entries.len(), 2);
+        assert_eq!(dump.routes[0].entries[0].attrs.as_path, attrs0.as_path);
+        let (entries, missing) = dump.entries();
+        assert!(missing.is_empty());
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].0.asn, Asn(3356));
+        assert_eq!(entries[2].1.prefix.family(), Family::Ipv6);
+    }
+
+    #[test]
+    fn rib_dump_addpath_stub_is_flagged() {
+        let ts = SimTime::from_unix(0);
+        let mut w = RibDumpWriter::new(Vec::new());
+        w.write_peer_table(ts, &sample_table()).unwrap();
+        w.write_addpath_stub(ts, Family::Ipv4).unwrap();
+        let dump = RibDumpReader::read_all(&w.into_inner()[..]).unwrap();
+        assert_eq!(dump.warnings.len(), 1);
+        assert!(matches!(
+            dump.warnings[0].kind,
+            WarningKind::UnknownSubtype {
+                mrt_type: 13,
+                subtype: 8
+            }
+        ));
+    }
+
+    #[test]
+    fn corrupted_addpath_subtype_warning_names_the_peer() {
+        let rec = simple_update(&["192.0.2.0/24"]);
+        let (la, laddr) = collector();
+        let mut w = UpdateDumpWriter::new(Vec::new(), la, laddr);
+        w.write_corrupted(&rec, CorruptionMode::AddPathSubtype)
+            .unwrap();
+        let (updates, warnings) = UpdatesReader::read_all(&w.into_inner()[..]).unwrap();
+        assert!(updates.is_empty());
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(
+            warnings[0].kind.to_string(),
+            "unknown BGP4MP record subtype 9"
+        );
+        assert!(warnings[0].kind.is_addpath_signature());
+        assert_eq!(warnings[0].peer, Some(peer()), "peer must be attributed");
+    }
+
+    #[test]
+    fn corrupted_duplicate_attribute_warning() {
+        let rec = simple_update(&["192.0.2.0/24"]);
+        let (la, laddr) = collector();
+        let mut w = UpdateDumpWriter::new(Vec::new(), la, laddr);
+        w.write_corrupted(&rec, CorruptionMode::DuplicateAttribute)
+            .unwrap();
+        let (updates, warnings) = UpdatesReader::read_all(&w.into_inner()[..]).unwrap();
+        assert!(updates.is_empty());
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].kind, WarningKind::DuplicatePathAttribute);
+        assert_eq!(warnings[0].peer, Some(peer()));
+    }
+
+    #[test]
+    fn corrupted_mp_reach_warning() {
+        let rec = simple_update(&["192.0.2.0/24"]);
+        let (la, laddr) = collector();
+        let mut w = UpdateDumpWriter::new(Vec::new(), la, laddr);
+        w.write_corrupted(&rec, CorruptionMode::InvalidMpReach)
+            .unwrap();
+        let (updates, warnings) = UpdatesReader::read_all(&w.into_inner()[..]).unwrap();
+        assert!(updates.is_empty());
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].kind, WarningKind::InvalidMpReachNlri);
+        assert_eq!(warnings[0].peer, Some(peer()));
+    }
+
+    #[test]
+    fn reader_resynchronizes_after_bad_record() {
+        let rec = simple_update(&["192.0.2.0/24"]);
+        let (la, laddr) = collector();
+        let mut w = UpdateDumpWriter::new(Vec::new(), la, laddr);
+        w.write_corrupted(&rec, CorruptionMode::DuplicateAttribute)
+            .unwrap();
+        w.write_update(&rec).unwrap();
+        let (updates, warnings) = UpdatesReader::read_all(&w.into_inner()[..]).unwrap();
+        assert_eq!(updates.len(), 1, "good record after bad one must survive");
+        assert_eq!(warnings.len(), 1);
+    }
+
+    #[test]
+    fn raw_reader_frames_records() {
+        let ts = SimTime::from_unix(42);
+        let mut buf = Vec::new();
+        write_raw(&mut buf, ts.unix() as u32, 99, 7, &[1, 2, 3]).unwrap();
+        let mut r = MrtReader::new(&buf[..]);
+        let raw = r.next_raw().unwrap().unwrap();
+        assert_eq!(raw.timestamp, 42);
+        assert_eq!(raw.mrt_type, 99);
+        assert_eq!(raw.subtype, 7);
+        assert_eq!(raw.body.as_ref(), &[1, 2, 3]);
+        assert!(r.next_raw().unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_type_becomes_warning() {
+        let mut buf = Vec::new();
+        write_raw(&mut buf, 0, 99, 7, &[1, 2, 3]).unwrap();
+        let mut r = MrtReader::new(&buf[..]);
+        match r.next().unwrap().unwrap() {
+            ReadItem::Warning(w) => {
+                assert_eq!(w.kind, WarningKind::UnknownType { mrt_type: 99 })
+            }
+            ReadItem::Record(_) => panic!("expected warning"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_is_fatal() {
+        let mut buf = Vec::new();
+        write_raw(&mut buf, 0, 13, 1, &[0; 8]).unwrap();
+        buf.truncate(6);
+        let mut r = MrtReader::new(&buf[..]);
+        assert!(matches!(
+            r.next_raw(),
+            Err(crate::MrtError::TruncatedHeader { have: 6 })
+        ));
+    }
+
+    #[test]
+    fn oversized_record_is_fatal() {
+        let mut buf = Vec::new();
+        // Header declaring a 1 GiB body.
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&13u16.to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        buf.extend_from_slice(&(1u32 << 30).to_be_bytes());
+        let mut r = MrtReader::new(&buf[..]);
+        assert!(matches!(
+            r.next_raw(),
+            Err(crate::MrtError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        let mut r = MrtReader::new(&[][..]);
+        assert!(r.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let rec = simple_update(&["192.0.2.0/24", "2001:db8::/32"]);
+        let (la, laddr) = collector();
+        let mut w1 = UpdateDumpWriter::new(Vec::new(), la, laddr);
+        let mut w2 = UpdateDumpWriter::new(Vec::new(), la, laddr);
+        w1.write_update(&rec).unwrap();
+        w2.write_update(&rec).unwrap();
+        assert_eq!(w1.into_inner(), w2.into_inner());
+    }
+
+    #[test]
+    fn pack_prefixes_respects_budget() {
+        let prefixes: Vec<Prefix> = (0..100u32)
+            .map(|i| Prefix::v4((10 << 24) | (i << 8), 24).unwrap())
+            .collect();
+        let chunks = pack_prefixes(&prefixes, &[], 64);
+        assert!(chunks.len() > 1);
+        for (a, w) in &chunks {
+            let size: usize = a
+                .iter()
+                .chain(w.iter())
+                .map(|p| nlri::encoded_len(*p))
+                .sum();
+            assert!(size <= 64);
+        }
+        let total: usize = chunks.iter().map(|(a, w)| a.len() + w.len()).sum();
+        assert_eq!(total, 100);
+    }
+}

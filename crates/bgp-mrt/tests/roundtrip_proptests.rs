@@ -1,0 +1,176 @@
+//! Property-based round-trip tests: anything the writer emits, the reader
+//! recovers exactly.
+
+use bgp_mrt::attrs::{MpReach, ParsedAttrs};
+use bgp_mrt::reader::{RibDumpReader, UpdatesReader};
+use bgp_mrt::record::{PeerEntry, PeerIndexTable};
+use bgp_mrt::writer::{RibDumpWriter, UpdateDumpWriter};
+use bgp_types::{
+    AsPath, Asn, Community, Family, Ipv4Prefix, Ipv6Prefix, Prefix, RouteAttrs, RouteOrigin,
+    SimTime, UpdateRecord,
+};
+use proptest::prelude::*;
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    (1u32..4_000_000_000u32).prop_map(Asn)
+}
+
+fn arb_seq_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(arb_asn(), 1..8).prop_map(AsPath::from_asns)
+}
+
+fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 8u8..=24).prop_map(|(a, l)| Prefix::V4(Ipv4Prefix::new_masked(a, l).unwrap()))
+}
+
+fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 16u8..=48)
+        .prop_map(|(a, l)| Prefix::V6(Ipv6Prefix::new_masked(a, l).unwrap()))
+}
+
+fn arb_communities() -> impl Strategy<Value = Vec<Community>> {
+    prop::collection::vec((any::<u16>(), any::<u16>()).prop_map(|(a, v)| Community::new(a, v)), 0..4)
+}
+
+fn dedup_sorted(mut v: Vec<Prefix>) -> Vec<Prefix> {
+    v.sort();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn updates_round_trip(
+        peer_asn in arb_asn(),
+        path in arb_seq_path(),
+        announced4 in prop::collection::vec(arb_v4_prefix(), 0..20),
+        withdrawn4 in prop::collection::vec(arb_v4_prefix(), 0..10),
+        announced6 in prop::collection::vec(arb_v6_prefix(), 0..20),
+        communities in arb_communities(),
+        ts in 0u64..4_000_000_000u64,
+    ) {
+        // Writer splits by family and never re-mixes, so prefix sets must be
+        // disjoint within each family list for exact comparison; dedup.
+        let announced4 = dedup_sorted(announced4);
+        let withdrawn4 = dedup_sorted(withdrawn4);
+        let announced6 = dedup_sorted(announced6);
+        let mut announced = announced4.clone();
+        announced.extend(announced6.iter().copied());
+        let rec = UpdateRecord {
+            timestamp: SimTime::from_unix(ts),
+            peer: bgp_types::PeerKey::new(peer_asn, "10.1.2.3".parse().unwrap()),
+            announced,
+            withdrawn: withdrawn4.clone(),
+            attrs: RouteAttrs {
+                path: path.clone(),
+                origin: RouteOrigin::Igp,
+                communities: communities.clone(),
+            },
+        };
+        if rec.is_empty() {
+            return Ok(());
+        }
+        let mut w = UpdateDumpWriter::new(Vec::new(), Asn(12654), "198.51.100.1".parse().unwrap());
+        w.write_update(&rec).unwrap();
+        let (updates, warnings) = UpdatesReader::read_all(&w.into_inner()[..]).unwrap();
+        prop_assert!(warnings.is_empty(), "{warnings:?}");
+        let mut got_announced = Vec::new();
+        let mut got_withdrawn = Vec::new();
+        for u in &updates {
+            prop_assert_eq!(u.peer.asn, peer_asn);
+            prop_assert_eq!(u.timestamp.unix(), ts);
+            if !u.announced.is_empty() {
+                prop_assert_eq!(&u.attrs.path, &path);
+                prop_assert_eq!(&u.attrs.communities, &communities);
+            }
+            got_announced.extend(u.announced.iter().copied());
+            got_withdrawn.extend(u.withdrawn.iter().copied());
+        }
+        let mut want_announced = announced4;
+        want_announced.extend(announced6.iter().copied());
+        prop_assert_eq!(dedup_sorted(got_announced), dedup_sorted(want_announced));
+        prop_assert_eq!(dedup_sorted(got_withdrawn), withdrawn4);
+    }
+
+    #[test]
+    fn rib_dump_round_trips(
+        n_peers in 1usize..12,
+        routes in prop::collection::vec(
+            (arb_v4_prefix(), prop::collection::vec(arb_seq_path(), 1..6)),
+            1..30,
+        ),
+        ts in 0u64..4_000_000_000u64,
+    ) {
+        let ts = SimTime::from_unix(ts);
+        let table = PeerIndexTable {
+            collector_bgp_id: 99,
+            view_name: String::new(),
+            peers: (0..n_peers)
+                .map(|i| PeerEntry {
+                    bgp_id: i as u32,
+                    addr: format!("10.0.{}.{}", i / 250, (i % 250) + 1).parse().unwrap(),
+                    asn: Asn(1000 + i as u32),
+                })
+                .collect(),
+        };
+        let mut w = RibDumpWriter::new(Vec::new());
+        w.write_peer_table(ts, &table).unwrap();
+        let mut expected = Vec::new();
+        for (prefix, paths) in &routes {
+            let entries: Vec<(u16, ParsedAttrs)> = paths
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let idx = (i % n_peers) as u16;
+                    (idx, ParsedAttrs::from_path(p.clone()))
+                })
+                .collect();
+            w.write_route(ts, *prefix, &entries).unwrap();
+            expected.push((*prefix, entries));
+        }
+        let dump = RibDumpReader::read_all(&w.into_inner()[..]).unwrap();
+        prop_assert!(dump.warnings.is_empty(), "{:?}", dump.warnings);
+        prop_assert_eq!(dump.table.peers.len(), n_peers);
+        prop_assert_eq!(dump.routes.len(), expected.len());
+        for (rec, (prefix, entries)) in dump.routes.iter().zip(&expected) {
+            prop_assert_eq!(rec.prefix, *prefix);
+            prop_assert_eq!(rec.entries.len(), entries.len());
+            for (got, (idx, attrs)) in rec.entries.iter().zip(entries) {
+                prop_assert_eq!(got.peer_index, *idx);
+                prop_assert_eq!(&got.attrs.as_path, &attrs.as_path);
+            }
+        }
+    }
+
+    #[test]
+    fn v6_rib_with_mp_reach_round_trips(
+        prefix in arb_v6_prefix(),
+        path in arb_seq_path(),
+        nh in any::<u128>(),
+    ) {
+        let ts = SimTime::from_unix(1_000_000);
+        let table = PeerIndexTable {
+            collector_bgp_id: 1,
+            view_name: String::new(),
+            peers: vec![PeerEntry {
+                bgp_id: 1,
+                addr: "2001:db8::1".parse().unwrap(),
+                asn: Asn(6939),
+            }],
+        };
+        let mut attrs = ParsedAttrs::from_path(path.clone());
+        attrs.mp_reach = Some(MpReach {
+            next_hop: Some(std::net::Ipv6Addr::from(nh)),
+            nlri: vec![], // abbreviated form inside RIB entries
+        });
+        let mut w = RibDumpWriter::new(Vec::new());
+        w.write_peer_table(ts, &table).unwrap();
+        w.write_route(ts, prefix, &[(0, attrs.clone())]).unwrap();
+        let dump = RibDumpReader::read_all(&w.into_inner()[..]).unwrap();
+        prop_assert!(dump.warnings.is_empty(), "{:?}", dump.warnings);
+        prop_assert_eq!(dump.routes[0].prefix.family(), Family::Ipv6);
+        prop_assert_eq!(&dump.routes[0].entries[0].attrs, &attrs);
+    }
+}

@@ -1,0 +1,355 @@
+//! Prefix allocation.
+//!
+//! Each AS receives a heavy-tailed number of prefixes carved sequentially
+//! out of the unicast space. The per-era fragmentation knob shifts the
+//! length mix towards /24s (IPv4) and /48s (IPv6), reproducing the paper's
+//! observation that prefix growth is "primarily driven by the trend of
+//! prefix fragmentation" (§4.1).
+
+use crate::topology::{AsId, Tier, Topology};
+use bgp_types::{Family, Ipv4Prefix, Ipv6Prefix, Prefix};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for prefix allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AddressingConfig {
+    /// Address family to allocate.
+    pub family: Family,
+    /// Mean prefixes for a stub AS (heavy-tailed around this).
+    pub stub_mean: f64,
+    /// Mean prefixes for a transit AS.
+    pub transit_mean: f64,
+    /// Mean prefixes for a Tier-1 AS.
+    pub tier1_mean: f64,
+    /// Pareto-ish tail weight: probability of continuing to grow a block
+    /// (0 = everyone gets exactly the floor, → 1 = very heavy tail).
+    pub tail: f64,
+    /// Fraction of prefixes allocated at the family's maximum study length
+    /// (/24 or /48) rather than a shorter aggregate.
+    pub fragmentation: f64,
+    /// Fraction of *extra* too-specific prefixes (>/24, >/48) announced by
+    /// edge ASes; the sanitization stage must filter these.
+    pub overlong_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AddressingConfig {
+    fn default() -> Self {
+        AddressingConfig {
+            family: Family::Ipv4,
+            stub_mean: 3.0,
+            transit_mean: 10.0,
+            tier1_mean: 40.0,
+            tail: 0.45,
+            fragmentation: 0.6,
+            overlong_frac: 0.02,
+            seed: 1,
+        }
+    }
+}
+
+/// The prefix allocation of one scenario.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Allocation {
+    /// Prefixes owned by each AS (index = [`AsId`]).
+    pub by_as: Vec<Vec<Prefix>>,
+}
+
+impl Allocation {
+    /// Total prefix count.
+    pub fn total(&self) -> usize {
+        self.by_as.iter().map(Vec::len).sum()
+    }
+
+    /// Allocates prefixes for every AS in the topology.
+    pub fn generate(topo: &Topology, cfg: &AddressingConfig) -> Allocation {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ 0xADD2_E550);
+        let mut alloc = Allocation {
+            by_as: Vec::with_capacity(topo.len()),
+        };
+        let mut cursor = SpaceCursor::new(cfg.family);
+        for a in 0..topo.len() as AsId {
+            // Sibling-chain members other than the origin own nothing: they
+            // exist to carry the origin's routes.
+            let depth = topo.sibling_depth[a as usize];
+            let is_chain_transit = depth > 0 && !is_chain_origin(topo, a);
+            if is_chain_transit {
+                alloc.by_as.push(Vec::new());
+                continue;
+            }
+            let mean = match topo.tiers[a as usize] {
+                Tier::Tier1 => cfg.tier1_mean,
+                Tier::Transit => cfg.transit_mean,
+                Tier::Stub => cfg.stub_mean,
+            };
+            let count = sample_heavy_tail(&mut rng, mean, cfg.tail);
+            let mut prefixes = Vec::with_capacity(count);
+            for _ in 0..count {
+                prefixes.push(cursor.next_prefix(&mut rng, cfg.fragmentation));
+            }
+            // Occasionally announce a too-specific route as well.
+            if cfg.overlong_frac > 0.0 && rng.random_bool(cfg.overlong_frac.min(1.0)) {
+                prefixes.push(cursor.next_overlong(&mut rng));
+            }
+            alloc.by_as.push(prefixes);
+        }
+        alloc
+    }
+}
+
+/// Returns `true` if `a` is the origin (deepest member) of a sibling chain.
+pub fn is_chain_origin(topo: &Topology, a: AsId) -> bool {
+    let depth = topo.sibling_depth[a as usize];
+    depth > 0
+        && topo.customers[a as usize]
+            .iter()
+            .all(|&c| topo.sibling_depth[c as usize] == 0)
+}
+
+/// Heavy-tailed positive integer with roughly the requested mean: a floor
+/// of 1 plus a geometric batch tail.
+fn sample_heavy_tail(rng: &mut impl Rng, mean: f64, tail: f64) -> usize {
+    let mean = mean.max(1.0);
+    let tail = tail.clamp(0.0, 0.95);
+    if tail == 0.0 || mean <= 1.0 {
+        return mean.round().max(1.0) as usize;
+    }
+    // E[X] ≈ 1 + batch * tail/(1-tail)  ⇒  batch = (mean-1)(1-tail)/tail
+    let batch = ((mean - 1.0) * (1.0 - tail) / tail).max(0.25);
+    let mut count = 1.0;
+    while rng.random_bool(tail) && count < mean * 60.0 {
+        count += batch * rng.random_range(0.5..1.5);
+    }
+    count.round().max(1.0) as usize
+}
+
+/// Sequential allocator over the family's unicast space.
+struct SpaceCursor {
+    family: Family,
+    /// For IPv4: next free /24 index. For IPv6: next free /48 index.
+    next_block: u64,
+}
+
+impl SpaceCursor {
+    fn new(family: Family) -> Self {
+        SpaceCursor {
+            family,
+            next_block: 0,
+        }
+    }
+
+    /// Carves the next prefix. With probability `fragmentation` it is a
+    /// maximum-study-length prefix (/24 or /48); otherwise a shorter
+    /// aggregate (IPv4 /20–/23, IPv6 /32–/44).
+    fn next_prefix(&mut self, rng: &mut impl Rng, fragmentation: f64) -> Prefix {
+        match self.family {
+            Family::Ipv4 => {
+                let len = if rng.random_bool(fragmentation) {
+                    24
+                } else {
+                    rng.random_range(20..=23)
+                };
+                let blocks = 1u64 << (24 - len); // how many /24s it spans
+                let start = self.next_block.div_ceil(blocks) * blocks;
+                self.next_block = start + blocks;
+                // Base at 1.0.0.0 to skip 0/8.
+                let addr = ((start as u32) << 8).wrapping_add(0x0100_0000);
+                Prefix::V4(Ipv4Prefix::new_masked(addr, len).expect("len in range"))
+            }
+            Family::Ipv6 => {
+                let len = if rng.random_bool(fragmentation) {
+                    48
+                } else {
+                    rng.random_range(32..=44)
+                };
+                let blocks = 1u64 << (48 - len);
+                let start = self.next_block.div_ceil(blocks) * blocks;
+                self.next_block = start + blocks;
+                // Base at 2001::/16.
+                let addr = (0x2001u128 << 112) | ((start as u128) << 80);
+                Prefix::V6(Ipv6Prefix::new_masked(addr, len).expect("len in range"))
+            }
+        }
+    }
+
+    /// Carves a deliberately too-specific prefix (filtered by §2.4.3).
+    fn next_overlong(&mut self, rng: &mut impl Rng) -> Prefix {
+        match self.family {
+            Family::Ipv4 => {
+                let start = self.next_block;
+                self.next_block += 1;
+                let len = rng.random_range(25..=28);
+                let addr = ((start as u32) << 8).wrapping_add(0x0100_0000);
+                Prefix::V4(Ipv4Prefix::new_masked(addr, len).expect("len in range"))
+            }
+            Family::Ipv6 => {
+                let start = self.next_block;
+                self.next_block += 1;
+                let len = rng.random_range(49..=64);
+                let addr = (0x2001u128 << 112) | ((start as u128) << 80);
+                Prefix::V6(Ipv6Prefix::new_masked(addr, len).expect("len in range"))
+            }
+        }
+    }
+}
+
+/// Allocates the FITI-style block: `count` /32s under 240a:a000::/20
+/// (§5.1 of the paper: 4,096 new ASNs each announcing one /32 subnet of a
+/// single /20).
+pub fn fiti_prefixes(count: usize) -> Vec<Prefix> {
+    let base: u128 = 0x240a_a000u128 << 96;
+    (0..count as u128)
+        .map(|i| {
+            // /32 subnets of the /20: step at bit position 128-32 = 96,
+            // within the 12 bits between /20 and /32.
+            let addr = base | (i << 96);
+            Prefix::V6(Ipv6Prefix::new_masked(addr, 32).expect("static len"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::generate(&TopologyConfig::default())
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let t = topo();
+        let cfg = AddressingConfig::default();
+        let a = Allocation::generate(&t, &cfg);
+        let b = Allocation::generate(&t, &cfg);
+        assert_eq!(a.by_as, b.by_as);
+        assert!(a.total() > t.len() / 2, "most ASes get prefixes");
+    }
+
+    #[test]
+    fn prefixes_are_globally_unique_and_disjoint() {
+        let t = topo();
+        let a = Allocation::generate(&t, &AddressingConfig::default());
+        let mut all: Vec<Prefix> = a.by_as.iter().flatten().copied().collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(before, all.len());
+        for w in all.windows(2) {
+            assert!(
+                !w[0].contains(w[1]) && !w[1].contains(w[0]),
+                "{} overlaps {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn chain_members_own_nothing_but_origin_does() {
+        let t = topo();
+        let a = Allocation::generate(&t, &AddressingConfig::default());
+        let mut found_origin = false;
+        for id in 0..t.len() as AsId {
+            if t.sibling_depth[id as usize] > 0 {
+                if is_chain_origin(&t, id) {
+                    assert!(!a.by_as[id as usize].is_empty());
+                    found_origin = true;
+                } else {
+                    assert!(a.by_as[id as usize].is_empty());
+                }
+            }
+        }
+        assert!(found_origin);
+    }
+
+    #[test]
+    fn fragmentation_controls_length_mix() {
+        let t = topo();
+        let frag = Allocation::generate(
+            &t,
+            &AddressingConfig {
+                fragmentation: 0.95,
+                overlong_frac: 0.0,
+                ..Default::default()
+            },
+        );
+        let agg = Allocation::generate(
+            &t,
+            &AddressingConfig {
+                fragmentation: 0.05,
+                overlong_frac: 0.0,
+                ..Default::default()
+            },
+        );
+        let share_24 = |a: &Allocation| {
+            let all: Vec<&Prefix> = a.by_as.iter().flatten().collect();
+            all.iter().filter(|p| p.len() == 24).count() as f64 / all.len() as f64
+        };
+        assert!(share_24(&frag) > 0.85);
+        assert!(share_24(&agg) < 0.25);
+    }
+
+    #[test]
+    fn heavy_tail_produces_requested_mean() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<usize> = (0..n).map(|_| sample_heavy_tail(&mut rng, 8.0, 0.45)).collect();
+        let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        assert!((5.0..=11.0).contains(&mean), "mean {mean}");
+        assert!(*samples.iter().max().unwrap() > 40, "needs a real tail");
+    }
+
+    #[test]
+    fn v6_allocation_works() {
+        let t = topo();
+        let a = Allocation::generate(
+            &t,
+            &AddressingConfig {
+                family: Family::Ipv6,
+                ..Default::default()
+            },
+        );
+        assert!(a.total() > 0);
+        for p in a.by_as.iter().flatten() {
+            assert_eq!(p.family(), Family::Ipv6);
+        }
+    }
+
+    #[test]
+    fn fiti_block_is_distinct_32s_under_the_20() {
+        let f = fiti_prefixes(64);
+        assert_eq!(f.len(), 64);
+        let parent: Prefix = "240a:a000::/20".parse().unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &f {
+            assert_eq!(p.len(), 32);
+            assert!(parent.contains(*p), "{p} outside {parent}");
+            assert!(seen.insert(*p), "duplicate {p}");
+        }
+    }
+
+    #[test]
+    fn overlong_prefixes_appear_when_enabled() {
+        let t = topo();
+        let a = Allocation::generate(
+            &t,
+            &AddressingConfig {
+                overlong_frac: 0.5,
+                ..Default::default()
+            },
+        );
+        let overlong = a
+            .by_as
+            .iter()
+            .flatten()
+            .filter(|p| !p.within_global_routing_len())
+            .count();
+        assert!(overlong > 0);
+    }
+}

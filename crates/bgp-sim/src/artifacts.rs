@@ -1,0 +1,261 @@
+//! Collector-infrastructure artifacts.
+//!
+//! The paper's sanitization pipeline (§2.4.2–§2.4.4, Appendix A8.3) exists
+//! because real collector feeds are messy. This module reproduces every
+//! artifact class the paper cleans, so the sanitization stage has something
+//! real to do:
+//!
+//! | artifact | paper reference | cleaned by |
+//! |---|---|---|
+//! | partial feeds | §2.4.2 | full-feed inference (≥ 90 % rule) |
+//! | private-ASN leak (AS65000) | A8.3.2 | private-ASN peer removal |
+//! | >10 % duplicate prefixes | §2.4.4 | duplicate-peer removal |
+//! | ADD-PATH-broken peers | A8.3.1 | parse-warning peer removal |
+//! | AS-SET aggregation | §2.4.4 | expand singletons / drop others |
+//! | stuck routes (one collector) | §2.4.3 (i) | ≥ 2 collector filter |
+//! | very localized prefixes | §2.4.3 (ii) | ≥ 4 peer-AS filter |
+//! | too-specific prefixes | §2.4.3 | /24 / /48 caps |
+
+use bgp_types::{AsPath, Asn, Prefix, RibEntry, Segment};
+use serde::{Deserialize, Serialize};
+
+/// The misbehaviour (if any) of one collector peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PeerArtifact {
+    /// A well-behaved peer.
+    #[default]
+    Clean,
+    /// Leaks a private ASN (AS65000) into a pseudo-random subset of its
+    /// paths, splitting atoms at this vantage point (the paper's AS25885).
+    PrivateAsnLeak,
+    /// Shares more than 10 % duplicate prefixes.
+    DuplicatePrefixes,
+    /// Connected through an ADD-PATH-incompatible collector: its update
+    /// records are garbled on the wire (the paper's AS136557 et al.).
+    AddPathBroken,
+}
+
+/// Deterministic per-(seed, peer, prefix) coin with probability `num/den`.
+pub fn hash_coin(seed: u64, peer: u64, prefix_hash: u64, num: u64, den: u64) -> bool {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(peer.rotate_left(17))
+        .wrapping_add(prefix_hash.rotate_left(39));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x % den < num
+}
+
+/// A stable 64-bit hash of a prefix (independent of the std hasher's
+/// per-process seed, so snapshots are reproducible across runs).
+pub fn prefix_hash(p: Prefix) -> u64 {
+    match p {
+        Prefix::V4(v) => (v.addr() as u64) << 8 | v.len() as u64,
+        Prefix::V6(v) => {
+            let a = v.addr();
+            ((a >> 64) as u64 ^ (a as u64).rotate_left(23)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ v.len() as u64
+        }
+    }
+}
+
+/// Inserts the private ASN immediately after the peer's own hop for a
+/// pseudo-random ~60 % of entries. Partial application is what makes the
+/// artifact *inflate the atom count* (~30 % in the paper): prefixes that
+/// shared a path at this peer now split into leaked and non-leaked groups.
+pub fn leak_private_asn(entries: &mut [RibEntry], peer_asn: Asn, seed: u64) {
+    for e in entries.iter_mut() {
+        if hash_coin(seed, peer_asn.0 as u64, prefix_hash(e.prefix), 3, 5) {
+            let path = &e.attrs.path;
+            let mut asns: Vec<Asn> = path.asns().collect();
+            if asns.is_empty() {
+                continue;
+            }
+            asns.insert(1.min(asns.len()), Asn(65000));
+            e.attrs.path = AsPath::from_asns(asns);
+        }
+    }
+}
+
+/// Appends duplicate copies of ~15 % of the entries (the paper removes
+/// peers above 10 % duplicates).
+pub fn duplicate_entries(entries: &mut Vec<RibEntry>, peer_asn: Asn, seed: u64) {
+    let dups: Vec<RibEntry> = entries
+        .iter()
+        .filter(|e| hash_coin(seed ^ 0xD07_D0B, peer_asn.0 as u64, prefix_hash(e.prefix), 3, 20))
+        .cloned()
+        .collect();
+    entries.extend(dups);
+}
+
+/// Replaces the origin-side tail of a small fraction of paths with an
+/// AS-SET, simulating route aggregation. Half of the affected paths get a
+/// singleton set (which sanitization expands), half a two-member set (which
+/// sanitization drops).
+pub fn aggregate_as_sets(entries: &mut [RibEntry], peer_asn: Asn, seed: u64, frac_per_mille: u64) {
+    for e in entries.iter_mut() {
+        let h = prefix_hash(e.prefix);
+        // Selection is keyed on the prefix alone: aggregation happens at an
+        // AS on the announcement's path, so the same prefixes are affected
+        // at (roughly) the same vantage points. A per-(peer, prefix) key
+        // would compound across peers and make ~20 % of prefixes set-tainted
+        // somewhere, far above the paper's < 1 %.
+        if !hash_coin(seed ^ 0xA5E7, 0, h, frac_per_mille, 1000) {
+            continue;
+        }
+        // Half of the affected prefixes' peers route around the aggregation
+        // point and keep clean paths.
+        if !hash_coin(seed ^ 0xA5E8, peer_asn.0 as u64, h, 1, 2) {
+            continue;
+        }
+        let asns: Vec<Asn> = e.attrs.path.asns().collect();
+        if asns.len() < 3 {
+            continue;
+        }
+        let (head, tail) = asns.split_at(asns.len() - 2);
+        let singleton = hash_coin(seed ^ 0x51, peer_asn.0 as u64, h, 1, 2);
+        let set = if singleton {
+            vec![*tail.last().expect("tail has two members")]
+        } else {
+            let mut s = tail.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        let mut segs = vec![Segment::Sequence(head.to_vec())];
+        if singleton {
+            // Aggregation that kept one AS: head + [origin].
+            segs.push(Segment::Set(set));
+        } else {
+            segs.push(Segment::Set(set));
+        }
+        e.attrs.path = AsPath::from_segments(segs);
+    }
+}
+
+/// Whether a partial-feed peer carries `prefix` (deterministic per
+/// (seed, peer, prefix); the snapshot and the update generator use the same
+/// decision so updates never mention invisible prefixes).
+pub fn partial_keeps(seed: u64, peer_asn: Asn, prefix: Prefix, fraction: f64) -> bool {
+    let num = (fraction.clamp(0.0, 1.0) * 1000.0) as u64;
+    hash_coin(seed ^ 0xFEED, peer_asn.0 as u64, prefix_hash(prefix), num, 1000)
+}
+
+/// Samples a partial feed: keeps each prefix with probability
+/// `fraction`, deterministically per (peer, prefix).
+pub fn sample_partial(entries: &mut Vec<RibEntry>, peer_asn: Asn, seed: u64, fraction: f64) {
+    entries.retain(|e| partial_keeps(seed, peer_asn, e.prefix, fraction));
+}
+
+/// The paper's reserved artifact ASNs (Table 5 + A8.3.2); topology
+/// generation never assigns these, so artifact peers can carry them.
+pub const ADDPATH_BROKEN_ASNS: [u32; 4] = [136557, 57695, 42541, 47065];
+/// The private-ASN-leaking peer's ASN.
+pub const PRIVATE_LEAK_ASN: u32 = 25885;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::RouteAttrs;
+
+    fn entry(prefix: &str, path: &str) -> RibEntry {
+        RibEntry {
+            prefix: prefix.parse().unwrap(),
+            attrs: RouteAttrs::from_path(path.parse().unwrap()),
+        }
+    }
+
+    fn sample_entries(n: u32) -> Vec<RibEntry> {
+        (0..n)
+            .map(|i| {
+                RibEntry::new(
+                    Prefix::v4((10 << 24) | (i << 8), 24).unwrap(),
+                    "25885 3356 64496".parse().unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hash_coin_is_deterministic_and_proportional() {
+        let hits = (0..10_000)
+            .filter(|&i| hash_coin(1, 2, i, 3, 10))
+            .count();
+        assert!((2700..=3300).contains(&hits), "{hits}");
+        for i in 0..100 {
+            assert_eq!(hash_coin(1, 2, i, 3, 10), hash_coin(1, 2, i, 3, 10));
+        }
+    }
+
+    #[test]
+    fn private_leak_hits_a_majority_subset() {
+        let mut entries = sample_entries(1000);
+        leak_private_asn(&mut entries, Asn(25885), 7);
+        let leaked = entries
+            .iter()
+            .filter(|e| e.attrs.path.contains_private_asn())
+            .count();
+        assert!((450..=750).contains(&leaked), "{leaked}");
+        // Leak goes right after the peer hop.
+        let l = entries
+            .iter()
+            .find(|e| e.attrs.path.contains_private_asn())
+            .unwrap();
+        let asns: Vec<Asn> = l.attrs.path.asns().collect();
+        assert_eq!(asns[1], Asn(65000));
+        assert_eq!(asns[0], Asn(25885));
+    }
+
+    #[test]
+    fn duplicates_exceed_the_papers_threshold() {
+        let mut entries = sample_entries(1000);
+        let before = entries.len();
+        duplicate_entries(&mut entries, Asn(9002), 3);
+        let added = entries.len() - before;
+        assert!(
+            (before / 10..=before / 4).contains(&added),
+            "added {added} duplicates"
+        );
+    }
+
+    #[test]
+    fn as_set_aggregation_mix() {
+        let mut entries = sample_entries(4000);
+        aggregate_as_sets(&mut entries, Asn(3356), 11, 10); // 1 %
+        let with_sets: Vec<&RibEntry> = entries
+            .iter()
+            .filter(|e| e.attrs.path.has_as_set())
+            .collect();
+        assert!(!with_sets.is_empty());
+        assert!(with_sets.len() < 100, "should stay ~1%: {}", with_sets.len());
+        let singleton = with_sets
+            .iter()
+            .filter(|e| e.attrs.path.expand_singleton_sets().is_ok())
+            .count();
+        let multi = with_sets.len() - singleton;
+        assert!(singleton > 0 && multi > 0, "{singleton} vs {multi}");
+    }
+
+    #[test]
+    fn partial_sampling_fraction() {
+        let mut entries = sample_entries(2000);
+        sample_partial(&mut entries, Asn(5), 9, 0.3);
+        assert!((400..=800).contains(&entries.len()), "{}", entries.len());
+        // Deterministic.
+        let mut again = sample_entries(2000);
+        sample_partial(&mut again, Asn(5), 9, 0.3);
+        assert_eq!(entries, again);
+    }
+
+    #[test]
+    fn short_paths_survive_transformations() {
+        let mut entries = vec![entry("10.0.0.0/24", "25885"), entry("10.1.0.0/24", "")];
+        leak_private_asn(&mut entries, Asn(25885), 1);
+        aggregate_as_sets(&mut entries, Asn(25885), 1, 1000);
+        // No panic, and the empty path is untouched.
+        assert!(entries[1].attrs.path.is_empty() || entries[1].attrs.path.contains_private_asn());
+    }
+}

@@ -1,0 +1,619 @@
+//! Era configuration: one parameter set per study date.
+//!
+//! The paper's longitudinal axis (2002–2024 IPv4, 2011–2024 IPv6) is
+//! reproduced by anchor tables interpolated per date. Anchors encode the
+//! real-world trends the paper correlates with atom behaviour:
+//!
+//! * growth of ASes, prefixes, and vantage points,
+//! * fragmentation of address space,
+//! * finer origin policy granularity (more, smaller atoms),
+//! * rising transit selective export (atoms forming farther from the
+//!   origin, §4.3),
+//! * Internet flattening (multihoming and IXP peering density, §4.5),
+//! * the 2021 FITI event in IPv6 (§5.1).
+//!
+//! Every count is scaled by [`Era::scale`] (default 1/40 of the real
+//! Internet); ratio metrics are scale-free, and EXPERIMENTS.md reports the
+//! scale next to every absolute count.
+
+use crate::addressing::AddressingConfig;
+use crate::policy::PolicyConfig;
+use crate::topology::TopologyConfig;
+use bgp_types::{Family, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Default scale factor relative to the real Internet.
+pub const DEFAULT_SCALE: f64 = 1.0 / 40.0;
+
+/// One anchor row of the evolution table (real-Internet magnitudes).
+#[derive(Debug, Clone, Copy)]
+struct Anchor {
+    year: f64,
+    /// Real AS count.
+    n_as: f64,
+    /// Mean prefixes per AS.
+    prefixes_per_as: f64,
+    /// Fraction of prefixes at max study length (/24, /48).
+    fragmentation: f64,
+    /// Probability an AS splits its prefixes into multiple units.
+    p_multi_unit: f64,
+    /// P(a drawn unit has exactly one prefix).
+    unit_size_p1: f64,
+    /// Mean size of non-singleton units.
+    unit_size_tail_mean: f64,
+    /// Probability a unit is subject to transit selective export.
+    p_transit_selective: f64,
+    /// Probability a unit of a multihomed origin is exported selectively.
+    p_origin_selective: f64,
+    /// Mean providers per multihomed AS.
+    multihome_mean: f64,
+    /// Transit–transit peering density.
+    peering_density: f64,
+    /// Real full-feed vantage point count.
+    n_full_peers: f64,
+    /// Real partial-feed peer count.
+    n_partial_peers: f64,
+    /// Number of collectors.
+    n_collectors: f64,
+    /// Fraction of units whose policy churns within 8 hours.
+    churn_8h: f64,
+    /// … within 24 hours.
+    churn_24h: f64,
+    /// … within one week.
+    churn_1w: f64,
+}
+
+/// IPv4 anchors. Values are calibrated so the *shapes* of the paper's
+/// tables/figures reproduce (see EXPERIMENTS.md for paper-vs-measured).
+const V4_ANCHORS: [Anchor; 7] = [
+    Anchor {
+        year: 2002.0,
+        n_as: 12_500.0,
+        prefixes_per_as: 9.2,
+        fragmentation: 0.45,
+        p_multi_unit: 0.62,
+        unit_size_p1: 0.58,
+        unit_size_tail_mean: 5.5,
+        p_transit_selective: 0.05,
+        p_origin_selective: 0.50,
+        multihome_mean: 1.45,
+        peering_density: 0.015,
+        n_full_peers: 13.0,
+        n_partial_peers: 0.0,
+        n_collectors: 1.0,
+        churn_8h: 0.060,
+        churn_24h: 0.115,
+        churn_1w: 0.420,
+    },
+    Anchor {
+        year: 2004.0,
+        n_as: 16_490.0,
+        prefixes_per_as: 8.0,
+        fragmentation: 0.50,
+        p_multi_unit: 0.84,
+        unit_size_p1: 0.60,
+        unit_size_tail_mean: 6.0,
+        p_transit_selective: 0.42,
+        p_origin_selective: 0.60,
+        multihome_mean: 1.8,
+        peering_density: 0.02,
+        n_full_peers: 40.0,
+        n_partial_peers: 6.0,
+        n_collectors: 8.0,
+        churn_8h: 0.040,
+        churn_24h: 0.095,
+        churn_1w: 0.220,
+    },
+    Anchor {
+        year: 2008.0,
+        n_as: 30_000.0,
+        prefixes_per_as: 9.0,
+        fragmentation: 0.55,
+        p_multi_unit: 0.70,
+        unit_size_p1: 0.60,
+        unit_size_tail_mean: 5.5,
+        p_transit_selective: 0.32,
+        p_origin_selective: 0.45,
+        multihome_mean: 1.7,
+        peering_density: 0.04,
+        n_full_peers: 120.0,
+        n_partial_peers: 40.0,
+        n_collectors: 12.0,
+        churn_8h: 0.042,
+        churn_24h: 0.100,
+        churn_1w: 0.230,
+    },
+    Anchor {
+        year: 2012.0,
+        n_as: 42_000.0,
+        prefixes_per_as: 10.5,
+        fragmentation: 0.60,
+        p_multi_unit: 0.78,
+        unit_size_p1: 0.64,
+        unit_size_tail_mean: 5.0,
+        p_transit_selective: 0.42,
+        p_origin_selective: 0.40,
+        multihome_mean: 1.85,
+        peering_density: 0.06,
+        n_full_peers: 220.0,
+        n_partial_peers: 120.0,
+        n_collectors: 16.0,
+        churn_8h: 0.045,
+        churn_24h: 0.105,
+        churn_1w: 0.235,
+    },
+    Anchor {
+        year: 2016.0,
+        n_as: 55_000.0,
+        prefixes_per_as: 11.5,
+        fragmentation: 0.64,
+        p_multi_unit: 0.84,
+        unit_size_p1: 0.67,
+        unit_size_tail_mean: 4.7,
+        p_transit_selective: 0.50,
+        p_origin_selective: 0.35,
+        multihome_mean: 2.0,
+        peering_density: 0.08,
+        n_full_peers: 350.0,
+        n_partial_peers: 300.0,
+        n_collectors: 20.0,
+        churn_8h: 0.048,
+        churn_24h: 0.110,
+        churn_1w: 0.240,
+    },
+    Anchor {
+        year: 2020.0,
+        n_as: 68_000.0,
+        prefixes_per_as: 12.5,
+        fragmentation: 0.68,
+        p_multi_unit: 0.88,
+        unit_size_p1: 0.69,
+        unit_size_tail_mean: 4.5,
+        p_transit_selective: 0.62,
+        p_origin_selective: 0.32,
+        multihome_mean: 2.1,
+        peering_density: 0.10,
+        n_full_peers: 500.0,
+        n_partial_peers: 500.0,
+        n_collectors: 24.0,
+        churn_8h: 0.060,
+        churn_24h: 0.120,
+        churn_1w: 0.260,
+    },
+    Anchor {
+        year: 2024.0,
+        n_as: 76_672.0,
+        prefixes_per_as: 13.4,
+        fragmentation: 0.70,
+        p_multi_unit: 0.92,
+        unit_size_p1: 0.74,
+        unit_size_tail_mean: 4.0,
+        p_transit_selective: 0.72,
+        p_origin_selective: 0.10,
+        multihome_mean: 2.2,
+        peering_density: 0.12,
+        n_full_peers: 600.0,
+        n_partial_peers: 650.0,
+        n_collectors: 28.0,
+        churn_8h: 0.180,
+        churn_24h: 0.250,
+        churn_1w: 0.400,
+    },
+];
+
+/// IPv6 anchors (2011–2024). IPv6 policy is coarser (larger atoms, fewer
+/// per AS), stability higher, formation distances shorter — §5.5.
+const V6_ANCHORS: [Anchor; 4] = [
+    Anchor {
+        year: 2011.0,
+        n_as: 2_938.0,
+        prefixes_per_as: 1.42,
+        fragmentation: 0.35,
+        p_multi_unit: 0.65,
+        unit_size_p1: 0.92,
+        unit_size_tail_mean: 2.5,
+        p_transit_selective: 0.18,
+        p_origin_selective: 0.40,
+        multihome_mean: 1.5,
+        peering_density: 0.04,
+        n_full_peers: 30.0,
+        n_partial_peers: 10.0,
+        n_collectors: 8.0,
+        churn_8h: 0.020,
+        churn_24h: 0.045,
+        churn_1w: 0.110,
+    },
+    Anchor {
+        year: 2016.0,
+        n_as: 12_000.0,
+        prefixes_per_as: 2.6,
+        fragmentation: 0.45,
+        p_multi_unit: 0.35,
+        unit_size_p1: 0.78,
+        unit_size_tail_mean: 4.0,
+        p_transit_selective: 0.12,
+        p_origin_selective: 0.35,
+        multihome_mean: 1.8,
+        peering_density: 0.07,
+        n_full_peers: 150.0,
+        n_partial_peers: 80.0,
+        n_collectors: 14.0,
+        churn_8h: 0.024,
+        churn_24h: 0.050,
+        churn_1w: 0.120,
+    },
+    Anchor {
+        year: 2021.0,
+        n_as: 26_000.0,
+        prefixes_per_as: 5.0,
+        fragmentation: 0.55,
+        p_multi_unit: 0.45,
+        unit_size_p1: 0.74,
+        unit_size_tail_mean: 5.5,
+        p_transit_selective: 0.20,
+        p_origin_selective: 0.38,
+        multihome_mean: 2.0,
+        peering_density: 0.10,
+        n_full_peers: 300.0,
+        n_partial_peers: 200.0,
+        n_collectors: 20.0,
+        churn_8h: 0.028,
+        churn_24h: 0.055,
+        churn_1w: 0.130,
+    },
+    Anchor {
+        year: 2024.0,
+        n_as: 34_164.0,
+        prefixes_per_as: 6.65,
+        fragmentation: 0.60,
+        p_multi_unit: 0.60,
+        unit_size_p1: 0.80,
+        unit_size_tail_mean: 5.0,
+        p_transit_selective: 0.32,
+        p_origin_selective: 0.22,
+        multihome_mean: 2.1,
+        peering_density: 0.12,
+        n_full_peers: 320.0,
+        n_partial_peers: 250.0,
+        n_collectors: 22.0,
+        churn_8h: 0.022,
+        churn_24h: 0.048,
+        churn_1w: 0.115,
+    },
+];
+
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+fn interpolate(anchors: &[Anchor], year: f64) -> Anchor {
+    let first = anchors.first().expect("anchor tables are non-empty");
+    let last = anchors.last().expect("anchor tables are non-empty");
+    if year <= first.year {
+        return *first;
+    }
+    if year >= last.year {
+        return *last;
+    }
+    let hi = anchors
+        .iter()
+        .position(|a| a.year >= year)
+        .expect("year within range");
+    let (a, b) = (&anchors[hi - 1], &anchors[hi]);
+    let t = (year - a.year) / (b.year - a.year);
+    Anchor {
+        year,
+        n_as: lerp(a.n_as, b.n_as, t),
+        prefixes_per_as: lerp(a.prefixes_per_as, b.prefixes_per_as, t),
+        fragmentation: lerp(a.fragmentation, b.fragmentation, t),
+        p_multi_unit: lerp(a.p_multi_unit, b.p_multi_unit, t),
+        unit_size_p1: lerp(a.unit_size_p1, b.unit_size_p1, t),
+        unit_size_tail_mean: lerp(a.unit_size_tail_mean, b.unit_size_tail_mean, t),
+        p_transit_selective: lerp(a.p_transit_selective, b.p_transit_selective, t),
+        p_origin_selective: lerp(a.p_origin_selective, b.p_origin_selective, t),
+        multihome_mean: lerp(a.multihome_mean, b.multihome_mean, t),
+        peering_density: lerp(a.peering_density, b.peering_density, t),
+        n_full_peers: lerp(a.n_full_peers, b.n_full_peers, t),
+        n_partial_peers: lerp(a.n_partial_peers, b.n_partial_peers, t),
+        n_collectors: lerp(a.n_collectors, b.n_collectors, t),
+        churn_8h: lerp(a.churn_8h, b.churn_8h, t),
+        churn_24h: lerp(a.churn_24h, b.churn_24h, t),
+        churn_1w: lerp(a.churn_1w, b.churn_1w, t),
+    }
+}
+
+/// The fully resolved configuration for one study date.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Era {
+    /// Snapshot timestamp.
+    pub date: SimTime,
+    /// Address family.
+    pub family: Family,
+    /// Scale factor applied to real-Internet counts.
+    pub scale: f64,
+    /// Base RNG seed (combined with the date so each quarter differs).
+    pub seed: u64,
+    /// Topology generation parameters.
+    pub topology: TopologyConfig,
+    /// Prefix allocation parameters.
+    pub addressing: AddressingConfig,
+    /// Unit / policy generation parameters.
+    pub policy: PolicyConfig,
+    /// Scaled full-feed vantage point count.
+    pub n_full_peers: usize,
+    /// Scaled partial-feed peer count.
+    pub n_partial_peers: usize,
+    /// Collector count (not scaled as aggressively; min 1).
+    pub n_collectors: usize,
+    /// Unit churn fraction per stability horizon (8 h, 24 h, 1 week).
+    pub churn: [f64; 3],
+    /// FITI block size (IPv6, 2021+): scaled count of /32 stub ASNs.
+    pub fiti_count: usize,
+    /// Update-stream parameters for the 4-hour window.
+    pub updates: UpdateEraConfig,
+}
+
+/// Update-generation knobs for one era.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateEraConfig {
+    /// Mean number of change events per unit over the 4-hour window.
+    pub events_per_unit: f64,
+    /// Probability an event is globally visible (vs. local to one VP).
+    pub p_global: f64,
+    /// Probability the full unit is re-announced in one UPDATE message.
+    pub p_bundle_intact: f64,
+    /// Mean single-prefix noise flaps per 1000 prefixes.
+    pub flaps_per_1000_prefixes: f64,
+}
+
+impl Era {
+    /// Resolves the era for a study date.
+    ///
+    /// `scale` defaults to [`DEFAULT_SCALE`] when `None`. The same
+    /// `(date, family, scale)` always yields the same era (seeds are derived
+    /// from the date).
+    pub fn for_date(date: SimTime, family: Family, scale: Option<f64>) -> Era {
+        let scale = scale.unwrap_or(DEFAULT_SCALE);
+        let civil = date.civil();
+        let year = civil.year as f64 + (civil.month as f64 - 1.0) / 12.0;
+        let anchors: &[Anchor] = match family {
+            Family::Ipv4 => &V4_ANCHORS,
+            Family::Ipv6 => &V6_ANCHORS,
+        };
+        let a = interpolate(anchors, year);
+        let seed = date.unix() ^ ((family == Family::Ipv6) as u64) << 63;
+        // The AS-level topology is the same Internet regardless of which
+        // family we observe: seed it per-date only, so IPv6 scenarios reuse
+        // the IPv4 ASN universe (scaled down — early v6 adopters are a
+        // subset of the v4 ASes).
+        let topology_seed = date.unix();
+
+        let n_as = (a.n_as * scale).round().max(60.0) as usize;
+        let n_tier1 = (8 + n_as / 500).min(14);
+        let n_transit = (n_as / 8).max(8);
+        let n_stub = n_as.saturating_sub(n_tier1 + n_transit).max(10);
+        let sibling_chains = (n_as / 250).max(1);
+
+        // Prefix means per tier: stubs carry a little, transits more,
+        // tier1s a lot; weighted so the overall mean hits prefixes_per_as.
+        // With tiers ≈ (t1, n/8 transit, rest stub) and weights 1 : 3 : 12:
+        let stub_frac = n_stub as f64 / n_as as f64;
+        let transit_frac = n_transit as f64 / n_as as f64;
+        let t1_frac = n_tier1 as f64 / n_as as f64;
+        let base = a.prefixes_per_as / (stub_frac + 3.0 * transit_frac + 12.0 * t1_frac);
+        let fiti_count = if family == Family::Ipv6 && year >= 2021.0 {
+            (4096.0 * scale).round() as usize
+        } else {
+            0
+        };
+
+        Era {
+            date,
+            family,
+            scale,
+            seed,
+            topology: TopologyConfig {
+                n_tier1,
+                n_transit,
+                n_stub,
+                multihome_mean: a.multihome_mean,
+                peering_density: a.peering_density,
+                sibling_chains,
+                sibling_chain_len: 3,
+                seed: topology_seed,
+            },
+            addressing: AddressingConfig {
+                family,
+                stub_mean: base.max(1.0),
+                transit_mean: (3.0 * base).max(2.0),
+                tier1_mean: (12.0 * base).max(4.0),
+                tail: 0.65,
+                fragmentation: a.fragmentation,
+                overlong_frac: 0.02,
+                seed: seed ^ 0xA11,
+            },
+            policy: PolicyConfig {
+                p_multi_unit: a.p_multi_unit,
+                unit_size_p1: a.unit_size_p1,
+                unit_size_tail_mean: a.unit_size_tail_mean,
+                p_origin_selective: a.p_origin_selective,
+                p_origin_prepend: 0.15,
+                p_transit_selective: a.p_transit_selective,
+                moas_frac: 0.02,
+                seed: seed ^ 0x90C,
+            },
+            // The 2002 reproduction (§3.1) uses the real setup: RRC00 with
+            // exactly 13 full-feed peers. Later eras scale with the fleet.
+            n_full_peers: if year < 2003.5 {
+                13
+            } else {
+                (a.n_full_peers * scale * 4.0).round().max(8.0) as usize
+            },
+            n_partial_peers: if year < 2003.5 {
+                0
+            } else {
+                (a.n_partial_peers * scale * 4.0).round() as usize
+            },
+            n_collectors: if year < 2003.5 {
+                1
+            } else {
+                (a.n_collectors / 2.0).round().max(2.0) as usize
+            },
+            churn: [a.churn_8h, a.churn_24h, a.churn_1w],
+            fiti_count,
+            updates: UpdateEraConfig {
+                events_per_unit: 0.35,
+                p_global: 0.35,
+                // Bundling was tighter in the early 2000s (Fig. 3 left vs
+                // right): interpolate 0.82 (2002) → 0.70 (2024).
+                p_bundle_intact: (0.86 - (year - 2002.0).clamp(0.0, 22.0) * 0.004).clamp(0.5, 0.9),
+                flaps_per_1000_prefixes: 8.0,
+            },
+        }
+    }
+
+    /// The paper's quarterly snapshot dates: Jan/Apr/Jul/Oct 15, 08:00 UTC,
+    /// from `from_year` through `to_year` inclusive.
+    pub fn quarterly_dates(from_year: i32, to_year: i32) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        for year in from_year..=to_year {
+            for month in [1, 4, 7, 10] {
+                out.push(SimTime::from_ymd_hms(year, month, 15, 8, 0, 0));
+            }
+        }
+        out
+    }
+
+    /// Additional per-era unit-size parameters used by the scenario's
+    /// size-driven splitting (see `scenario.rs`).
+    pub fn unit_size_params(&self) -> (f64, f64) {
+        let civil = self.date.civil();
+        let year = civil.year as f64 + (civil.month as f64 - 1.0) / 12.0;
+        let anchors: &[Anchor] = match self.family {
+            Family::Ipv4 => &V4_ANCHORS,
+            Family::Ipv6 => &V6_ANCHORS,
+        };
+        let a = interpolate(anchors, year);
+        (a.unit_size_p1, a.unit_size_tail_mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn date(y: i32, m: u8) -> SimTime {
+        SimTime::from_ymd_hms(y, m, 15, 8, 0, 0)
+    }
+
+    #[test]
+    fn eras_are_deterministic() {
+        let a = Era::for_date(date(2012, 7), Family::Ipv4, None);
+        let b = Era::for_date(date(2012, 7), Family::Ipv4, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn growth_is_monotone() {
+        let e04 = Era::for_date(date(2004, 1), Family::Ipv4, None);
+        let e14 = Era::for_date(date(2014, 1), Family::Ipv4, None);
+        let e24 = Era::for_date(date(2024, 10), Family::Ipv4, None);
+        let size = |e: &Era| e.topology.n_tier1 + e.topology.n_transit + e.topology.n_stub;
+        assert!(size(&e04) < size(&e14));
+        assert!(size(&e14) < size(&e24));
+        assert!(e04.n_full_peers < e24.n_full_peers);
+        assert!(e04.policy.p_transit_selective < e24.policy.p_transit_selective);
+        assert!(e04.topology.peering_density < e24.topology.peering_density);
+    }
+
+    #[test]
+    fn scaled_as_counts_match_paper_ratio() {
+        let e04 = Era::for_date(date(2004, 1), Family::Ipv4, None);
+        let e24 = Era::for_date(date(2024, 10), Family::Ipv4, None);
+        let size = |e: &Era| (e.topology.n_tier1 + e.topology.n_transit + e.topology.n_stub) as f64;
+        let growth = size(&e24) / size(&e04);
+        // Paper: 76,672 / 16,490 ≈ 4.65.
+        assert!((3.8..=5.5).contains(&growth), "AS growth factor {growth}");
+    }
+
+    #[test]
+    fn clamping_outside_range() {
+        let early = Era::for_date(date(1999, 1), Family::Ipv4, None);
+        let e02 = Era::for_date(date(2002, 1), Family::Ipv4, None);
+        assert_eq!(early.topology.n_stub, e02.topology.n_stub);
+        let late = Era::for_date(date(2030, 1), Family::Ipv4, None);
+        let e24 = Era::for_date(date(2024, 10), Family::Ipv4, None);
+        assert_eq!(late.topology.n_stub, e24.topology.n_stub);
+    }
+
+    #[test]
+    fn fiti_applies_only_to_recent_v6() {
+        assert_eq!(
+            Era::for_date(date(2019, 1), Family::Ipv6, None).fiti_count,
+            0
+        );
+        let e = Era::for_date(date(2022, 1), Family::Ipv6, None);
+        assert!(e.fiti_count > 0);
+        assert_eq!(
+            Era::for_date(date(2022, 1), Family::Ipv4, None).fiti_count,
+            0
+        );
+    }
+
+    #[test]
+    fn v6_is_coarser_than_v4() {
+        let v4 = Era::for_date(date(2024, 10), Family::Ipv4, None);
+        let v6 = Era::for_date(date(2024, 10), Family::Ipv6, None);
+        assert!(v6.policy.p_multi_unit < v4.policy.p_multi_unit);
+        assert!(v6.policy.p_transit_selective < v4.policy.p_transit_selective);
+        let (p1_v4, _) = v4.unit_size_params();
+        let (p1_v6, _) = v6.unit_size_params();
+        assert!(p1_v6 > 0.0 && p1_v4 > 0.0);
+    }
+
+    #[test]
+    fn quarterly_dates_cover_the_window() {
+        let dates = Era::quarterly_dates(2004, 2024);
+        assert_eq!(dates.len(), 21 * 4);
+        assert_eq!(dates[0].to_string(), "2004-01-15 08:00:00");
+        assert_eq!(dates.last().unwrap().to_string(), "2024-10-15 08:00:00");
+    }
+
+    #[test]
+    fn custom_scale_shrinks_everything() {
+        let big = Era::for_date(date(2024, 10), Family::Ipv4, Some(1.0 / 20.0));
+        let small = Era::for_date(date(2024, 10), Family::Ipv4, Some(1.0 / 200.0));
+        assert!(big.topology.n_stub > small.topology.n_stub);
+        assert!(big.n_full_peers >= small.n_full_peers);
+    }
+
+    #[test]
+    fn churn_is_monotone_per_horizon_and_era() {
+        for family in [Family::Ipv4, Family::Ipv6] {
+            for year in [2005, 2012, 2019, 2024] {
+                let e = Era::for_date(date(year, 7), family, None);
+                assert!(e.churn[0] <= e.churn[1] && e.churn[1] <= e.churn[2],
+                    "{family} {year}: {:?}", e.churn);
+                assert!(e.churn[0] > 0.0 && e.churn[2] < 0.6);
+            }
+        }
+        // The paper's 2024 stability dip: late-era 8h churn exceeds 2004's.
+        let e04 = Era::for_date(date(2004, 1), Family::Ipv4, None);
+        let e24 = Era::for_date(date(2024, 10), Family::Ipv4, None);
+        assert!(e24.churn[0] > e04.churn[0] * 2.0);
+    }
+
+    #[test]
+    fn v4_and_v6_share_the_topology_seed() {
+        let v4 = Era::for_date(date(2024, 10), Family::Ipv4, None);
+        let v6 = Era::for_date(date(2024, 10), Family::Ipv6, None);
+        assert_eq!(v4.topology.seed, v6.topology.seed);
+    }
+
+    #[test]
+    fn v4_and_v6_seeds_differ() {
+        let v4 = Era::for_date(date(2024, 10), Family::Ipv4, None);
+        let v6 = Era::for_date(date(2024, 10), Family::Ipv6, None);
+        assert_ne!(v4.seed, v6.seed);
+    }
+}

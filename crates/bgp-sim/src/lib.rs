@@ -1,0 +1,46 @@
+//! A deterministic AS-level Internet simulator.
+//!
+//! This crate stands in for the paper's input data — twenty years of RIPE
+//! RIS / RouteViews archives — which are not reachable from this
+//! environment. It is **policy-faithful**: routes propagate under the
+//! Gao–Rexford model (valley-free export, customer > peer > provider
+//! preference) with per-announcement-unit export policies, AS-path
+//! prepending, transit selective export, sibling-AS chains, and
+//! community-annotated steering. Policy atoms are a structural consequence
+//! of exactly these mechanisms, so the synthetic archives exercise the same
+//! phenomena the paper measures.
+//!
+//! # Pipeline position
+//!
+//! ```text
+//! Era (evolution.rs)  ──►  Scenario (scenario.rs)
+//!                            ├─ Topology  (topology.rs)
+//!                            ├─ Prefixes  (addressing.rs)
+//!                            ├─ Units     (policy.rs)
+//!                            ├─ Routing   (routing.rs)   valley-free, per unit
+//!                            ├─ Snapshot  (snapshot.rs)  per-peer RIBs (+ artifacts.rs)
+//!                            └─ Updates   (updates.rs)   4-hour event window
+//! ```
+//!
+//! Everything is seeded: the same [`evolution::Era`] produces bit-identical
+//! scenarios, snapshots, and update streams on every run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addressing;
+pub mod artifacts;
+pub mod evolution;
+pub mod policy;
+pub mod routing;
+pub mod scenario;
+pub mod snapshot;
+pub mod topology;
+pub mod updates;
+
+pub use artifacts::PeerArtifact;
+pub use evolution::Era;
+pub use scenario::Scenario;
+pub use snapshot::{PeerSpec, PeerTable, SnapshotData};
+pub use topology::{AsId, Relationship, Tier, Topology};
+pub use updates::{generate_window, UpdateEvent};

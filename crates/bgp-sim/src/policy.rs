@@ -1,0 +1,462 @@
+//! Announcement units and export policies.
+//!
+//! A **unit** is the simulator's ground-truth policy group: a set of
+//! prefixes an origin AS treats identically (announced to the same
+//! neighbors, same prepending, same transit treatment). Units are the
+//! upper bound on atom granularity — the analysis pipeline never sees
+//! units; it recovers atoms from AS paths alone, and two units whose paths
+//! coincide at every vantage point merge into one atom.
+//!
+//! Policy mechanisms implemented, each mapped to a formation-distance
+//! signature from the paper (§4.3):
+//!
+//! | mechanism | formation distance |
+//! |---|---|
+//! | origin announces different units to different providers | 2 |
+//! | origin prepends to one provider | 1 (method iii) |
+//! | transit applies selective export for a unit | ≥ 3 |
+//! | sibling chains between origin and first transit | + chain length |
+
+use crate::addressing::{is_chain_origin, Allocation};
+use crate::topology::{AsId, Topology};
+use bgp_types::{Community, Prefix};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Dense unit index.
+pub type UnitId = u32;
+
+/// Export behaviour of a unit at its origin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OriginExport {
+    /// Providers the unit is announced to (subset of the origin's provider
+    /// list). Selective origin export is the classic distance-2 mechanism.
+    pub providers: Vec<AsId>,
+    /// Whether the unit is announced to the origin's peers.
+    pub to_peers: bool,
+    /// Extra path prepends applied when exporting to each provider in
+    /// `providers` (parallel vector; 0 = no prepend).
+    pub prepends: Vec<u8>,
+}
+
+/// One announcement unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Unit {
+    /// Originating AS.
+    pub origin: AsId,
+    /// Prefixes announced as this unit.
+    pub prefixes: Vec<Prefix>,
+    /// Origin-side export policy.
+    pub export: OriginExport,
+    /// Selective-export depth: 0 = no transit selective export; 1 = the
+    /// origin's providers filter this unit (splits form at distance 3);
+    /// 2 = their providers filter too (splits at distance 4+). Decisions
+    /// are keyed by `(transit, unit)` via [`transit_keeps_export`].
+    pub selective_depth: u8,
+    /// Community attached when `selective_depth > 0` (annotating the
+    /// steering request, GTT/Orange style).
+    pub steering_community: Option<Community>,
+}
+
+/// Parameters for unit generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Probability that a multi-prefix AS splits its prefixes into more
+    /// than one unit at all (the granularity knob; rises over the eras).
+    pub p_multi_unit: f64,
+    /// For an AS that splits: probability a drawn unit holds exactly one
+    /// prefix (drives the paper's single-prefix-atom share).
+    pub unit_size_p1: f64,
+    /// Mean size of the non-singleton units (drives the atom-size tail).
+    pub unit_size_tail_mean: f64,
+    /// Probability that a unit of a multihomed origin is exported to a
+    /// strict subset of providers (distance-2 mechanism).
+    pub p_origin_selective: f64,
+    /// Probability that a unit prepends to one of its providers
+    /// (distance-1-by-prepending mechanism).
+    pub p_origin_prepend: f64,
+    /// Probability that a unit is subject to transit selective export
+    /// (distance-≥3 mechanism; rises sharply over the eras).
+    pub p_transit_selective: f64,
+    /// Fraction of prefixes that are additionally originated by a second
+    /// AS (MOAS; the paper keeps these, < 5 %).
+    pub moas_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            p_multi_unit: 0.4,
+            unit_size_p1: 0.6,
+            unit_size_tail_mean: 4.0,
+            p_origin_selective: 0.5,
+            p_origin_prepend: 0.15,
+            p_transit_selective: 0.2,
+            moas_frac: 0.02,
+            seed: 1,
+        }
+    }
+}
+
+/// The generated policy layer: all units, plus an index from prefix to the
+/// units announcing it (≥ 2 entries for MOAS prefixes).
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct PolicySet {
+    /// All units; index = [`UnitId`].
+    pub units: Vec<Unit>,
+}
+
+impl PolicySet {
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True when no units exist.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Units originated by each AS.
+    pub fn units_by_origin(&self, n_ases: usize) -> Vec<Vec<UnitId>> {
+        let mut by_origin = vec![Vec::new(); n_ases];
+        for (id, u) in self.units.iter().enumerate() {
+            by_origin[u.origin as usize].push(id as UnitId);
+        }
+        by_origin
+    }
+
+    /// Generates units for every AS with prefixes.
+    pub fn generate(topo: &Topology, alloc: &Allocation, cfg: &PolicyConfig) -> PolicySet {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ 0x70F1_C7E5);
+        let mut units: Vec<Unit> = Vec::new();
+        for origin in 0..topo.len() as AsId {
+            let prefixes = &alloc.by_as[origin as usize];
+            if prefixes.is_empty() {
+                continue;
+            }
+            let groups = split_into_groups(&mut rng, prefixes, cfg);
+            let providers = &topo.providers[origin as usize];
+            for group in groups {
+                let export = sample_origin_export(&mut rng, providers, cfg);
+                // Transit selective export is predominantly a single-homed
+                // phenomenon (Kastanakis et al., cited in §4.3): a
+                // single-homed origin cannot announce selectively itself,
+                // so observed selectivity must come from its transit.
+                // Multihomed origins mostly differentiate at the origin.
+                let p_ts = if providers.len() > 1 {
+                    cfg.p_transit_selective * 0.4
+                } else {
+                    (cfg.p_transit_selective * 1.5).min(0.95)
+                };
+                let selective_depth = if rng.random_bool(p_ts) {
+                    if rng.random_bool(0.6) {
+                        1
+                    } else {
+                        2
+                    }
+                } else {
+                    0
+                };
+                let steering_community = (selective_depth > 0).then(|| {
+                    // Annotate with a community in the first provider's
+                    // namespace (if any), GTT-style "3257:2990".
+                    let asn = providers
+                        .first()
+                        .map(|&p| topo.asns[p as usize].0 as u16)
+                        .unwrap_or(65000);
+                    Community::new(asn, 2000 + rng.random_range(0..1000))
+                });
+                units.push(Unit {
+                    origin,
+                    prefixes: group,
+                    export,
+                    selective_depth,
+                    steering_community,
+                });
+            }
+        }
+        // MOAS: re-originate a fraction of prefixes from a second AS as a
+        // fresh single-prefix unit.
+        let n_moas = (units.iter().map(|u| u.prefixes.len()).sum::<usize>() as f64
+            * cfg.moas_frac) as usize;
+        let candidates: Vec<(AsId, Prefix)> = units
+            .iter()
+            .flat_map(|u| u.prefixes.iter().map(move |&p| (u.origin, p)))
+            .collect();
+        for k in 0..n_moas {
+            let (true_origin, prefix) = candidates[(k * 97) % candidates.len()];
+            // Second origin: a different AS with at least one provider.
+            let second = (0..topo.len() as AsId)
+                .cycle()
+                .skip((k * 131) % topo.len())
+                .find(|&a| a != true_origin && !topo.providers[a as usize].is_empty())
+                .expect("topology has multihomed ASes");
+            let providers = &topo.providers[second as usize];
+            units.push(Unit {
+                origin: second,
+                prefixes: vec![prefix],
+                export: OriginExport {
+                    providers: providers.clone(),
+                    to_peers: true,
+                    prepends: vec![0; providers.len()],
+                },
+                selective_depth: 0,
+                steering_community: None,
+            });
+        }
+        PolicySet { units }
+    }
+}
+
+fn split_into_groups(
+    rng: &mut impl Rng,
+    prefixes: &[Prefix],
+    cfg: &PolicyConfig,
+) -> Vec<Vec<Prefix>> {
+    if prefixes.len() == 1 || !rng.random_bool(cfg.p_multi_unit) {
+        return vec![prefixes.to_vec()];
+    }
+    // Draw unit sizes until the AS's prefixes are consumed: size 1 with
+    // probability `unit_size_p1`, otherwise 2 plus a geometric tail with
+    // the configured mean. This directly shapes the paper's two headline
+    // distributions: the single-prefix-atom share and the atom-size tail.
+    let tail_mean = cfg.unit_size_tail_mean.max(2.0);
+    let p_more = (tail_mean - 2.0) / (tail_mean - 1.0); // E[2+Geom] = tail_mean
+    let mut groups: Vec<Vec<Prefix>> = Vec::new();
+    let mut i = 0;
+    while i < prefixes.len() {
+        let mut size = if rng.random_bool(cfg.unit_size_p1) {
+            1
+        } else {
+            let mut s = 2usize;
+            while rng.random_bool(p_more) && s < prefixes.len() {
+                s += 1;
+            }
+            s
+        };
+        size = size.min(prefixes.len() - i);
+        groups.push(prefixes[i..i + size].to_vec());
+        i += size;
+    }
+    // A splitting AS must end up with ≥ 2 units when it has ≥ 2 prefixes.
+    if groups.len() == 1 {
+        let last = groups[0].pop().expect("group non-empty");
+        groups.push(vec![last]);
+    }
+    groups
+}
+
+fn sample_origin_export(
+    rng: &mut impl Rng,
+    providers: &[AsId],
+    cfg: &PolicyConfig,
+) -> OriginExport {
+    let mut chosen: Vec<AsId> = providers.to_vec();
+    if providers.len() > 1 && rng.random_bool(cfg.p_origin_selective) {
+        // Keep a non-empty strict subset.
+        let keep = rng.random_range(1..providers.len());
+        let start = rng.random_range(0..providers.len());
+        chosen = (0..keep)
+            .map(|i| providers[(start + i) % providers.len()])
+            .collect();
+        chosen.sort_unstable();
+    }
+    let mut prepends = vec![0u8; chosen.len()];
+    if !chosen.is_empty() && rng.random_bool(cfg.p_origin_prepend) {
+        let idx = rng.random_range(0..chosen.len());
+        prepends[idx] = rng.random_range(1..=3);
+    }
+    OriginExport {
+        providers: chosen,
+        // A transit-free origin (no providers) reaches the world only
+        // through its peers; everyone else flips a coin.
+        to_peers: providers.is_empty() || rng.random_bool(0.5),
+        prepends,
+    }
+}
+
+/// Deterministic per-(transit, unit, neighbor) selective-export decision.
+///
+/// When a unit has [`Unit::selective_depth`] > 0, the filtering transits
+/// drop the export to roughly a quarter of their upward/lateral neighbors.
+/// The decision is a pure hash so propagation, re-propagation, and update
+/// generation all agree without shared state. The `epoch` input lets the
+/// scenario flip a unit's treatment over time (stability churn).
+pub fn transit_keeps_export(transit: AsId, unit: UnitId, neighbor: AsId, epoch: u64) -> bool {
+    // SplitMix64-style mixing; cheap and adequate.
+    let mut x = (transit as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((unit as u64) << 32 | neighbor as u64)
+        .wrapping_add(epoch.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x % 4 != 0
+}
+
+/// Convenience: total prefixes across all units (MOAS counted per unit).
+pub fn total_announced(units: &[Unit]) -> usize {
+    units.iter().map(|u| u.prefixes.len()).sum()
+}
+
+/// Convenience: `true` if the unit's origin is a sibling-chain origin.
+pub fn is_chain_unit(topo: &Topology, unit: &Unit) -> bool {
+    is_chain_origin(topo, unit.origin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addressing::AddressingConfig;
+    use crate::topology::TopologyConfig;
+
+    fn setup() -> (Topology, Allocation, PolicySet) {
+        let topo = Topology::generate(&TopologyConfig::default());
+        let alloc = Allocation::generate(&topo, &AddressingConfig::default());
+        let policy = PolicySet::generate(&topo, &alloc, &PolicyConfig::default());
+        (topo, alloc, policy)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let topo = Topology::generate(&TopologyConfig::default());
+        let alloc = Allocation::generate(&topo, &AddressingConfig::default());
+        let a = PolicySet::generate(&topo, &alloc, &PolicyConfig::default());
+        let b = PolicySet::generate(&topo, &alloc, &PolicyConfig::default());
+        assert_eq!(a.units, b.units);
+    }
+
+    #[test]
+    fn every_prefix_is_announced_exactly_once_plus_moas() {
+        let (_, alloc, policy) = setup();
+        let allocated = alloc.total();
+        let announced = total_announced(&policy.units);
+        assert!(announced >= allocated, "{announced} < {allocated}");
+        // MOAS adds at most moas_frac + rounding.
+        assert!(announced <= allocated + allocated / 10);
+    }
+
+    #[test]
+    fn moas_prefixes_have_two_origins() {
+        let (_, _, policy) = setup();
+        let mut origin_count: std::collections::BTreeMap<Prefix, Vec<AsId>> =
+            std::collections::BTreeMap::new();
+        for u in &policy.units {
+            for &p in &u.prefixes {
+                origin_count.entry(p).or_default().push(u.origin);
+            }
+        }
+        let moas: Vec<_> = origin_count
+            .iter()
+            .filter(|(_, origins)| origins.len() > 1)
+            .collect();
+        assert!(!moas.is_empty(), "config requested MOAS prefixes");
+        for (_, origins) in &moas {
+            let mut o = (*origins).clone();
+            o.dedup();
+            assert!(o.len() > 1, "MOAS means different origins");
+        }
+    }
+
+    #[test]
+    fn groups_are_non_empty_and_cover() {
+        let (_, _, policy) = setup();
+        for u in &policy.units {
+            assert!(!u.prefixes.is_empty());
+        }
+    }
+
+    #[test]
+    fn origin_export_is_subset_of_providers() {
+        let (topo, _, policy) = setup();
+        for u in &policy.units {
+            let providers = &topo.providers[u.origin as usize];
+            for p in &u.export.providers {
+                assert!(providers.contains(p));
+            }
+            assert_eq!(u.export.providers.len(), u.export.prepends.len());
+            if !providers.is_empty() {
+                assert!(!u.export.providers.is_empty(), "reachability preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn granularity_knob_controls_unit_count() {
+        let topo = Topology::generate(&TopologyConfig::default());
+        let alloc = Allocation::generate(&topo, &AddressingConfig::default());
+        let coarse = PolicySet::generate(
+            &topo,
+            &alloc,
+            &PolicyConfig {
+                p_multi_unit: 0.05,
+                ..Default::default()
+            },
+        );
+        let fine = PolicySet::generate(
+            &topo,
+            &alloc,
+            &PolicyConfig {
+                p_multi_unit: 0.9,
+                ..Default::default()
+            },
+        );
+        assert!(fine.len() > coarse.len());
+    }
+
+    #[test]
+    fn transit_hash_is_deterministic_and_balanced() {
+        let mut kept = 0;
+        let n = 10_000;
+        for i in 0..n {
+            let k = transit_keeps_export(i % 50, i / 50, i % 7, 0);
+            assert_eq!(k, transit_keeps_export(i % 50, i / 50, i % 7, 0));
+            if k {
+                kept += 1;
+            }
+        }
+        let frac = kept as f64 / n as f64;
+        assert!((0.70..=0.80).contains(&frac), "{frac}");
+        // Epoch changes flip some decisions.
+        let flips = (0..1000u32)
+            .filter(|&i| transit_keeps_export(1, i, 2, 0) != transit_keeps_export(1, i, 2, 1))
+            .count();
+        assert!(flips > 150);
+    }
+
+    #[test]
+    fn steering_communities_only_on_selective_units() {
+        let (_, _, policy) = setup();
+        let mut depth1 = 0;
+        let mut depth2 = 0;
+        for u in &policy.units {
+            assert_eq!(u.selective_depth > 0, u.steering_community.is_some());
+            match u.selective_depth {
+                1 => depth1 += 1,
+                2 => depth2 += 1,
+                _ => {}
+            }
+        }
+        assert!(depth1 > depth2, "depth 1 dominates: {depth1} vs {depth2}");
+    }
+
+    #[test]
+    fn units_by_origin_index_is_consistent() {
+        let (topo, _, policy) = setup();
+        let by_origin = policy.units_by_origin(topo.len());
+        let total: usize = by_origin.iter().map(Vec::len).sum();
+        assert_eq!(total, policy.len());
+        for (origin, ids) in by_origin.iter().enumerate() {
+            for &id in ids {
+                assert_eq!(policy.units[id as usize].origin as usize, origin);
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Snapshot data structures: what the collector infrastructure captures at
+//! one instant.
+//!
+//! A [`SnapshotData`] is the boundary object between the simulator and the
+//! analysis pipeline: `bgp-collect` serializes it to MRT archives, and
+//! `atoms-core` can also consume it directly in memory (the two paths are
+//! tested to agree).
+
+use crate::artifacts::PeerArtifact;
+use bgp_types::{Family, PeerKey, Prefix, RibEntry, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Static description of one collector peer session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerSpec {
+    /// Which collector the session terminates at.
+    pub collector: u16,
+    /// Session identity (peer ASN + router address).
+    pub key: PeerKey,
+    /// Index into the scenario's vantage-point AS list.
+    pub vp_idx: u32,
+    /// Ground truth: does this peer send its full table? (The analysis must
+    /// *infer* this; the truth is only used to validate the inference.)
+    pub full_feed: bool,
+    /// For partial feeds: fraction of the table shared.
+    pub partial_fraction: f64,
+    /// Misbehaviour class.
+    pub artifact: PeerArtifact,
+}
+
+/// One peer's captured routing table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerTable {
+    /// Which collector captured the table.
+    pub collector: u16,
+    /// The peer session.
+    pub peer: PeerKey,
+    /// Ground-truth full-feed flag (validation only).
+    pub truth_full_feed: bool,
+    /// Ground-truth artifact class (validation only).
+    pub artifact: PeerArtifact,
+    /// RIB entries, sorted by prefix.
+    pub entries: Vec<RibEntry>,
+}
+
+/// Everything captured at one snapshot instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotData {
+    /// Capture time.
+    pub timestamp: SimTime,
+    /// Address family of the snapshot.
+    pub family: Family,
+    /// Collector names, indexed by `PeerTable::collector`.
+    pub collector_names: Vec<String>,
+    /// Per-peer tables.
+    pub tables: Vec<PeerTable>,
+}
+
+impl SnapshotData {
+    /// Total number of RIB entries across peers.
+    pub fn entry_count(&self) -> usize {
+        self.tables.iter().map(|t| t.entries.len()).sum()
+    }
+
+    /// Number of distinct prefixes across all tables.
+    pub fn distinct_prefixes(&self) -> usize {
+        let mut all: Vec<Prefix> = self
+            .tables
+            .iter()
+            .flat_map(|t| t.entries.iter().map(|e| e.prefix))
+            .collect();
+        all.sort();
+        all.dedup();
+        all.len()
+    }
+
+    /// Collector names of the standard RIS/RouteViews-flavoured fleet.
+    pub fn default_collector_names(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("rrc{:02}", i / 2)
+                } else {
+                    format!("route-views{}", i / 2 + 2)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::Asn;
+
+    #[test]
+    fn collector_names_alternate_flavours() {
+        let names = SnapshotData::default_collector_names(4);
+        assert_eq!(names, vec!["rrc00", "route-views2", "rrc01", "route-views3"]);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let peer = PeerKey::new(Asn(1), "10.0.0.1".parse().unwrap());
+        let snap = SnapshotData {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            collector_names: vec!["rrc00".into()],
+            tables: vec![PeerTable {
+                collector: 0,
+                peer,
+                truth_full_feed: true,
+                artifact: PeerArtifact::Clean,
+                entries: vec![
+                    RibEntry::new("10.0.0.0/24".parse().unwrap(), "1 2".parse().unwrap()),
+                    RibEntry::new("10.0.0.0/24".parse().unwrap(), "1 3".parse().unwrap()),
+                    RibEntry::new("10.0.1.0/24".parse().unwrap(), "1 2".parse().unwrap()),
+                ],
+            }],
+        };
+        assert_eq!(snap.entry_count(), 3);
+        assert_eq!(snap.distinct_prefixes(), 2);
+    }
+}

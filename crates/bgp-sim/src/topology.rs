@@ -1,0 +1,507 @@
+//! AS-level topology generation.
+//!
+//! Produces a three-tier Internet: a fully meshed Tier-1 clique, a
+//! transit middle tier attached by preferential attachment, and a stub
+//! edge. Business relationships follow the Gao–Rexford model:
+//! customer→provider edges and (settlement-free) peer edges.
+//!
+//! Two structural features matter specifically for policy atoms:
+//!
+//! * **Sibling chains** (the paper's DoD example, §4.3): organizations whose
+//!   origin ASes sit several customer hops behind the first real transit,
+//!   pushing formation distances up.
+//! * **IXP flattening** (§4.5): a peering-density knob adds transit–transit
+//!   peer edges, increasing path diversity and intermediate policy
+//!   opportunities in later eras.
+
+use bgp_types::Asn;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Dense topology index of an AS (not the ASN itself).
+pub type AsId = u32;
+
+/// Which layer of the hierarchy an AS belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tier {
+    /// Transit-free core; fully meshed by peer links.
+    Tier1,
+    /// Transit provider below the core.
+    Transit,
+    /// Edge AS that provides no transit (may still be part of a sibling
+    /// chain).
+    Stub,
+}
+
+/// Relationship of an edge as seen from one side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relationship {
+    /// The neighbor is my customer.
+    Customer,
+    /// The neighbor is a settlement-free peer.
+    Peer,
+    /// The neighbor is my provider.
+    Provider,
+}
+
+/// Parameters for topology generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Size of the Tier-1 clique.
+    pub n_tier1: usize,
+    /// Number of mid-tier transit ASes.
+    pub n_transit: usize,
+    /// Number of stub ASes.
+    pub n_stub: usize,
+    /// Mean number of providers per multihomed AS (≥ 1).
+    pub multihome_mean: f64,
+    /// Probability that a pair of transit ASes peers (IXP flattening knob).
+    pub peering_density: f64,
+    /// Number of sibling chains to plant.
+    pub sibling_chains: usize,
+    /// Length of each sibling chain (ASes between the origin and its first
+    /// transit, inclusive of the origin).
+    pub sibling_chain_len: usize,
+    /// RNG seed; same seed, same topology.
+    pub seed: u64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            n_tier1: 8,
+            n_transit: 60,
+            n_stub: 300,
+            multihome_mean: 1.6,
+            peering_density: 0.05,
+            sibling_chains: 2,
+            sibling_chain_len: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// Real transit-free ASNs used for the Tier-1 clique (cosmetic realism and
+/// convenient cross-referencing with the paper's examples, e.g. GTT AS3257
+/// and Orange AS5511).
+const TIER1_ASNS: [u32; 14] = [
+    174, 701, 1299, 2914, 3257, 3320, 3356, 3491, 5511, 6453, 6461, 6762, 7018, 12956,
+];
+
+/// An immutable AS-level topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    /// ASN per [`AsId`].
+    pub asns: Vec<Asn>,
+    /// Tier per AS.
+    pub tiers: Vec<Tier>,
+    /// Provider lists (edges point up).
+    pub providers: Vec<Vec<AsId>>,
+    /// Customer lists (inverse of `providers`).
+    pub customers: Vec<Vec<AsId>>,
+    /// Peer lists (symmetric).
+    pub peers: Vec<Vec<AsId>>,
+    /// For each AS in a sibling chain: the chain's head distance
+    /// (0 = not in a chain). The *origin* of a chain of length L has
+    /// `sibling_depth = L`.
+    pub sibling_depth: Vec<u8>,
+}
+
+impl Topology {
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// Returns `true` for the empty topology.
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// All neighbors of `a` with the relationship as seen from `a`.
+    pub fn neighbors(&self, a: AsId) -> impl Iterator<Item = (AsId, Relationship)> + '_ {
+        let a = a as usize;
+        self.customers[a]
+            .iter()
+            .map(|&n| (n, Relationship::Customer))
+            .chain(self.peers[a].iter().map(|&n| (n, Relationship::Peer)))
+            .chain(
+                self.providers[a]
+                    .iter()
+                    .map(|&n| (n, Relationship::Provider)),
+            )
+    }
+
+    /// Generates a topology from a config.
+    pub fn generate(cfg: &TopologyConfig) -> Topology {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ 0x7090_A0B0);
+        // ASN values come from a dedicated stream so that two topologies
+        // generated with the same seed but different structural parameters
+        // (e.g. the IPv4 and IPv6 views of the same date) assign the same
+        // ASN to the i-th AS — dual-stack ASes exist across families, which
+        // the §7.3 sibling matching depends on.
+        let mut asn_rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ 0x00A5_1D00);
+        let n = cfg.n_tier1 + cfg.n_transit + cfg.n_stub;
+        let mut asns = Vec::with_capacity(n);
+        let mut tiers = Vec::with_capacity(n);
+        let mut providers: Vec<Vec<AsId>> = Vec::with_capacity(n);
+        let mut customers: Vec<Vec<AsId>> = Vec::with_capacity(n);
+        let mut peers: Vec<Vec<AsId>> = Vec::with_capacity(n);
+        let mut sibling_depth: Vec<u8> = Vec::with_capacity(n);
+        let push_as =
+            |asns: &mut Vec<Asn>,
+             tiers: &mut Vec<Tier>,
+             providers: &mut Vec<Vec<AsId>>,
+             customers: &mut Vec<Vec<AsId>>,
+             peers: &mut Vec<Vec<AsId>>,
+             sibling_depth: &mut Vec<u8>,
+             asn: Asn,
+             tier: Tier,
+             depth: u8| {
+                asns.push(asn);
+                tiers.push(tier);
+                providers.push(Vec::new());
+                customers.push(Vec::new());
+                peers.push(Vec::new());
+                sibling_depth.push(depth);
+            };
+
+        // Tier-1 clique.
+        for i in 0..cfg.n_tier1 {
+            push_as(
+                &mut asns,
+                &mut tiers,
+                &mut providers,
+                &mut customers,
+                &mut peers,
+                &mut sibling_depth,
+                Asn(TIER1_ASNS.get(i).copied().unwrap_or(100 + i as u32)),
+                Tier::Tier1,
+                0,
+            );
+        }
+        for i in 0..cfg.n_tier1 as AsId {
+            for j in (i + 1)..cfg.n_tier1 as AsId {
+                peers[i as usize].push(j);
+                peers[j as usize].push(i);
+            }
+        }
+
+        // Transit tier: preferential attachment to tier1 + earlier transits.
+        let mut next_asn = 20_000u32;
+        // attachment weight = 1 + current customer count
+        for _ in 0..cfg.n_transit {
+            let id = asns.len() as AsId;
+            push_as(
+                &mut asns,
+                &mut tiers,
+                &mut providers,
+                &mut customers,
+                &mut peers,
+                &mut sibling_depth,
+                Asn(next_asn),
+                Tier::Transit,
+                0,
+            );
+            next_asn += asn_rng.random_range(1..12);
+            let n_providers = sample_provider_count(&mut rng, cfg.multihome_mean);
+            let pool: Vec<AsId> = (0..id).filter(|&p| tiers[p as usize] != Tier::Stub).collect();
+            let chosen = weighted_distinct(&mut rng, &pool, &customers, n_providers);
+            for p in chosen {
+                providers[id as usize].push(p);
+                customers[p as usize].push(id);
+            }
+        }
+
+        // IXP peering among transit ASes.
+        let transit_ids: Vec<AsId> = (0..asns.len() as AsId)
+            .filter(|&a| tiers[a as usize] == Tier::Transit)
+            .collect();
+        for (i, &a) in transit_ids.iter().enumerate() {
+            for &b in &transit_ids[i + 1..] {
+                if rng.random_bool(cfg.peering_density) {
+                    peers[a as usize].push(b);
+                    peers[b as usize].push(a);
+                }
+            }
+        }
+
+        // Stubs: attach to transit (mostly) or tier1.
+        let attach_pool: Vec<AsId> = (0..asns.len() as AsId)
+            .filter(|&a| tiers[a as usize] != Tier::Stub)
+            .collect();
+        for _ in 0..cfg.n_stub {
+            let id = asns.len() as AsId;
+            push_as(
+                &mut asns,
+                &mut tiers,
+                &mut providers,
+                &mut customers,
+                &mut peers,
+                &mut sibling_depth,
+                Asn(next_asn),
+                Tier::Stub,
+                0,
+            );
+            next_asn += asn_rng.random_range(1..15);
+            let n_providers = sample_provider_count(&mut rng, cfg.multihome_mean);
+            let chosen = weighted_distinct(&mut rng, &attach_pool, &customers, n_providers);
+            for p in chosen {
+                providers[id as usize].push(p);
+                customers[p as usize].push(id);
+            }
+        }
+
+        // Sibling chains: origin → sib → … → transit provider. The chain
+        // members are fresh stub ASes with a single provider each.
+        for _chain in 0..cfg.sibling_chains {
+            let head_provider = *attach_pool
+                .choose(&mut rng)
+                .expect("attach pool is never empty");
+            let mut upstream = head_provider;
+            for hop in 0..cfg.sibling_chain_len {
+                let id = asns.len() as AsId;
+                push_as(
+                    &mut asns,
+                    &mut tiers,
+                    &mut providers,
+                    &mut customers,
+                    &mut peers,
+                    &mut sibling_depth,
+                    Asn(next_asn),
+                    Tier::Stub,
+                    (hop + 1) as u8, // depth grows towards the origin
+                );
+                next_asn += 1;
+                providers[id as usize].push(upstream);
+                customers[upstream as usize].push(id);
+                upstream = id;
+            }
+        }
+
+        Topology {
+            asns,
+            tiers,
+            providers,
+            customers,
+            peers,
+            sibling_depth,
+        }
+    }
+
+    /// Total number of directed provider edges.
+    pub fn provider_edge_count(&self) -> usize {
+        self.providers.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of undirected peer edges.
+    pub fn peer_edge_count(&self) -> usize {
+        self.peers.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Checks structural invariants; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.len();
+        for a in 0..n {
+            for &p in &self.providers[a] {
+                if !self.customers[p as usize].contains(&(a as AsId)) {
+                    return Err(format!("provider edge {a}->{p} missing inverse"));
+                }
+            }
+            for &p in &self.peers[a] {
+                if !self.peers[p as usize].contains(&(a as AsId)) {
+                    return Err(format!("peer edge {a}<->{p} not symmetric"));
+                }
+                if p as usize == a {
+                    return Err(format!("self peer loop at {a}"));
+                }
+            }
+            if self.tiers[a] == Tier::Tier1 && !self.providers[a].is_empty() {
+                return Err(format!("tier1 {a} has a provider"));
+            }
+            if self.tiers[a] != Tier::Tier1 && self.providers[a].is_empty() {
+                return Err(format!("non-tier1 {a} has no provider"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn sample_provider_count(rng: &mut impl Rng, mean: f64) -> usize {
+    // 1 + geometric-ish tail with the requested mean.
+    let extra = (mean - 1.0).max(0.0);
+    let mut count = 1;
+    let p = extra / (1.0 + extra); // success prob giving E[extra] = extra
+    while count < 6 && rng.random_bool(p) {
+        count += 1;
+    }
+    count
+}
+
+/// Picks up to `k` distinct ASes from `pool`, weighted by
+/// `1 + customer count` (preferential attachment).
+fn weighted_distinct(
+    rng: &mut impl Rng,
+    pool: &[AsId],
+    customers: &[Vec<AsId>],
+    k: usize,
+) -> Vec<AsId> {
+    let mut chosen: Vec<AsId> = Vec::with_capacity(k);
+    if pool.is_empty() {
+        return chosen;
+    }
+    let weights: Vec<u64> = pool
+        .iter()
+        .map(|&a| 1 + customers[a as usize].len() as u64)
+        .collect();
+    let total: u64 = weights.iter().sum();
+    let mut guard = 0;
+    while chosen.len() < k && guard < k * 20 {
+        guard += 1;
+        let mut target = rng.random_range(0..total);
+        let mut idx = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                idx = i;
+                break;
+            }
+            target -= w;
+        }
+        let cand = pool[idx];
+        if !chosen.contains(&cand) {
+            chosen.push(cand);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_topology_is_valid() {
+        let t = Topology::generate(&TopologyConfig::default());
+        t.validate().unwrap();
+        assert_eq!(
+            t.len(),
+            8 + 60 + 300 + 2 * 3,
+            "tier sizes plus sibling chains"
+        );
+    }
+
+    #[test]
+    fn tier1_is_a_clique() {
+        let cfg = TopologyConfig::default();
+        let t = Topology::generate(&cfg);
+        for i in 0..cfg.n_tier1 {
+            assert_eq!(t.tiers[i], Tier::Tier1);
+            // Peers with every other tier1 (plus possibly transit peers —
+            // none by construction, transits only peer with transits).
+            let t1_peers = t.peers[i]
+                .iter()
+                .filter(|&&p| t.tiers[p as usize] == Tier::Tier1)
+                .count();
+            assert_eq!(t1_peers, cfg.n_tier1 - 1);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = TopologyConfig::default();
+        let a = Topology::generate(&cfg);
+        let b = Topology::generate(&cfg);
+        assert_eq!(a.providers, b.providers);
+        assert_eq!(a.peers, b.peers);
+        assert_eq!(a.asns, b.asns);
+    }
+
+    #[test]
+    fn different_seed_different_topology() {
+        let mut cfg = TopologyConfig::default();
+        let a = Topology::generate(&cfg);
+        cfg.seed = 99;
+        let b = Topology::generate(&cfg);
+        assert_ne!(a.providers, b.providers);
+    }
+
+    #[test]
+    fn sibling_chains_have_increasing_depth() {
+        let cfg = TopologyConfig {
+            sibling_chains: 1,
+            sibling_chain_len: 4,
+            ..TopologyConfig::default()
+        };
+        let t = Topology::generate(&cfg);
+        let chain: Vec<usize> = (0..t.len()).filter(|&a| t.sibling_depth[a] > 0).collect();
+        assert_eq!(chain.len(), 4);
+        // The origin (deepest member) has depth 4 and a single provider at
+        // depth 3, and so on down to depth 1 whose provider is a transit.
+        let origin = *chain
+            .iter()
+            .max_by_key(|&&a| t.sibling_depth[a])
+            .unwrap();
+        assert_eq!(t.sibling_depth[origin], 4);
+        let mut cur = origin;
+        for expected_depth in (1..4).rev() {
+            assert_eq!(t.providers[cur].len(), 1);
+            cur = t.providers[cur][0] as usize;
+            assert_eq!(t.sibling_depth[cur], expected_depth);
+        }
+    }
+
+    #[test]
+    fn multihoming_mean_is_respected_roughly() {
+        let cfg = TopologyConfig {
+            n_stub: 2000,
+            multihome_mean: 2.0,
+            ..TopologyConfig::default()
+        };
+        let t = Topology::generate(&cfg);
+        let stubs: Vec<usize> = (0..t.len())
+            .filter(|&a| t.tiers[a] == Tier::Stub && t.sibling_depth[a] == 0)
+            .collect();
+        let mean: f64 =
+            stubs.iter().map(|&a| t.providers[a].len() as f64).sum::<f64>() / stubs.len() as f64;
+        assert!((1.6..=2.4).contains(&mean), "mean providers {mean}");
+    }
+
+    #[test]
+    fn peering_density_flattens() {
+        let sparse = Topology::generate(&TopologyConfig {
+            peering_density: 0.0,
+            ..TopologyConfig::default()
+        });
+        let dense = Topology::generate(&TopologyConfig {
+            peering_density: 0.3,
+            ..TopologyConfig::default()
+        });
+        assert!(dense.peer_edge_count() > sparse.peer_edge_count());
+    }
+
+    #[test]
+    fn asns_are_unique() {
+        let t = Topology::generate(&TopologyConfig::default());
+        let mut asns: Vec<u32> = t.asns.iter().map(|a| a.0).collect();
+        asns.sort_unstable();
+        let before = asns.len();
+        asns.dedup();
+        assert_eq!(before, asns.len());
+    }
+
+    #[test]
+    fn neighbors_iterator_is_complete() {
+        let t = Topology::generate(&TopologyConfig::default());
+        let a: AsId = (t.len() - 1) as AsId; // a sibling-chain member
+        let count = t.neighbors(a).count();
+        assert_eq!(
+            count,
+            t.providers[a as usize].len()
+                + t.customers[a as usize].len()
+                + t.peers[a as usize].len()
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! Update-stream generation for the 4-hour window after each snapshot.
+//!
+//! Events operate at **unit** granularity: when a unit's route changes, all
+//! of its prefixes are re-announced by every affected vantage point —
+//! usually bundled into a single UPDATE message (probability
+//! `p_bundle_intact`), sometimes split across several. Single-prefix noise
+//! flaps are sprinkled on top. This is precisely the structure the paper's
+//! §3.3/§4.2 correlation analysis detects: prefixes of one atom travel
+//! together, prefixes of one AS do not.
+//!
+//! Localized events are skewed towards one vantage point (a cubed-uniform
+//! rank distribution), reproducing the paper's finding that a single VP
+//! observes most split events (Fig. 7).
+
+use crate::artifacts::{partial_keeps, PeerArtifact};
+use crate::scenario::Scenario;
+use bgp_types::{Prefix, RouteAttrs, SimTime, UpdateRecord};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// One generated update, plus whether the emitting peer's records are
+/// garbled on the wire (ADD-PATH-broken peers). The collector layer turns
+/// garbled events into corrupted MRT records; the in-memory analysis path
+/// treats them as parse warnings — the two paths agree by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateEvent {
+    /// The update as the peer would send it.
+    pub record: UpdateRecord,
+    /// `true` when the record reaches the archive garbled.
+    pub garbled: bool,
+}
+
+/// Generates the update stream for `hours` after `start`.
+///
+/// Deterministic per `(scenario era, salt)`.
+pub fn generate_window(
+    scenario: &mut Scenario,
+    start: SimTime,
+    hours: u64,
+    salt: u64,
+) -> Vec<UpdateEvent> {
+    scenario.refresh();
+    let era = scenario.era.clone();
+    let mut rng = ChaCha12Rng::seed_from_u64(era.seed ^ salt ^ 0x0BD_A7E5);
+    let n_units = scenario.unit_count();
+    let n_peers = scenario.peers.len();
+    if n_units == 0 || n_peers == 0 {
+        return Vec::new();
+    }
+    let window_secs = hours * 3600;
+    let mut out: Vec<UpdateEvent> = Vec::new();
+
+    // Index units per origin for AS-level events (session resets and
+    // provider flaps re-announce *everything* the origin sends; prefixes
+    // sharing a path at a peer ride in one UPDATE).
+    let units_by_origin = scenario.policy.units_by_origin(scenario.topology.len());
+
+    let n_events = ((n_units as f64) * era.updates.events_per_unit).round() as usize;
+    for _ in 0..n_events {
+        let u = rng.random_range(0..n_units) as u32;
+        let ts = start.plus_secs(rng.random_range(0..window_secs));
+        // 30 % of events operate at origin-AS granularity.
+        let as_event = rng.random_bool(0.3);
+        let global = rng.random_bool(era.updates.p_global);
+        let peer_indices: Vec<usize> = if global {
+            (0..n_peers).collect()
+        } else {
+            // Rank-skewed single peer: cubing pushes mass to rank 0, so one
+            // VP dominates local events, as in the paper's Fig. 7.
+            let r: f64 = rng.random_range(0.0..1.0);
+            vec![((r * r * r) * n_peers as f64) as usize % n_peers]
+        };
+        let reannounce_with_prepend = rng.random_bool(0.3);
+        let bundle_intact = rng.random_bool(era.updates.p_bundle_intact);
+        let n_chunks_seed: u64 = rng.random();
+        let event_units: Vec<u32> = if as_event {
+            units_by_origin[scenario.policy.units[u as usize].origin as usize].clone()
+        } else {
+            vec![u]
+        };
+        for pi in peer_indices {
+            // Group the event's prefixes by the path shown at this peer:
+            // one UPDATE message per distinct path, as a router would send.
+            // Each group remembers a unit on it so the record carries that
+            // unit's communities (units sharing a path share treatment).
+            let mut by_path: Vec<(u32, u32, Vec<bgp_types::Prefix>)> = Vec::new();
+            for &eu in &event_units {
+                let Some(visible) = visible_prefixes(scenario, eu, pi) else {
+                    continue;
+                };
+                if visible.is_empty() {
+                    continue;
+                }
+                let path_id = scenario.path_id_at(eu, scenario.peers[pi].vp_idx)
+                    .expect("visible ⇒ path present");
+                match by_path.iter_mut().find(|(id, _, _)| *id == path_id) {
+                    Some((_, _, prefixes)) => prefixes.extend(visible),
+                    None => by_path.push((path_id, eu, visible)),
+                }
+            }
+            let garbled = scenario.peers[pi].artifact == PeerArtifact::AddPathBroken;
+            let peer_key = scenario.peers[pi].key;
+            for (path_id, group_unit, mut visible) in by_path {
+                visible.sort();
+                visible.dedup();
+                let mut path = scenario.path_by_id(path_id).clone();
+                if reannounce_with_prepend {
+                    if let Some(origin) = path.origin() {
+                        // Path change: the origin toggled prepending.
+                        let mut asns: Vec<_> = path.asns().collect();
+                        asns.push(origin);
+                        path = bgp_types::AsPath::from_asns(asns);
+                    }
+                }
+                let unit = &scenario.policy.units[group_unit as usize];
+                let mut attrs = RouteAttrs::from_path(path);
+                if let Some(c) = unit.steering_community {
+                    attrs.communities.push(c);
+                }
+                if bundle_intact || visible.len() == 1 {
+                    out.push(UpdateEvent {
+                        record: UpdateRecord::announce(ts, peer_key, visible, attrs),
+                        garbled,
+                    });
+                } else {
+                    // The prefixes straggle across 2..=4 messages within a
+                    // few seconds.
+                    let n_chunks =
+                        2 + (n_chunks_seed as usize % 3).min(visible.len().saturating_sub(1) - 1);
+                    let chunk_size = visible.len().div_ceil(n_chunks);
+                    for (ci, chunk) in visible.chunks(chunk_size).enumerate() {
+                        out.push(UpdateEvent {
+                            record: UpdateRecord::announce(
+                                ts.plus_secs(ci as u64),
+                                peer_key,
+                                chunk.to_vec(),
+                                attrs.clone(),
+                            ),
+                            garbled,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Single-prefix noise flaps.
+    let total_prefixes: usize = scenario
+        .policy
+        .units
+        .iter()
+        .map(|u| u.prefixes.len())
+        .sum();
+    let n_flaps =
+        ((total_prefixes as f64 / 1000.0) * era.updates.flaps_per_1000_prefixes).round() as usize;
+    for _ in 0..n_flaps {
+        let u = rng.random_range(0..n_units) as u32;
+        let pi = rng.random_range(0..n_peers);
+        let Some(visible) = visible_prefixes(scenario, u, pi) else {
+            continue;
+        };
+        if visible.is_empty() {
+            continue;
+        }
+        let prefix = visible[rng.random_range(0..visible.len())];
+        let ts = start.plus_secs(rng.random_range(0..window_secs));
+        let peer_key = scenario.peers[pi].key;
+        let garbled = scenario.peers[pi].artifact == PeerArtifact::AddPathBroken;
+        if rng.random_bool(0.3) {
+            out.push(UpdateEvent {
+                record: UpdateRecord::withdraw(ts, peer_key, vec![prefix]),
+                garbled,
+            });
+        }
+        let path = scenario
+            .path_at(u, scenario.peers[pi].vp_idx)
+            .expect("visible ⇒ path present")
+            .clone();
+        out.push(UpdateEvent {
+            record: UpdateRecord::announce(
+                ts.plus_secs(1),
+                peer_key,
+                vec![prefix],
+                RouteAttrs::from_path(path),
+            ),
+            garbled,
+        });
+    }
+
+    out.sort_by_key(|e| (e.record.timestamp, e.record.peer, e.record.announced.clone()));
+    out
+}
+
+/// The unit's prefixes as actually visible at peer `pi` (partial feeds see
+/// a deterministic subset — the same subset the snapshot contains).
+fn visible_prefixes(scenario: &Scenario, u: u32, pi: usize) -> Option<Vec<Prefix>> {
+    let spec = &scenario.peers[pi];
+    scenario.path_at(u, spec.vp_idx)?;
+    let unit = &scenario.policy.units[u as usize];
+    let seed = scenario.era.seed ^ 0x5AAB_517E;
+    let prefixes: Vec<Prefix> = unit
+        .prefixes
+        .iter()
+        .copied()
+        .filter(|&p| {
+            spec.full_feed || partial_keeps(seed, spec.key.asn, p, spec.partial_fraction)
+        })
+        .collect();
+    Some(prefixes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolution::Era;
+    use bgp_types::Family;
+
+    fn scenario() -> Scenario {
+        Scenario::build(Era::for_date(
+            "2016-01-15 08:00".parse().unwrap(),
+            Family::Ipv4,
+            Some(1.0 / 400.0),
+        ))
+    }
+
+    #[test]
+    fn window_is_deterministic() {
+        let start: SimTime = "2016-01-15 08:00".parse().unwrap();
+        let mut s1 = scenario();
+        let mut s2 = scenario();
+        let a = generate_window(&mut s1, start, 4, 9);
+        let b = generate_window(&mut s2, start, 4, 9);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn timestamps_stay_in_window_and_sorted() {
+        let start: SimTime = "2016-01-15 08:00".parse().unwrap();
+        let mut s = scenario();
+        let events = generate_window(&mut s, start, 4, 1);
+        let end = start.plus_hours(4).plus_secs(8); // chunk straggle slack
+        for e in &events {
+            assert!(e.record.timestamp >= start && e.record.timestamp <= end);
+        }
+        for w in events.windows(2) {
+            assert!(w[0].record.timestamp <= w[1].record.timestamp);
+        }
+    }
+
+    #[test]
+    fn bundles_often_carry_whole_units() {
+        let start: SimTime = "2016-01-15 08:00".parse().unwrap();
+        let mut s = scenario();
+        let events = generate_window(&mut s, start, 4, 2);
+        // Find a multi-prefix unit and check at least one record carries
+        // all its prefixes.
+        let mut full_bundles = 0;
+        for u in &s.policy.units {
+            if u.prefixes.len() < 2 {
+                continue;
+            }
+            if events.iter().any(|e| {
+                u.prefixes.iter().all(|p| e.record.announced.contains(p))
+            }) {
+                full_bundles += 1;
+            }
+        }
+        assert!(full_bundles > 0, "some unit must be seen in full");
+    }
+
+    #[test]
+    fn garbled_flag_tracks_broken_peers() {
+        // A 2021 scenario has ADD-PATH-broken peers.
+        let mut s = Scenario::build(Era::for_date(
+            "2021-07-15 08:00".parse().unwrap(),
+            Family::Ipv4,
+            Some(1.0 / 300.0),
+        ));
+        let start: SimTime = "2021-07-15 08:00".parse().unwrap();
+        let events = generate_window(&mut s, start, 4, 3);
+        let garbled: Vec<&UpdateEvent> = events.iter().filter(|e| e.garbled).collect();
+        assert!(!garbled.is_empty(), "broken peers must emit garbled records");
+        for e in &garbled {
+            let spec = s.peers.iter().find(|p| p.key == e.record.peer).unwrap();
+            assert_eq!(spec.artifact, PeerArtifact::AddPathBroken);
+        }
+    }
+
+    #[test]
+    fn as_events_group_prefixes_by_shared_path() {
+        // AS-level events emit one record per distinct path at a peer, so a
+        // record can span several units of the same origin — but only when
+        // their paths coincide. Verify no record ever mixes paths.
+        let start: SimTime = "2016-01-15 08:00".parse().unwrap();
+        let mut s = scenario();
+        let snap = s.snapshot(start);
+        let events = generate_window(&mut s, start, 4, 11);
+        use std::collections::HashMap;
+        // prefix -> path string per peer, from the snapshot ground truth.
+        let mut truth: HashMap<(bgp_types::PeerKey, Prefix), String> = HashMap::new();
+        for t in &snap.tables {
+            for e in &t.entries {
+                truth.insert((t.peer, e.prefix), e.attrs.path.to_string());
+            }
+        }
+        // MOAS prefixes live in two units; the snapshot may show the other
+        // origin's path, so exclude them from the strict check.
+        let mut owners: HashMap<Prefix, usize> = HashMap::new();
+        for u in &s.policy.units {
+            for p in &u.prefixes {
+                *owners.entry(*p).or_default() += 1;
+            }
+        }
+        let mut multi_unit_records = 0;
+        for ev in &events {
+            if ev.record.announced.len() < 2 {
+                continue;
+            }
+            // All prefixes in one record shared a path in the snapshot
+            // (modulo the re-announcement prepend, which applies to all).
+            let paths: std::collections::BTreeSet<&String> = ev
+                .record
+                .announced
+                .iter()
+                .filter(|p| owners.get(p).copied().unwrap_or(0) == 1)
+                .filter_map(|p| truth.get(&(ev.record.peer, *p)))
+                // The AS-SET aggregation artifact rewrites some RIB paths;
+                // updates carry the clean path.
+                .filter(|path| !path.contains('['))
+                .collect();
+            assert!(
+                paths.len() <= 1,
+                "record mixes paths: {paths:?}"
+            );
+            // Count records spanning more than one unit (true AS events).
+            let units_spanned = s
+                .policy
+                .units
+                .iter()
+                .filter(|u| {
+                    u.prefixes
+                        .iter()
+                        .any(|p| ev.record.announced.contains(p))
+                })
+                .count();
+            if units_spanned > 1 {
+                multi_unit_records += 1;
+            }
+        }
+        assert!(
+            multi_unit_records > 0,
+            "AS-level events must sometimes bundle sibling units"
+        );
+    }
+
+    #[test]
+    fn partial_peers_only_update_visible_prefixes() {
+        let start: SimTime = "2016-01-15 08:00".parse().unwrap();
+        let mut s = scenario();
+        let snap = s.snapshot(start);
+        let events = generate_window(&mut s, start, 4, 4);
+        // Map peer -> snapshot prefix set.
+        use std::collections::{BTreeSet, HashMap};
+        let tables: HashMap<_, BTreeSet<Prefix>> = snap
+            .tables
+            .iter()
+            .map(|t| {
+                (
+                    t.peer,
+                    t.entries.iter().map(|e| e.prefix).collect::<BTreeSet<_>>(),
+                )
+            })
+            .collect();
+        for e in &events {
+            let table = &tables[&e.record.peer];
+            for p in &e.record.announced {
+                assert!(
+                    table.contains(p),
+                    "update announces {p} not in {}'s snapshot",
+                    e.record.peer
+                );
+            }
+        }
+    }
+}

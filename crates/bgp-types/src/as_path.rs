@@ -1,0 +1,543 @@
+//! AS paths: segment structure, prepend handling, AS-SET rules.
+//!
+//! An AS path is stored in wire order: the first ASN is the neighbor of the
+//! router that exported the route, the last ASN is the origin AS. Policy-atom
+//! analysis frequently walks paths **from the origin**, so the type provides
+//! origin-first iterators with and without consecutive-duplicate
+//! (prepend) collapsing — the distinction at the heart of the paper's
+//! formation-distance methods (§3.4.2).
+
+use crate::asn::Asn;
+use crate::error::TypeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One AS_PATH segment (RFC 4271 §4.3).
+///
+/// Only `AS_SEQUENCE` and `AS_SET` occur in collector data relevant to the
+/// paper; confederation segments are stripped by collectors.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// An ordered sequence of ASNs.
+    Sequence(Vec<Asn>),
+    /// An unordered set of ASNs produced by route aggregation.
+    ///
+    /// Canonical form keeps members sorted and deduplicated, which
+    /// [`AsPath::canonicalize_sets`] enforces.
+    Set(Vec<Asn>),
+}
+
+impl Segment {
+    /// Number of ASNs stored in the segment.
+    pub fn len(&self) -> usize {
+        match self {
+            Segment::Sequence(v) | Segment::Set(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if the segment holds no ASNs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A full AS path: a list of segments in wire order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct AsPath {
+    segments: Vec<Segment>,
+}
+
+impl AsPath {
+    /// An empty path (used for routes originated by the peer itself, and as
+    /// the paper's "empty path" marker for prefixes a vantage point does not
+    /// carry).
+    pub fn empty() -> Self {
+        AsPath { segments: vec![] }
+    }
+
+    /// Builds a path with a single `AS_SEQUENCE` segment.
+    pub fn from_asns<I: IntoIterator<Item = Asn>>(asns: I) -> Self {
+        let seq: Vec<Asn> = asns.into_iter().collect();
+        if seq.is_empty() {
+            AsPath::empty()
+        } else {
+            AsPath {
+                segments: vec![Segment::Sequence(seq)],
+            }
+        }
+    }
+
+    /// Builds a path from explicit segments, dropping empty ones and merging
+    /// adjacent sequences into the canonical representation (two adjacent
+    /// `AS_SEQUENCE`s are semantically one; normalizing here makes structural
+    /// equality match semantic equality).
+    pub fn from_segments<I: IntoIterator<Item = Segment>>(segments: I) -> Self {
+        let mut out: Vec<Segment> = Vec::new();
+        for seg in segments {
+            if seg.is_empty() {
+                continue;
+            }
+            match (out.last_mut(), seg) {
+                (Some(Segment::Sequence(tail)), Segment::Sequence(v)) => tail.extend(v),
+                (_, seg) => out.push(seg),
+            }
+        }
+        AsPath { segments: out }
+    }
+
+    /// The segments in wire order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Returns `true` for the empty path.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total number of ASN slots in the path, counting every prepend copy
+    /// and every set member.
+    pub fn raw_len(&self) -> usize {
+        self.segments.iter().map(Segment::len).sum()
+    }
+
+    /// All ASNs in wire order (peer side first, origin last), including
+    /// prepend copies and set members.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.segments.iter().flat_map(|s| match s {
+            Segment::Sequence(v) | Segment::Set(v) => v.iter().copied(),
+        })
+    }
+
+    /// The origin AS: the last ASN of the final segment if that segment is a
+    /// sequence or a singleton set. Multi-member trailing sets have no
+    /// unambiguous origin and yield `None`.
+    pub fn origin(&self) -> Option<Asn> {
+        match self.segments.last()? {
+            Segment::Sequence(v) => v.last().copied(),
+            Segment::Set(v) if v.len() == 1 => Some(v[0]),
+            Segment::Set(_) => None,
+        }
+    }
+
+    /// The ASN adjacent to the exporting router (the first ASN on the wire),
+    /// normally the peer's own AS.
+    pub fn first(&self) -> Option<Asn> {
+        match self.segments.first()? {
+            Segment::Sequence(v) => v.first().copied(),
+            Segment::Set(v) if v.len() == 1 => Some(v[0]),
+            Segment::Set(_) => None,
+        }
+    }
+
+    /// Returns `true` if any segment is an `AS_SET`.
+    pub fn has_as_set(&self) -> bool {
+        self.segments.iter().any(|s| matches!(s, Segment::Set(_)))
+    }
+
+    /// Expands singleton `AS_SET`s into sequence hops (the paper's §2.4.4
+    /// rule). Fails with [`TypeError::AmbiguousSet`] if any set has more than
+    /// one member — such paths are removed from the study.
+    pub fn expand_singleton_sets(&self) -> Result<AsPath, TypeError> {
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len());
+        for seg in &self.segments {
+            match seg {
+                Segment::Sequence(v) => match out.last_mut() {
+                    Some(Segment::Sequence(tail)) => tail.extend_from_slice(v),
+                    _ => out.push(Segment::Sequence(v.clone())),
+                },
+                Segment::Set(v) if v.len() == 1 => match out.last_mut() {
+                    Some(Segment::Sequence(tail)) => tail.push(v[0]),
+                    _ => out.push(Segment::Sequence(vec![v[0]])),
+                },
+                Segment::Set(_) => return Err(TypeError::AmbiguousSet),
+            }
+        }
+        Ok(AsPath { segments: out })
+    }
+
+    /// Sorts and deduplicates every `AS_SET`'s members, producing the
+    /// canonical representation used for path equality.
+    pub fn canonicalize_sets(&mut self) {
+        for seg in &mut self.segments {
+            if let Segment::Set(v) = seg {
+                v.sort_unstable();
+                v.dedup();
+            }
+        }
+    }
+
+    /// Returns `true` if any ASN in the path is in a private-use range.
+    ///
+    /// Used to detect the paper's misconfigured peer (Appendix A8.3.2),
+    /// which leaked AS65000 into the paths of >150 k atoms.
+    pub fn contains_private_asn(&self) -> bool {
+        self.asns().any(Asn::is_private)
+    }
+
+    /// Returns `true` if the path contains `asn` anywhere.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.asns().any(|a| a == asn)
+    }
+
+    /// Prepends `count` extra copies of `asn` at the wire-order front.
+    ///
+    /// This models export-time `AS_PATH` prepending: the router's own ASN is
+    /// repeated to make the path less preferred.
+    pub fn prepend(&mut self, asn: Asn, count: usize) {
+        if count == 0 {
+            return;
+        }
+        match self.segments.first_mut() {
+            Some(Segment::Sequence(v)) => {
+                v.splice(0..0, std::iter::repeat(asn).take(count));
+            }
+            _ => {
+                self.segments
+                    .insert(0, Segment::Sequence(vec![asn; count]));
+            }
+        }
+    }
+
+    /// A copy of the path with consecutive duplicate ASNs inside sequences
+    /// collapsed to one (prepend stripping — the paper's method (i)/(ii)
+    /// preprocessing). Sets are left untouched.
+    pub fn strip_prepends(&self) -> AsPath {
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len());
+        let mut last_seq_asn: Option<Asn> = None;
+        for seg in &self.segments {
+            match seg {
+                Segment::Sequence(v) => {
+                    let mut stripped = Vec::with_capacity(v.len());
+                    for &a in v {
+                        if last_seq_asn != Some(a) {
+                            stripped.push(a);
+                        }
+                        last_seq_asn = Some(a);
+                    }
+                    if !stripped.is_empty() {
+                        // Merge with a preceding sequence so that the result
+                        // compares equal regardless of how the input was
+                        // segmented.
+                        match out.last_mut() {
+                            Some(Segment::Sequence(tail)) => tail.extend(stripped),
+                            _ => out.push(Segment::Sequence(stripped)),
+                        }
+                    }
+                }
+                Segment::Set(v) => {
+                    out.push(Segment::Set(v.clone()));
+                    last_seq_asn = None;
+                }
+            }
+        }
+        AsPath { segments: out }
+    }
+
+    /// Returns `true` if the path contains at least one prepend (a
+    /// consecutive duplicate ASN inside a sequence).
+    pub fn has_prepend(&self) -> bool {
+        let mut prev: Option<Asn> = None;
+        for seg in &self.segments {
+            match seg {
+                Segment::Sequence(v) => {
+                    for &a in v {
+                        if prev == Some(a) {
+                            return true;
+                        }
+                        prev = Some(a);
+                    }
+                }
+                Segment::Set(_) => prev = None,
+            }
+        }
+        false
+    }
+
+    /// ASNs in wire order with consecutive duplicates collapsed
+    /// (set members are yielded as-is).
+    pub fn unique_hops(&self) -> Vec<Asn> {
+        let mut out = Vec::with_capacity(self.raw_len());
+        for a in self.asns() {
+            if out.last() != Some(&a) {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    /// ASNs from the **origin** towards the peer, including prepend copies.
+    ///
+    /// This is the raw walk used when atoms are grouped (method (iii) groups
+    /// on the raw path).
+    pub fn from_origin_raw(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self.asns().collect();
+        v.reverse();
+        v
+    }
+
+    /// ASNs from the **origin** towards the peer with consecutive duplicates
+    /// collapsed — the hop counting used by the paper's adopted formation
+    /// distance method (iii): "count in terms of unique ASes in the stripped
+    /// AS path to determine the split point" (§3.4.2).
+    pub fn from_origin_unique(&self) -> Vec<Asn> {
+        let mut v = self.unique_hops();
+        v.reverse();
+        v
+    }
+}
+
+impl fmt::Display for AsPath {
+    /// Formats as space-separated ASNs with sets in brackets, matching the
+    /// paper's notation: `1 2 [3 4 5]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            match seg {
+                Segment::Sequence(v) => {
+                    let mut inner_first = true;
+                    for a in v {
+                        if !inner_first {
+                            write!(f, " ")?;
+                        }
+                        inner_first = false;
+                        write!(f, "{}", a.0)?;
+                    }
+                }
+                Segment::Set(v) => {
+                    write!(f, "[")?;
+                    let mut inner_first = true;
+                    for a in v {
+                        if !inner_first {
+                            write!(f, " ")?;
+                        }
+                        inner_first = false;
+                        write!(f, "{}", a.0)?;
+                    }
+                    write!(f, "]")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for AsPath {
+    type Err = TypeError;
+
+    /// Parses the display form: space-separated ASNs, `[..]` for AS-SETs.
+    /// `""` parses to the empty path.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || TypeError::Parse {
+            what: "AsPath",
+            input: s.to_string(),
+        };
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut current_seq: Vec<Asn> = Vec::new();
+        let mut rest = s.trim();
+        while !rest.is_empty() {
+            if let Some(after) = rest.strip_prefix('[') {
+                if !current_seq.is_empty() {
+                    segments.push(Segment::Sequence(std::mem::take(&mut current_seq)));
+                }
+                let (inside, tail) = after.split_once(']').ok_or_else(err)?;
+                let members: Result<Vec<Asn>, _> = inside
+                    .split_whitespace()
+                    .map(|t| t.parse::<Asn>())
+                    .collect();
+                let members = members.map_err(|_| err())?;
+                if members.is_empty() {
+                    return Err(err());
+                }
+                segments.push(Segment::Set(members));
+                rest = tail.trim_start();
+            } else {
+                let end = rest.find([' ', '[']).unwrap_or(rest.len());
+                let (tok, tail) = rest.split_at(end);
+                current_seq.push(tok.parse::<Asn>().map_err(|_| err())?);
+                rest = tail.trim_start();
+            }
+        }
+        if !current_seq.is_empty() {
+            segments.push(Segment::Sequence(current_seq));
+        }
+        Ok(AsPath { segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(s: &str) -> AsPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_path_properties() {
+        let p = AsPath::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.raw_len(), 0);
+        assert_eq!(p.origin(), None);
+        assert_eq!(p.first(), None);
+        assert_eq!(p.to_string(), "");
+        assert_eq!(path(""), p);
+    }
+
+    #[test]
+    fn origin_and_first() {
+        let p = path("3356 1299 64500");
+        assert_eq!(p.origin(), Some(Asn(64500)));
+        assert_eq!(p.first(), Some(Asn(3356)));
+    }
+
+    #[test]
+    fn origin_of_trailing_set() {
+        let p = path("1 2 [3 4 5]");
+        assert_eq!(p.origin(), None);
+        let p = path("1 2 [3]");
+        assert_eq!(p.origin(), Some(Asn(3)));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in ["3356 1299 64500", "1 2 [3 4 5]", "1 1 1 2", "[7]"] {
+            assert_eq!(path(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("1 2 [3".parse::<AsPath>().is_err());
+        assert!("1 x 3".parse::<AsPath>().is_err());
+        assert!("[]".parse::<AsPath>().is_err());
+        assert!("1 [a]".parse::<AsPath>().is_err());
+    }
+
+    #[test]
+    fn prepend_extends_front() {
+        let mut p = path("2 3");
+        p.prepend(Asn(2), 2);
+        assert_eq!(p, path("2 2 2 3"));
+        let mut q = AsPath::empty();
+        q.prepend(Asn(9), 1);
+        assert_eq!(q, path("9"));
+        let mut r = path("1 2");
+        r.prepend(Asn(1), 0);
+        assert_eq!(r, path("1 2"));
+    }
+
+    #[test]
+    fn strip_prepends_collapses_duplicates() {
+        assert_eq!(path("1 1 1 2 3 3").strip_prepends(), path("1 2 3"));
+        assert_eq!(path("1 2 3").strip_prepends(), path("1 2 3"));
+        // The paper's worked example (§3.4.2): (AS1, AS2, AS3) and
+        // (AS1, AS2, AS2, AS3) become indistinguishable after stripping.
+        assert_eq!(path("1 2 2 3").strip_prepends(), path("1 2 3").strip_prepends());
+    }
+
+    #[test]
+    fn strip_prepends_collapses_across_segment_boundary() {
+        let p = AsPath::from_segments([
+            Segment::Sequence(vec![Asn(1), Asn(2)]),
+            Segment::Sequence(vec![Asn(2), Asn(3)]),
+        ]);
+        assert_eq!(p.strip_prepends(), path("1 2 3"));
+    }
+
+    #[test]
+    fn strip_prepends_does_not_collapse_through_sets() {
+        let p = path("1 2 [9] 2 3");
+        // The set breaks the consecutive-duplicate run: both 2s remain.
+        assert_eq!(p.strip_prepends(), path("1 2 [9] 2 3"));
+    }
+
+    #[test]
+    fn strip_prepends_is_idempotent() {
+        let p = path("5 5 4 4 4 3 [1 2] 3 3");
+        assert_eq!(p.strip_prepends().strip_prepends(), p.strip_prepends());
+    }
+
+    #[test]
+    fn has_prepend_detection() {
+        assert!(path("1 1 2").has_prepend());
+        assert!(!path("1 2 1").has_prepend());
+        assert!(!path("1 2 3").has_prepend());
+        assert!(!AsPath::empty().has_prepend());
+    }
+
+    #[test]
+    fn expand_singleton_sets_merges_into_sequences() {
+        let p = path("1 2 [3] 4");
+        assert_eq!(p.expand_singleton_sets().unwrap(), path("1 2 3 4"));
+        let p = path("[3]");
+        assert_eq!(p.expand_singleton_sets().unwrap(), path("3"));
+    }
+
+    #[test]
+    fn expand_rejects_multi_member_sets() {
+        let p = path("1 2 [3 4]");
+        assert_eq!(p.expand_singleton_sets(), Err(TypeError::AmbiguousSet));
+    }
+
+    #[test]
+    fn canonicalize_sets_sorts_and_dedups() {
+        let mut p = path("1 [5 3 5 4]");
+        p.canonicalize_sets();
+        assert_eq!(p, path("1 [3 4 5]"));
+    }
+
+    #[test]
+    fn private_asn_detection() {
+        assert!(path("25885 65000 3356 64500").contains_private_asn());
+        assert!(!path("25885 3356 9000").contains_private_asn());
+    }
+
+    #[test]
+    fn origin_first_walks() {
+        let p = path("10 20 20 30");
+        assert_eq!(
+            p.from_origin_raw(),
+            vec![Asn(30), Asn(20), Asn(20), Asn(10)]
+        );
+        assert_eq!(p.from_origin_unique(), vec![Asn(30), Asn(20), Asn(10)]);
+    }
+
+    #[test]
+    fn unique_hops_preserves_non_consecutive_repeats() {
+        // 1 2 1 is a legal (if odd) path; only *consecutive* copies collapse.
+        assert_eq!(path("1 2 1").unique_hops(), vec![Asn(1), Asn(2), Asn(1)]);
+    }
+
+    #[test]
+    fn contains_and_raw_len() {
+        let p = path("1 2 [3 4]");
+        assert!(p.contains(Asn(4)));
+        assert!(!p.contains(Asn(9)));
+        assert_eq!(p.raw_len(), 4);
+        assert!(p.has_as_set());
+        assert!(!path("1 2").has_as_set());
+    }
+
+    #[test]
+    fn from_asns_builder() {
+        let p = AsPath::from_asns([Asn(1), Asn(2)]);
+        assert_eq!(p, path("1 2"));
+        assert_eq!(AsPath::from_asns([]), AsPath::empty());
+    }
+
+    #[test]
+    fn from_segments_drops_empty() {
+        let p = AsPath::from_segments([
+            Segment::Sequence(vec![]),
+            Segment::Sequence(vec![Asn(1)]),
+            Segment::Set(vec![]),
+        ]);
+        assert_eq!(p, path("1"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Autonomous System Numbers.
+
+use crate::error::TypeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 4-byte Autonomous System Number (RFC 6793).
+///
+/// Stored as a plain `u32`; 2-byte ASNs occupy the low 16 bits. The type is
+/// `Copy` and ordered so it can serve directly as a map key or a sort key.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// AS_TRANS (RFC 6793): stands in for a 4-byte ASN on 2-byte sessions.
+    pub const TRANS: Asn = Asn(23456);
+
+    /// The reserved ASN 0 (RFC 7607) — must never appear in an AS path.
+    pub const RESERVED_ZERO: Asn = Asn(0);
+
+    /// Returns `true` for ASNs in the private-use ranges
+    /// 64512–65534 (RFC 6996) and 4200000000–4294967294 (RFC 6996).
+    ///
+    /// The paper's sanitization (§2.4.4, Appendix A8.3.2) flags peers that
+    /// leak private ASNs — notably AS65000 — into globally visible paths.
+    pub fn is_private(self) -> bool {
+        (64512..=65534).contains(&self.0) || (4_200_000_000..=4_294_967_294).contains(&self.0)
+    }
+
+    /// Returns `true` for ASNs reserved for documentation:
+    /// 64496–64511 and 65536–65551 (RFC 5398).
+    pub fn is_documentation(self) -> bool {
+        (64496..=64511).contains(&self.0) || (65536..=65551).contains(&self.0)
+    }
+
+    /// Returns `true` for ASNs that must not be routed globally:
+    /// 0, 65535, 4294967295, plus the private and documentation ranges.
+    pub fn is_reserved(self) -> bool {
+        self.0 == 0
+            || self.0 == 65535
+            || self.0 == u32::MAX
+            || self.is_private()
+            || self.is_documentation()
+    }
+
+    /// Returns `true` if this ASN fits in 2 bytes.
+    pub fn is_16bit(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+impl From<u16> for Asn {
+    fn from(v: u16) -> Self {
+        Asn(v as u32)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(a: Asn) -> Self {
+        a.0
+    }
+}
+
+impl FromStr for Asn {
+    type Err = TypeError;
+
+    /// Parses either a bare number (`"3257"`) or the `AS`-prefixed form
+    /// (`"AS3257"`, case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .or_else(|| s.strip_prefix("As"))
+            .unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| TypeError::Parse {
+                what: "Asn",
+                input: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_as_prefix() {
+        assert_eq!(Asn(3257).to_string(), "AS3257");
+        assert_eq!(Asn(0).to_string(), "AS0");
+    }
+
+    #[test]
+    fn parse_accepts_bare_and_prefixed() {
+        assert_eq!("3257".parse::<Asn>().unwrap(), Asn(3257));
+        assert_eq!("AS3257".parse::<Asn>().unwrap(), Asn(3257));
+        assert_eq!("as65000".parse::<Asn>().unwrap(), Asn(65000));
+        assert_eq!("As12".parse::<Asn>().unwrap(), Asn(12));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Asn>().is_err());
+        assert!("ASx".parse::<Asn>().is_err());
+        assert!("-5".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!(Asn(64512).is_private());
+        assert!(Asn(65000).is_private()); // the paper's misconfigured peer
+        assert!(Asn(65534).is_private());
+        assert!(!Asn(64511).is_private());
+        assert!(!Asn(65535).is_private());
+        assert!(Asn(4_200_000_000).is_private());
+        assert!(Asn(4_294_967_294).is_private());
+        assert!(!Asn(4_294_967_295).is_private());
+        assert!(!Asn(3257).is_private());
+    }
+
+    #[test]
+    fn documentation_ranges() {
+        assert!(Asn(64496).is_documentation());
+        assert!(Asn(64511).is_documentation());
+        assert!(Asn(65536).is_documentation());
+        assert!(Asn(65551).is_documentation());
+        assert!(!Asn(65552).is_documentation());
+    }
+
+    #[test]
+    fn reserved_covers_specials() {
+        assert!(Asn(0).is_reserved());
+        assert!(Asn(65535).is_reserved());
+        assert!(Asn(u32::MAX).is_reserved());
+        assert!(Asn(65000).is_reserved());
+        assert!(!Asn(23456).is_reserved()); // AS_TRANS is allocatable-special, not reserved-range
+        assert!(!Asn(701).is_reserved());
+    }
+
+    #[test]
+    fn width_check() {
+        assert!(Asn(65535).is_16bit());
+        assert!(!Asn(65536).is_16bit());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![Asn(10), Asn(2), Asn(300)];
+        v.sort();
+        assert_eq!(v, vec![Asn(2), Asn(10), Asn(300)]);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let j = serde_json::to_string(&Asn(42)).unwrap();
+        assert_eq!(j, "42");
+        let a: Asn = serde_json::from_str("42").unwrap();
+        assert_eq!(a, Asn(42));
+    }
+}

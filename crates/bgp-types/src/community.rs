@@ -1,0 +1,114 @@
+//! Standard BGP communities (RFC 1997).
+
+use crate::asn::Asn;
+use crate::error::TypeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A standard 32-bit BGP community, displayed as `asn:value`.
+///
+/// The paper (§4.3) discusses communities as one driver of intermediate-AS
+/// policy: e.g. GTT's `3257:2990` ("do not announce in North America") and
+/// prepend-steering values. The simulator attaches communities to
+/// announcements whose transit treatment is community-driven.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Community(pub u32);
+
+impl Community {
+    /// Well-known NO_EXPORT (RFC 1997).
+    pub const NO_EXPORT: Community = Community(0xFFFF_FF01);
+    /// Well-known NO_ADVERTISE (RFC 1997).
+    pub const NO_ADVERTISE: Community = Community(0xFFFF_FF02);
+    /// Well-known NO_EXPORT_SUBCONFED (RFC 1997).
+    pub const NO_EXPORT_SUBCONFED: Community = Community(0xFFFF_FF03);
+
+    /// Builds a community from its `asn:value` halves.
+    pub fn new(asn: u16, value: u16) -> Self {
+        Community(((asn as u32) << 16) | value as u32)
+    }
+
+    /// The high 16 bits, conventionally the ASN defining the community.
+    pub fn asn_part(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The low 16 bits, the ASN-defined action/annotation value.
+    pub fn value_part(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// The defining ASN as an [`Asn`].
+    pub fn asn(self) -> Asn {
+        Asn(self.asn_part() as u32)
+    }
+
+    /// Returns `true` for the RFC 1997 well-known range (`0xFFFF0000`+).
+    pub fn is_well_known(self) -> bool {
+        self.0 >= 0xFFFF_0000
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn_part(), self.value_part())
+    }
+}
+
+impl FromStr for Community {
+    type Err = TypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || TypeError::Parse {
+            what: "Community",
+            input: s.to_string(),
+        };
+        let (a, v) = s.split_once(':').ok_or_else(err)?;
+        let a: u16 = a.parse().map_err(|_| err())?;
+        let v: u16 = v.parse().map_err(|_| err())?;
+        Ok(Community::new(a, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_round_trip() {
+        let c = Community::new(3257, 2990);
+        assert_eq!(c.asn_part(), 3257);
+        assert_eq!(c.value_part(), 2990);
+        assert_eq!(c.asn(), Asn(3257));
+        assert_eq!(c.to_string(), "3257:2990");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let c: Community = "5511:666".parse().unwrap();
+        assert_eq!(c, Community::new(5511, 666));
+        assert!("5511".parse::<Community>().is_err());
+        assert!("5511:x".parse::<Community>().is_err());
+        assert!("99999:1".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn well_known_values() {
+        assert!(Community::NO_EXPORT.is_well_known());
+        assert!(Community::NO_ADVERTISE.is_well_known());
+        assert!(Community::NO_EXPORT_SUBCONFED.is_well_known());
+        assert!(!Community::new(3257, 2990).is_well_known());
+        assert_eq!(Community::NO_EXPORT.to_string(), "65535:65281");
+    }
+
+    #[test]
+    fn ordering_matches_numeric() {
+        let a = Community::new(1, 2);
+        let b = Community::new(1, 3);
+        let c = Community::new(2, 0);
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for fallible construction and parsing of BGP domain types.
+
+use std::fmt;
+
+/// Errors produced when constructing or parsing BGP domain types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A prefix length exceeded the maximum for its address family.
+    PrefixLenOutOfRange {
+        /// The offending length.
+        len: u8,
+        /// The maximum valid length (32 for IPv4, 128 for IPv6).
+        max: u8,
+    },
+    /// A prefix had host bits set beyond its prefix length.
+    HostBitsSet,
+    /// A string failed to parse as the indicated type.
+    Parse {
+        /// Human-readable name of the target type.
+        what: &'static str,
+        /// The input that failed to parse.
+        input: String,
+    },
+    /// An AS path operation required a non-empty path.
+    EmptyPath,
+    /// An AS-SET with more than one member cannot be expanded.
+    AmbiguousSet,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::PrefixLenOutOfRange { len, max } => {
+                write!(f, "prefix length {len} exceeds maximum {max}")
+            }
+            TypeError::HostBitsSet => {
+                write!(f, "prefix has host bits set beyond its length")
+            }
+            TypeError::Parse { what, input } => {
+                write!(f, "cannot parse {input:?} as {what}")
+            }
+            TypeError::EmptyPath => write!(f, "AS path is empty"),
+            TypeError::AmbiguousSet => {
+                write!(f, "AS-SET with more than one member cannot be expanded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TypeError::PrefixLenOutOfRange { len: 33, max: 32 };
+        assert_eq!(e.to_string(), "prefix length 33 exceeds maximum 32");
+        let e = TypeError::Parse {
+            what: "Asn",
+            input: "xyz".into(),
+        };
+        assert!(e.to_string().contains("Asn"));
+        assert!(e.to_string().contains("xyz"));
+        assert!(TypeError::HostBitsSet.to_string().contains("host bits"));
+        assert!(TypeError::EmptyPath.to_string().contains("empty"));
+        assert!(TypeError::AmbiguousSet.to_string().contains("AS-SET"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<TypeError>();
+    }
+}

@@ -1,0 +1,37 @@
+//! Core BGP domain types shared by every crate in the `policy-atoms`
+//! workspace.
+//!
+//! This crate is deliberately small and dependency-light: it defines the
+//! vocabulary of the system — [`Asn`], [`Prefix`], [`AsPath`],
+//! [`Community`], [`UpdateRecord`], [`RibEntry`] — together with the parsing,
+//! formatting, and structural operations the rest of the workspace needs
+//! (prepend stripping, AS-SET expansion, origin extraction, containment
+//! checks, …).
+//!
+//! Design follows the conventions of mature Rust networking libraries:
+//! no panics on untrusted input (fallible constructors return
+//! [`TypeError`]), canonical forms are enforced at construction time, and
+//! every public item is documented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod as_path;
+pub mod asn;
+pub mod community;
+pub mod error;
+pub mod prefix;
+pub mod prefix_trie;
+pub mod rib;
+pub mod timestamp;
+pub mod update;
+
+pub use as_path::{AsPath, Segment};
+pub use asn::Asn;
+pub use community::Community;
+pub use error::TypeError;
+pub use prefix::{Family, Ipv4Prefix, Ipv6Prefix, Prefix};
+pub use prefix_trie::PrefixTrie;
+pub use rib::{PeerKey, RibEntry, RouteAttrs, RouteOrigin};
+pub use timestamp::SimTime;
+pub use update::UpdateRecord;

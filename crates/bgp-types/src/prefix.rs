@@ -1,0 +1,409 @@
+//! IPv4 and IPv6 prefixes in canonical (host-bits-zero) form.
+
+use crate::error::TypeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// Address family of a prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// IPv4.
+    Ipv4,
+    /// IPv6.
+    Ipv6,
+}
+
+impl Family {
+    /// Maximum prefix length for the family (32 or 128).
+    pub fn max_len(self) -> u8 {
+        match self {
+            Family::Ipv4 => 32,
+            Family::Ipv6 => 128,
+        }
+    }
+
+    /// The paper's per-family prefix-length cap (§2.4.3): /24 for IPv4,
+    /// /48 for IPv6. More-specific prefixes are filtered out.
+    pub fn global_routing_max_len(self) -> u8 {
+        match self {
+            Family::Ipv4 => 24,
+            Family::Ipv6 => 48,
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Family::Ipv4 => write!(f, "IPv4"),
+            Family::Ipv6 => write!(f, "IPv6"),
+        }
+    }
+}
+
+/// An IPv4 prefix in canonical form (no host bits set).
+///
+/// The address is stored as a host-order `u32` so prefixes are cheap to
+/// compare, hash, and mask.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+#[allow(clippy::len_without_is_empty)] // `len` is the prefix length in bits, not a container size
+impl Ipv4Prefix {
+    /// Creates a prefix, rejecting out-of-range lengths and set host bits.
+    pub fn new(addr: u32, len: u8) -> Result<Self, TypeError> {
+        if len > 32 {
+            return Err(TypeError::PrefixLenOutOfRange { len, max: 32 });
+        }
+        let masked = mask_v4(addr, len);
+        if masked != addr {
+            return Err(TypeError::HostBitsSet);
+        }
+        Ok(Ipv4Prefix { addr, len })
+    }
+
+    /// Creates a prefix, silently zeroing any host bits.
+    pub fn new_masked(addr: u32, len: u8) -> Result<Self, TypeError> {
+        if len > 32 {
+            return Err(TypeError::PrefixLenOutOfRange { len, max: 32 });
+        }
+        Ok(Ipv4Prefix {
+            addr: mask_v4(addr, len),
+            len,
+        })
+    }
+
+    /// The network address as a host-order `u32`.
+    pub fn addr(self) -> u32 {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// The network address as a [`std::net::Ipv4Addr`].
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// Returns `true` iff `other` is equal to or more specific than `self`.
+    pub fn contains(self, other: Ipv4Prefix) -> bool {
+        other.len >= self.len && mask_v4(other.addr, self.len) == self.addr
+    }
+}
+
+fn mask_v4(addr: u32, len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        addr & (u32::MAX << (32 - len as u32))
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+/// An IPv6 prefix in canonical form (no host bits set).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Ipv6Prefix {
+    addr: u128,
+    len: u8,
+}
+
+#[allow(clippy::len_without_is_empty)] // `len` is the prefix length in bits, not a container size
+impl Ipv6Prefix {
+    /// Creates a prefix, rejecting out-of-range lengths and set host bits.
+    pub fn new(addr: u128, len: u8) -> Result<Self, TypeError> {
+        if len > 128 {
+            return Err(TypeError::PrefixLenOutOfRange { len, max: 128 });
+        }
+        let masked = mask_v6(addr, len);
+        if masked != addr {
+            return Err(TypeError::HostBitsSet);
+        }
+        Ok(Ipv6Prefix { addr, len })
+    }
+
+    /// Creates a prefix, silently zeroing any host bits.
+    pub fn new_masked(addr: u128, len: u8) -> Result<Self, TypeError> {
+        if len > 128 {
+            return Err(TypeError::PrefixLenOutOfRange { len, max: 128 });
+        }
+        Ok(Ipv6Prefix {
+            addr: mask_v6(addr, len),
+            len,
+        })
+    }
+
+    /// The network address as a host-order `u128`.
+    pub fn addr(self) -> u128 {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// The network address as a [`std::net::Ipv6Addr`].
+    pub fn network(self) -> Ipv6Addr {
+        Ipv6Addr::from(self.addr)
+    }
+
+    /// Returns `true` iff `other` is equal to or more specific than `self`.
+    pub fn contains(self, other: Ipv6Prefix) -> bool {
+        other.len >= self.len && mask_v6(other.addr, self.len) == self.addr
+    }
+}
+
+fn mask_v6(addr: u128, len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        addr & (u128::MAX << (128 - len as u32))
+    }
+}
+
+impl fmt::Display for Ipv6Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+/// An IP prefix of either family.
+///
+/// `Prefix` orders IPv4 before IPv6 and then by (address, length), giving a
+/// stable total order used throughout the analysis pipeline for deterministic
+/// output.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Prefix {
+    /// An IPv4 prefix.
+    V4(Ipv4Prefix),
+    /// An IPv6 prefix.
+    V6(Ipv6Prefix),
+}
+
+#[allow(clippy::len_without_is_empty)] // `len` is the prefix length in bits, not a container size
+impl Prefix {
+    /// Convenience constructor for canonical IPv4 prefixes.
+    pub fn v4(addr: u32, len: u8) -> Result<Self, TypeError> {
+        Ipv4Prefix::new(addr, len).map(Prefix::V4)
+    }
+
+    /// Convenience constructor for canonical IPv6 prefixes.
+    pub fn v6(addr: u128, len: u8) -> Result<Self, TypeError> {
+        Ipv6Prefix::new(addr, len).map(Prefix::V6)
+    }
+
+    /// The address family.
+    pub fn family(self) -> Family {
+        match self {
+            Prefix::V4(_) => Family::Ipv4,
+            Prefix::V6(_) => Family::Ipv6,
+        }
+    }
+
+    /// The prefix length in bits.
+    pub fn len(self) -> u8 {
+        match self {
+            Prefix::V4(p) => p.len(),
+            Prefix::V6(p) => p.len(),
+        }
+    }
+
+    /// Returns `true` for the zero-length default route of either family.
+    pub fn is_default_route(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` iff `other` is the same family and equal to or more
+    /// specific than `self`.
+    pub fn contains(self, other: Prefix) -> bool {
+        match (self, other) {
+            (Prefix::V4(a), Prefix::V4(b)) => a.contains(b),
+            (Prefix::V6(a), Prefix::V6(b)) => a.contains(b),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` iff the prefix passes the paper's global-routing
+    /// length cap (§2.4.3): ≤/24 for IPv4, ≤/48 for IPv6.
+    pub fn within_global_routing_len(self) -> bool {
+        self.len() <= self.family().global_routing_max_len()
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prefix::V4(p) => p.fmt(f),
+            Prefix::V6(p) => p.fmt(f),
+        }
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = TypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || TypeError::Parse {
+            what: "Prefix",
+            input: s.to_string(),
+        };
+        let (addr, len) = s.split_once('/').ok_or_else(err)?;
+        let len: u8 = len.parse().map_err(|_| err())?;
+        if let Ok(v4) = addr.parse::<Ipv4Addr>() {
+            Ipv4Prefix::new(u32::from(v4), len).map(Prefix::V4)
+        } else if let Ok(v6) = addr.parse::<Ipv6Addr>() {
+            Ipv6Prefix::new(u128::from(v6), len).map(Prefix::V6)
+        } else {
+            Err(err())
+        }
+    }
+}
+
+impl From<Ipv4Prefix> for Prefix {
+    fn from(p: Ipv4Prefix) -> Self {
+        Prefix::V4(p)
+    }
+}
+
+impl From<Ipv6Prefix> for Prefix {
+    fn from(p: Ipv6Prefix) -> Self {
+        Prefix::V6(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_construction_enforces_canonical_form() {
+        assert!(Ipv4Prefix::new(0x0A000000, 8).is_ok()); // 10.0.0.0/8
+        assert_eq!(
+            Ipv4Prefix::new(0x0A000001, 8),
+            Err(TypeError::HostBitsSet)
+        );
+        assert_eq!(
+            Ipv4Prefix::new(0, 33),
+            Err(TypeError::PrefixLenOutOfRange { len: 33, max: 32 })
+        );
+        let p = Ipv4Prefix::new_masked(0x0A0000FF, 8).unwrap();
+        assert_eq!(p.addr(), 0x0A000000);
+    }
+
+    #[test]
+    fn v4_zero_length() {
+        let p = Ipv4Prefix::new(0, 0).unwrap();
+        assert_eq!(p.to_string(), "0.0.0.0/0");
+        assert!(Prefix::V4(p).is_default_route());
+        // /0 with nonzero address is non-canonical.
+        assert!(Ipv4Prefix::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn v4_display_and_parse_round_trip() {
+        let p: Prefix = "192.0.2.0/24".parse().unwrap();
+        assert_eq!(p.to_string(), "192.0.2.0/24");
+        assert_eq!(p.family(), Family::Ipv4);
+        assert_eq!(p.len(), 24);
+    }
+
+    #[test]
+    fn v6_display_and_parse_round_trip() {
+        let p: Prefix = "2001:db8::/32".parse().unwrap();
+        assert_eq!(p.to_string(), "2001:db8::/32");
+        assert_eq!(p.family(), Family::Ipv6);
+        let fiti: Prefix = "240a:a000::/20".parse().unwrap();
+        assert_eq!(fiti.len(), 20);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err()); // missing length
+        assert!("10.0.0.0/x".parse::<Prefix>().is_err());
+        assert!("10.0.0.1/8".parse::<Prefix>().is_err()); // host bits
+        assert!("nonsense/8".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("2001:db8::/129".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn containment_v4() {
+        let big: Prefix = "10.0.0.0/8".parse().unwrap();
+        let small: Prefix = "10.1.0.0/16".parse().unwrap();
+        let other: Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(big.contains(small));
+        assert!(!small.contains(big));
+        assert!(big.contains(big));
+        assert!(!big.contains(other));
+    }
+
+    #[test]
+    fn containment_v6_and_cross_family() {
+        let big: Prefix = "2001:db8::/32".parse().unwrap();
+        let small: Prefix = "2001:db8:1::/48".parse().unwrap();
+        let v4: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!(big.contains(small));
+        assert!(!small.contains(big));
+        assert!(!big.contains(v4));
+        assert!(!v4.contains(big));
+    }
+
+    #[test]
+    fn global_routing_caps() {
+        assert!("10.0.0.0/24".parse::<Prefix>().unwrap().within_global_routing_len());
+        assert!(!"10.0.0.128/25".parse::<Prefix>().unwrap().within_global_routing_len());
+        assert!("2001:db8::/48".parse::<Prefix>().unwrap().within_global_routing_len());
+        assert!(!"2001:db8:0:1::/64"
+            .parse::<Prefix>()
+            .unwrap()
+            .within_global_routing_len());
+        assert_eq!(Family::Ipv4.global_routing_max_len(), 24);
+        assert_eq!(Family::Ipv6.global_routing_max_len(), 48);
+    }
+
+    #[test]
+    fn ordering_is_stable_v4_before_v6() {
+        let a: Prefix = "10.0.0.0/8".parse().unwrap();
+        let b: Prefix = "10.0.0.0/9".parse().unwrap();
+        let c: Prefix = "2001:db8::/32".parse().unwrap();
+        let mut v = vec![c, b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn v6_masking() {
+        let p = Ipv6Prefix::new_masked(u128::MAX, 20).unwrap();
+        assert_eq!(p.len(), 20);
+        assert_eq!(p.addr() & ((1u128 << 108) - 1), 0);
+        assert!(Ipv6Prefix::new(0, 0).is_ok());
+        assert!(Ipv6Prefix::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn family_display_and_max_len() {
+        assert_eq!(Family::Ipv4.to_string(), "IPv4");
+        assert_eq!(Family::Ipv6.to_string(), "IPv6");
+        assert_eq!(Family::Ipv4.max_len(), 32);
+        assert_eq!(Family::Ipv6.max_len(), 128);
+    }
+}

@@ -1,0 +1,264 @@
+//! A binary prefix trie with longest-prefix match and coverage queries.
+//!
+//! Used by the analysis layer to reason about aggregates: the paper notes
+//! that "a network may aggregate prefixes or have only received an
+//! aggregated prefix for traffic engineering purposes" (§2.4.3), so
+//! more-specific/covering relationships matter when interpreting
+//! visibility. The trie answers, for any prefix: its longest covering
+//! announced prefix, and whether any announced more-specifics exist.
+
+use crate::prefix::{Family, Prefix};
+use std::fmt::Debug;
+
+/// Bit accessor: the `i`-th most significant bit of the prefix address.
+fn bit(p: Prefix, i: u8) -> bool {
+    match p {
+        Prefix::V4(v) => (v.addr() >> (31 - i)) & 1 == 1,
+        Prefix::V6(v) => (v.addr() >> (127 - i)) & 1 == 1,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A map from prefixes to values with longest-prefix-match lookup.
+///
+/// One trie holds one address family; inserting mixed families is
+/// rejected. Lookups are O(prefix length).
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    family: Option<Family>,
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie (family fixed by the first insert).
+    pub fn new() -> Self {
+        PrefixTrie {
+            family: None,
+            root: Node::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `prefix → value`; returns the previous value if the prefix
+    /// was present, or an error if the family differs from the trie's.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Result<Option<V>, crate::TypeError> {
+        match self.family {
+            None => self.family = Some(prefix.family()),
+            Some(f) if f != prefix.family() => {
+                return Err(crate::TypeError::Parse {
+                    what: "PrefixTrie family",
+                    input: prefix.to_string(),
+                })
+            }
+            Some(_) => {}
+        }
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = bit(prefix, i) as usize;
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        Ok(old)
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Prefix) -> Option<&V> {
+        if Some(prefix.family()) != self.family {
+            return None;
+        }
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let b = bit(prefix, i) as usize;
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix match: the most specific stored prefix that covers
+    /// `prefix` (including an exact match), with its value.
+    pub fn longest_match(&self, prefix: Prefix) -> Option<(u8, &V)> {
+        if Some(prefix.family()) != self.family {
+            return None;
+        }
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..prefix.len() {
+            let b = bit(prefix, i) as usize;
+            match node.children[b].as_deref() {
+                Some(next) => {
+                    node = next;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// The most specific *strict* covering prefix (excludes the exact
+    /// match) — "is this announcement a more-specific of an aggregate?".
+    pub fn covering(&self, prefix: Prefix) -> Option<(u8, &V)> {
+        if Some(prefix.family()) != self.family {
+            return None;
+        }
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..prefix.len().saturating_sub(1) {
+            let b = bit(prefix, i) as usize;
+            match node.children[b].as_deref() {
+                Some(next) => {
+                    node = next;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        // Strictly-less-specific only: the /0 default route has no
+        // strict cover (its own entry must not match).
+        best.filter(|&(len, _)| len < prefix.len())
+    }
+
+    /// Returns `true` if any stored prefix is a strict more-specific of
+    /// `prefix`.
+    pub fn has_more_specific(&self, prefix: Prefix) -> bool {
+        if Some(prefix.family()) != self.family {
+            return false;
+        }
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let b = bit(prefix, i) as usize;
+            match node.children[b].as_deref() {
+                Some(next) => node = next,
+                None => return false,
+            }
+        }
+        // Anything below this node is a strict more-specific.
+        fn subtree_has_value<V>(n: &Node<V>, include_self: bool) -> bool {
+            if include_self && n.value.is_some() {
+                return true;
+            }
+            n.children
+                .iter()
+                .flatten()
+                .any(|c| subtree_has_value(c, true))
+        }
+        subtree_has_value(node, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1).unwrap(), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2).unwrap(), Some(1));
+        assert_eq!(t.insert(p("10.1.0.0/16"), 3).unwrap(), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(p("10.1.0.0/16")), Some(&3));
+        assert_eq!(t.get(p("10.2.0.0/16")), None);
+    }
+
+    #[test]
+    fn longest_match_picks_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight").unwrap();
+        t.insert(p("10.1.0.0/16"), "sixteen").unwrap();
+        assert_eq!(t.longest_match(p("10.1.2.0/24")), Some((16, &"sixteen")));
+        assert_eq!(t.longest_match(p("10.2.2.0/24")), Some((8, &"eight")));
+        assert_eq!(t.longest_match(p("11.0.0.0/24")), None);
+        // Exact match counts.
+        assert_eq!(t.longest_match(p("10.1.0.0/16")), Some((16, &"sixteen")));
+    }
+
+    #[test]
+    fn covering_excludes_exact() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ()).unwrap();
+        t.insert(p("10.1.0.0/16"), ()).unwrap();
+        assert_eq!(t.covering(p("10.1.0.0/16")), Some((8, &())));
+        assert_eq!(t.covering(p("10.0.0.0/8")), None);
+        assert_eq!(t.covering(p("10.1.2.0/24")), Some((16, &())));
+        // The default route cannot be strictly covered, even by itself.
+        let mut t0 = PrefixTrie::new();
+        t0.insert(p("0.0.0.0/0"), ()).unwrap();
+        assert_eq!(t0.covering(p("0.0.0.0/0")), None);
+    }
+
+    #[test]
+    fn more_specific_detection() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.0.0/16"), ()).unwrap();
+        assert!(t.has_more_specific(p("10.0.0.0/8")));
+        assert!(!t.has_more_specific(p("10.1.0.0/16")), "exact is not strict");
+        assert!(!t.has_more_specific(p("10.1.2.0/24")));
+        assert!(!t.has_more_specific(p("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn default_route_covers_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default").unwrap();
+        assert_eq!(t.longest_match(p("203.0.113.0/24")), Some((0, &"default")));
+        assert_eq!(t.covering(p("203.0.113.0/24")), Some((0, &"default")));
+        assert!(!t.has_more_specific(p("0.0.0.0/0")));
+        t.insert(p("203.0.113.0/24"), "specific").unwrap();
+        assert!(t.has_more_specific(p("0.0.0.0/0")));
+    }
+
+    #[test]
+    fn ipv6_and_family_separation() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8::/32"), 1).unwrap();
+        assert!(t.insert(p("10.0.0.0/8"), 2).is_err(), "mixed family rejected");
+        assert_eq!(t.longest_match(p("2001:db8:1::/48")), Some((32, &1)));
+        assert_eq!(t.longest_match(p("2001:db9::/32")), None);
+        assert_eq!(t.get(p("10.0.0.0/8")), None, "wrong family lookups are None");
+    }
+}

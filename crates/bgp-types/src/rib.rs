@@ -1,0 +1,173 @@
+//! RIB entries and the attributes carried with a route.
+
+use crate::as_path::AsPath;
+use crate::asn::Asn;
+use crate::community::Community;
+use crate::prefix::Prefix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::IpAddr;
+
+/// The BGP ORIGIN attribute (RFC 4271 §5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RouteOrigin {
+    /// Learned from an interior protocol (`ORIGIN=IGP`). The overwhelmingly
+    /// common value in collector data, hence the default.
+    #[default]
+    Igp,
+    /// Learned via EGP (`ORIGIN=EGP`), historical.
+    Egp,
+    /// Origin unknown (`ORIGIN=INCOMPLETE`), typically redistributed statics.
+    Incomplete,
+}
+
+impl RouteOrigin {
+    /// The wire encoding (0, 1, 2).
+    pub fn code(self) -> u8 {
+        match self {
+            RouteOrigin::Igp => 0,
+            RouteOrigin::Egp => 1,
+            RouteOrigin::Incomplete => 2,
+        }
+    }
+
+    /// Decodes the wire value.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(RouteOrigin::Igp),
+            1 => Some(RouteOrigin::Egp),
+            2 => Some(RouteOrigin::Incomplete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RouteOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteOrigin::Igp => write!(f, "IGP"),
+            RouteOrigin::Egp => write!(f, "EGP"),
+            RouteOrigin::Incomplete => write!(f, "INCOMPLETE"),
+        }
+    }
+}
+
+/// The path attributes the policy-atom analysis cares about.
+///
+/// Collector RIB dumps carry more attributes; everything not needed for
+/// grouping prefixes by AS path is intentionally absent (smoltcp-style: the
+/// omission is documented, not accidental).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct RouteAttrs {
+    /// The AS path in wire order.
+    pub path: AsPath,
+    /// The ORIGIN attribute.
+    pub origin: RouteOrigin,
+    /// Standard communities attached to the route.
+    pub communities: Vec<Community>,
+}
+
+impl RouteAttrs {
+    /// Builds attributes carrying just an AS path.
+    pub fn from_path(path: AsPath) -> Self {
+        RouteAttrs {
+            path,
+            ..Default::default()
+        }
+    }
+}
+
+/// Identity of a collector peer session: the peer's AS and its router
+/// address. Two sessions from the same AS at different routers are distinct
+/// vantage points, as in the paper.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PeerKey {
+    /// The peer's autonomous system.
+    pub asn: Asn,
+    /// The peer router's address on the collector session.
+    pub addr: IpAddr,
+}
+
+impl PeerKey {
+    /// Convenience constructor.
+    pub fn new(asn: Asn, addr: IpAddr) -> Self {
+        PeerKey { asn, addr }
+    }
+}
+
+impl fmt::Display for PeerKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.asn, self.addr)
+    }
+}
+
+/// One route in a peer's table: a prefix and the attributes the peer
+/// reported for it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RibEntry {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The route's attributes (AS path, origin, communities).
+    pub attrs: RouteAttrs,
+}
+
+impl RibEntry {
+    /// Builds an entry from a prefix and path.
+    pub fn new(prefix: Prefix, path: AsPath) -> Self {
+        RibEntry {
+            prefix,
+            attrs: RouteAttrs::from_path(path),
+        }
+    }
+
+    /// The origin AS of the route, if unambiguous.
+    pub fn origin_as(&self) -> Option<Asn> {
+        self.attrs.path.origin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn route_origin_codes_round_trip() {
+        for o in [RouteOrigin::Igp, RouteOrigin::Egp, RouteOrigin::Incomplete] {
+            assert_eq!(RouteOrigin::from_code(o.code()), Some(o));
+        }
+        assert_eq!(RouteOrigin::from_code(3), None);
+        assert_eq!(RouteOrigin::default(), RouteOrigin::Igp);
+        assert_eq!(RouteOrigin::Incomplete.to_string(), "INCOMPLETE");
+    }
+
+    #[test]
+    fn peer_key_identity() {
+        let a = PeerKey::new(Asn(3356), IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)));
+        let b = PeerKey::new(Asn(3356), IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_ne!(a, b, "same AS, different router => different vantage point");
+        assert_eq!(a.to_string(), "AS3356@10.0.0.1");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn rib_entry_origin() {
+        let e = RibEntry::new(
+            "192.0.2.0/24".parse().unwrap(),
+            "3356 1299 64500".parse().unwrap(),
+        );
+        assert_eq!(e.origin_as(), Some(Asn(64500)));
+        let empty = RibEntry::new("192.0.2.0/24".parse().unwrap(), AsPath::empty());
+        assert_eq!(empty.origin_as(), None);
+    }
+
+    #[test]
+    fn attrs_from_path() {
+        let attrs = RouteAttrs::from_path("1 2".parse().unwrap());
+        assert_eq!(attrs.origin, RouteOrigin::Igp);
+        assert!(attrs.communities.is_empty());
+        assert_eq!(attrs.path.to_string(), "1 2");
+    }
+}

@@ -1,0 +1,291 @@
+//! Minimal UTC timestamps for snapshot labelling and MRT headers.
+//!
+//! The workspace needs just enough calendar arithmetic to name snapshots
+//! ("2004-01-15 08:00"), derive archive paths, and step in hours/days/weeks.
+//! Rather than pull in a date-time dependency, this module implements the
+//! standard civil-calendar conversion (Howard Hinnant's `days_from_civil`
+//! algorithm), which is exact over the full study window.
+
+use crate::error::TypeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Seconds since the Unix epoch, UTC.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+/// A broken-down UTC date and time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CivilDateTime {
+    /// Calendar year (e.g. 2024).
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+    /// Hour, 0–23.
+    pub hour: u8,
+    /// Minute, 0–59.
+    pub minute: u8,
+    /// Second, 0–59.
+    pub second: u8,
+}
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = m as i64;
+    let d = d as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date for days since 1970-01-01 (proleptic Gregorian).
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+impl SimTime {
+    /// One hour in seconds.
+    pub const HOUR: u64 = 3600;
+    /// One day in seconds.
+    pub const DAY: u64 = 86_400;
+    /// One week in seconds.
+    pub const WEEK: u64 = 7 * Self::DAY;
+
+    /// Builds from raw Unix seconds.
+    pub fn from_unix(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Builds from a UTC civil date and time.
+    ///
+    /// # Panics
+    /// Panics if the date precedes the Unix epoch; all study dates are
+    /// 2002–2025.
+    pub fn from_ymd_hms(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Self {
+        let days = days_from_civil(year, month, day);
+        assert!(days >= 0, "SimTime cannot represent pre-1970 dates");
+        SimTime(
+            days as u64 * Self::DAY + hour as u64 * 3600 + minute as u64 * 60 + second as u64,
+        )
+    }
+
+    /// Builds midnight UTC of a civil date.
+    pub fn from_ymd(year: i32, month: u8, day: u8) -> Self {
+        Self::from_ymd_hms(year, month, day, 0, 0, 0)
+    }
+
+    /// Raw Unix seconds.
+    pub fn unix(self) -> u64 {
+        self.0
+    }
+
+    /// The broken-down UTC representation.
+    pub fn civil(self) -> CivilDateTime {
+        let days = (self.0 / Self::DAY) as i64;
+        let rem = self.0 % Self::DAY;
+        let (year, month, day) = civil_from_days(days);
+        CivilDateTime {
+            year,
+            month,
+            day,
+            hour: (rem / 3600) as u8,
+            minute: ((rem % 3600) / 60) as u8,
+            second: (rem % 60) as u8,
+        }
+    }
+
+    /// This time plus `n` hours.
+    pub fn plus_hours(self, n: u64) -> Self {
+        SimTime(self.0 + n * Self::HOUR)
+    }
+
+    /// This time plus `n` days.
+    pub fn plus_days(self, n: u64) -> Self {
+        SimTime(self.0 + n * Self::DAY)
+    }
+
+    /// This time plus `n` seconds.
+    pub fn plus_secs(self, n: u64) -> Self {
+        SimTime(self.0 + n)
+    }
+
+    /// Seconds elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// `yyyy.mm` label used in collector archive directory layouts.
+    pub fn archive_month(self) -> String {
+        let c = self.civil();
+        format!("{:04}.{:02}", c.year, c.month)
+    }
+
+    /// `yyyymmdd.hhmm` label used in collector archive file names.
+    pub fn archive_stamp(self) -> String {
+        let c = self.civil();
+        format!(
+            "{:04}{:02}{:02}.{:02}{:02}",
+            c.year, c.month, c.day, c.hour, c.minute
+        )
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// `yyyy-mm-dd hh:mm:ss` UTC.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.civil();
+        write!(
+            f,
+            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+            c.year, c.month, c.day, c.hour, c.minute, c.second
+        )
+    }
+}
+
+impl FromStr for SimTime {
+    type Err = TypeError;
+
+    /// Parses `yyyy-mm-dd` or `yyyy-mm-dd hh:mm[:ss]`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || TypeError::Parse {
+            what: "SimTime",
+            input: s.to_string(),
+        };
+        let (date, time) = match s.split_once(' ') {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let mut dp = date.split('-');
+        let year: i32 = dp.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let month: u8 = dp.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let day: u8 = dp.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        if dp.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return Err(err());
+        }
+        let (hour, minute, second) = match time {
+            None => (0, 0, 0),
+            Some(t) => {
+                let mut tp = t.split(':');
+                let h: u8 = tp.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+                let m: u8 = tp.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+                let s: u8 = match tp.next() {
+                    Some(x) => x.parse().map_err(|_| err())?,
+                    None => 0,
+                };
+                if tp.next().is_some() || h > 23 || m > 59 || s > 59 {
+                    return Err(err());
+                }
+                (h, m, s)
+            }
+        };
+        if year < 1970 {
+            return Err(err());
+        }
+        Ok(SimTime::from_ymd_hms(year, month, day, hour, minute, second))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(SimTime::from_ymd(1970, 1, 1).unix(), 0);
+    }
+
+    #[test]
+    fn known_timestamps() {
+        // The paper's reconstructed 2002 snapshot: 2002-01-15 08:00 UTC.
+        let t = SimTime::from_ymd_hms(2002, 1, 15, 8, 0, 0);
+        assert_eq!(t.unix(), 1_011_081_600);
+        // First modern snapshot: 2004-01-15 08:00 UTC.
+        let t = SimTime::from_ymd_hms(2004, 1, 15, 8, 0, 0);
+        assert_eq!(t.unix(), 1_074_153_600);
+        // Last snapshot: 2024-10-15 08:00 UTC.
+        let t = SimTime::from_ymd_hms(2024, 10, 15, 8, 0, 0);
+        assert_eq!(t.unix(), 1_728_979_200);
+    }
+
+    #[test]
+    fn civil_round_trip_across_leap_years() {
+        for (y, m, d) in [
+            (2000, 2, 29),
+            (2004, 2, 29),
+            (2001, 3, 1),
+            (2024, 12, 31),
+            (1999, 1, 1),
+            (2100, 6, 15),
+        ] {
+            let t = SimTime::from_ymd(y, m, d);
+            let c = t.civil();
+            assert_eq!((c.year, c.month, c.day), (y, m, d), "date {y}-{m}-{d}");
+            assert_eq!((c.hour, c.minute, c.second), (0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        let t = SimTime::from_ymd_hms(2004, 1, 15, 8, 0, 0);
+        assert_eq!(t.to_string(), "2004-01-15 08:00:00");
+    }
+
+    #[test]
+    fn parse_variants() {
+        assert_eq!(
+            "2004-01-15".parse::<SimTime>().unwrap(),
+            SimTime::from_ymd(2004, 1, 15)
+        );
+        assert_eq!(
+            "2004-01-15 08:00".parse::<SimTime>().unwrap(),
+            SimTime::from_ymd_hms(2004, 1, 15, 8, 0, 0)
+        );
+        assert_eq!(
+            "2004-01-15 08:00:30".parse::<SimTime>().unwrap(),
+            SimTime::from_ymd_hms(2004, 1, 15, 8, 0, 30)
+        );
+        assert!("2004-13-01".parse::<SimTime>().is_err());
+        assert!("2004-01-32".parse::<SimTime>().is_err());
+        assert!("2004-01-15 24:00".parse::<SimTime>().is_err());
+        assert!("1969-12-31".parse::<SimTime>().is_err());
+        assert!("garbage".parse::<SimTime>().is_err());
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let t = SimTime::from_ymd_hms(2004, 1, 15, 8, 0, 0);
+        assert_eq!(t.plus_hours(8).to_string(), "2004-01-15 16:00:00");
+        assert_eq!(t.plus_days(1).to_string(), "2004-01-16 08:00:00");
+        assert_eq!(
+            t.plus_secs(SimTime::WEEK).to_string(),
+            "2004-01-22 08:00:00"
+        );
+        assert_eq!(t.plus_hours(8).since(t), 8 * 3600);
+        assert_eq!(t.since(t.plus_hours(8)), 0, "since saturates");
+    }
+
+    #[test]
+    fn archive_labels() {
+        let t = SimTime::from_ymd_hms(2024, 10, 15, 8, 0, 0);
+        assert_eq!(t.archive_month(), "2024.10");
+        assert_eq!(t.archive_stamp(), "20241015.0800");
+    }
+}

@@ -1,0 +1,131 @@
+//! BGP UPDATE records as they appear in collector update archives.
+
+use crate::prefix::Prefix;
+use crate::rib::{PeerKey, RouteAttrs};
+use crate::timestamp::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One BGP UPDATE message received from one peer.
+///
+/// The unit of the paper's §3.3 correlation analysis: "for every update
+/// record r, let Prefix(r) be the set of prefixes inside the update record".
+/// A single UPDATE can announce many prefixes (all sharing one set of path
+/// attributes) and withdraw others.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateRecord {
+    /// When the collector received the message.
+    pub timestamp: SimTime,
+    /// The peer session the message arrived on.
+    pub peer: PeerKey,
+    /// Prefixes announced by this message (all share `attrs`).
+    pub announced: Vec<Prefix>,
+    /// Prefixes withdrawn by this message.
+    pub withdrawn: Vec<Prefix>,
+    /// Path attributes for the announced prefixes. Meaningless when
+    /// `announced` is empty.
+    pub attrs: RouteAttrs,
+}
+
+impl UpdateRecord {
+    /// A pure announcement.
+    pub fn announce(
+        timestamp: SimTime,
+        peer: PeerKey,
+        announced: Vec<Prefix>,
+        attrs: RouteAttrs,
+    ) -> Self {
+        UpdateRecord {
+            timestamp,
+            peer,
+            announced,
+            withdrawn: Vec::new(),
+            attrs,
+        }
+    }
+
+    /// A pure withdrawal.
+    pub fn withdraw(timestamp: SimTime, peer: PeerKey, withdrawn: Vec<Prefix>) -> Self {
+        UpdateRecord {
+            timestamp,
+            peer,
+            announced: Vec::new(),
+            withdrawn,
+            attrs: RouteAttrs::default(),
+        }
+    }
+
+    /// All prefixes mentioned by the record — announced and withdrawn —
+    /// which is the `Prefix(r)` set of the paper's correlation analysis.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.announced
+            .iter()
+            .chain(self.withdrawn.iter())
+            .copied()
+    }
+
+    /// Number of prefixes mentioned by the record.
+    pub fn prefix_count(&self) -> usize {
+        self.announced.len() + self.withdrawn.len()
+    }
+
+    /// Returns `true` if the record mentions no prefixes (e.g. an
+    /// end-of-RIB marker).
+    pub fn is_empty(&self) -> bool {
+        self.announced.is_empty() && self.withdrawn.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asn::Asn;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn peer() -> PeerKey {
+        PeerKey::new(Asn(3356), IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)))
+    }
+
+    #[test]
+    fn announce_constructor() {
+        let r = UpdateRecord::announce(
+            SimTime::from_unix(100),
+            peer(),
+            vec!["192.0.2.0/24".parse().unwrap()],
+            RouteAttrs::from_path("3356 64500".parse().unwrap()),
+        );
+        assert_eq!(r.prefix_count(), 1);
+        assert!(!r.is_empty());
+        assert!(r.withdrawn.is_empty());
+    }
+
+    #[test]
+    fn withdraw_constructor() {
+        let r = UpdateRecord::withdraw(
+            SimTime::from_unix(100),
+            peer(),
+            vec!["192.0.2.0/24".parse().unwrap(), "198.51.100.0/24".parse().unwrap()],
+        );
+        assert_eq!(r.prefix_count(), 2);
+        assert!(r.announced.is_empty());
+    }
+
+    #[test]
+    fn prefixes_iterates_both_sides() {
+        let mut r = UpdateRecord::announce(
+            SimTime::from_unix(0),
+            peer(),
+            vec!["192.0.2.0/24".parse().unwrap()],
+            RouteAttrs::default(),
+        );
+        r.withdrawn.push("198.51.100.0/24".parse().unwrap());
+        let all: Vec<Prefix> = r.prefixes().collect();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn empty_record() {
+        let r = UpdateRecord::withdraw(SimTime::from_unix(0), peer(), vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.prefix_count(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the core BGP domain types.
+
+use bgp_types::{AsPath, Asn, Ipv4Prefix, Ipv6Prefix, Prefix, Segment, SimTime};
+use proptest::prelude::*;
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    prop_oneof![
+        1u32..100_000u32,
+        Just(65000u32),
+        4_200_000_000u32..4_210_000_000u32,
+    ]
+    .prop_map(Asn)
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        prop::collection::vec(arb_asn(), 1..8).prop_map(Segment::Sequence),
+        prop::collection::vec(arb_asn(), 1..4).prop_map(|mut v| {
+            v.sort_unstable();
+            v.dedup();
+            Segment::Set(v)
+        }),
+    ]
+}
+
+fn arb_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(arb_segment(), 0..4).prop_map(AsPath::from_segments)
+}
+
+proptest! {
+    #[test]
+    fn prefix_v4_display_parse_round_trip(addr in any::<u32>(), len in 0u8..=32) {
+        let p = Ipv4Prefix::new_masked(addr, len).unwrap();
+        let parsed: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, Prefix::V4(p));
+    }
+
+    #[test]
+    fn prefix_v6_display_parse_round_trip(addr in any::<u128>(), len in 0u8..=128) {
+        let p = Ipv6Prefix::new_masked(addr, len).unwrap();
+        let parsed: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, Prefix::V6(p));
+    }
+
+    #[test]
+    fn prefix_contains_is_reflexive_and_antisymmetric(
+        addr in any::<u32>(), len_a in 0u8..=32, len_b in 0u8..=32,
+    ) {
+        let a = Ipv4Prefix::new_masked(addr, len_a).unwrap();
+        let b = Ipv4Prefix::new_masked(addr, len_b).unwrap();
+        prop_assert!(a.contains(a));
+        if a.contains(b) && b.contains(a) {
+            prop_assert_eq!(a, b);
+        }
+        // The shorter prefix on the same bits always contains the longer.
+        if len_a <= len_b {
+            prop_assert!(a.contains(b));
+        }
+    }
+
+    #[test]
+    fn as_path_display_parse_round_trip(p in arb_path()) {
+        let parsed: AsPath = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn strip_prepends_idempotent(p in arb_path()) {
+        let once = p.strip_prepends();
+        prop_assert_eq!(once.strip_prepends(), once);
+    }
+
+    #[test]
+    fn strip_prepends_removes_all_prepends(p in arb_path()) {
+        prop_assert!(!p.strip_prepends().has_prepend());
+    }
+
+    #[test]
+    fn strip_prepends_preserves_origin(p in arb_path()) {
+        // Origin is the last hop; collapsing consecutive duplicates never
+        // changes which AS is last.
+        prop_assert_eq!(p.strip_prepends().origin(), p.origin());
+    }
+
+    #[test]
+    fn prepend_then_strip_is_noop_on_stripped(p in arb_path(), n in 1usize..4) {
+        let stripped = p.strip_prepends();
+        // Prepends only collapse into a leading sequence; a leading AS-SET
+        // deliberately breaks the duplicate run (see strip_prepends docs).
+        if let Some(Segment::Sequence(v)) = stripped.segments().first() {
+            let first = v[0];
+            let mut prepended = stripped.clone();
+            prepended.prepend(first, n);
+            prop_assert_eq!(prepended.strip_prepends(), stripped);
+        }
+    }
+
+    #[test]
+    fn from_origin_walks_agree_on_endpoints(p in arb_path()) {
+        let raw = p.from_origin_raw();
+        let uniq = p.from_origin_unique();
+        prop_assert_eq!(raw.first(), uniq.first());
+        prop_assert_eq!(raw.last(), uniq.last());
+        prop_assert!(uniq.len() <= raw.len());
+    }
+
+    #[test]
+    fn simtime_civil_round_trip(secs in 0u64..4_102_444_800u64) {
+        // Up to year 2100.
+        let t = SimTime::from_unix(secs);
+        let c = t.civil();
+        let rebuilt = SimTime::from_ymd_hms(c.year, c.month, c.day, c.hour, c.minute, c.second);
+        prop_assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn simtime_display_parse_round_trip(secs in 0u64..4_102_444_800u64) {
+        let t = SimTime::from_unix(secs);
+        let parsed: SimTime = t.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn asn_display_parse_round_trip(n in any::<u32>()) {
+        let a = Asn(n);
+        prop_assert_eq!(a.to_string().parse::<Asn>().unwrap(), a);
+    }
+}

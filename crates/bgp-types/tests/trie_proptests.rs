@@ -1,0 +1,75 @@
+//! Property tests: the prefix trie agrees with a brute-force scan.
+
+use bgp_types::{Ipv4Prefix, Prefix, PrefixTrie};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    // A small universe so collisions and containment happen often.
+    (0u32..64, 8u8..=24).prop_map(|(block, len)| {
+        Prefix::V4(Ipv4Prefix::new_masked(block << 24 | (block << 8), len).unwrap())
+    })
+}
+
+fn brute_longest(set: &[Prefix], q: Prefix) -> Option<u8> {
+    set.iter()
+        .filter(|p| p.contains(q))
+        .map(|p| p.len())
+        .max()
+}
+
+fn brute_covering(set: &[Prefix], q: Prefix) -> Option<u8> {
+    set.iter()
+        .filter(|p| p.contains(q) && p.len() < q.len())
+        .map(|p| p.len())
+        .max()
+}
+
+fn brute_more_specific(set: &[Prefix], q: Prefix) -> bool {
+    set.iter().any(|p| q.contains(*p) && p.len() > q.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn trie_agrees_with_brute_force(
+        inserts in prop::collection::vec(arb_prefix(), 1..40),
+        queries in prop::collection::vec(arb_prefix(), 1..20),
+    ) {
+        let mut set: Vec<Prefix> = inserts.clone();
+        set.sort();
+        set.dedup();
+        let mut trie = PrefixTrie::new();
+        for &p in &set {
+            trie.insert(p, p).unwrap();
+        }
+        prop_assert_eq!(trie.len(), set.len());
+        for &q in &queries {
+            prop_assert_eq!(
+                trie.longest_match(q).map(|(l, _)| l),
+                brute_longest(&set, q),
+                "longest_match({})", q
+            );
+            prop_assert_eq!(
+                trie.covering(q).map(|(l, _)| l),
+                brute_covering(&set, q),
+                "covering({})", q
+            );
+            prop_assert_eq!(
+                trie.has_more_specific(q),
+                brute_more_specific(&set, q),
+                "has_more_specific({})", q
+            );
+            prop_assert_eq!(trie.get(q).is_some(), set.contains(&q));
+        }
+    }
+
+    #[test]
+    fn reinsertion_returns_old_value(p in arb_prefix(), a in any::<u32>(), b in any::<u32>()) {
+        let mut trie = PrefixTrie::new();
+        prop_assert_eq!(trie.insert(p, a).unwrap(), None);
+        prop_assert_eq!(trie.insert(p, b).unwrap(), Some(a));
+        prop_assert_eq!(trie.get(p), Some(&b));
+        prop_assert_eq!(trie.len(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! IPv4 vs IPv6 policy atoms (the paper's §5), side by side.
+//!
+//! ```sh
+//! cargo run --release --example ipv6_comparison
+//! ```
+
+use policy_atoms::atoms::formation::{formation, PrependMethod};
+use policy_atoms::atoms::pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
+use policy_atoms::atoms::update_corr::correlate;
+use policy_atoms::collect::{CapturedSnapshot, CapturedUpdates};
+use policy_atoms::sim::{generate_window, Era, Scenario};
+use policy_atoms::types::{Family, SimTime};
+
+const SCALE: f64 = 1.0 / 100.0;
+
+struct Column {
+    analysis: SnapshotAnalysis,
+    updates: CapturedUpdates,
+}
+
+fn build(date: SimTime, family: Family) -> Column {
+    let era = Era::for_date(date, family, Some(SCALE));
+    let mut scenario = Scenario::build(era);
+    let snap = scenario.snapshot(date);
+    let events = generate_window(&mut scenario, date, 4, 7);
+    let updates = CapturedUpdates::from_sim(&events);
+    let analysis = analyze_snapshot(
+        &CapturedSnapshot::from_sim(&snap),
+        Some(&updates),
+        &PipelineConfig::default(),
+    );
+    Column { analysis, updates }
+}
+
+fn main() {
+    let date: SimTime = "2024-10-15 08:00".parse().expect("valid date");
+    let v4 = build(date, Family::Ipv4);
+    let v6 = build(date, Family::Ipv6);
+
+    println!("{:<28} {:>12} {:>12}", "metric (Oct 2024)", "IPv4", "IPv6");
+    let row = |name: &str, a: String, b: String| println!("{name:<28} {a:>12} {b:>12}");
+    let s4 = &v4.analysis.stats;
+    let s6 = &v6.analysis.stats;
+    row("prefixes", s4.n_prefixes.to_string(), s6.n_prefixes.to_string());
+    row("origin ASes", s4.n_ases.to_string(), s6.n_ases.to_string());
+    row("atoms", s4.n_atoms.to_string(), s6.n_atoms.to_string());
+    row(
+        "single-atom ASes",
+        format!("{:.1}%", 100.0 * s4.single_atom_as_share()),
+        format!("{:.1}%", 100.0 * s6.single_atom_as_share()),
+    );
+    row(
+        "mean atom size",
+        format!("{:.2}", s4.mean_atom_size),
+        format!("{:.2}", s6.mean_atom_size),
+    );
+
+    let f4 = formation(&v4.analysis.atoms, PrependMethod::UniqueOnRaw);
+    let f6 = formation(&v6.analysis.atoms, PrependMethod::UniqueOnRaw);
+    row(
+        "atoms formed at d1+d2",
+        format!("{:.1}%", f4.at_distance(1) + f4.at_distance(2)),
+        format!("{:.1}%", f6.at_distance(1) + f6.at_distance(2)),
+    );
+
+    let c4 = correlate(&v4.analysis.atoms, &v4.updates.records, 6);
+    let c6 = correlate(&v6.analysis.atoms, &v6.updates.records, 6);
+    let mean = |c: &policy_atoms::atoms::update_corr::CorrelationCurve| {
+        let v: Vec<f64> = (2..=6).filter_map(|k| c.at(k)).collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    row(
+        "atom seen-in-full (k=2..6)",
+        format!("{:.1}%", mean(&c4.atoms)),
+        format!("{:.1}%", mean(&c6.atoms)),
+    );
+    row(
+        "AS seen-in-full (k=2..6)",
+        format!("{:.1}%", mean(&c4.ases)),
+        format!("{:.1}%", mean(&c6.ases)),
+    );
+
+    println!(
+        "\nPaper's §5.5 takeaways to look for: IPv6 policy is coarser (larger\n\
+         mean atoms, more single-atom ASes), forms atoms closer to the origin\n\
+         (higher d1+d2), and the atom-vs-AS update-correlation gap holds in\n\
+         both families."
+    );
+}

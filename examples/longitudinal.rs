@@ -1,0 +1,67 @@
+//! Longitudinal mini-study: the paper's §4 trend table at example scale.
+//!
+//! Tracks atom counts, granularity, formation distance, and stability over
+//! six study dates spanning 2004–2024.
+//!
+//! ```sh
+//! cargo run --release --example longitudinal
+//! ```
+
+use policy_atoms::atoms::formation::{formation, PrependMethod};
+use policy_atoms::atoms::pipeline::{analyze_snapshot, PipelineConfig};
+use policy_atoms::atoms::stability::stability;
+use policy_atoms::collect::CapturedSnapshot;
+use policy_atoms::sim::{Era, Scenario};
+use policy_atoms::types::{Family, SimTime};
+
+const SCALE: f64 = 1.0 / 150.0;
+
+fn main() {
+    println!(
+        "{:<8} {:>8} {:>7} {:>9} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8}",
+        "date", "prefixes", "atoms", "atoms/AS", "1-pfx%", "d1%", "d2%", "d3%", "CAM-8h%", "MPM-8h%"
+    );
+    for year in [2004, 2008, 2012, 2016, 2020, 2024] {
+        let date: SimTime = format!("{year}-07-15 08:00").parse().expect("valid date");
+        let era = Era::for_date(date, Family::Ipv4, Some(SCALE));
+        let churn_8h = era.churn[0];
+        let mut scenario = Scenario::build(era);
+        let cfg = PipelineConfig::default();
+
+        let base = analyze_snapshot(
+            &CapturedSnapshot::from_sim(&scenario.snapshot(date)),
+            None,
+            &cfg,
+        );
+        let f = formation(&base.atoms, PrependMethod::UniqueOnRaw);
+
+        // Eight hours of policy churn → stability metrics.
+        scenario.perturb_units(churn_8h, 0xE8);
+        let later = analyze_snapshot(
+            &CapturedSnapshot::from_sim(&scenario.snapshot(date.plus_hours(8))),
+            None,
+            &cfg,
+        );
+        let stab = stability(&base.atoms, &later.atoms);
+
+        let s = &base.stats;
+        println!(
+            "{:<8} {:>8} {:>7} {:>9.2} {:>8.1} {:>6.1} {:>6.1} {:>6.1} {:>8.1} {:>8.1}",
+            year,
+            s.n_prefixes,
+            s.n_atoms,
+            s.n_atoms as f64 / s.n_ases.max(1) as f64,
+            100.0 * s.single_prefix_atom_share(),
+            f.at_distance(1),
+            f.at_distance(2),
+            f.at_distance(3),
+            stab.cam_pct,
+            stab.mpm_pct,
+        );
+    }
+    println!(
+        "\nExpected shape (paper §4): atoms grow faster than prefixes, the\n\
+         single-prefix share rises, distance-1 formation falls while\n\
+         distance-3 rises, and 8-hour stability stays high with a late dip."
+    );
+}

@@ -1,0 +1,82 @@
+//! Quickstart: build a synthetic Internet, capture a snapshot, compute
+//! policy atoms, and print the paper's headline statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use policy_atoms::atoms::formation::{formation, PrependMethod};
+use policy_atoms::atoms::pipeline::{analyze_snapshot, PipelineConfig};
+use policy_atoms::collect::CapturedSnapshot;
+use policy_atoms::sim::{Era, Scenario};
+use policy_atoms::types::{Family, SimTime};
+
+fn main() {
+    // 1. Pick a study date; the era tables resolve every simulator knob.
+    let date: SimTime = "2016-07-15 08:00".parse().expect("valid date");
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 100.0));
+    println!(
+        "era {date}: {} ASes, {} collectors, {} full-feed peers expected",
+        era.topology.n_tier1 + era.topology.n_transit + era.topology.n_stub,
+        era.n_collectors,
+        era.n_full_peers,
+    );
+
+    // 2. Build the scenario (topology → policies → valley-free routes) and
+    //    capture what the collector infrastructure would see.
+    let mut scenario = Scenario::build(era);
+    let snapshot = scenario.snapshot(date);
+    println!(
+        "snapshot: {} peer tables, {} RIB entries, {} distinct prefixes",
+        snapshot.tables.len(),
+        snapshot.entry_count(),
+        snapshot.distinct_prefixes(),
+    );
+
+    // 3. Run the paper's pipeline: full-feed inference → sanitization →
+    //    atom computation → statistics.
+    let captured = CapturedSnapshot::from_sim(&snapshot);
+    let analysis = analyze_snapshot(&captured, None, &PipelineConfig::default());
+    let s = &analysis.stats;
+    println!("\n=== policy atoms ===");
+    println!("prefixes          {}", s.n_prefixes);
+    println!("origin ASes       {}", s.n_ases);
+    println!(
+        "atoms             {}  (mean size {:.2}, largest {})",
+        s.n_atoms, s.mean_atom_size, s.max_atom_size
+    );
+    println!(
+        "single-atom ASes  {:.1}%   single-prefix atoms {:.1}%",
+        100.0 * s.single_atom_as_share(),
+        100.0 * s.single_prefix_atom_share()
+    );
+
+    // 4. Where do atoms form? (§3.4 / §4.3)
+    let f = formation(&analysis.atoms, PrependMethod::UniqueOnRaw);
+    println!("\n=== formation distance (method iii) ===");
+    for d in 1..=5 {
+        println!("distance {d}: {:>5.1}% of atoms", f.at_distance(d));
+    }
+    println!(
+        "distance-1 breakdown: single-atom AS {:.1}%, unique peer set {:.1}%, prepend-only {:.1}%",
+        f.d1_breakdown.0, f.d1_breakdown.1, f.d1_breakdown.2
+    );
+
+    // 5. Inspect one multi-prefix atom.
+    if let Some(atom) = analysis.atoms.atoms.iter().find(|a| a.size() >= 3) {
+        println!("\n=== a {}-prefix atom ===", atom.size());
+        for p in atom.prefixes.iter().take(3) {
+            println!("  {p}");
+        }
+        if let Some(origin) = atom.origin {
+            println!("  origin: {origin}");
+        }
+        for (peer_idx, path_id) in atom.signature.iter().take(3) {
+            println!(
+                "  via {}: {}",
+                analysis.atoms.peers[*peer_idx as usize],
+                analysis.atoms.paths[*path_id as usize]
+            );
+        }
+    }
+}

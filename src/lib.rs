@@ -1,0 +1,54 @@
+//! **policy-atoms** — a Rust reproduction of *"Replication: A Two Decade
+//! Review of Policy Atoms"* (IMC 2025).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `bgp-types` | ASNs, prefixes, AS paths, updates, RIB entries |
+//! | [`mrt`] | `bgp-mrt` | RFC 6396 MRT reader/writer (TABLE_DUMP, TABLE_DUMP_V2, BGP4MP) |
+//! | [`sim`] | `bgp-sim` | deterministic AS-level Internet simulator |
+//! | [`collect`] | `bgp-collect` | collector model, MRT archives on disk |
+//! | [`atoms`] | `atoms-core` | the paper's pipeline and analyses |
+//!
+//! # Example
+//!
+//! Compute policy atoms for a synthetic October 2024 Internet:
+//!
+//! ```
+//! use policy_atoms::atoms::pipeline::{analyze_snapshot, PipelineConfig};
+//! use policy_atoms::collect::CapturedSnapshot;
+//! use policy_atoms::sim::{Era, Scenario};
+//! use policy_atoms::types::Family;
+//!
+//! let date = "2024-10-15 08:00".parse().unwrap();
+//! // Tiny scale so the doc test runs fast; None = the default 1/40.
+//! let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 800.0));
+//! let mut scenario = Scenario::build(era);
+//! let captured = CapturedSnapshot::from_sim(&scenario.snapshot(date));
+//! let analysis = analyze_snapshot(&captured, None, &PipelineConfig::default());
+//! assert!(analysis.stats.n_atoms > 0);
+//! assert!(analysis.stats.n_prefixes >= analysis.stats.n_atoms);
+//! ```
+//!
+//! The same pipeline runs on real archives: load them with
+//! [`collect::Archive`] and pass the result to
+//! [`atoms::pipeline::analyze_snapshot`].
+
+#![forbid(unsafe_code)]
+
+pub use atoms_core as atoms;
+pub use bgp_collect as collect;
+pub use bgp_mrt as mrt;
+pub use bgp_sim as sim;
+pub use bgp_types as types;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use atoms_core::atom::{compute_atoms, Atom, AtomSet};
+    pub use atoms_core::pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
+    pub use atoms_core::sanitize::{sanitize, SanitizeConfig};
+    pub use bgp_collect::{Archive, CapturedSnapshot, CapturedUpdates};
+    pub use bgp_sim::{generate_window, Era, Scenario};
+    pub use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime};
+}

@@ -1,0 +1,214 @@
+//! End-to-end integration: simulator → on-disk MRT archive → tolerant
+//! reader → sanitization → atoms, compared against the in-memory path.
+
+use policy_atoms::atoms::pipeline::{analyze_snapshot, PipelineConfig};
+use policy_atoms::collect::{Archive, CapturedSnapshot, CapturedUpdates};
+use policy_atoms::sim::{generate_window, Era, Scenario};
+use policy_atoms::types::{Family, Prefix, SimTime};
+use std::collections::BTreeSet;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pa-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The on-disk path and the in-memory path must produce identical atoms.
+#[test]
+fn disk_and_memory_paths_agree() {
+    let date: SimTime = "2021-07-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 250.0));
+    let mut scenario = Scenario::build(era);
+    let snapshot = scenario.snapshot(date);
+    let events = generate_window(&mut scenario, date, 4, 3);
+
+    // Path A: in memory.
+    let mem_snap = CapturedSnapshot::from_sim(&snapshot);
+    let mem_updates = CapturedUpdates::from_sim(&events);
+    let cfg = PipelineConfig::default();
+    let mem = analyze_snapshot(&mem_snap, Some(&mem_updates), &cfg);
+
+    // Path B: write MRT files, read them back.
+    let dir = tmpdir("agree");
+    let archive = Archive::new(&dir);
+    archive.store_snapshot(&snapshot).unwrap();
+    archive.store_updates(&snapshot, &events, date).unwrap();
+    let disk_snap = archive.load_snapshot(date, Family::Ipv4).unwrap();
+    let disk_updates = archive.load_updates(date).unwrap();
+    let disk = analyze_snapshot(&disk_snap, Some(&disk_updates), &cfg);
+
+    assert_eq!(mem.stats, disk.stats, "identical headline statistics");
+    assert_eq!(mem.atoms.len(), disk.atoms.len());
+    // Atom prefix compositions must match exactly.
+    let comp = |a: &policy_atoms::atoms::AtomSet| -> BTreeSet<Vec<Prefix>> {
+        a.atoms.iter().map(|x| x.prefixes.clone()).collect()
+    };
+    assert_eq!(comp(&mem.atoms), comp(&disk.atoms));
+    // Same peers removed for the same reasons.
+    assert_eq!(
+        mem.sanitized.report.removed_addpath_peers.len(),
+        disk.sanitized.report.removed_addpath_peers.len()
+    );
+    assert_eq!(
+        mem.sanitized.report.removed_private_asn_peers.len(),
+        disk.sanitized.report.removed_private_asn_peers.len()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The pipeline's inferences must match the simulator's ground truth.
+#[test]
+fn pipeline_inference_matches_ground_truth() {
+    let date: SimTime = "2021-07-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 100.0));
+    let mut scenario = Scenario::build(era);
+    let snapshot = scenario.snapshot(date);
+    let events = generate_window(&mut scenario, date, 4, 9);
+    let analysis = analyze_snapshot(
+        &CapturedSnapshot::from_sim(&snapshot),
+        Some(&CapturedUpdates::from_sim(&events)),
+        &PipelineConfig::default(),
+    );
+    let report = &analysis.sanitized.report;
+
+    // Ground truth from the scenario.
+    use policy_atoms::sim::PeerArtifact;
+    let truth_addpath: BTreeSet<u32> = scenario
+        .peers
+        .iter()
+        .filter(|p| p.artifact == PeerArtifact::AddPathBroken)
+        .map(|p| p.key.asn.0)
+        .collect();
+    let truth_leakers: BTreeSet<u32> = scenario
+        .peers
+        .iter()
+        .filter(|p| p.artifact == PeerArtifact::PrivateAsnLeak)
+        .map(|p| p.key.asn.0)
+        .collect();
+
+    let found_addpath: BTreeSet<u32> = report
+        .removed_addpath_peers
+        .iter()
+        .map(|(p, _)| p.asn.0)
+        .collect();
+    let found_leakers: BTreeSet<u32> = report
+        .removed_private_asn_peers
+        .iter()
+        .map(|(p, _)| p.asn.0)
+        .collect();
+    assert_eq!(found_addpath, truth_addpath, "ADD-PATH peers detected");
+    assert_eq!(found_leakers, truth_leakers, "private-ASN peers detected");
+    assert!(!truth_addpath.is_empty(), "2021 scenarios include broken peers");
+    assert!(!truth_leakers.is_empty());
+
+    // Full-feed inference: every kept peer really is a full feed; every
+    // clean true full feed is kept.
+    let kept: BTreeSet<_> = analysis.sanitized.peers.iter().copied().collect();
+    for spec in &scenario.peers {
+        if kept.contains(&spec.key) {
+            assert!(spec.full_feed, "{} kept but not full-feed", spec.key);
+            assert_eq!(spec.artifact, PeerArtifact::Clean);
+        } else if spec.full_feed && spec.artifact == PeerArtifact::Clean {
+            panic!("clean full-feed {} was dropped", spec.key);
+        }
+    }
+}
+
+/// Localized artifacts (few peers / one collector) never reach the atoms.
+#[test]
+fn localized_artifacts_are_filtered() {
+    let date: SimTime = "2019-04-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 200.0));
+    let mut scenario = Scenario::build(era);
+    assert!(!scenario.localized.is_empty());
+    let snapshot = scenario.snapshot(date);
+    let analysis = analyze_snapshot(
+        &CapturedSnapshot::from_sim(&snapshot),
+        None,
+        &PipelineConfig::default(),
+    );
+    let atom_prefixes: BTreeSet<Prefix> = analysis
+        .atoms
+        .atoms
+        .iter()
+        .flat_map(|a| a.prefixes.iter().copied())
+        .collect();
+    for lr in &scenario.localized {
+        assert!(
+            !atom_prefixes.contains(&lr.prefix),
+            "localized {} leaked into the atoms",
+            lr.prefix
+        );
+    }
+    // And no overlong prefixes survive.
+    for p in &atom_prefixes {
+        assert!(p.within_global_routing_len());
+    }
+}
+
+/// Determinism across independent runs, end to end.
+#[test]
+fn end_to_end_determinism() {
+    let date: SimTime = "2012-10-15 08:00".parse().unwrap();
+    let run = || {
+        let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 300.0));
+        let mut scenario = Scenario::build(era);
+        let snapshot = scenario.snapshot(date);
+        let events = generate_window(&mut scenario, date, 4, 5);
+        let analysis = analyze_snapshot(
+            &CapturedSnapshot::from_sim(&snapshot),
+            Some(&CapturedUpdates::from_sim(&events)),
+            &PipelineConfig::default(),
+        );
+        (
+            analysis.stats.clone(),
+            analysis
+                .atoms
+                .atoms
+                .iter()
+                .map(|a| a.prefixes.clone())
+                .collect::<Vec<_>>(),
+            events.len(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Atoms partition the sanitized prefixes: every prefix in exactly one atom.
+#[test]
+fn atoms_partition_prefixes() {
+    for (date, family) in [
+        ("2008-01-15 08:00", Family::Ipv4),
+        ("2024-10-15 08:00", Family::Ipv6),
+    ] {
+        let date: SimTime = date.parse().unwrap();
+        let era = Era::for_date(date, family, Some(1.0 / 250.0));
+        let mut scenario = Scenario::build(era);
+        let analysis = analyze_snapshot(
+            &CapturedSnapshot::from_sim(&scenario.snapshot(date)),
+            None,
+            &PipelineConfig::default(),
+        );
+        let mut seen: BTreeSet<Prefix> = BTreeSet::new();
+        for atom in &analysis.atoms.atoms {
+            for p in &atom.prefixes {
+                assert!(seen.insert(*p), "{p} appears in two atoms");
+            }
+        }
+        // Every sanitized prefix is in some atom.
+        assert_eq!(seen.len(), analysis.sanitized.prefix_count());
+        // Prefixes within one atom share the origin (when unambiguous),
+        // the property the paper uses to argue MOAS cannot contaminate
+        // atoms (§2.4.3).
+        for atom in &analysis.atoms.atoms {
+            if let Some(origin) = atom.origin {
+                for &(_, path_id) in &atom.signature {
+                    assert_eq!(
+                        analysis.atoms.paths[path_id as usize].origin(),
+                        Some(origin)
+                    );
+                }
+            }
+        }
+    }
+}

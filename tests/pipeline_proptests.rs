@@ -1,0 +1,93 @@
+//! Property-based integration tests: pipeline invariants across random
+//! eras and seeds.
+
+use policy_atoms::atoms::formation::{formation, PrependMethod};
+use policy_atoms::atoms::pipeline::{analyze_snapshot, PipelineConfig};
+use policy_atoms::atoms::stability::{cam, mpm};
+use policy_atoms::collect::CapturedSnapshot;
+use policy_atoms::sim::{Era, Scenario};
+use policy_atoms::types::{Family, SimTime};
+use proptest::prelude::*;
+
+fn arb_date() -> impl Strategy<Value = SimTime> {
+    (2004i32..=2024, 0usize..4)
+        .prop_map(|(y, q)| SimTime::from_ymd_hms(y, [1, 4, 7, 10][q], 15, 8, 0, 0))
+}
+
+fn arb_family() -> impl Strategy<Value = Family> {
+    prop_oneof![Just(Family::Ipv4), Just(Family::Ipv6)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Invariants that must hold for ANY era: atoms partition prefixes,
+    /// stats are internally consistent, formation percentages sum to ~100,
+    /// and self-stability is perfect.
+    #[test]
+    fn pipeline_invariants(date in arb_date(), family in arb_family()) {
+        let era = Era::for_date(date, family, Some(1.0 / 400.0));
+        let mut scenario = Scenario::build(era);
+        let analysis = analyze_snapshot(
+            &CapturedSnapshot::from_sim(&scenario.snapshot(date)),
+            None,
+            &PipelineConfig::default(),
+        );
+        let s = &analysis.stats;
+        prop_assert_eq!(s.n_prefixes, analysis.atoms.prefix_count());
+        prop_assert!(s.n_single_prefix_atoms <= s.n_atoms);
+        prop_assert!(s.n_single_atom_ases <= s.n_ases);
+        prop_assert!(s.max_atom_size >= s.p99_atom_size);
+        if s.n_atoms > 0 {
+            prop_assert!((s.mean_atom_size - s.n_prefixes as f64 / s.n_atoms as f64).abs() < 1e-9);
+        }
+        // Atom sizes sum to the prefix count and no prefix repeats.
+        let mut all = std::collections::BTreeSet::new();
+        for atom in &analysis.atoms.atoms {
+            prop_assert!(!atom.prefixes.is_empty());
+            for p in &atom.prefixes {
+                prop_assert!(all.insert(*p));
+            }
+        }
+        // Formation percentages sum to 100 (of considered atoms).
+        let f = formation(&analysis.atoms, PrependMethod::UniqueOnRaw);
+        if f.n_atoms > 0 {
+            let sum: f64 = f.atom_distance_pct.iter().sum();
+            prop_assert!((sum - 100.0).abs() < 1e-6, "sum {sum}");
+            let (a, b, c) = f.d1_breakdown;
+            prop_assert!((a + b + c - f.at_distance(1)).abs() < 1e-6);
+        }
+        // Identity stability.
+        prop_assert!((cam(&analysis.atoms, &analysis.atoms) - 100.0).abs() < 1e-9);
+        prop_assert!((mpm(&analysis.atoms, &analysis.atoms) - 100.0).abs() < 1e-9);
+    }
+
+    /// Perturbation monotonicity: more churn never *increases* CAM
+    /// (statistically; asserted with a tolerance for merge luck).
+    #[test]
+    fn more_churn_less_stability(seed in 1u64..500) {
+        let date: SimTime = "2016-01-15 08:00".parse().unwrap();
+        let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 400.0));
+        let base = {
+            let mut s = Scenario::build(era.clone());
+            analyze_snapshot(
+                &CapturedSnapshot::from_sim(&s.snapshot(date)),
+                None,
+                &PipelineConfig::default(),
+            )
+        };
+        let run = |frac: f64| {
+            let mut s = Scenario::build(era.clone());
+            s.perturb_units(frac, seed);
+            let a = analyze_snapshot(
+                &CapturedSnapshot::from_sim(&s.snapshot(date)),
+                None,
+                &PipelineConfig::default(),
+            );
+            cam(&base.atoms, &a.atoms)
+        };
+        let small = run(0.02);
+        let large = run(0.30);
+        prop_assert!(large <= small + 5.0, "small {small:.1} vs large {large:.1}");
+    }
+}
