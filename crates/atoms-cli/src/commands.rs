@@ -2,6 +2,7 @@
 
 use atoms_core::dynamics::{classify_bursts, BurstClass, DynamicsConfig};
 use atoms_core::formation::{formation as run_formation, formation_with_regrouping, PrependMethod};
+use atoms_core::parallel::Parallelism;
 use atoms_core::pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
 use atoms_core::report::{count, pct};
 use atoms_core::sanitize::SanitizeConfig;
@@ -25,6 +26,7 @@ pub struct Options {
     pub json: bool,
     pub reproduction: bool,
     pub method: PrependMethod,
+    pub threads: Option<usize>,
 }
 
 impl Options {
@@ -41,6 +43,7 @@ impl Options {
             json: false,
             reproduction: false,
             method: PrependMethod::UniqueOnRaw,
+            threads: None,
         };
         let mut it = args.iter();
         let value = |it: &mut std::slice::Iter<String>, flag: &str| {
@@ -67,6 +70,13 @@ impl Options {
                     opts.scale = Some(1.0 / denom);
                 }
                 "--archive" => opts.archive = Some(value(&mut it, "--archive")?),
+                "--threads" => {
+                    opts.threads = Some(
+                        value(&mut it, "--threads")?
+                            .parse()
+                            .map_err(|_| "--threads needs a count (0 = all cores)".to_string())?,
+                    )
+                }
                 "--out" => opts.out = Some(value(&mut it, "--out")?),
                 "--horizons" => opts.horizons = true,
                 "--json" => opts.json = true,
@@ -86,6 +96,12 @@ impl Options {
     }
 
     fn pipeline_config(&self) -> PipelineConfig {
+        // Thread count is a speed knob only: the pipeline output is
+        // identical at any setting (0 = one worker per core).
+        let parallelism = match self.threads {
+            Some(n) => Parallelism::new(n),
+            None => Parallelism::serial(),
+        };
         if self.reproduction {
             PipelineConfig {
                 sanitize: SanitizeConfig {
@@ -94,9 +110,13 @@ impl Options {
                     length_caps: false,
                     ..SanitizeConfig::default()
                 },
+                parallelism,
             }
         } else {
-            PipelineConfig::default()
+            PipelineConfig {
+                parallelism,
+                ..PipelineConfig::default()
+            }
         }
     }
 }
@@ -120,6 +140,7 @@ pub fn usage(msg: &str) -> ExitCode {
            simulate  --date D [--family v4|v6] [--scale N] [--horizons] --out DIR\n\
            inspect   --archive DIR --date D [--family v4|v6]\n\
            atoms     --archive DIR --date D [--family] [--json] [--reproduction]\n\
+                     [--threads N]   (0 = all cores; output identical at any N)\n\
            formation --archive DIR --date D [--family] [--method i|ii|iii]\n\
            stability --archive DIR --t1 D --t2 D [--family]\n\
            dynamics  --archive DIR --date D [--family]\n\
@@ -396,6 +417,7 @@ fn clone_opts(opts: &Options) -> Options {
         json: opts.json,
         reproduction: opts.reproduction,
         method: opts.method,
+        threads: opts.threads,
     }
 }
 
@@ -501,6 +523,7 @@ mod tests {
             "--method", "ii",
             "--t1", "2024-10-15",
             "--t2", "2024-10-22",
+            "--threads", "4",
         ])
         .unwrap();
         assert_eq!(o.date.unwrap().to_string(), "2024-10-15 08:00:00");
@@ -511,6 +534,7 @@ mod tests {
         assert!(o.horizons && o.json && o.reproduction);
         assert_eq!(o.method, PrependMethod::StripAfterGrouping);
         assert!(o.t1.unwrap() < o.t2.unwrap());
+        assert_eq!(o.threads, Some(4));
     }
 
     #[test]
@@ -529,6 +553,8 @@ mod tests {
         assert!(parse(&["--family", "v5"]).is_err());
         assert!(parse(&["--method", "iv"]).is_err());
         assert!(parse(&["--scale", "fast"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "many"]).is_err());
     }
 
     #[test]
@@ -546,5 +572,23 @@ mod tests {
         assert!(!cfg.sanitize.length_caps);
         let d = parse(&[]).unwrap().pipeline_config();
         assert_eq!(d.sanitize.min_collectors, 2);
+    }
+
+    #[test]
+    fn threads_flag_maps_to_parallelism() {
+        // Unset: serial, matching the seed behavior exactly.
+        let d = parse(&[]).unwrap().pipeline_config();
+        assert_eq!(d.parallelism, Parallelism::serial());
+        let four = parse(&["--threads", "4"]).unwrap().pipeline_config();
+        assert_eq!(four.parallelism, Parallelism::new(4));
+        // 0 = one worker per core.
+        let auto = parse(&["--threads", "0"]).unwrap().pipeline_config();
+        assert_eq!(auto.parallelism, Parallelism::auto());
+        // The knob composes with --reproduction.
+        let repro = parse(&["--reproduction", "--threads", "2"])
+            .unwrap()
+            .pipeline_config();
+        assert_eq!(repro.parallelism, Parallelism::new(2));
+        assert_eq!(repro.sanitize.min_collectors, 1);
     }
 }

@@ -84,6 +84,45 @@ fn simulate_then_analyze() {
 }
 
 #[test]
+fn threads_flag_reproduces_serial_output() {
+    let dir = tmpdir("par");
+    let date = "2015-07-15 08:00";
+    let out = pa()
+        .args(["simulate", "--date", date, "--scale", "400", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let serial = pa()
+        .args(["atoms", "--date", date, "--json", "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(serial.status.success(), "{}", String::from_utf8_lossy(&serial.stderr));
+    for threads in ["4", "2", "0"] {
+        let parallel = pa()
+            .args(["atoms", "--date", date, "--json", "--threads", threads, "--archive"])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            parallel.status.success(),
+            "{}",
+            String::from_utf8_lossy(&parallel.stderr)
+        );
+        // Byte-identical JSON payload, not just equal values: the parallel
+        // engine must be unobservable in the output.
+        assert_eq!(
+            parallel.stdout,
+            serial.stdout,
+            "--threads {threads} diverged from serial"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn siblings_across_families() {
     let dir = tmpdir("sib");
     let date = "2024-01-15 08:00";

@@ -9,6 +9,7 @@
 //! identical signatures merge regardless of which announcement produced
 //! them.
 
+use crate::parallel::Parallelism;
 use crate::sanitize::SanitizedSnapshot;
 use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime};
 use std::collections::{BTreeMap, HashMap};
@@ -104,29 +105,140 @@ impl AtomSet {
 }
 
 /// Computes policy atoms from a sanitized snapshot.
+///
+/// # Panics
+///
+/// Panics when the snapshot has more than `u16::MAX + 1` vantage points:
+/// signature entries store peer indices as `u16`, and silently truncating
+/// an index would alias distinct peers' table columns, corrupting every
+/// signature. Real collector sets are a few hundred peers, so the limit is
+/// a safety net, not a practical restriction.
 pub fn compute_atoms(snap: &SanitizedSnapshot) -> AtomSet {
-    // Intern paths.
+    compute_atoms_with(snap, Parallelism::serial())
+}
+
+/// [`compute_atoms`] on a worker pool.
+///
+/// The per-peer table scans run as independent jobs, each building a
+/// *fragment* — the peer's entries against a thread-local path interner.
+/// A deterministic remap-and-merge then rebuilds the global interner and
+/// signature map in peer order, reproducing the serial interning sequence
+/// exactly: the returned [`AtomSet`] is identical (including path ids and
+/// serialized bytes) at every thread count.
+///
+/// # Panics
+///
+/// Same vantage-point bound as [`compute_atoms`].
+pub fn compute_atoms_with(snap: &SanitizedSnapshot, par: Parallelism) -> AtomSet {
+    assert!(
+        snap.tables.len() <= u16::MAX as usize + 1,
+        "snapshot has {} vantage points but signature peer indices are u16 \
+         (at most {} supported)",
+        snap.tables.len(),
+        u16::MAX as usize + 1,
+    );
+    let (paths, signatures) = if par.workers_for(snap.tables.len()) <= 1 {
+        scan_serial(snap)
+    } else {
+        scan_parallel(snap, par)
+    };
+    assemble(snap, paths, signatures)
+}
+
+/// Prefix → sparse `(peer index, global path id)` signature rows.
+type SignatureMap = BTreeMap<Prefix, Vec<(u16, u32)>>;
+
+/// Interns `path`, appending it to `paths` on first sight.
+fn intern<'a>(
+    paths: &mut Vec<AsPath>,
+    path_ids: &mut HashMap<&'a AsPath, u32>,
+    path: &'a AsPath,
+) -> u32 {
+    match path_ids.get(path) {
+        Some(&id) => id,
+        None => {
+            let id = paths.len() as u32;
+            paths.push(path.clone());
+            path_ids.insert(path, id);
+            id
+        }
+    }
+}
+
+/// Single-threaded scan: interns paths and builds the prefix → sparse
+/// signature map in one pass over the tables.
+fn scan_serial(snap: &SanitizedSnapshot) -> (Vec<AsPath>, SignatureMap) {
     let mut paths: Vec<AsPath> = Vec::new();
     let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
-    // prefix → sparse signature.
-    let mut signatures: BTreeMap<Prefix, Vec<(u16, u32)>> = BTreeMap::new();
+    let mut signatures = SignatureMap::new();
     for (peer_idx, table) in snap.tables.iter().enumerate() {
         for (prefix, path) in table {
-            let id = match path_ids.get(path) {
-                Some(&id) => id,
-                None => {
-                    let id = paths.len() as u32;
-                    paths.push(path.clone());
-                    id
-                }
-            };
-            // NOTE: we can't hold `&path` into `paths` across pushes, so
-            // re-insert keys from the table's storage (stable for the whole
-            // loop).
-            path_ids.entry(path).or_insert(id);
+            let id = intern(&mut paths, &mut path_ids, path);
             signatures.entry(*prefix).or_default().push((peer_idx as u16, id));
         }
     }
+    (paths, signatures)
+}
+
+/// One peer's scan result: entries against a thread-local interner.
+struct Fragment {
+    /// Distinct paths in first-occurrence order within this table.
+    paths: Vec<AsPath>,
+    /// `(prefix, local path id)` in table (prefix-sorted) order.
+    entries: Vec<(Prefix, u32)>,
+}
+
+fn scan_table(table: &[(Prefix, AsPath)]) -> Fragment {
+    let mut paths: Vec<AsPath> = Vec::new();
+    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
+    let mut entries = Vec::with_capacity(table.len());
+    for (prefix, path) in table {
+        let id = intern(&mut paths, &mut path_ids, path);
+        entries.push((*prefix, id));
+    }
+    Fragment { paths, entries }
+}
+
+/// Parallel scan: per-peer fragments on the pool, then a deterministic
+/// remap-and-merge.
+///
+/// The merge walks fragments in peer order and interns each fragment's
+/// local paths in local-id order — which is that table's first-occurrence
+/// order, i.e. exactly the order the serial scan would have seen them. The
+/// global path ids (and hence the signatures) therefore match the serial
+/// scan bit for bit.
+fn scan_parallel(
+    snap: &SanitizedSnapshot,
+    par: Parallelism,
+) -> (Vec<AsPath>, SignatureMap) {
+    let fragments: Vec<Fragment> =
+        par.map_indexed(snap.tables.len(), |i| scan_table(&snap.tables[i]));
+    let mut paths: Vec<AsPath> = Vec::new();
+    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
+    let mut signatures = SignatureMap::new();
+    for (peer_idx, fragment) in fragments.iter().enumerate() {
+        let remap: Vec<u32> = fragment
+            .paths
+            .iter()
+            .map(|path| intern(&mut paths, &mut path_ids, path))
+            .collect();
+        for &(prefix, local_id) in &fragment.entries {
+            signatures
+                .entry(prefix)
+                .or_default()
+                .push((peer_idx as u16, remap[local_id as usize]));
+        }
+    }
+    (paths, signatures)
+}
+
+/// Groups prefixes by signature and materializes the final, deterministic
+/// atom order (shared by the serial and parallel scans).
+fn assemble(
+    snap: &SanitizedSnapshot,
+    paths: Vec<AsPath>,
+    signatures: SignatureMap,
+) -> AtomSet {
     // Group prefixes by signature. Tables are per-peer sorted, so each
     // prefix's signature is built in increasing peer order already.
     let mut groups: HashMap<&[(u16, u32)], Vec<Prefix>> = HashMap::new();
@@ -304,6 +416,50 @@ mod tests {
         let atoms = compute_atoms(&s);
         assert!(atoms.is_empty());
         assert_eq!(atoms.prefix_count(), 0);
+    }
+
+    /// `n` vantage points with empty tables — enough to exercise the
+    /// peer-index bound without building real routing state.
+    fn wide_snap(n: usize) -> SanitizedSnapshot {
+        use std::net::{IpAddr, Ipv4Addr};
+        SanitizedSnapshot {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            peers: (0..n)
+                .map(|i| PeerKey::new(Asn(i as u32), IpAddr::V4(Ipv4Addr::from(i as u32))))
+                .collect(),
+            tables: vec![Vec::new(); n],
+            report: SanitizeReport::default(),
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial() {
+        let s = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9"), ("10.0.2.0/24", "1 6 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 5 9")]),
+            (3, &[("10.0.1.0/24", "3 6 9"), ("10.0.2.0/24", "3 5 9")]),
+        ]);
+        let serial = compute_atoms(&s);
+        for threads in [2, 3, 8] {
+            let parallel = compute_atoms_with(&s, Parallelism::new(threads));
+            assert_eq!(parallel, serial, "threads = {threads}");
+            // Path interning order (not just set equality) must match.
+            assert_eq!(parallel.paths, serial.paths, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn peer_index_bound_accepts_u16_range() {
+        // u16::MAX + 1 peers is the widest snapshot whose indices fit.
+        let atoms = compute_atoms(&wide_snap(u16::MAX as usize + 1));
+        assert!(atoms.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "peer indices are u16")]
+    fn peer_index_overflow_panics() {
+        compute_atoms(&wide_snap(u16::MAX as usize + 2));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`stability`] | §3.5 / §4.4 / §5.2 CAM and MPM stability metrics |
 //! | [`splits`] | §4.4.1 split-event detection and observer counting |
 //! | [`pipeline`] | end-to-end orchestration |
+//! | [`parallel`] | deterministic worker pool backing the parallel stages |
 //! | [`dynamics`] | §7.2 atom-level event vs. prefix-noise classification |
 //! | [`siblings`] | §7.3 IPv4/IPv6 sibling-atom matching |
 //! | [`report`] | table/CSV/JSON rendering for the experiment harness |
@@ -31,6 +32,7 @@
 pub mod atom;
 pub mod dynamics;
 pub mod formation;
+pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod sanitize;
@@ -41,7 +43,8 @@ pub mod stats;
 pub mod update_corr;
 pub mod vantage;
 
-pub use atom::{Atom, AtomSet};
+pub use atom::{compute_atoms, compute_atoms_with, Atom, AtomSet};
+pub use parallel::Parallelism;
 pub use pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
-pub use sanitize::{sanitize, SanitizeConfig, SanitizeReport, SanitizedSnapshot};
+pub use sanitize::{sanitize, sanitize_with, SanitizeConfig, SanitizeReport, SanitizedSnapshot};
 pub use vantage::{infer_full_feed, VantageReport};

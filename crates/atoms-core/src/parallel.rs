@@ -1,0 +1,192 @@
+//! Deterministic worker-pool parallelism for the analysis pipeline.
+//!
+//! Every parallel stage in this crate follows the same discipline: work is
+//! split into *indexed* jobs, each job computes an independent result, and
+//! the results are folded back **in index order**. Thread scheduling can
+//! therefore never change an output — only how fast it is produced. The
+//! pool is built from the workspace's existing concurrency dependencies
+//! (crossbeam scoped threads + a parking_lot mutex for result slots); no
+//! extra crates are required.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-pool sizing for the parallel pipeline stages.
+///
+/// `threads == 0` means "use all available cores"; `threads == 1` runs
+/// jobs inline on the calling thread. Results are identical at any
+/// setting — parallelism only changes wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Worker-thread count; `0` = one worker per available core.
+    pub threads: usize,
+}
+
+impl Default for Parallelism {
+    /// Serial by default: callers opt into threading explicitly (e.g. via
+    /// the CLI's `--threads`), so a default-configured pipeline behaves
+    /// exactly like the historical single-threaded one.
+    fn default() -> Self {
+        Parallelism::serial()
+    }
+}
+
+impl Parallelism {
+    /// Run everything inline on the calling thread.
+    pub const fn serial() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// One worker per available core.
+    pub const fn auto() -> Self {
+        Parallelism { threads: 0 }
+    }
+
+    /// Exactly `threads` workers (`0` = [`Parallelism::auto`]).
+    pub const fn new(threads: usize) -> Self {
+        Parallelism { threads }
+    }
+
+    /// The concrete thread count: `threads`, or the number of available
+    /// cores when `threads == 0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Workers actually worth spawning for `jobs` independent jobs.
+    pub fn workers_for(&self, jobs: usize) -> usize {
+        self.effective_threads().min(jobs.max(1))
+    }
+
+    /// `true` when jobs would run inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.effective_threads() <= 1
+    }
+
+    /// Runs `f(0), f(1), …, f(n - 1)` on the worker pool and returns the
+    /// results **in index order**, regardless of which worker computed
+    /// which job.
+    ///
+    /// Jobs are handed out through an atomic cursor (work stealing), so an
+    /// expensive job does not stall the queue behind it. With one worker
+    /// (or one job) everything runs inline and no threads are spawned.
+    /// A panicking job propagates its panic to the caller.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.workers_for(n);
+        if workers <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        let outcome = crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Compute outside the lock: the mutex only guards the
+                    // cheap slot write.
+                    let value = f(i);
+                    slots.lock()[i] = Some(value);
+                });
+            }
+        });
+        if let Err(payload) = outcome {
+            std::panic::resume_unwind(payload);
+        }
+        slots
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every job index was claimed and completed"))
+            .collect()
+    }
+
+    /// [`Parallelism::map_indexed`] over a slice: `f` is applied to every
+    /// item, results come back in item order.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.map_indexed(items.len(), |i| f(&items[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert!(Parallelism::auto().effective_threads() >= 1);
+        assert_eq!(Parallelism::new(3).effective_threads(), 3);
+        assert!(Parallelism::serial().is_serial());
+        assert!(!Parallelism::new(8).is_serial());
+    }
+
+    #[test]
+    fn workers_never_exceed_jobs() {
+        assert_eq!(Parallelism::new(8).workers_for(3), 3);
+        assert_eq!(Parallelism::new(2).workers_for(100), 2);
+        assert_eq!(Parallelism::new(4).workers_for(0), 1);
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for par in [Parallelism::serial(), Parallelism::new(2), Parallelism::new(8)] {
+            let out = par.map_indexed(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_preserves_order_under_uneven_load() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = Parallelism::new(8).map(&items, |&i| {
+            // Uneven job cost to force out-of-order completion.
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * 3
+        });
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_job() {
+        assert!(Parallelism::new(4).map_indexed(0, |_| 0u8).is_empty());
+        assert_eq!(Parallelism::new(4).map_indexed(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 13 failed")]
+    fn worker_panics_propagate() {
+        Parallelism::new(4).map_indexed(32, |i| {
+            if i == 13 {
+                panic!("job 13 failed");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let par = Parallelism::new(6);
+        let json = serde_json::to_string(&par).unwrap();
+        let back: Parallelism = serde_json::from_str(&json).unwrap();
+        assert_eq!(par, back);
+    }
+}

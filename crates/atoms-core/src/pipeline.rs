@@ -1,8 +1,9 @@
 //! End-to-end orchestration: captured snapshot → sanitized input → atoms →
 //! general statistics.
 
-use crate::atom::{compute_atoms, AtomSet};
-use crate::sanitize::{sanitize, SanitizeConfig, SanitizedSnapshot};
+use crate::atom::{compute_atoms_with, AtomSet};
+use crate::parallel::Parallelism;
+use crate::sanitize::{sanitize_with, SanitizeConfig, SanitizedSnapshot};
 use crate::stats::{general_stats, GeneralStats};
 use bgp_collect::{CapturedSnapshot, CapturedUpdates};
 use serde::{Deserialize, Serialize};
@@ -12,6 +13,10 @@ use serde::{Deserialize, Serialize};
 pub struct PipelineConfig {
     /// Sanitization thresholds (paper defaults).
     pub sanitize: SanitizeConfig,
+    /// Worker-pool sizing for the per-peer sanitize stages and the atom
+    /// signature scan. Purely a speed knob: every output is identical at
+    /// any thread count (default: serial).
+    pub parallelism: Parallelism,
 }
 
 /// Everything computed for one snapshot.
@@ -33,8 +38,8 @@ pub fn analyze_snapshot(
     cfg: &PipelineConfig,
 ) -> SnapshotAnalysis {
     let update_warnings = updates.map(|u| u.warnings.as_slice()).unwrap_or(&[]);
-    let sanitized = sanitize(snap, update_warnings, &cfg.sanitize);
-    let atoms = compute_atoms(&sanitized);
+    let sanitized = sanitize_with(snap, update_warnings, &cfg.sanitize, cfg.parallelism);
+    let atoms = compute_atoms_with(&sanitized, cfg.parallelism);
     let stats = general_stats(&atoms);
     SnapshotAnalysis {
         sanitized,
@@ -67,5 +72,35 @@ mod tests {
             analysis.sanitized.report.prefixes_after
         );
         assert_eq!(analysis.stats.n_prefixes, analysis.sanitized.prefix_count());
+    }
+
+    #[test]
+    fn parallel_pipeline_is_byte_identical_to_serial() {
+        let date = "2012-01-15 08:00".parse().unwrap();
+        let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 300.0));
+        let mut s = Scenario::build(era);
+        let captured = CapturedSnapshot::from_sim(&s.snapshot(date));
+        let serial = analyze_snapshot(&captured, None, &PipelineConfig::default());
+        for parallelism in [
+            crate::parallel::Parallelism::new(2),
+            crate::parallel::Parallelism::new(4),
+            crate::parallel::Parallelism::auto(),
+        ] {
+            let cfg = PipelineConfig {
+                parallelism,
+                ..PipelineConfig::default()
+            };
+            let parallel = analyze_snapshot(&captured, None, &cfg);
+            assert_eq!(parallel.sanitized, serial.sanitized, "{parallelism:?}");
+            assert_eq!(parallel.atoms, serial.atoms, "{parallelism:?}");
+            assert_eq!(parallel.stats, serial.stats, "{parallelism:?}");
+            // Byte-identical serialized report, not just structural
+            // equality.
+            assert_eq!(
+                serde_json::to_string(&parallel.sanitized.report).unwrap(),
+                serde_json::to_string(&serial.sanitized.report).unwrap(),
+                "{parallelism:?}"
+            );
+        }
     }
 }

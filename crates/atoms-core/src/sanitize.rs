@@ -11,8 +11,9 @@
 //! 6. keep only prefixes seen at ≥ 2 collectors **and** ≥ 4 peer ASes;
 //! 7. label (but keep) MOAS prefixes.
 
+use crate::parallel::Parallelism;
 use crate::vantage::{infer_full_feed_with_ratio, VantageReport};
-use bgp_collect::CapturedSnapshot;
+use bgp_collect::{CapturedSnapshot, CapturedTable};
 use bgp_mrt::MrtWarning;
 use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime};
 use serde::{Deserialize, Serialize};
@@ -61,7 +62,10 @@ pub struct SanitizeReport {
     pub removed_duplicate_peers: Vec<(PeerKey, f64)>,
     /// Partial-feed peers excluded by the 90 % rule.
     pub excluded_partial_peers: usize,
-    /// Distinct prefixes before any prefix-level filtering.
+    /// Distinct prefixes before any prefix-level filtering: counted over
+    /// the kept peers' *raw* tables, i.e. after the peer-level removals
+    /// (steps 1–4) but before length caps, AS-SET drops, and visibility
+    /// filters (steps 5–6).
     pub prefixes_before: usize,
     /// Entries dropped by the per-family length caps.
     pub dropped_by_length: usize,
@@ -126,11 +130,116 @@ fn addpath_peers(warnings: &[&MrtWarning]) -> BTreeMap<PeerKey, usize> {
     out
 }
 
-/// Runs the full sanitization pipeline.
+/// The per-table result of the independent sanitize stages (3)–(5).
+enum TableOutcome {
+    /// Peer removed: private-ASN share over threshold.
+    PrivateAsnHeavy(f64),
+    /// Peer removed: duplicate-prefix share over threshold.
+    DuplicateHeavy(f64),
+    /// Peer kept; entry-level cleaning applied.
+    Kept(CleanedTable),
+}
+
+/// A kept peer's cleaned table plus the counters its cleaning produced.
+struct CleanedTable {
+    cleaned: Vec<(Prefix, AsPath)>,
+    /// Distinct raw prefixes (pre-cleaning), for the `prefixes_before`
+    /// baseline.
+    raw_prefixes: BTreeSet<Prefix>,
+    dropped_by_length: usize,
+    collapsed_duplicates: usize,
+    expanded_as_set_paths: usize,
+    dropped_as_set_paths: usize,
+}
+
+/// Stages (3)–(5) for one peer table: misbehaviour shares on the raw
+/// entries, then entry-level cleaning. Depends only on this table and the
+/// config, so tables can be processed in any order (or concurrently).
+fn clean_table(table: &CapturedTable, cfg: &SanitizeConfig) -> TableOutcome {
+    let n = table.entries.len().max(1);
+    let private_share = table
+        .entries
+        .iter()
+        .filter(|e| e.attrs.path.contains_private_asn())
+        .count() as f64
+        / n as f64;
+    if private_share > cfg.private_asn_peer_threshold {
+        return TableOutcome::PrivateAsnHeavy(private_share);
+    }
+    let distinct = {
+        let mut v: Vec<Prefix> = table.entries.iter().map(|e| e.prefix).collect();
+        v.sort();
+        v.dedup();
+        v.len()
+    };
+    let dup_share = (table.entries.len() - distinct) as f64 / n as f64;
+    if dup_share > cfg.duplicate_peer_threshold {
+        return TableOutcome::DuplicateHeavy(dup_share);
+    }
+
+    // This peer is kept: its raw prefixes count toward the
+    // before-filtering baseline (length caps and AS-SET drops below must
+    // not reduce it).
+    let raw_prefixes: BTreeSet<Prefix> = table.entries.iter().map(|e| e.prefix).collect();
+
+    // (5) entry-level cleaning.
+    let mut out = CleanedTable {
+        cleaned: Vec::with_capacity(table.entries.len()),
+        raw_prefixes,
+        dropped_by_length: 0,
+        collapsed_duplicates: 0,
+        expanded_as_set_paths: 0,
+        dropped_as_set_paths: 0,
+    };
+    let mut seen: BTreeSet<Prefix> = BTreeSet::new();
+    for e in &table.entries {
+        if cfg.length_caps && !e.prefix.within_global_routing_len() {
+            out.dropped_by_length += 1;
+            continue;
+        }
+        if !seen.insert(e.prefix) {
+            out.collapsed_duplicates += 1;
+            continue;
+        }
+        let path = if e.attrs.path.has_as_set() {
+            match e.attrs.path.expand_singleton_sets() {
+                Ok(expanded) => {
+                    out.expanded_as_set_paths += 1;
+                    expanded
+                }
+                Err(_) => {
+                    out.dropped_as_set_paths += 1;
+                    seen.remove(&e.prefix);
+                    continue;
+                }
+            }
+        } else {
+            e.attrs.path.clone()
+        };
+        out.cleaned.push((e.prefix, path));
+    }
+    TableOutcome::Kept(out)
+}
+
+/// Runs the full sanitization pipeline (single-threaded).
 pub fn sanitize(
     snap: &CapturedSnapshot,
     update_warnings: &[MrtWarning],
     cfg: &SanitizeConfig,
+) -> SanitizedSnapshot {
+    sanitize_with(snap, update_warnings, cfg, Parallelism::serial())
+}
+
+/// [`sanitize`] on a worker pool: the per-peer stages (3)–(5) —
+/// misbehaviour shares and entry-level cleaning — are independent per
+/// table and run as pool jobs; their results are folded back in table
+/// order, so the output (including every report counter) is identical at
+/// any thread count.
+pub fn sanitize_with(
+    snap: &CapturedSnapshot,
+    update_warnings: &[MrtWarning],
+    cfg: &SanitizeConfig,
+    par: Parallelism,
 ) -> SanitizedSnapshot {
     let mut report = SanitizeReport::default();
 
@@ -156,71 +265,39 @@ pub fn sanitize(
     let broken_asns: BTreeSet<Asn> = broken.keys().map(|p| p.asn).collect();
     report.removed_addpath_peers = broken.into_iter().collect();
 
-    // (3)+(4) per-peer misbehaviour shares, computed on raw tables.
+    // (3)+(4)+(5) per-peer stages on the worker pool. Peer-level
+    // eligibility (full feed, not ADD-PATH-broken) is cheap and decided
+    // up front; the per-table work is independent and order-free.
+    let candidates: Vec<&CapturedTable> = snap
+        .tables
+        .iter()
+        .filter(|table| {
+            *full_flags.get(&table.peer).unwrap_or(&false)
+                && !broken_asns.contains(&table.peer.asn)
+        })
+        .collect();
+    let outcomes: Vec<TableOutcome> =
+        par.map_indexed(candidates.len(), |i| clean_table(candidates[i], cfg));
+
+    // Deterministic fold in original table order: report counters, removal
+    // lists, and kept tables come out identical at any thread count.
     let mut removed_private: Vec<(PeerKey, f64)> = Vec::new();
     let mut removed_duplicates: Vec<(PeerKey, f64)> = Vec::new();
     let mut kept: Vec<(&PeerKey, Vec<(Prefix, AsPath)>)> = Vec::new();
-    for table in &snap.tables {
-        let full = *full_flags.get(&table.peer).unwrap_or(&false);
-        if !full {
-            continue;
-        }
-        if broken_asns.contains(&table.peer.asn) {
-            continue;
-        }
-        let n = table.entries.len().max(1);
-        let private_share = table
-            .entries
-            .iter()
-            .filter(|e| e.attrs.path.contains_private_asn())
-            .count() as f64
-            / n as f64;
-        if private_share > cfg.private_asn_peer_threshold {
-            removed_private.push((table.peer, private_share));
-            continue;
-        }
-        let distinct = {
-            let mut v: Vec<Prefix> = table.entries.iter().map(|e| e.prefix).collect();
-            v.sort();
-            v.dedup();
-            v.len()
-        };
-        let dup_share = (table.entries.len() - distinct) as f64 / n as f64;
-        if dup_share > cfg.duplicate_peer_threshold {
-            removed_duplicates.push((table.peer, dup_share));
-            continue;
-        }
-
-        // (5) entry-level cleaning.
-        let mut cleaned: Vec<(Prefix, AsPath)> = Vec::with_capacity(table.entries.len());
-        let mut seen: BTreeSet<Prefix> = BTreeSet::new();
-        for e in &table.entries {
-            if cfg.length_caps && !e.prefix.within_global_routing_len() {
-                report.dropped_by_length += 1;
-                continue;
+    let mut raw_prefixes: BTreeSet<Prefix> = BTreeSet::new();
+    for (table, outcome) in candidates.iter().zip(outcomes) {
+        match outcome {
+            TableOutcome::PrivateAsnHeavy(share) => removed_private.push((table.peer, share)),
+            TableOutcome::DuplicateHeavy(share) => removed_duplicates.push((table.peer, share)),
+            TableOutcome::Kept(cleaned) => {
+                raw_prefixes.extend(cleaned.raw_prefixes);
+                report.dropped_by_length += cleaned.dropped_by_length;
+                report.collapsed_duplicates += cleaned.collapsed_duplicates;
+                report.expanded_as_set_paths += cleaned.expanded_as_set_paths;
+                report.dropped_as_set_paths += cleaned.dropped_as_set_paths;
+                kept.push((&table.peer, cleaned.cleaned));
             }
-            if !seen.insert(e.prefix) {
-                report.collapsed_duplicates += 1;
-                continue;
-            }
-            let path = if e.attrs.path.has_as_set() {
-                match e.attrs.path.expand_singleton_sets() {
-                    Ok(expanded) => {
-                        report.expanded_as_set_paths += 1;
-                        expanded
-                    }
-                    Err(_) => {
-                        report.dropped_as_set_paths += 1;
-                        seen.remove(&e.prefix);
-                        continue;
-                    }
-                }
-            } else {
-                e.attrs.path.clone()
-            };
-            cleaned.push((e.prefix, path));
         }
-        kept.push((&table.peer, cleaned));
     }
     report.removed_private_asn_peers = removed_private;
     report.removed_duplicate_peers = removed_duplicates;
@@ -240,7 +317,7 @@ pub fn sanitize(
             peer_ases_of.entry(*prefix).or_default().insert(peer.asn);
         }
     }
-    report.prefixes_before = collectors_of.len();
+    report.prefixes_before = raw_prefixes.len();
     let mut eligible: BTreeSet<Prefix> = BTreeSet::new();
     for (prefix, collectors) in &collectors_of {
         if collectors.len() < cfg.min_collectors {
@@ -477,6 +554,10 @@ mod tests {
         let s = sanitize(&snap, &[], &SanitizeConfig::default());
         assert_eq!(s.report.dropped_by_length, 4);
         assert_eq!(s.prefix_count(), 50);
+        // The before-filtering baseline is counted from raw kept tables,
+        // so the capped /25 is still in it.
+        assert_eq!(s.report.prefixes_before, 51);
+        assert_eq!(s.report.prefixes_after, 50);
         // Caps can be disabled.
         let s = sanitize(
             &snap,
@@ -487,6 +568,7 @@ mod tests {
             },
         );
         assert_eq!(s.prefix_count(), 51);
+        assert_eq!(s.report.prefixes_before, 51);
     }
 
     #[test]

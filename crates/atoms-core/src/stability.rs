@@ -49,7 +49,10 @@ pub fn cam(t1: &AtomSet, t2: &AtomSet) -> f64 {
 pub fn mpm(t1: &AtomSet, t2: &AtomSet) -> f64 {
     let total: usize = t1.prefix_count();
     if total == 0 {
-        return 0.0;
+        // Same convention as `cam`: two empty populations are vacuously
+        // identical, an empty baseline against a non-empty one is fully
+        // unstable.
+        return if t2.prefix_count() == 0 { 100.0 } else { 0.0 };
     }
     // Overlap counts per (atom1, atom2) pair via the t2 membership map.
     let t2_of = t2.prefix_to_atom();
@@ -199,6 +202,9 @@ mod tests {
         assert_eq!(cam(&full, &empty), 0.0);
         assert_eq!(mpm(&full, &empty), 0.0);
         assert_eq!(cam(&empty, &empty), 100.0, "vacuously identical");
+        assert_eq!(mpm(&empty, &empty), 100.0, "vacuously identical");
+        let s = stability(&empty, &empty);
+        assert_eq!((s.cam_pct, s.mpm_pct), (100.0, 100.0));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The analysis pipeline's hot path: sanitization and atom computation on
-//! a mid-size captured snapshot.
+//! a mid-size captured snapshot, plus the serial-vs-parallel engine
+//! comparison on the simulated 2012 scenario (the `--threads` speed knob).
 
 use atoms_core::atom::compute_atoms;
+use atoms_core::parallel::Parallelism;
+use atoms_core::pipeline::{analyze_snapshot, PipelineConfig};
 use atoms_core::sanitize::{sanitize, SanitizeConfig};
 use bgp_collect::CapturedSnapshot;
 use bgp_sim::{Era, Scenario};
@@ -11,6 +14,13 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 fn captured() -> CapturedSnapshot {
     let date: SimTime = "2016-01-15 08:00".parse().unwrap();
     let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 200.0));
+    let mut scenario = Scenario::build(era);
+    CapturedSnapshot::from_sim(&scenario.snapshot(date))
+}
+
+fn captured_2012() -> CapturedSnapshot {
+    let date: SimTime = "2012-01-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 100.0));
     let mut scenario = Scenario::build(era);
     CapturedSnapshot::from_sim(&scenario.snapshot(date))
 }
@@ -38,5 +48,44 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// Serial vs parallel full analysis (sanitize → atoms → stats) on the 2012
+/// scenario. The acceptance target is ≥2× at 4 threads; outputs are
+/// asserted identical before benchmarking so the comparison is honest.
+fn bench_parallel_engine(c: &mut Criterion) {
+    let snap = captured_2012();
+    let configs: Vec<(String, PipelineConfig)> = [1usize, 2, 4, 0]
+        .iter()
+        .map(|&threads| {
+            let name = if threads == 0 {
+                "threads-auto".to_string()
+            } else {
+                format!("threads-{threads}")
+            };
+            let cfg = PipelineConfig {
+                parallelism: Parallelism::new(threads),
+                ..PipelineConfig::default()
+            };
+            (name, cfg)
+        })
+        .collect();
+
+    let serial = analyze_snapshot(&snap, None, &configs[0].1);
+    for (name, cfg) in &configs[1..] {
+        let parallel = analyze_snapshot(&snap, None, cfg);
+        assert_eq!(parallel.atoms, serial.atoms, "{name} must match serial");
+        assert_eq!(parallel.sanitized, serial.sanitized, "{name} must match serial");
+    }
+
+    let mut group = c.benchmark_group("parallel_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(snap.entry_count() as u64));
+    for (name, cfg) in &configs {
+        group.bench_function(name.as_str(), |b| {
+            b.iter(|| std::hint::black_box(analyze_snapshot(&snap, None, cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_parallel_engine);
 criterion_main!(benches);

@@ -8,10 +8,13 @@
 //! options:
 //!   --scale <denominator>      topology scale = 1/denominator (default 40)
 //!   --out <dir>                output directory (default results/)
+//!   --threads <n>              quarter-sweep workers (0 = all cores, the
+//!                              default; results are identical at any n)
 //! env:
 //!   PA_SPLIT_DAYS=<n>          days for the split-observer study (default 40)
 //! ```
 
+use atoms_core::parallel::Parallelism;
 use bench::experiments::{run, Comparison, ALL};
 use bench::Workbench;
 use std::fmt::Write as _;
@@ -21,6 +24,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale: Option<f64> = None;
     let mut out_dir = String::from("results");
+    let mut parallelism = Parallelism::auto();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,6 +38,13 @@ fn main() {
             "--out" => {
                 out_dir = args.next().unwrap_or_else(|| usage("--out needs a path"));
             }
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a count (0 = all cores)"));
+                parallelism = Parallelism::new(n);
+            }
             "-h" | "--help" => usage(""),
             other => ids.push(other.to_string()),
         }
@@ -41,7 +52,7 @@ fn main() {
     if ids.is_empty() {
         usage("no experiment ids given");
     }
-    let wb = Workbench::new(scale, &out_dir);
+    let wb = Workbench::new(scale, &out_dir).with_parallelism(parallelism);
     if ids.iter().any(|i| i == "assemble") {
         let comparisons = load_comparisons(&wb);
         let md = render_experiments_md(&wb, &comparisons);
@@ -162,7 +173,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: experiments [--scale N] [--out DIR] <id>... | all | report\n ids: {}",
+        "usage: experiments [--scale N] [--out DIR] [--threads N] <id>... | all | report\n ids: {}",
         ALL.join(", ")
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

@@ -2,8 +2,8 @@
 //! reused by every longitudinal figure (4, 5, 9, 11, 12, 13).
 //!
 //! Results are cached per `(family, scale, from, to)` for the lifetime of
-//! the process, and quarters are computed on a crossbeam scoped-thread
-//! pool sized to the machine.
+//! the process, and quarters are computed on the workbench's
+//! [`atoms_core::parallel`] worker pool, merged back in timeline order.
 
 use crate::Workbench;
 use atoms_core::formation::{formation, FormationResult, PrependMethod};
@@ -91,31 +91,11 @@ pub fn quarterly(wb: &Workbench, family: Family, from: i32, to: i32) -> Vec<Quar
         return hit.clone();
     }
     let dates = Workbench::quarterly(from, to);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(dates.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<QuarterMetrics>>> = Mutex::new(vec![None; dates.len()]);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= dates.len() {
-                    break;
-                }
-                let metrics = compute_quarter(wb, dates[i], family);
-                results.lock().expect("sweep results lock")[i] = Some(metrics);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    let out: Vec<QuarterMetrics> = results
-        .into_inner()
-        .expect("sweep results lock")
-        .into_iter()
-        .map(|m| m.expect("every quarter computed"))
-        .collect();
+    // Quarters are independent jobs; `map_indexed` returns them in input
+    // (timeline) order no matter which worker finished first.
+    let out: Vec<QuarterMetrics> = wb
+        .parallelism
+        .map_indexed(dates.len(), |i| compute_quarter(wb, dates[i], family));
     cache()
         .lock()
         .expect("sweep cache lock")

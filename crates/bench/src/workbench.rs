@@ -1,5 +1,6 @@
 //! Scenario preparation and snapshot-ladder helpers.
 
+use atoms_core::parallel::Parallelism;
 use atoms_core::pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
 use atoms_core::sanitize::SanitizeConfig;
 use bgp_collect::{CapturedSnapshot, CapturedUpdates};
@@ -16,6 +17,13 @@ pub struct Workbench {
     pub scale: Option<f64>,
     /// Where results are written.
     pub out_dir: PathBuf,
+    /// Worker-pool sizing for the quarter-level drivers ([`prepare_many`]
+    /// and the experiment sweeps). Defaults to one worker per core, the
+    /// sizing the sweep has always used; results are identical at any
+    /// setting.
+    ///
+    /// [`prepare_many`]: Workbench::prepare_many
+    pub parallelism: Parallelism,
 }
 
 impl Default for Workbench {
@@ -23,6 +31,7 @@ impl Default for Workbench {
         Workbench {
             scale: None,
             out_dir: PathBuf::from("results"),
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -53,7 +62,15 @@ impl Workbench {
         Workbench {
             scale,
             out_dir: out_dir.into(),
+            ..Workbench::default()
         }
+    }
+
+    /// Same workbench with an explicit worker-pool sizing (the experiment
+    /// harness's `--threads`).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Workbench {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Builds the era for a date.
@@ -72,7 +89,29 @@ impl Workbench {
                 length_caps: false,
                 ..SanitizeConfig::default()
             },
+            ..PipelineConfig::default()
         }
+    }
+
+    /// The default pipeline configuration with this workbench's worker-pool
+    /// sizing injected at the snapshot level. The quarter-level sweep keeps
+    /// snapshots serial (its own pool already saturates the cores); use this
+    /// for single-snapshot experiments where the snapshot is the only job.
+    pub fn snapshot_config(&self) -> PipelineConfig {
+        PipelineConfig {
+            parallelism: self.parallelism,
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// Prepares many snapshots on the workbench's worker pool, returned in
+    /// input order. Each snapshot is analyzed serially inside its worker so
+    /// the pool is never oversubscribed; outputs are identical to calling
+    /// [`Workbench::prepare`] in a loop.
+    pub fn prepare_many(&self, dates: &[SimTime], family: Family) -> Vec<Arc<PreparedSnapshot>> {
+        let cfg = PipelineConfig::default();
+        self.parallelism
+            .map_indexed(dates.len(), |i| self.prepare_cached(dates[i], family, &cfg))
     }
 
     /// Builds, captures, and analyzes one snapshot (with its 4-hour update

@@ -1,0 +1,59 @@
+//! End-to-end determinism tests for the experiment harness: the
+//! `--threads` knob must be unobservable in the written JSON payloads.
+//!
+//! Each setting runs in its own process — the in-process sweep cache is
+//! keyed by (family, scale, range) only, so a same-process comparison
+//! would just read back the first run's result.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pa-exp-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_experiment(id: &str, scale: &str, threads: &str, tag: &str) -> Vec<u8> {
+    let dir = tmpdir(tag);
+    let out = experiments()
+        .args(["--scale", scale, "--threads", threads, "--out"])
+        .arg(&dir)
+        .arg(id)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "experiments {id} --threads {threads} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let payload = std::fs::read(dir.join(format!("{id}.json")))
+        .unwrap_or_else(|e| panic!("missing {id}.json: {e}"));
+    std::fs::remove_dir_all(&dir).unwrap();
+    payload
+}
+
+/// `--threads 4` writes a byte-identical table1.json.
+#[test]
+fn table1_payload_is_thread_count_invariant() {
+    let serial = run_experiment("table1", "400", "1", "t1-serial");
+    let parallel = run_experiment("table1", "400", "4", "t1-par");
+    assert!(!serial.is_empty());
+    assert_eq!(parallel, serial, "--threads 4 diverged from serial table1.json");
+}
+
+/// The quarter-level sweep (fig13 runs the full 2004–2024 quarterly sweep
+/// on the worker pool) merges results in timeline order: byte-identical
+/// payload at 1 and 4 workers.
+#[test]
+fn quarterly_sweep_payload_is_thread_count_invariant() {
+    let serial = run_experiment("fig13", "1600", "1", "f13-serial");
+    let parallel = run_experiment("fig13", "1600", "4", "f13-par");
+    assert!(!serial.is_empty());
+    assert_eq!(parallel, serial, "--threads 4 diverged from serial fig13.json");
+}

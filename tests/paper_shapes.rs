@@ -173,6 +173,7 @@ fn reproduction_2002_setup() {
             length_caps: false,
             ..Default::default()
         },
+        ..Default::default()
     };
     let analysis = analyze_snapshot(
         &CapturedSnapshot::from_sim(&scenario.snapshot(date)),

@@ -1,0 +1,126 @@
+//! Offline stub of `crossbeam`: scoped threads built on `std::thread::scope`
+//! with the crossbeam 0.8 calling convention (spawn closures receive the
+//! scope, `scope()` returns `Result` carrying the first panic payload).
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+    use std::thread as stdt;
+
+    type Payload = Box<dyn Any + Send + 'static>;
+
+    /// Scope handle passed to `scope` and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdt::Scope<'scope, 'env>,
+        panics: Arc<Mutex<Vec<Payload>>>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdt::ScopedJoinHandle<'scope, Option<T>>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Payload> {
+            match self.inner.join() {
+                Ok(Some(value)) => Ok(value),
+                // The payload was recorded scope-wide; stand in for it here
+                // (crossbeam hands the payload to whichever side joins).
+                Ok(None) => Err(Box::new("scoped thread panicked".to_string())),
+                Err(payload) => Err(payload),
+            }
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn further threads (crossbeam convention). Panics inside the
+        /// closure are captured and surface as `scope()`'s `Err` payload.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            let panics = Arc::clone(&self.panics);
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let nested = Scope {
+                        inner,
+                        panics: Arc::clone(&panics),
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| f(&nested))) {
+                        Ok(value) => Some(value),
+                        Err(payload) => {
+                            panics
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(payload);
+                            None
+                        }
+                    }
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; joins all still-running scoped threads before
+    /// returning. `Err` carries the first panic payload if any thread (or
+    /// `f` itself) panicked, matching crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let panics: Arc<Mutex<Vec<Payload>>> = Arc::new(Mutex::new(Vec::new()));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            stdt::scope(|s| {
+                f(&Scope {
+                    inner: s,
+                    panics: Arc::clone(&panics),
+                })
+            })
+        }));
+        let mut recorded = std::mem::take(
+            &mut *panics.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        match result {
+            Err(payload) => Err(payload),
+            Ok(value) if recorded.is_empty() => Ok(value),
+            Ok(_) => Err(recorded.swap_remove(0)),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawn_and_collect() {
+            let data = vec![1, 2, 3];
+            let sum = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .iter()
+                    .map(|&x| s.spawn(move |_| x * 10))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+            })
+            .unwrap();
+            assert_eq!(sum, 60);
+        }
+
+        #[test]
+        fn panic_payload_reaches_scope_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom {}", 42));
+            });
+            let payload = r.unwrap_err();
+            // The payload may be String or a const-folded &'static str
+            // depending on the compiler.
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                .expect("formatted panic payload");
+            assert_eq!(msg, "boom 42");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Offline stub of `rand` 0.9: `RngCore`/`SeedableRng`/`Rng` plus the
+//! `seq` helpers this workspace uses. Distribution algorithms are simple
+//! and deterministic but NOT bit-identical to the real crate, so seeded
+//! output differs from a real-crates build (see vendor-stubs/README.md).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        let mut chunks = dst.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        (**self).fill_bytes(dst)
+    }
+}
+
+/// Seedable generators. `seed_from_u64` expands via SplitMix64 (same
+/// expansion the real crate uses).
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types producible by [`Rng::random`].
+pub trait StandardUniform: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! std_uniform_int {
+    ($($t:ty => $via:ident),*) => {$(
+        impl StandardUniform for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+std_uniform_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                 i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                 u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64);
+
+impl StandardUniform for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+impl StandardUniform for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl StandardUniform for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+impl StandardUniform for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types uniformly samplable from a range (ties `Range<T>` to `T` for
+/// inference, like the real crate's `SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (u128::sample_standard(rng) % span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (u128::sample_standard(rng) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + (hi - lo) * unit_f64(rng)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + (hi - lo) * unit_f64(rng)
+    }
+}
+impl SampleUniform for f32 {
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + (hi - lo) * unit_f64(rng) as f32
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + (hi - lo) * unit_f64(rng) as f32
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Convenience sampling methods (rand 0.9 naming).
+pub trait Rng: RngCore {
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// In-place slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        fn shuffle<R: Rng + RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Random element selection.
+    pub trait IndexedRandom {
+        type Output;
+        fn choose<R: Rng + RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+        fn choose<R: Rng + RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Minimal xoshiro-style generator for `StdRng`-shaped uses.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 2],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift128+
+            let mut x = self.s[0];
+            let y = self.s[1];
+            self.s[0] = y;
+            x ^= x << 23;
+            self.s[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+            self.s[1].wrapping_add(y)
+        }
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 16];
+        fn from_seed(seed: [u8; 16]) -> Self {
+            let a = u64::from_le_bytes(seed[..8].try_into().expect("8 bytes"));
+            let b = u64::from_le_bytes(seed[8..].try_into().expect("8 bytes"));
+            StdRng {
+                s: [a | 1, b | 2],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::{IndexedRandom, SliceRandom};
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_bounds() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let x: usize = a.random_range(0..7);
+            assert!(x < 7);
+            let y = a.random_range(3u32..=5);
+            assert!((3..=5).contains(&y));
+            let f = a.random_range(0.25..0.5);
+            assert!((0.25..0.5).contains(&f));
+            assert!(a.random_bool(0.5) || true);
+        }
+        let mut v = vec![1, 2, 3, 4, 5];
+        v.shuffle(&mut a);
+        v.sort_unstable();
+        assert_eq!(v, [1, 2, 3, 4, 5]);
+        assert!(v.choose(&mut a).is_some());
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stub of `rand_chacha`: a real ChaCha block function serving
+//! words sequentially. Deterministic per seed, but the word-serving
+//! order is not guaranteed bit-identical to the real crate.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha quarter round.
+#[inline]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Core ChaCha state with `R` rounds.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const R: usize> {
+    key: [u32; 8],
+    counter: u64,
+    block: [u32; 16],
+    /// Next word to serve from `block`; 16 forces a refill.
+    word: usize,
+}
+
+impl<const R: usize> ChaChaRng<R> {
+    fn refill(&mut self) {
+        let mut s: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let input = s;
+        for _ in 0..R / 2 {
+            // column round
+            quarter(&mut s, 0, 4, 8, 12);
+            quarter(&mut s, 1, 5, 9, 13);
+            quarter(&mut s, 2, 6, 10, 14);
+            quarter(&mut s, 3, 7, 11, 15);
+            // diagonal round
+            quarter(&mut s, 0, 5, 10, 15);
+            quarter(&mut s, 1, 6, 11, 12);
+            quarter(&mut s, 2, 7, 8, 13);
+            quarter(&mut s, 3, 4, 9, 14);
+        }
+        for (out, inp) in s.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = s;
+        self.counter = self.counter.wrapping_add(1);
+        self.word = 0;
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        if self.word >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word];
+        self.word += 1;
+        w
+    }
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    type Seed = [u8; 32];
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            word: 16,
+        }
+    }
+}
+
+/// ChaCha with 8 rounds.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha20_rfc7539_block() {
+        // RFC 7539 2.3.2 test vector (key 00..1f, counter forced to 1,
+        // nonce zero — our stream nonce is zero so only the counter and
+        // keystream words are comparable; with counter=0 we instead check
+        // determinism and clone-stability).
+        let mut a = ChaCha20Rng::from_seed(std::array::from_fn(|i| i as u8));
+        let mut b = a.clone();
+        let xs: Vec<u32> = (0..64).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..64).map(|_| b.next_u32()).collect();
+        assert_eq!(xs, ys);
+        // Different seeds diverge.
+        let mut c = ChaCha20Rng::seed_from_u64(1);
+        let mut d = ChaCha20Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| c.next_u32()).collect::<Vec<_>>(),
+            (0..8).map(|_| d.next_u32()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn works_with_rng_trait() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0x5EED);
+        let v: usize = rng.random_range(0..10);
+        assert!(v < 10);
+        let p = rng.random_bool(0.5);
+        let _ = p;
+    }
+}

@@ -1,0 +1,504 @@
+//! Offline stub of `serde`: a value-model serialization framework that is
+//! API-compatible with the subset of serde this workspace uses.
+//!
+//! `Serialize` renders a type into a JSON-like [`Value`]; `Deserialize`
+//! reads one back. The derive macros (from the sibling `serde_derive`
+//! stub) generate impls for plain structs and enums. See
+//! `vendor-stubs/README.md` for fidelity notes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// JSON-like value model shared with the `serde_json` stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; keys are sorted (BTreeMap semantics).
+    Object(BTreeMap<String, Value>),
+}
+
+/// Number, mirroring serde_json's (plus a u128 lane, which real serde_json
+/// also round-trips).
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Non-negative integer wider than u64 (IPv6 addresses).
+    BigInt(u128),
+    /// Floating point.
+    Float(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        use Number::*;
+        match (self, other) {
+            (PosInt(a), PosInt(b)) => a == b,
+            (NegInt(a), NegInt(b)) => a == b,
+            (BigInt(a), BigInt(b)) => a == b,
+            (PosInt(a), BigInt(b)) | (BigInt(b), PosInt(a)) => *a as u128 == *b,
+            (Float(a), Float(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Number {
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::BigInt(v) => u64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::BigInt(v) => i64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+    pub fn as_u128(&self) -> Option<u128> {
+        match *self {
+            Number::PosInt(v) => Some(v as u128),
+            Number::NegInt(v) => u128::try_from(v).ok(),
+            Number::BigInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::PosInt(v) => Some(v as f64),
+            Number::NegInt(v) => Some(v as f64),
+            Number::BigInt(v) => Some(v as f64),
+            Number::Float(v) => Some(v),
+        }
+    }
+}
+
+/// Serialization error (the stub never fails to serialize).
+pub type Error = String;
+
+/// Serialize into the shared value model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from the shared value model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::PosInt(*self as u64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|x| <$t>::try_from(x).ok())
+                        .ok_or_else(|| format!("number out of range for {}", stringify!($t))),
+                    _ => Err(format!("expected number, got {v:?}")),
+                }
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|x| <$t>::try_from(x).ok())
+                        .ok_or_else(|| format!("number out of range for {}", stringify!($t))),
+                    _ => Err(format!("expected number, got {v:?}")),
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(v) => Value::Number(Number::PosInt(v)),
+            Err(_) => Value::Number(Number::BigInt(*self)),
+        }
+    }
+}
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => n
+                .as_u128()
+                .ok_or_else(|| "number out of range for u128".to_string()),
+            _ => Err(format!("expected number, got {v:?}")),
+        }
+    }
+}
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => v.to_value(),
+            Err(_) => match u128::try_from(*self) {
+                Ok(v) => v.to_value(),
+                Err(_) => Value::Number(Number::Float(*self as f64)),
+            },
+        }
+    }
+}
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => n
+                .as_u128()
+                .and_then(|x| i128::try_from(x).ok())
+                .or_else(|| n.as_i64().map(i128::from))
+                .ok_or_else(|| "number out of range for i128".to_string()),
+            _ => Err(format!("expected number, got {v:?}")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => n.as_f64().ok_or_else(|| "bad float".into()),
+            _ => Err(format!("expected number, got {v:?}")),
+        }
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+// ------------------------------------------------------------- scalar rest
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(format!("expected bool, got {v:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(format!("expected string, got {v:?}")),
+        }
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+// ------------------------------------------------------------- sequences
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(format!("expected array, got {v:?}")),
+        }
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        if items.len() != N {
+            return Err(format!("expected {N} elements, got {}", items.len()));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&items);
+        Ok(out)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => Ok(($(
+                        $t::from_value(items.get($n).ok_or("tuple too short")?)?,
+                    )+)),
+                    _ => Err(format!("expected array, got {v:?}")),
+                }
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ----------------------------------------------------------------- maps
+
+fn key_string(v: Value) -> String {
+    match v {
+        Value::String(s) => s,
+        Value::Number(Number::PosInt(n)) => n.to_string(),
+        Value::Number(Number::NegInt(n)) => n.to_string(),
+        Value::Number(Number::Float(n)) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+// ------------------------------------------------------------- std types
+
+impl Serialize for std::net::IpAddr {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for std::net::IpAddr {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => s.parse().map_err(|e| format!("bad ip: {e}")),
+            _ => Err(format!("expected ip string, got {v:?}")),
+        }
+    }
+}
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for std::net::Ipv6Addr {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::String(self.display().to_string())
+    }
+}
+impl Deserialize for std::path::PathBuf {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(Into::into)
+    }
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Derive-internal helper: fetch struct field `name` from an object,
+/// treating a missing key as `null` (so `Option` fields default to
+/// `None`, as with real serde + `default`).
+pub fn __field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(map) => match map.get(name) {
+            Some(x) => T::from_value(x),
+            None => T::from_value(&Value::Null).map_err(|_| format!("missing field `{name}`")),
+        },
+        _ => Err(format!("expected object with field `{name}`, got {v:?}")),
+    }
+}

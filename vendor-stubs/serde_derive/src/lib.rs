@@ -1,0 +1,337 @@
+//! Offline stub of `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for plain (non-generic) structs and enums, generating impls of the
+//! value-model traits in the sibling `serde` stub.
+//!
+//! Supported shapes: unit/newtype/tuple/named structs; enums with
+//! unit/newtype/tuple/named variants. `#[serde(...)]` attributes are
+//! accepted and ignored (newtype structs already serialize transparently,
+//! which is the only attribute this workspace uses).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item).parse().expect("stub serde_derive: generated code parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item).parse().expect("stub serde_derive: generated code parses")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    UnitStruct,
+    /// Tuple struct arity (1 = newtype, serialized transparently).
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("stub serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("stub serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("stub serde_derive: generic type `{name}` is unsupported");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(variants(g.stream()))
+            }
+            other => panic!("stub serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("stub serde_derive: cannot derive for `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream at commas that sit outside any `<...>` nesting
+/// (token-tree groups are already atomic).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i32;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().expect("non-empty").push(t);
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|field| {
+            let mut i = 0;
+            skip_attrs_and_vis(&field, &mut i);
+            match &field[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("stub serde_derive: expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|v| {
+            let mut i = 0;
+            skip_attrs_and_vis(&v, &mut i);
+            let name = match &v[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("stub serde_derive: expected variant name, got {other}"),
+            };
+            i += 1;
+            let kind = match v.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(tuple_arity(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(named_fields(g.stream()))
+                }
+                _ => VariantKind::Unit, // discriminants (`= N`) don't occur here
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut m = ::std::collections::BTreeMap::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => {{ let mut m = ::std::collections::BTreeMap::new(); \
+                         m.insert(\"{vn}\".to_string(), ::serde::Serialize::to_value(x0)); \
+                         ::serde::Value::Object(m) }}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut m = ::std::collections::BTreeMap::new(); \
+                             m.insert(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}])); \
+                             ::serde::Value::Object(m) }}\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut fm = ::std::collections::BTreeMap::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ {inner} \
+                             let mut m = ::std::collections::BTreeMap::new(); \
+                             m.insert(\"{vn}\".to_string(), ::serde::Value::Object(fm)); \
+                             ::serde::Value::Object(m) }}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!("let _ = v; Ok({name})"),
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or(\"tuple too short\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Array(items) => Ok({name}({})), \
+                 other => Err(format!(\"expected array for {name}, got {{other:?}}\")) }}",
+                items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(v, \"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(items.get({i}).ok_or(\"tuple too short\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{ ::serde::Value::Array(items) => \
+                             Ok({name}::{vn}({})), \
+                             other => Err(format!(\"expected array, got {{other:?}}\")) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__field(inner, \"{f}\")?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(format!(\"unknown {name} variant {{other}}\")) }},\n\
+                 ::serde::Value::Object(m) => {{\n\
+                 let (k, inner) = m.iter().next().ok_or(\"empty enum object\")?;\n\
+                 match k.as_str() {{\n{data_arms}\
+                 other => Err(format!(\"unknown {name} variant {{other}}\")) }}\n}}\n\
+                 other => Err(format!(\"cannot deserialize {name} from {{other:?}}\"))\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}
