@@ -2,8 +2,9 @@
 
 use atoms_core::dynamics::{classify_bursts, BurstClass, DynamicsConfig};
 use atoms_core::formation::{formation as run_formation, formation_with_regrouping, PrependMethod};
+use atoms_core::obs::Metrics;
 use atoms_core::parallel::Parallelism;
-use atoms_core::pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
+use atoms_core::pipeline::{analyze_snapshot_observed, PipelineConfig, SnapshotAnalysis};
 use atoms_core::report::{count, pct};
 use atoms_core::sanitize::SanitizeConfig;
 use atoms_core::stability::stability as stability_pair;
@@ -27,6 +28,9 @@ pub struct Options {
     pub reproduction: bool,
     pub method: PrependMethod,
     pub threads: Option<usize>,
+    pub metrics_json: Option<String>,
+    pub timings: bool,
+    pub verbose: bool,
 }
 
 impl Options {
@@ -44,6 +48,9 @@ impl Options {
             reproduction: false,
             method: PrependMethod::UniqueOnRaw,
             threads: None,
+            metrics_json: None,
+            timings: false,
+            verbose: false,
         };
         let mut it = args.iter();
         let value = |it: &mut std::slice::Iter<String>, flag: &str| {
@@ -78,6 +85,9 @@ impl Options {
                     )
                 }
                 "--out" => opts.out = Some(value(&mut it, "--out")?),
+                "--metrics-json" => opts.metrics_json = Some(value(&mut it, "--metrics-json")?),
+                "--timings" => opts.timings = true,
+                "--verbose" => opts.verbose = true,
                 "--horizons" => opts.horizons = true,
                 "--json" => opts.json = true,
                 "--reproduction" => opts.reproduction = true,
@@ -93,6 +103,34 @@ impl Options {
             }
         }
         Ok(opts)
+    }
+
+    /// A metrics registry when the user asked for observability output
+    /// (`--metrics-json` and/or `--verbose`), `None` otherwise so the
+    /// un-instrumented pipeline stays zero-overhead.
+    fn metrics(&self) -> Option<Metrics> {
+        (self.metrics_json.is_some() || self.verbose).then(Metrics::new)
+    }
+
+    /// Writes/prints whatever observability output was requested: the
+    /// deterministic metrics JSON (durations only with `--timings`) to
+    /// `--metrics-json PATH` (`-` = stdout), and the human-readable stage
+    /// report to stderr under `--verbose`.
+    fn emit_metrics(&self, metrics: &Option<Metrics>) -> Result<(), String> {
+        let Some(m) = metrics else { return Ok(()) };
+        if let Some(path) = &self.metrics_json {
+            let json = m.to_json_string(self.timings);
+            if path == "-" {
+                print!("{json}");
+            } else {
+                std::fs::write(path, json)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+        }
+        if self.verbose {
+            eprint!("{}", m.render());
+        }
+        Ok(())
     }
 
     fn pipeline_config(&self) -> PipelineConfig {
@@ -146,6 +184,11 @@ pub fn usage(msg: &str) -> ExitCode {
            dynamics  --archive DIR --date D [--family]\n\
            replay    --archive DIR --date D [--t2 T] [--family]\n\
            siblings  --archive DIR --date D (needs v4+v6 snapshots)\n\n\
+         observability (analysis subcommands):\n\
+           --metrics-json PATH  write stage/counter/warning metrics (- = stdout);\n\
+                                deterministic — identical at any --threads N\n\
+           --timings            include wall-clock durations + per-worker splits\n\
+           --verbose            human-readable stage report on stderr\n\n\
          dates: \"yyyy-mm-dd hh:mm\" (quote the space) or yyyy-mm-dd"
     );
     if msg.is_empty() {
@@ -207,9 +250,14 @@ fn load(opts: &Options, date: SimTime) -> Result<(CapturedSnapshot, CapturedUpda
     Ok((snap, updates))
 }
 
-fn analyze(opts: &Options, date: SimTime) -> Result<(SnapshotAnalysis, CapturedUpdates), String> {
+fn analyze(
+    opts: &Options,
+    date: SimTime,
+    metrics: Option<&Metrics>,
+) -> Result<(SnapshotAnalysis, CapturedUpdates), String> {
     let (snap, updates) = load(opts, date)?;
-    let analysis = analyze_snapshot(&snap, Some(&updates), &opts.pipeline_config());
+    let analysis =
+        analyze_snapshot_observed(&snap, Some(&updates), &opts.pipeline_config(), metrics);
     Ok((analysis, updates))
 }
 
@@ -262,7 +310,9 @@ pub fn inspect(opts: &Options) -> Result<(), String> {
 /// `pa atoms`: the headline pipeline.
 pub fn atoms(opts: &Options) -> Result<(), String> {
     let date = need(&opts.date, "--date")?;
-    let (analysis, _) = analyze(opts, date)?;
+    let metrics = opts.metrics();
+    let (analysis, _) = analyze(opts, date, metrics.as_ref())?;
+    opts.emit_metrics(&metrics)?;
     let s = &analysis.stats;
     if opts.json {
         let json = serde_json::json!({
@@ -316,11 +366,15 @@ pub fn atoms(opts: &Options) -> Result<(), String> {
 /// `pa formation`: formation-distance distribution.
 pub fn formation(opts: &Options) -> Result<(), String> {
     let date = need(&opts.date, "--date")?;
-    let (analysis, _) = analyze(opts, date)?;
+    let metrics = opts.metrics();
+    let (analysis, _) = analyze(opts, date, metrics.as_ref())?;
+    let formation_span = metrics.as_ref().map(|m| m.span("pipeline.formation"));
     let f = match opts.method {
         PrependMethod::StripBeforeGrouping => formation_with_regrouping(&analysis.sanitized),
         m => run_formation(&analysis.atoms, m),
     };
+    drop(formation_span);
+    opts.emit_metrics(&metrics)?;
     println!(
         "formation distance over {} atoms ({} origins):",
         f.n_atoms, f.n_origins
@@ -356,9 +410,13 @@ pub fn stability(opts: &Options) -> Result<(), String> {
     let mut pooled = upd1.clone();
     pooled.warnings.extend(upd2.warnings.iter().cloned());
     let cfg = opts.pipeline_config();
-    let a1 = analyze_snapshot(&snap1, Some(&pooled), &cfg);
-    let a2 = analyze_snapshot(&snap2, Some(&pooled), &cfg);
+    let metrics = opts.metrics();
+    let a1 = analyze_snapshot_observed(&snap1, Some(&pooled), &cfg, metrics.as_ref());
+    let a2 = analyze_snapshot_observed(&snap2, Some(&pooled), &cfg, metrics.as_ref());
+    let stability_span = metrics.as_ref().map(|m| m.span("pipeline.stability"));
     let s = stability_pair(&a1.atoms, &a2.atoms);
+    drop(stability_span);
+    opts.emit_metrics(&metrics)?;
     println!(
         "{} atoms at {t1} vs {} atoms at {t2}",
         count(a1.atoms.len()),
@@ -380,10 +438,12 @@ pub fn siblings(opts: &Options) -> Result<(), String> {
     v6_opts.date = Some(date);
     let (snap4, upd4) = load(&v4_opts, date)?;
     let (snap6, upd6) = load(&v6_opts, date)?;
-    let a4 = analyze_snapshot(&snap4, Some(&upd4), &cfg);
-    let a6 = analyze_snapshot(&snap6, Some(&upd6), &cfg);
+    let metrics = opts.metrics();
+    let a4 = analyze_snapshot_observed(&snap4, Some(&upd4), &cfg, metrics.as_ref());
+    let a6 = analyze_snapshot_observed(&snap6, Some(&upd6), &cfg, metrics.as_ref());
     let (pairs, report) =
         atoms_core::siblings::match_siblings(&a4.atoms, &a6.atoms, 0.45);
+    opts.emit_metrics(&metrics)?;
     println!(
         "dual-stack origins {} | pairs {} | fully matched {} | mean score {:.2}",
         report.dual_stack_origins, report.pairs, report.fully_matched_origins, report.mean_score
@@ -418,6 +478,9 @@ fn clone_opts(opts: &Options) -> Options {
         reproduction: opts.reproduction,
         method: opts.method,
         threads: opts.threads,
+        metrics_json: opts.metrics_json.clone(),
+        timings: opts.timings,
+        verbose: opts.verbose,
     }
 }
 
@@ -428,18 +491,34 @@ pub fn replay(opts: &Options) -> Result<(), String> {
     let until = opts.t2.unwrap_or_else(|| date.plus_hours(4));
     let (snap, updates) = load(opts, date)?;
     let cfg = opts.pipeline_config();
-    let base = analyze_snapshot(&snap, Some(&updates), &cfg);
+    let metrics = opts.metrics();
+    let base = analyze_snapshot_observed(&snap, Some(&updates), &cfg, metrics.as_ref());
 
+    let replay_span = metrics.as_ref().map(|m| m.span("pipeline.replay"));
     let mut state = ReplayState::from_snapshot(&snap);
     let stats = state.apply_until(&updates.records, until);
     let replayed = state.to_snapshot(&snap);
-    let after = analyze_snapshot(&replayed, Some(&updates), &cfg);
+    drop(replay_span);
+    if let Some(m) = &metrics {
+        m.add("replay.applied", state.applied() as u64);
+        m.add("replay.announced", stats.announced as u64);
+        m.add("replay.withdrawn", stats.withdrawn as u64);
+        m.warn("replay", "spurious_withdrawal", stats.spurious_withdrawals as u64);
+        m.warn("replay", "new_peer", stats.new_peers as u64);
+        m.warn("replay", "out_of_order_update", stats.out_of_order as u64);
+    }
+    let after = analyze_snapshot_observed(&replayed, Some(&updates), &cfg, metrics.as_ref());
     let s = atoms_core::stability::stability(&base.atoms, &after.atoms);
+    opts.emit_metrics(&metrics)?;
 
     println!("replayed {} updates up to {until}:", state.applied());
     println!(
-        "  announced {} / withdrawn {} / spurious withdrawals {} / new peers {}",
-        stats.announced, stats.withdrawn, stats.spurious_withdrawals, stats.new_peers
+        "  announced {} / withdrawn {} / spurious withdrawals {} / new peers {} / out-of-order rejected {}",
+        stats.announced,
+        stats.withdrawn,
+        stats.spurious_withdrawals,
+        stats.new_peers,
+        stats.out_of_order
     );
     println!(
         "  routes {} → {}",
@@ -459,9 +538,13 @@ pub fn replay(opts: &Options) -> Result<(), String> {
 /// `pa dynamics`: §7.2 burst classification over the update window.
 pub fn dynamics(opts: &Options) -> Result<(), String> {
     let date = need(&opts.date, "--date")?;
-    let (analysis, updates) = analyze(opts, date)?;
+    let metrics = opts.metrics();
+    let (analysis, updates) = analyze(opts, date, metrics.as_ref())?;
+    let dynamics_span = metrics.as_ref().map(|m| m.span("pipeline.dynamics"));
     let (bursts, report) =
         classify_bursts(&analysis.atoms, &updates.records, &DynamicsConfig::default());
+    drop(dynamics_span);
+    opts.emit_metrics(&metrics)?;
     println!(
         "{} bursts from {} update records:",
         bursts.len(),
@@ -524,6 +607,8 @@ mod tests {
             "--t1", "2024-10-15",
             "--t2", "2024-10-22",
             "--threads", "4",
+            "--metrics-json", "/tmp/m.json",
+            "--timings", "--verbose",
         ])
         .unwrap();
         assert_eq!(o.date.unwrap().to_string(), "2024-10-15 08:00:00");
@@ -535,6 +620,16 @@ mod tests {
         assert_eq!(o.method, PrependMethod::StripAfterGrouping);
         assert!(o.t1.unwrap() < o.t2.unwrap());
         assert_eq!(o.threads, Some(4));
+        assert_eq!(o.metrics_json.as_deref(), Some("/tmp/m.json"));
+        assert!(o.timings && o.verbose);
+    }
+
+    #[test]
+    fn metrics_registry_follows_the_flags() {
+        assert!(parse(&[]).unwrap().metrics().is_none(), "no flag, no overhead");
+        assert!(parse(&["--verbose"]).unwrap().metrics().is_some());
+        assert!(parse(&["--metrics-json", "-"]).unwrap().metrics().is_some());
+        assert!(parse(&["--metrics-json"]).is_err(), "needs a path");
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! `simulate` writes a synthetic MRT archive; every other subcommand works
 //! on any archive in the standard `<collector>/<yyyy.mm>/{RIBS,UPDATES}`
 //! layout — including real RIS/RouteViews mirrors.
+//!
+//! Analysis subcommands additionally accept `--metrics-json PATH` (write
+//! the deterministic stage/counter/warning metrics; `-` = stdout),
+//! `--timings` (include wall-clock durations), and `--verbose` (human
+//! -readable stage report on stderr).
 
 mod commands;
 

@@ -123,6 +123,82 @@ fn threads_flag_reproduces_serial_output() {
 }
 
 #[test]
+fn metrics_json_is_thread_invariant_and_reconciles() {
+    let dir = tmpdir("obs");
+    let date = "2012-07-15 08:00";
+    let out = pa()
+        .args(["simulate", "--date", date, "--scale", "400", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The count-only metrics payload (no --timings) must be byte-identical
+    // at every thread count: scheduling may never leak into the telemetry.
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let mpath = dir.join(format!("metrics-{threads}.json"));
+        let out = pa()
+            .args(["atoms", "--date", date, "--threads", threads, "--metrics-json"])
+            .arg(&mpath)
+            .arg("--archive")
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        payloads.push(std::fs::read(&mpath).unwrap());
+    }
+    assert_eq!(payloads[0], payloads[1], "--threads 2 metrics diverged from serial");
+    assert_eq!(payloads[0], payloads[2], "--threads 8 metrics diverged from serial");
+
+    // The counters must reconcile exactly with the sanitize report's
+    // accounting identity: every input prefix is kept or counted dropped.
+    let v: serde_json::Value = serde_json::from_slice(&payloads[0]).expect("valid JSON");
+    let counter = |key: &str| {
+        v["counters"][key]
+            .as_u64()
+            .unwrap_or_else(|| panic!("missing counter {key}"))
+    };
+    assert_eq!(
+        counter("sanitize.prefixes.before") - counter("sanitize.prefixes.after"),
+        counter("sanitize.prefixes.dropped_by_cleaning")
+            + counter("sanitize.prefixes.dropped_by_collectors")
+            + counter("sanitize.prefixes.dropped_by_peer_ases"),
+        "sanitize counters don't reconcile: {v:?}"
+    );
+    assert!(counter("atoms.count") > 0);
+    for stage in [
+        "pipeline.sanitize",
+        "pipeline.atoms",
+        "pipeline.stats",
+        "sanitize.infer_full_feed",
+        "sanitize.clean_tables",
+        "sanitize.visibility",
+        "atoms.scan",
+        "atoms.merge",
+        "atoms.assemble",
+    ] {
+        assert_eq!(v["stages"][stage].as_u64(), Some(1), "stage {stage} not recorded once");
+    }
+
+    // --timings adds a scheduling-dependent section on top of the same
+    // deterministic core, and --verbose writes the stage report to stderr.
+    let out = pa()
+        .args(["atoms", "--date", date, "--timings", "--verbose", "--metrics-json", "-"])
+        .arg("--archive")
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"timings\""), "--timings section missing: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pipeline.sanitize"), "--verbose report missing: {stderr}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn siblings_across_families() {
     let dir = tmpdir("sib");
     let date = "2024-01-15 08:00";

@@ -9,6 +9,7 @@
 //! identical signatures merge regardless of which announcement produced
 //! them.
 
+use crate::obs::Metrics;
 use crate::parallel::Parallelism;
 use crate::sanitize::SanitizedSnapshot;
 use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime};
@@ -130,6 +131,26 @@ pub fn compute_atoms(snap: &SanitizedSnapshot) -> AtomSet {
 ///
 /// Same vantage-point bound as [`compute_atoms`].
 pub fn compute_atoms_with(snap: &SanitizedSnapshot, par: Parallelism) -> AtomSet {
+    compute_atoms_with_observed(snap, par, None)
+}
+
+/// [`compute_atoms_with`] that records stage spans (`atoms.scan`,
+/// `atoms.merge`, `atoms.assemble`), result counters (`atoms.count`,
+/// `atoms.paths_interned`, `atoms.prefixes`), and per-worker scan items
+/// into `metrics`.
+///
+/// Stage *counts* are thread-count-invariant: the merge span is recorded
+/// on the serial path too (with zero duration, since serial scanning has
+/// no separate merge). Durations and worker splits are timings-gated.
+///
+/// # Panics
+///
+/// Same vantage-point bound as [`compute_atoms`].
+pub fn compute_atoms_with_observed(
+    snap: &SanitizedSnapshot,
+    par: Parallelism,
+    metrics: Option<&Metrics>,
+) -> AtomSet {
     assert!(
         snap.tables.len() <= u16::MAX as usize + 1,
         "snapshot has {} vantage points but signature peer indices are u16 \
@@ -138,11 +159,28 @@ pub fn compute_atoms_with(snap: &SanitizedSnapshot, par: Parallelism) -> AtomSet
         u16::MAX as usize + 1,
     );
     let (paths, signatures) = if par.workers_for(snap.tables.len()) <= 1 {
-        scan_serial(snap)
+        let scan_span = metrics.map(|m| m.span("atoms.scan"));
+        let out = scan_serial(snap);
+        drop(scan_span);
+        if let Some(m) = metrics {
+            // Keep the stage map identical across thread counts: the
+            // serial path has no distinct merge, record it at zero cost.
+            m.record_span("atoms.merge", std::time::Duration::ZERO);
+            m.record_worker_items("atoms.scan", &[snap.tables.len() as u64]);
+        }
+        out
     } else {
-        scan_parallel(snap, par)
+        scan_parallel(snap, par, metrics)
     };
-    assemble(snap, paths, signatures)
+    let assemble_span = metrics.map(|m| m.span("atoms.assemble"));
+    let set = assemble(snap, paths, signatures);
+    drop(assemble_span);
+    if let Some(m) = metrics {
+        m.add("atoms.count", set.atoms.len() as u64);
+        m.add("atoms.paths_interned", set.paths.len() as u64);
+        m.add("atoms.prefixes", set.prefix_count() as u64);
+    }
+    set
 }
 
 /// Prefix → sparse `(peer index, global path id)` signature rows.
@@ -210,9 +248,16 @@ fn scan_table(table: &[(Prefix, AsPath)]) -> Fragment {
 fn scan_parallel(
     snap: &SanitizedSnapshot,
     par: Parallelism,
+    metrics: Option<&Metrics>,
 ) -> (Vec<AsPath>, SignatureMap) {
-    let fragments: Vec<Fragment> =
-        par.map_indexed(snap.tables.len(), |i| scan_table(&snap.tables[i]));
+    let scan_span = metrics.map(|m| m.span("atoms.scan"));
+    let fragments: Vec<Fragment> = par.map_indexed_observed(
+        snap.tables.len(),
+        |i| scan_table(&snap.tables[i]),
+        metrics.map(|m| (m, "atoms.scan")),
+    );
+    drop(scan_span);
+    let merge_span = metrics.map(|m| m.span("atoms.merge"));
     let mut paths: Vec<AsPath> = Vec::new();
     let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
     let mut signatures = SignatureMap::new();
@@ -229,6 +274,7 @@ fn scan_parallel(
                 .push((peer_idx as u16, remap[local_id as usize]));
         }
     }
+    drop(merge_span);
     (paths, signatures)
 }
 
@@ -447,6 +493,29 @@ mod tests {
             // Path interning order (not just set equality) must match.
             assert_eq!(parallel.paths, serial.paths, "threads = {threads}");
         }
+    }
+
+    /// The deterministic portion of the metrics (counters, stage names +
+    /// counts) must not depend on the thread count; only timings may.
+    #[test]
+    fn observed_metrics_are_thread_count_invariant() {
+        let s = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9"), ("10.0.2.0/24", "1 6 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 5 9")]),
+            (3, &[("10.0.1.0/24", "3 6 9"), ("10.0.2.0/24", "3 5 9")]),
+        ]);
+        let observe = |threads: usize| {
+            let m = Metrics::new();
+            let set = compute_atoms_with_observed(&s, Parallelism::new(threads), Some(&m));
+            assert_eq!(m.counter("atoms.count"), set.atoms.len() as u64);
+            assert_eq!(m.counter("atoms.paths_interned"), set.paths.len() as u64);
+            m.to_json_string(false)
+        };
+        let serial = observe(1);
+        for threads in [2, 8] {
+            assert_eq!(observe(threads), serial, "threads = {threads}");
+        }
+        assert!(serial.contains("atoms.merge"), "merge span present serially too");
     }
 
     #[test]

@@ -77,9 +77,14 @@ pub struct FormationResult {
 }
 
 impl FormationResult {
-    /// % of atoms formed at exactly distance `d` (1-based).
+    /// % of atoms formed at exactly distance `d` (1-based). Distances are
+    /// 1-based — no atom forms at distance 0 — so `d == 0` is 0.0, not an
+    /// index underflow.
     pub fn at_distance(&self, d: usize) -> f64 {
-        self.atom_distance_pct.get(d - 1).copied().unwrap_or(0.0)
+        match d.checked_sub(1) {
+            Some(i) => self.atom_distance_pct.get(i).copied().unwrap_or(0.0),
+            None => 0.0,
+        }
     }
 }
 
@@ -408,6 +413,18 @@ mod tests {
         assert_eq!(f.n_origins, 1);
         assert_eq!(f.first_split_cum[0], 100.0);
         assert_eq!(f.all_split_cum[0], 100.0);
+    }
+
+    /// Distances are 1-based: `d == 0` is a valid query (e.g. from a loop
+    /// over `0..=max`) and must return 0.0, not underflow the index.
+    #[test]
+    fn at_distance_zero_is_zero_not_underflow() {
+        let atoms = atoms_from(&[(1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")])]);
+        let f = formation(&atoms, PrependMethod::UniqueOnRaw);
+        assert_eq!(f.at_distance(0), 0.0);
+        assert_eq!(f.at_distance(1), 100.0);
+        // Far past the histogram is equally safe.
+        assert_eq!(f.at_distance(usize::MAX), 0.0);
     }
 
     #[test]

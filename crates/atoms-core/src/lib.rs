@@ -17,6 +17,7 @@
 //! | [`splits`] | §4.4.1 split-event detection and observer counting |
 //! | [`pipeline`] | end-to-end orchestration |
 //! | [`parallel`] | deterministic worker pool backing the parallel stages |
+//! | [`obs`] | stage metrics + structured warning telemetry |
 //! | [`dynamics`] | §7.2 atom-level event vs. prefix-noise classification |
 //! | [`siblings`] | §7.3 IPv4/IPv6 sibling-atom matching |
 //! | [`report`] | table/CSV/JSON rendering for the experiment harness |
@@ -32,6 +33,7 @@
 pub mod atom;
 pub mod dynamics;
 pub mod formation;
+pub mod obs;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;
@@ -44,6 +46,7 @@ pub mod update_corr;
 pub mod vantage;
 
 pub use atom::{compute_atoms, compute_atoms_with, Atom, AtomSet};
+pub use obs::Metrics;
 pub use parallel::Parallelism;
 pub use pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
 pub use sanitize::{sanitize, sanitize_with, SanitizeConfig, SanitizeReport, SanitizedSnapshot};

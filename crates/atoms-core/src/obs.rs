@@ -1,0 +1,469 @@
+//! Pipeline observability: a zero-dependency (std + parking_lot) metrics
+//! registry threaded through every analysis stage.
+//!
+//! Three instrument families:
+//!
+//! * **counters** — monotone `u64` totals (items processed, entries
+//!   dropped per sanitize step, atoms produced);
+//! * **gauges** — last-written `f64` values (shares, sizes);
+//! * **spans** — monotonic stage timers ([`Metrics::span`] returns an RAII
+//!   guard); the *completion count* of every stage is deterministic, the
+//!   wall-clock duration is not.
+//!
+//! Plus a **structured warning ledger**: `(stage, kind)` → count, replacing
+//! silent drops and ad-hoc log strings with a greppable taxonomy (see
+//! DESIGN.md §7 for the kind slugs).
+//!
+//! # Determinism contract
+//!
+//! The serialized form ([`Metrics::to_json_string`]) has two parts:
+//!
+//! * counters, gauges, stage names + completion counts, and warning counts
+//!   are **byte-identical across thread counts and runs** for the same
+//!   input — every recording site feeds them from deterministically folded
+//!   values, and all maps are `BTreeMap`s;
+//! * wall-clock stage durations and per-worker job counts depend on
+//!   scheduling, so they are emitted only when the caller passes
+//!   `timings = true` (the CLI's `--timings` flag) and are excluded from
+//!   byte-identity tests.
+//!
+//! [`Metrics`] is cheaply cloneable (an `Arc` around one mutex); clones
+//! share the same registry, so a pipeline stage can record from wherever
+//! the handle was carried.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct StageStats {
+    /// Completed spans (deterministic).
+    count: u64,
+    /// Total wall-clock nanoseconds (timings-gated).
+    nanos: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    stages: BTreeMap<String, StageStats>,
+    warnings: BTreeMap<String, u64>,
+    /// Per-worker job counts by stage (timings-gated: work stealing makes
+    /// the split nondeterministic). Summed element-wise across calls.
+    worker_items: BTreeMap<String, Vec<u64>>,
+}
+
+/// Shared metrics registry. Clones share storage.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Metrics")
+            .field("counters", &inner.counters.len())
+            .field("stages", &inner.stages.len())
+            .field("warnings", &inner.warnings.len())
+            .finish()
+    }
+}
+
+/// RAII stage timer returned by [`Metrics::span`]: records one completion
+/// (and its duration) when dropped.
+pub struct Span {
+    metrics: Metrics,
+    name: &'static str,
+    started: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.metrics.record_span(self.name, self.started.elapsed());
+    }
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to counter `name` (created at zero on first use).
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Counter `name` += 1.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads counter `name` (zero when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.inner.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Reads gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.lock().gauges.get(name).copied()
+    }
+
+    /// Starts a monotonic stage timer; the returned guard records one
+    /// completion of `name` when it drops.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            metrics: self.clone(),
+            name,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one completed span of `name` with an explicit duration
+    /// (used by stages that measure themselves, and to keep the stage map
+    /// thread-count-invariant when a stage is a no-op on some code path).
+    pub fn record_span(&self, name: &str, elapsed: Duration) {
+        let mut inner = self.inner.lock();
+        let stage = inner.stages.entry(name.to_string()).or_default();
+        stage.count += 1;
+        stage.nanos = stage
+            .nanos
+            .saturating_add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Completion count of stage `name`.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.inner.lock().stages.get(name).map(|s| s.count).unwrap_or(0)
+    }
+
+    /// Records `count` structured warning events of `kind` at `stage`.
+    /// Zero-count calls are dropped so the warning map stays identical
+    /// between runs that produced no such event and runs that never
+    /// checked.
+    pub fn warn(&self, stage: &str, kind: &str, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let key = format!("{stage}.{kind}");
+        *inner.warnings.entry(key).or_default() += count;
+    }
+
+    /// Total warning events recorded for `stage.kind`.
+    pub fn warning_count(&self, stage: &str, kind: &str) -> u64 {
+        self.inner
+            .lock()
+            .warnings
+            .get(&format!("{stage}.{kind}"))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records how many jobs each worker of a parallel stage processed
+    /// (timings-gated output; summed element-wise across calls).
+    pub fn record_worker_items(&self, stage: &str, per_worker: &[u64]) {
+        let mut inner = self.inner.lock();
+        let slot = inner.worker_items.entry(stage.to_string()).or_default();
+        if slot.len() < per_worker.len() {
+            slot.resize(per_worker.len(), 0);
+        }
+        for (acc, &n) in slot.iter_mut().zip(per_worker) {
+            *acc += n;
+        }
+    }
+
+    /// Serializes the registry as deterministic pretty JSON.
+    ///
+    /// Without `timings` the output contains only the deterministic
+    /// sections (`counters`, `gauges`, `stages` with completion counts,
+    /// `warnings`) and is byte-identical across thread counts. With
+    /// `timings` a `timings` object (stage nanoseconds, per-worker job
+    /// counts) is appended; its values depend on scheduling.
+    pub fn to_json_string(&self, timings: bool) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::from("{\n");
+        write_map(&mut out, "counters", &inner.counters, |v| v.to_string());
+        out.push_str(",\n");
+        write_map(&mut out, "gauges", &inner.gauges, format_f64);
+        out.push_str(",\n");
+        write_map(&mut out, "stages", &inner.stages, |s| s.count.to_string());
+        out.push_str(",\n");
+        write_map(&mut out, "warnings", &inner.warnings, |v| v.to_string());
+        if timings {
+            out.push_str(",\n  \"timings\": {\n");
+            write_map_indented(
+                &mut out,
+                "stage_nanos",
+                &inner.stages,
+                |s| s.nanos.to_string(),
+                4,
+            );
+            out.push_str(",\n");
+            write_map_indented(
+                &mut out,
+                "worker_items",
+                &inner.worker_items,
+                |items| {
+                    let joined: Vec<String> = items.iter().map(u64::to_string).collect();
+                    format!("[{}]", joined.join(", "))
+                },
+                4,
+            );
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Human-readable stage report (the CLI's `--verbose` output).
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        if !inner.stages.is_empty() {
+            let _ = writeln!(out, "stages:");
+            for (name, s) in &inner.stages {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} ×{:<4} {:>10.3} ms",
+                    s.count,
+                    s.nanos as f64 / 1e6
+                );
+            }
+        }
+        if !inner.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &inner.counters {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+        if !inner.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &inner.gauges {
+                let _ = writeln!(out, "  {name:<40} {}", format_f64(v));
+            }
+        }
+        if !inner.warnings.is_empty() {
+            let _ = writeln!(out, "warnings:");
+            for (name, v) in &inner.warnings {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+        if !inner.worker_items.is_empty() {
+            let _ = writeln!(out, "worker items:");
+            for (name, items) in &inner.worker_items {
+                let joined: Vec<String> = items.iter().map(u64::to_string).collect();
+                let _ = writeln!(out, "  {name:<40} [{}]", joined.join(", "));
+            }
+        }
+        out
+    }
+}
+
+/// Formats an `f64` deterministically (shortest round-trip via `{}`), with
+/// an explicit `.0` so the JSON value stays a float.
+fn format_f64(v: &f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        if s.contains("inf") || s.contains("NaN") {
+            // JSON has no non-finite numbers; emit null.
+            return "null".to_string();
+        }
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_map<V>(
+    out: &mut String,
+    name: &str,
+    map: &BTreeMap<String, V>,
+    mut fmt_value: impl FnMut(&V) -> String,
+) {
+    write_map_indented(out, name, map, &mut fmt_value, 2);
+}
+
+fn write_map_indented<V>(
+    out: &mut String,
+    name: &str,
+    map: &BTreeMap<String, V>,
+    mut fmt_value: impl FnMut(&V) -> String,
+    indent: usize,
+) {
+    let pad = " ".repeat(indent);
+    if map.is_empty() {
+        let _ = write!(out, "{pad}\"{name}\": {{}}");
+        return;
+    }
+    let _ = writeln!(out, "{pad}\"{name}\": {{");
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(out, "{pad}  \"{}\": {}", escape_json(k), fmt_value(v));
+    }
+    let _ = write!(out, "\n{pad}}}");
+}
+
+/// Escapes a key for JSON embedding. Keys are our own slug taxonomy
+/// (ASCII, dot-separated), so this only has to be correct, not fast.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let m = Metrics::new();
+        m.incr("a.b");
+        m.add("a.b", 4);
+        m.set_gauge("g", 1.5);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.counter("a.b"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn spans_count_completions() {
+        let m = Metrics::new();
+        {
+            let _s = m.span("stage.one");
+        }
+        {
+            let _s = m.span("stage.one");
+        }
+        m.record_span("stage.two", Duration::ZERO);
+        assert_eq!(m.span_count("stage.one"), 2);
+        assert_eq!(m.span_count("stage.two"), 1);
+        assert_eq!(m.span_count("stage.absent"), 0);
+    }
+
+    #[test]
+    fn warnings_accumulate_and_drop_zero() {
+        let m = Metrics::new();
+        m.warn("replay", "out_of_order_update", 0);
+        assert_eq!(m.warning_count("replay", "out_of_order_update"), 0);
+        m.warn("replay", "out_of_order_update", 3);
+        m.warn("replay", "out_of_order_update", 2);
+        assert_eq!(m.warning_count("replay", "out_of_order_update"), 5);
+        // Zero-count events leave no key behind: deterministic maps.
+        assert!(!m.to_json_string(false).contains("never"));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.incr("shared");
+        assert_eq!(m.counter("shared"), 1);
+    }
+
+    #[test]
+    fn json_without_timings_is_deterministic() {
+        let build = || {
+            let m = Metrics::new();
+            m.add("z.last", 2);
+            m.add("a.first", 1);
+            m.set_gauge("share", 0.5);
+            m.record_span("stage", Duration::from_millis(3));
+            m.warn("mrt", "bad_marker", 1);
+            m.record_worker_items("stage", &[7, 3]);
+            m.to_json_string(false)
+        };
+        let a = build();
+        assert_eq!(a, build());
+        // Keys come out sorted; timings (and worker items) are absent.
+        assert!(a.find("a.first").unwrap() < a.find("z.last").unwrap());
+        assert!(!a.contains("timings"));
+        assert!(!a.contains("worker_items"));
+        assert!(a.contains("\"stage\": 1"), "span count present:\n{a}");
+    }
+
+    #[test]
+    fn json_with_timings_adds_durations_and_workers() {
+        let m = Metrics::new();
+        m.record_span("stage", Duration::from_nanos(42));
+        m.record_worker_items("stage", &[5, 1]);
+        m.record_worker_items("stage", &[1]);
+        let s = m.to_json_string(true);
+        assert!(s.contains("\"timings\""));
+        assert!(s.contains("\"stage_nanos\""));
+        assert!(s.contains("\"stage\": 42"));
+        assert!(s.contains("[6, 1]"), "worker items summed element-wise:\n{s}");
+    }
+
+    #[test]
+    fn json_is_parseable() {
+        let m = Metrics::new();
+        m.add("c", 1);
+        m.set_gauge("g", 2.0);
+        m.record_span("s", Duration::from_micros(10));
+        m.warn("w", "kind", 2);
+        m.record_worker_items("s", &[4]);
+        for timings in [false, true] {
+            let v: serde_json::Value =
+                serde_json::from_str(&m.to_json_string(timings)).expect("valid JSON");
+            assert_eq!(v["counters"]["c"].as_u64(), Some(1));
+            assert_eq!(v["stages"]["s"].as_u64(), Some(1));
+            assert_eq!(v["warnings"]["w.kind"].as_u64(), Some(2));
+            assert_eq!(v["timings"].as_object().is_some(), timings);
+        }
+    }
+
+    #[test]
+    fn render_lists_every_section() {
+        let m = Metrics::new();
+        m.add("c", 1);
+        m.set_gauge("g", 0.25);
+        m.record_span("s", Duration::from_millis(1));
+        m.warn("w", "kind", 2);
+        let text = m.render();
+        for section in ["stages:", "counters:", "gauges:", "warnings:"] {
+            assert!(text.contains(section), "{section} missing:\n{text}");
+        }
+    }
+
+    #[test]
+    fn f64_formatting_stays_json() {
+        assert_eq!(format_f64(&2.0), "2.0");
+        assert_eq!(format_f64(&0.5), "0.5");
+        assert_eq!(format_f64(&f64::NAN), "null");
+        assert_eq!(format_f64(&f64::INFINITY), "null");
+    }
+}

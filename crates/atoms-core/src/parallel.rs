@@ -8,6 +8,7 @@
 //! (crossbeam scoped threads + a parking_lot mutex for result slots); no
 //! extra crates are required.
 
+use crate::obs::Metrics;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -83,15 +84,39 @@ impl Parallelism {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.map_indexed_observed(n, f, None)
+    }
+
+    /// [`Parallelism::map_indexed`] that additionally records how many
+    /// jobs each worker processed into `obs` as `(metrics, stage)` —
+    /// timings-gated output, since work stealing makes the per-worker
+    /// split scheduling-dependent. Pass `None` to skip recording.
+    pub fn map_indexed_observed<T, F>(
+        &self,
+        n: usize,
+        f: F,
+        obs: Option<(&Metrics, &str)>,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         let workers = self.workers_for(n);
         if workers <= 1 || n <= 1 {
+            if let Some((metrics, stage)) = obs {
+                metrics.record_worker_items(stage, &[n as u64]);
+            }
             return (0..n).map(f).collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        let items: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+        // `move` closures below capture only these references (plus `w` by
+        // value), so the shared state itself stays on this frame.
         let outcome = crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
+            for w in 0..workers {
+                let (f, next, slots, items) = (&f, &next, &slots, &items);
+                scope.spawn(move |_| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -100,11 +125,17 @@ impl Parallelism {
                     // cheap slot write.
                     let value = f(i);
                     slots.lock()[i] = Some(value);
+                    items[w].fetch_add(1, Ordering::Relaxed);
                 });
             }
         });
         if let Err(payload) = outcome {
             std::panic::resume_unwind(payload);
+        }
+        if let Some((metrics, stage)) = obs {
+            let per_worker: Vec<u64> =
+                items.iter().map(|c| c.load(Ordering::Relaxed) as u64).collect();
+            metrics.record_worker_items(stage, &per_worker);
         }
         slots
             .into_inner()
@@ -180,6 +211,25 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn observed_map_counts_every_job_once() {
+        for par in [Parallelism::serial(), Parallelism::new(4)] {
+            let m = Metrics::new();
+            let out = par.map_indexed_observed(50, |i| i, Some((&m, "stage")));
+            assert_eq!(out.len(), 50);
+            // However the scheduler split the work, totals reconcile.
+            let json = m.to_json_string(true);
+            let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            let total: u64 = v["timings"]["worker_items"]["stage"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_u64().unwrap())
+                .sum();
+            assert_eq!(total, 50, "worker items don't sum to job count: {json}");
+        }
     }
 
     #[test]

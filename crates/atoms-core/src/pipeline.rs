@@ -1,11 +1,13 @@
 //! End-to-end orchestration: captured snapshot → sanitized input → atoms →
 //! general statistics.
 
-use crate::atom::{compute_atoms_with, AtomSet};
+use crate::atom::{compute_atoms_with_observed, AtomSet};
+use crate::obs::Metrics;
 use crate::parallel::Parallelism;
-use crate::sanitize::{sanitize_with, SanitizeConfig, SanitizedSnapshot};
+use crate::sanitize::{sanitize_with_observed, SanitizeConfig, SanitizedSnapshot};
 use crate::stats::{general_stats, GeneralStats};
 use bgp_collect::{CapturedSnapshot, CapturedUpdates};
+use bgp_mrt::MrtWarning;
 use serde::{Deserialize, Serialize};
 
 /// Pipeline configuration.
@@ -37,14 +39,58 @@ pub fn analyze_snapshot(
     updates: Option<&CapturedUpdates>,
     cfg: &PipelineConfig,
 ) -> SnapshotAnalysis {
+    analyze_snapshot_observed(snap, updates, cfg, None)
+}
+
+/// [`analyze_snapshot`] that records one span per pipeline stage
+/// (`pipeline.sanitize`, `pipeline.atoms`, `pipeline.stats`), the nested
+/// per-stage counters, and every MRT parse warning carried by the inputs
+/// as structured `mrt.<kind>` warning events.
+pub fn analyze_snapshot_observed(
+    snap: &CapturedSnapshot,
+    updates: Option<&CapturedUpdates>,
+    cfg: &PipelineConfig,
+    metrics: Option<&Metrics>,
+) -> SnapshotAnalysis {
     let update_warnings = updates.map(|u| u.warnings.as_slice()).unwrap_or(&[]);
-    let sanitized = sanitize_with(snap, update_warnings, &cfg.sanitize, cfg.parallelism);
-    let atoms = compute_atoms_with(&sanitized, cfg.parallelism);
+    if let Some(m) = metrics {
+        record_mrt_warnings(m, snap.warnings.iter().chain(update_warnings));
+    }
+    let sanitize_span = metrics.map(|m| m.span("pipeline.sanitize"));
+    let sanitized = sanitize_with_observed(
+        snap,
+        update_warnings,
+        &cfg.sanitize,
+        cfg.parallelism,
+        metrics,
+    );
+    drop(sanitize_span);
+    let atoms_span = metrics.map(|m| m.span("pipeline.atoms"));
+    let atoms = compute_atoms_with_observed(&sanitized, cfg.parallelism, metrics);
+    drop(atoms_span);
+    let stats_span = metrics.map(|m| m.span("pipeline.stats"));
     let stats = general_stats(&atoms);
+    drop(stats_span);
     SnapshotAnalysis {
         sanitized,
         atoms,
         stats,
+    }
+}
+
+/// Folds MRT parse warnings into the metrics ledger, keyed by the
+/// warning-kind slug (`mrt.unknown_type`, `mrt.bad_marker`, …).
+fn record_mrt_warnings<'a>(
+    metrics: &Metrics,
+    warnings: impl Iterator<Item = &'a MrtWarning>,
+) {
+    use std::collections::BTreeMap;
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for w in warnings {
+        *by_kind.entry(w.kind.slug()).or_default() += 1;
+    }
+    for (slug, count) in by_kind {
+        metrics.warn("mrt", slug, count);
     }
 }
 
@@ -72,6 +118,38 @@ mod tests {
             analysis.sanitized.report.prefixes_after
         );
         assert_eq!(analysis.stats.n_prefixes, analysis.sanitized.prefix_count());
+    }
+
+    #[test]
+    fn observed_pipeline_metrics_are_thread_count_invariant() {
+        let date = "2012-01-15 08:00".parse().unwrap();
+        let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 300.0));
+        let mut s = Scenario::build(era);
+        let captured = CapturedSnapshot::from_sim(&s.snapshot(date));
+        let observe = |threads: usize| {
+            let cfg = PipelineConfig {
+                parallelism: crate::parallel::Parallelism::new(threads),
+                ..PipelineConfig::default()
+            };
+            let m = crate::obs::Metrics::new();
+            let analysis = analyze_snapshot_observed(&captured, None, &cfg, Some(&m));
+            // Counters reconcile with the report the analysis carries.
+            let r = &analysis.sanitized.report;
+            assert_eq!(
+                r.prefixes_before - r.prefixes_after,
+                r.dropped_by_cleaning + r.dropped_by_collectors + r.dropped_by_peer_ases
+            );
+            assert_eq!(m.counter("sanitize.prefixes.after"), r.prefixes_after as u64);
+            assert_eq!(m.counter("atoms.count"), analysis.stats.n_atoms as u64);
+            m.to_json_string(false)
+        };
+        let serial = observe(1);
+        for threads in [2, 8] {
+            assert_eq!(observe(threads), serial, "threads = {threads}");
+        }
+        for stage in ["pipeline.sanitize", "pipeline.atoms", "pipeline.stats"] {
+            assert!(serial.contains(stage), "{stage} span missing:\n{serial}");
+        }
     }
 
     #[test]

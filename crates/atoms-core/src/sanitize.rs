@@ -11,6 +11,7 @@
 //! 6. keep only prefixes seen at ≥ 2 collectors **and** ≥ 4 peer ASes;
 //! 7. label (but keep) MOAS prefixes.
 
+use crate::obs::Metrics;
 use crate::parallel::Parallelism;
 use crate::vantage::{infer_full_feed_with_ratio, VantageReport};
 use bgp_collect::{CapturedSnapshot, CapturedTable};
@@ -75,6 +76,12 @@ pub struct SanitizeReport {
     pub expanded_as_set_paths: usize,
     /// Duplicate (peer, prefix) entries collapsed.
     pub collapsed_duplicates: usize,
+    /// Prefixes removed entirely by entry-level cleaning (step 5): every
+    /// occurrence fell to a length cap or an AS-SET drop, so the prefix
+    /// never reached the visibility filters. Closes the accounting
+    /// identity `prefixes_before − prefixes_after == dropped_by_cleaning
+    /// + dropped_by_collectors + dropped_by_peer_ases`.
+    pub dropped_by_cleaning: usize,
     /// Prefixes dropped by the ≥ N collectors rule.
     pub dropped_by_collectors: usize,
     /// Prefixes dropped by the ≥ N peer-AS rule.
@@ -241,10 +248,27 @@ pub fn sanitize_with(
     cfg: &SanitizeConfig,
     par: Parallelism,
 ) -> SanitizedSnapshot {
+    sanitize_with_observed(snap, update_warnings, cfg, par, None)
+}
+
+/// [`sanitize_with`] that additionally records one counter per sanitize
+/// step, span timings per phase, and per-worker job counts into `metrics`
+/// (see DESIGN.md §7 for the counter taxonomy). All recorded counts are
+/// derived from the deterministically folded [`SanitizeReport`], so the
+/// metrics are byte-identical at any thread count.
+pub fn sanitize_with_observed(
+    snap: &CapturedSnapshot,
+    update_warnings: &[MrtWarning],
+    cfg: &SanitizeConfig,
+    par: Parallelism,
+    metrics: Option<&Metrics>,
+) -> SanitizedSnapshot {
     let mut report = SanitizeReport::default();
 
     // (1) Full-feed inference over the raw tables.
+    let infer_span = metrics.map(|m| m.span("sanitize.infer_full_feed"));
     let vantage = infer_full_feed_with_ratio(snap, cfg.full_feed_ratio);
+    drop(infer_span);
     let full_flags: HashMap<PeerKey, bool> = vantage
         .per_peer
         .iter()
@@ -276,8 +300,13 @@ pub fn sanitize_with(
                 && !broken_asns.contains(&table.peer.asn)
         })
         .collect();
-    let outcomes: Vec<TableOutcome> =
-        par.map_indexed(candidates.len(), |i| clean_table(candidates[i], cfg));
+    let clean_span = metrics.map(|m| m.span("sanitize.clean_tables"));
+    let outcomes: Vec<TableOutcome> = par.map_indexed_observed(
+        candidates.len(),
+        |i| clean_table(candidates[i], cfg),
+        metrics.map(|m| (m, "sanitize.clean_tables")),
+    );
+    drop(clean_span);
 
     // Deterministic fold in original table order: report counters, removal
     // lists, and kept tables come out identical at any thread count.
@@ -303,6 +332,7 @@ pub fn sanitize_with(
     report.removed_duplicate_peers = removed_duplicates;
 
     // (6) visibility filters across kept peers.
+    let visibility_span = metrics.map(|m| m.span("sanitize.visibility"));
     let peer_collector: HashMap<PeerKey, u16> = snap
         .tables
         .iter()
@@ -318,6 +348,9 @@ pub fn sanitize_with(
         }
     }
     report.prefixes_before = raw_prefixes.len();
+    // Cleaned prefixes are a subset of the kept peers' raw prefixes; the
+    // difference is what entry-level cleaning removed outright.
+    report.dropped_by_cleaning = raw_prefixes.len() - collectors_of.len();
     let mut eligible: BTreeSet<Prefix> = BTreeSet::new();
     for (prefix, collectors) in &collectors_of {
         if collectors.len() < cfg.min_collectors {
@@ -331,6 +364,7 @@ pub fn sanitize_with(
         eligible.insert(*prefix);
     }
     report.prefixes_after = eligible.len();
+    drop(visibility_span);
 
     // (7) MOAS labelling on eligible prefixes.
     let mut origins_of: BTreeMap<Prefix, BTreeSet<Asn>> = BTreeMap::new();
@@ -370,6 +404,10 @@ pub fn sanitize_with(
         .collect();
     final_tables.sort_by_key(|(peer, _)| *peer);
 
+    if let Some(m) = metrics {
+        record_sanitize_counters(m, &report, final_tables.len());
+    }
+
     SanitizedSnapshot {
         timestamp: snap.timestamp,
         family: snap.family,
@@ -377,6 +415,61 @@ pub fn sanitize_with(
         tables: final_tables.into_iter().map(|(_, t)| t).collect(),
         report,
     }
+}
+
+/// One counter per sanitize step, all derived from the deterministically
+/// folded report so metrics output is thread-count-invariant. The
+/// `sanitize.prefixes.*` family satisfies `before − after ==
+/// dropped_by_cleaning + dropped_by_collectors + dropped_by_peer_ases`.
+fn record_sanitize_counters(m: &Metrics, report: &SanitizeReport, kept_peers: usize) {
+    m.add("sanitize.peers.kept", kept_peers as u64);
+    m.add(
+        "sanitize.peers.excluded_partial",
+        report.excluded_partial_peers as u64,
+    );
+    m.add(
+        "sanitize.peers.removed_addpath",
+        report.removed_addpath_peers.len() as u64,
+    );
+    m.add(
+        "sanitize.peers.removed_private_asn",
+        report.removed_private_asn_peers.len() as u64,
+    );
+    m.add(
+        "sanitize.peers.removed_duplicate",
+        report.removed_duplicate_peers.len() as u64,
+    );
+    m.add(
+        "sanitize.entries.dropped_by_length",
+        report.dropped_by_length as u64,
+    );
+    m.add(
+        "sanitize.entries.collapsed_duplicates",
+        report.collapsed_duplicates as u64,
+    );
+    m.add(
+        "sanitize.entries.expanded_as_set",
+        report.expanded_as_set_paths as u64,
+    );
+    m.add(
+        "sanitize.entries.dropped_as_set",
+        report.dropped_as_set_paths as u64,
+    );
+    m.add("sanitize.prefixes.before", report.prefixes_before as u64);
+    m.add(
+        "sanitize.prefixes.dropped_by_cleaning",
+        report.dropped_by_cleaning as u64,
+    );
+    m.add(
+        "sanitize.prefixes.dropped_by_collectors",
+        report.dropped_by_collectors as u64,
+    );
+    m.add(
+        "sanitize.prefixes.dropped_by_peer_ases",
+        report.dropped_by_peer_ases as u64,
+    );
+    m.add("sanitize.prefixes.after", report.prefixes_after as u64);
+    m.add("sanitize.prefixes.moas", report.moas_prefixes as u64);
 }
 
 /// Counts prefixes surviving every `(min collectors, min peer ASes)`
@@ -555,8 +648,10 @@ mod tests {
         assert_eq!(s.report.dropped_by_length, 4);
         assert_eq!(s.prefix_count(), 50);
         // The before-filtering baseline is counted from raw kept tables,
-        // so the capped /25 is still in it.
+        // so the capped /25 is still in it — and its removal is accounted
+        // to entry-level cleaning.
         assert_eq!(s.report.prefixes_before, 51);
+        assert_eq!(s.report.dropped_by_cleaning, 1);
         assert_eq!(s.report.prefixes_after, 50);
         // Caps can be disabled.
         let s = sanitize(
@@ -656,6 +751,60 @@ mod tests {
         let s = sanitize(&snap, &[], &SanitizeConfig::default());
         assert_eq!(s.report.moas_prefixes, 1);
         assert_eq!(s.report.prefixes_after, 100);
+    }
+
+    /// The prefix-accounting identity and the derived metrics counters
+    /// hold on a messy input exercising every drop path.
+    #[test]
+    fn observed_counters_reconcile_with_report() {
+        let mut snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 2, 100)]);
+        // A /25 everywhere (cleaned away), a multi-AS-SET path everywhere
+        // (cleaned away), and a two-peer prefix (visibility-dropped).
+        for t in &mut snap.tables {
+            t.entries.push(RibEntry::new(
+                "192.0.2.128/25".parse().unwrap(),
+                "1 64496".parse().unwrap(),
+            ));
+            t.entries.push(RibEntry::new(
+                "198.51.100.0/24".parse().unwrap(),
+                "1 3356 [64496 64497]".parse().unwrap(),
+            ));
+        }
+        let x: Prefix = "203.0.113.0/24".parse().unwrap();
+        snap.tables[0].entries.push(RibEntry::new(x, "1 9 900000".parse().unwrap()));
+        snap.tables[1].entries.push(RibEntry::new(x, "2 9 900000".parse().unwrap()));
+
+        let m = Metrics::new();
+        let s = sanitize_with_observed(
+            &snap,
+            &[],
+            &SanitizeConfig::default(),
+            Parallelism::new(4),
+            Some(&m),
+        );
+        let r = &s.report;
+        assert_eq!(
+            r.prefixes_before - r.prefixes_after,
+            r.dropped_by_cleaning + r.dropped_by_collectors + r.dropped_by_peer_ases,
+            "accounting identity violated: {r:?}"
+        );
+        assert_eq!(r.dropped_by_cleaning, 2, "the /25 and the AS-SET prefix");
+        // Metrics mirror the report exactly.
+        assert_eq!(m.counter("sanitize.prefixes.before"), r.prefixes_before as u64);
+        assert_eq!(m.counter("sanitize.prefixes.after"), r.prefixes_after as u64);
+        assert_eq!(
+            m.counter("sanitize.prefixes.dropped_by_cleaning"),
+            r.dropped_by_cleaning as u64
+        );
+        assert_eq!(m.counter("sanitize.peers.kept"), s.peers.len() as u64);
+        assert_eq!(
+            m.counter("sanitize.entries.dropped_by_length"),
+            r.dropped_by_length as u64
+        );
+        // One span per phase, regardless of thread count.
+        for stage in ["sanitize.infer_full_feed", "sanitize.clean_tables", "sanitize.visibility"] {
+            assert_eq!(m.span_count(stage), 1, "{stage}");
+        }
     }
 
     #[test]

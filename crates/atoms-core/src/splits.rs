@@ -39,7 +39,21 @@ impl SplitEvent {
 }
 
 /// Detects split events across a `(t, t+1, t+2)` snapshot triple.
+///
+/// # Panics
+///
+/// Panics when `t2` has more than `u16::MAX + 1` vantage points: observer
+/// checks compare signature entries by `u16` peer index, and a truncating
+/// cast would alias distinct peers (the same bound [`crate::compute_atoms`]
+/// enforces when building signatures).
 pub fn detect_splits(t0: &AtomSet, t1: &AtomSet, t2: &AtomSet) -> Vec<SplitEvent> {
+    assert!(
+        t2.peers.len() <= u16::MAX as usize + 1,
+        "snapshot has {} vantage points but signature peer indices are u16 \
+         (at most {} supported)",
+        t2.peers.len(),
+        u16::MAX as usize + 1,
+    );
     // Atoms present (same composition) in both t0 and t1.
     let sets_t0: HashSet<&[Prefix]> = t0.atoms.iter().map(|a| a.prefixes.as_slice()).collect();
     let stable: Vec<&crate::atom::Atom> = t1
@@ -290,6 +304,54 @@ mod tests {
         ];
         let cdf = observer_cdf(&events);
         assert_eq!(cdf, vec![(1, 2.0 / 3.0), (2, 1.0)]);
+    }
+
+    /// Empty event slices produce well-defined output: an empty CDF and a
+    /// zeroed breakdown, never NaN from a 0-division.
+    #[test]
+    fn empty_events_yield_empty_cdf_and_zeroed_breakdown() {
+        let cdf = observer_cdf(&[]);
+        assert!(cdf.is_empty());
+        assert!(cdf.iter().all(|&(_, share)| share.is_finite()));
+
+        let day = SimTime::from_unix(0);
+        let b = DailySplitBreakdown::from_events(day, &[]);
+        assert_eq!(b.total, 0);
+        assert_eq!(b.multi_observer, 0);
+        assert_eq!(b.single_observer(), 0);
+        assert!(b.single_observer_by_peer.is_empty());
+        assert_eq!(b.day, day);
+    }
+
+    /// All-zero-observer events are also a degenerate input for the CDF
+    /// (every count is filtered out) — still no NaN.
+    #[test]
+    fn all_unobserved_events_yield_empty_cdf() {
+        let ev = SplitEvent {
+            seen_at: SimTime::from_unix(0),
+            prefixes: vec![],
+            fragments: 2,
+            observers: vec![],
+        };
+        assert!(observer_cdf(&[ev.clone(), ev]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "peer indices are u16")]
+    fn detect_splits_rejects_peer_index_overflow() {
+        use std::net::{IpAddr, Ipv4Addr};
+        let n = u16::MAX as usize + 2;
+        let wide = crate::atom::AtomSet {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            peers: (0..n)
+                .map(|i| PeerKey::new(Asn(i as u32), IpAddr::V4(Ipv4Addr::from(i as u32))))
+                .collect(),
+            paths: vec![],
+            atoms: vec![],
+        };
+        let small = build(&[&[(0, "1 9"), (1, "1 9")]]);
+        detect_splits(&small, &small, &wide);
     }
 
     fn dummy_atom() -> Atom {

@@ -121,7 +121,13 @@ pub fn correlate(
     let as_index: HashMap<Asn, u32> = as_prefixes
         .keys()
         .enumerate()
-        .map(|(i, &a)| (a, i as u32))
+        .map(|(i, &a)| {
+            // Origin ASes are distinct u32 ASNs, so this can't actually
+            // overflow — but a silent truncation would merge tallies of
+            // unrelated ASes, so make the bound explicit.
+            let i = u32::try_from(i).expect("more than u32::MAX origin ASes");
+            (a, i)
+        })
         .collect();
     let as_size: Vec<usize> = as_prefixes.values().copied().collect();
     let as_multi: Vec<bool> = as_prefixes

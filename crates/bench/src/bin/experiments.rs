@@ -10,10 +10,14 @@
 //!   --out <dir>                output directory (default results/)
 //!   --threads <n>              quarter-sweep workers (0 = all cores, the
 //!                              default; results are identical at any n)
+//!   --metrics-json <path>      write pipeline stage/counter/warning metrics
+//!                              after the run (- = stdout); deterministic
+//!   --timings                  include wall-clock durations in the metrics
 //! env:
 //!   PA_SPLIT_DAYS=<n>          days for the split-observer study (default 40)
 //! ```
 
+use atoms_core::obs::Metrics;
 use atoms_core::parallel::Parallelism;
 use bench::experiments::{run, Comparison, ALL};
 use bench::Workbench;
@@ -25,6 +29,8 @@ fn main() {
     let mut scale: Option<f64> = None;
     let mut out_dir = String::from("results");
     let mut parallelism = Parallelism::auto();
+    let mut metrics_json: Option<String> = None;
+    let mut timings = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +51,11 @@ fn main() {
                     .unwrap_or_else(|| usage("--threads needs a count (0 = all cores)"));
                 parallelism = Parallelism::new(n);
             }
+            "--metrics-json" => {
+                metrics_json =
+                    Some(args.next().unwrap_or_else(|| usage("--metrics-json needs a path")));
+            }
+            "--timings" => timings = true,
             "-h" | "--help" => usage(""),
             other => ids.push(other.to_string()),
         }
@@ -52,7 +63,11 @@ fn main() {
     if ids.is_empty() {
         usage("no experiment ids given");
     }
-    let wb = Workbench::new(scale, &out_dir).with_parallelism(parallelism);
+    let metrics = metrics_json.as_ref().map(|_| Metrics::new());
+    let mut wb = Workbench::new(scale, &out_dir).with_parallelism(parallelism);
+    if let Some(m) = &metrics {
+        wb = wb.with_metrics(m.clone());
+    }
     if ids.iter().any(|i| i == "assemble") {
         let comparisons = load_comparisons(&wb);
         let md = render_experiments_md(&wb, &comparisons);
@@ -78,6 +93,9 @@ fn main() {
             eprintln!("cannot write {id}: {e}");
             std::process::exit(1);
         });
+        if let Some(m) = &metrics {
+            m.record_span(&format!("experiment.{id}"), t0.elapsed());
+        }
         println!("## {} ({:.1?})\n{}", output.title, t0.elapsed(), output.text);
         for c in &output.comparison {
             println!("  [{}] paper: {} | measured: {}", c.metric, c.paper, c.measured);
@@ -90,6 +108,18 @@ fn main() {
         let md = render_experiments_md(&wb, &all_comparisons);
         std::fs::write("EXPERIMENTS.md", md).expect("write EXPERIMENTS.md");
         println!("wrote EXPERIMENTS.md");
+    }
+
+    if let (Some(m), Some(path)) = (&metrics, &metrics_json) {
+        let json = m.to_json_string(timings);
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(path, json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+        }
     }
 }
 
@@ -173,7 +203,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: experiments [--scale N] [--out DIR] [--threads N] <id>... | all | report\n ids: {}",
+        "usage: experiments [--scale N] [--out DIR] [--threads N] \
+         [--metrics-json PATH] [--timings] <id>... | all | report\n ids: {}",
         ALL.join(", ")
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

@@ -1,7 +1,8 @@
 //! Scenario preparation and snapshot-ladder helpers.
 
+use atoms_core::obs::Metrics;
 use atoms_core::parallel::Parallelism;
-use atoms_core::pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
+use atoms_core::pipeline::{analyze_snapshot_observed, PipelineConfig, SnapshotAnalysis};
 use atoms_core::sanitize::SanitizeConfig;
 use bgp_collect::{CapturedSnapshot, CapturedUpdates};
 use bgp_sim::{generate_window, Era, Scenario};
@@ -24,6 +25,12 @@ pub struct Workbench {
     ///
     /// [`prepare_many`]: Workbench::prepare_many
     pub parallelism: Parallelism,
+    /// Observability registry (the harness's `--metrics-json`): when set,
+    /// every snapshot analysis records stage spans and counters into it.
+    /// Clones share the registry. Note the process-lifetime prepare cache:
+    /// a snapshot already prepared by an earlier experiment is returned
+    /// from cache and records nothing on the second read.
+    pub metrics: Option<Metrics>,
 }
 
 impl Default for Workbench {
@@ -32,6 +39,7 @@ impl Default for Workbench {
             scale: None,
             out_dir: PathBuf::from("results"),
             parallelism: Parallelism::auto(),
+            metrics: None,
         }
     }
 }
@@ -70,6 +78,13 @@ impl Workbench {
     /// harness's `--threads`).
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Workbench {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Same workbench recording into `metrics` (the harness's
+    /// `--metrics-json`).
+    pub fn with_metrics(mut self, metrics: Metrics) -> Workbench {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -163,7 +178,8 @@ impl Workbench {
         let events = generate_window(&mut scenario, date, 4, 0x5EED);
         let captured = CapturedSnapshot::from_sim(&snap);
         let updates = CapturedUpdates::from_sim(&events);
-        let analysis = analyze_snapshot(&captured, Some(&updates), cfg);
+        let analysis =
+            analyze_snapshot_observed(&captured, Some(&updates), cfg, self.metrics.as_ref());
         PreparedSnapshot {
             scenario,
             captured,
@@ -190,7 +206,7 @@ impl Workbench {
         let mut scenario = Scenario::build(era);
         let snap = scenario.snapshot(date);
         let captured = CapturedSnapshot::from_sim(&snap);
-        let base = analyze_snapshot(&captured, None, cfg);
+        let base = analyze_snapshot_observed(&captured, None, cfg, self.metrics.as_ref());
 
         let mut horizons = Vec::with_capacity(3);
         let offsets = [8 * 3600u64, 24 * 3600, 7 * 86_400];
@@ -201,7 +217,7 @@ impl Workbench {
             applied = target;
             let snap = scenario.snapshot(date.plus_secs(offset));
             let captured = CapturedSnapshot::from_sim(&snap);
-            horizons.push(analyze_snapshot(&captured, None, cfg));
+            horizons.push(analyze_snapshot_observed(&captured, None, cfg, self.metrics.as_ref()));
         }
         let horizons: [SnapshotAnalysis; 3] = horizons
             .try_into()

@@ -16,6 +16,7 @@ pub struct ReplayState {
     tables: BTreeMap<PeerKey, BTreeMap<Prefix, RouteAttrs>>,
     collectors: BTreeMap<PeerKey, u16>,
     applied: usize,
+    rejected_out_of_order: usize,
     last_timestamp: Option<SimTime>,
 }
 
@@ -32,6 +33,12 @@ pub struct ReplayStats {
     /// Announcements from peers absent in the base snapshot (a new session;
     /// the peer's table is created on the fly).
     pub new_peers: usize,
+    /// Records rejected because their timestamp was strictly older than the
+    /// newest state already applied. Replaying such a record would rewind
+    /// history — e.g. resurrect a withdrawn route — so it is dropped and
+    /// counted instead. Archives are loaded time-sorted, so a nonzero count
+    /// signals a corrupt or hand-assembled stream.
+    pub out_of_order: usize,
 }
 
 impl ReplayState {
@@ -70,9 +77,27 @@ impl ReplayState {
         self.applied
     }
 
+    /// Out-of-order records rejected so far.
+    pub fn rejected_out_of_order(&self) -> usize {
+        self.rejected_out_of_order
+    }
+
     /// Applies one update record.
+    ///
+    /// A record strictly older than the newest timestamp already applied is
+    /// **rejected** (counted in [`ReplayStats::out_of_order`], otherwise a
+    /// no-op): applying it would let stale state overwrite newer state —
+    /// most visibly, re-announce a route a later record already withdrew.
+    /// Equal timestamps are fine; real streams carry many ties.
     pub fn apply(&mut self, record: &UpdateRecord) -> ReplayStats {
         let mut stats = ReplayStats::default();
+        if let Some(last) = self.last_timestamp {
+            if record.timestamp < last {
+                self.rejected_out_of_order += 1;
+                stats.out_of_order = 1;
+                return stats;
+            }
+        }
         if !self.tables.contains_key(&record.peer) {
             stats.new_peers = 1;
         }
@@ -106,6 +131,7 @@ impl ReplayState {
             total.withdrawn += s.withdrawn;
             total.spurious_withdrawals += s.spurious_withdrawals;
             total.new_peers += s.new_peers;
+            total.out_of_order += s.out_of_order;
         }
         total
     }
@@ -217,6 +243,63 @@ mod tests {
         assert_eq!(stats.announced, 1);
         assert_eq!(state.route_count(), 3);
         assert_eq!(state.applied(), 1);
+    }
+
+    /// A record older than the newest applied state is rejected and
+    /// counted — it must not rewind history.
+    #[test]
+    fn out_of_order_record_is_rejected_and_counted() {
+        let snap = base();
+        let mut state = ReplayState::from_snapshot(&snap);
+        // Withdraw 10.0.0.0/24 at t=1300…
+        let w = UpdateRecord::withdraw(
+            SimTime::from_unix(1300),
+            peer(1),
+            vec!["10.0.0.0/24".parse().unwrap()],
+        );
+        state.apply(&w);
+        assert_eq!(state.route_count(), 1);
+        // …then a stale announcement from t=1200 arrives. Before the fix it
+        // silently resurrected the withdrawn route.
+        let stale = announce(1200, "10.0.0.0/24", "1 5 9");
+        let stats = state.apply(&stale);
+        assert_eq!(stats.out_of_order, 1);
+        assert_eq!(stats.announced, 0);
+        assert_eq!(state.route_count(), 1, "withdrawn route stayed withdrawn");
+        assert_eq!(state.rejected_out_of_order(), 1);
+        assert_eq!(state.applied(), 1, "rejected record is not 'applied'");
+        // The state's clock did not move backwards either.
+        assert_eq!(
+            state.to_snapshot(&snap).timestamp,
+            SimTime::from_unix(1300)
+        );
+    }
+
+    /// Records older than the base snapshot itself are equally stale.
+    #[test]
+    fn records_before_the_base_snapshot_are_rejected() {
+        let snap = base(); // timestamp 1000
+        let mut state = ReplayState::from_snapshot(&snap);
+        let stats = state.apply(&announce(900, "10.0.7.0/24", "1 9"));
+        assert_eq!(stats.out_of_order, 1);
+        assert_eq!(state.route_count(), 2);
+    }
+
+    /// Equal timestamps are legitimate (real streams are full of ties) and
+    /// out-of-order counts aggregate through `apply_until`.
+    #[test]
+    fn equal_timestamps_apply_and_aggregate_counts() {
+        let snap = base();
+        let mut state = ReplayState::from_snapshot(&snap);
+        let records = vec![
+            announce(1100, "10.0.2.0/24", "1 9"),
+            announce(1100, "10.0.3.0/24", "1 9"), // tie: applied
+            announce(1050, "10.0.4.0/24", "1 9"), // stale: rejected
+        ];
+        let stats = state.apply_until(&records, SimTime::from_unix(2000));
+        assert_eq!(stats.announced, 2);
+        assert_eq!(stats.out_of_order, 1);
+        assert_eq!(state.route_count(), 4);
     }
 
     #[test]

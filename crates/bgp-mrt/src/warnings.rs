@@ -61,6 +61,23 @@ impl WarningKind {
         }
     }
 
+    /// A stable, machine-readable slug for this warning class — the key
+    /// used in metrics/telemetry output (`mrt.<slug>` in the observability
+    /// layer's warning ledger; see the atoms-core `obs` module). Slugs
+    /// deliberately omit the per-instance detail (type/subtype codes,
+    /// decode context) so warnings aggregate by class.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            WarningKind::UnknownType { .. } => "unknown_type",
+            WarningKind::UnknownSubtype { .. } => "unknown_subtype",
+            WarningKind::DuplicatePathAttribute => "duplicate_path_attribute",
+            WarningKind::InvalidMpReachNlri => "invalid_mp_reach_nlri",
+            WarningKind::Decode { .. } => "decode",
+            WarningKind::BadMarker => "bad_marker",
+            WarningKind::MissingPeerIndex { .. } => "missing_peer_index",
+        }
+    }
+
     /// Returns `true` for the warning classes the paper uses to identify
     /// ADD-PATH-incompatible peers (Appendix A8.3.1).
     pub fn is_addpath_signature(&self) -> bool {
@@ -162,6 +179,33 @@ mod tests {
         .is_addpath_signature());
         assert!(!WarningKind::BadMarker.is_addpath_signature());
         assert!(!WarningKind::UnknownType { mrt_type: 12 }.is_addpath_signature());
+    }
+
+    #[test]
+    fn slugs_aggregate_by_class() {
+        // Per-instance detail must not leak into the slug.
+        assert_eq!(
+            WarningKind::UnknownSubtype { mrt_type: 16, subtype: 9 }.slug(),
+            WarningKind::UnknownSubtype { mrt_type: 13, subtype: 7 }.slug(),
+        );
+        let all = [
+            WarningKind::UnknownType { mrt_type: 12 },
+            WarningKind::UnknownSubtype { mrt_type: 16, subtype: 9 },
+            WarningKind::DuplicatePathAttribute,
+            WarningKind::InvalidMpReachNlri,
+            WarningKind::Decode { context: "x".into() },
+            WarningKind::BadMarker,
+            WarningKind::MissingPeerIndex { index: 3 },
+        ];
+        let slugs: std::collections::BTreeSet<&str> =
+            all.iter().map(|k| k.slug()).collect();
+        assert_eq!(slugs.len(), all.len(), "slugs are distinct per class");
+        for slug in slugs {
+            assert!(
+                slug.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "slug {slug:?} is not snake_case"
+            );
+        }
     }
 
     #[test]

@@ -36,3 +36,20 @@ if cargo clippy --help >/dev/null 2>&1; then
 else
     echo "check.sh: cargo-clippy not installed, skipping lint step" >&2
 fi
+
+# Observability gate: the count-only `--metrics-json` payload for the 2012
+# scenario is fully deterministic (seeded simulator, thread-invariant
+# counters), so it must match the checked-in fixture byte for byte.
+run build --release -p atoms-cli
+golden_tmp=$(mktemp -d)
+trap 'rm -rf "$golden_tmp"' EXIT
+./target/release/pa simulate --date "2012-07-15 08:00" --scale 400 \
+    --out "$golden_tmp/archive" >/dev/null
+./target/release/pa atoms --date "2012-07-15 08:00" --archive "$golden_tmp/archive" \
+    --metrics-json "$golden_tmp/metrics.json" >/dev/null
+if ! diff -u tests/golden/metrics_2012.json "$golden_tmp/metrics.json"; then
+    echo "check.sh: pa --metrics-json drifted from tests/golden/metrics_2012.json" >&2
+    echo "check.sh: if the change is intentional, regenerate the fixture with the two pa commands above" >&2
+    exit 1
+fi
+echo "check.sh: golden metrics fixture OK" >&2
