@@ -4,7 +4,9 @@ use atoms_core::dynamics::{classify_bursts, BurstClass, DynamicsConfig};
 use atoms_core::formation::{formation as run_formation, formation_with_regrouping, PrependMethod};
 use atoms_core::obs::Metrics;
 use atoms_core::parallel::Parallelism;
-use atoms_core::pipeline::{analyze_snapshot_observed, PipelineConfig, SnapshotAnalysis};
+use atoms_core::pipeline::{
+    analyze_snapshot_chained, analyze_snapshot_observed, PipelineConfig, SnapshotAnalysis,
+};
 use atoms_core::report::{count, pct};
 use atoms_core::sanitize::SanitizeConfig;
 use atoms_core::stability::stability as stability_pair;
@@ -28,6 +30,7 @@ pub struct Options {
     pub reproduction: bool,
     pub method: PrependMethod,
     pub threads: Option<usize>,
+    pub incremental: bool,
     pub metrics_json: Option<String>,
     pub timings: bool,
     pub verbose: bool,
@@ -48,6 +51,7 @@ impl Options {
             reproduction: false,
             method: PrependMethod::UniqueOnRaw,
             threads: None,
+            incremental: false,
             metrics_json: None,
             timings: false,
             verbose: false,
@@ -84,6 +88,7 @@ impl Options {
                             .map_err(|_| "--threads needs a count (0 = all cores)".to_string())?,
                     )
                 }
+                "--incremental" => opts.incremental = true,
                 "--out" => opts.out = Some(value(&mut it, "--out")?),
                 "--metrics-json" => opts.metrics_json = Some(value(&mut it, "--metrics-json")?),
                 "--timings" => opts.timings = true,
@@ -189,6 +194,11 @@ pub fn usage(msg: &str) -> ExitCode {
                                 deterministic — identical at any --threads N\n\
            --timings            include wall-clock durations + per-worker splits\n\
            --verbose            human-readable stage report on stderr\n\n\
+         performance (analysis subcommands):\n\
+           --incremental        delta-based atom recomputation: multi-snapshot\n\
+                                subcommands (stability, replay) patch each\n\
+                                snapshot's atoms from the previous one's\n\
+                                instead of rescanning; output is byte-identical\n\n\
          dates: \"yyyy-mm-dd hh:mm\" (quote the space) or yyyy-mm-dd"
     );
     if msg.is_empty() {
@@ -256,8 +266,15 @@ fn analyze(
     metrics: Option<&Metrics>,
 ) -> Result<(SnapshotAnalysis, CapturedUpdates), String> {
     let (snap, updates) = load(opts, date)?;
-    let analysis =
-        analyze_snapshot_observed(&snap, Some(&updates), &opts.pipeline_config(), metrics);
+    let cfg = opts.pipeline_config();
+    // A single snapshot has no predecessor to diff against: under
+    // --incremental this is the engine's full-compute fallback, routed
+    // through the chained entry point so its counters are recorded.
+    let analysis = if opts.incremental {
+        analyze_snapshot_chained(&snap, Some(&updates), &cfg, metrics, None).0
+    } else {
+        analyze_snapshot_observed(&snap, Some(&updates), &cfg, metrics)
+    };
     Ok((analysis, updates))
 }
 
@@ -411,8 +428,21 @@ pub fn stability(opts: &Options) -> Result<(), String> {
     pooled.warnings.extend(upd2.warnings.iter().cloned());
     let cfg = opts.pipeline_config();
     let metrics = opts.metrics();
-    let a1 = analyze_snapshot_observed(&snap1, Some(&pooled), &cfg, metrics.as_ref());
-    let a2 = analyze_snapshot_observed(&snap2, Some(&pooled), &cfg, metrics.as_ref());
+    // Under --incremental the t2 atoms are patched from t1's instead of
+    // recomputed — the two instants of a stability pair are exactly the
+    // small-delta successors the engine targets. Output is identical.
+    let (a1, a2) = if opts.incremental {
+        let (a1, chain) =
+            analyze_snapshot_chained(&snap1, Some(&pooled), &cfg, metrics.as_ref(), None);
+        let (a2, _) =
+            analyze_snapshot_chained(&snap2, Some(&pooled), &cfg, metrics.as_ref(), Some(chain));
+        (a1, a2)
+    } else {
+        (
+            analyze_snapshot_observed(&snap1, Some(&pooled), &cfg, metrics.as_ref()),
+            analyze_snapshot_observed(&snap2, Some(&pooled), &cfg, metrics.as_ref()),
+        )
+    };
     let stability_span = metrics.as_ref().map(|m| m.span("pipeline.stability"));
     let s = stability_pair(&a1.atoms, &a2.atoms);
     drop(stability_span);
@@ -478,6 +508,7 @@ fn clone_opts(opts: &Options) -> Options {
         reproduction: opts.reproduction,
         method: opts.method,
         threads: opts.threads,
+        incremental: opts.incremental,
         metrics_json: opts.metrics_json.clone(),
         timings: opts.timings,
         verbose: opts.verbose,
@@ -492,7 +523,15 @@ pub fn replay(opts: &Options) -> Result<(), String> {
     let (snap, updates) = load(opts, date)?;
     let cfg = opts.pipeline_config();
     let metrics = opts.metrics();
-    let base = analyze_snapshot_observed(&snap, Some(&updates), &cfg, metrics.as_ref());
+    let mut chain = None;
+    let base = if opts.incremental {
+        let (base, c) =
+            analyze_snapshot_chained(&snap, Some(&updates), &cfg, metrics.as_ref(), None);
+        chain = Some(c);
+        base
+    } else {
+        analyze_snapshot_observed(&snap, Some(&updates), &cfg, metrics.as_ref())
+    };
 
     let replay_span = metrics.as_ref().map(|m| m.span("pipeline.replay"));
     let mut state = ReplayState::from_snapshot(&snap);
@@ -507,7 +546,13 @@ pub fn replay(opts: &Options) -> Result<(), String> {
         m.warn("replay", "new_peer", stats.new_peers as u64);
         m.warn("replay", "out_of_order_update", stats.out_of_order as u64);
     }
-    let after = analyze_snapshot_observed(&replayed, Some(&updates), &cfg, metrics.as_ref());
+    // The replayed table is the base plus the window's changes — with
+    // --incremental, its atoms are patched from the base's.
+    let after = if opts.incremental {
+        analyze_snapshot_chained(&replayed, Some(&updates), &cfg, metrics.as_ref(), chain.take()).0
+    } else {
+        analyze_snapshot_observed(&replayed, Some(&updates), &cfg, metrics.as_ref())
+    };
     let s = atoms_core::stability::stability(&base.atoms, &after.atoms);
     opts.emit_metrics(&metrics)?;
 
@@ -607,6 +652,7 @@ mod tests {
             "--t1", "2024-10-15",
             "--t2", "2024-10-22",
             "--threads", "4",
+            "--incremental",
             "--metrics-json", "/tmp/m.json",
             "--timings", "--verbose",
         ])
@@ -620,6 +666,7 @@ mod tests {
         assert_eq!(o.method, PrependMethod::StripAfterGrouping);
         assert!(o.t1.unwrap() < o.t2.unwrap());
         assert_eq!(o.threads, Some(4));
+        assert!(o.incremental);
         assert_eq!(o.metrics_json.as_deref(), Some("/tmp/m.json"));
         assert!(o.timings && o.verbose);
     }
@@ -638,6 +685,7 @@ mod tests {
         assert_eq!(o.family, Family::Ipv4);
         assert_eq!(o.method, PrependMethod::UniqueOnRaw);
         assert!(o.date.is_none() && !o.json);
+        assert!(!o.incremental, "incremental is opt-in");
     }
 
     #[test]

@@ -123,6 +123,105 @@ fn threads_flag_reproduces_serial_output() {
 }
 
 #[test]
+fn incremental_flag_reproduces_default_output() {
+    let dir = tmpdir("inc");
+    let date = "2015-07-15 08:00";
+    // --horizons adds the +8 h / +24 h / +1 week ladder snapshots, giving
+    // the incremental engine real deltas to patch.
+    let out = pa()
+        .args(["simulate", "--date", date, "--scale", "400", "--horizons", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Single snapshot: --incremental is the engine's full-compute fallback
+    // and must be unobservable in the report.
+    let full = pa()
+        .args(["atoms", "--date", date, "--json", "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(full.status.success(), "{}", String::from_utf8_lossy(&full.stderr));
+    let inc = pa()
+        .args(["atoms", "--date", date, "--json", "--incremental", "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(inc.status.success(), "{}", String::from_utf8_lossy(&inc.stderr));
+    assert_eq!(inc.stdout, full.stdout, "atoms --incremental diverged");
+
+    // Two instants: the t2 atoms are genuinely patched from t1's — the
+    // report must still be byte-identical, at any thread count.
+    let t2 = "2015-07-15 16:00";
+    let stability = |extra: &[&str]| {
+        let mut cmd = pa();
+        cmd.args(["stability", "--t1", date, "--t2", t2]);
+        cmd.args(extra);
+        cmd.arg("--archive").arg(&dir);
+        let out = cmd.output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let baseline = stability(&[]);
+    assert_eq!(stability(&["--incremental"]), baseline, "stability --incremental diverged");
+    for threads in ["2", "8"] {
+        assert_eq!(
+            stability(&["--incremental", "--threads", threads]),
+            baseline,
+            "stability --incremental --threads {threads} diverged"
+        );
+    }
+
+    // Replay patches the replayed table's atoms from the base's.
+    let replay_full = pa()
+        .args(["replay", "--date", date, "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(replay_full.status.success());
+    let replay_inc = pa()
+        .args(["replay", "--date", date, "--incremental", "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(replay_inc.status.success(), "{}", String::from_utf8_lossy(&replay_inc.stderr));
+    assert_eq!(replay_inc.stdout, replay_full.stdout, "replay --incremental diverged");
+
+    // The incremental metrics (counters + apply span) are recorded and
+    // thread-invariant.
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let mpath = dir.join(format!("inc-metrics-{threads}.json"));
+        let out = pa()
+            .args(["stability", "--t1", date, "--t2", t2, "--incremental"])
+            .args(["--threads", threads, "--metrics-json"])
+            .arg(&mpath)
+            .arg("--archive")
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        payloads.push(std::fs::read(&mpath).unwrap());
+    }
+    assert_eq!(payloads[0], payloads[1], "incremental metrics diverged at 2 threads");
+    assert_eq!(payloads[0], payloads[2], "incremental metrics diverged at 8 threads");
+    let v: serde_json::Value = serde_json::from_slice(&payloads[0]).expect("valid JSON");
+    assert_eq!(
+        v["counters"]["incremental.full_recomputes"].as_u64(),
+        Some(1),
+        "exactly the t1 snapshot computes in full: {v:?}"
+    );
+    assert_eq!(v["stages"]["incremental.apply"].as_u64(), Some(1), "{v:?}");
+    assert!(
+        v["counters"]["incremental.reused_fragments"].as_u64().unwrap() > 0,
+        "the 8-hour delta must reuse most signature rows: {v:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn metrics_json_is_thread_invariant_and_reconciles() {
     let dir = tmpdir("obs");
     let date = "2012-07-15 08:00";

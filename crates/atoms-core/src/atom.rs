@@ -151,14 +151,44 @@ pub fn compute_atoms_with_observed(
     par: Parallelism,
     metrics: Option<&Metrics>,
 ) -> AtomSet {
+    assert_peer_bound(snap.tables.len());
+    let (paths, signatures) = scan(snap, par, metrics);
+    let assemble_span = metrics.map(|m| m.span("atoms.assemble"));
+    let set = assemble(snap, paths, &signatures);
+    drop(assemble_span);
+    if let Some(m) = metrics {
+        record_set_counters(m, &set);
+    }
+    set
+}
+
+/// Asserts the u16 signature peer-index bound shared by the full and the
+/// incremental engines.
+pub(crate) fn assert_peer_bound(n_peers: usize) {
     assert!(
-        snap.tables.len() <= u16::MAX as usize + 1,
-        "snapshot has {} vantage points but signature peer indices are u16 \
+        n_peers <= u16::MAX as usize + 1,
+        "snapshot has {n_peers} vantage points but signature peer indices are u16 \
          (at most {} supported)",
-        snap.tables.len(),
         u16::MAX as usize + 1,
     );
-    let (paths, signatures) = if par.workers_for(snap.tables.len()) <= 1 {
+}
+
+/// Records the result counters every atom-producing engine emits.
+pub(crate) fn record_set_counters(metrics: &Metrics, set: &AtomSet) {
+    metrics.add("atoms.count", set.atoms.len() as u64);
+    metrics.add("atoms.paths_interned", set.paths.len() as u64);
+    metrics.add("atoms.prefixes", set.prefix_count() as u64);
+}
+
+/// Runs the signature scan (serial or on the pool) and returns the interned
+/// paths plus the prefix → signature-row map — the intermediate state the
+/// incremental engine carries between snapshots.
+pub(crate) fn scan(
+    snap: &SanitizedSnapshot,
+    par: Parallelism,
+    metrics: Option<&Metrics>,
+) -> (Vec<AsPath>, SignatureMap) {
+    if par.workers_for(snap.tables.len()) <= 1 {
         let scan_span = metrics.map(|m| m.span("atoms.scan"));
         let out = scan_serial(snap);
         drop(scan_span);
@@ -171,20 +201,11 @@ pub fn compute_atoms_with_observed(
         out
     } else {
         scan_parallel(snap, par, metrics)
-    };
-    let assemble_span = metrics.map(|m| m.span("atoms.assemble"));
-    let set = assemble(snap, paths, signatures);
-    drop(assemble_span);
-    if let Some(m) = metrics {
-        m.add("atoms.count", set.atoms.len() as u64);
-        m.add("atoms.paths_interned", set.paths.len() as u64);
-        m.add("atoms.prefixes", set.prefix_count() as u64);
     }
-    set
 }
 
 /// Prefix → sparse `(peer index, global path id)` signature rows.
-type SignatureMap = BTreeMap<Prefix, Vec<(u16, u32)>>;
+pub(crate) type SignatureMap = BTreeMap<Prefix, Vec<(u16, u32)>>;
 
 /// Interns `path`, appending it to `paths` on first sight.
 fn intern<'a>(
@@ -279,16 +300,18 @@ fn scan_parallel(
 }
 
 /// Groups prefixes by signature and materializes the final, deterministic
-/// atom order (shared by the serial and parallel scans).
-fn assemble(
+/// atom order (shared by the serial and parallel scans and by the
+/// incremental engine — the output depends only on `paths` and
+/// `signatures`, never on how they were produced).
+pub(crate) fn assemble(
     snap: &SanitizedSnapshot,
     paths: Vec<AsPath>,
-    signatures: SignatureMap,
+    signatures: &SignatureMap,
 ) -> AtomSet {
     // Group prefixes by signature. Tables are per-peer sorted, so each
     // prefix's signature is built in increasing peer order already.
     let mut groups: HashMap<&[(u16, u32)], Vec<Prefix>> = HashMap::new();
-    for (prefix, sig) in &signatures {
+    for (prefix, sig) in signatures {
         groups.entry(sig.as_slice()).or_default().push(*prefix);
     }
     let mut atoms: Vec<Atom> = groups

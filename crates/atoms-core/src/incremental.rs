@@ -1,0 +1,782 @@
+//! Incremental delta-based atom recomputation.
+//!
+//! The paper's longitudinal workloads (the 2004–2024 quarterly sweep, the
+//! §2.4.1 stability ladder, the daily split-event observer study) analyze
+//! long chains of snapshots in which consecutive RIBs differ by only a
+//! small fraction of prefixes. [`crate::atom::compute_atoms`] rescans every
+//! peer table from scratch at each step; this module instead diffs the two
+//! sanitized snapshots ([`SnapshotDelta`]), patches only the signature rows
+//! of touched prefixes, and reuses the path interner and every untouched
+//! row from the previous step.
+//!
+//! # Determinism contract
+//!
+//! The incremental result is **byte-identical** to a from-scratch
+//! [`crate::atom::compute_atoms`] on the same snapshot, at any thread
+//! count: same atoms, same signature ids, same interned-path table in the
+//! same order. Two mechanisms guarantee this:
+//!
+//! * the carried state is kept *canonical* — after every step the interned
+//!   paths and signature rows are renumbered into exactly the
+//!   first-occurrence order the serial scan would have produced
+//!   ([`canonicalize`]), so stale or re-ordered path ids can never leak
+//!   into an output;
+//! * the final grouping runs through the very same `assemble` code path as
+//!   the full computation, so atom ordering is shared by construction.
+//!
+//! Fallback rules: an engine step with no predecessor (the first snapshot
+//! of a ladder), or a predecessor of a different address family, performs a
+//! full recomputation (recorded as `incremental.full_recomputes`). Peer-set
+//! changes between snapshots — vantage points appearing, disappearing, or
+//! shifting index — are handled by the delta itself and do not fall back.
+
+use crate::atom::{assemble, assert_peer_bound, record_set_counters, scan, AtomSet, SignatureMap};
+use crate::obs::Metrics;
+use crate::parallel::Parallelism;
+use crate::sanitize::SanitizedSnapshot;
+use bgp_types::{AsPath, Prefix};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One vantage point's table changes between two snapshots, expressed in
+/// the **new** snapshot's peer-index space.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PeerDelta {
+    /// Index of this vantage point in the new snapshot.
+    pub peer: u16,
+    /// Prefixes announced at this peer (absent before), with their paths.
+    pub announced: Vec<(Prefix, AsPath)>,
+    /// Prefixes withdrawn at this peer (present before, absent now).
+    pub withdrawn: Vec<Prefix>,
+    /// Prefixes present at both instants whose path changed.
+    pub changed: Vec<(Prefix, AsPath)>,
+}
+
+impl PeerDelta {
+    /// `true` when this peer's table did not change.
+    pub fn is_empty(&self) -> bool {
+        self.announced.is_empty() && self.withdrawn.is_empty() && self.changed.is_empty()
+    }
+
+    /// Number of per-entry operations the delta carries.
+    pub fn ops(&self) -> usize {
+        self.announced.len() + self.withdrawn.len() + self.changed.len()
+    }
+}
+
+/// A per-peer RIB diff between two sanitized snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDelta {
+    /// Old peer index → new peer index (`None`: the peer disappeared).
+    /// Both snapshots keep their peers sorted by key, so the mapping is
+    /// monotonically increasing over the surviving peers.
+    pub old_to_new: Vec<Option<u16>>,
+    /// Vantage-point count of the new snapshot.
+    pub new_peer_count: usize,
+    /// Per-peer entry changes (non-empty deltas only, sorted by peer).
+    /// Peers new to the snapshot contribute their whole table as
+    /// `announced`; peers that disappeared are handled by `old_to_new`.
+    pub peer_deltas: Vec<PeerDelta>,
+}
+
+impl SnapshotDelta {
+    /// Diffs two sanitized snapshots on the worker pool (one job per
+    /// surviving peer). Peers are matched by [`bgp_types::PeerKey`], so
+    /// index shifts caused by appearing/disappearing vantage points are
+    /// captured in `old_to_new` rather than misread as table churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `curr` exceeds the u16 peer-index bound (same limit as
+    /// [`crate::atom::compute_atoms`]).
+    pub fn between(
+        prev: &SanitizedSnapshot,
+        curr: &SanitizedSnapshot,
+        par: Parallelism,
+    ) -> SnapshotDelta {
+        assert_peer_bound(curr.peers.len());
+        let new_index: BTreeMap<_, u16> = curr
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(j, key)| (key, j as u16))
+            .collect();
+        let old_to_new: Vec<Option<u16>> = prev
+            .peers
+            .iter()
+            .map(|key| new_index.get(key).copied())
+            .collect();
+        let mut matched_old: Vec<Option<usize>> = vec![None; curr.peers.len()];
+        for (i, new) in old_to_new.iter().enumerate() {
+            if let Some(j) = new {
+                matched_old[*j as usize] = Some(i);
+            }
+        }
+        // One diff job per new peer; results fold back in peer order, so
+        // the delta is identical at any thread count.
+        let mut peer_deltas: Vec<PeerDelta> = par
+            .map_indexed(curr.peers.len(), |j| match matched_old[j] {
+                Some(i) => diff_tables(j as u16, &prev.tables[i], &curr.tables[j]),
+                None => PeerDelta {
+                    peer: j as u16,
+                    announced: curr.tables[j].clone(),
+                    ..PeerDelta::default()
+                },
+            });
+        peer_deltas.retain(|d| !d.is_empty());
+        SnapshotDelta {
+            old_to_new,
+            new_peer_count: curr.peers.len(),
+            peer_deltas,
+        }
+    }
+
+    /// `true` when the peer mapping is the identity (no peer appeared,
+    /// disappeared, or moved).
+    pub fn peer_map_is_identity(&self) -> bool {
+        self.old_to_new.len() == self.new_peer_count
+            && self
+                .old_to_new
+                .iter()
+                .enumerate()
+                .all(|(i, new)| *new == Some(i as u16))
+    }
+
+    /// `true` when applying the delta is a no-op (identical snapshots —
+    /// including a withdraw-and-re-announce with the identical path, which
+    /// leaves no trace in a RIB diff).
+    pub fn is_empty(&self) -> bool {
+        self.peer_map_is_identity() && self.peer_deltas.is_empty()
+    }
+
+    /// Total per-entry operations across all peers.
+    pub fn ops(&self) -> usize {
+        self.peer_deltas.iter().map(PeerDelta::ops).sum()
+    }
+}
+
+/// Merge-walk diff of one peer's sorted, one-entry-per-prefix tables.
+fn diff_tables(peer: u16, old: &[(Prefix, AsPath)], new: &[(Prefix, AsPath)]) -> PeerDelta {
+    let mut delta = PeerDelta {
+        peer,
+        ..PeerDelta::default()
+    };
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < new.len() {
+        match old[i].0.cmp(&new[j].0) {
+            std::cmp::Ordering::Less => {
+                delta.withdrawn.push(old[i].0);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                delta.announced.push(new[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if old[i].1 != new[j].1 {
+                    delta.changed.push(new[j].clone());
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    delta.withdrawn.extend(old[i..].iter().map(|(p, _)| *p));
+    delta.announced.extend(new[j..].iter().cloned());
+    delta
+}
+
+/// The state the incremental engine carries from one snapshot to the next:
+/// the canonical interned-path table and the prefix → signature-row map —
+/// exactly what a from-scratch serial scan of the snapshot would produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalState {
+    /// Canonical interned paths (identical to the snapshot's
+    /// [`AtomSet::paths`]).
+    paths: Vec<AsPath>,
+    /// Path → id over `paths`, carried across steps so applying a delta
+    /// never re-hashes the whole interner.
+    path_ids: HashMap<AsPath, u32>,
+    /// Prefix → sorted `(peer index, path id)` rows over `paths`.
+    signatures: SignatureMap,
+}
+
+fn index_paths(paths: &[AsPath]) -> HashMap<AsPath, u32> {
+    paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u32))
+        .collect()
+}
+
+impl IncrementalState {
+    /// Rebuilds the engine state from a previously computed atom set (every
+    /// prefix of an atom shares the atom's signature row). Lets a caller
+    /// that only kept the [`AtomSet`] join a chain mid-way.
+    pub fn from_atoms(set: &AtomSet) -> IncrementalState {
+        let mut signatures = SignatureMap::new();
+        for atom in &set.atoms {
+            for &prefix in &atom.prefixes {
+                signatures.insert(prefix, atom.signature.clone());
+            }
+        }
+        IncrementalState {
+            paths: set.paths.clone(),
+            path_ids: index_paths(&set.paths),
+            signatures,
+        }
+    }
+
+    /// Interned-path count.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Tracked prefix count.
+    pub fn prefix_count(&self) -> usize {
+        self.signatures.len()
+    }
+}
+
+/// Computes atoms from scratch *and* returns the engine state for chaining
+/// — the entry point for the first snapshot of a ladder.
+pub fn compute_full(
+    snap: &SanitizedSnapshot,
+    par: Parallelism,
+    metrics: Option<&Metrics>,
+) -> (AtomSet, IncrementalState) {
+    assert_peer_bound(snap.tables.len());
+    let (paths, signatures) = scan(snap, par, metrics);
+    let assemble_span = metrics.map(|m| m.span("atoms.assemble"));
+    let set = assemble(snap, paths, &signatures);
+    drop(assemble_span);
+    if let Some(m) = metrics {
+        record_set_counters(m, &set);
+    }
+    let state = IncrementalState {
+        paths: set.paths.clone(),
+        path_ids: index_paths(&set.paths),
+        signatures,
+    };
+    (set, state)
+}
+
+/// One engine step: applies the delta when a compatible predecessor state
+/// is given, otherwise falls back to a full recomputation (first snapshot
+/// of a ladder, or an address-family change mid-chain). Either way the
+/// returned atom set is byte-identical to [`crate::atom::compute_atoms`]
+/// on `curr`, and the returned state is ready for the next step.
+pub fn step(
+    prev: Option<(&SanitizedSnapshot, IncrementalState)>,
+    curr: &SanitizedSnapshot,
+    par: Parallelism,
+    metrics: Option<&Metrics>,
+) -> (AtomSet, IncrementalState) {
+    match prev {
+        Some((prev_snap, state)) if prev_snap.family == curr.family => {
+            let delta = SnapshotDelta::between(prev_snap, curr, par);
+            apply_delta(state, &delta, curr, metrics)
+        }
+        _ => {
+            if let Some(m) = metrics {
+                m.add("incremental.full_recomputes", 1);
+            }
+            compute_full(curr, par, metrics)
+        }
+    }
+}
+
+/// Applies a delta to the carried state, re-deriving only the signature
+/// rows of touched prefixes, and assembles the atom set for `curr`.
+///
+/// Recorded metrics (all thread-count-invariant):
+///
+/// * `incremental.apply` span — one per application;
+/// * `incremental.delta_prefixes` — distinct prefixes whose row changed;
+/// * `incremental.reused_fragments` — signature rows carried over
+///   untouched from the previous snapshot;
+/// * `incremental.cache_hits` — delta entries whose path was already in
+///   the carried interner;
+/// * `incremental.noop_op` warning — delta operations that had nothing to
+///   do (e.g. a withdraw of a never-announced prefix), tolerated so
+///   imperfect externally built deltas cannot corrupt state.
+///
+/// # Panics
+///
+/// Panics when `curr` exceeds the u16 peer-index bound.
+pub fn apply_delta(
+    state: IncrementalState,
+    delta: &SnapshotDelta,
+    curr: &SanitizedSnapshot,
+    metrics: Option<&Metrics>,
+) -> (AtomSet, IncrementalState) {
+    assert_peer_bound(curr.tables.len());
+    let apply_span = metrics.map(|m| m.span("incremental.apply"));
+    let IncrementalState {
+        paths: mut engine_paths,
+        mut path_ids,
+        signatures: mut sigs,
+    } = state;
+    // Touched prefixes feed only the observability counters; skip the
+    // bookkeeping entirely on unobserved runs.
+    let track = metrics.is_some();
+    let mut touched: BTreeSet<Prefix> = BTreeSet::new();
+
+    // 1. Remap peer indices (dropping entries of disappeared peers). The
+    // mapping is monotonic over surviving peers — both peer lists are
+    // sorted by key — so remapped rows stay sorted by peer index.
+    if !delta.peer_map_is_identity() {
+        let mut remapped = SignatureMap::new();
+        for (prefix, row) in std::mem::take(&mut sigs) {
+            let before = row.len();
+            let new_row: Vec<(u16, u32)> = row
+                .into_iter()
+                .filter_map(|(old_peer, id)| {
+                    delta.old_to_new[old_peer as usize].map(|new_peer| (new_peer, id))
+                })
+                .collect();
+            if track && new_row.len() != before {
+                touched.insert(prefix);
+            }
+            if !new_row.is_empty() {
+                remapped.insert(prefix, new_row);
+            }
+        }
+        sigs = remapped;
+    }
+
+    // 2. Patch the rows named by the delta. Rows are sorted by peer index;
+    // binary-search insertion keeps them so regardless of op order.
+    let mut cache_hits: u64 = 0;
+    let mut noop_ops: u64 = 0;
+    for pd in &delta.peer_deltas {
+        for (prefix, path) in pd.announced.iter().chain(&pd.changed) {
+            let id = intern_owned(&mut engine_paths, &mut path_ids, path, &mut cache_hits);
+            let row = sigs.entry(*prefix).or_default();
+            match row.binary_search_by_key(&pd.peer, |&(p, _)| p) {
+                Ok(pos) => row[pos].1 = id,
+                Err(pos) => row.insert(pos, (pd.peer, id)),
+            }
+            if track {
+                touched.insert(*prefix);
+            }
+        }
+        for prefix in &pd.withdrawn {
+            let Some(row) = sigs.get_mut(prefix) else {
+                noop_ops += 1;
+                continue;
+            };
+            match row.binary_search_by_key(&pd.peer, |&(p, _)| p) {
+                Ok(pos) => {
+                    row.remove(pos);
+                    if row.is_empty() {
+                        sigs.remove(prefix);
+                    }
+                    if track {
+                        touched.insert(*prefix);
+                    }
+                }
+                Err(_) => noop_ops += 1,
+            }
+        }
+    }
+
+    // 3. Renumber into the canonical first-occurrence order a serial scan
+    // of `curr` would produce; drop paths no longer referenced.
+    let canonical_paths =
+        canonicalize(engine_paths, &mut path_ids, &mut sigs, curr.tables.len());
+
+    // 4. Same assembly as the full computation — shared determinism.
+    let assemble_span = metrics.map(|m| m.span("atoms.assemble"));
+    let set = assemble(curr, canonical_paths, &sigs);
+    drop(assemble_span);
+    drop(apply_span);
+    if let Some(m) = metrics {
+        record_set_counters(m, &set);
+        let touched_present = touched.iter().filter(|p| sigs.contains_key(p)).count();
+        m.add("incremental.delta_prefixes", touched.len() as u64);
+        m.add(
+            "incremental.reused_fragments",
+            (sigs.len() - touched_present) as u64,
+        );
+        m.add("incremental.cache_hits", cache_hits);
+        m.warn("incremental", "noop_op", noop_ops);
+    }
+    let state = IncrementalState {
+        paths: set.paths.clone(),
+        path_ids,
+        signatures: sigs,
+    };
+    (set, state)
+}
+
+/// Interns `path` against an owned-key map, counting hits.
+fn intern_owned(
+    paths: &mut Vec<AsPath>,
+    path_ids: &mut HashMap<AsPath, u32>,
+    path: &AsPath,
+    hits: &mut u64,
+) -> u32 {
+    if let Some(&id) = path_ids.get(path) {
+        *hits += 1;
+        return id;
+    }
+    let id = paths.len() as u32;
+    paths.push(path.clone());
+    path_ids.insert(path.clone(), id);
+    id
+}
+
+/// Renumbers engine path ids into canonical first-occurrence order.
+///
+/// The serial scan interns paths while walking peer 0's table in prefix
+/// order, then peer 1's, … — i.e. in `(peer, prefix)` order over all
+/// entries. The signature map holds exactly those entries (rows iterate in
+/// prefix order, entries within a row in peer order), so transposing it
+/// per peer reproduces the scan's interning sequence without touching the
+/// tables or hashing a single path. The transpose uses one flat
+/// count-then-fill buffer — no per-peer growth reallocations. Unreferenced
+/// (stale) paths are dropped (from the interner map too, whose surviving
+/// values are renumbered in place without rehashing a key). When the
+/// canonical order already matches the engine order the rows are left
+/// untouched and the path table is reused as-is.
+fn canonicalize(
+    engine_paths: Vec<AsPath>,
+    path_ids: &mut HashMap<AsPath, u32>,
+    sigs: &mut SignatureMap,
+    n_peers: usize,
+) -> Vec<AsPath> {
+    let mut offsets: Vec<usize> = vec![0; n_peers + 1];
+    for row in sigs.values() {
+        for &(peer, _) in row {
+            offsets[peer as usize + 1] += 1;
+        }
+    }
+    for p in 0..n_peers {
+        offsets[p + 1] += offsets[p];
+    }
+    // Rows visit prefixes in order, so each peer's region fills in prefix
+    // order: the flat buffer ends up in exactly (peer, prefix) scan order.
+    let mut flat: Vec<u32> = vec![0; offsets[n_peers]];
+    let mut cursor = offsets;
+    for row in sigs.values() {
+        for &(peer, id) in row {
+            let c = &mut cursor[peer as usize];
+            flat[*c] = id;
+            *c += 1;
+        }
+    }
+    const UNSEEN: u32 = u32::MAX;
+    let mut canon_of: Vec<u32> = vec![UNSEEN; engine_paths.len()];
+    let mut canonical_ids: Vec<u32> = Vec::new();
+    for &id in &flat {
+        if canon_of[id as usize] == UNSEEN {
+            canon_of[id as usize] = canonical_ids.len() as u32;
+            canonical_ids.push(id);
+        }
+    }
+    let identity = canonical_ids.len() == engine_paths.len()
+        && canonical_ids.iter().enumerate().all(|(i, &id)| id == i as u32);
+    if identity {
+        return engine_paths;
+    }
+    for row in sigs.values_mut() {
+        for entry in row {
+            entry.1 = canon_of[entry.1 as usize];
+        }
+    }
+    path_ids.retain(|_, id| {
+        let canon = canon_of[*id as usize];
+        *id = canon;
+        canon != UNSEEN
+    });
+    // Each surviving id occurs exactly once in `canonical_ids`: move the
+    // paths into their canonical slots instead of cloning them.
+    let mut engine_paths = engine_paths;
+    canonical_ids
+        .iter()
+        .map(|&id| std::mem::replace(&mut engine_paths[id as usize], AsPath::empty()))
+        .collect()
+}
+
+impl AtomSet {
+    /// Convenience one-shot incremental step: derives the engine state from
+    /// `self` (the atoms of `prev`), diffs `prev` → `curr`, and applies the
+    /// delta. The result is byte-identical to a from-scratch
+    /// [`crate::atom::compute_atoms`] on `curr`.
+    ///
+    /// Chains that walk many snapshots should carry the
+    /// [`IncrementalState`] through [`step`] instead, which skips the
+    /// per-call state rebuild.
+    pub fn apply_delta(
+        &self,
+        prev: &SanitizedSnapshot,
+        curr: &SanitizedSnapshot,
+        par: Parallelism,
+        metrics: Option<&Metrics>,
+    ) -> AtomSet {
+        let state = IncrementalState::from_atoms(self);
+        let delta = SnapshotDelta::between(prev, curr, par);
+        apply_delta(state, &delta, curr, metrics).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::compute_atoms;
+    use crate::sanitize::SanitizeReport;
+    use bgp_types::{Asn, Family, PeerKey, SimTime};
+
+    /// Builds a sanitized snapshot from (peer asn, [(prefix, path)]); peers
+    /// come out sorted by key as the sanitize contract requires.
+    fn snap(tables: &[(u32, &[(&str, &str)])]) -> SanitizedSnapshot {
+        let mut ordered: Vec<_> = tables
+            .iter()
+            .map(|(asn, entries)| {
+                let key = PeerKey::new(
+                    Asn(*asn),
+                    format!("10.0.{}.{}", asn / 256, asn % 256).parse().unwrap(),
+                );
+                (key, *entries)
+            })
+            .collect();
+        ordered.sort_by_key(|(key, _)| *key);
+        let peers: Vec<PeerKey> = ordered.iter().map(|(key, _)| *key).collect();
+        let tables = ordered
+            .iter()
+            .map(|(_, entries)| {
+                let mut t: Vec<(Prefix, AsPath)> = entries
+                    .iter()
+                    .map(|(p, path)| (p.parse().unwrap(), path.parse().unwrap()))
+                    .collect();
+                t.sort_by_key(|(p, _)| *p);
+                t
+            })
+            .collect();
+        SanitizedSnapshot {
+            timestamp: SimTime::from_unix(0),
+            family: Family::Ipv4,
+            peers,
+            tables,
+            report: SanitizeReport::default(),
+        }
+    }
+
+    /// Asserts the incremental step prev → curr reproduces the from-scratch
+    /// computation exactly (atoms, signatures, and interned-path order).
+    fn assert_incremental_matches(prev: &SanitizedSnapshot, curr: &SanitizedSnapshot) {
+        let scratch = compute_atoms(curr);
+        let (prev_set, state) = compute_full(prev, Parallelism::serial(), None);
+        let delta = SnapshotDelta::between(prev, curr, Parallelism::serial());
+        let (set, next_state) = apply_delta(state, &delta, curr, None);
+        assert_eq!(set.paths, scratch.paths, "interned-path order diverged");
+        assert_eq!(set, scratch, "atom set diverged");
+        // The returned state is canonical: identical to a fresh scan.
+        let (_, fresh_state) = compute_full(curr, Parallelism::serial(), None);
+        assert_eq!(next_state, fresh_state, "carried state not canonical");
+        // The AtomSet convenience entry point agrees.
+        let via_method = prev_set.apply_delta(prev, curr, Parallelism::serial(), None);
+        assert_eq!(via_method, scratch, "AtomSet::apply_delta diverged");
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let s = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9")]),
+        ]);
+        let delta = SnapshotDelta::between(&s, &s, Parallelism::serial());
+        assert!(delta.is_empty());
+        assert_eq!(delta.ops(), 0);
+        assert_incremental_matches(&s, &s);
+    }
+
+    #[test]
+    fn reannounce_with_identical_path_is_an_empty_delta() {
+        // A withdraw followed by a re-announce with the very same path
+        // leaves both RIB snapshots identical: the diff must be empty and
+        // the application a no-op.
+        let before = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9")]),
+        ]);
+        let after = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9")]),
+        ]);
+        let delta = SnapshotDelta::between(&before, &after, Parallelism::serial());
+        assert!(delta.is_empty(), "identical snapshots must diff empty");
+        let m = Metrics::new();
+        let (_, state) = compute_full(&before, Parallelism::serial(), None);
+        let (set, _) = apply_delta(state, &delta, &after, Some(&m));
+        assert_eq!(set, compute_atoms(&after));
+        assert_eq!(m.counter("incremental.delta_prefixes"), 0);
+        assert_eq!(m.counter("incremental.reused_fragments"), set.prefix_count() as u64);
+    }
+
+    #[test]
+    fn withdraw_of_never_announced_prefix_is_tolerated() {
+        // An externally built delta may withdraw a prefix the state never
+        // saw; the engine must not corrupt anything — and must say so.
+        let s = snap(&[(1, &[("10.0.0.0/24", "1 9")])]);
+        let (_, state) = compute_full(&s, Parallelism::serial(), None);
+        let delta = SnapshotDelta {
+            old_to_new: vec![Some(0)],
+            new_peer_count: 1,
+            peer_deltas: vec![PeerDelta {
+                peer: 0,
+                withdrawn: vec!["10.9.9.0/24".parse().unwrap()],
+                ..PeerDelta::default()
+            }],
+        };
+        let m = Metrics::new();
+        let (set, _) = apply_delta(state, &delta, &s, Some(&m));
+        assert_eq!(set, compute_atoms(&s), "state corrupted by a no-op withdraw");
+        assert_eq!(m.warning_count("incremental", "noop_op"), 1);
+    }
+
+    #[test]
+    fn withdraw_at_wrong_peer_is_tolerated() {
+        // Prefix known, but not at the withdrawing peer.
+        let s = snap(&[
+            (1, &[("10.0.0.0/24", "1 9")]),
+            (2, &[("10.0.1.0/24", "2 9")]),
+        ]);
+        let (_, state) = compute_full(&s, Parallelism::serial(), None);
+        let delta = SnapshotDelta {
+            old_to_new: vec![Some(0), Some(1)],
+            new_peer_count: 2,
+            peer_deltas: vec![PeerDelta {
+                peer: 1,
+                withdrawn: vec!["10.0.0.0/24".parse().unwrap()],
+                ..PeerDelta::default()
+            }],
+        };
+        let m = Metrics::new();
+        let (set, _) = apply_delta(state, &delta, &s, Some(&m));
+        assert_eq!(set, compute_atoms(&s));
+        assert_eq!(m.warning_count("incremental", "noop_op"), 1);
+    }
+
+    #[test]
+    fn last_covering_peer_disappearing_removes_the_prefix() {
+        // 10.0.2.0/24 is only visible at peer 3; when peer 3 leaves the
+        // snapshot the prefix must vanish from the atoms entirely.
+        let before = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9")]),
+            (3, &[("10.0.2.0/24", "3 7 9")]),
+        ]);
+        let after = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9")]),
+        ]);
+        let delta = SnapshotDelta::between(&before, &after, Parallelism::serial());
+        assert_eq!(delta.old_to_new, vec![Some(0), Some(1), None]);
+        assert_incremental_matches(&before, &after);
+        let scratch = compute_atoms(&after);
+        let lost: Prefix = "10.0.2.0/24".parse().unwrap();
+        assert!(scratch.atoms.iter().all(|a| !a.prefixes.contains(&lost)));
+        // The stale path "3 7 9" must be gone from the interner too.
+        assert!(scratch.paths.iter().all(|p| p.to_string() != "3 7 9"));
+    }
+
+    #[test]
+    fn announce_withdraw_and_path_change_match_scratch() {
+        let before = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9"), ("10.0.2.0/24", "1 6 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 5 9")]),
+        ]);
+        let after = snap(&[
+            // 10.0.1.0/24 withdrawn at peer 1; 10.0.3.0/24 announced;
+            // 10.0.2.0/24 changes path at peer 2.
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.2.0/24", "1 6 9"), ("10.0.3.0/24", "1 5 8")]),
+            (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 6 9")]),
+        ]);
+        let delta = SnapshotDelta::between(&before, &after, Parallelism::serial());
+        assert!(!delta.is_empty());
+        assert_eq!(delta.ops(), 3);
+        assert_incremental_matches(&before, &after);
+    }
+
+    #[test]
+    fn peer_appearing_mid_chain_matches_scratch() {
+        // A new vantage point shifts every later peer's index; the delta
+        // must absorb the shift without falling back.
+        let before = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9")]),
+            (9, &[("10.0.0.0/24", "9 5 9")]),
+        ]);
+        let after = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9")]),
+            (5, &[("10.0.0.0/24", "5 2 9"), ("10.0.1.0/24", "5 2 8")]),
+            (9, &[("10.0.0.0/24", "9 5 9")]),
+        ]);
+        let delta = SnapshotDelta::between(&before, &after, Parallelism::serial());
+        assert!(!delta.peer_map_is_identity());
+        assert_incremental_matches(&before, &after);
+    }
+
+    #[test]
+    fn step_falls_back_without_a_predecessor() {
+        let s = snap(&[(1, &[("10.0.0.0/24", "1 9")])]);
+        let m = Metrics::new();
+        let (set, _) = step(None, &s, Parallelism::serial(), Some(&m));
+        assert_eq!(set, compute_atoms(&s));
+        assert_eq!(m.counter("incremental.full_recomputes"), 1);
+        assert_eq!(m.span_count("incremental.apply"), 0);
+    }
+
+    #[test]
+    fn step_falls_back_on_family_change() {
+        let v4 = snap(&[(1, &[("10.0.0.0/24", "1 9")])]);
+        let mut v6 = snap(&[(1, &[])]);
+        v6.family = Family::Ipv6;
+        v6.tables = vec![vec![("2001:db8::/48".parse().unwrap(), "1 9".parse().unwrap())]];
+        let (_, state) = compute_full(&v4, Parallelism::serial(), None);
+        let m = Metrics::new();
+        let (set, _) = step(Some((&v4, state)), &v6, Parallelism::serial(), Some(&m));
+        assert_eq!(set, compute_atoms(&v6));
+        assert_eq!(m.counter("incremental.full_recomputes"), 1);
+    }
+
+    #[test]
+    fn chained_steps_stay_byte_identical() {
+        // Three-step ladder driven through `step`, checking every output
+        // against scratch — including the interned-path table order.
+        let ladder = [
+            snap(&[
+                (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")]),
+                (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.1.0/24", "2 5 9")]),
+            ]),
+            snap(&[
+                (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
+                (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.1.0/24", "2 5 9")]),
+            ]),
+            snap(&[
+                (1, &[("10.0.1.0/24", "1 6 9"), ("10.0.2.0/24", "1 7 9")]),
+                (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 7 9")]),
+            ]),
+        ];
+        let mut prev: Option<(&SanitizedSnapshot, IncrementalState)> = None;
+        for (i, s) in ladder.iter().enumerate() {
+            let (set, state) = step(prev.take(), s, Parallelism::serial(), None);
+            let scratch = compute_atoms(s);
+            assert_eq!(set.paths, scratch.paths, "step {i}: path order diverged");
+            assert_eq!(set, scratch, "step {i}: atom set diverged");
+            prev = Some((s, state));
+        }
+    }
+
+    #[test]
+    fn from_atoms_reconstructs_the_canonical_state() {
+        let s = snap(&[
+            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
+            (2, &[("10.0.0.0/24", "2 5 9")]),
+        ]);
+        let (set, state) = compute_full(&s, Parallelism::serial(), None);
+        assert_eq!(IncrementalState::from_atoms(&set), state);
+        assert_eq!(state.path_count(), set.paths.len());
+        assert_eq!(state.prefix_count(), set.prefix_count());
+    }
+}

@@ -10,6 +10,7 @@
 //! | [`vantage`] | §2.4.2 full-feed peer inference (≥ 90 % of max) |
 //! | [`mod@sanitize`] | §2.4.3–§2.4.4 prefix filters, AS-SET rules, broken-peer removal |
 //! | [`atom`] | §2.1 atom computation |
+//! | [`incremental`] | delta-based atom recomputation across snapshot ladders |
 //! | [`stats`] | §3.2 / §4.1 / §5.1 general statistics and distributions |
 //! | [`update_corr`] | §3.3 / §4.2 / §5.3 correlation with UPDATE records |
 //! | [`formation`] | §3.4 / §4.3 / §5.4 formation distance (methods i–iii) |
@@ -33,6 +34,7 @@
 pub mod atom;
 pub mod dynamics;
 pub mod formation;
+pub mod incremental;
 pub mod obs;
 pub mod parallel;
 pub mod pipeline;
@@ -46,8 +48,9 @@ pub mod update_corr;
 pub mod vantage;
 
 pub use atom::{compute_atoms, compute_atoms_with, Atom, AtomSet};
+pub use incremental::{IncrementalState, PeerDelta, SnapshotDelta};
 pub use obs::Metrics;
 pub use parallel::Parallelism;
-pub use pipeline::{analyze_snapshot, PipelineConfig, SnapshotAnalysis};
+pub use pipeline::{analyze_snapshot, analyze_snapshot_chained, ChainState, PipelineConfig, SnapshotAnalysis};
 pub use sanitize::{sanitize, sanitize_with, SanitizeConfig, SanitizeReport, SanitizedSnapshot};
 pub use vantage::{infer_full_feed, VantageReport};

@@ -94,6 +94,16 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Identifies this registry's shared storage: clones return the same
+    /// id, independent registries differ. Process-lifetime caches key on
+    /// it so a result recorded into one registry is never silently reused
+    /// by a run observing through another. The id is the storage's
+    /// address, so a holder must keep a clone alive for as long as the id
+    /// is used as a key (a dropped registry's address can be reallocated).
+    pub fn registry_id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
     /// Adds `delta` to counter `name` (created at zero on first use).
     pub fn add(&self, name: &str, delta: u64) {
         let mut inner = self.inner.lock();
@@ -392,6 +402,14 @@ mod tests {
         let m2 = m.clone();
         m2.incr("shared");
         assert_eq!(m.counter("shared"), 1);
+    }
+
+    #[test]
+    fn registry_id_distinguishes_registries_not_clones() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        assert_eq!(a.registry_id(), a.clone().registry_id());
+        assert_ne!(a.registry_id(), b.registry_id());
     }
 
     #[test]

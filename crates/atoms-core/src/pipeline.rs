@@ -2,6 +2,7 @@
 //! general statistics.
 
 use crate::atom::{compute_atoms_with_observed, AtomSet};
+use crate::incremental::{self, IncrementalState};
 use crate::obs::Metrics;
 use crate::parallel::Parallelism;
 use crate::sanitize::{sanitize_with_observed, SanitizeConfig, SanitizedSnapshot};
@@ -78,6 +79,89 @@ pub fn analyze_snapshot_observed(
     }
 }
 
+/// What [`analyze_snapshot_chained`] carries from one snapshot of a ladder
+/// to the next: the previous sanitized input plus the incremental engine
+/// state derived from it.
+#[derive(Debug, Clone)]
+pub struct ChainState {
+    sanitized: SanitizedSnapshot,
+    state: IncrementalState,
+}
+
+impl ChainState {
+    /// Rebuilds the chain state from an already-computed analysis (e.g. a
+    /// snapshot served from a cache), so a ladder can keep chaining through
+    /// results that were not produced by [`analyze_snapshot_chained`]
+    /// itself.
+    pub fn from_analysis(analysis: &SnapshotAnalysis) -> ChainState {
+        ChainState {
+            sanitized: analysis.sanitized.clone(),
+            state: IncrementalState::from_atoms(&analysis.atoms),
+        }
+    }
+}
+
+/// [`analyze_snapshot_observed`] with delta-based atom recomputation:
+/// sanitization always runs in full (its cost is per-snapshot, not
+/// per-change), but the atom stage diffs against the previous snapshot of
+/// the chain and patches only touched signatures. Pass `None` for the
+/// first snapshot (a full compute, recorded as
+/// `incremental.full_recomputes`) and feed each returned [`ChainState`]
+/// into the next call, in ladder order.
+///
+/// The analysis is byte-identical to the non-chained pipeline at any
+/// thread count — see `atoms_core::incremental`'s determinism contract.
+pub fn analyze_snapshot_chained(
+    snap: &CapturedSnapshot,
+    updates: Option<&CapturedUpdates>,
+    cfg: &PipelineConfig,
+    metrics: Option<&Metrics>,
+    prev: Option<ChainState>,
+) -> (SnapshotAnalysis, ChainState) {
+    let update_warnings = updates.map(|u| u.warnings.as_slice()).unwrap_or(&[]);
+    if let Some(m) = metrics {
+        record_mrt_warnings(m, snap.warnings.iter().chain(update_warnings));
+    }
+    let sanitize_span = metrics.map(|m| m.span("pipeline.sanitize"));
+    let sanitized = sanitize_with_observed(
+        snap,
+        update_warnings,
+        &cfg.sanitize,
+        cfg.parallelism,
+        metrics,
+    );
+    drop(sanitize_span);
+    let atoms_span = metrics.map(|m| m.span("pipeline.atoms"));
+    let (atoms, state) = match prev {
+        Some(ChainState {
+            sanitized: prev_snap,
+            state,
+        }) => incremental::step(
+            Some((&prev_snap, state)),
+            &sanitized,
+            cfg.parallelism,
+            metrics,
+        ),
+        None => incremental::step(None, &sanitized, cfg.parallelism, metrics),
+    };
+    drop(atoms_span);
+    let stats_span = metrics.map(|m| m.span("pipeline.stats"));
+    let stats = general_stats(&atoms);
+    drop(stats_span);
+    let chain = ChainState {
+        sanitized: sanitized.clone(),
+        state,
+    };
+    (
+        SnapshotAnalysis {
+            sanitized,
+            atoms,
+            stats,
+        },
+        chain,
+    )
+}
+
 /// Folds MRT parse warnings into the metrics ledger, keyed by the
 /// warning-kind slug (`mrt.unknown_type`, `mrt.bad_marker`, …).
 fn record_mrt_warnings<'a>(
@@ -150,6 +234,39 @@ mod tests {
         for stage in ["pipeline.sanitize", "pipeline.atoms", "pipeline.stats"] {
             assert!(serial.contains(stage), "{stage} span missing:\n{serial}");
         }
+    }
+
+    #[test]
+    fn chained_pipeline_matches_unchained_on_a_ladder() {
+        // Three snapshots a month apart through the chained entry point:
+        // every analysis must match the from-scratch pipeline exactly,
+        // and only the first snapshot may fall back to a full compute.
+        let dates = ["2012-01-15 08:00", "2012-02-15 08:00", "2012-03-15 08:00"];
+        let era = Era::for_date(
+            dates[0].parse().unwrap(),
+            Family::Ipv4,
+            Some(1.0 / 300.0),
+        );
+        let mut s = Scenario::build(era);
+        let captured: Vec<CapturedSnapshot> = dates
+            .iter()
+            .map(|d| CapturedSnapshot::from_sim(&s.snapshot(d.parse().unwrap())))
+            .collect();
+        let cfg = PipelineConfig::default();
+        let m = crate::obs::Metrics::new();
+        let mut chain = None;
+        for snap in &captured {
+            let scratch = analyze_snapshot(snap, None, &cfg);
+            let (analysis, next) =
+                analyze_snapshot_chained(snap, None, &cfg, Some(&m), chain.take());
+            assert_eq!(analysis.sanitized, scratch.sanitized);
+            assert_eq!(analysis.atoms, scratch.atoms);
+            assert_eq!(analysis.atoms.paths, scratch.atoms.paths);
+            assert_eq!(analysis.stats, scratch.stats);
+            chain = Some(next);
+        }
+        assert_eq!(m.counter("incremental.full_recomputes"), 1);
+        assert_eq!(m.span_count("incremental.apply"), 2);
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Differential suite for the incremental atom engine: random evolving
+//! scenarios where every step's `apply_delta`/`step` output must be
+//! **byte-identical** to `compute_atoms` from scratch — same atoms, same
+//! signatures, same interned-path table order — at 1, 2, and 8 workers.
+//!
+//! The scenarios mutate per-entry state (announce / withdraw / path
+//! change) *and* the vantage-point set (peers appearing and disappearing
+//! mid-chain), because peer-index remapping is where an incremental engine
+//! diverges most quietly.
+
+use atoms_core::atom::compute_atoms;
+use atoms_core::incremental::{compute_full, step, IncrementalState, SnapshotDelta};
+use atoms_core::parallel::Parallelism;
+use atoms_core::sanitize::{SanitizeReport, SanitizedSnapshot};
+use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn p(i: u32) -> Prefix {
+    Prefix::v4((10 << 24) | ((i % 512) << 8), 24).unwrap()
+}
+
+fn peer(id: usize) -> PeerKey {
+    PeerKey::new(
+        Asn(64_500 + id as u32),
+        IpAddr::V4(Ipv4Addr::from(0x0a00_0000 + id as u32)),
+    )
+}
+
+fn path(j: usize) -> AsPath {
+    format!("{} {} {}", 64_500 + j % 7, 100 + j % 13, 9000 + j % 11)
+        .parse()
+        .unwrap()
+}
+
+/// The evolving routing state: peer id → (prefix index → path index).
+/// Iterating the outer map yields peers sorted by id, which `peer(id)`
+/// maps to sorted `PeerKey`s, matching the sanitize contract.
+type Model = BTreeMap<usize, BTreeMap<u32, usize>>;
+
+/// One per-entry mutation: `(peer selector, prefix index, path index,
+/// announce?)`. `announce = true` sets the entry (announce or path
+/// change); `false` withdraws it (possibly a no-op).
+type EntryMutation = (usize, u32, usize, bool);
+
+/// One evolution step: entry mutations plus a peer-set op
+/// (`peer_op % 4`: 0/1 = none, 2 = add a vantage point, 3 = drop one).
+type Step = (Vec<EntryMutation>, u8, usize);
+
+fn arb_base() -> impl Strategy<Value = Vec<Vec<(u32, usize)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..120, 0usize..30), 0..80),
+        1..5,
+    )
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((0usize..64, 0u32..120, 0usize..30, any::<bool>()), 0..25),
+            any::<u8>(),
+            0usize..64,
+        ),
+        1..6,
+    )
+}
+
+fn model_from_base(base: &[Vec<(u32, usize)>]) -> (Model, usize) {
+    let mut model = Model::new();
+    for (id, rows) in base.iter().enumerate() {
+        model.insert(id, rows.iter().map(|&(i, j)| (i, j)).collect());
+    }
+    (model, base.len())
+}
+
+fn apply_step(model: &mut Model, next_peer_id: &mut usize, step: &Step) {
+    let (mutations, peer_op, drop_sel) = step;
+    match peer_op % 4 {
+        2 => {
+            model.insert(*next_peer_id, BTreeMap::new());
+            *next_peer_id += 1;
+        }
+        3 if model.len() > 1 => {
+            let victim = *model.keys().nth(drop_sel % model.len()).unwrap();
+            model.remove(&victim);
+        }
+        _ => {}
+    }
+    for &(peer_sel, prefix, path_idx, announce) in mutations {
+        let target = *model.keys().nth(peer_sel % model.len()).unwrap();
+        let table = model.get_mut(&target).unwrap();
+        if announce {
+            table.insert(prefix, path_idx);
+        } else {
+            table.remove(&prefix);
+        }
+    }
+}
+
+fn snapshot_of(model: &Model) -> SanitizedSnapshot {
+    let peers: Vec<PeerKey> = model.keys().map(|&id| peer(id)).collect();
+    let tables: Vec<Vec<(Prefix, AsPath)>> = model
+        .values()
+        .map(|table| table.iter().map(|(&i, &j)| (p(i), path(j))).collect())
+        .collect();
+    SanitizedSnapshot {
+        timestamp: SimTime::from_unix(0),
+        family: Family::Ipv4,
+        peers,
+        tables,
+        report: SanitizeReport::default(),
+    }
+}
+
+/// Materializes the whole evolving ladder as sanitized snapshots.
+fn ladder(base: &[Vec<(u32, usize)>], steps: &[Step]) -> Vec<SanitizedSnapshot> {
+    let (mut model, mut next_peer_id) = model_from_base(base);
+    let mut out = vec![snapshot_of(&model)];
+    for s in steps {
+        apply_step(&mut model, &mut next_peer_id, s);
+        out.push(snapshot_of(&model));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Driving the engine down a random evolving ladder reproduces the
+    /// from-scratch computation at every step and every thread count.
+    #[test]
+    fn incremental_chain_matches_scratch_at_any_thread_count(
+        base in arb_base(),
+        steps in arb_steps(),
+    ) {
+        let snaps = ladder(&base, &steps);
+        for threads in [1usize, 2, 8] {
+            let par = Parallelism::new(threads);
+            let mut prev: Option<(&SanitizedSnapshot, IncrementalState)> = None;
+            for (k, snap) in snaps.iter().enumerate() {
+                let scratch = compute_atoms(snap);
+                let (set, state) = step(prev.take(), snap, par, None);
+                prop_assert_eq!(
+                    &set.paths, &scratch.paths,
+                    "step {} at {} threads: interned-path order", k, threads
+                );
+                prop_assert_eq!(
+                    &set, &scratch,
+                    "step {} at {} threads: atom set", k, threads
+                );
+                prev = Some((snap, state));
+            }
+        }
+    }
+
+    /// The one-shot `AtomSet::apply_delta` convenience (state rebuilt from
+    /// the previous atoms, not carried) agrees with scratch for every
+    /// consecutive pair of the ladder.
+    #[test]
+    fn atomset_apply_delta_matches_scratch(
+        base in arb_base(),
+        steps in arb_steps(),
+    ) {
+        let snaps = ladder(&base, &steps);
+        for threads in [1usize, 2, 8] {
+            let par = Parallelism::new(threads);
+            for w in snaps.windows(2) {
+                let prev_set = compute_atoms(&w[0]);
+                let scratch = compute_atoms(&w[1]);
+                let patched = prev_set.apply_delta(&w[0], &w[1], par, None);
+                prop_assert_eq!(&patched, &scratch, "{} threads", threads);
+            }
+        }
+    }
+
+    /// The delta itself is thread-count-invariant (its construction is a
+    /// parallel per-peer diff), and a delta of identical snapshots is
+    /// empty.
+    #[test]
+    fn delta_construction_is_thread_count_invariant(
+        base in arb_base(),
+        steps in arb_steps(),
+    ) {
+        let snaps = ladder(&base, &steps);
+        for w in snaps.windows(2) {
+            let serial = SnapshotDelta::between(&w[0], &w[1], Parallelism::serial());
+            for threads in [2usize, 8] {
+                let par = SnapshotDelta::between(&w[0], &w[1], Parallelism::new(threads));
+                prop_assert_eq!(&par, &serial, "{} threads", threads);
+            }
+            prop_assert!(
+                SnapshotDelta::between(&w[1], &w[1], Parallelism::serial()).is_empty(),
+                "self-delta must be empty"
+            );
+        }
+    }
+
+    /// Restarting the chain mid-way from the produced `AtomSet`
+    /// (`IncrementalState::from_atoms`) is indistinguishable from carrying
+    /// the state — the canonical-state invariant.
+    #[test]
+    fn state_rebuilt_from_atoms_is_canonical(
+        base in arb_base(),
+        steps in arb_steps(),
+    ) {
+        let snaps = ladder(&base, &steps);
+        let (set0, carried0) = compute_full(&snaps[0], Parallelism::serial(), None);
+        prop_assert_eq!(&IncrementalState::from_atoms(&set0), &carried0);
+        let mut carried = Some((&snaps[0], carried0));
+        for snap in &snaps[1..] {
+            let (set, state) = step(carried.take(), snap, Parallelism::serial(), None);
+            prop_assert_eq!(&IncrementalState::from_atoms(&set), &state);
+            carried = Some((snap, state));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Incremental vs full atom recomputation down a snapshot ladder.
+//!
+//! The ladder is eight consecutive small-churn snapshots of the 2016
+//! scenario — the shape of the quarterly sweep and the daily split study.
+//! Sanitization happens outside the timed region: the comparison isolates
+//! the atom stage, which is the part `--incremental` replaces. The
+//! acceptance target is ≥2× for the chained walk over the from-scratch
+//! walk; outputs are asserted byte-identical first so the speedup is
+//! honest.
+
+use atoms_core::atom::compute_atoms;
+use atoms_core::incremental::{compute_full, step, IncrementalState};
+use atoms_core::parallel::Parallelism;
+use atoms_core::sanitize::{sanitize, SanitizeConfig, SanitizedSnapshot};
+use bgp_collect::CapturedSnapshot;
+use bgp_sim::{Era, Scenario};
+use bgp_types::{Family, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const RUNGS: usize = 12;
+
+fn ladder() -> Vec<SanitizedSnapshot> {
+    let date: SimTime = "2016-01-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 200.0));
+    // Rung-to-rung churn on the scale of a day, not a quarter: the
+    // incremental engine's target workload.
+    let churn = era.churn[0] / 32.0;
+    let mut scenario = Scenario::build(era);
+    let cfg = SanitizeConfig::default();
+    let mut out = Vec::with_capacity(RUNGS);
+    for rung in 0..RUNGS {
+        if rung > 0 {
+            scenario.perturb_units(churn, 0xBE4C + rung as u64);
+        }
+        let snap = scenario.snapshot(date.plus_days(rung as u64));
+        let captured = CapturedSnapshot::from_sim(&snap);
+        out.push(sanitize(&captured, &[], &cfg));
+    }
+    out
+}
+
+fn walk_full(snaps: &[SanitizedSnapshot]) -> usize {
+    snaps.iter().map(|s| compute_atoms(s).len()).sum()
+}
+
+fn walk_incremental(snaps: &[SanitizedSnapshot], par: Parallelism) -> usize {
+    let mut total = 0;
+    let mut prev: Option<(&SanitizedSnapshot, IncrementalState)> = None;
+    for snap in snaps {
+        let (set, state) = step(prev.take(), snap, par, None);
+        total += set.len();
+        prev = Some((snap, state));
+    }
+    total
+}
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let snaps = ladder();
+    let par = Parallelism::serial();
+
+    // Honest comparison: the chained walk must reproduce every rung's
+    // atoms byte for byte before its speed means anything.
+    {
+        let (set0, state0) = compute_full(&snaps[0], par, None);
+        assert_eq!(set0, compute_atoms(&snaps[0]));
+        let mut prev = Some((&snaps[0], state0));
+        for snap in &snaps[1..] {
+            let (set, state) = step(prev.take(), snap, par, None);
+            let scratch = compute_atoms(snap);
+            assert_eq!(set.paths, scratch.paths, "interning order must match scratch");
+            assert_eq!(set, scratch, "chained rung must match scratch");
+            prev = Some((snap, state));
+        }
+    }
+
+    let prefixes: usize = snaps.iter().map(SanitizedSnapshot::prefix_count).sum();
+    let mut group = c.benchmark_group("incremental_vs_full");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(prefixes as u64));
+    group.bench_function("full_ladder", |b| {
+        b.iter(|| std::hint::black_box(walk_full(&snaps)))
+    });
+    group.bench_function("incremental_ladder", |b| {
+        b.iter(|| std::hint::black_box(walk_incremental(&snaps, par)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_full);
+criterion_main!(benches);

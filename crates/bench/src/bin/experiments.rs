@@ -10,6 +10,9 @@
 //!   --out <dir>                output directory (default results/)
 //!   --threads <n>              quarter-sweep workers (0 = all cores, the
 //!                              default; results are identical at any n)
+//!   --incremental              delta-based atom recomputation: longitudinal
+//!                              sweeps patch each snapshot from the previous
+//!                              one instead of rescanning (identical results)
 //!   --metrics-json <path>      write pipeline stage/counter/warning metrics
 //!                              after the run (- = stdout); deterministic
 //!   --timings                  include wall-clock durations in the metrics
@@ -31,6 +34,7 @@ fn main() {
     let mut parallelism = Parallelism::auto();
     let mut metrics_json: Option<String> = None;
     let mut timings = false;
+    let mut incremental = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -56,6 +60,7 @@ fn main() {
                     Some(args.next().unwrap_or_else(|| usage("--metrics-json needs a path")));
             }
             "--timings" => timings = true,
+            "--incremental" => incremental = true,
             "-h" | "--help" => usage(""),
             other => ids.push(other.to_string()),
         }
@@ -64,7 +69,9 @@ fn main() {
         usage("no experiment ids given");
     }
     let metrics = metrics_json.as_ref().map(|_| Metrics::new());
-    let mut wb = Workbench::new(scale, &out_dir).with_parallelism(parallelism);
+    let mut wb = Workbench::new(scale, &out_dir)
+        .with_parallelism(parallelism)
+        .with_incremental(incremental);
     if let Some(m) = &metrics {
         wb = wb.with_metrics(m.clone());
     }
@@ -203,7 +210,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: experiments [--scale N] [--out DIR] [--threads N] \
+        "usage: experiments [--scale N] [--out DIR] [--threads N] [--incremental] \
          [--metrics-json PATH] [--timings] <id>... | all | report\n ids: {}",
         ALL.join(", ")
     );

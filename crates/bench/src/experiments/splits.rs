@@ -4,7 +4,7 @@
 use super::{Comparison, ExperimentOutput};
 use crate::Workbench;
 use atoms_core::atom::AtomSet;
-use atoms_core::pipeline::{analyze_snapshot, PipelineConfig};
+use atoms_core::pipeline::{analyze_snapshot, analyze_snapshot_chained, ChainState, PipelineConfig};
 use atoms_core::report::{pct, render_table};
 use atoms_core::splits::{detect_splits, observer_cdf, DailySplitBreakdown, SplitEvent};
 use bgp_collect::CapturedSnapshot;
@@ -62,7 +62,11 @@ fn run_study(wb: &Workbench) -> SplitStudy {
     let edge_vps: Vec<u32> = ranked.into_iter().map(|(_, i)| i).collect();
     let unstable = edge_vps.first().copied().unwrap_or(0);
 
+    // Daily snapshots are the incremental engine's best case — tiny deltas
+    // between consecutive days — so the chained path is reused here when
+    // the workbench is incremental (identical atoms either way).
     let mut atom_sets: Vec<AtomSet> = Vec::with_capacity(days);
+    let mut chain: Option<ChainState> = None;
     for day in 0..days {
         if day > 0 {
             scenario.perturb_units(daily_churn, 0xDA7 + day as u64);
@@ -76,8 +80,16 @@ fn run_study(wb: &Workbench) -> SplitStudy {
             }
         }
         let snap = scenario.snapshot(start.plus_days(day as u64));
-        let analysis = analyze_snapshot(&CapturedSnapshot::from_sim(&snap), None, &cfg);
-        atom_sets.push(analysis.atoms);
+        let captured = CapturedSnapshot::from_sim(&snap);
+        let atoms = if wb.incremental {
+            let (analysis, next) =
+                analyze_snapshot_chained(&captured, None, &cfg, wb.metrics.as_ref(), chain.take());
+            chain = Some(next);
+            analysis.atoms
+        } else {
+            analyze_snapshot(&captured, None, &cfg).atoms
+        };
+        atom_sets.push(atoms);
     }
 
     let mut events = Vec::new();
@@ -98,10 +110,11 @@ fn run_study(wb: &Workbench) -> SplitStudy {
 }
 
 fn cached_study(wb: &Workbench) -> SplitStudy {
-    static CACHE: OnceLock<Mutex<HashMap<(u64, usize), SplitStudy>>> = OnceLock::new();
+    static CACHE: OnceLock<Mutex<HashMap<(u64, usize, bool), SplitStudy>>> = OnceLock::new();
     let key = (
         (wb.scale.unwrap_or(bgp_sim::evolution::DEFAULT_SCALE) * 1e9) as u64,
         study_days(),
+        wb.incremental,
     );
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = cache.lock().expect("split cache lock").get(&key) {

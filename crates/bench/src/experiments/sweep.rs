@@ -7,7 +7,9 @@
 
 use crate::Workbench;
 use atoms_core::formation::{formation, FormationResult, PrependMethod};
-use atoms_core::pipeline::{analyze_snapshot, PipelineConfig};
+use atoms_core::pipeline::{
+    analyze_snapshot, analyze_snapshot_chained, ChainState, PipelineConfig, SnapshotAnalysis,
+};
 use atoms_core::stability::{stability, StabilityPair};
 use atoms_core::stats::GeneralStats;
 use atoms_core::vantage::infer_full_feed;
@@ -39,7 +41,35 @@ pub struct QuarterMetrics {
     pub stab_1w: StabilityPair,
 }
 
-fn compute_quarter(wb: &Workbench, date: SimTime, family: Family) -> QuarterMetrics {
+/// Analyzes one sweep snapshot: patched from the chain when the workbench
+/// is incremental, from scratch otherwise (byte-identical either way).
+fn analyze_sweep_snapshot(
+    wb: &Workbench,
+    captured: &CapturedSnapshot,
+    cfg: &PipelineConfig,
+    chain: &mut Option<ChainState>,
+) -> SnapshotAnalysis {
+    if wb.incremental {
+        let (analysis, next) =
+            analyze_snapshot_chained(captured, None, cfg, wb.metrics.as_ref(), chain.take());
+        *chain = Some(next);
+        analysis
+    } else {
+        analyze_snapshot(captured, None, cfg)
+    }
+}
+
+/// Computes one quarter's metrics. In incremental mode the base, 8-hour,
+/// and 1-week snapshots chain through `chain` — and the chain carries on
+/// into the next quarter's base, so a whole sweep patches deltas instead
+/// of recomputing (consecutive quarters share most of their routing
+/// state, even though each quarter builds its own scenario).
+fn compute_quarter(
+    wb: &Workbench,
+    date: SimTime,
+    family: Family,
+    chain: &mut Option<ChainState>,
+) -> QuarterMetrics {
     let era = wb.era(date, family);
     let churn = era.churn;
     let mut scenario = Scenario::build(era);
@@ -47,19 +77,19 @@ fn compute_quarter(wb: &Workbench, date: SimTime, family: Family) -> QuarterMetr
     let snap = scenario.snapshot(date);
     let captured = CapturedSnapshot::from_sim(&snap);
     let vantage = infer_full_feed(&captured);
-    let analysis = analyze_snapshot(&captured, None, &cfg);
+    let analysis = analyze_sweep_snapshot(wb, &captured, &cfg, chain);
     let form = formation(&analysis.atoms, PrependMethod::UniqueOnRaw);
 
     // 8-hour horizon.
     scenario.perturb_units(churn[0], 0xC0FFEE);
     let snap8 = scenario.snapshot(date.plus_hours(8));
-    let a8 = analyze_snapshot(&CapturedSnapshot::from_sim(&snap8), None, &cfg);
+    let a8 = analyze_sweep_snapshot(wb, &CapturedSnapshot::from_sim(&snap8), &cfg, chain);
     let stab_8h = stability(&analysis.atoms, &a8.atoms);
 
     // One-week horizon (cumulative churn).
     scenario.perturb_units((churn[2] - churn[0]).max(0.0), 0xC0FFEF);
     let snap_w = scenario.snapshot(date.plus_secs(SimTime::WEEK));
-    let aw = analyze_snapshot(&CapturedSnapshot::from_sim(&snap_w), None, &cfg);
+    let aw = analyze_sweep_snapshot(wb, &CapturedSnapshot::from_sim(&snap_w), &cfg, chain);
     let stab_1w = stability(&analysis.atoms, &aw.atoms);
 
     let civil = date.civil();
@@ -75,7 +105,7 @@ fn compute_quarter(wb: &Workbench, date: SimTime, family: Family) -> QuarterMetr
     }
 }
 
-type SweepKey = (Family, u64, i32, i32);
+type SweepKey = (Family, u64, i32, i32, bool);
 type SweepCache = Mutex<HashMap<SweepKey, Vec<QuarterMetrics>>>;
 
 fn cache() -> &'static SweepCache {
@@ -84,18 +114,31 @@ fn cache() -> &'static SweepCache {
 }
 
 /// Runs (or fetches) the quarterly sweep for a family over `[from, to]`.
+///
+/// Quarters run as independent jobs on the worker pool; with
+/// [`Workbench::incremental`] they instead run serially in timeline order,
+/// each snapshot's atoms patched from the previous one's. The metrics are
+/// identical either way (the cache still keys on the mode so both can
+/// coexist in one process).
 pub fn quarterly(wb: &Workbench, family: Family, from: i32, to: i32) -> Vec<QuarterMetrics> {
     let scale_key = (wb.scale.unwrap_or(bgp_sim::evolution::DEFAULT_SCALE) * 1e9) as u64;
-    let key = (family, scale_key, from, to);
+    let key = (family, scale_key, from, to, wb.incremental);
     if let Some(hit) = cache().lock().expect("sweep cache lock").get(&key) {
         return hit.clone();
     }
     let dates = Workbench::quarterly(from, to);
-    // Quarters are independent jobs; `map_indexed` returns them in input
-    // (timeline) order no matter which worker finished first.
-    let out: Vec<QuarterMetrics> = wb
-        .parallelism
-        .map_indexed(dates.len(), |i| compute_quarter(wb, dates[i], family));
+    let out: Vec<QuarterMetrics> = if wb.incremental {
+        let mut chain: Option<ChainState> = None;
+        dates
+            .iter()
+            .map(|&date| compute_quarter(wb, date, family, &mut chain))
+            .collect()
+    } else {
+        // Quarters are independent jobs; `map_indexed` returns them in
+        // input (timeline) order no matter which worker finished first.
+        wb.parallelism
+            .map_indexed(dates.len(), |i| compute_quarter(wb, dates[i], family, &mut None))
+    };
     cache()
         .lock()
         .expect("sweep cache lock")

@@ -2,7 +2,10 @@
 
 use atoms_core::obs::Metrics;
 use atoms_core::parallel::Parallelism;
-use atoms_core::pipeline::{analyze_snapshot_observed, PipelineConfig, SnapshotAnalysis};
+use atoms_core::pipeline::{
+    analyze_snapshot_chained, analyze_snapshot_observed, ChainState, PipelineConfig,
+    SnapshotAnalysis,
+};
 use atoms_core::sanitize::SanitizeConfig;
 use bgp_collect::{CapturedSnapshot, CapturedUpdates};
 use bgp_sim::{generate_window, Era, Scenario};
@@ -27,10 +30,20 @@ pub struct Workbench {
     pub parallelism: Parallelism,
     /// Observability registry (the harness's `--metrics-json`): when set,
     /// every snapshot analysis records stage spans and counters into it.
-    /// Clones share the registry. Note the process-lifetime prepare cache:
-    /// a snapshot already prepared by an earlier experiment is returned
-    /// from cache and records nothing on the second read.
+    /// Clones share the registry. The process-lifetime prepare cache is
+    /// keyed by registry, so a metrics-bearing run never silently reuses a
+    /// snapshot recorded into a different registry (a cache hit within the
+    /// *same* registry still records nothing — the work already did).
     pub metrics: Option<Metrics>,
+    /// Delta-based atom recomputation (the `--incremental` flag): ladder
+    /// drivers ([`prepare_many`], [`stability_ladder`]) walk snapshots in
+    /// date order feeding each result's chain state into the next instead
+    /// of recomputing atoms from scratch. Results are byte-identical
+    /// either way; only the time spent differs.
+    ///
+    /// [`prepare_many`]: Workbench::prepare_many
+    /// [`stability_ladder`]: Workbench::stability_ladder
+    pub incremental: bool,
 }
 
 impl Default for Workbench {
@@ -40,8 +53,19 @@ impl Default for Workbench {
             out_dir: PathBuf::from("results"),
             parallelism: Parallelism::auto(),
             metrics: None,
+            incremental: false,
         }
     }
+}
+
+/// Prepare-cache key: (date, family, scale, config, metrics registry id).
+type PrepareKey = (u64, Family, u64, String, Option<usize>);
+
+/// Prepare-cache entry: the snapshot plus a pin on the metrics registry
+/// whose id keys it (see [`Workbench::cache_key`]).
+struct CachedPrepare {
+    prepared: Arc<PreparedSnapshot>,
+    _metrics: Option<Metrics>,
 }
 
 /// One fully prepared snapshot: scenario, captured inputs, analysis.
@@ -88,6 +112,13 @@ impl Workbench {
         self
     }
 
+    /// Same workbench with delta-based atom recomputation toggled (the
+    /// harness's `--incremental`).
+    pub fn with_incremental(mut self, incremental: bool) -> Workbench {
+        self.incremental = incremental;
+        self
+    }
+
     /// Builds the era for a date.
     pub fn era(&self, date: SimTime, family: Family) -> Era {
         Era::for_date(date, family, self.scale)
@@ -119,14 +150,37 @@ impl Workbench {
         }
     }
 
-    /// Prepares many snapshots on the workbench's worker pool, returned in
-    /// input order. Each snapshot is analyzed serially inside its worker so
-    /// the pool is never oversubscribed; outputs are identical to calling
-    /// [`Workbench::prepare`] in a loop.
+    /// Prepares many snapshots, returned in input order. Outputs are
+    /// identical to calling [`Workbench::prepare`] in a loop.
+    ///
+    /// Without [`incremental`], snapshots run as independent jobs on the
+    /// workbench's worker pool (each analyzed serially inside its worker
+    /// so the pool is never oversubscribed). With [`incremental`], the
+    /// dates are walked in chronological order and each snapshot's atoms
+    /// are patched from the previous one's — the first snapshot (and any
+    /// served from the prepare cache) re-seeds the chain.
+    ///
+    /// [`incremental`]: Workbench::incremental
     pub fn prepare_many(&self, dates: &[SimTime], family: Family) -> Vec<Arc<PreparedSnapshot>> {
         let cfg = PipelineConfig::default();
-        self.parallelism
-            .map_indexed(dates.len(), |i| self.prepare_cached(dates[i], family, &cfg))
+        if !self.incremental {
+            return self
+                .parallelism
+                .map_indexed(dates.len(), |i| self.prepare_cached(dates[i], family, &cfg));
+        }
+        let mut order: Vec<usize> = (0..dates.len()).collect();
+        order.sort_by_key(|&i| dates[i]);
+        let mut results: Vec<Option<Arc<PreparedSnapshot>>> = (0..dates.len()).map(|_| None).collect();
+        let mut chain: Option<ChainState> = None;
+        for &i in &order {
+            let (prepared, next) = self.prepare_chained(dates[i], family, &cfg, chain.take());
+            chain = Some(next);
+            results[i] = Some(prepared);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every date prepared"))
+            .collect()
     }
 
     /// Builds, captures, and analyzes one snapshot (with its 4-hour update
@@ -138,30 +192,99 @@ impl Workbench {
         self.prepare_cached(date, family, &PipelineConfig::default())
     }
 
-    /// Cached variant of [`Workbench::prepare_with`].
+    /// The process-lifetime prepare-cache key for this workbench: the
+    /// snapshot identity (date, family, scale, pipeline config) plus the
+    /// identity of the metrics registry the analysis would record into.
+    /// Keying by registry fixes a silent observability gap: a run with a
+    /// fresh `--metrics-json` registry used to hit the cache entry a
+    /// metrics-less (or different-registry) run had populated and record
+    /// nothing at all. Now such a run recomputes — and records — while
+    /// repeat reads through the *same* registry still hit.
+    fn cache_key(&self, date: SimTime, family: Family, cfg: &PipelineConfig) -> PrepareKey {
+        let scale_key =
+            (self.scale.unwrap_or(bgp_sim::evolution::DEFAULT_SCALE) * 1e9) as u64;
+        (
+            date.unix(),
+            family,
+            scale_key,
+            format!("{cfg:?}"),
+            self.metrics.as_ref().map(Metrics::registry_id),
+        )
+    }
+
+    fn cache() -> &'static Mutex<HashMap<PrepareKey, CachedPrepare>> {
+        static CACHE: OnceLock<Mutex<HashMap<PrepareKey, CachedPrepare>>> = OnceLock::new();
+        CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Cached variant of [`Workbench::prepare_with`]. See
+    /// [`Workbench::cache_key`] for what identifies an entry.
     pub fn prepare_cached(
         &self,
         date: SimTime,
         family: Family,
         cfg: &PipelineConfig,
     ) -> Arc<PreparedSnapshot> {
-        type Key = (u64, Family, u64, String);
-        type Cache = Mutex<HashMap<Key, Arc<PreparedSnapshot>>>;
-        static CACHE: OnceLock<Cache> = OnceLock::new();
-        let scale_key =
-            (self.scale.unwrap_or(bgp_sim::evolution::DEFAULT_SCALE) * 1e9) as u64;
-        let cfg_key = format!("{cfg:?}");
-        let key: Key = (date.unix(), family, scale_key, cfg_key);
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        if let Some(hit) = cache.lock().expect("prepare cache lock").get(&key) {
-            return Arc::clone(hit);
+        let key = self.cache_key(date, family, cfg);
+        if let Some(hit) = Self::cache().lock().expect("prepare cache lock").get(&key) {
+            return Arc::clone(&hit.prepared);
         }
         let prepared = Arc::new(self.prepare_with(date, family, cfg));
-        cache
-            .lock()
-            .expect("prepare cache lock")
-            .insert(key, Arc::clone(&prepared));
+        self.cache_insert(key, Arc::clone(&prepared));
         prepared
+    }
+
+    fn cache_insert(&self, key: PrepareKey, prepared: Arc<PreparedSnapshot>) {
+        Self::cache().lock().expect("prepare cache lock").insert(
+            key,
+            CachedPrepare {
+                prepared,
+                // Pin the registry: its id is part of the key, and a
+                // dropped registry's address could be reallocated to a
+                // different one.
+                _metrics: self.metrics.clone(),
+            },
+        );
+    }
+
+    /// [`Workbench::prepare_cached`] for incremental ladders: analyzes the
+    /// snapshot by patching the previous chain state when one is given,
+    /// and returns the chain state for the next snapshot. A cache hit
+    /// re-seeds the chain from the cached analysis instead of breaking it.
+    pub fn prepare_chained(
+        &self,
+        date: SimTime,
+        family: Family,
+        cfg: &PipelineConfig,
+        chain: Option<ChainState>,
+    ) -> (Arc<PreparedSnapshot>, ChainState) {
+        let key = self.cache_key(date, family, cfg);
+        if let Some(hit) = Self::cache().lock().expect("prepare cache lock").get(&key) {
+            let prepared = Arc::clone(&hit.prepared);
+            let chain = ChainState::from_analysis(&prepared.analysis);
+            return (prepared, chain);
+        }
+        let era = self.era(date, family);
+        let mut scenario = Scenario::build(era);
+        let snap = scenario.snapshot(date);
+        let events = generate_window(&mut scenario, date, 4, 0x5EED);
+        let captured = CapturedSnapshot::from_sim(&snap);
+        let updates = CapturedUpdates::from_sim(&events);
+        let (analysis, next) = analyze_snapshot_chained(
+            &captured,
+            Some(&updates),
+            cfg,
+            self.metrics.as_ref(),
+            chain,
+        );
+        let prepared = Arc::new(PreparedSnapshot {
+            scenario,
+            captured,
+            updates,
+            analysis,
+        });
+        self.cache_insert(key, Arc::clone(&prepared));
+        (prepared, next)
     }
 
     /// [`Workbench::prepare`] with a custom pipeline configuration (the 2002
@@ -206,7 +329,8 @@ impl Workbench {
         let mut scenario = Scenario::build(era);
         let snap = scenario.snapshot(date);
         let captured = CapturedSnapshot::from_sim(&snap);
-        let base = analyze_snapshot_observed(&captured, None, cfg, self.metrics.as_ref());
+        let mut chain: Option<ChainState> = None;
+        let base = self.analyze_rung(&captured, cfg, &mut chain);
 
         let mut horizons = Vec::with_capacity(3);
         let offsets = [8 * 3600u64, 24 * 3600, 7 * 86_400];
@@ -217,7 +341,7 @@ impl Workbench {
             applied = target;
             let snap = scenario.snapshot(date.plus_secs(offset));
             let captured = CapturedSnapshot::from_sim(&snap);
-            horizons.push(analyze_snapshot_observed(&captured, None, cfg, self.metrics.as_ref()));
+            horizons.push(self.analyze_rung(&captured, cfg, &mut chain));
         }
         let horizons: [SnapshotAnalysis; 3] = horizons
             .try_into()
@@ -225,8 +349,105 @@ impl Workbench {
         StabilityLadder { base, horizons }
     }
 
+    /// Analyzes one rung of a ladder: chained through `chain` when the
+    /// workbench is incremental (the stability ladder's rungs are exactly
+    /// the kind of small-churn successors the delta engine is for),
+    /// from-scratch otherwise. Either way the result is byte-identical.
+    fn analyze_rung(
+        &self,
+        captured: &CapturedSnapshot,
+        cfg: &PipelineConfig,
+        chain: &mut Option<ChainState>,
+    ) -> SnapshotAnalysis {
+        if self.incremental {
+            let (analysis, next) =
+                analyze_snapshot_chained(captured, None, cfg, self.metrics.as_ref(), chain.take());
+            *chain = Some(next);
+            analysis
+        } else {
+            analyze_snapshot_observed(captured, None, cfg, self.metrics.as_ref())
+        }
+    }
+
     /// The paper's quarterly snapshot dates.
     pub fn quarterly(from: i32, to: i32) -> Vec<SimTime> {
         Era::quarterly_dates(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A (date, scale) no other test uses, so this test owns its slice of the
+    // process-lifetime prepare cache.
+    const SCALE: Option<f64> = Some(1.0 / 512.0);
+
+    fn date() -> SimTime {
+        "2016-03-03 08:00".parse().unwrap()
+    }
+
+    /// Regression: the prepare cache used to be keyed without the metrics
+    /// registry, so a `--metrics-json` run could hit an entry populated by
+    /// a metrics-less run and record nothing at all.
+    #[test]
+    fn metrics_bearing_prepare_records_after_a_metricsless_one() {
+        let plain = Workbench::new(SCALE, "results-test");
+        let first = plain.prepare(date(), Family::Ipv4);
+
+        let metrics = Metrics::new();
+        let observed = Workbench::new(SCALE, "results-test").with_metrics(metrics.clone());
+        let second = observed.prepare(date(), Family::Ipv4);
+        assert_eq!(
+            metrics.span_count("pipeline.atoms"),
+            1,
+            "a fresh registry must not be starved by the metrics-less run's cache entry"
+        );
+        assert_eq!(
+            second.analysis.atoms, first.analysis.atoms,
+            "the recompute must reproduce the cached analysis exactly"
+        );
+
+        // Repeat reads through the *same* registry hit the cache: the work
+        // (and its telemetry) already happened once.
+        let again = observed.prepare(date(), Family::Ipv4);
+        assert!(Arc::ptr_eq(&second, &again));
+        assert_eq!(metrics.span_count("pipeline.atoms"), 1, "a cache hit records nothing");
+    }
+
+    /// `prepare_many` under `--incremental` returns the same analyses as
+    /// the parallel from-scratch path, in input order, while recording the
+    /// incremental counters.
+    #[test]
+    fn prepare_many_incremental_matches_full() {
+        let dates: Vec<SimTime> = ["2016-06-03 08:00", "2016-09-03 08:00", "2016-12-03 08:00"]
+            .iter()
+            .map(|d| d.parse().unwrap())
+            .collect();
+        // Deliberately out of timeline order: results must come back in
+        // *input* order regardless of the chronological walk inside.
+        let shuffled = vec![dates[2], dates[0], dates[1]];
+
+        let full = Workbench::new(SCALE, "results-test");
+        let baseline = full.prepare_many(&shuffled, Family::Ipv4);
+
+        let metrics = Metrics::new();
+        let inc = Workbench::new(SCALE, "results-test")
+            .with_metrics(metrics.clone())
+            .with_incremental(true);
+        let chained = inc.prepare_many(&shuffled, Family::Ipv4);
+
+        assert_eq!(baseline.len(), chained.len());
+        for (b, c) in baseline.iter().zip(&chained) {
+            assert_eq!(b.captured.timestamp, c.captured.timestamp, "input order preserved");
+            assert_eq!(b.analysis.atoms, c.analysis.atoms);
+            assert_eq!(b.analysis.atoms.paths, c.analysis.atoms.paths, "interning order");
+        }
+        assert_eq!(
+            metrics.counter("incremental.full_recomputes"),
+            1,
+            "only the chronologically first snapshot computes from scratch"
+        );
+        assert_eq!(metrics.span_count("incremental.apply"), 2);
     }
 }

@@ -20,9 +20,15 @@ fn tmpdir(tag: &str) -> PathBuf {
 }
 
 fn run_experiment(id: &str, scale: &str, threads: &str, tag: &str) -> Vec<u8> {
+    run_experiment_with(id, scale, threads, tag, &[])
+}
+
+fn run_experiment_with(id: &str, scale: &str, threads: &str, tag: &str, extra: &[&str]) -> Vec<u8> {
     let dir = tmpdir(tag);
     let out = experiments()
-        .args(["--scale", scale, "--threads", threads, "--out"])
+        .args(["--scale", scale, "--threads", threads])
+        .args(extra)
+        .arg("--out")
         .arg(&dir)
         .arg(id)
         .output()
@@ -56,4 +62,51 @@ fn quarterly_sweep_payload_is_thread_count_invariant() {
     let parallel = run_experiment("fig13", "1600", "4", "f13-par");
     assert!(!serial.is_empty());
     assert_eq!(parallel, serial, "--threads 4 diverged from serial fig13.json");
+}
+
+/// `--incremental` walks the quarterly sweep serially, patching each
+/// quarter's atoms from the previous quarter's, and must write a
+/// byte-identical fig5.json — with or without a worker pool configured.
+#[test]
+fn quarterly_sweep_payload_is_incremental_invariant() {
+    let full = run_experiment("fig5", "1600", "1", "f5-full");
+    assert!(!full.is_empty());
+    let incremental = run_experiment_with("fig5", "1600", "1", "f5-inc", &["--incremental"]);
+    assert_eq!(incremental, full, "--incremental diverged from full fig5.json");
+    let inc_threads = run_experiment_with("fig5", "1600", "4", "f5-inc-par", &["--incremental"]);
+    assert_eq!(
+        inc_threads, full,
+        "--incremental --threads 4 diverged from full fig5.json"
+    );
+}
+
+/// The daily split-event study reuses the delta path under --incremental:
+/// consecutive daily snapshots are the engine's best case. fig6.json must
+/// not move by a byte.
+#[test]
+fn split_study_payload_is_incremental_invariant() {
+    let run = |tag: &str, extra: &[&str]| {
+        let dir = tmpdir(tag);
+        let out = experiments()
+            .args(["--scale", "1600", "--threads", "1"])
+            .args(extra)
+            .arg("--out")
+            .arg(&dir)
+            .arg("fig6")
+            .env("PA_SPLIT_DAYS", "8")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "experiments fig6 {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let payload = std::fs::read(dir.join("fig6.json")).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        payload
+    };
+    let full = run("f6-full", &[]);
+    assert!(!full.is_empty());
+    let incremental = run("f6-inc", &["--incremental"]);
+    assert_eq!(incremental, full, "--incremental diverged from full fig6.json");
 }

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: cargo build --release && cargo test -q && cargo clippy -D warnings.
 #
+# `check.sh --full` additionally runs the incremental-engine differential
+# proptest suite and the incremental_vs_full Criterion benchmark group
+# (slow; the tier-1 gate already runs both suites' default-sized cases).
+#
 # On machines without crates.io access (no network, empty registry cache)
 # the external dependencies are transparently substituted with the
 # functional stubs in vendor-stubs/ via [patch.crates-io] on the command
@@ -8,6 +12,9 @@
 # (or a warm cache) the real crates are used.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+full=false
+[[ "${1:-}" == "--full" ]] && full=true
 
 STUB_CRATES=(serde serde_json bytes crossbeam parking_lot rand rand_chacha proptest criterion)
 
@@ -40,10 +47,13 @@ fi
 # Observability gate: the count-only `--metrics-json` payload for the 2012
 # scenario is fully deterministic (seeded simulator, thread-invariant
 # counters), so it must match the checked-in fixture byte for byte.
+# --horizons adds the +8 h ladder snapshot used by the incremental fixture
+# below; the base snapshot (all `pa atoms` reads) is written first and is
+# unaffected.
 run build --release -p atoms-cli
 golden_tmp=$(mktemp -d)
 trap 'rm -rf "$golden_tmp"' EXIT
-./target/release/pa simulate --date "2012-07-15 08:00" --scale 400 \
+./target/release/pa simulate --date "2012-07-15 08:00" --scale 400 --horizons \
     --out "$golden_tmp/archive" >/dev/null
 ./target/release/pa atoms --date "2012-07-15 08:00" --archive "$golden_tmp/archive" \
     --metrics-json "$golden_tmp/metrics.json" >/dev/null
@@ -53,3 +63,25 @@ if ! diff -u tests/golden/metrics_2012.json "$golden_tmp/metrics.json"; then
     exit 1
 fi
 echo "check.sh: golden metrics fixture OK" >&2
+
+# Incremental-engine gate: a stability pair under --incremental patches the
+# t2 atoms from t1's. Its count-only metrics payload (delta sizes, reused
+# fragments, interner hits, one full recompute) is just as deterministic
+# and thread-invariant as the full pipeline's.
+./target/release/pa stability --t1 "2012-07-15 08:00" --t2 "2012-07-15 16:00" \
+    --incremental --archive "$golden_tmp/archive" \
+    --metrics-json "$golden_tmp/metrics_incremental.json" >/dev/null
+if ! diff -u tests/golden/metrics_2012_incremental.json "$golden_tmp/metrics_incremental.json"; then
+    echo "check.sh: pa stability --incremental --metrics-json drifted from tests/golden/metrics_2012_incremental.json" >&2
+    echo "check.sh: if the change is intentional, regenerate the fixture with the commands above" >&2
+    exit 1
+fi
+echo "check.sh: incremental golden metrics fixture OK" >&2
+
+if $full; then
+    # Differential suite (random evolving ladders, byte-identity at 1/2/8
+    # workers) and the incremental_vs_full Criterion group.
+    run test -q -p atoms-core --test incremental_differential
+    run bench -p bench --bench incremental
+    echo "check.sh: --full incremental tier OK" >&2
+fi
