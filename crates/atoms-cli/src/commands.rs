@@ -128,8 +128,7 @@ impl Options {
             if path == "-" {
                 print!("{json}");
             } else {
-                std::fs::write(path, json)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
             }
         }
         if self.verbose {
@@ -306,7 +305,10 @@ pub fn inspect(opts: &Options) -> Result<(), String> {
         vantage.full_feed_count()
     );
     for (peer, n, full) in vantage.per_peer.iter().take(30) {
-        println!("  {peer:<30} {n:>8} {}", if *full { "full" } else { "partial" });
+        println!(
+            "  {peer:<30} {n:>8} {}",
+            if *full { "full" } else { "partial" }
+        );
     }
     if vantage.per_peer.len() > 30 {
         println!("  … {} more peers", vantage.per_peer.len() - 30);
@@ -337,7 +339,10 @@ pub fn atoms(opts: &Options) -> Result<(), String> {
             "stats": s,
             "sanitize": analysis.sanitized.report,
         });
-        println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json).expect("serializable")
+        );
         return Ok(());
     }
     let r = &analysis.sanitized.report;
@@ -462,8 +467,14 @@ pub fn stability(opts: &Options) -> Result<(), String> {
 pub fn siblings(opts: &Options) -> Result<(), String> {
     let date = need(&opts.date, "--date")?;
     let cfg = opts.pipeline_config();
-    let mut v4_opts = Options { family: Family::Ipv4, ..clone_opts(opts) };
-    let mut v6_opts = Options { family: Family::Ipv6, ..clone_opts(opts) };
+    let mut v4_opts = Options {
+        family: Family::Ipv4,
+        ..clone_opts(opts)
+    };
+    let mut v6_opts = Options {
+        family: Family::Ipv6,
+        ..clone_opts(opts)
+    };
     v4_opts.date = Some(date);
     v6_opts.date = Some(date);
     let (snap4, upd4) = load(&v4_opts, date)?;
@@ -471,8 +482,7 @@ pub fn siblings(opts: &Options) -> Result<(), String> {
     let metrics = opts.metrics();
     let a4 = analyze_snapshot_observed(&snap4, Some(&upd4), &cfg, metrics.as_ref());
     let a6 = analyze_snapshot_observed(&snap6, Some(&upd6), &cfg, metrics.as_ref());
-    let (pairs, report) =
-        atoms_core::siblings::match_siblings(&a4.atoms, &a6.atoms, 0.45);
+    let (pairs, report) = atoms_core::siblings::match_siblings(&a4.atoms, &a6.atoms, 0.45);
     opts.emit_metrics(&metrics)?;
     println!(
         "dual-stack origins {} | pairs {} | fully matched {} | mean score {:.2}",
@@ -542,14 +552,25 @@ pub fn replay(opts: &Options) -> Result<(), String> {
         m.add("replay.applied", state.applied() as u64);
         m.add("replay.announced", stats.announced as u64);
         m.add("replay.withdrawn", stats.withdrawn as u64);
-        m.warn("replay", "spurious_withdrawal", stats.spurious_withdrawals as u64);
+        m.warn(
+            "replay",
+            "spurious_withdrawal",
+            stats.spurious_withdrawals as u64,
+        );
         m.warn("replay", "new_peer", stats.new_peers as u64);
         m.warn("replay", "out_of_order_update", stats.out_of_order as u64);
     }
     // The replayed table is the base plus the window's changes — with
     // --incremental, its atoms are patched from the base's.
     let after = if opts.incremental {
-        analyze_snapshot_chained(&replayed, Some(&updates), &cfg, metrics.as_ref(), chain.take()).0
+        analyze_snapshot_chained(
+            &replayed,
+            Some(&updates),
+            &cfg,
+            metrics.as_ref(),
+            chain.take(),
+        )
+        .0
     } else {
         analyze_snapshot_observed(&replayed, Some(&updates), &cfg, metrics.as_ref())
     };
@@ -586,8 +607,11 @@ pub fn dynamics(opts: &Options) -> Result<(), String> {
     let metrics = opts.metrics();
     let (analysis, updates) = analyze(opts, date, metrics.as_ref())?;
     let dynamics_span = metrics.as_ref().map(|m| m.span("pipeline.dynamics"));
-    let (bursts, report) =
-        classify_bursts(&analysis.atoms, &updates.records, &DynamicsConfig::default());
+    let (bursts, report) = classify_bursts(
+        &analysis.atoms,
+        &updates.records,
+        &DynamicsConfig::default(),
+    );
     drop(dynamics_span);
     opts.emit_metrics(&metrics)?;
     println!(
@@ -642,19 +666,32 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let o = parse(&[
-            "--date", "2024-10-15 08:00",
-            "--family", "v6",
-            "--scale", "100",
-            "--archive", "/tmp/a",
-            "--out", "/tmp/b",
-            "--horizons", "--json", "--reproduction",
-            "--method", "ii",
-            "--t1", "2024-10-15",
-            "--t2", "2024-10-22",
-            "--threads", "4",
+            "--date",
+            "2024-10-15 08:00",
+            "--family",
+            "v6",
+            "--scale",
+            "100",
+            "--archive",
+            "/tmp/a",
+            "--out",
+            "/tmp/b",
+            "--horizons",
+            "--json",
+            "--reproduction",
+            "--method",
+            "ii",
+            "--t1",
+            "2024-10-15",
+            "--t2",
+            "2024-10-22",
+            "--threads",
+            "4",
             "--incremental",
-            "--metrics-json", "/tmp/m.json",
-            "--timings", "--verbose",
+            "--metrics-json",
+            "/tmp/m.json",
+            "--timings",
+            "--verbose",
         ])
         .unwrap();
         assert_eq!(o.date.unwrap().to_string(), "2024-10-15 08:00:00");
@@ -673,7 +710,10 @@ mod tests {
 
     #[test]
     fn metrics_registry_follows_the_flags() {
-        assert!(parse(&[]).unwrap().metrics().is_none(), "no flag, no overhead");
+        assert!(
+            parse(&[]).unwrap().metrics().is_none(),
+            "no flag, no overhead"
+        );
         assert!(parse(&["--verbose"]).unwrap().metrics().is_some());
         assert!(parse(&["--metrics-json", "-"]).unwrap().metrics().is_some());
         assert!(parse(&["--metrics-json"]).is_err(), "needs a path");
@@ -702,8 +742,14 @@ mod tests {
 
     #[test]
     fn method_aliases() {
-        assert_eq!(parse(&["--method", "1"]).unwrap().method, PrependMethod::StripBeforeGrouping);
-        assert_eq!(parse(&["--method", "3"]).unwrap().method, PrependMethod::UniqueOnRaw);
+        assert_eq!(
+            parse(&["--method", "1"]).unwrap().method,
+            PrependMethod::StripBeforeGrouping
+        );
+        assert_eq!(
+            parse(&["--method", "3"]).unwrap().method,
+            PrependMethod::UniqueOnRaw
+        );
     }
 
     #[test]

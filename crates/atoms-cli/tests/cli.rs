@@ -21,7 +21,10 @@ fn help_and_errors() {
     let out = pa().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());
 
-    let out = pa().args(["atoms", "--archive", "/nonexistent"]).output().unwrap();
+    let out = pa()
+        .args(["atoms", "--archive", "/nonexistent"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("missing --date"));
 }
@@ -35,7 +38,11 @@ fn simulate_then_analyze() {
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
 
     let out = pa()
@@ -43,7 +50,11 @@ fn simulate_then_analyze() {
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json: serde_json::Value =
         serde_json::from_slice(&out.stdout).expect("atoms --json emits JSON");
     assert!(json["stats"]["n_atoms"].as_u64().unwrap() > 0);
@@ -77,7 +88,11 @@ fn simulate_then_analyze() {
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("intra-window CAM"));
 
     std::fs::remove_dir_all(&dir).unwrap();
@@ -92,17 +107,33 @@ fn threads_flag_reproduces_serial_output() {
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let serial = pa()
         .args(["atoms", "--date", date, "--json", "--archive"])
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(serial.status.success(), "{}", String::from_utf8_lossy(&serial.stderr));
+    assert!(
+        serial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
     for threads in ["4", "2", "0"] {
         let parallel = pa()
-            .args(["atoms", "--date", date, "--json", "--threads", threads, "--archive"])
+            .args([
+                "atoms",
+                "--date",
+                date,
+                "--json",
+                "--threads",
+                threads,
+                "--archive",
+            ])
             .arg(&dir)
             .output()
             .unwrap();
@@ -114,8 +145,7 @@ fn threads_flag_reproduces_serial_output() {
         // Byte-identical JSON payload, not just equal values: the parallel
         // engine must be unobservable in the output.
         assert_eq!(
-            parallel.stdout,
-            serial.stdout,
+            parallel.stdout, serial.stdout,
             "--threads {threads} diverged from serial"
         );
     }
@@ -129,11 +159,23 @@ fn incremental_flag_reproduces_default_output() {
     // --horizons adds the +8 h / +24 h / +1 week ladder snapshots, giving
     // the incremental engine real deltas to patch.
     let out = pa()
-        .args(["simulate", "--date", date, "--scale", "400", "--horizons", "--out"])
+        .args([
+            "simulate",
+            "--date",
+            date,
+            "--scale",
+            "400",
+            "--horizons",
+            "--out",
+        ])
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Single snapshot: --incremental is the engine's full-compute fallback
     // and must be unobservable in the report.
@@ -142,13 +184,28 @@ fn incremental_flag_reproduces_default_output() {
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(full.status.success(), "{}", String::from_utf8_lossy(&full.stderr));
+    assert!(
+        full.status.success(),
+        "{}",
+        String::from_utf8_lossy(&full.stderr)
+    );
     let inc = pa()
-        .args(["atoms", "--date", date, "--json", "--incremental", "--archive"])
+        .args([
+            "atoms",
+            "--date",
+            date,
+            "--json",
+            "--incremental",
+            "--archive",
+        ])
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(inc.status.success(), "{}", String::from_utf8_lossy(&inc.stderr));
+    assert!(
+        inc.status.success(),
+        "{}",
+        String::from_utf8_lossy(&inc.stderr)
+    );
     assert_eq!(inc.stdout, full.stdout, "atoms --incremental diverged");
 
     // Two instants: the t2 atoms are genuinely patched from t1's — the
@@ -160,11 +217,19 @@ fn incremental_flag_reproduces_default_output() {
         cmd.args(extra);
         cmd.arg("--archive").arg(&dir);
         let out = cmd.output().unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         out.stdout
     };
     let baseline = stability(&[]);
-    assert_eq!(stability(&["--incremental"]), baseline, "stability --incremental diverged");
+    assert_eq!(
+        stability(&["--incremental"]),
+        baseline,
+        "stability --incremental diverged"
+    );
     for threads in ["2", "8"] {
         assert_eq!(
             stability(&["--incremental", "--threads", threads]),
@@ -185,8 +250,15 @@ fn incremental_flag_reproduces_default_output() {
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(replay_inc.status.success(), "{}", String::from_utf8_lossy(&replay_inc.stderr));
-    assert_eq!(replay_inc.stdout, replay_full.stdout, "replay --incremental diverged");
+    assert!(
+        replay_inc.status.success(),
+        "{}",
+        String::from_utf8_lossy(&replay_inc.stderr)
+    );
+    assert_eq!(
+        replay_inc.stdout, replay_full.stdout,
+        "replay --incremental diverged"
+    );
 
     // The incremental metrics (counters + apply span) are recorded and
     // thread-invariant.
@@ -201,11 +273,21 @@ fn incremental_flag_reproduces_default_output() {
             .arg(&dir)
             .output()
             .unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         payloads.push(std::fs::read(&mpath).unwrap());
     }
-    assert_eq!(payloads[0], payloads[1], "incremental metrics diverged at 2 threads");
-    assert_eq!(payloads[0], payloads[2], "incremental metrics diverged at 8 threads");
+    assert_eq!(
+        payloads[0], payloads[1],
+        "incremental metrics diverged at 2 threads"
+    );
+    assert_eq!(
+        payloads[0], payloads[2],
+        "incremental metrics diverged at 8 threads"
+    );
     let v: serde_json::Value = serde_json::from_slice(&payloads[0]).expect("valid JSON");
     assert_eq!(
         v["counters"]["incremental.full_recomputes"].as_u64(),
@@ -214,7 +296,10 @@ fn incremental_flag_reproduces_default_output() {
     );
     assert_eq!(v["stages"]["incremental.apply"].as_u64(), Some(1), "{v:?}");
     assert!(
-        v["counters"]["incremental.reused_fragments"].as_u64().unwrap() > 0,
+        v["counters"]["incremental.reused_fragments"]
+            .as_u64()
+            .unwrap()
+            > 0,
         "the 8-hour delta must reuse most signature rows: {v:?}"
     );
 
@@ -230,7 +315,11 @@ fn metrics_json_is_thread_invariant_and_reconciles() {
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // The count-only metrics payload (no --timings) must be byte-identical
     // at every thread count: scheduling may never leak into the telemetry.
@@ -238,17 +327,34 @@ fn metrics_json_is_thread_invariant_and_reconciles() {
     for threads in ["1", "2", "8"] {
         let mpath = dir.join(format!("metrics-{threads}.json"));
         let out = pa()
-            .args(["atoms", "--date", date, "--threads", threads, "--metrics-json"])
+            .args([
+                "atoms",
+                "--date",
+                date,
+                "--threads",
+                threads,
+                "--metrics-json",
+            ])
             .arg(&mpath)
             .arg("--archive")
             .arg(&dir)
             .output()
             .unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         payloads.push(std::fs::read(&mpath).unwrap());
     }
-    assert_eq!(payloads[0], payloads[1], "--threads 2 metrics diverged from serial");
-    assert_eq!(payloads[0], payloads[2], "--threads 8 metrics diverged from serial");
+    assert_eq!(
+        payloads[0], payloads[1],
+        "--threads 2 metrics diverged from serial"
+    );
+    assert_eq!(
+        payloads[0], payloads[2],
+        "--threads 8 metrics diverged from serial"
+    );
 
     // The counters must reconcile exactly with the sanitize report's
     // accounting identity: every input prefix is kept or counted dropped.
@@ -277,22 +383,44 @@ fn metrics_json_is_thread_invariant_and_reconciles() {
         "atoms.merge",
         "atoms.assemble",
     ] {
-        assert_eq!(v["stages"][stage].as_u64(), Some(1), "stage {stage} not recorded once");
+        assert_eq!(
+            v["stages"][stage].as_u64(),
+            Some(1),
+            "stage {stage} not recorded once"
+        );
     }
 
     // --timings adds a scheduling-dependent section on top of the same
     // deterministic core, and --verbose writes the stage report to stderr.
     let out = pa()
-        .args(["atoms", "--date", date, "--timings", "--verbose", "--metrics-json", "-"])
+        .args([
+            "atoms",
+            "--date",
+            date,
+            "--timings",
+            "--verbose",
+            "--metrics-json",
+            "-",
+        ])
         .arg("--archive")
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("\"timings\""), "--timings section missing: {stdout}");
+    assert!(
+        stdout.contains("\"timings\""),
+        "--timings section missing: {stdout}"
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("pipeline.sanitize"), "--verbose report missing: {stderr}");
+    assert!(
+        stderr.contains("pipeline.sanitize"),
+        "--verbose report missing: {stderr}"
+    );
 
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -303,18 +431,28 @@ fn siblings_across_families() {
     let date = "2024-01-15 08:00";
     for fam in ["v4", "v6"] {
         let out = pa()
-            .args(["simulate", "--date", date, "--family", fam, "--scale", "400", "--out"])
+            .args([
+                "simulate", "--date", date, "--family", fam, "--scale", "400", "--out",
+            ])
             .arg(&dir)
             .output()
             .unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
     let out = pa()
         .args(["siblings", "--date", date, "--archive"])
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("dual-stack origins"));
     std::fs::remove_dir_all(&dir).unwrap();

@@ -5,15 +5,18 @@
 //! a prefix missing from some vantage point's table never shares an atom
 //! with one that is present there, exactly as Afek et al. specify.
 //!
-//! Paths are interned so signatures are small integer vectors; atoms with
-//! identical signatures merge regardless of which announcement produced
-//! them.
+//! Paths are interned in the snapshot's shared [`SnapshotStore`] so
+//! signatures are small integer vectors; atoms with identical signatures
+//! merge regardless of which announcement produced them. The scan consumes
+//! the sanitized snapshot's columnar id tables directly — the private
+//! per-scan interner the module used to carry collapsed into the store.
 
 use crate::obs::Metrics;
 use crate::parallel::Parallelism;
 use crate::sanitize::SanitizedSnapshot;
-use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use bgp_types::{AsPath, Asn, Family, PathId, PathTable, PeerKey, Prefix, SimTime, SnapshotStore};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::OnceLock;
 
 /// One policy atom.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,7 +24,8 @@ pub struct Atom {
     /// The atom's prefixes, sorted.
     pub prefixes: Vec<Prefix>,
     /// Sparse signature: `(peer index, path id)`, sorted by peer index.
-    /// Peers absent from the signature did not carry the atom's prefixes.
+    /// The path id is a [`PathId`] into the owning set's store. Peers
+    /// absent from the signature did not carry the atom's prefixes.
     pub signature: Vec<(u16, u32)>,
     /// The origin AS, when every path agrees on it; `None` for atoms whose
     /// observed origins conflict across vantage points (possible for MOAS
@@ -37,8 +41,8 @@ impl Atom {
     }
 }
 
-/// The set of atoms computed from one snapshot.
-#[derive(Debug, Clone, PartialEq)]
+/// The set of atoms computed from one snapshot, over a [`SnapshotStore`].
+#[derive(Debug)]
 pub struct AtomSet {
     /// Snapshot time.
     pub timestamp: SimTime,
@@ -46,13 +50,48 @@ pub struct AtomSet {
     pub family: Family,
     /// Vantage points, in signature-index order.
     pub peers: Vec<PeerKey>,
-    /// Interned paths; signatures reference these by index.
-    pub paths: Vec<AsPath>,
     /// The atoms, in deterministic (first-prefix) order.
     pub atoms: Vec<Atom>,
+    /// The arenas signature path ids reference.
+    store: SnapshotStore,
+    /// Lazily built prefix → atom-index map (cached on first use; built
+    /// from `atoms` at that moment, so mutate `atoms` only before the
+    /// first [`AtomSet::prefix_to_atom`] call).
+    prefix_map: OnceLock<HashMap<Prefix, u32>>,
 }
 
 impl AtomSet {
+    /// Builds a set from owned parts, interning into a fresh store: each
+    /// `paths[i]` is interned (duplicates collapse) and every signature's
+    /// path id is remapped from its index in `paths` to the store id; atom
+    /// prefixes are interned too, so id-based prefix lookups work.
+    pub fn from_parts(
+        timestamp: SimTime,
+        family: Family,
+        peers: Vec<PeerKey>,
+        paths: Vec<AsPath>,
+        mut atoms: Vec<Atom>,
+    ) -> AtomSet {
+        let store = SnapshotStore::new();
+        let remap: Vec<u32> = paths.iter().map(|p| store.intern_path(p).0 .0).collect();
+        for atom in &mut atoms {
+            for entry in &mut atom.signature {
+                entry.1 = remap[entry.1 as usize];
+            }
+            for &p in &atom.prefixes {
+                store.intern_prefix(p);
+            }
+        }
+        AtomSet {
+            timestamp,
+            family,
+            peers,
+            atoms,
+            store,
+            prefix_map: OnceLock::new(),
+        }
+    }
+
     /// Number of atoms.
     pub fn len(&self) -> usize {
         self.atoms.len()
@@ -68,24 +107,60 @@ impl AtomSet {
         self.atoms.iter().map(Atom::size).sum()
     }
 
-    /// The path atom `a` shows at peer `peer_idx` (`None` = empty path).
-    pub fn path_of(&self, a: usize, peer_idx: u16) -> Option<&AsPath> {
+    /// The store the signatures' path ids reference.
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// The path atom `a` shows at peer `peer_idx` (`None` = empty path),
+    /// resolved from the store.
+    pub fn path_of(&self, a: usize, peer_idx: u16) -> Option<AsPath> {
         let atom = &self.atoms[a];
         atom.signature
             .binary_search_by_key(&peer_idx, |&(p, _)| p)
             .ok()
-            .map(|i| &self.paths[atom.signature[i].1 as usize])
+            .map(|i| self.store.paths().get(PathId(atom.signature[i].1)).clone())
     }
 
-    /// Map from prefix to atom index.
-    pub fn prefix_to_atom(&self) -> HashMap<Prefix, u32> {
-        let mut out = HashMap::with_capacity(self.prefix_count());
-        for (i, atom) in self.atoms.iter().enumerate() {
-            for &p in &atom.prefixes {
-                out.insert(p, i as u32);
-            }
+    /// Distinct path ids referenced by this set's signatures.
+    pub fn distinct_path_count(&self) -> usize {
+        let mut ids: HashSet<u32> = HashSet::new();
+        for atom in &self.atoms {
+            ids.extend(atom.signature.iter().map(|&(_, id)| id));
         }
-        out
+        ids.len()
+    }
+
+    /// The distinct paths this set references, in path-id order — for a
+    /// set over a fresh store this is the historical per-snapshot
+    /// interning order (first occurrence in peer-major table order).
+    pub fn interned_paths(&self) -> Vec<AsPath> {
+        let mut ids: Vec<u32> = {
+            let mut seen: HashSet<u32> = HashSet::new();
+            for atom in &self.atoms {
+                seen.extend(atom.signature.iter().map(|&(_, id)| id));
+            }
+            seen.into_iter().collect()
+        };
+        ids.sort_unstable();
+        let paths = self.store.paths();
+        ids.into_iter()
+            .map(|id| paths.get(PathId(id)).clone())
+            .collect()
+    }
+
+    /// Map from prefix to atom index (built once, cached — this is a
+    /// lookup table borrow, not a per-call rebuild).
+    pub fn prefix_to_atom(&self) -> &HashMap<Prefix, u32> {
+        self.prefix_map.get_or_init(|| {
+            let mut out = HashMap::with_capacity(self.prefix_count());
+            for (i, atom) in self.atoms.iter().enumerate() {
+                for &p in &atom.prefixes {
+                    out.insert(p, i as u32);
+                }
+            }
+            out
+        })
     }
 
     /// Atom indices grouped by (unambiguous) origin AS, sorted by origin.
@@ -105,6 +180,57 @@ impl AtomSet {
     }
 }
 
+impl Clone for AtomSet {
+    /// The cached prefix → atom map is not carried over: a clone may have
+    /// its `atoms` rearranged before the first `prefix_to_atom` call, and
+    /// a stale cache would silently alias the wrong atoms.
+    fn clone(&self) -> Self {
+        AtomSet {
+            timestamp: self.timestamp,
+            family: self.family,
+            peers: self.peers.clone(),
+            atoms: self.atoms.clone(),
+            store: self.store.clone(),
+            prefix_map: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for AtomSet {
+    /// Semantic equality: identical metadata and atoms with identical
+    /// *resolved* signatures. Sets over the same store compare path ids
+    /// directly; across stores each signature entry's path is resolved
+    /// first (same paths at the same peers ⇒ equal, whatever ids each
+    /// store issued).
+    fn eq(&self, other: &Self) -> bool {
+        if self.timestamp != other.timestamp
+            || self.family != other.family
+            || self.peers != other.peers
+        {
+            return false;
+        }
+        if self.store.same(&other.store) {
+            return self.atoms == other.atoms;
+        }
+        if self.atoms.len() != other.atoms.len() {
+            return false;
+        }
+        let ap = self.store.paths();
+        let bp = other.store.paths();
+        self.atoms.iter().zip(&other.atoms).all(|(a, b)| {
+            a.prefixes == b.prefixes
+                && a.origin == b.origin
+                && a.signature.len() == b.signature.len()
+                && a.signature
+                    .iter()
+                    .zip(&b.signature)
+                    .all(|(&(pa, wa), &(pb, wb))| {
+                        pa == pb && ap.get(PathId(wa)) == bp.get(PathId(wb))
+                    })
+        })
+    }
+}
+
 /// Computes policy atoms from a sanitized snapshot.
 ///
 /// # Panics
@@ -120,12 +246,11 @@ pub fn compute_atoms(snap: &SanitizedSnapshot) -> AtomSet {
 
 /// [`compute_atoms`] on a worker pool.
 ///
-/// The per-peer table scans run as independent jobs, each building a
-/// *fragment* — the peer's entries against a thread-local path interner.
-/// A deterministic remap-and-merge then rebuilds the global interner and
-/// signature map in peer order, reproducing the serial interning sequence
-/// exactly: the returned [`AtomSet`] is identical (including path ids and
-/// serialized bytes) at every thread count.
+/// The per-peer table scans run as independent jobs, each resolving its
+/// columnar table against the snapshot's store; a deterministic merge then
+/// builds the signature map in peer order. Path ids come from the store
+/// (issued at sanitize time), so the returned [`AtomSet`] is identical
+/// (including serialized bytes) at every thread count.
 ///
 /// # Panics
 ///
@@ -152,9 +277,9 @@ pub fn compute_atoms_with_observed(
     metrics: Option<&Metrics>,
 ) -> AtomSet {
     assert_peer_bound(snap.tables.len());
-    let (paths, signatures) = scan(snap, par, metrics);
+    let signatures = scan(snap, par, metrics);
     let assemble_span = metrics.map(|m| m.span("atoms.assemble"));
-    let set = assemble(snap, paths, &signatures);
+    let set = assemble(snap, &signatures);
     drop(assemble_span);
     if let Some(m) = metrics {
         record_set_counters(m, &set);
@@ -174,20 +299,24 @@ pub(crate) fn assert_peer_bound(n_peers: usize) {
 }
 
 /// Records the result counters every atom-producing engine emits.
+/// `atoms.paths_interned` is the set's distinct referenced-path count —
+/// a per-snapshot quantity, deliberately not the (ladder-cumulative)
+/// store size.
 pub(crate) fn record_set_counters(metrics: &Metrics, set: &AtomSet) {
     metrics.add("atoms.count", set.atoms.len() as u64);
-    metrics.add("atoms.paths_interned", set.paths.len() as u64);
+    metrics.add("atoms.paths_interned", set.distinct_path_count() as u64);
     metrics.add("atoms.prefixes", set.prefix_count() as u64);
 }
 
-/// Runs the signature scan (serial or on the pool) and returns the interned
-/// paths plus the prefix → signature-row map — the intermediate state the
-/// incremental engine carries between snapshots.
+/// Runs the signature scan (serial or on the pool) and returns the prefix
+/// → signature-row map — the intermediate state the incremental engine
+/// carries between snapshots. Path ids are the store's, so no interning
+/// happens here.
 pub(crate) fn scan(
     snap: &SanitizedSnapshot,
     par: Parallelism,
     metrics: Option<&Metrics>,
-) -> (Vec<AsPath>, SignatureMap) {
+) -> SignatureMap {
     if par.workers_for(snap.tables.len()) <= 1 {
         let scan_span = metrics.map(|m| m.span("atoms.scan"));
         let out = scan_serial(snap);
@@ -204,127 +333,85 @@ pub(crate) fn scan(
     }
 }
 
-/// Prefix → sparse `(peer index, global path id)` signature rows.
+/// Prefix → sparse `(peer index, store path id)` signature rows.
 pub(crate) type SignatureMap = BTreeMap<Prefix, Vec<(u16, u32)>>;
 
-/// Interns `path`, appending it to `paths` on first sight.
-fn intern<'a>(
-    paths: &mut Vec<AsPath>,
-    path_ids: &mut HashMap<&'a AsPath, u32>,
-    path: &'a AsPath,
-) -> u32 {
-    match path_ids.get(path) {
-        Some(&id) => id,
-        None => {
-            let id = paths.len() as u32;
-            paths.push(path.clone());
-            path_ids.insert(path, id);
-            id
-        }
-    }
-}
-
-/// Single-threaded scan: interns paths and builds the prefix → sparse
-/// signature map in one pass over the tables.
-fn scan_serial(snap: &SanitizedSnapshot) -> (Vec<AsPath>, SignatureMap) {
-    let mut paths: Vec<AsPath> = Vec::new();
-    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
+/// Single-threaded scan: resolves prefix ids and builds the prefix →
+/// sparse signature map in one pass over the columnar tables.
+fn scan_serial(snap: &SanitizedSnapshot) -> SignatureMap {
+    let prefixes = snap.store().prefixes();
     let mut signatures = SignatureMap::new();
     for (peer_idx, table) in snap.tables.iter().enumerate() {
-        for (prefix, path) in table {
-            let id = intern(&mut paths, &mut path_ids, path);
-            signatures.entry(*prefix).or_default().push((peer_idx as u16, id));
+        for &(pid, path_id) in table {
+            signatures
+                .entry(prefixes.get(pid))
+                .or_default()
+                .push((peer_idx as u16, path_id.0));
         }
     }
-    (paths, signatures)
+    signatures
 }
 
-/// One peer's scan result: entries against a thread-local interner.
-struct Fragment {
-    /// Distinct paths in first-occurrence order within this table.
-    paths: Vec<AsPath>,
-    /// `(prefix, local path id)` in table (prefix-sorted) order.
-    entries: Vec<(Prefix, u32)>,
-}
-
-fn scan_table(table: &[(Prefix, AsPath)]) -> Fragment {
-    let mut paths: Vec<AsPath> = Vec::new();
-    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
-    let mut entries = Vec::with_capacity(table.len());
-    for (prefix, path) in table {
-        let id = intern(&mut paths, &mut path_ids, path);
-        entries.push((*prefix, id));
-    }
-    Fragment { paths, entries }
-}
-
-/// Parallel scan: per-peer fragments on the pool, then a deterministic
-/// remap-and-merge.
-///
-/// The merge walks fragments in peer order and interns each fragment's
-/// local paths in local-id order — which is that table's first-occurrence
-/// order, i.e. exactly the order the serial scan would have seen them. The
-/// global path ids (and hence the signatures) therefore match the serial
-/// scan bit for bit.
+/// Parallel scan: per-peer prefix resolution on the pool, then a
+/// deterministic merge in peer order. Path ids already come from the
+/// shared store, so the signatures match the serial scan bit for bit.
 fn scan_parallel(
     snap: &SanitizedSnapshot,
     par: Parallelism,
     metrics: Option<&Metrics>,
-) -> (Vec<AsPath>, SignatureMap) {
+) -> SignatureMap {
     let scan_span = metrics.map(|m| m.span("atoms.scan"));
-    let fragments: Vec<Fragment> = par.map_indexed_observed(
+    let resolved: Vec<Vec<(Prefix, u32)>> = par.map_indexed_observed(
         snap.tables.len(),
-        |i| scan_table(&snap.tables[i]),
+        |i| {
+            let prefixes = snap.store().prefixes();
+            snap.tables[i]
+                .iter()
+                .map(|&(pid, path_id)| (prefixes.get(pid), path_id.0))
+                .collect()
+        },
         metrics.map(|m| (m, "atoms.scan")),
     );
     drop(scan_span);
     let merge_span = metrics.map(|m| m.span("atoms.merge"));
-    let mut paths: Vec<AsPath> = Vec::new();
-    let mut path_ids: HashMap<&AsPath, u32> = HashMap::new();
     let mut signatures = SignatureMap::new();
-    for (peer_idx, fragment) in fragments.iter().enumerate() {
-        let remap: Vec<u32> = fragment
-            .paths
-            .iter()
-            .map(|path| intern(&mut paths, &mut path_ids, path))
-            .collect();
-        for &(prefix, local_id) in &fragment.entries {
+    for (peer_idx, entries) in resolved.iter().enumerate() {
+        for &(prefix, path_id) in entries {
             signatures
                 .entry(prefix)
                 .or_default()
-                .push((peer_idx as u16, remap[local_id as usize]));
+                .push((peer_idx as u16, path_id));
         }
     }
     drop(merge_span);
-    (paths, signatures)
+    signatures
 }
 
 /// Groups prefixes by signature and materializes the final, deterministic
 /// atom order (shared by the serial and parallel scans and by the
-/// incremental engine — the output depends only on `paths` and
+/// incremental engine — the output depends only on the store and
 /// `signatures`, never on how they were produced).
-pub(crate) fn assemble(
-    snap: &SanitizedSnapshot,
-    paths: Vec<AsPath>,
-    signatures: &SignatureMap,
-) -> AtomSet {
+pub(crate) fn assemble(snap: &SanitizedSnapshot, signatures: &SignatureMap) -> AtomSet {
     // Group prefixes by signature. Tables are per-peer sorted, so each
     // prefix's signature is built in increasing peer order already.
     let mut groups: HashMap<&[(u16, u32)], Vec<Prefix>> = HashMap::new();
     for (prefix, sig) in signatures {
         groups.entry(sig.as_slice()).or_default().push(*prefix);
     }
-    let mut atoms: Vec<Atom> = groups
-        .into_iter()
-        .map(|(sig, prefixes)| {
-            let origin = atom_origin(sig, &paths);
-            Atom {
-                prefixes,
-                signature: sig.to_vec(),
-                origin,
-            }
-        })
-        .collect();
+    let mut atoms: Vec<Atom> = {
+        let paths = snap.store().paths();
+        groups
+            .into_iter()
+            .map(|(sig, prefixes)| {
+                let origin = atom_origin(sig, &paths);
+                Atom {
+                    prefixes,
+                    signature: sig.to_vec(),
+                    origin,
+                }
+            })
+            .collect()
+    };
     for atom in &mut atoms {
         atom.prefixes.sort();
     }
@@ -333,15 +420,16 @@ pub(crate) fn assemble(
         timestamp: snap.timestamp,
         family: snap.family,
         peers: snap.peers.clone(),
-        paths,
         atoms,
+        store: snap.store().clone(),
+        prefix_map: OnceLock::new(),
     }
 }
 
-fn atom_origin(signature: &[(u16, u32)], paths: &[AsPath]) -> Option<Asn> {
+fn atom_origin(signature: &[(u16, u32)], paths: &PathTable) -> Option<Asn> {
     let mut origin: Option<Asn> = None;
     for &(_, path_id) in signature {
-        let this = paths[path_id as usize].origin()?;
+        let this = paths.origin(PathId(path_id))?;
         match origin {
             None => origin = Some(this),
             Some(o) if o != this => return None,
@@ -376,13 +464,13 @@ mod tests {
                 t
             })
             .collect();
-        SanitizedSnapshot {
-            timestamp: SimTime::from_unix(0),
-            family: Family::Ipv4,
+        SanitizedSnapshot::from_owned_tables(
+            SimTime::from_unix(0),
+            Family::Ipv4,
             peers,
             tables,
-            report: SanitizeReport::default(),
-        }
+            SanitizeReport::default(),
+        )
     }
 
     #[test]
@@ -469,9 +557,14 @@ mod tests {
 
     #[test]
     fn deterministic_order() {
-        let s = snap(&[
-            (1, &[("10.0.2.0/24", "1 9"), ("10.0.0.0/24", "1 8"), ("10.0.1.0/24", "1 7")]),
-        ]);
+        let s = snap(&[(
+            1,
+            &[
+                ("10.0.2.0/24", "1 9"),
+                ("10.0.0.0/24", "1 8"),
+                ("10.0.1.0/24", "1 7"),
+            ],
+        )]);
         let atoms = compute_atoms(&s);
         let firsts: Vec<Prefix> = atoms.atoms.iter().map(|a| a.prefixes[0]).collect();
         let mut sorted = firsts.clone();
@@ -491,21 +584,28 @@ mod tests {
     /// peer-index bound without building real routing state.
     fn wide_snap(n: usize) -> SanitizedSnapshot {
         use std::net::{IpAddr, Ipv4Addr};
-        SanitizedSnapshot {
-            timestamp: SimTime::from_unix(0),
-            family: Family::Ipv4,
-            peers: (0..n)
+        SanitizedSnapshot::from_owned_tables(
+            SimTime::from_unix(0),
+            Family::Ipv4,
+            (0..n)
                 .map(|i| PeerKey::new(Asn(i as u32), IpAddr::V4(Ipv4Addr::from(i as u32))))
                 .collect(),
-            tables: vec![Vec::new(); n],
-            report: SanitizeReport::default(),
-        }
+            vec![Vec::new(); n],
+            SanitizeReport::default(),
+        )
     }
 
     #[test]
     fn parallel_scan_matches_serial() {
         let s = snap(&[
-            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9"), ("10.0.2.0/24", "1 6 9")]),
+            (
+                1,
+                &[
+                    ("10.0.0.0/24", "1 5 9"),
+                    ("10.0.1.0/24", "1 5 9"),
+                    ("10.0.2.0/24", "1 6 9"),
+                ],
+            ),
             (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 5 9")]),
             (3, &[("10.0.1.0/24", "3 6 9"), ("10.0.2.0/24", "3 5 9")]),
         ]);
@@ -513,8 +613,12 @@ mod tests {
         for threads in [2, 3, 8] {
             let parallel = compute_atoms_with(&s, Parallelism::new(threads));
             assert_eq!(parallel, serial, "threads = {threads}");
-            // Path interning order (not just set equality) must match.
-            assert_eq!(parallel.paths, serial.paths, "threads = {threads}");
+            // Path id → path resolution (not just set equality) must match.
+            assert_eq!(
+                parallel.interned_paths(),
+                serial.interned_paths(),
+                "threads = {threads}"
+            );
         }
     }
 
@@ -523,7 +627,14 @@ mod tests {
     #[test]
     fn observed_metrics_are_thread_count_invariant() {
         let s = snap(&[
-            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9"), ("10.0.2.0/24", "1 6 9")]),
+            (
+                1,
+                &[
+                    ("10.0.0.0/24", "1 5 9"),
+                    ("10.0.1.0/24", "1 5 9"),
+                    ("10.0.2.0/24", "1 6 9"),
+                ],
+            ),
             (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 5 9")]),
             (3, &[("10.0.1.0/24", "3 6 9"), ("10.0.2.0/24", "3 5 9")]),
         ]);
@@ -531,14 +642,20 @@ mod tests {
             let m = Metrics::new();
             let set = compute_atoms_with_observed(&s, Parallelism::new(threads), Some(&m));
             assert_eq!(m.counter("atoms.count"), set.atoms.len() as u64);
-            assert_eq!(m.counter("atoms.paths_interned"), set.paths.len() as u64);
+            assert_eq!(
+                m.counter("atoms.paths_interned"),
+                set.distinct_path_count() as u64
+            );
             m.to_json_string(false)
         };
         let serial = observe(1);
         for threads in [2, 8] {
             assert_eq!(observe(threads), serial, "threads = {threads}");
         }
-        assert!(serial.contains("atoms.merge"), "merge span present serially too");
+        assert!(
+            serial.contains("atoms.merge"),
+            "merge span present serially too"
+        );
     }
 
     #[test]
@@ -556,12 +673,48 @@ mod tests {
 
     #[test]
     fn interning_shares_identical_paths() {
-        let s = snap(&[
-            (1, &[("10.0.0.0/24", "1 9"), ("10.0.1.0/24", "1 9"), ("10.0.2.0/24", "1 9")]),
-        ]);
+        let s = snap(&[(
+            1,
+            &[
+                ("10.0.0.0/24", "1 9"),
+                ("10.0.1.0/24", "1 9"),
+                ("10.0.2.0/24", "1 9"),
+            ],
+        )]);
         let atoms = compute_atoms(&s);
-        assert_eq!(atoms.paths.len(), 1, "one distinct path interned once");
+        assert_eq!(
+            atoms.distinct_path_count(),
+            1,
+            "one distinct path interned once"
+        );
+        assert_eq!(atoms.interned_paths().len(), 1);
         assert_eq!(atoms.len(), 1);
         assert_eq!(atoms.atoms[0].size(), 3);
+    }
+
+    #[test]
+    fn from_parts_collapses_duplicate_paths_and_remaps_signatures() {
+        // Two identical path strings at distinct input indices: the store
+        // hash-conses them, and both signature entries must land on the
+        // same store id.
+        let peers: Vec<PeerKey> = (0..2)
+            .map(|i| PeerKey::new(Asn(i + 1), format!("10.0.0.{}", i + 1).parse().unwrap()))
+            .collect();
+        let paths: Vec<AsPath> = vec!["1 9".parse().unwrap(), "1 9".parse().unwrap()];
+        let atoms = vec![Atom {
+            prefixes: vec!["10.0.0.0/24".parse().unwrap()],
+            signature: vec![(0, 0), (1, 1)],
+            origin: Some(Asn(9)),
+        }];
+        let set = AtomSet::from_parts(SimTime::from_unix(0), Family::Ipv4, peers, paths, atoms);
+        assert_eq!(set.distinct_path_count(), 1);
+        let sig = &set.atoms[0].signature;
+        assert_eq!(sig[0].1, sig[1].1, "duplicate paths collapse to one id");
+        assert_eq!(set.path_of(0, 0).unwrap().to_string(), "1 9");
+        // The atom's prefix is interned too, for id-based lookups.
+        assert!(set
+            .store()
+            .lookup_prefix("10.0.0.0/24".parse().unwrap())
+            .is_some());
     }
 }

@@ -121,38 +121,39 @@ pub fn classify_bursts(
     let mut bursts: Vec<Burst> = Vec::new();
     let mut report = DynamicsReport::default();
 
-    let mut close = |atom: u32, peer: PeerKey, o: Open, atoms: &AtomSet, report: &mut DynamicsReport| {
-        let atom_size = atoms.atoms[atom as usize].size();
-        let coverage = o.touched.len() as f64 / atom_size as f64;
-        let class = if atom_size == 1 {
-            BurstClass::SinglePrefix
-        } else if coverage >= cfg.event_coverage {
-            BurstClass::AtomEvent
-        } else {
-            BurstClass::PrefixNoise
+    let mut close =
+        |atom: u32, peer: PeerKey, o: Open, atoms: &AtomSet, report: &mut DynamicsReport| {
+            let atom_size = atoms.atoms[atom as usize].size();
+            let coverage = o.touched.len() as f64 / atom_size as f64;
+            let class = if atom_size == 1 {
+                BurstClass::SinglePrefix
+            } else if coverage >= cfg.event_coverage {
+                BurstClass::AtomEvent
+            } else {
+                BurstClass::PrefixNoise
+            };
+            match class {
+                BurstClass::AtomEvent => {
+                    report.atom_events += 1;
+                    report.records_in_events += o.records;
+                }
+                BurstClass::PrefixNoise => {
+                    report.noise_bursts += 1;
+                    report.records_in_noise += o.records;
+                }
+                BurstClass::SinglePrefix => report.single_prefix_bursts += 1,
+            }
+            bursts.push(Burst {
+                atom,
+                atom_size,
+                peer,
+                start: o.start,
+                end: o.end,
+                touched: o.touched.len(),
+                records: o.records,
+                class,
+            });
         };
-        match class {
-            BurstClass::AtomEvent => {
-                report.atom_events += 1;
-                report.records_in_events += o.records;
-            }
-            BurstClass::PrefixNoise => {
-                report.noise_bursts += 1;
-                report.records_in_noise += o.records;
-            }
-            BurstClass::SinglePrefix => report.single_prefix_bursts += 1,
-        }
-        bursts.push(Burst {
-            atom,
-            atom_size,
-            peer,
-            start: o.start,
-            end: o.end,
-            touched: o.touched.len(),
-            records: o.records,
-            class,
-        });
-    };
 
     for record in updates {
         // Which atoms does this record touch?
@@ -209,12 +210,12 @@ mod tests {
     }
 
     fn atoms() -> AtomSet {
-        AtomSet {
-            timestamp: SimTime::from_unix(0),
-            family: Family::Ipv4,
-            peers: vec![],
-            paths: vec![],
-            atoms: vec![
+        AtomSet::from_parts(
+            SimTime::from_unix(0),
+            Family::Ipv4,
+            vec![],
+            vec![],
+            vec![
                 Atom {
                     prefixes: vec![p(0), p(1), p(2)],
                     signature: vec![],
@@ -226,7 +227,7 @@ mod tests {
                     origin: Some(Asn(2)),
                 },
             ],
-        }
+        )
     }
 
     fn peer() -> PeerKey {
@@ -268,8 +269,7 @@ mod tests {
     #[test]
     fn isolated_flap_is_noise() {
         let set = atoms();
-        let (bursts, report) =
-            classify_bursts(&set, &[rec(10, &[0])], &DynamicsConfig::default());
+        let (bursts, report) = classify_bursts(&set, &[rec(10, &[0])], &DynamicsConfig::default());
         assert_eq!(bursts[0].class, BurstClass::PrefixNoise);
         assert_eq!(report.noise_bursts, 1);
         assert_eq!(report.event_share(), 0.0);
@@ -288,8 +288,7 @@ mod tests {
     #[test]
     fn single_prefix_atoms_are_unclassifiable() {
         let set = atoms();
-        let (bursts, report) =
-            classify_bursts(&set, &[rec(5, &[3])], &DynamicsConfig::default());
+        let (bursts, report) = classify_bursts(&set, &[rec(5, &[3])], &DynamicsConfig::default());
         assert_eq!(bursts[0].class, BurstClass::SinglePrefix);
         assert_eq!(report.single_prefix_bursts, 1);
     }

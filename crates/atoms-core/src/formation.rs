@@ -106,12 +106,24 @@ enum PairSplit {
 /// `StripBeforeGrouping` behaves like method (iii) on already-stripped
 /// paths.
 pub fn formation(atoms: &AtomSet, method: PrependMethod) -> FormationResult {
-    // Pre-strip every interned path into origin-first unique-AS form.
-    let stripped: Vec<Vec<Asn>> = atoms
-        .paths
-        .iter()
-        .map(|p| p.from_origin_unique())
-        .collect();
+    // Pre-strip every referenced path into origin-first unique-AS form,
+    // indexed by store path id (the store may hold paths from other
+    // snapshots of a shared ladder; only this set's ids are resolved).
+    let stripped: Vec<Vec<Asn>> = {
+        let paths = atoms.store().paths();
+        let mut out: Vec<Vec<Asn>> = vec![Vec::new(); paths.len()];
+        let mut seen = vec![false; paths.len()];
+        for atom in &atoms.atoms {
+            for &(_, id) in &atom.signature {
+                let i = id as usize;
+                if !seen[i] {
+                    seen[i] = true;
+                    out[i] = paths.get(bgp_types::PathId(id)).from_origin_unique();
+                }
+            }
+        }
+        out
+    };
 
     let by_origin = atoms.atoms_by_origin();
     let excluded_origin_conflicts = atoms.origin_conflicts();
@@ -210,12 +222,22 @@ pub fn formation(atoms: &AtomSet, method: PrependMethod) -> FormationResult {
 /// Method (i): strips prepends from every table path, regroups atoms, and
 /// measures distances on the result.
 pub fn formation_with_regrouping(snap: &SanitizedSnapshot) -> FormationResult {
-    let mut stripped = snap.clone();
-    for table in &mut stripped.tables {
+    // Resolve to owned tables at this boundary, strip, and rebuild over a
+    // fresh store (stripped paths are new values; interning them into the
+    // snapshot's shared ladder store would pollute it).
+    let mut tables = snap.resolved_tables();
+    for table in &mut tables {
         for (_, path) in table.iter_mut() {
             *path = path.strip_prepends();
         }
     }
+    let stripped = SanitizedSnapshot::from_owned_tables(
+        snap.timestamp,
+        snap.family,
+        snap.peers.clone(),
+        tables,
+        snap.report.clone(),
+    );
     let atoms = compute_atoms(&stripped);
     formation(&atoms, PrependMethod::StripBeforeGrouping)
 }
@@ -393,13 +415,13 @@ mod tests {
                 t
             })
             .collect();
-        let snap = SanitizedSnapshot {
-            timestamp: SimTime::from_unix(0),
-            family: Family::Ipv4,
+        let snap = SanitizedSnapshot::from_owned_tables(
+            SimTime::from_unix(0),
+            Family::Ipv4,
             peers,
             tables,
-            report: SanitizeReport::default(),
-        };
+            SanitizeReport::default(),
+        );
         compute_atoms(&snap)
     }
 
@@ -505,11 +527,11 @@ mod tests {
         let peers: Vec<PeerKey> = (1..=2)
             .map(|i| PeerKey::new(Asn(i), format!("10.0.0.{i}").parse().unwrap()))
             .collect();
-        let snap = SanitizedSnapshot {
-            timestamp: SimTime::from_unix(0),
-            family: Family::Ipv4,
+        let snap = SanitizedSnapshot::from_owned_tables(
+            SimTime::from_unix(0),
+            Family::Ipv4,
             peers,
-            tables: tables
+            tables
                 .iter()
                 .map(|(_, entries)| {
                     entries
@@ -518,8 +540,8 @@ mod tests {
                         .collect()
                 })
                 .collect(),
-            report: SanitizeReport::default(),
-        };
+            SanitizeReport::default(),
+        );
         let f1 = formation_with_regrouping(&snap);
         // The two prefixes merge into one atom: single-atom origin, d = 1.
         assert_eq!(f1.n_atoms, 1);
@@ -532,8 +554,14 @@ mod tests {
         // A diverges from B at the transit, but B also prepends heavily;
         // raw-position counting would say distance 5, unique counting 3.
         let atoms = atoms_from(&[
-            (1, &[("10.0.0.0/24", "1 7 5 9"), ("10.0.1.0/24", "1 8 5 9 9 9")]),
-            (2, &[("10.0.0.0/24", "2 7 5 9"), ("10.0.1.0/24", "2 8 5 9 9 9")]),
+            (
+                1,
+                &[("10.0.0.0/24", "1 7 5 9"), ("10.0.1.0/24", "1 8 5 9 9 9")],
+            ),
+            (
+                2,
+                &[("10.0.0.0/24", "2 7 5 9"), ("10.0.1.0/24", "2 8 5 9 9 9")],
+            ),
         ]);
         let f = formation(&atoms, PrependMethod::UniqueOnRaw);
         assert_eq!(f.at_distance(3), 100.0);
@@ -578,8 +606,22 @@ mod tests {
     fn multi_atom_histogram_excludes_singletons() {
         let atoms = atoms_from(&[
             // Origin 9: one atom. Origin 8: two atoms diverging at 2.
-            (1, &[("10.0.0.0/24", "1 5 9"), ("10.1.0.0/24", "1 5 8"), ("10.2.0.0/24", "1 6 8")]),
-            (2, &[("10.0.0.0/24", "2 5 9"), ("10.1.0.0/24", "2 5 8"), ("10.2.0.0/24", "2 6 8")]),
+            (
+                1,
+                &[
+                    ("10.0.0.0/24", "1 5 9"),
+                    ("10.1.0.0/24", "1 5 8"),
+                    ("10.2.0.0/24", "1 6 8"),
+                ],
+            ),
+            (
+                2,
+                &[
+                    ("10.0.0.0/24", "2 5 9"),
+                    ("10.1.0.0/24", "2 5 8"),
+                    ("10.2.0.0/24", "2 6 8"),
+                ],
+            ),
         ]);
         let f = formation(&atoms, PrependMethod::UniqueOnRaw);
         assert_eq!(f.n_atoms, 3);

@@ -6,26 +6,26 @@
 //! small fraction of prefixes. [`crate::atom::compute_atoms`] rescans every
 //! peer table from scratch at each step; this module instead diffs the two
 //! sanitized snapshots ([`SnapshotDelta`]), patches only the signature rows
-//! of touched prefixes, and reuses the path interner and every untouched
-//! row from the previous step.
+//! of touched prefixes, and reuses every untouched row from the previous
+//! step.
 //!
 //! # Determinism contract
 //!
 //! The incremental result is **byte-identical** to a from-scratch
 //! [`crate::atom::compute_atoms`] on the same snapshot, at any thread
-//! count: same atoms, same signature ids, same interned-path table in the
-//! same order. Two mechanisms guarantee this:
+//! count: same atoms, same signature path ids. Two mechanisms guarantee
+//! this:
 //!
-//! * the carried state is kept *canonical* — after every step the interned
-//!   paths and signature rows are renumbered into exactly the
-//!   first-occurrence order the serial scan would have produced
-//!   ([`canonicalize`]), so stale or re-ordered path ids can never leak
-//!   into an output;
+//! * both snapshots of a step live in one shared [`SnapshotStore`], so a
+//!   path id means the same path on either side — the diff compares ids,
+//!   never re-hashes a path, and patched rows carry exactly the ids a
+//!   fresh scan of the new snapshot would produce;
 //! * the final grouping runs through the very same `assemble` code path as
 //!   the full computation, so atom ordering is shared by construction.
 //!
 //! Fallback rules: an engine step with no predecessor (the first snapshot
-//! of a ladder), or a predecessor of a different address family, performs a
+//! of a ladder), a predecessor of a different address family, or a
+//! predecessor over a *different store* (ids not comparable) performs a
 //! full recomputation (recorded as `incremental.full_recomputes`). Peer-set
 //! changes between snapshots — vantage points appearing, disappearing, or
 //! shifting index — are handled by the delta itself and do not fall back.
@@ -34,21 +34,22 @@ use crate::atom::{assemble, assert_peer_bound, record_set_counters, scan, AtomSe
 use crate::obs::Metrics;
 use crate::parallel::Parallelism;
 use crate::sanitize::SanitizedSnapshot;
-use bgp_types::{AsPath, Prefix};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use bgp_types::{PathId, Prefix, PrefixId};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// One vantage point's table changes between two snapshots, expressed in
-/// the **new** snapshot's peer-index space.
+/// the **new** snapshot's peer-index space, with prefix/path ids from the
+/// snapshots' shared store.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PeerDelta {
     /// Index of this vantage point in the new snapshot.
     pub peer: u16,
     /// Prefixes announced at this peer (absent before), with their paths.
-    pub announced: Vec<(Prefix, AsPath)>,
+    pub announced: Vec<(PrefixId, PathId)>,
     /// Prefixes withdrawn at this peer (present before, absent now).
-    pub withdrawn: Vec<Prefix>,
+    pub withdrawn: Vec<PrefixId>,
     /// Prefixes present at both instants whose path changed.
-    pub changed: Vec<(Prefix, AsPath)>,
+    pub changed: Vec<(PrefixId, PathId)>,
 }
 
 impl PeerDelta {
@@ -63,7 +64,7 @@ impl PeerDelta {
     }
 }
 
-/// A per-peer RIB diff between two sanitized snapshots.
+/// A per-peer RIB diff between two sanitized snapshots over one store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotDelta {
     /// Old peer index → new peer index (`None`: the peer disappeared).
@@ -82,18 +83,27 @@ impl SnapshotDelta {
     /// Diffs two sanitized snapshots on the worker pool (one job per
     /// surviving peer). Peers are matched by [`bgp_types::PeerKey`], so
     /// index shifts caused by appearing/disappearing vantage points are
-    /// captured in `old_to_new` rather than misread as table churn.
+    /// captured in `old_to_new` rather than misread as table churn. Path
+    /// changes are detected by **id equality** — no path is hashed or
+    /// compared structurally.
     ///
     /// # Panics
     ///
     /// Panics when `curr` exceeds the u16 peer-index bound (same limit as
-    /// [`crate::atom::compute_atoms`]).
+    /// [`crate::atom::compute_atoms`]), or when the snapshots do not share
+    /// a store (ids from different arenas are not comparable — sanitize
+    /// ladder snapshots into one store, or use [`step`], which falls back
+    /// to a full recomputation instead).
     pub fn between(
         prev: &SanitizedSnapshot,
         curr: &SanitizedSnapshot,
         par: Parallelism,
     ) -> SnapshotDelta {
         assert_peer_bound(curr.peers.len());
+        assert!(
+            prev.store().same(curr.store()),
+            "SnapshotDelta::between requires both snapshots over one shared store"
+        );
         let new_index: BTreeMap<_, u16> = curr
             .peers
             .iter()
@@ -113,9 +123,9 @@ impl SnapshotDelta {
         }
         // One diff job per new peer; results fold back in peer order, so
         // the delta is identical at any thread count.
-        let mut peer_deltas: Vec<PeerDelta> = par
-            .map_indexed(curr.peers.len(), |j| match matched_old[j] {
-                Some(i) => diff_tables(j as u16, &prev.tables[i], &curr.tables[j]),
+        let mut peer_deltas: Vec<PeerDelta> =
+            par.map_indexed(curr.peers.len(), |j| match matched_old[j] {
+                Some(i) => diff_tables(curr.store(), j as u16, &prev.tables[i], &curr.tables[j]),
                 None => PeerDelta {
                     peer: j as u16,
                     announced: curr.tables[j].clone(),
@@ -154,58 +164,53 @@ impl SnapshotDelta {
     }
 }
 
-/// Merge-walk diff of one peer's sorted, one-entry-per-prefix tables.
-fn diff_tables(peer: u16, old: &[(Prefix, AsPath)], new: &[(Prefix, AsPath)]) -> PeerDelta {
+/// Merge-walk diff of one peer's sorted, one-entry-per-prefix columnar
+/// tables. The walk orders by *resolved* prefix (prefix ids are issued in
+/// first-sight order, not address order); path change is raw id equality.
+fn diff_tables(
+    store: &bgp_types::SnapshotStore,
+    peer: u16,
+    old: &[(PrefixId, PathId)],
+    new: &[(PrefixId, PathId)],
+) -> PeerDelta {
+    let prefixes = store.prefixes();
     let mut delta = PeerDelta {
         peer,
         ..PeerDelta::default()
     };
     let (mut i, mut j) = (0, 0);
     while i < old.len() && j < new.len() {
-        match old[i].0.cmp(&new[j].0) {
+        match prefixes.get(old[i].0).cmp(&prefixes.get(new[j].0)) {
             std::cmp::Ordering::Less => {
                 delta.withdrawn.push(old[i].0);
                 i += 1;
             }
             std::cmp::Ordering::Greater => {
-                delta.announced.push(new[j].clone());
+                delta.announced.push(new[j]);
                 j += 1;
             }
             std::cmp::Ordering::Equal => {
                 if old[i].1 != new[j].1 {
-                    delta.changed.push(new[j].clone());
+                    delta.changed.push(new[j]);
                 }
                 i += 1;
                 j += 1;
             }
         }
     }
-    delta.withdrawn.extend(old[i..].iter().map(|(p, _)| *p));
-    delta.announced.extend(new[j..].iter().cloned());
+    delta.withdrawn.extend(old[i..].iter().map(|&(p, _)| p));
+    delta.announced.extend(new[j..].iter().copied());
     delta
 }
 
 /// The state the incremental engine carries from one snapshot to the next:
-/// the canonical interned-path table and the prefix → signature-row map —
-/// exactly what a from-scratch serial scan of the snapshot would produce.
+/// the prefix → signature-row map over the shared store — exactly what a
+/// from-scratch scan of the snapshot would produce. (The interned-path
+/// table the state used to carry now lives in the store itself.)
 #[derive(Debug, Clone, PartialEq)]
 pub struct IncrementalState {
-    /// Canonical interned paths (identical to the snapshot's
-    /// [`AtomSet::paths`]).
-    paths: Vec<AsPath>,
-    /// Path → id over `paths`, carried across steps so applying a delta
-    /// never re-hashes the whole interner.
-    path_ids: HashMap<AsPath, u32>,
-    /// Prefix → sorted `(peer index, path id)` rows over `paths`.
+    /// Prefix → sorted `(peer index, store path id)` rows.
     signatures: SignatureMap,
-}
-
-fn index_paths(paths: &[AsPath]) -> HashMap<AsPath, u32> {
-    paths
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (p.clone(), i as u32))
-        .collect()
 }
 
 impl IncrementalState {
@@ -219,16 +224,16 @@ impl IncrementalState {
                 signatures.insert(prefix, atom.signature.clone());
             }
         }
-        IncrementalState {
-            paths: set.paths.clone(),
-            path_ids: index_paths(&set.paths),
-            signatures,
-        }
+        IncrementalState { signatures }
     }
 
-    /// Interned-path count.
+    /// Distinct path ids the carried signature rows reference.
     pub fn path_count(&self) -> usize {
-        self.paths.len()
+        let mut ids: HashSet<u32> = HashSet::new();
+        for row in self.signatures.values() {
+            ids.extend(row.iter().map(|&(_, id)| id));
+        }
+        ids.len()
     }
 
     /// Tracked prefix count.
@@ -245,26 +250,23 @@ pub fn compute_full(
     metrics: Option<&Metrics>,
 ) -> (AtomSet, IncrementalState) {
     assert_peer_bound(snap.tables.len());
-    let (paths, signatures) = scan(snap, par, metrics);
+    let signatures = scan(snap, par, metrics);
     let assemble_span = metrics.map(|m| m.span("atoms.assemble"));
-    let set = assemble(snap, paths, &signatures);
+    let set = assemble(snap, &signatures);
     drop(assemble_span);
     if let Some(m) = metrics {
         record_set_counters(m, &set);
     }
-    let state = IncrementalState {
-        paths: set.paths.clone(),
-        path_ids: index_paths(&set.paths),
-        signatures,
-    };
-    (set, state)
+    (set, IncrementalState { signatures })
 }
 
 /// One engine step: applies the delta when a compatible predecessor state
 /// is given, otherwise falls back to a full recomputation (first snapshot
-/// of a ladder, or an address-family change mid-chain). Either way the
-/// returned atom set is byte-identical to [`crate::atom::compute_atoms`]
-/// on `curr`, and the returned state is ready for the next step.
+/// of a ladder, an address-family change mid-chain, or a predecessor over
+/// a different store — whose path ids would be meaningless against
+/// `curr`'s). Either way the returned atom set is byte-identical to
+/// [`crate::atom::compute_atoms`] on `curr`, and the returned state is
+/// ready for the next step.
 pub fn step(
     prev: Option<(&SanitizedSnapshot, IncrementalState)>,
     curr: &SanitizedSnapshot,
@@ -272,7 +274,9 @@ pub fn step(
     metrics: Option<&Metrics>,
 ) -> (AtomSet, IncrementalState) {
     match prev {
-        Some((prev_snap, state)) if prev_snap.family == curr.family => {
+        Some((prev_snap, state))
+            if prev_snap.family == curr.family && prev_snap.store().same(curr.store()) =>
+        {
             let delta = SnapshotDelta::between(prev_snap, curr, par);
             apply_delta(state, &delta, curr, metrics)
         }
@@ -294,8 +298,8 @@ pub fn step(
 /// * `incremental.delta_prefixes` — distinct prefixes whose row changed;
 /// * `incremental.reused_fragments` — signature rows carried over
 ///   untouched from the previous snapshot;
-/// * `incremental.cache_hits` — delta entries whose path was already in
-///   the carried interner;
+/// * `incremental.cache_hits` — delta entries whose path the carried state
+///   already referenced;
 /// * `incremental.noop_op` warning — delta operations that had nothing to
 ///   do (e.g. a withdraw of a never-announced prefix), tolerated so
 ///   imperfect externally built deltas cannot corrupt state.
@@ -312,14 +316,21 @@ pub fn apply_delta(
     assert_peer_bound(curr.tables.len());
     let apply_span = metrics.map(|m| m.span("incremental.apply"));
     let IncrementalState {
-        paths: mut engine_paths,
-        mut path_ids,
         signatures: mut sigs,
     } = state;
-    // Touched prefixes feed only the observability counters; skip the
-    // bookkeeping entirely on unobserved runs.
+    // Touched prefixes and path-cache hits feed only the observability
+    // counters; skip the bookkeeping entirely on unobserved runs.
     let track = metrics.is_some();
     let mut touched: BTreeSet<Prefix> = BTreeSet::new();
+    // Path ids the carried state already references: a delta entry whose
+    // path is among them is a cache hit (the path needed no fresh intern
+    // work anywhere — sanitize hit it in the store, the engine knew it).
+    let mut known: HashSet<u32> = HashSet::new();
+    if track {
+        for row in sigs.values() {
+            known.extend(row.iter().map(|&(_, id)| id));
+        }
+    }
 
     // 1. Remap peer indices (dropping entries of disappeared peers). The
     // mapping is monotonic over surviving peers — both peer lists are
@@ -348,46 +359,51 @@ pub fn apply_delta(
     // binary-search insertion keeps them so regardless of op order.
     let mut cache_hits: u64 = 0;
     let mut noop_ops: u64 = 0;
-    for pd in &delta.peer_deltas {
-        for (prefix, path) in pd.announced.iter().chain(&pd.changed) {
-            let id = intern_owned(&mut engine_paths, &mut path_ids, path, &mut cache_hits);
-            let row = sigs.entry(*prefix).or_default();
-            match row.binary_search_by_key(&pd.peer, |&(p, _)| p) {
-                Ok(pos) => row[pos].1 = id,
-                Err(pos) => row.insert(pos, (pd.peer, id)),
-            }
-            if track {
-                touched.insert(*prefix);
-            }
-        }
-        for prefix in &pd.withdrawn {
-            let Some(row) = sigs.get_mut(prefix) else {
-                noop_ops += 1;
-                continue;
-            };
-            match row.binary_search_by_key(&pd.peer, |&(p, _)| p) {
-                Ok(pos) => {
-                    row.remove(pos);
-                    if row.is_empty() {
-                        sigs.remove(prefix);
+    {
+        let prefixes = curr.store().prefixes();
+        for pd in &delta.peer_deltas {
+            for &(prefix_id, path_id) in pd.announced.iter().chain(&pd.changed) {
+                let prefix = prefixes.get(prefix_id);
+                if track {
+                    if known.contains(&path_id.0) {
+                        cache_hits += 1;
+                    } else {
+                        known.insert(path_id.0);
                     }
-                    if track {
-                        touched.insert(*prefix);
-                    }
+                    touched.insert(prefix);
                 }
-                Err(_) => noop_ops += 1,
+                let row = sigs.entry(prefix).or_default();
+                match row.binary_search_by_key(&pd.peer, |&(p, _)| p) {
+                    Ok(pos) => row[pos].1 = path_id.0,
+                    Err(pos) => row.insert(pos, (pd.peer, path_id.0)),
+                }
+            }
+            for &prefix_id in &pd.withdrawn {
+                let prefix = prefixes.get(prefix_id);
+                let Some(row) = sigs.get_mut(&prefix) else {
+                    noop_ops += 1;
+                    continue;
+                };
+                match row.binary_search_by_key(&pd.peer, |&(p, _)| p) {
+                    Ok(pos) => {
+                        row.remove(pos);
+                        if row.is_empty() {
+                            sigs.remove(&prefix);
+                        }
+                        if track {
+                            touched.insert(prefix);
+                        }
+                    }
+                    Err(_) => noop_ops += 1,
+                }
             }
         }
     }
 
-    // 3. Renumber into the canonical first-occurrence order a serial scan
-    // of `curr` would produce; drop paths no longer referenced.
-    let canonical_paths =
-        canonicalize(engine_paths, &mut path_ids, &mut sigs, curr.tables.len());
-
-    // 4. Same assembly as the full computation — shared determinism.
+    // 3. Same assembly as the full computation — shared determinism. (No
+    // renumbering pass: path ids are the store's, stable by construction.)
     let assemble_span = metrics.map(|m| m.span("atoms.assemble"));
-    let set = assemble(curr, canonical_paths, &sigs);
+    let set = assemble(curr, &sigs);
     drop(assemble_span);
     drop(apply_span);
     if let Some(m) = metrics {
@@ -401,108 +417,15 @@ pub fn apply_delta(
         m.add("incremental.cache_hits", cache_hits);
         m.warn("incremental", "noop_op", noop_ops);
     }
-    let state = IncrementalState {
-        paths: set.paths.clone(),
-        path_ids,
-        signatures: sigs,
-    };
-    (set, state)
-}
-
-/// Interns `path` against an owned-key map, counting hits.
-fn intern_owned(
-    paths: &mut Vec<AsPath>,
-    path_ids: &mut HashMap<AsPath, u32>,
-    path: &AsPath,
-    hits: &mut u64,
-) -> u32 {
-    if let Some(&id) = path_ids.get(path) {
-        *hits += 1;
-        return id;
-    }
-    let id = paths.len() as u32;
-    paths.push(path.clone());
-    path_ids.insert(path.clone(), id);
-    id
-}
-
-/// Renumbers engine path ids into canonical first-occurrence order.
-///
-/// The serial scan interns paths while walking peer 0's table in prefix
-/// order, then peer 1's, … — i.e. in `(peer, prefix)` order over all
-/// entries. The signature map holds exactly those entries (rows iterate in
-/// prefix order, entries within a row in peer order), so transposing it
-/// per peer reproduces the scan's interning sequence without touching the
-/// tables or hashing a single path. The transpose uses one flat
-/// count-then-fill buffer — no per-peer growth reallocations. Unreferenced
-/// (stale) paths are dropped (from the interner map too, whose surviving
-/// values are renumbered in place without rehashing a key). When the
-/// canonical order already matches the engine order the rows are left
-/// untouched and the path table is reused as-is.
-fn canonicalize(
-    engine_paths: Vec<AsPath>,
-    path_ids: &mut HashMap<AsPath, u32>,
-    sigs: &mut SignatureMap,
-    n_peers: usize,
-) -> Vec<AsPath> {
-    let mut offsets: Vec<usize> = vec![0; n_peers + 1];
-    for row in sigs.values() {
-        for &(peer, _) in row {
-            offsets[peer as usize + 1] += 1;
-        }
-    }
-    for p in 0..n_peers {
-        offsets[p + 1] += offsets[p];
-    }
-    // Rows visit prefixes in order, so each peer's region fills in prefix
-    // order: the flat buffer ends up in exactly (peer, prefix) scan order.
-    let mut flat: Vec<u32> = vec![0; offsets[n_peers]];
-    let mut cursor = offsets;
-    for row in sigs.values() {
-        for &(peer, id) in row {
-            let c = &mut cursor[peer as usize];
-            flat[*c] = id;
-            *c += 1;
-        }
-    }
-    const UNSEEN: u32 = u32::MAX;
-    let mut canon_of: Vec<u32> = vec![UNSEEN; engine_paths.len()];
-    let mut canonical_ids: Vec<u32> = Vec::new();
-    for &id in &flat {
-        if canon_of[id as usize] == UNSEEN {
-            canon_of[id as usize] = canonical_ids.len() as u32;
-            canonical_ids.push(id);
-        }
-    }
-    let identity = canonical_ids.len() == engine_paths.len()
-        && canonical_ids.iter().enumerate().all(|(i, &id)| id == i as u32);
-    if identity {
-        return engine_paths;
-    }
-    for row in sigs.values_mut() {
-        for entry in row {
-            entry.1 = canon_of[entry.1 as usize];
-        }
-    }
-    path_ids.retain(|_, id| {
-        let canon = canon_of[*id as usize];
-        *id = canon;
-        canon != UNSEEN
-    });
-    // Each surviving id occurs exactly once in `canonical_ids`: move the
-    // paths into their canonical slots instead of cloning them.
-    let mut engine_paths = engine_paths;
-    canonical_ids
-        .iter()
-        .map(|&id| std::mem::replace(&mut engine_paths[id as usize], AsPath::empty()))
-        .collect()
+    (set, IncrementalState { signatures: sigs })
 }
 
 impl AtomSet {
     /// Convenience one-shot incremental step: derives the engine state from
     /// `self` (the atoms of `prev`), diffs `prev` → `curr`, and applies the
     /// delta. The result is byte-identical to a from-scratch
-    /// [`crate::atom::compute_atoms`] on `curr`.
+    /// [`crate::atom::compute_atoms`] on `curr`. Both snapshots must share
+    /// a store (see [`SnapshotDelta::between`]).
     ///
     /// Chains that walk many snapshots should carry the
     /// [`IncrementalState`] through [`step`] instead, which skips the
@@ -525,11 +448,13 @@ mod tests {
     use super::*;
     use crate::atom::compute_atoms;
     use crate::sanitize::SanitizeReport;
-    use bgp_types::{Asn, Family, PeerKey, SimTime};
+    use bgp_types::{AsPath, Asn, Family, PeerKey, SimTime, SnapshotStore};
 
-    /// Builds a sanitized snapshot from (peer asn, [(prefix, path)]); peers
-    /// come out sorted by key as the sanitize contract requires.
-    fn snap(tables: &[(u32, &[(&str, &str)])]) -> SanitizedSnapshot {
+    /// Builds a sanitized snapshot from (peer asn, [(prefix, path)]) into
+    /// `store`; peers come out sorted by key as the sanitize contract
+    /// requires. Snapshots that will be diffed or chained must share one
+    /// store.
+    fn snap_into(store: &SnapshotStore, tables: &[(u32, &[(&str, &str)])]) -> SanitizedSnapshot {
         let mut ordered: Vec<_> = tables
             .iter()
             .map(|(asn, entries)| {
@@ -553,24 +478,30 @@ mod tests {
                 t
             })
             .collect();
-        SanitizedSnapshot {
-            timestamp: SimTime::from_unix(0),
-            family: Family::Ipv4,
+        SanitizedSnapshot::from_owned_tables_into(
+            store,
+            SimTime::from_unix(0),
+            Family::Ipv4,
             peers,
             tables,
-            report: SanitizeReport::default(),
-        }
+            SanitizeReport::default(),
+        )
     }
 
-    /// Asserts the incremental step prev → curr reproduces the from-scratch
-    /// computation exactly (atoms, signatures, and interned-path order).
+    fn snap(tables: &[(u32, &[(&str, &str)])]) -> SanitizedSnapshot {
+        snap_into(&SnapshotStore::new(), tables)
+    }
+
+    /// Asserts the incremental step prev → curr (same store) reproduces
+    /// the from-scratch computation exactly.
     fn assert_incremental_matches(prev: &SanitizedSnapshot, curr: &SanitizedSnapshot) {
         let scratch = compute_atoms(curr);
         let (prev_set, state) = compute_full(prev, Parallelism::serial(), None);
         let delta = SnapshotDelta::between(prev, curr, Parallelism::serial());
         let (set, next_state) = apply_delta(state, &delta, curr, None);
-        assert_eq!(set.paths, scratch.paths, "interned-path order diverged");
         assert_eq!(set, scratch, "atom set diverged");
+        // Same store, so signature path ids must match exactly too.
+        assert_eq!(set.atoms, scratch.atoms, "signature ids diverged");
         // The returned state is canonical: identical to a fresh scan.
         let (_, fresh_state) = compute_full(curr, Parallelism::serial(), None);
         assert_eq!(next_state, fresh_state, "carried state not canonical");
@@ -596,14 +527,21 @@ mod tests {
         // A withdraw followed by a re-announce with the very same path
         // leaves both RIB snapshots identical: the diff must be empty and
         // the application a no-op.
-        let before = snap(&[
-            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
-            (2, &[("10.0.0.0/24", "2 5 9")]),
-        ]);
-        let after = snap(&[
-            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
-            (2, &[("10.0.0.0/24", "2 5 9")]),
-        ]);
+        let store = SnapshotStore::new();
+        let before = snap_into(
+            &store,
+            &[
+                (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
+                (2, &[("10.0.0.0/24", "2 5 9")]),
+            ],
+        );
+        let after = snap_into(
+            &store,
+            &[
+                (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
+                (2, &[("10.0.0.0/24", "2 5 9")]),
+            ],
+        );
         let delta = SnapshotDelta::between(&before, &after, Parallelism::serial());
         assert!(delta.is_empty(), "identical snapshots must diff empty");
         let m = Metrics::new();
@@ -611,7 +549,10 @@ mod tests {
         let (set, _) = apply_delta(state, &delta, &after, Some(&m));
         assert_eq!(set, compute_atoms(&after));
         assert_eq!(m.counter("incremental.delta_prefixes"), 0);
-        assert_eq!(m.counter("incremental.reused_fragments"), set.prefix_count() as u64);
+        assert_eq!(
+            m.counter("incremental.reused_fragments"),
+            set.prefix_count() as u64
+        );
     }
 
     #[test]
@@ -620,18 +561,23 @@ mod tests {
         // saw; the engine must not corrupt anything — and must say so.
         let s = snap(&[(1, &[("10.0.0.0/24", "1 9")])]);
         let (_, state) = compute_full(&s, Parallelism::serial(), None);
+        let stranger = s.store().intern_prefix("10.9.9.0/24".parse().unwrap()).0;
         let delta = SnapshotDelta {
             old_to_new: vec![Some(0)],
             new_peer_count: 1,
             peer_deltas: vec![PeerDelta {
                 peer: 0,
-                withdrawn: vec!["10.9.9.0/24".parse().unwrap()],
+                withdrawn: vec![stranger],
                 ..PeerDelta::default()
             }],
         };
         let m = Metrics::new();
         let (set, _) = apply_delta(state, &delta, &s, Some(&m));
-        assert_eq!(set, compute_atoms(&s), "state corrupted by a no-op withdraw");
+        assert_eq!(
+            set,
+            compute_atoms(&s),
+            "state corrupted by a no-op withdraw"
+        );
         assert_eq!(m.warning_count("incremental", "noop_op"), 1);
     }
 
@@ -643,12 +589,16 @@ mod tests {
             (2, &[("10.0.1.0/24", "2 9")]),
         ]);
         let (_, state) = compute_full(&s, Parallelism::serial(), None);
+        let known = s
+            .store()
+            .lookup_prefix("10.0.0.0/24".parse().unwrap())
+            .unwrap();
         let delta = SnapshotDelta {
             old_to_new: vec![Some(0), Some(1)],
             new_peer_count: 2,
             peer_deltas: vec![PeerDelta {
                 peer: 1,
-                withdrawn: vec!["10.0.0.0/24".parse().unwrap()],
+                withdrawn: vec![known],
                 ..PeerDelta::default()
             }],
         };
@@ -662,37 +612,69 @@ mod tests {
     fn last_covering_peer_disappearing_removes_the_prefix() {
         // 10.0.2.0/24 is only visible at peer 3; when peer 3 leaves the
         // snapshot the prefix must vanish from the atoms entirely.
-        let before = snap(&[
-            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")]),
-            (2, &[("10.0.0.0/24", "2 5 9")]),
-            (3, &[("10.0.2.0/24", "3 7 9")]),
-        ]);
-        let after = snap(&[
-            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")]),
-            (2, &[("10.0.0.0/24", "2 5 9")]),
-        ]);
+        let store = SnapshotStore::new();
+        let before = snap_into(
+            &store,
+            &[
+                (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")]),
+                (2, &[("10.0.0.0/24", "2 5 9")]),
+                (3, &[("10.0.2.0/24", "3 7 9")]),
+            ],
+        );
+        let after = snap_into(
+            &store,
+            &[
+                (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")]),
+                (2, &[("10.0.0.0/24", "2 5 9")]),
+            ],
+        );
         let delta = SnapshotDelta::between(&before, &after, Parallelism::serial());
         assert_eq!(delta.old_to_new, vec![Some(0), Some(1), None]);
         assert_incremental_matches(&before, &after);
         let scratch = compute_atoms(&after);
         let lost: Prefix = "10.0.2.0/24".parse().unwrap();
         assert!(scratch.atoms.iter().all(|a| !a.prefixes.contains(&lost)));
-        // The stale path "3 7 9" must be gone from the interner too.
-        assert!(scratch.paths.iter().all(|p| p.to_string() != "3 7 9"));
+        // The stale path "3 7 9" is no longer referenced by any signature
+        // (it stays in the shared arena — that is the sharing contract).
+        assert!(scratch
+            .interned_paths()
+            .iter()
+            .all(|p| p.to_string() != "3 7 9"));
     }
 
     #[test]
     fn announce_withdraw_and_path_change_match_scratch() {
-        let before = snap(&[
-            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9"), ("10.0.2.0/24", "1 6 9")]),
-            (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 5 9")]),
-        ]);
-        let after = snap(&[
-            // 10.0.1.0/24 withdrawn at peer 1; 10.0.3.0/24 announced;
-            // 10.0.2.0/24 changes path at peer 2.
-            (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.2.0/24", "1 6 9"), ("10.0.3.0/24", "1 5 8")]),
-            (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 6 9")]),
-        ]);
+        let store = SnapshotStore::new();
+        let before = snap_into(
+            &store,
+            &[
+                (
+                    1,
+                    &[
+                        ("10.0.0.0/24", "1 5 9"),
+                        ("10.0.1.0/24", "1 5 9"),
+                        ("10.0.2.0/24", "1 6 9"),
+                    ],
+                ),
+                (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 5 9")]),
+            ],
+        );
+        let after = snap_into(
+            &store,
+            &[
+                // 10.0.1.0/24 withdrawn at peer 1; 10.0.3.0/24 announced;
+                // 10.0.2.0/24 changes path at peer 2.
+                (
+                    1,
+                    &[
+                        ("10.0.0.0/24", "1 5 9"),
+                        ("10.0.2.0/24", "1 6 9"),
+                        ("10.0.3.0/24", "1 5 8"),
+                    ],
+                ),
+                (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 6 9")]),
+            ],
+        );
         let delta = SnapshotDelta::between(&before, &after, Parallelism::serial());
         assert!(!delta.is_empty());
         assert_eq!(delta.ops(), 3);
@@ -703,15 +685,22 @@ mod tests {
     fn peer_appearing_mid_chain_matches_scratch() {
         // A new vantage point shifts every later peer's index; the delta
         // must absorb the shift without falling back.
-        let before = snap(&[
-            (1, &[("10.0.0.0/24", "1 5 9")]),
-            (9, &[("10.0.0.0/24", "9 5 9")]),
-        ]);
-        let after = snap(&[
-            (1, &[("10.0.0.0/24", "1 5 9")]),
-            (5, &[("10.0.0.0/24", "5 2 9"), ("10.0.1.0/24", "5 2 8")]),
-            (9, &[("10.0.0.0/24", "9 5 9")]),
-        ]);
+        let store = SnapshotStore::new();
+        let before = snap_into(
+            &store,
+            &[
+                (1, &[("10.0.0.0/24", "1 5 9")]),
+                (9, &[("10.0.0.0/24", "9 5 9")]),
+            ],
+        );
+        let after = snap_into(
+            &store,
+            &[
+                (1, &[("10.0.0.0/24", "1 5 9")]),
+                (5, &[("10.0.0.0/24", "5 2 9"), ("10.0.1.0/24", "5 2 8")]),
+                (9, &[("10.0.0.0/24", "9 5 9")]),
+            ],
+        );
         let delta = SnapshotDelta::between(&before, &after, Parallelism::serial());
         assert!(!delta.peer_map_is_identity());
         assert_incremental_matches(&before, &after);
@@ -729,10 +718,19 @@ mod tests {
 
     #[test]
     fn step_falls_back_on_family_change() {
-        let v4 = snap(&[(1, &[("10.0.0.0/24", "1 9")])]);
-        let mut v6 = snap(&[(1, &[])]);
-        v6.family = Family::Ipv6;
-        v6.tables = vec![vec![("2001:db8::/48".parse().unwrap(), "1 9".parse().unwrap())]];
+        let store = SnapshotStore::new();
+        let v4 = snap_into(&store, &[(1, &[("10.0.0.0/24", "1 9")])]);
+        let v6 = SanitizedSnapshot::from_owned_tables_into(
+            &store,
+            SimTime::from_unix(0),
+            Family::Ipv6,
+            vec![PeerKey::new(Asn(1), "10.0.0.1".parse().unwrap())],
+            vec![vec![(
+                "2001:db8::/48".parse().unwrap(),
+                "1 9".parse().unwrap(),
+            )]],
+            SanitizeReport::default(),
+        );
         let (_, state) = compute_full(&v4, Parallelism::serial(), None);
         let m = Metrics::new();
         let (set, _) = step(Some((&v4, state)), &v6, Parallelism::serial(), Some(&m));
@@ -741,28 +739,54 @@ mod tests {
     }
 
     #[test]
+    fn step_falls_back_on_store_change() {
+        // Same family, but the snapshots live in different stores: their
+        // ids are not comparable, so the step must recompute fully rather
+        // than diff garbage.
+        let prev = snap(&[(1, &[("10.0.0.0/24", "1 9")])]);
+        let curr = snap(&[(1, &[("10.0.0.0/24", "1 9"), ("10.0.1.0/24", "1 8")])]);
+        let (_, state) = compute_full(&prev, Parallelism::serial(), None);
+        let m = Metrics::new();
+        let (set, _) = step(Some((&prev, state)), &curr, Parallelism::serial(), Some(&m));
+        assert_eq!(set, compute_atoms(&curr));
+        assert_eq!(m.counter("incremental.full_recomputes"), 1);
+        assert_eq!(m.span_count("incremental.apply"), 0);
+    }
+
+    #[test]
     fn chained_steps_stay_byte_identical() {
         // Three-step ladder driven through `step`, checking every output
-        // against scratch — including the interned-path table order.
+        // against scratch — including the signature path ids (the ladder
+        // shares one store, so scratch and chained ids must coincide).
+        let store = SnapshotStore::new();
         let ladder = [
-            snap(&[
-                (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")]),
-                (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.1.0/24", "2 5 9")]),
-            ]),
-            snap(&[
-                (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
-                (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.1.0/24", "2 5 9")]),
-            ]),
-            snap(&[
-                (1, &[("10.0.1.0/24", "1 6 9"), ("10.0.2.0/24", "1 7 9")]),
-                (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 7 9")]),
-            ]),
+            snap_into(
+                &store,
+                &[
+                    (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 5 9")]),
+                    (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.1.0/24", "2 5 9")]),
+                ],
+            ),
+            snap_into(
+                &store,
+                &[
+                    (1, &[("10.0.0.0/24", "1 5 9"), ("10.0.1.0/24", "1 6 9")]),
+                    (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.1.0/24", "2 5 9")]),
+                ],
+            ),
+            snap_into(
+                &store,
+                &[
+                    (1, &[("10.0.1.0/24", "1 6 9"), ("10.0.2.0/24", "1 7 9")]),
+                    (2, &[("10.0.0.0/24", "2 5 9"), ("10.0.2.0/24", "2 7 9")]),
+                ],
+            ),
         ];
         let mut prev: Option<(&SanitizedSnapshot, IncrementalState)> = None;
         for (i, s) in ladder.iter().enumerate() {
             let (set, state) = step(prev.take(), s, Parallelism::serial(), None);
             let scratch = compute_atoms(s);
-            assert_eq!(set.paths, scratch.paths, "step {i}: path order diverged");
+            assert_eq!(set.atoms, scratch.atoms, "step {i}: signature ids diverged");
             assert_eq!(set, scratch, "step {i}: atom set diverged");
             prev = Some((s, state));
         }
@@ -776,7 +800,7 @@ mod tests {
         ]);
         let (set, state) = compute_full(&s, Parallelism::serial(), None);
         assert_eq!(IncrementalState::from_atoms(&set), state);
-        assert_eq!(state.path_count(), set.paths.len());
+        assert_eq!(state.path_count(), set.distinct_path_count());
         assert_eq!(state.prefix_count(), set.prefix_count());
     }
 }

@@ -51,6 +51,8 @@ pub use atom::{compute_atoms, compute_atoms_with, Atom, AtomSet};
 pub use incremental::{IncrementalState, PeerDelta, SnapshotDelta};
 pub use obs::Metrics;
 pub use parallel::Parallelism;
-pub use pipeline::{analyze_snapshot, analyze_snapshot_chained, ChainState, PipelineConfig, SnapshotAnalysis};
+pub use pipeline::{
+    analyze_snapshot, analyze_snapshot_chained, ChainState, PipelineConfig, SnapshotAnalysis,
+};
 pub use sanitize::{sanitize, sanitize_with, SanitizeConfig, SanitizeReport, SanitizedSnapshot};
 pub use vantage::{infer_full_feed, VantageReport};

@@ -159,7 +159,12 @@ impl Metrics {
 
     /// Completion count of stage `name`.
     pub fn span_count(&self, name: &str) -> u64 {
-        self.inner.lock().stages.get(name).map(|s| s.count).unwrap_or(0)
+        self.inner
+            .lock()
+            .stages
+            .get(name)
+            .map(|s| s.count)
+            .unwrap_or(0)
     }
 
     /// Records `count` structured warning events of `kind` at `stage`.
@@ -443,7 +448,10 @@ mod tests {
         assert!(s.contains("\"timings\""));
         assert!(s.contains("\"stage_nanos\""));
         assert!(s.contains("\"stage\": 42"));
-        assert!(s.contains("[6, 1]"), "worker items summed element-wise:\n{s}");
+        assert!(
+            s.contains("[6, 1]"),
+            "worker items summed element-wise:\n{s}"
+        );
     }
 
     #[test]

@@ -133,8 +133,10 @@ impl Parallelism {
             std::panic::resume_unwind(payload);
         }
         if let Some((metrics, stage)) = obs {
-            let per_worker: Vec<u64> =
-                items.iter().map(|c| c.load(Ordering::Relaxed) as u64).collect();
+            let per_worker: Vec<u64> = items
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed) as u64)
+                .collect();
             metrics.record_worker_items(stage, &per_worker);
         }
         slots
@@ -177,7 +179,11 @@ mod tests {
 
     #[test]
     fn map_indexed_preserves_order() {
-        for par in [Parallelism::serial(), Parallelism::new(2), Parallelism::new(8)] {
+        for par in [
+            Parallelism::serial(),
+            Parallelism::new(2),
+            Parallelism::new(8),
+        ] {
             let out = par.map_indexed(100, |i| i * i);
             assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
         }

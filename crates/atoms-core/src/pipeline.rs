@@ -5,7 +5,9 @@ use crate::atom::{compute_atoms_with_observed, AtomSet};
 use crate::incremental::{self, IncrementalState};
 use crate::obs::Metrics;
 use crate::parallel::Parallelism;
-use crate::sanitize::{sanitize_with_observed, SanitizeConfig, SanitizedSnapshot};
+use crate::sanitize::{
+    sanitize_with_observed, sanitize_with_observed_into, SanitizeConfig, SanitizedSnapshot,
+};
 use crate::stats::{general_stats, GeneralStats};
 use bgp_collect::{CapturedSnapshot, CapturedUpdates};
 use bgp_mrt::MrtWarning;
@@ -123,13 +125,26 @@ pub fn analyze_snapshot_chained(
         record_mrt_warnings(m, snap.warnings.iter().chain(update_warnings));
     }
     let sanitize_span = metrics.map(|m| m.span("pipeline.sanitize"));
-    let sanitized = sanitize_with_observed(
-        snap,
-        update_warnings,
-        &cfg.sanitize,
-        cfg.parallelism,
-        metrics,
-    );
+    // Chained snapshots intern into the predecessor's store so the delta
+    // stage can diff by id equality; the first rung opens a fresh store
+    // for the whole ladder.
+    let sanitized = match &prev {
+        Some(chain) => sanitize_with_observed_into(
+            chain.sanitized.store(),
+            snap,
+            update_warnings,
+            &cfg.sanitize,
+            cfg.parallelism,
+            metrics,
+        ),
+        None => sanitize_with_observed(
+            snap,
+            update_warnings,
+            &cfg.sanitize,
+            cfg.parallelism,
+            metrics,
+        ),
+    };
     drop(sanitize_span);
     let atoms_span = metrics.map(|m| m.span("pipeline.atoms"));
     let (atoms, state) = match prev {
@@ -164,10 +179,7 @@ pub fn analyze_snapshot_chained(
 
 /// Folds MRT parse warnings into the metrics ledger, keyed by the
 /// warning-kind slug (`mrt.unknown_type`, `mrt.bad_marker`, …).
-fn record_mrt_warnings<'a>(
-    metrics: &Metrics,
-    warnings: impl Iterator<Item = &'a MrtWarning>,
-) {
+fn record_mrt_warnings<'a>(metrics: &Metrics, warnings: impl Iterator<Item = &'a MrtWarning>) {
     use std::collections::BTreeMap;
     let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
     for w in warnings {
@@ -223,7 +235,10 @@ mod tests {
                 r.prefixes_before - r.prefixes_after,
                 r.dropped_by_cleaning + r.dropped_by_collectors + r.dropped_by_peer_ases
             );
-            assert_eq!(m.counter("sanitize.prefixes.after"), r.prefixes_after as u64);
+            assert_eq!(
+                m.counter("sanitize.prefixes.after"),
+                r.prefixes_after as u64
+            );
             assert_eq!(m.counter("atoms.count"), analysis.stats.n_atoms as u64);
             m.to_json_string(false)
         };
@@ -242,11 +257,7 @@ mod tests {
         // every analysis must match the from-scratch pipeline exactly,
         // and only the first snapshot may fall back to a full compute.
         let dates = ["2012-01-15 08:00", "2012-02-15 08:00", "2012-03-15 08:00"];
-        let era = Era::for_date(
-            dates[0].parse().unwrap(),
-            Family::Ipv4,
-            Some(1.0 / 300.0),
-        );
+        let era = Era::for_date(dates[0].parse().unwrap(), Family::Ipv4, Some(1.0 / 300.0));
         let mut s = Scenario::build(era);
         let captured: Vec<CapturedSnapshot> = dates
             .iter()
@@ -261,7 +272,13 @@ mod tests {
                 analyze_snapshot_chained(snap, None, &cfg, Some(&m), chain.take());
             assert_eq!(analysis.sanitized, scratch.sanitized);
             assert_eq!(analysis.atoms, scratch.atoms);
-            assert_eq!(analysis.atoms.paths, scratch.atoms.paths);
+            // The chained set shares the ladder store, the scratch set owns
+            // a fresh one — the resolved path populations must still agree.
+            let mut chained_paths = analysis.atoms.interned_paths();
+            let mut scratch_paths = scratch.atoms.interned_paths();
+            chained_paths.sort();
+            scratch_paths.sort();
+            assert_eq!(chained_paths, scratch_paths);
             assert_eq!(analysis.stats, scratch.stats);
             chain = Some(next);
         }

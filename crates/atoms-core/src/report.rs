@@ -67,8 +67,7 @@ pub fn write_json<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| io::Error::other(e.to_string()))?;
+    let json = serde_json::to_string_pretty(value).map_err(|e| io::Error::other(e.to_string()))?;
     fs::write(path, json)
 }
 
@@ -138,12 +137,7 @@ mod tests {
     fn csv_escaping() {
         let dir = std::env::temp_dir().join(format!("pa-report-{}", std::process::id()));
         let path = dir.join("t.csv");
-        write_csv(
-            &path,
-            &["a", "b"],
-            &[vec!["x,y".into(), "q\"z".into()]],
-        )
-        .unwrap();
+        write_csv(&path, &["a", "b"], &[vec!["x,y".into(), "q\"z".into()]]).unwrap();
         let content = fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n\"x,y\",\"q\"\"z\"\n");
         fs::remove_dir_all(&dir).unwrap();

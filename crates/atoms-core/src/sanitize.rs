@@ -16,9 +16,9 @@ use crate::parallel::Parallelism;
 use crate::vantage::{infer_full_feed_with_ratio, VantageReport};
 use bgp_collect::{CapturedSnapshot, CapturedTable};
 use bgp_mrt::MrtWarning;
-use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime};
+use bgp_types::{AsPath, Asn, Family, PathId, PeerKey, Prefix, PrefixId, SimTime, SnapshotStore};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Tunable thresholds; defaults are the paper's.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,8 +96,18 @@ pub struct SanitizeReport {
     pub covered_by_aggregate: usize,
 }
 
-/// The sanitized analysis input: one table per kept vantage point.
-#[derive(Debug, Clone, PartialEq)]
+/// The sanitized analysis input: one columnar table per kept vantage
+/// point, over an interned [`SnapshotStore`].
+///
+/// Paths and prefixes are interned exactly once, at a deterministic serial
+/// point (the final table materialization), in `(peer, entry)` order — the
+/// same first-occurrence sequence the atom scan historically used, so ids
+/// are reproducible and every downstream serialized output stays
+/// byte-identical at any thread count. Ladders that sanitize consecutive
+/// snapshots into one shared store (see [`sanitize_with_observed_into`])
+/// re-use ids across snapshots, which is what lets the incremental engine
+/// diff tables by id equality.
+#[derive(Debug, Clone)]
 pub struct SanitizedSnapshot {
     /// Snapshot time.
     pub timestamp: SimTime,
@@ -105,22 +115,145 @@ pub struct SanitizedSnapshot {
     pub family: Family,
     /// Kept vantage points, sorted by peer key.
     pub peers: Vec<PeerKey>,
-    /// Per-peer `(prefix, path)` tables, sorted by prefix, one entry per
-    /// prefix, parallel to `peers`.
-    pub tables: Vec<Vec<(Prefix, AsPath)>>,
+    /// Per-peer `(prefix id, path id)` tables over [`SanitizedSnapshot::store`],
+    /// sorted by prefix, one entry per prefix, parallel to `peers`.
+    pub tables: Vec<Vec<(PrefixId, PathId)>>,
     /// What happened.
     pub report: SanitizeReport,
+    /// The interned arenas the tables reference.
+    store: SnapshotStore,
+    /// Cached distinct-prefix count across the tables.
+    distinct_prefixes: usize,
 }
 
 impl SanitizedSnapshot {
-    /// Distinct prefixes across all kept tables.
-    pub fn prefix_count(&self) -> usize {
-        let mut all: BTreeSet<Prefix> = BTreeSet::new();
-        for t in &self.tables {
-            all.extend(t.iter().map(|(p, _)| *p));
-        }
-        all.len()
+    /// Builds a snapshot from owned `(prefix, path)` tables, interning into
+    /// a fresh store. The table layout contract is the same as
+    /// [`SanitizedSnapshot::tables`]: per-peer, sorted by prefix, one entry
+    /// per prefix, parallel to `peers`.
+    pub fn from_owned_tables(
+        timestamp: SimTime,
+        family: Family,
+        peers: Vec<PeerKey>,
+        tables: Vec<Vec<(Prefix, AsPath)>>,
+        report: SanitizeReport,
+    ) -> SanitizedSnapshot {
+        Self::from_owned_tables_into(
+            &SnapshotStore::new(),
+            timestamp,
+            family,
+            peers,
+            tables,
+            report,
+        )
     }
+
+    /// [`SanitizedSnapshot::from_owned_tables`] interning into an existing
+    /// (possibly shared) store. Ids are issued in `(peer, entry)`
+    /// first-occurrence order for values the store has not seen yet.
+    pub fn from_owned_tables_into(
+        store: &SnapshotStore,
+        timestamp: SimTime,
+        family: Family,
+        peers: Vec<PeerKey>,
+        tables: Vec<Vec<(Prefix, AsPath)>>,
+        report: SanitizeReport,
+    ) -> SanitizedSnapshot {
+        let (tables, distinct_prefixes, _) = intern_tables(store, tables);
+        SanitizedSnapshot {
+            timestamp,
+            family,
+            peers,
+            tables,
+            report,
+            store: store.clone(),
+            distinct_prefixes,
+        }
+    }
+
+    /// Distinct prefixes across all kept tables (cached at construction —
+    /// this is a field read, not a per-call set rebuild).
+    pub fn prefix_count(&self) -> usize {
+        self.distinct_prefixes
+    }
+
+    /// The interned arenas the columnar tables reference.
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// Resolves the columnar tables back to owned `(prefix, path)` pairs —
+    /// a boundary conversion for reporting, regrouping, and tests.
+    pub fn resolved_tables(&self) -> Vec<Vec<(Prefix, AsPath)>> {
+        let prefixes = self.store.prefixes();
+        let paths = self.store.paths();
+        self.tables
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .map(|&(p, path)| (prefixes.get(p), paths.get(path).clone()))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl PartialEq for SanitizedSnapshot {
+    /// Semantic equality: identical metadata, report, and *resolved*
+    /// tables. Snapshots over the same store compare ids directly; across
+    /// stores the ids are resolved first (same prefixes and paths in the
+    /// same layout ⇒ equal, whatever ids each store issued).
+    fn eq(&self, other: &Self) -> bool {
+        if self.timestamp != other.timestamp
+            || self.family != other.family
+            || self.peers != other.peers
+            || self.report != other.report
+        {
+            return false;
+        }
+        if self.store.same(&other.store) {
+            return self.tables == other.tables;
+        }
+        if self.tables.len() != other.tables.len() {
+            return false;
+        }
+        let (ap, aw) = (self.store.prefixes(), self.store.paths());
+        let (bp, bw) = (other.store.prefixes(), other.store.paths());
+        self.tables.iter().zip(&other.tables).all(|(ta, tb)| {
+            ta.len() == tb.len()
+                && ta.iter().zip(tb).all(|(&(pa, wa), &(pb, wb))| {
+                    ap.get(pa) == bp.get(pb) && aw.get(wa) == bw.get(wb)
+                })
+        })
+    }
+}
+
+/// Interns owned tables in `(peer, entry)` order, returning the columnar
+/// tables, the snapshot's distinct-prefix count, and the number of path
+/// intern hits (paths already present in the store).
+fn intern_tables(
+    store: &SnapshotStore,
+    tables: Vec<Vec<(Prefix, AsPath)>>,
+) -> (Vec<Vec<(PrefixId, PathId)>>, usize, u64) {
+    let mut distinct: HashSet<u32> = HashSet::new();
+    let mut hits: u64 = 0;
+    let interned = tables
+        .into_iter()
+        .map(|t| {
+            t.into_iter()
+                .map(|(prefix, path)| {
+                    let (pid, _) = store.intern_prefix(prefix);
+                    let (path_id, hit) = store.intern_path(&path);
+                    if hit {
+                        hits += 1;
+                    }
+                    distinct.insert(pid.0);
+                    (pid, path_id)
+                })
+                .collect()
+        })
+        .collect();
+    (interned, distinct.len(), hits)
 }
 
 /// Identifies the peers to remove for ADD-PATH signatures from parse
@@ -237,6 +370,25 @@ pub fn sanitize(
     sanitize_with(snap, update_warnings, cfg, Parallelism::serial())
 }
 
+/// [`sanitize`] interning into an existing (possibly shared) store — the
+/// ladder entry point: consecutive snapshots sanitized into one store
+/// share interned paths and can be diffed by id equality.
+pub fn sanitize_into(
+    store: &SnapshotStore,
+    snap: &CapturedSnapshot,
+    update_warnings: &[MrtWarning],
+    cfg: &SanitizeConfig,
+) -> SanitizedSnapshot {
+    sanitize_with_observed_into(
+        store,
+        snap,
+        update_warnings,
+        cfg,
+        Parallelism::serial(),
+        None,
+    )
+}
+
 /// [`sanitize`] on a worker pool: the per-peer stages (3)–(5) —
 /// misbehaviour shares and entry-level cleaning — are independent per
 /// table and run as pool jobs; their results are folded back in table
@@ -263,27 +415,42 @@ pub fn sanitize_with_observed(
     par: Parallelism,
     metrics: Option<&Metrics>,
 ) -> SanitizedSnapshot {
+    sanitize_with_observed_into(
+        &SnapshotStore::new(),
+        snap,
+        update_warnings,
+        cfg,
+        par,
+        metrics,
+    )
+}
+
+/// [`sanitize_with_observed`] interning into an existing (possibly
+/// shared) store. Interning happens at the serial materialization step in
+/// `(peer, entry)` order, so issued ids — and therefore every downstream
+/// serialized output — are identical at any thread count.
+pub fn sanitize_with_observed_into(
+    store: &SnapshotStore,
+    snap: &CapturedSnapshot,
+    update_warnings: &[MrtWarning],
+    cfg: &SanitizeConfig,
+    par: Parallelism,
+    metrics: Option<&Metrics>,
+) -> SanitizedSnapshot {
     let mut report = SanitizeReport::default();
 
     // (1) Full-feed inference over the raw tables.
     let infer_span = metrics.map(|m| m.span("sanitize.infer_full_feed"));
     let vantage = infer_full_feed_with_ratio(snap, cfg.full_feed_ratio);
     drop(infer_span);
-    let full_flags: HashMap<PeerKey, bool> = vantage
-        .per_peer
-        .iter()
-        .map(|&(p, _, f)| (p, f))
-        .collect();
-    report.excluded_partial_peers =
-        vantage.per_peer.iter().filter(|&&(_, _, f)| !f).count();
+    let full_flags: HashMap<PeerKey, bool> =
+        vantage.per_peer.iter().map(|&(p, _, f)| (p, f)).collect();
+    report.excluded_partial_peers = vantage.per_peer.iter().filter(|&&(_, _, f)| !f).count();
     report.vantage = Some(vantage);
 
     // (2) ADD-PATH-broken peers, from all warnings available.
-    let all_warnings: Vec<&MrtWarning> = snap
-        .warnings
-        .iter()
-        .chain(update_warnings.iter())
-        .collect();
+    let all_warnings: Vec<&MrtWarning> =
+        snap.warnings.iter().chain(update_warnings.iter()).collect();
     let broken = addpath_peers(&all_warnings);
     // Removal is by peer ASN (the paper removes the AS's peers entirely).
     let broken_asns: BTreeSet<Asn> = broken.keys().map(|p| p.asn).collect();
@@ -296,8 +463,7 @@ pub fn sanitize_with_observed(
         .tables
         .iter()
         .filter(|table| {
-            *full_flags.get(&table.peer).unwrap_or(&false)
-                && !broken_asns.contains(&table.peer.asn)
+            *full_flags.get(&table.peer).unwrap_or(&false) && !broken_asns.contains(&table.peer.asn)
         })
         .collect();
     let clean_span = metrics.map(|m| m.span("sanitize.clean_tables"));
@@ -333,11 +499,8 @@ pub fn sanitize_with_observed(
 
     // (6) visibility filters across kept peers.
     let visibility_span = metrics.map(|m| m.span("sanitize.visibility"));
-    let peer_collector: HashMap<PeerKey, u16> = snap
-        .tables
-        .iter()
-        .map(|t| (t.peer, t.collector))
-        .collect();
+    let peer_collector: HashMap<PeerKey, u16> =
+        snap.tables.iter().map(|t| (t.peer, t.collector)).collect();
     let mut collectors_of: BTreeMap<Prefix, BTreeSet<u16>> = BTreeMap::new();
     let mut peer_ases_of: BTreeMap<Prefix, BTreeSet<Asn>> = BTreeMap::new();
     for (peer, table) in &kept {
@@ -408,12 +571,28 @@ pub fn sanitize_with_observed(
         record_sanitize_counters(m, &report, final_tables.len());
     }
 
+    // Intern into the store at this serial point, walking the final
+    // tables in (peer asc, entry) order — the first-occurrence sequence
+    // the atom scan historically used, so ids are deterministic.
+    let peers: Vec<PeerKey> = final_tables.iter().map(|(p, _)| *p).collect();
+    let owned_tables: Vec<Vec<(Prefix, AsPath)>> =
+        final_tables.into_iter().map(|(_, t)| t).collect();
+    let (tables, distinct_prefixes, intern_hits) = intern_tables(store, owned_tables);
+    if let Some(m) = metrics {
+        m.add("atoms.intern_hits", intern_hits);
+        m.set_gauge("store.prefixes", store.prefix_count() as f64);
+        m.set_gauge("store.paths", store.path_count() as f64);
+        m.set_gauge("store.bytes_est", store.bytes_est() as f64);
+    }
+
     SanitizedSnapshot {
         timestamp: snap.timestamp,
         family: snap.family,
-        peers: final_tables.iter().map(|(p, _)| *p).collect(),
-        tables: final_tables.into_iter().map(|(_, t)| t).collect(),
+        peers,
+        tables,
         report,
+        store: store.clone(),
+        distinct_prefixes,
     }
 }
 
@@ -490,18 +669,19 @@ pub fn threshold_sensitivity(
         ..cfg.clone()
     };
     let sanitized = sanitize(snap, update_warnings, &relaxed);
-    let peer_collector: HashMap<PeerKey, u16> = snap
-        .tables
-        .iter()
-        .map(|t| (t.peer, t.collector))
-        .collect();
+    let peer_collector: HashMap<PeerKey, u16> =
+        snap.tables.iter().map(|t| (t.peer, t.collector)).collect();
     let mut collectors_of: BTreeMap<Prefix, BTreeSet<u16>> = BTreeMap::new();
     let mut peer_ases_of: BTreeMap<Prefix, BTreeSet<Asn>> = BTreeMap::new();
-    for (peer, table) in sanitized.peers.iter().zip(&sanitized.tables) {
-        let collector = peer_collector[peer];
-        for (prefix, _) in table {
-            collectors_of.entry(*prefix).or_default().insert(collector);
-            peer_ases_of.entry(*prefix).or_default().insert(peer.asn);
+    {
+        let prefixes = sanitized.store().prefixes();
+        for (peer, table) in sanitized.peers.iter().zip(&sanitized.tables) {
+            let collector = peer_collector[peer];
+            for &(pid, _) in table {
+                let prefix = prefixes.get(pid);
+                collectors_of.entry(prefix).or_default().insert(collector);
+                peer_ases_of.entry(prefix).or_default().insert(peer.asn);
+            }
         }
     }
     let mut out = Vec::new();
@@ -509,9 +689,7 @@ pub fn threshold_sensitivity(
         for p in peer_as_range.clone() {
             let count = collectors_of
                 .iter()
-                .filter(|(prefix, colls)| {
-                    colls.len() >= c && peer_ases_of[*prefix].len() >= p
-                })
+                .filter(|(prefix, colls)| colls.len() >= c && peer_ases_of[*prefix].len() >= p)
                 .count();
             out.push((c, p, count));
         }
@@ -564,7 +742,13 @@ mod tests {
 
     #[test]
     fn partial_feeds_are_excluded() {
-        let snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 0, 30)]);
+        let snap = snapshot(&[
+            (1, 0, 100),
+            (2, 1, 100),
+            (3, 0, 100),
+            (4, 1, 100),
+            (5, 0, 30),
+        ]);
         let s = sanitize(&snap, &[], &SanitizeConfig::default());
         assert_eq!(s.peers.len(), 4);
         assert_eq!(s.report.excluded_partial_peers, 1);
@@ -572,7 +756,13 @@ mod tests {
 
     #[test]
     fn addpath_warned_peers_are_removed_by_asn() {
-        let snap = snapshot(&[(136557, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 0, 100)]);
+        let snap = snapshot(&[
+            (136557, 0, 100),
+            (2, 1, 100),
+            (3, 0, 100),
+            (4, 1, 100),
+            (5, 0, 100),
+        ]);
         let warning = MrtWarning {
             record_index: 0,
             timestamp: None,
@@ -603,7 +793,13 @@ mod tests {
 
     #[test]
     fn private_asn_leaker_is_removed() {
-        let mut snap = snapshot(&[(25885, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 2, 100)]);
+        let mut snap = snapshot(&[
+            (25885, 0, 100),
+            (2, 1, 100),
+            (3, 0, 100),
+            (4, 1, 100),
+            (5, 2, 100),
+        ]);
         // Leak AS65000 into 60% of peer 0's paths.
         for (i, e) in snap.tables[0].entries.iter_mut().enumerate() {
             if i % 5 < 3 {
@@ -677,7 +873,7 @@ mod tests {
         assert_eq!(s.report.expanded_as_set_paths, 1);
         assert_eq!(s.report.dropped_as_set_paths, 1);
         // The expanded path has no sets left.
-        let table0 = &s.tables[0];
+        let table0 = &s.resolved_tables()[0];
         assert!(table0.iter().all(|(_, path)| !path.has_as_set()));
         // Prefix 1 still eligible (3 other peers see it... but 3 < 4).
         // With min_peer_ases = 4 it is dropped; relax to check it survives
@@ -691,14 +887,21 @@ mod tests {
             },
         );
         let p1: Prefix = Prefix::v4((10 << 24) | (1 << 8), 24).unwrap();
-        assert!(s.tables.iter().flatten().any(|(p, _)| *p == p1));
+        assert!(s.resolved_tables().iter().flatten().any(|(p, _)| *p == p1));
     }
 
     #[test]
     fn visibility_filters() {
         // 4 full-feed peers on 2 collectors + prefix X only at one peer,
         // prefix Y at 4 peers of one collector.
-        let mut snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 0, 100), (6, 0, 100)]);
+        let mut snap = snapshot(&[
+            (1, 0, 100),
+            (2, 1, 100),
+            (3, 0, 100),
+            (4, 1, 100),
+            (5, 0, 100),
+            (6, 0, 100),
+        ]);
         // x: 2 collectors but only 2 peer ASes ⇒ fails the peer-AS rule.
         let x: Prefix = "203.0.113.0/24".parse().unwrap();
         snap.tables[0]
@@ -710,12 +913,18 @@ mod tests {
         let y: Prefix = "198.51.100.0/24".parse().unwrap();
         for t in snap.tables.iter_mut().filter(|t| t.collector == 0) {
             let asn = t.peer.asn;
-            t.entries
-                .push(RibEntry::new(y, format!("{} 9 900001", asn.0).parse().unwrap()));
+            t.entries.push(RibEntry::new(
+                y,
+                format!("{} 9 900001", asn.0).parse().unwrap(),
+            ));
         }
         let s = sanitize(&snap, &[], &SanitizeConfig::default());
-        let surviving: BTreeSet<Prefix> =
-            s.tables.iter().flatten().map(|(p, _)| *p).collect();
+        let surviving: BTreeSet<Prefix> = s
+            .resolved_tables()
+            .iter()
+            .flatten()
+            .map(|(p, _)| *p)
+            .collect();
         assert!(!surviving.contains(&x), "single-peer prefix filtered");
         assert!(!surviving.contains(&y), "single-collector prefix filtered");
         assert!(s.report.dropped_by_collectors >= 1);
@@ -757,7 +966,13 @@ mod tests {
     /// hold on a messy input exercising every drop path.
     #[test]
     fn observed_counters_reconcile_with_report() {
-        let mut snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 2, 100)]);
+        let mut snap = snapshot(&[
+            (1, 0, 100),
+            (2, 1, 100),
+            (3, 0, 100),
+            (4, 1, 100),
+            (5, 2, 100),
+        ]);
         // A /25 everywhere (cleaned away), a multi-AS-SET path everywhere
         // (cleaned away), and a two-peer prefix (visibility-dropped).
         for t in &mut snap.tables {
@@ -771,8 +986,12 @@ mod tests {
             ));
         }
         let x: Prefix = "203.0.113.0/24".parse().unwrap();
-        snap.tables[0].entries.push(RibEntry::new(x, "1 9 900000".parse().unwrap()));
-        snap.tables[1].entries.push(RibEntry::new(x, "2 9 900000".parse().unwrap()));
+        snap.tables[0]
+            .entries
+            .push(RibEntry::new(x, "1 9 900000".parse().unwrap()));
+        snap.tables[1]
+            .entries
+            .push(RibEntry::new(x, "2 9 900000".parse().unwrap()));
 
         let m = Metrics::new();
         let s = sanitize_with_observed(
@@ -790,8 +1009,14 @@ mod tests {
         );
         assert_eq!(r.dropped_by_cleaning, 2, "the /25 and the AS-SET prefix");
         // Metrics mirror the report exactly.
-        assert_eq!(m.counter("sanitize.prefixes.before"), r.prefixes_before as u64);
-        assert_eq!(m.counter("sanitize.prefixes.after"), r.prefixes_after as u64);
+        assert_eq!(
+            m.counter("sanitize.prefixes.before"),
+            r.prefixes_before as u64
+        );
+        assert_eq!(
+            m.counter("sanitize.prefixes.after"),
+            r.prefixes_after as u64
+        );
         assert_eq!(
             m.counter("sanitize.prefixes.dropped_by_cleaning"),
             r.dropped_by_cleaning as u64
@@ -802,21 +1027,25 @@ mod tests {
             r.dropped_by_length as u64
         );
         // One span per phase, regardless of thread count.
-        for stage in ["sanitize.infer_full_feed", "sanitize.clean_tables", "sanitize.visibility"] {
+        for stage in [
+            "sanitize.infer_full_feed",
+            "sanitize.clean_tables",
+            "sanitize.visibility",
+        ] {
             assert_eq!(m.span_count(stage), 1, "{stage}");
         }
     }
 
     #[test]
     fn sensitivity_grid_is_monotone() {
-        let snap = snapshot(&[(1, 0, 100), (2, 1, 100), (3, 0, 100), (4, 1, 100), (5, 2, 80)]);
-        let grid = threshold_sensitivity(
-            &snap,
-            &[],
-            &SanitizeConfig::default(),
-            1..=3,
-            1..=5,
-        );
+        let snap = snapshot(&[
+            (1, 0, 100),
+            (2, 1, 100),
+            (3, 0, 100),
+            (4, 1, 100),
+            (5, 2, 80),
+        ]);
+        let grid = threshold_sensitivity(&snap, &[], &SanitizeConfig::default(), 1..=3, 1..=5);
         assert_eq!(grid.len(), 15);
         // Counts decrease (weakly) as thresholds rise.
         let count = |c: usize, p: usize| {

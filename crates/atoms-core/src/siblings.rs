@@ -60,18 +60,15 @@ fn features_of(atoms: &AtomSet, ids: &[u32]) -> Vec<(u32, Features)> {
     // Size ranks within the origin.
     let mut by_size: Vec<u32> = ids.to_vec();
     by_size.sort_by_key(|&a| std::cmp::Reverse(atoms.atoms[a as usize].size()));
-    let rank_of: BTreeMap<u32, usize> = by_size
-        .iter()
-        .enumerate()
-        .map(|(r, &a)| (a, r))
-        .collect();
+    let rank_of: BTreeMap<u32, usize> = by_size.iter().enumerate().map(|(r, &a)| (a, r)).collect();
+    let paths = atoms.store().paths();
     ids.iter()
         .map(|&a| {
             let atom = &atoms.atoms[a as usize];
             let mut total_len = 0usize;
             let mut transits = BTreeSet::new();
             for &(_, path_id) in &atom.signature {
-                let hops = atoms.paths[path_id as usize].from_origin_unique();
+                let hops = paths.get(bgp_types::PathId(path_id)).from_origin_unique();
                 total_len += hops.len();
                 // Skip the origin (first) and the vantage point (last).
                 for asn in hops.iter().skip(1).rev().skip(1) {
@@ -188,13 +185,9 @@ mod tests {
                 }
             })
             .collect();
-        AtomSet {
-            timestamp: SimTime::from_unix(0),
-            family,
-            peers: vec![],
-            paths,
-            atoms: built,
-        }
+        // `paths` may hold duplicate path strings at distinct indices;
+        // from_parts hash-conses them and remaps the signature ids.
+        AtomSet::from_parts(SimTime::from_unix(0), family, vec![], paths, built)
     }
 
     fn p4(i: u32) -> Prefix {
@@ -247,14 +240,8 @@ mod tests {
     #[test]
     fn min_score_filters_weak_pairs() {
         // Disjoint transits and different ranks: weak similarity.
-        let v4 = set(
-            Family::Ipv4,
-            vec![(vec![p4(0)], vec!["7 3356 9"], 9)],
-        );
-        let v6 = set(
-            Family::Ipv6,
-            vec![(vec![p6(0)], vec!["8 6939 174 9"], 9)],
-        );
+        let v4 = set(Family::Ipv4, vec![(vec![p4(0)], vec!["7 3356 9"], 9)]);
+        let v6 = set(Family::Ipv6, vec![(vec![p6(0)], vec!["8 6939 174 9"], 9)]);
         let (strict, _) = match_siblings(&v4, &v6, 0.8);
         assert!(strict.is_empty());
         let (lax, report) = match_siblings(&v4, &v6, 0.1);

@@ -176,7 +176,12 @@ mod tests {
     /// AtomSet from explicit per-peer paths: tables[peer] = [(prefix, path)].
     fn build(tables: &[&[(u32, &str)]]) -> AtomSet {
         let peers: Vec<PeerKey> = (0..tables.len())
-            .map(|i| PeerKey::new(Asn(i as u32 + 1), format!("10.0.0.{}", i + 1).parse().unwrap()))
+            .map(|i| {
+                PeerKey::new(
+                    Asn(i as u32 + 1),
+                    format!("10.0.0.{}", i + 1).parse().unwrap(),
+                )
+            })
             .collect();
         let tables: Vec<Vec<(Prefix, AsPath)>> = tables
             .iter()
@@ -189,13 +194,13 @@ mod tests {
                 t
             })
             .collect();
-        crate::atom::compute_atoms(&SanitizedSnapshot {
-            timestamp: SimTime::from_unix(0),
-            family: Family::Ipv4,
+        crate::atom::compute_atoms(&SanitizedSnapshot::from_owned_tables(
+            SimTime::from_unix(0),
+            Family::Ipv4,
             peers,
             tables,
-            report: SanitizeReport::default(),
-        })
+            SanitizeReport::default(),
+        ))
     }
 
     #[test]
@@ -221,10 +226,7 @@ mod tests {
     #[test]
     fn split_observed_by_all_peers() {
         let before = build(&[&[(0, "1 9"), (1, "1 9")], &[(0, "2 9"), (1, "2 9")]]);
-        let after = build(&[
-            &[(0, "1 9"), (1, "1 5 9")],
-            &[(0, "2 9"), (1, "2 5 9")],
-        ]);
+        let after = build(&[&[(0, "1 9"), (1, "1 5 9")], &[(0, "2 9"), (1, "2 5 9")]]);
         let events = detect_splits(&before, &before, &after);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].observer_count(), 2);
@@ -341,15 +343,15 @@ mod tests {
     fn detect_splits_rejects_peer_index_overflow() {
         use std::net::{IpAddr, Ipv4Addr};
         let n = u16::MAX as usize + 2;
-        let wide = crate::atom::AtomSet {
-            timestamp: SimTime::from_unix(0),
-            family: Family::Ipv4,
-            peers: (0..n)
+        let wide = crate::atom::AtomSet::from_parts(
+            SimTime::from_unix(0),
+            Family::Ipv4,
+            (0..n)
                 .map(|i| PeerKey::new(Asn(i as u32), IpAddr::V4(Ipv4Addr::from(i as u32))))
                 .collect(),
-            paths: vec![],
-            atoms: vec![],
-        };
+            vec![],
+            vec![],
+        );
         let small = build(&[&[(0, "1 9"), (1, "1 9")]]);
         detect_splits(&small, &small, &wide);
     }

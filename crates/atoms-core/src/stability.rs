@@ -31,11 +31,7 @@ pub fn cam(t1: &AtomSet, t2: &AtomSet) -> f64 {
         // compared against a non-empty one is fully unstable.
         return if t2.atoms.is_empty() { 100.0 } else { 0.0 };
     }
-    let sets_t1: HashSet<&[Prefix]> = t1
-        .atoms
-        .iter()
-        .map(|a| a.prefixes.as_slice())
-        .collect();
+    let sets_t1: HashSet<&[Prefix]> = t1.atoms.iter().map(|a| a.prefixes.as_slice()).collect();
     let matched = t2
         .atoms
         .iter()
@@ -114,12 +110,12 @@ mod tests {
     }
 
     fn set(groups: &[&[u32]]) -> AtomSet {
-        AtomSet {
-            timestamp: SimTime::from_unix(0),
-            family: Family::Ipv4,
-            peers: vec![],
-            paths: vec![],
-            atoms: groups
+        AtomSet::from_parts(
+            SimTime::from_unix(0),
+            Family::Ipv4,
+            vec![],
+            vec![],
+            groups
                 .iter()
                 .map(|ids| Atom {
                     prefixes: ids.iter().map(|&i| p(i)).collect(),
@@ -127,7 +123,7 @@ mod tests {
                     origin: Some(Asn(1)),
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]

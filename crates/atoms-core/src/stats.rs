@@ -147,13 +147,7 @@ mod tests {
     }
 
     fn set(atoms: Vec<Atom>) -> AtomSet {
-        AtomSet {
-            timestamp: SimTime::from_unix(0),
-            family: Family::Ipv4,
-            peers: vec![],
-            paths: vec![],
-            atoms,
-        }
+        AtomSet::from_parts(SimTime::from_unix(0), Family::Ipv4, vec![], vec![], atoms)
     }
 
     #[test]

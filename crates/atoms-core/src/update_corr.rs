@@ -37,10 +37,7 @@ pub struct CorrelationCurve {
 impl CorrelationCurve {
     /// The percentage at size `k`, if observed.
     pub fn at(&self, k: usize) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|p| p.k == k)
-            .map(|p| p.pr_full_pct)
+        self.points.iter().find(|p| p.k == k).map(|p| p.pr_full_pct)
     }
 }
 
@@ -97,25 +94,27 @@ impl Tally {
 /// `max_k` bounds the reported curve (the paper plots k ≤ 7, which already
 /// covers 95 % of atoms in 2024); groups larger than `max_k` are still
 /// tallied internally but not reported.
-pub fn correlate(
-    atoms: &AtomSet,
-    updates: &[UpdateRecord],
-    max_k: usize,
-) -> CorrelationReport {
+pub fn correlate(atoms: &AtomSet, updates: &[UpdateRecord], max_k: usize) -> CorrelationReport {
     // Group memberships.
     let prefix_atom = atoms.prefix_to_atom();
     let atom_size: Vec<usize> = atoms.atoms.iter().map(|a| a.size()).collect();
 
     let mut as_prefixes: BTreeMap<Asn, usize> = BTreeMap::new();
     let mut as_has_multi_atom: BTreeMap<Asn, bool> = BTreeMap::new();
-    let mut prefix_as: HashMap<Prefix, Asn> = HashMap::new();
+    // Origin per prefix as a flat id-indexed table over the store — no
+    // per-call `HashMap<Prefix, Asn>` rebuild; update-record lookups go
+    // prefix → id → origin through the arena's index.
+    let prefixes = atoms.store().prefixes();
+    let mut origin_of: Vec<Option<Asn>> = vec![None; prefixes.len()];
     for atom in &atoms.atoms {
         let Some(origin) = atom.origin else { continue };
         *as_prefixes.entry(origin).or_default() += atom.size();
         let multi = as_has_multi_atom.entry(origin).or_default();
         *multi = *multi || atom.size() > 1;
         for &p in &atom.prefixes {
-            prefix_as.insert(p, origin);
+            if let Some(pid) = prefixes.lookup(p) {
+                origin_of[pid.0 as usize] = Some(origin);
+            }
         }
     }
     let as_index: HashMap<Asn, u32> = as_prefixes
@@ -130,10 +129,7 @@ pub fn correlate(
         })
         .collect();
     let as_size: Vec<usize> = as_prefixes.values().copied().collect();
-    let as_multi: Vec<bool> = as_prefixes
-        .keys()
-        .map(|a| as_has_multi_atom[a])
-        .collect();
+    let as_multi: Vec<bool> = as_prefixes.keys().map(|a| as_has_multi_atom[a]).collect();
 
     let mut atom_tally = Tally::default();
     let mut as_tally = Tally::default();
@@ -147,14 +143,14 @@ pub fn correlate(
         touched_ases.clear();
         // Dedup the record's prefixes: a withdraw+announce of one prefix in
         // one message must count once.
-        let mut prefixes: Vec<Prefix> = record.prefixes().collect();
-        prefixes.sort();
-        prefixes.dedup();
-        for p in prefixes {
+        let mut mentioned: Vec<Prefix> = record.prefixes().collect();
+        mentioned.sort();
+        mentioned.dedup();
+        for p in mentioned {
             if let Some(&a) = prefix_atom.get(&p) {
                 *touched_atoms.entry(a).or_default() += 1;
             }
-            if let Some(&asn) = prefix_as.get(&p) {
+            if let Some(asn) = prefixes.lookup(p).and_then(|pid| origin_of[pid.0 as usize]) {
                 *touched_ases.entry(as_index[&asn]).or_default() += 1;
             }
         }
@@ -215,18 +211,18 @@ mod tests {
 
     fn atoms() -> AtomSet {
         // AS 1: atoms {0,1} and {2}; AS 2: atoms {3} and {4} (all single).
-        AtomSet {
-            timestamp: SimTime::from_unix(0),
-            family: Family::Ipv4,
-            peers: vec![],
-            paths: vec![],
-            atoms: vec![
+        AtomSet::from_parts(
+            SimTime::from_unix(0),
+            Family::Ipv4,
+            vec![],
+            vec![],
+            vec![
                 atom_of(&[0, 1], 1),
                 atom_of(&[2], 1),
                 atom_of(&[3], 2),
                 atom_of(&[4], 2),
             ],
-        }
+        )
     }
 
     #[test]
@@ -275,7 +271,11 @@ mod tests {
         let mut rec = announce(&[0]);
         rec.withdrawn = vec![p(1)];
         let r = correlate(&set, &[rec], 8);
-        assert_eq!(r.atoms.at(2), Some(100.0), "announce+withdraw covers the atom");
+        assert_eq!(
+            r.atoms.at(2),
+            Some(100.0),
+            "announce+withdraw covers the atom"
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ mod tests {
             .enumerate()
             .map(|(i, &n)| CapturedTable {
                 collector: 0,
-                peer: PeerKey::new(Asn(i as u32 + 1), format!("10.0.0.{}", i + 1).parse().unwrap()),
+                peer: PeerKey::new(
+                    Asn(i as u32 + 1),
+                    format!("10.0.0.{}", i + 1).parse().unwrap(),
+                ),
                 entries: (0..n as u32)
                     .map(|k| {
                         RibEntry::new(

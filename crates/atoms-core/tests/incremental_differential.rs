@@ -12,7 +12,7 @@ use atoms_core::atom::compute_atoms;
 use atoms_core::incremental::{compute_full, step, IncrementalState, SnapshotDelta};
 use atoms_core::parallel::Parallelism;
 use atoms_core::sanitize::{SanitizeReport, SanitizedSnapshot};
-use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime};
+use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime, SnapshotStore};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::net::{IpAddr, Ipv4Addr};
@@ -49,10 +49,7 @@ type EntryMutation = (usize, u32, usize, bool);
 type Step = (Vec<EntryMutation>, u8, usize);
 
 fn arb_base() -> impl Strategy<Value = Vec<Vec<(u32, usize)>>> {
-    prop::collection::vec(
-        prop::collection::vec((0u32..120, 0usize..30), 0..80),
-        1..5,
-    )
+    prop::collection::vec(prop::collection::vec((0u32..120, 0usize..30), 0..80), 1..5)
 }
 
 fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
@@ -98,28 +95,32 @@ fn apply_step(model: &mut Model, next_peer_id: &mut usize, step: &Step) {
     }
 }
 
-fn snapshot_of(model: &Model) -> SanitizedSnapshot {
+fn snapshot_of(store: &SnapshotStore, model: &Model) -> SanitizedSnapshot {
     let peers: Vec<PeerKey> = model.keys().map(|&id| peer(id)).collect();
     let tables: Vec<Vec<(Prefix, AsPath)>> = model
         .values()
         .map(|table| table.iter().map(|(&i, &j)| (p(i), path(j))).collect())
         .collect();
-    SanitizedSnapshot {
-        timestamp: SimTime::from_unix(0),
-        family: Family::Ipv4,
+    SanitizedSnapshot::from_owned_tables_into(
+        store,
+        SimTime::from_unix(0),
+        Family::Ipv4,
         peers,
         tables,
-        report: SanitizeReport::default(),
-    }
+        SanitizeReport::default(),
+    )
 }
 
-/// Materializes the whole evolving ladder as sanitized snapshots.
+/// Materializes the whole evolving ladder as sanitized snapshots sharing
+/// one snapshot store (the incremental engine diffs by id, which requires
+/// every rung interned into the same arenas).
 fn ladder(base: &[Vec<(u32, usize)>], steps: &[Step]) -> Vec<SanitizedSnapshot> {
+    let store = SnapshotStore::new();
     let (mut model, mut next_peer_id) = model_from_base(base);
-    let mut out = vec![snapshot_of(&model)];
+    let mut out = vec![snapshot_of(&store, &model)];
     for s in steps {
         apply_step(&mut model, &mut next_peer_id, s);
-        out.push(snapshot_of(&model));
+        out.push(snapshot_of(&store, &model));
     }
     out
 }
@@ -142,8 +143,8 @@ proptest! {
                 let scratch = compute_atoms(snap);
                 let (set, state) = step(prev.take(), snap, par, None);
                 prop_assert_eq!(
-                    &set.paths, &scratch.paths,
-                    "step {} at {} threads: interned-path order", k, threads
+                    set.interned_paths(), scratch.interned_paths(),
+                    "step {} at {} threads: interned-path set", k, threads
                 );
                 prop_assert_eq!(
                     &set, &scratch,

@@ -45,13 +45,13 @@ fn arb_atom_set(max_prefixes: usize) -> impl Strategy<Value = AtomSet> {
                     origin: Some(Asn(origin)),
                 });
             }
-            AtomSet {
-                timestamp: SimTime::from_unix(0),
-                family: Family::Ipv4,
-                peers: vec![PeerKey::new(Asn(77), "10.0.0.1".parse().unwrap())],
+            AtomSet::from_parts(
+                SimTime::from_unix(0),
+                Family::Ipv4,
+                vec![PeerKey::new(Asn(77), "10.0.0.1".parse().unwrap())],
                 paths,
                 atoms,
-            }
+            )
         })
 }
 

@@ -34,10 +34,7 @@ fn path(i: usize) -> AsPath {
 /// Per-peer `(prefix index, path index)` assignments; everything else is
 /// derived deterministically from these.
 fn arb_tables() -> impl Strategy<Value = Vec<Vec<(u32, usize)>>> {
-    prop::collection::vec(
-        prop::collection::vec((0u32..200, 0usize..40), 0..120),
-        1..7,
-    )
+    prop::collection::vec(prop::collection::vec((0u32..200, 0usize..40), 0..120), 1..7)
 }
 
 /// Builds a well-formed sanitized snapshot (sorted, one entry per prefix
@@ -52,13 +49,13 @@ fn sanitized_from(assignments: &[Vec<(u32, usize)>]) -> SanitizedSnapshot {
             dedup.into_iter().collect()
         })
         .collect();
-    SanitizedSnapshot {
-        timestamp: SimTime::from_unix(0),
-        family: Family::Ipv4,
+    SanitizedSnapshot::from_owned_tables(
+        SimTime::from_unix(0),
+        Family::Ipv4,
         peers,
         tables,
-        report: SanitizeReport::default(),
-    }
+        SanitizeReport::default(),
+    )
 }
 
 /// Builds a captured snapshot (duplicates and unsorted entries allowed —
@@ -100,7 +97,12 @@ proptest! {
         let serial = compute_atoms(&snap);
         for threads in [1usize, 2, 8] {
             let par = compute_atoms_with(&snap, Parallelism::new(threads));
-            prop_assert_eq!(&par.paths, &serial.paths, "paths at {} threads", threads);
+            prop_assert_eq!(
+                par.interned_paths(),
+                serial.interned_paths(),
+                "paths at {} threads",
+                threads
+            );
             prop_assert_eq!(&par, &serial, "atom set at {} threads", threads);
         }
     }

@@ -16,12 +16,12 @@ fn path(hop: u32, origin: u32) -> AsPath {
 }
 
 fn set(paths: Vec<AsPath>, groups: &[(std::ops::RangeInclusive<u32>, u32)]) -> AtomSet {
-    AtomSet {
-        timestamp: SimTime::from_unix(0),
-        family: Family::Ipv4,
-        peers: vec![PeerKey::new(Asn(77), "10.0.0.1".parse().unwrap())],
+    AtomSet::from_parts(
+        SimTime::from_unix(0),
+        Family::Ipv4,
+        vec![PeerKey::new(Asn(77), "10.0.0.1".parse().unwrap())],
         paths,
-        atoms: groups
+        groups
             .iter()
             .enumerate()
             .map(|(k, (ids, origin))| Atom {
@@ -30,7 +30,7 @@ fn set(paths: Vec<AsPath>, groups: &[(std::ops::RangeInclusive<u32>, u32)]) -> A
                 origin: Some(Asn(*origin)),
             })
             .collect(),
-    }
+    )
 }
 
 fn shuffle(s: &AtomSet, seed: u64) -> AtomSet {
@@ -51,14 +51,32 @@ fn recorded_case_replays_green() {
     );
     let b = set(
         vec![
-            path(100, 9005), path(101, 9006), path(102, 9007), path(103, 9008),
-            path(104, 9009), path(105, 9005), path(106, 9006), path(107, 9007),
-            path(108, 9008), path(109, 9009), path(110, 9005), path(111, 9006),
+            path(100, 9005),
+            path(101, 9006),
+            path(102, 9007),
+            path(103, 9008),
+            path(104, 9009),
+            path(105, 9005),
+            path(106, 9006),
+            path(107, 9007),
+            path(108, 9008),
+            path(109, 9009),
+            path(110, 9005),
+            path(111, 9006),
         ],
         &[
-            (0..=2, 9005), (3..=4, 9006), (5..=6, 9007), (7..=7, 9008),
-            (8..=9, 9009), (10..=13, 9005), (14..=17, 9006), (18..=20, 9007),
-            (21..=23, 9008), (24..=25, 9009), (26..=29, 9005), (30..=30, 9006),
+            (0..=2, 9005),
+            (3..=4, 9006),
+            (5..=6, 9007),
+            (7..=7, 9008),
+            (8..=9, 9009),
+            (10..=13, 9005),
+            (14..=17, 9006),
+            (18..=20, 9007),
+            (21..=23, 9008),
+            (24..=25, 9009),
+            (26..=29, 9005),
+            (30..=30, 9006),
         ],
     );
     let seed: u64 = 14624076410958372816;

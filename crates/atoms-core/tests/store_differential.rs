@@ -1,0 +1,208 @@
+//! Differential suite for the interned columnar snapshot store: the
+//! id-based pipeline must agree — atom by atom, resolved path by resolved
+//! path — with a retained *owned-data* reference model that never touches
+//! a [`SnapshotStore`], at 1, 2, and 8 workers. A second family of cases
+//! drives the incremental engine down a shared-store ladder and holds
+//! every rung to the same reference.
+
+use atoms_core::atom::{compute_atoms_with, AtomSet};
+use atoms_core::incremental::{step, IncrementalState};
+use atoms_core::parallel::Parallelism;
+use atoms_core::sanitize::{SanitizeReport, SanitizedSnapshot};
+use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime, SnapshotStore};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn p(i: u32) -> Prefix {
+    Prefix::v4((10 << 24) | ((i % 256) << 8), 24).unwrap()
+}
+
+fn peer(i: usize) -> PeerKey {
+    PeerKey::new(
+        Asn(64_500 + i as u32),
+        IpAddr::V4(Ipv4Addr::from(0x0a00_0000 + i as u32)),
+    )
+}
+
+fn path(j: usize) -> AsPath {
+    format!("{} {} {}", 64_500 + j % 5, 100 + j % 11, 9000 + j % 7)
+        .parse()
+        .unwrap()
+}
+
+/// One reference atom: member prefixes, the resolved `(peer, path)`
+/// signature, and the unambiguous origin (if any).
+type RefAtom = (Vec<Prefix>, Vec<(u16, AsPath)>, Option<Asn>);
+
+/// Owned per-peer tables, the reference-side snapshot representation.
+type OwnedTables = Vec<Vec<(Prefix, AsPath)>>;
+
+/// The retained reference model: groups prefixes by their full resolved
+/// signature using owned `AsPath` values only — a from-first-principles
+/// restatement of the atom definition with no arenas, no ids, no
+/// parallelism.
+fn reference_atoms(tables: &[Vec<(Prefix, AsPath)>]) -> Vec<RefAtom> {
+    let mut signature_of: BTreeMap<Prefix, Vec<(u16, AsPath)>> = BTreeMap::new();
+    for (peer_idx, table) in tables.iter().enumerate() {
+        for (prefix, path) in table {
+            signature_of
+                .entry(*prefix)
+                .or_default()
+                .push((peer_idx as u16, path.clone()));
+        }
+    }
+    let mut groups: BTreeMap<Vec<(u16, AsPath)>, Vec<Prefix>> = BTreeMap::new();
+    for (prefix, signature) in signature_of {
+        groups.entry(signature).or_default().push(prefix);
+    }
+    let mut atoms: Vec<RefAtom> = groups
+        .into_iter()
+        .map(|(signature, prefixes)| {
+            let mut origin: Option<Asn> = None;
+            let mut ambiguous = false;
+            for (_, path) in &signature {
+                match (origin, path.origin()) {
+                    (_, None) => ambiguous = true,
+                    (None, Some(o)) => origin = Some(o),
+                    (Some(a), Some(b)) if a != b => ambiguous = true,
+                    _ => {}
+                }
+            }
+            let origin = if ambiguous { None } else { origin };
+            (prefixes, signature, origin)
+        })
+        .collect();
+    atoms.sort_by(|a, b| a.0[0].cmp(&b.0[0]));
+    atoms
+}
+
+/// Resolves a computed [`AtomSet`] into the reference shape through the
+/// store's read guards.
+fn resolve_set(set: &AtomSet) -> Vec<RefAtom> {
+    let paths = set.store().paths();
+    set.atoms
+        .iter()
+        .map(|atom| {
+            let signature = atom
+                .signature
+                .iter()
+                .map(|&(peer, id)| (peer, paths.get(bgp_types::PathId(id)).clone()))
+                .collect();
+            (atom.prefixes.clone(), signature, atom.origin)
+        })
+        .collect()
+}
+
+fn arb_tables() -> impl Strategy<Value = Vec<Vec<(u32, usize)>>> {
+    prop::collection::vec(prop::collection::vec((0u32..140, 0usize..25), 0..100), 1..6)
+}
+
+fn owned_tables(assignments: &[Vec<(u32, usize)>]) -> OwnedTables {
+    assignments
+        .iter()
+        .map(|rows| {
+            let dedup: BTreeMap<Prefix, AsPath> =
+                rows.iter().map(|&(i, j)| (p(i), path(j))).collect();
+            dedup.into_iter().collect()
+        })
+        .collect()
+}
+
+fn snapshot_into(store: &SnapshotStore, tables: OwnedTables) -> SanitizedSnapshot {
+    let peers: Vec<PeerKey> = (0..tables.len()).map(peer).collect();
+    SanitizedSnapshot::from_owned_tables_into(
+        store,
+        SimTime::from_unix(0),
+        Family::Ipv4,
+        peers,
+        tables,
+        SanitizeReport::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The columnar pipeline agrees with the owned-data reference model at
+    /// every thread count, and the snapshot's columnar tables resolve back
+    /// to exactly the owned tables they were built from.
+    #[test]
+    fn columnar_pipeline_matches_owned_reference(assignments in arb_tables()) {
+        let tables = owned_tables(&assignments);
+        let expected = reference_atoms(&tables);
+        let snap = snapshot_into(&SnapshotStore::new(), tables.clone());
+        prop_assert_eq!(&snap.resolved_tables(), &tables, "round-trip through ids");
+        prop_assert_eq!(
+            snap.prefix_count(),
+            tables
+                .iter()
+                .flat_map(|t| t.iter().map(|(p, _)| *p))
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            "cached distinct-prefix count"
+        );
+        for threads in [1usize, 2, 8] {
+            let set = compute_atoms_with(&snap, Parallelism::new(threads));
+            prop_assert_eq!(
+                resolve_set(&set),
+                expected.clone(),
+                "reference mismatch at {} threads",
+                threads
+            );
+        }
+    }
+
+    /// A shared-store incremental ladder holds every rung to the owned
+    /// reference model — interning new rungs into the same arenas (the
+    /// whole point of the store) must never leak one rung's paths into
+    /// another's atoms.
+    #[test]
+    fn incremental_ladder_matches_owned_reference(
+        base in arb_tables(),
+        // Rung-to-rung edits: (peer selector, prefix, path, announce?).
+        edits in prop::collection::vec(
+            prop::collection::vec((0usize..6, 0u32..140, 0usize..25, any::<bool>()), 0..20),
+            1..4,
+        ),
+    ) {
+        let store = SnapshotStore::new();
+        let mut model: Vec<BTreeMap<Prefix, AsPath>> = owned_tables(&base)
+            .into_iter()
+            .map(|t| t.into_iter().collect())
+            .collect();
+        let mut rungs: Vec<(OwnedTables, SanitizedSnapshot)> = Vec::new();
+        let tables: OwnedTables =
+            model.iter().map(|t| t.iter().map(|(k, v)| (*k, v.clone())).collect()).collect();
+        rungs.push((tables.clone(), snapshot_into(&store, tables)));
+        for step_edits in &edits {
+            for &(peer_sel, prefix, path_idx, announce) in step_edits {
+                let idx = peer_sel % model.len();
+                let table = &mut model[idx];
+                if announce {
+                    table.insert(p(prefix), path(path_idx));
+                } else {
+                    table.remove(&p(prefix));
+                }
+            }
+            let tables: OwnedTables =
+                model.iter().map(|t| t.iter().map(|(k, v)| (*k, v.clone())).collect()).collect();
+            rungs.push((tables.clone(), snapshot_into(&store, tables)));
+        }
+        for threads in [1usize, 2, 8] {
+            let par = Parallelism::new(threads);
+            let mut prev: Option<(&SanitizedSnapshot, IncrementalState)> = None;
+            for (k, (tables, snap)) in rungs.iter().enumerate() {
+                let (set, state) = step(prev.take(), snap, par, None);
+                prop_assert_eq!(
+                    resolve_set(&set),
+                    reference_atoms(tables),
+                    "rung {} at {} threads",
+                    k,
+                    threads
+                );
+                prev = Some((snap, state));
+            }
+        }
+    }
+}

@@ -73,7 +73,10 @@ fn bench_parallel_engine(c: &mut Criterion) {
     for (name, cfg) in &configs[1..] {
         let parallel = analyze_snapshot(&snap, None, cfg);
         assert_eq!(parallel.atoms, serial.atoms, "{name} must match serial");
-        assert_eq!(parallel.sanitized, serial.sanitized, "{name} must match serial");
+        assert_eq!(
+            parallel.sanitized, serial.sanitized,
+            "{name} must match serial"
+        );
     }
 
     let mut group = c.benchmark_group("parallel_engine");

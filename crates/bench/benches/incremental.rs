@@ -11,10 +11,10 @@
 use atoms_core::atom::compute_atoms;
 use atoms_core::incremental::{compute_full, step, IncrementalState};
 use atoms_core::parallel::Parallelism;
-use atoms_core::sanitize::{sanitize, SanitizeConfig, SanitizedSnapshot};
+use atoms_core::sanitize::{sanitize_into, SanitizeConfig, SanitizedSnapshot};
 use bgp_collect::CapturedSnapshot;
 use bgp_sim::{Era, Scenario};
-use bgp_types::{Family, SimTime};
+use bgp_types::{Family, SimTime, SnapshotStore};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const RUNGS: usize = 12;
@@ -27,6 +27,9 @@ fn ladder() -> Vec<SanitizedSnapshot> {
     let churn = era.churn[0] / 32.0;
     let mut scenario = Scenario::build(era);
     let cfg = SanitizeConfig::default();
+    // One shared store down the ladder: the chained walk diffs by path id,
+    // which requires every rung interned into the same arenas.
+    let store = SnapshotStore::new();
     let mut out = Vec::with_capacity(RUNGS);
     for rung in 0..RUNGS {
         if rung > 0 {
@@ -34,7 +37,7 @@ fn ladder() -> Vec<SanitizedSnapshot> {
         }
         let snap = scenario.snapshot(date.plus_days(rung as u64));
         let captured = CapturedSnapshot::from_sim(&snap);
-        out.push(sanitize(&captured, &[], &cfg));
+        out.push(sanitize_into(&store, &captured, &[], &cfg));
     }
     out
 }
@@ -67,7 +70,11 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
         for snap in &snaps[1..] {
             let (set, state) = step(prev.take(), snap, par, None);
             let scratch = compute_atoms(snap);
-            assert_eq!(set.paths, scratch.paths, "interning order must match scratch");
+            assert_eq!(
+                set.interned_paths(),
+                scratch.interned_paths(),
+                "interned paths must match scratch"
+            );
             assert_eq!(set, scratch, "chained rung must match scratch");
             prev = Some((snap, state));
         }

@@ -1,0 +1,116 @@
+//! Interned columnar store vs owned-table atom computation.
+//!
+//! The same 12-rung small-churn ladder as `benches/incremental.rs`, walked
+//! two ways from identical inputs:
+//!
+//! * **owned_ladder** — the pre-store representation: every rung holds
+//!   `Vec<(Prefix, AsPath)>` tables and the atom scan re-interns full
+//!   `AsPath` values into a per-snapshot table (hash + compare on the
+//!   whole path, once per table entry);
+//! * **interned_ladder** — the columnar representation: rungs share one
+//!   [`SnapshotStore`], tables hold `(PrefixId, PathId)` pairs, and the
+//!   scan groups by `u32` ids (the real `compute_atoms`, which also runs
+//!   the assemble stage the owned walk skips — the comparison is biased
+//!   *against* the interned side).
+//!
+//! Both walks are asserted to produce the same atom partition before
+//! anything is timed. Peak-memory numbers for the two representations come
+//! from the separate `store_rss` binary (one process per mode, VmHWM).
+
+use atoms_core::atom::compute_atoms;
+use atoms_core::sanitize::{sanitize_into, SanitizeConfig, SanitizedSnapshot};
+use bgp_collect::CapturedSnapshot;
+use bgp_sim::{Era, Scenario};
+use bgp_types::{AsPath, Family, Prefix, SimTime, SnapshotStore};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::{BTreeMap, HashMap};
+
+const RUNGS: usize = 12;
+
+fn ladder() -> Vec<SanitizedSnapshot> {
+    let date: SimTime = "2016-01-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 200.0));
+    let churn = era.churn[0] / 32.0;
+    let mut scenario = Scenario::build(era);
+    let cfg = SanitizeConfig::default();
+    let store = SnapshotStore::new();
+    let mut out = Vec::with_capacity(RUNGS);
+    for rung in 0..RUNGS {
+        if rung > 0 {
+            scenario.perturb_units(churn, 0xBE4C + rung as u64);
+        }
+        let snap = scenario.snapshot(date.plus_days(rung as u64));
+        let captured = CapturedSnapshot::from_sim(&snap);
+        out.push(sanitize_into(&store, &captured, &[], &cfg));
+    }
+    out
+}
+
+/// The pre-store scan: per-snapshot path interning keyed by the owned
+/// `AsPath` (hashing the full path per entry), then grouping by signature.
+/// Returns the number of atoms.
+fn owned_atoms(tables: &[Vec<(Prefix, AsPath)>]) -> usize {
+    let mut interner: HashMap<&AsPath, u32> = HashMap::new();
+    let mut next = 0u32;
+    let mut signatures: BTreeMap<Prefix, Vec<(u16, u32)>> = BTreeMap::new();
+    for (peer_idx, table) in tables.iter().enumerate() {
+        for (prefix, path) in table {
+            let id = *interner.entry(path).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            signatures
+                .entry(*prefix)
+                .or_default()
+                .push((peer_idx as u16, id));
+        }
+    }
+    let mut groups: HashMap<&[(u16, u32)], usize> = HashMap::new();
+    for signature in signatures.values() {
+        *groups.entry(signature.as_slice()).or_default() += 1;
+    }
+    groups.len()
+}
+
+fn walk_owned(owned: &[Vec<Vec<(Prefix, AsPath)>>]) -> usize {
+    owned.iter().map(|tables| owned_atoms(tables)).sum()
+}
+
+fn walk_interned(snaps: &[SanitizedSnapshot]) -> usize {
+    snaps.iter().map(|s| compute_atoms(s).len()).sum()
+}
+
+fn bench_interned_vs_owned(c: &mut Criterion) {
+    let snaps = ladder();
+    // The owned walk reads pre-materialized tables: resolution cost stays
+    // outside the timed region on both sides.
+    let owned: Vec<Vec<Vec<(Prefix, AsPath)>>> = snaps
+        .iter()
+        .map(SanitizedSnapshot::resolved_tables)
+        .collect();
+
+    // Same atom partition on both sides before the timing means anything.
+    for (snap, tables) in snaps.iter().zip(&owned) {
+        assert_eq!(
+            compute_atoms(snap).len(),
+            owned_atoms(tables),
+            "owned reference must group identically"
+        );
+    }
+
+    let prefixes: usize = snaps.iter().map(SanitizedSnapshot::prefix_count).sum();
+    let mut group = c.benchmark_group("interned_vs_owned");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(prefixes as u64));
+    group.bench_function("owned_ladder", |b| {
+        b.iter(|| std::hint::black_box(walk_owned(&owned)))
+    });
+    group.bench_function("interned_ladder", |b| {
+        b.iter(|| std::hint::black_box(walk_interned(&snaps)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interned_vs_owned);
+criterion_main!(benches);

@@ -3,8 +3,8 @@
 
 use bgp_collect::capture::{rib_dump_bytes, tables_by_collector, updates_bytes};
 use bgp_mrt::reader::{RibDumpReader, UpdatesReader};
-use bgp_sim::{generate_window, Era, Scenario, SnapshotData};
 use bgp_sim::updates::UpdateEvent;
+use bgp_sim::{generate_window, Era, Scenario, SnapshotData};
 use bgp_types::{Family, SimTime};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 

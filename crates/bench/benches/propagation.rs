@@ -1,10 +1,10 @@
 //! Valley-free propagation throughput: units routed per second over a
 //! mid-size topology, with and without selective-export filtering.
 
+use bgp_sim::addressing::Allocation;
 use bgp_sim::policy::{PolicySet, UnitId};
 use bgp_sim::routing::{PropagationCtx, Propagator};
 use bgp_sim::{Era, Topology};
-use bgp_sim::addressing::Allocation;
 use bgp_types::{Family, SimTime};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 

@@ -43,12 +43,16 @@ fn main() {
             f.d1_breakdown.0, f.d1_breakdown.1, f.d1_breakdown.2
         );
         let fmt_curve = |c: &atoms_core::update_corr::CorrelationCurve| -> String {
-            (2..=6).map(|k| c.at(k).map(|v| format!("{v:.0}")).unwrap_or("-".into()))
-                .collect::<Vec<_>>().join("/")
+            (2..=6)
+                .map(|k| c.at(k).map(|v| format!("{v:.0}")).unwrap_or("-".into()))
+                .collect::<Vec<_>>()
+                .join("/")
         };
         println!(
             "  corr k=2..6 atoms {} ases {} singletons {}",
-            fmt_curve(&c.atoms), fmt_curve(&c.ases), fmt_curve(&c.ases_all_singleton)
+            fmt_curve(&c.atoms),
+            fmt_curve(&c.ases),
+            fmt_curve(&c.ases_all_singleton)
         );
         let r = &prep.analysis.sanitized.report;
         println!(

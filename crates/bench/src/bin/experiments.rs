@@ -56,8 +56,10 @@ fn main() {
                 parallelism = Parallelism::new(n);
             }
             "--metrics-json" => {
-                metrics_json =
-                    Some(args.next().unwrap_or_else(|| usage("--metrics-json needs a path")));
+                metrics_json = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--metrics-json needs a path")),
+                );
             }
             "--timings" => timings = true,
             "--incremental" => incremental = true,
@@ -103,9 +105,17 @@ fn main() {
         if let Some(m) = &metrics {
             m.record_span(&format!("experiment.{id}"), t0.elapsed());
         }
-        println!("## {} ({:.1?})\n{}", output.title, t0.elapsed(), output.text);
+        println!(
+            "## {} ({:.1?})\n{}",
+            output.title,
+            t0.elapsed(),
+            output.text
+        );
         for c in &output.comparison {
-            println!("  [{}] paper: {} | measured: {}", c.metric, c.paper, c.measured);
+            println!(
+                "  [{}] paper: {} | measured: {}",
+                c.metric, c.paper, c.measured
+            );
         }
         println!();
         all_comparisons.push((output.id.clone(), output.title.clone(), output.comparison));

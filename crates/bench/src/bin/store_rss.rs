@@ -1,0 +1,113 @@
+//! Peak-RSS probe for the snapshot-store representations.
+//!
+//! Builds the same 12-rung ladder as `benches/interned.rs` and holds every
+//! rung in memory in one of two representations, then reports the
+//! process's peak resident set (`VmHWM` from `/proc/self/status`):
+//!
+//! * `store_rss owned` — each rung as owned `Vec<(Prefix, AsPath)>`
+//!   tables, the pre-store layout (per-rung stores are dropped as soon as
+//!   the owned tables are materialized);
+//! * `store_rss interned` — each rung as columnar `(PrefixId, PathId)`
+//!   tables over one shared [`SnapshotStore`].
+//!
+//! One mode per process: peak RSS is a high-water mark, so the two
+//! representations can only be compared across separate invocations.
+//! Output is a single JSON line.
+
+use atoms_core::atom::compute_atoms;
+use atoms_core::sanitize::{sanitize, sanitize_into, SanitizeConfig, SanitizedSnapshot};
+use bgp_collect::CapturedSnapshot;
+use bgp_sim::{Era, Scenario};
+use bgp_types::{AsPath, Family, Prefix, SimTime, SnapshotStore};
+
+const RUNGS: usize = 12;
+
+fn captured_ladder() -> Vec<CapturedSnapshot> {
+    let date: SimTime = "2016-01-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 200.0));
+    let churn = era.churn[0] / 32.0;
+    let mut scenario = Scenario::build(era);
+    let mut out = Vec::with_capacity(RUNGS);
+    for rung in 0..RUNGS {
+        if rung > 0 {
+            scenario.perturb_units(churn, 0xBE4C + rung as u64);
+        }
+        out.push(CapturedSnapshot::from_sim(
+            &scenario.snapshot(date.plus_days(rung as u64)),
+        ));
+    }
+    out
+}
+
+/// The pre-store scan, as in `benches/interned.rs`: per-snapshot path
+/// interning keyed by the owned `AsPath`, grouping prefixes by signature.
+fn owned_atoms(tables: &[Vec<(Prefix, AsPath)>]) -> usize {
+    use std::collections::{BTreeMap, HashMap};
+    let mut interner: HashMap<&AsPath, u32> = HashMap::new();
+    let mut next = 0u32;
+    let mut signatures: BTreeMap<Prefix, Vec<(u16, u32)>> = BTreeMap::new();
+    for (peer_idx, table) in tables.iter().enumerate() {
+        for (prefix, path) in table {
+            let id = *interner.entry(path).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            signatures
+                .entry(*prefix)
+                .or_default()
+                .push((peer_idx as u16, id));
+        }
+    }
+    let mut groups: HashMap<&[(u16, u32)], usize> = HashMap::new();
+    for signature in signatures.values() {
+        *groups.entry(signature.as_slice()).or_default() += 1;
+    }
+    groups.len()
+}
+
+/// `VmHWM` (peak resident set) in kilobytes.
+fn vm_hwm_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let cfg = SanitizeConfig::default();
+    let captured = captured_ladder();
+    let (atoms, paths, bytes_est) = match mode.as_str() {
+        "owned" => {
+            // Pre-store layout: every rung holds owned tables; the
+            // transient per-rung store does not outlive its rung.
+            let owned: Vec<Vec<Vec<(Prefix, AsPath)>>> = captured
+                .iter()
+                .map(|snap| sanitize(snap, &[], &cfg).resolved_tables())
+                .collect();
+            let atoms: usize = owned.iter().map(|tables| owned_atoms(tables)).sum();
+            (atoms, 0u64, 0u64)
+        }
+        "interned" => {
+            let store = SnapshotStore::new();
+            let snaps: Vec<SanitizedSnapshot> = captured
+                .iter()
+                .map(|snap| sanitize_into(&store, snap, &[], &cfg))
+                .collect();
+            let atoms: usize = snaps.iter().map(|s| compute_atoms(s).len()).sum();
+            (atoms, store.path_count() as u64, store.bytes_est() as u64)
+        }
+        other => {
+            eprintln!("usage: store_rss <owned|interned>  (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{{\"mode\": \"{mode}\", \"vm_hwm_kb\": {}, \"work\": {atoms}, \"store_paths\": {paths}, \"store_bytes_est\": {bytes_est}}}",
+        vm_hwm_kb()
+    );
+}

@@ -24,13 +24,19 @@ fn render(report: &CorrelationReport) -> String {
         ("Atom (with x prefixes)", &report.atoms),
         ("AS (with x prefixes)", &report.ases),
         ("AS with a multi-prefix atom", &report.ases_with_multi_atom),
-        ("AS with all single-prefix atoms", &report.ases_all_singleton),
+        (
+            "AS with all single-prefix atoms",
+            &report.ases_all_singleton,
+        ),
     ] {
         let mut row = vec![name.to_string()];
         row.extend(curve_cells(curve));
         rows.push(row);
     }
-    render_table(&["series", "k=1", "k=2", "k=3", "k=4", "k=5", "k=6", "k=7"], &rows)
+    render_table(
+        &["series", "k=1", "k=2", "k=3", "k=4", "k=5", "k=6", "k=7"],
+        &rows,
+    )
 }
 
 fn mean_over(curve: &CorrelationCurve, range: std::ops::RangeInclusive<usize>) -> f64 {

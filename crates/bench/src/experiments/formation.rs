@@ -154,7 +154,15 @@ fn trend_output(
         ]);
     }
     let text = render_table(
-        &["quarter", "d1", "d2", "d3", "d4", "d5", "d1 (excl single-atom AS)"],
+        &[
+            "quarter",
+            "d1",
+            "d2",
+            "d3",
+            "d4",
+            "d5",
+            "d1 (excl single-atom AS)",
+        ],
         &rows,
     );
     let first = sweep.first().expect("sweep is non-empty");
@@ -243,9 +251,8 @@ pub fn fig11(wb: &Workbench) -> ExperimentOutput {
     let v6 = quarterly(wb, Family::Ipv6, 2011, 2024);
     let last4 = v4.last().expect("sweep non-empty");
     let last6 = v6.last().expect("sweep non-empty");
-    let d12 = |q: &super::sweep::QuarterMetrics| {
-        q.formation.at_distance(1) + q.formation.at_distance(2)
-    };
+    let d12 =
+        |q: &super::sweep::QuarterMetrics| q.formation.at_distance(1) + q.formation.at_distance(2);
     out.comparison[0].measured = format!(
         "v6 d1+d2 {} vs v4 d1+d2 {}",
         pct(d12(last6)),

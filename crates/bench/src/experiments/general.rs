@@ -3,8 +3,8 @@
 use super::{Comparison, ExperimentOutput};
 use crate::Workbench;
 use atoms_core::report::{count, pct, render_table};
-use atoms_core::stats::{atoms_per_as, cdf, general_stats, prefixes_per_as, prefixes_per_atom};
 use atoms_core::stats::GeneralStats;
+use atoms_core::stats::{atoms_per_as, cdf, general_stats, prefixes_per_as, prefixes_per_atom};
 use bgp_types::Family;
 
 fn stats_rows(columns: &[(&str, &GeneralStats)]) -> Vec<Vec<String>> {
@@ -55,12 +55,22 @@ pub fn table1(wb: &Workbench) -> ExperimentOutput {
         Comparison::new(
             "prefix growth 2004→2024",
             "7.8× (131,526 → 1,028,444)",
-            format!("{:.1}× ({} → {})", ratio(&|s| s.n_prefixes as f64), count(s04.n_prefixes), count(s24.n_prefixes)),
+            format!(
+                "{:.1}× ({} → {})",
+                ratio(&|s| s.n_prefixes as f64),
+                count(s04.n_prefixes),
+                count(s24.n_prefixes)
+            ),
         ),
         Comparison::new(
             "atom growth 2004→2024",
             "14.1× (34,261 → 483,117)",
-            format!("{:.1}× ({} → {})", ratio(&|s| s.n_atoms as f64), count(s04.n_atoms), count(s24.n_atoms)),
+            format!(
+                "{:.1}× ({} → {})",
+                ratio(&|s| s.n_atoms as f64),
+                count(s04.n_atoms),
+                count(s24.n_atoms)
+            ),
         ),
         Comparison::new(
             "single-atom AS share",
@@ -275,9 +285,7 @@ pub fn fig14(wb: &Workbench) -> ExperimentOutput {
     let apa = atoms_per_as(atoms);
     let ppa = prefixes_per_atom(atoms);
     let ppas = prefixes_per_as(atoms);
-    let scale = wb
-        .scale
-        .unwrap_or(bgp_sim::evolution::DEFAULT_SCALE);
+    let scale = wb.scale.unwrap_or(bgp_sim::evolution::DEFAULT_SCALE);
     let text = format!(
         "2002 reproduction (RRC00, {} peers, scale {:.4}):\n\
          ASes {} | prefixes {} | atoms {}\n{}\n{}\n{}\n",

@@ -47,8 +47,8 @@ pub fn table5(wb: &Workbench) -> ExperimentOutput {
     let dirty = sanitize(&prep.captured, &prep.updates.warnings, &keep_leaker);
     let dirty_atoms = compute_atoms(&dirty);
     let clean_count = prep.analysis.atoms.len();
-    let inflation = 100.0 * (dirty_atoms.len() as f64 - clean_count as f64)
-        / clean_count.max(1) as f64;
+    let inflation =
+        100.0 * (dirty_atoms.len() as f64 - clean_count as f64) / clean_count.max(1) as f64;
 
     let expected_addpath: Vec<u32> = bgp_sim::artifacts::ADDPATH_BROKEN_ASNS.to_vec();
     let detected_addpath: Vec<u32> = report
@@ -63,7 +63,9 @@ pub fn table5(wb: &Workbench) -> ExperimentOutput {
             format!(
                 "{:?} (all ∈ paper's set: {})",
                 detected_addpath,
-                detected_addpath.iter().all(|a| expected_addpath.contains(a))
+                detected_addpath
+                    .iter()
+                    .all(|a| expected_addpath.contains(a))
             ),
         ),
         Comparison::new(
@@ -126,10 +128,7 @@ pub fn table7(wb: &Workbench) -> ExperimentOutput {
         }
         rows.push(row);
     }
-    let text = render_table(
-        &["collectors \\ peer ASes", "1", "2", "3", "4", "5"],
-        &rows,
-    );
+    let text = render_table(&["collectors \\ peer ASes", "1", "2", "3", "4", "5"], &rows);
     let at = |c: usize, p: usize| {
         grid.iter()
             .find(|&&(gc, gp, _)| gc == c && gp == p)
@@ -227,8 +226,8 @@ pub fn ablation(wb: &Workbench) -> ExperimentOutput {
         if i == 0 {
             baseline_atoms = stats.n_atoms;
         }
-        let delta = 100.0 * (stats.n_atoms as f64 - baseline_atoms as f64)
-            / baseline_atoms.max(1) as f64;
+        let delta =
+            100.0 * (stats.n_atoms as f64 - baseline_atoms as f64) / baseline_atoms.max(1) as f64;
         rows.push(vec![
             name.to_string(),
             sanitized.peers.len().to_string(),
@@ -250,7 +249,14 @@ pub fn ablation(wb: &Workbench) -> ExperimentOutput {
         }));
     }
     let text = render_table(
-        &["variant", "peers", "prefixes", "atoms", "Δ atoms", "mean size"],
+        &[
+            "variant",
+            "peers",
+            "prefixes",
+            "atoms",
+            "Δ atoms",
+            "mean size",
+        ],
         &rows,
     );
     let comparison = vec![

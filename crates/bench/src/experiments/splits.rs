@@ -4,7 +4,9 @@
 use super::{Comparison, ExperimentOutput};
 use crate::Workbench;
 use atoms_core::atom::AtomSet;
-use atoms_core::pipeline::{analyze_snapshot, analyze_snapshot_chained, ChainState, PipelineConfig};
+use atoms_core::pipeline::{
+    analyze_snapshot, analyze_snapshot_chained, ChainState, PipelineConfig,
+};
 use atoms_core::report::{pct, render_table};
 use atoms_core::splits::{detect_splits, observer_cdf, DailySplitBreakdown, SplitEvent};
 use bgp_collect::CapturedSnapshot;
@@ -109,8 +111,11 @@ fn run_study(wb: &Workbench) -> SplitStudy {
     }
 }
 
+/// Cache key: (scale bits, study days, incremental engine on).
+type StudyKey = (u64, usize, bool);
+
 fn cached_study(wb: &Workbench) -> SplitStudy {
-    static CACHE: OnceLock<Mutex<HashMap<(u64, usize, bool), SplitStudy>>> = OnceLock::new();
+    static CACHE: OnceLock<Mutex<HashMap<StudyKey, SplitStudy>>> = OnceLock::new();
     let key = (
         (wb.scale.unwrap_or(bgp_sim::evolution::DEFAULT_SCALE) * 1e9) as u64,
         study_days(),
@@ -197,7 +202,13 @@ pub fn fig7(wb: &Workbench) -> ExperimentOutput {
         ]);
     }
     let text = render_table(
-        &["day", "splits", "multi-observer", "single-observer", "top single observer"],
+        &[
+            "day",
+            "splits",
+            "multi-observer",
+            "single-observer",
+            "top single observer",
+        ],
         &rows,
     );
     // How concentrated are single-observer events on one peer?

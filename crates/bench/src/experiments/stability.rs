@@ -48,16 +48,7 @@ pub fn table3(wb: &Workbench) -> ExperimentOutput {
             ]
         })
         .collect();
-    let text = render_table(
-        &[
-            "",
-            "2004 CAM",
-            "2004 MPM",
-            "2024 CAM",
-            "2024 MPM",
-        ],
-        &rows,
-    );
+    let text = render_table(&["", "2004 CAM", "2004 MPM", "2024 CAM", "2024 MPM"], &rows);
     let paper = [
         // (2004 cam, 2004 mpm, 2024 cam, 2024 mpm)
         (96.3, 98.3, 83.7, 90.6),
@@ -84,8 +75,10 @@ pub fn table3(wb: &Workbench) -> ExperimentOutput {
         "8h > 24h > 1wk; MPM > CAM; 2004 > 2024 at every horizon",
         format!(
             "monotone horizons: {}; MPM>CAM: {}; 2004>2024: {}",
-            l04.cam[0] >= l04.cam[1] && l04.cam[1] >= l04.cam[2]
-                && l24.cam[0] >= l24.cam[1] && l24.cam[1] >= l24.cam[2],
+            l04.cam[0] >= l04.cam[1]
+                && l04.cam[1] >= l04.cam[2]
+                && l24.cam[0] >= l24.cam[1]
+                && l24.cam[1] >= l24.cam[2],
             (0..3).all(|i| l04.mpm[i] >= l04.cam[i] && l24.mpm[i] >= l24.cam[i]),
             (0..3).all(|i| l04.cam[i] >= l24.cam[i]),
         ),
@@ -230,7 +223,8 @@ pub fn fig9(wb: &Workbench) -> ExperimentOutput {
     out.id = "fig9".into();
     let v4 = quarterly(wb, Family::Ipv4, 2004, 2024);
     let v6 = quarterly(wb, Family::Ipv6, 2011, 2024);
-    let mean = |s: &[super::sweep::QuarterMetrics], f: &dyn Fn(&super::sweep::QuarterMetrics) -> f64| {
+    let mean = |s: &[super::sweep::QuarterMetrics],
+                f: &dyn Fn(&super::sweep::QuarterMetrics) -> f64| {
         s.iter().map(f).sum::<f64>() / s.len() as f64
     };
     out.comparison.push(Comparison::new(

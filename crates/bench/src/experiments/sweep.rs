@@ -136,8 +136,9 @@ pub fn quarterly(wb: &Workbench, family: Family, from: i32, to: i32) -> Vec<Quar
     } else {
         // Quarters are independent jobs; `map_indexed` returns them in
         // input (timeline) order no matter which worker finished first.
-        wb.parallelism
-            .map_indexed(dates.len(), |i| compute_quarter(wb, dates[i], family, &mut None))
+        wb.parallelism.map_indexed(dates.len(), |i| {
+            compute_quarter(wb, dates[i], family, &mut None)
+        })
     };
     cache()
         .lock()

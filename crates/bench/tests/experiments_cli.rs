@@ -50,7 +50,10 @@ fn table1_payload_is_thread_count_invariant() {
     let serial = run_experiment("table1", "400", "1", "t1-serial");
     let parallel = run_experiment("table1", "400", "4", "t1-par");
     assert!(!serial.is_empty());
-    assert_eq!(parallel, serial, "--threads 4 diverged from serial table1.json");
+    assert_eq!(
+        parallel, serial,
+        "--threads 4 diverged from serial table1.json"
+    );
 }
 
 /// The quarter-level sweep (fig13 runs the full 2004–2024 quarterly sweep
@@ -61,7 +64,10 @@ fn quarterly_sweep_payload_is_thread_count_invariant() {
     let serial = run_experiment("fig13", "1600", "1", "f13-serial");
     let parallel = run_experiment("fig13", "1600", "4", "f13-par");
     assert!(!serial.is_empty());
-    assert_eq!(parallel, serial, "--threads 4 diverged from serial fig13.json");
+    assert_eq!(
+        parallel, serial,
+        "--threads 4 diverged from serial fig13.json"
+    );
 }
 
 /// `--incremental` walks the quarterly sweep serially, patching each
@@ -72,7 +78,10 @@ fn quarterly_sweep_payload_is_incremental_invariant() {
     let full = run_experiment("fig5", "1600", "1", "f5-full");
     assert!(!full.is_empty());
     let incremental = run_experiment_with("fig5", "1600", "1", "f5-inc", &["--incremental"]);
-    assert_eq!(incremental, full, "--incremental diverged from full fig5.json");
+    assert_eq!(
+        incremental, full,
+        "--incremental diverged from full fig5.json"
+    );
     let inc_threads = run_experiment_with("fig5", "1600", "4", "f5-inc-par", &["--incremental"]);
     assert_eq!(
         inc_threads, full,
@@ -108,5 +117,8 @@ fn split_study_payload_is_incremental_invariant() {
     let full = run("f6-full", &[]);
     assert!(!full.is_empty());
     let incremental = run("f6-inc", &["--incremental"]);
-    assert_eq!(incremental, full, "--incremental diverged from full fig6.json");
+    assert_eq!(
+        incremental, full,
+        "--incremental diverged from full fig6.json"
+    );
 }

@@ -187,7 +187,8 @@ mod tests {
     use bgp_sim::{Era, Scenario};
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("pa-archive-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("pa-archive-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -201,10 +202,19 @@ mod tests {
         let dir = tmpdir("snap");
         let archive = Archive::new(&dir);
         let files = archive.store_snapshot(&snap).unwrap();
-        assert_eq!(files.len(), snap.collector_names.len().min(
-            snap.tables.iter().map(|t| t.collector).collect::<std::collections::BTreeSet<_>>().len()
-        ));
-        assert!(files[0].to_string_lossy().contains("2012.01/RIBS/rib.20120115.0800.mrt"));
+        assert_eq!(
+            files.len(),
+            snap.collector_names.len().min(
+                snap.tables
+                    .iter()
+                    .map(|t| t.collector)
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len()
+            )
+        );
+        assert!(files[0]
+            .to_string_lossy()
+            .contains("2012.01/RIBS/rib.20120115.0800.mrt"));
 
         let loaded = archive.load_snapshot(date, Family::Ipv4).unwrap();
         assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);

@@ -163,11 +163,8 @@ pub fn events_by_collector<'e>(
     snap: &SnapshotData,
     events: &'e [UpdateEvent],
 ) -> Vec<(u16, Vec<&'e UpdateEvent>)> {
-    let peer_to_collector: BTreeMap<PeerKey, u16> = snap
-        .tables
-        .iter()
-        .map(|t| (t.peer, t.collector))
-        .collect();
+    let peer_to_collector: BTreeMap<PeerKey, u16> =
+        snap.tables.iter().map(|t| (t.peer, t.collector)).collect();
     let mut out: BTreeMap<u16, Vec<&UpdateEvent>> = BTreeMap::new();
     for e in events {
         if let Some(&c) = peer_to_collector.get(&e.record.peer) {
@@ -204,10 +201,7 @@ mod tests {
             // Spot-check: every decoded (peer, prefix, path) matches input.
             let mut want_set: Vec<(PeerKey, Prefix, String)> = tables
                 .iter()
-                .flat_map(|(p, es)| {
-                    es.iter()
-                        .map(|e| (**p, e.prefix, e.attrs.path.to_string()))
-                })
+                .flat_map(|(p, es)| es.iter().map(|e| (**p, e.prefix, e.attrs.path.to_string())))
                 .collect();
             let mut got_set: Vec<(PeerKey, Prefix, String)> = entries
                 .iter()
@@ -225,7 +219,11 @@ mod tests {
         let (collector, tables) = tables_by_collector(&snap).remove(0);
         let bytes = rib_dump_bytes(snap.timestamp, &tables).unwrap();
         let dump = RibDumpReader::read_all(&bytes[..]).unwrap();
-        assert!(dump.warnings.is_empty(), "collector {collector}: {:?}", dump.warnings);
+        assert!(
+            dump.warnings.is_empty(),
+            "collector {collector}: {:?}",
+            dump.warnings
+        );
         assert!(!dump.routes.is_empty());
         assert_eq!(dump.routes[0].prefix.family(), Family::Ipv6);
     }
@@ -238,7 +236,10 @@ mod tests {
             .iter()
             .flat_map(|t| &t.entries)
             .any(|e| !e.attrs.communities.is_empty());
-        assert!(has_communities, "scenario should attach steering communities");
+        assert!(
+            has_communities,
+            "scenario should attach steering communities"
+        );
         let (_, tables) = tables_by_collector(&snap).remove(0);
         let bytes = rib_dump_bytes(snap.timestamp, &tables).unwrap();
         let dump = RibDumpReader::read_all(&bytes[..]).unwrap();
@@ -280,12 +281,26 @@ mod tests {
         // Same record multiset (orders differ across collectors).
         let mut disk_keys: Vec<_> = disk_records
             .iter()
-            .map(|r| (r.timestamp, r.peer, r.announced.clone(), r.withdrawn.clone()))
+            .map(|r| {
+                (
+                    r.timestamp,
+                    r.peer,
+                    r.announced.clone(),
+                    r.withdrawn.clone(),
+                )
+            })
             .collect();
         let mut mem_keys: Vec<_> = mem
             .records
             .iter()
-            .map(|r| (r.timestamp, r.peer, r.announced.clone(), r.withdrawn.clone()))
+            .map(|r| {
+                (
+                    r.timestamp,
+                    r.peer,
+                    r.announced.clone(),
+                    r.withdrawn.clone(),
+                )
+            })
             .collect();
         disk_keys.sort();
         mem_keys.sort();

@@ -223,7 +223,10 @@ mod tests {
         let w = UpdateRecord::withdraw(
             SimTime::from_unix(1200),
             peer(1),
-            vec!["10.0.1.0/24".parse().unwrap(), "10.9.9.0/24".parse().unwrap()],
+            vec![
+                "10.0.1.0/24".parse().unwrap(),
+                "10.9.9.0/24".parse().unwrap(),
+            ],
         );
         let stats = state.apply(&w);
         assert_eq!(stats.withdrawn, 1);
@@ -269,10 +272,7 @@ mod tests {
         assert_eq!(state.rejected_out_of_order(), 1);
         assert_eq!(state.applied(), 1, "rejected record is not 'applied'");
         // The state's clock did not move backwards either.
-        assert_eq!(
-            state.to_snapshot(&snap).timestamp,
-            SimTime::from_unix(1300)
-        );
+        assert_eq!(state.to_snapshot(&snap).timestamp, SimTime::from_unix(1300));
     }
 
     /// Records older than the base snapshot itself are equally stale.
@@ -325,8 +325,7 @@ mod tests {
         let mut scenario = Scenario::build(era);
         let snap = CapturedSnapshot::from_sim(&scenario.snapshot(date));
         let events = generate_window(&mut scenario, date, 4, 9);
-        let records: Vec<UpdateRecord> =
-            events.iter().map(|e| e.record.clone()).collect();
+        let records: Vec<UpdateRecord> = events.iter().map(|e| e.record.clone()).collect();
         let mut state = ReplayState::from_snapshot(&snap);
         state.apply_until(&records, date.plus_hours(5));
         assert_eq!(state.applied(), records.len());

@@ -150,15 +150,11 @@ fn decode_mp_reach(cur: &mut Cursor, form: MpReachForm) -> Result<MpReach, Decod
             }
             let nh = decode_mp_next_hop(cur)?;
             cur.skip(1, "MP_REACH_NLRI reserved byte")?;
-            let nlri = nlri::decode_prefix_run(cur, Family::Ipv6).map_err(|_| {
-                DecodeError::Invalid {
+            let nlri =
+                nlri::decode_prefix_run(cur, Family::Ipv6).map_err(|_| DecodeError::Invalid {
                     context: "MP_REACH_NLRI prefixes",
-                }
-            })?;
-            Ok(MpReach {
-                next_hop: nh,
-                nlri,
-            })
+                })?;
+            Ok(MpReach { next_hop: nh, nlri })
         }
         MpReachForm::Abbreviated => {
             let nh = decode_mp_next_hop(cur)?;
@@ -272,12 +268,11 @@ pub fn decode_attrs(
                         context: "MP_UNREACH_NLRI AFI/SAFI",
                     });
                 }
-                let prefixes =
-                    nlri::decode_prefix_run(&mut body, Family::Ipv6).map_err(|_| {
-                        DecodeError::Invalid {
-                            context: "MP_UNREACH_NLRI prefixes",
-                        }
-                    })?;
+                let prefixes = nlri::decode_prefix_run(&mut body, Family::Ipv6).map_err(|_| {
+                    DecodeError::Invalid {
+                        context: "MP_UNREACH_NLRI prefixes",
+                    }
+                })?;
                 out.mp_unreach = Some(prefixes);
             }
             _ => {
@@ -451,7 +446,10 @@ mod tests {
             as_path: "6939 64500".parse().unwrap(),
             mp_reach: Some(MpReach {
                 next_hop: Some("2001:db8::1".parse().unwrap()),
-                nlri: vec!["2001:db8::/32".parse().unwrap(), "240a:a000::/20".parse().unwrap()],
+                nlri: vec![
+                    "2001:db8::/32".parse().unwrap(),
+                    "240a:a000::/20".parse().unwrap(),
+                ],
             }),
             mp_unreach: Some(vec!["2001:db8:dead::/48".parse().unwrap()]),
             ..Default::default()

@@ -51,8 +51,8 @@ pub mod writer;
 pub use error::MrtError;
 pub use reader::{MrtReader, RibDumpReader, UpdatesReader};
 pub use record::{
-    Bgp4mpMessage, BgpMessage, MrtRecord, PeerEntry, PeerIndexTable, RibEntriesRecord,
-    RibEntryRaw, UpdateMessage,
+    Bgp4mpMessage, BgpMessage, MrtRecord, PeerEntry, PeerIndexTable, RibEntriesRecord, RibEntryRaw,
+    UpdateMessage,
 };
 pub use warnings::{MrtWarning, WarningKind};
 pub use writer::{CorruptionMode, RibDumpWriter, UpdateDumpWriter};

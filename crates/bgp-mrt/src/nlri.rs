@@ -96,7 +96,13 @@ mod tests {
 
     #[test]
     fn round_trips_v4() {
-        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "192.0.2.128/25", "1.2.3.4/32"] {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "192.0.2.0/24",
+            "192.0.2.128/25",
+            "1.2.3.4/32",
+        ] {
             round_trip(s);
         }
     }

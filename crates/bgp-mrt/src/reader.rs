@@ -3,12 +3,12 @@
 use crate::attrs::{self, MpReachForm};
 use crate::error::{DecodeError, MrtError};
 use crate::record::{
-    Bgp4mpMessage, BgpMessage, MrtRecord, PeerEntry, PeerIndexTable, RibEntriesRecord,
-    RibEntryRaw, UpdateMessage,
+    Bgp4mpMessage, BgpMessage, MrtRecord, PeerEntry, PeerIndexTable, RibEntriesRecord, RibEntryRaw,
+    UpdateMessage,
 };
+use crate::table_dump_v1::{decode_table_dump, SUBTYPE_AFI_IPV4, SUBTYPE_AFI_IPV6};
 use crate::warnings::{MrtWarning, WarningKind};
 use crate::wire::Cursor;
-use crate::table_dump_v1::{decode_table_dump, SUBTYPE_AFI_IPV4, SUBTYPE_AFI_IPV6};
 use crate::{
     SUBTYPE_BGP4MP_MESSAGE, SUBTYPE_BGP4MP_MESSAGE_ADDPATH, SUBTYPE_BGP4MP_MESSAGE_AS4,
     SUBTYPE_BGP4MP_MESSAGE_AS4_ADDPATH, SUBTYPE_PEER_INDEX_TABLE, SUBTYPE_RIB_IPV4_UNICAST,
@@ -223,10 +223,7 @@ pub fn decode_record(raw: &RawRecord, index: u64) -> ReadItem {
                         Err((e, peer)) => warn(WarningKind::from_decode(&e), peer),
                     }
                 }
-                SUBTYPE_BGP4MP_MESSAGE_ADDPATH
-                | SUBTYPE_BGP4MP_MESSAGE_AS4_ADDPATH
-                | 10
-                | 11 => {
+                SUBTYPE_BGP4MP_MESSAGE_ADDPATH | SUBTYPE_BGP4MP_MESSAGE_AS4_ADDPATH | 10 | 11 => {
                     // ADD-PATH records: we do not decode them, but the peer
                     // fields sit before the NLRI, so best-effort attribution
                     // is possible — the paper attributes these warnings to
@@ -356,8 +353,7 @@ fn decode_bgp4mp_message(
     as4: bool,
     ts: SimTime,
 ) -> Result<Bgp4mpMessage, (DecodeError, Option<PeerKey>)> {
-    let (peer, (local_asn, local_addr)) =
-        decode_bgp4mp_peer(cur, as4).map_err(|e| (e, None))?;
+    let (peer, (local_asn, local_addr)) = decode_bgp4mp_peer(cur, as4).map_err(|e| (e, None))?;
     let fail = |e: DecodeError| (e, Some(peer));
 
     // BGP message header: 16-byte marker, 2-byte length, 1-byte type.
@@ -383,14 +379,12 @@ fn decode_bgp4mp_message(
     let message = if msg_type == 2 {
         let withdrawn_len = body.u16("withdrawn routes length").map_err(fail)? as usize;
         let mut wcur = body.sub(withdrawn_len, "withdrawn routes").map_err(fail)?;
-        let withdrawn =
-            crate::nlri::decode_prefix_run(&mut wcur, Family::Ipv4).map_err(fail)?;
+        let withdrawn = crate::nlri::decode_prefix_run(&mut wcur, Family::Ipv4).map_err(fail)?;
         let attr_len = body.u16("path attribute length").map_err(fail)? as usize;
         let mut acur = body.sub(attr_len, "path attributes").map_err(fail)?;
         let attrs = attrs::decode_attrs(&mut acur, if as4 { 4 } else { 2 }, MpReachForm::Full)
             .map_err(fail)?;
-        let announced =
-            crate::nlri::decode_prefix_run(&mut body, Family::Ipv4).map_err(fail)?;
+        let announced = crate::nlri::decode_prefix_run(&mut body, Family::Ipv4).map_err(fail)?;
         BgpMessage::Update(UpdateMessage {
             withdrawn,
             attrs,
@@ -513,9 +507,7 @@ pub struct UpdatesReader;
 impl UpdatesReader {
     /// Reads until end of stream, converting UPDATE messages into
     /// [`UpdateRecord`]s. Non-UPDATE BGP messages are ignored.
-    pub fn read_all<R: Read>(
-        reader: R,
-    ) -> Result<(Vec<UpdateRecord>, Vec<MrtWarning>), MrtError> {
+    pub fn read_all<R: Read>(reader: R) -> Result<(Vec<UpdateRecord>, Vec<MrtWarning>), MrtError> {
         let mut mrt = MrtReader::new(reader);
         let mut updates = Vec::new();
         let mut warnings = Vec::new();
@@ -540,4 +532,3 @@ impl UpdatesReader {
         Ok((updates, warnings))
     }
 }
-

@@ -195,10 +195,20 @@ mod tests {
     fn v4_round_trip() {
         let ts = SimTime::from_ymd_hms(2002, 1, 15, 8, 0, 0);
         let mut w = TableDumpWriter::new(Vec::new());
-        w.write_route(ts, "192.0.2.0/24".parse().unwrap(), &peer(), &path_attrs("3356 1299 9000"))
-            .unwrap();
-        w.write_route(ts, "198.51.100.0/24".parse().unwrap(), &peer(), &path_attrs("3356 9000"))
-            .unwrap();
+        w.write_route(
+            ts,
+            "192.0.2.0/24".parse().unwrap(),
+            &peer(),
+            &path_attrs("3356 1299 9000"),
+        )
+        .unwrap();
+        w.write_route(
+            ts,
+            "198.51.100.0/24".parse().unwrap(),
+            &peer(),
+            &path_attrs("3356 9000"),
+        )
+        .unwrap();
         let bytes = w.into_inner();
         let mut reader = MrtReader::new(&bytes[..]);
         let mut decoded = Vec::new();
@@ -271,8 +281,13 @@ mod tests {
     fn truncation_is_a_warning_not_a_panic() {
         let ts = SimTime::from_unix(0);
         let mut w = TableDumpWriter::new(Vec::new());
-        w.write_route(ts, "192.0.2.0/24".parse().unwrap(), &peer(), &path_attrs("3356 9000"))
-            .unwrap();
+        w.write_route(
+            ts,
+            "192.0.2.0/24".parse().unwrap(),
+            &peer(),
+            &path_attrs("3356 9000"),
+        )
+        .unwrap();
         let bytes = w.into_inner();
         for cut in 13..bytes.len() {
             let mut chopped = bytes[..cut].to_vec();

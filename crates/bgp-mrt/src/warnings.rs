@@ -83,8 +83,10 @@ impl WarningKind {
     pub fn is_addpath_signature(&self) -> bool {
         matches!(
             self,
-            WarningKind::UnknownSubtype { mrt_type: 16 | 17, subtype: 8..=11 }
-                | WarningKind::DuplicatePathAttribute
+            WarningKind::UnknownSubtype {
+                mrt_type: 16 | 17,
+                subtype: 8..=11
+            } | WarningKind::DuplicatePathAttribute
                 | WarningKind::InvalidMpReachNlri
         )
     }
@@ -185,20 +187,32 @@ mod tests {
     fn slugs_aggregate_by_class() {
         // Per-instance detail must not leak into the slug.
         assert_eq!(
-            WarningKind::UnknownSubtype { mrt_type: 16, subtype: 9 }.slug(),
-            WarningKind::UnknownSubtype { mrt_type: 13, subtype: 7 }.slug(),
+            WarningKind::UnknownSubtype {
+                mrt_type: 16,
+                subtype: 9
+            }
+            .slug(),
+            WarningKind::UnknownSubtype {
+                mrt_type: 13,
+                subtype: 7
+            }
+            .slug(),
         );
         let all = [
             WarningKind::UnknownType { mrt_type: 12 },
-            WarningKind::UnknownSubtype { mrt_type: 16, subtype: 9 },
+            WarningKind::UnknownSubtype {
+                mrt_type: 16,
+                subtype: 9,
+            },
             WarningKind::DuplicatePathAttribute,
             WarningKind::InvalidMpReachNlri,
-            WarningKind::Decode { context: "x".into() },
+            WarningKind::Decode {
+                context: "x".into(),
+            },
             WarningKind::BadMarker,
             WarningKind::MissingPeerIndex { index: 3 },
         ];
-        let slugs: std::collections::BTreeSet<&str> =
-            all.iter().map(|k| k.slug()).collect();
+        let slugs: std::collections::BTreeSet<&str> = all.iter().map(|k| k.slug()).collect();
         assert_eq!(slugs.len(), all.len(), "slugs are distinct per class");
         for slug in slugs {
             assert!(
@@ -220,12 +234,20 @@ mod tests {
         let mp = DecodeError::Invalid {
             context: "MP_REACH_NLRI AFI/SAFI",
         };
-        assert_eq!(WarningKind::from_decode(&mp), WarningKind::InvalidMpReachNlri);
+        assert_eq!(
+            WarningKind::from_decode(&mp),
+            WarningKind::InvalidMpReachNlri
+        );
         let mp = DecodeError::Truncated {
             context: "MP_UNREACH_NLRI prefixes",
         };
-        assert_eq!(WarningKind::from_decode(&mp), WarningKind::InvalidMpReachNlri);
-        let other = DecodeError::Truncated { context: "AS_PATH ASN" };
+        assert_eq!(
+            WarningKind::from_decode(&mp),
+            WarningKind::InvalidMpReachNlri
+        );
+        let other = DecodeError::Truncated {
+            context: "AS_PATH ASN",
+        };
         assert!(matches!(
             WarningKind::from_decode(&other),
             WarningKind::Decode { .. }

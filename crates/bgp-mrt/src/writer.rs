@@ -240,8 +240,7 @@ impl<W: Write> UpdateDumpWriter<W> {
             let base_attrs = self.v6_attrs(rec, &[], &[]);
             // Reserve room for the MP attribute headers, next hop, and
             // reserved bytes (≈ 32 bytes when both MP attributes appear).
-            let attr_overhead =
-                attrs::encode_attrs(&base_attrs, 4, MpReachForm::Full).len() + 64;
+            let attr_overhead = attrs::encode_attrs(&base_attrs, 4, MpReachForm::Full).len() + 64;
             let budget = MAX_BGP_MESSAGE - BGP_HEADER - 4 - attr_overhead;
             for (ann, wd) in pack_prefixes(&v6a, &v6w, budget) {
                 let a = self.v6_attrs(rec, &ann, &wd);
@@ -316,11 +315,7 @@ impl<W: Write> UpdateDumpWriter<W> {
 
     /// Writes a deliberately corrupted version of `rec` that triggers the
     /// chosen warning class in tolerant readers.
-    pub fn write_corrupted(
-        &mut self,
-        rec: &UpdateRecord,
-        mode: CorruptionMode,
-    ) -> io::Result<()> {
+    pub fn write_corrupted(&mut self, rec: &UpdateRecord, mode: CorruptionMode) -> io::Result<()> {
         match mode {
             CorruptionMode::AddPathSubtype => {
                 let attrs = self.v4_attrs(rec);
@@ -516,8 +511,8 @@ fn encode_bgp4mp_update_body(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::PeerEntry;
     use crate::reader::{MrtReader, ReadItem, RibDumpReader, UpdatesReader};
+    use crate::record::PeerEntry;
     use crate::warnings::WarningKind;
     use bgp_types::{PeerKey, RouteAttrs};
 
@@ -578,11 +573,8 @@ mod tests {
             vec!["2001:db8::/32".parse().unwrap()],
             RouteAttrs::from_path("6939 64496".parse().unwrap()),
         );
-        let mut w = UpdateDumpWriter::new(
-            Vec::new(),
-            Asn(12654),
-            "2001:db8:ffff::1".parse().unwrap(),
-        );
+        let mut w =
+            UpdateDumpWriter::new(Vec::new(), Asn(12654), "2001:db8:ffff::1".parse().unwrap());
         assert_eq!(w.write_update(&rec).unwrap(), 1);
         let (updates, warnings) = UpdatesReader::read_all(&w.into_inner()[..]).unwrap();
         assert!(warnings.is_empty(), "{warnings:?}");
@@ -635,10 +627,7 @@ mod tests {
         assert_eq!(n, 2);
         let (updates, _) = UpdatesReader::read_all(&w.into_inner()[..]).unwrap();
         assert_eq!(updates.len(), 2);
-        let families: Vec<_> = updates
-            .iter()
-            .map(|u| u.announced[0].family())
-            .collect();
+        let families: Vec<_> = updates.iter().map(|u| u.announced[0].family()).collect();
         assert_eq!(families, vec![Family::Ipv4, Family::Ipv6]);
     }
 

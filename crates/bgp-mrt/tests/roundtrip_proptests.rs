@@ -24,12 +24,14 @@ fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
 }
 
 fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<u128>(), 16u8..=48)
-        .prop_map(|(a, l)| Prefix::V6(Ipv6Prefix::new_masked(a, l).unwrap()))
+    (any::<u128>(), 16u8..=48).prop_map(|(a, l)| Prefix::V6(Ipv6Prefix::new_masked(a, l).unwrap()))
 }
 
 fn arb_communities() -> impl Strategy<Value = Vec<Community>> {
-    prop::collection::vec((any::<u16>(), any::<u16>()).prop_map(|(a, v)| Community::new(a, v)), 0..4)
+    prop::collection::vec(
+        (any::<u16>(), any::<u16>()).prop_map(|(a, v)| Community::new(a, v)),
+        0..4,
+    )
 }
 
 fn dedup_sorted(mut v: Vec<Prefix>) -> Vec<Prefix> {

@@ -299,7 +299,9 @@ mod tests {
     fn heavy_tail_produces_requested_mean() {
         let mut rng = ChaCha12Rng::seed_from_u64(5);
         let n = 20_000;
-        let samples: Vec<usize> = (0..n).map(|_| sample_heavy_tail(&mut rng, 8.0, 0.45)).collect();
+        let samples: Vec<usize> = (0..n)
+            .map(|_| sample_heavy_tail(&mut rng, 8.0, 0.45))
+            .collect();
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
         assert!((5.0..=11.0).contains(&mean), "mean {mean}");
         assert!(*samples.iter().max().unwrap() > 40, "needs a real tail");

@@ -85,7 +85,15 @@ pub fn leak_private_asn(entries: &mut [RibEntry], peer_asn: Asn, seed: u64) {
 pub fn duplicate_entries(entries: &mut Vec<RibEntry>, peer_asn: Asn, seed: u64) {
     let dups: Vec<RibEntry> = entries
         .iter()
-        .filter(|e| hash_coin(seed ^ 0xD07_D0B, peer_asn.0 as u64, prefix_hash(e.prefix), 3, 20))
+        .filter(|e| {
+            hash_coin(
+                seed ^ 0xD07_D0B,
+                peer_asn.0 as u64,
+                prefix_hash(e.prefix),
+                3,
+                20,
+            )
+        })
         .cloned()
         .collect();
     entries.extend(dups);
@@ -141,7 +149,13 @@ pub fn aggregate_as_sets(entries: &mut [RibEntry], peer_asn: Asn, seed: u64, fra
 /// decision so updates never mention invisible prefixes).
 pub fn partial_keeps(seed: u64, peer_asn: Asn, prefix: Prefix, fraction: f64) -> bool {
     let num = (fraction.clamp(0.0, 1.0) * 1000.0) as u64;
-    hash_coin(seed ^ 0xFEED, peer_asn.0 as u64, prefix_hash(prefix), num, 1000)
+    hash_coin(
+        seed ^ 0xFEED,
+        peer_asn.0 as u64,
+        prefix_hash(prefix),
+        num,
+        1000,
+    )
 }
 
 /// Samples a partial feed: keeps each prefix with probability
@@ -181,9 +195,7 @@ mod tests {
 
     #[test]
     fn hash_coin_is_deterministic_and_proportional() {
-        let hits = (0..10_000)
-            .filter(|&i| hash_coin(1, 2, i, 3, 10))
-            .count();
+        let hits = (0..10_000).filter(|&i| hash_coin(1, 2, i, 3, 10)).count();
         assert!((2700..=3300).contains(&hits), "{hits}");
         for i in 0..100 {
             assert_eq!(hash_coin(1, 2, i, 3, 10), hash_coin(1, 2, i, 3, 10));
@@ -230,7 +242,11 @@ mod tests {
             .filter(|e| e.attrs.path.has_as_set())
             .collect();
         assert!(!with_sets.is_empty());
-        assert!(with_sets.len() < 100, "should stay ~1%: {}", with_sets.len());
+        assert!(
+            with_sets.len() < 100,
+            "should stay ~1%: {}",
+            with_sets.len()
+        );
         let singleton = with_sets
             .iter()
             .filter(|e| e.attrs.path.expand_singleton_sets().is_ok())

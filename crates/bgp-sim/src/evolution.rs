@@ -592,8 +592,11 @@ mod tests {
         for family in [Family::Ipv4, Family::Ipv6] {
             for year in [2005, 2012, 2019, 2024] {
                 let e = Era::for_date(date(year, 7), family, None);
-                assert!(e.churn[0] <= e.churn[1] && e.churn[1] <= e.churn[2],
-                    "{family} {year}: {:?}", e.churn);
+                assert!(
+                    e.churn[0] <= e.churn[1] && e.churn[1] <= e.churn[2],
+                    "{family} {year}: {:?}",
+                    e.churn
+                );
                 assert!(e.churn[0] > 0.0 && e.churn[2] < 0.6);
             }
         }

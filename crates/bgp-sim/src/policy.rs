@@ -182,8 +182,8 @@ impl PolicySet {
         }
         // MOAS: re-originate a fraction of prefixes from a second AS as a
         // fresh single-prefix unit.
-        let n_moas = (units.iter().map(|u| u.prefixes.len()).sum::<usize>() as f64
-            * cfg.moas_frac) as usize;
+        let n_moas =
+            (units.iter().map(|u| u.prefixes.len()).sum::<usize>() as f64 * cfg.moas_frac) as usize;
         let candidates: Vec<(AsId, Prefix)> = units
             .iter()
             .flat_map(|u| u.prefixes.iter().map(move |&p| (u.origin, p)))

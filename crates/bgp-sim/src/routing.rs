@@ -124,7 +124,6 @@ impl UnitRouting {
     }
 }
 
-
 /// Extra inputs to one propagation run.
 ///
 /// `unit_epoch` shifts the unit's transit-selective decisions (policy churn
@@ -259,9 +258,9 @@ impl<'a> Propagator<'a> {
                 let ups = self.topo.providers[a as usize]
                     .iter()
                     .chain(self.topo.peers[a as usize].iter());
-                let any_kept = ups.clone().any(|&n| {
-                    transit_keeps_export(a, unit_id, n, ctx.epoch_towards(n))
-                });
+                let any_kept = ups
+                    .clone()
+                    .any(|&n| transit_keeps_export(a, unit_id, n, ctx.epoch_towards(n)));
                 if any_kept {
                     None
                 } else {
@@ -338,7 +337,9 @@ impl<'a> Propagator<'a> {
         // ---- Phase 2: one hop across peer edges. ----
         let mut peer_candidates: Vec<(Key, Route)> = Vec::new();
         for a in 0..n as AsId {
-            let Some(r) = routes[a as usize] else { continue };
+            let Some(r) = routes[a as usize] else {
+                continue;
+            };
             let exports_to_peers = match r.class {
                 RouteClass::Origin => unit.export.to_peers,
                 RouteClass::Customer => true,
@@ -365,7 +366,10 @@ impl<'a> Propagator<'a> {
                     parent: a,
                     seed_prepend,
                 };
-                peer_candidates.push(((len, ctx.tie(self.topo.asns[a as usize].0, peer), peer), route));
+                peer_candidates.push((
+                    (len, ctx.tie(self.topo.asns[a as usize].0, peer), peer),
+                    route,
+                ));
             }
         }
         peer_candidates.sort_unstable_by_key(|(k, _)| *k);
@@ -379,7 +383,9 @@ impl<'a> Propagator<'a> {
         // ---- Phase 3: descend customer edges. ----
         let mut heap: BinaryHeap<Reverse<(Key, Route)>> = BinaryHeap::new();
         for a in 0..n as AsId {
-            let Some(r) = routes[a as usize] else { continue };
+            let Some(r) = routes[a as usize] else {
+                continue;
+            };
             for &cust in &self.topo.customers[a as usize] {
                 if routes[cust as usize].is_some() {
                     continue;
@@ -417,7 +423,6 @@ impl<'a> Propagator<'a> {
                 )));
             }
         }
-
     }
 }
 
@@ -438,7 +443,13 @@ mod tests {
             bgp_types::Asn(40),
             bgp_types::Asn(50),
         ];
-        let tiers = vec![Tier::Tier1, Tier::Tier1, Tier::Transit, Tier::Stub, Tier::Stub];
+        let tiers = vec![
+            Tier::Tier1,
+            Tier::Tier1,
+            Tier::Transit,
+            Tier::Stub,
+            Tier::Stub,
+        ];
         let providers = vec![vec![], vec![], vec![0, 1], vec![2], vec![0, 2]];
         let mut customers = vec![vec![]; 5];
         for (a, provs) in providers.iter().enumerate() {
@@ -555,7 +566,14 @@ mod tests {
             let k0 = transit_keeps_export(2, 7, 0, epoch);
             let k1 = transit_keeps_export(2, 7, 1, epoch);
             if k0 != k1 {
-                let r = Propagator::new(&topo).propagate(&u, 7, &PropagationCtx { unit_epoch: epoch, vp_salts: None });
+                let r = Propagator::new(&topo).propagate(
+                    &u,
+                    7,
+                    &PropagationCtx {
+                        unit_epoch: epoch,
+                        vp_salts: None,
+                    },
+                );
                 // Both tier1s still reachable (one directly, one via peer).
                 assert!(r.is_reachable(0) && r.is_reachable(1));
                 let (direct, via_peer) = if k0 { (0, 1) } else { (1, 0) };
@@ -628,7 +646,9 @@ mod tests {
                 RouteClass::Customer
             }
         };
-        for stub in (0..topo.len() as AsId).filter(|&a| !topo.providers[a as usize].is_empty()).take(20)
+        for stub in (0..topo.len() as AsId)
+            .filter(|&a| !topo.providers[a as usize].is_empty())
+            .take(20)
         {
             let u = unit(
                 stub,

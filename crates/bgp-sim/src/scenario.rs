@@ -8,9 +8,7 @@
 //! (t, t+8 h, t+24 h, t+1 week) and the 1000-day split study affordable.
 
 use crate::addressing::{fiti_prefixes, Allocation};
-use crate::artifacts::{
-    self, PeerArtifact, ADDPATH_BROKEN_ASNS, PRIVATE_LEAK_ASN,
-};
+use crate::artifacts::{self, PeerArtifact, ADDPATH_BROKEN_ASNS, PRIVATE_LEAK_ASN};
 use crate::evolution::Era;
 use crate::policy::{OriginExport, PolicySet, UnitId};
 use crate::routing::{PropagationCtx, Propagator, UnitRouting};
@@ -117,8 +115,7 @@ impl Scenario {
         let vp_ases: Vec<AsId> = candidates.into_iter().take(n_needed).collect();
         let n_vp = vp_ases.len();
 
-        let mut collector_names =
-            SnapshotData::default_collector_names(era.n_collectors.max(1));
+        let mut collector_names = SnapshotData::default_collector_names(era.n_collectors.max(1));
         if era.family == Family::Ipv6 {
             // IPv6 feeds live on their own collectors, as in the real fleet
             // (route-views6, rrc nn IPv6 peers): distinct names keep v4 and
@@ -165,7 +162,11 @@ impl Scenario {
                 || (year == 2023 && era.date.civil().month <= 3);
             if leak_active {
                 let peer_idx = n_vp - 1 - broken;
-                rename_as(&mut scenario_topology, vp_ases[peer_idx], Asn(PRIVATE_LEAK_ASN));
+                rename_as(
+                    &mut scenario_topology,
+                    vp_ases[peer_idx],
+                    Asn(PRIVATE_LEAK_ASN),
+                );
                 peers[peer_idx].artifact = PeerArtifact::PrivateAsnLeak;
                 peers[peer_idx].full_feed = true;
                 peers[peer_idx].partial_fraction = 1.0;
@@ -260,7 +261,8 @@ impl Scenario {
     /// The path unit `u` shows at vantage point `vp_idx`, if any.
     /// Call [`Scenario::refresh`] first (snapshot does so automatically).
     pub fn path_at(&self, u: UnitId, vp_idx: u32) -> Option<&AsPath> {
-        self.path_id_at(u, vp_idx).map(|id| &self.paths[id as usize])
+        self.path_id_at(u, vp_idx)
+            .map(|id| &self.paths[id as usize])
     }
 
     /// The interned path id unit `u` shows at vantage point `vp_idx`.
@@ -284,12 +286,7 @@ impl Scenario {
             let mut entries = self.clean_entries_for(spec);
             // Partial feeds sample their table.
             if !spec.full_feed {
-                artifacts::sample_partial(
-                    &mut entries,
-                    spec.key.asn,
-                    seed,
-                    spec.partial_fraction,
-                );
+                artifacts::sample_partial(&mut entries, spec.key.asn, seed, spec.partial_fraction);
             }
             // Background AS-SET aggregation everywhere (< 1 % of paths).
             artifacts::aggregate_as_sets(&mut entries, spec.key.asn, seed, 7);
@@ -362,8 +359,7 @@ impl Scenario {
             let pick = if j - i == 1 {
                 i
             } else {
-                i + (artifacts::prefix_hash(raw[i].0)
-                    .wrapping_add(spec.key.asn.0 as u64)
+                i + (artifacts::prefix_hash(raw[i].0).wrapping_add(spec.key.asn.0 as u64)
                     % (j - i) as u64) as usize
             };
             let (prefix, path_id, unit_id) = raw[pick];
@@ -425,7 +421,8 @@ impl Scenario {
                 });
                 self.unit_epochs.push(rng.random_range(0..4));
                 self.dirty.push(true);
-                self.by_unit_vp.extend(std::iter::repeat(NO_PATH).take(n_vp));
+                self.by_unit_vp
+                    .extend(std::iter::repeat(NO_PATH).take(n_vp));
                 self.dirty[u] = true;
             } else if kind < 50 {
                 // Move a prefix to (or merge into) a sibling unit of the
@@ -560,12 +557,7 @@ impl Scenario {
 
 fn peer_addr(family: Family, i: u32) -> IpAddr {
     match family {
-        Family::Ipv4 => IpAddr::V4(Ipv4Addr::new(
-            10,
-            (i / 250) as u8,
-            (i % 250) as u8 + 1,
-            1,
-        )),
+        Family::Ipv4 => IpAddr::V4(Ipv4Addr::new(10, (i / 250) as u8, (i % 250) as u8 + 1, 1)),
         Family::Ipv6 => IpAddr::V6(Ipv6Addr::new(
             0x2001,
             0x7f8,
@@ -769,10 +761,7 @@ mod tests {
             if shared {
                 continue;
             }
-            let set_free = paths
-                .iter()
-                .flatten()
-                .all(|p| !p.has_as_set());
+            let set_free = paths.iter().flatten().all(|p| !p.has_as_set());
             if !set_free {
                 continue;
             }

@@ -96,7 +96,10 @@ mod tests {
     #[test]
     fn collector_names_alternate_flavours() {
         let names = SnapshotData::default_collector_names(4);
-        assert_eq!(names, vec!["rrc00", "route-views2", "rrc01", "route-views3"]);
+        assert_eq!(
+            names,
+            vec!["rrc00", "route-views2", "rrc01", "route-views3"]
+        );
     }
 
     #[test]

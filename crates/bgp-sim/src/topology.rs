@@ -151,23 +151,22 @@ impl Topology {
         let mut customers: Vec<Vec<AsId>> = Vec::with_capacity(n);
         let mut peers: Vec<Vec<AsId>> = Vec::with_capacity(n);
         let mut sibling_depth: Vec<u8> = Vec::with_capacity(n);
-        let push_as =
-            |asns: &mut Vec<Asn>,
-             tiers: &mut Vec<Tier>,
-             providers: &mut Vec<Vec<AsId>>,
-             customers: &mut Vec<Vec<AsId>>,
-             peers: &mut Vec<Vec<AsId>>,
-             sibling_depth: &mut Vec<u8>,
-             asn: Asn,
-             tier: Tier,
-             depth: u8| {
-                asns.push(asn);
-                tiers.push(tier);
-                providers.push(Vec::new());
-                customers.push(Vec::new());
-                peers.push(Vec::new());
-                sibling_depth.push(depth);
-            };
+        let push_as = |asns: &mut Vec<Asn>,
+                       tiers: &mut Vec<Tier>,
+                       providers: &mut Vec<Vec<AsId>>,
+                       customers: &mut Vec<Vec<AsId>>,
+                       peers: &mut Vec<Vec<AsId>>,
+                       sibling_depth: &mut Vec<u8>,
+                       asn: Asn,
+                       tier: Tier,
+                       depth: u8| {
+            asns.push(asn);
+            tiers.push(tier);
+            providers.push(Vec::new());
+            customers.push(Vec::new());
+            peers.push(Vec::new());
+            sibling_depth.push(depth);
+        };
 
         // Tier-1 clique.
         for i in 0..cfg.n_tier1 {
@@ -208,7 +207,9 @@ impl Topology {
             );
             next_asn += asn_rng.random_range(1..12);
             let n_providers = sample_provider_count(&mut rng, cfg.multihome_mean);
-            let pool: Vec<AsId> = (0..id).filter(|&p| tiers[p as usize] != Tier::Stub).collect();
+            let pool: Vec<AsId> = (0..id)
+                .filter(|&p| tiers[p as usize] != Tier::Stub)
+                .collect();
             let chosen = weighted_distinct(&mut rng, &pool, &customers, n_providers);
             for p in chosen {
                 providers[id as usize].push(p);
@@ -440,10 +441,7 @@ mod tests {
         assert_eq!(chain.len(), 4);
         // The origin (deepest member) has depth 4 and a single provider at
         // depth 3, and so on down to depth 1 whose provider is a transit.
-        let origin = *chain
-            .iter()
-            .max_by_key(|&&a| t.sibling_depth[a])
-            .unwrap();
+        let origin = *chain.iter().max_by_key(|&&a| t.sibling_depth[a]).unwrap();
         assert_eq!(t.sibling_depth[origin], 4);
         let mut cur = origin;
         for expected_depth in (1..4).rev() {
@@ -464,8 +462,11 @@ mod tests {
         let stubs: Vec<usize> = (0..t.len())
             .filter(|&a| t.tiers[a] == Tier::Stub && t.sibling_depth[a] == 0)
             .collect();
-        let mean: f64 =
-            stubs.iter().map(|&a| t.providers[a].len() as f64).sum::<f64>() / stubs.len() as f64;
+        let mean: f64 = stubs
+            .iter()
+            .map(|&a| t.providers[a].len() as f64)
+            .sum::<f64>()
+            / stubs.len() as f64;
         assert!((1.6..=2.4).contains(&mean), "mean providers {mean}");
     }
 

@@ -92,7 +92,8 @@ pub fn generate_window(
                 if visible.is_empty() {
                     continue;
                 }
-                let path_id = scenario.path_id_at(eu, scenario.peers[pi].vp_idx)
+                let path_id = scenario
+                    .path_id_at(eu, scenario.peers[pi].vp_idx)
                     .expect("visible ⇒ path present");
                 match by_path.iter_mut().find(|(id, _, _)| *id == path_id) {
                     Some((_, _, prefixes)) => prefixes.extend(visible),
@@ -146,12 +147,7 @@ pub fn generate_window(
     }
 
     // Single-prefix noise flaps.
-    let total_prefixes: usize = scenario
-        .policy
-        .units
-        .iter()
-        .map(|u| u.prefixes.len())
-        .sum();
+    let total_prefixes: usize = scenario.policy.units.iter().map(|u| u.prefixes.len()).sum();
     let n_flaps =
         ((total_prefixes as f64 / 1000.0) * era.updates.flaps_per_1000_prefixes).round() as usize;
     for _ in 0..n_flaps {
@@ -188,7 +184,13 @@ pub fn generate_window(
         });
     }
 
-    out.sort_by_key(|e| (e.record.timestamp, e.record.peer, e.record.announced.clone()));
+    out.sort_by_key(|e| {
+        (
+            e.record.timestamp,
+            e.record.peer,
+            e.record.announced.clone(),
+        )
+    });
     out
 }
 
@@ -203,9 +205,7 @@ fn visible_prefixes(scenario: &Scenario, u: u32, pi: usize) -> Option<Vec<Prefix
         .prefixes
         .iter()
         .copied()
-        .filter(|&p| {
-            spec.full_feed || partial_keeps(seed, spec.key.asn, p, spec.partial_fraction)
-        })
+        .filter(|&p| spec.full_feed || partial_keeps(seed, spec.key.asn, p, spec.partial_fraction))
         .collect();
     Some(prefixes)
 }
@@ -261,9 +261,10 @@ mod tests {
             if u.prefixes.len() < 2 {
                 continue;
             }
-            if events.iter().any(|e| {
-                u.prefixes.iter().all(|p| e.record.announced.contains(p))
-            }) {
+            if events
+                .iter()
+                .any(|e| u.prefixes.iter().all(|p| e.record.announced.contains(p)))
+            {
                 full_bundles += 1;
             }
         }
@@ -281,7 +282,10 @@ mod tests {
         let start: SimTime = "2021-07-15 08:00".parse().unwrap();
         let events = generate_window(&mut s, start, 4, 3);
         let garbled: Vec<&UpdateEvent> = events.iter().filter(|e| e.garbled).collect();
-        assert!(!garbled.is_empty(), "broken peers must emit garbled records");
+        assert!(
+            !garbled.is_empty(),
+            "broken peers must emit garbled records"
+        );
         for e in &garbled {
             let spec = s.peers.iter().find(|p| p.key == e.record.peer).unwrap();
             assert_eq!(spec.artifact, PeerArtifact::AddPathBroken);
@@ -330,20 +334,13 @@ mod tests {
                 // updates carry the clean path.
                 .filter(|path| !path.contains('['))
                 .collect();
-            assert!(
-                paths.len() <= 1,
-                "record mixes paths: {paths:?}"
-            );
+            assert!(paths.len() <= 1, "record mixes paths: {paths:?}");
             // Count records spanning more than one unit (true AS events).
             let units_spanned = s
                 .policy
                 .units
                 .iter()
-                .filter(|u| {
-                    u.prefixes
-                        .iter()
-                        .any(|p| ev.record.announced.contains(p))
-                })
+                .filter(|u| u.prefixes.iter().any(|p| ev.record.announced.contains(p)))
                 .count();
             if units_spanned > 1 {
                 multi_unit_records += 1;

@@ -194,8 +194,7 @@ impl AsPath {
                 v.splice(0..0, std::iter::repeat(asn).take(count));
             }
             _ => {
-                self.segments
-                    .insert(0, Segment::Sequence(vec![asn; count]));
+                self.segments.insert(0, Segment::Sequence(vec![asn; count]));
             }
         }
     }
@@ -438,7 +437,10 @@ mod tests {
         assert_eq!(path("1 2 3").strip_prepends(), path("1 2 3"));
         // The paper's worked example (§3.4.2): (AS1, AS2, AS3) and
         // (AS1, AS2, AS2, AS3) become indistinguishable after stripping.
-        assert_eq!(path("1 2 2 3").strip_prepends(), path("1 2 3").strip_prepends());
+        assert_eq!(
+            path("1 2 2 3").strip_prepends(),
+            path("1 2 3").strip_prepends()
+        );
     }
 
     #[test]

@@ -12,9 +12,7 @@ use std::str::FromStr;
 /// policy: e.g. GTT's `3257:2990` ("do not announce in North America") and
 /// prepend-steering values. The simulator attaches communities to
 /// announcements whose transit treatment is community-driven.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Community(pub u32);
 

@@ -23,6 +23,7 @@ pub mod error;
 pub mod prefix;
 pub mod prefix_trie;
 pub mod rib;
+pub mod store;
 pub mod timestamp;
 pub mod update;
 
@@ -33,5 +34,6 @@ pub use error::TypeError;
 pub use prefix::{Family, Ipv4Prefix, Ipv6Prefix, Prefix};
 pub use prefix_trie::PrefixTrie;
 pub use rib::{PeerKey, RibEntry, RouteAttrs, RouteOrigin};
+pub use store::{PathId, PathTable, PrefixId, PrefixTable, SnapshotStore};
 pub use timestamp::SimTime;
 pub use update::UpdateRecord;

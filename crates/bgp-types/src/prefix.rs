@@ -47,9 +47,7 @@ impl fmt::Display for Family {
 ///
 /// The address is stored as a host-order `u32` so prefixes are cheap to
 /// compare, hash, and mask.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Ipv4Prefix {
     addr: u32,
     len: u8,
@@ -116,9 +114,7 @@ impl fmt::Display for Ipv4Prefix {
 }
 
 /// An IPv6 prefix in canonical form (no host bits set).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Ipv6Prefix {
     addr: u128,
     len: u8,
@@ -189,9 +185,7 @@ impl fmt::Display for Ipv6Prefix {
 /// `Prefix` orders IPv4 before IPv6 and then by (address, length), giving a
 /// stable total order used throughout the analysis pipeline for deterministic
 /// output.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Prefix {
     /// An IPv4 prefix.
     V4(Ipv4Prefix),
@@ -297,10 +291,7 @@ mod tests {
     #[test]
     fn v4_construction_enforces_canonical_form() {
         assert!(Ipv4Prefix::new(0x0A000000, 8).is_ok()); // 10.0.0.0/8
-        assert_eq!(
-            Ipv4Prefix::new(0x0A000001, 8),
-            Err(TypeError::HostBitsSet)
-        );
+        assert_eq!(Ipv4Prefix::new(0x0A000001, 8), Err(TypeError::HostBitsSet));
         assert_eq!(
             Ipv4Prefix::new(0, 33),
             Err(TypeError::PrefixLenOutOfRange { len: 33, max: 32 })
@@ -369,9 +360,18 @@ mod tests {
 
     #[test]
     fn global_routing_caps() {
-        assert!("10.0.0.0/24".parse::<Prefix>().unwrap().within_global_routing_len());
-        assert!(!"10.0.0.128/25".parse::<Prefix>().unwrap().within_global_routing_len());
-        assert!("2001:db8::/48".parse::<Prefix>().unwrap().within_global_routing_len());
+        assert!("10.0.0.0/24"
+            .parse::<Prefix>()
+            .unwrap()
+            .within_global_routing_len());
+        assert!(!"10.0.0.128/25"
+            .parse::<Prefix>()
+            .unwrap()
+            .within_global_routing_len());
+        assert!("2001:db8::/48"
+            .parse::<Prefix>()
+            .unwrap()
+            .within_global_routing_len());
         assert!(!"2001:db8:0:1::/64"
             .parse::<Prefix>()
             .unwrap()

@@ -236,7 +236,10 @@ mod tests {
         let mut t = PrefixTrie::new();
         t.insert(p("10.1.0.0/16"), ()).unwrap();
         assert!(t.has_more_specific(p("10.0.0.0/8")));
-        assert!(!t.has_more_specific(p("10.1.0.0/16")), "exact is not strict");
+        assert!(
+            !t.has_more_specific(p("10.1.0.0/16")),
+            "exact is not strict"
+        );
         assert!(!t.has_more_specific(p("10.1.2.0/24")));
         assert!(!t.has_more_specific(p("11.0.0.0/8")));
     }
@@ -256,9 +259,16 @@ mod tests {
     fn ipv6_and_family_separation() {
         let mut t = PrefixTrie::new();
         t.insert(p("2001:db8::/32"), 1).unwrap();
-        assert!(t.insert(p("10.0.0.0/8"), 2).is_err(), "mixed family rejected");
+        assert!(
+            t.insert(p("10.0.0.0/8"), 2).is_err(),
+            "mixed family rejected"
+        );
         assert_eq!(t.longest_match(p("2001:db8:1::/48")), Some((32, &1)));
         assert_eq!(t.longest_match(p("2001:db9::/32")), None);
-        assert_eq!(t.get(p("10.0.0.0/8")), None, "wrong family lookups are None");
+        assert_eq!(
+            t.get(p("10.0.0.0/8")),
+            None,
+            "wrong family lookups are None"
+        );
     }
 }

@@ -80,9 +80,7 @@ impl RouteAttrs {
 /// Identity of a collector peer session: the peer's AS and its router
 /// address. Two sessions from the same AS at different routers are distinct
 /// vantage points, as in the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PeerKey {
     /// The peer's autonomous system.
     pub asn: Asn,

@@ -1,0 +1,402 @@
+//! Interned columnar snapshot store.
+//!
+//! The analysis stack historically passed owned `(Prefix, AsPath)` pairs
+//! between every layer, cloning a heap-allocated path per prefix per peer
+//! and re-hashing the same paths in each stage. This module provides the
+//! shared alternative: append-only, hash-consed arenas ([`PrefixTable`],
+//! [`PathTable`]) issuing dense [`PrefixId`]/[`PathId`] handles, owned
+//! together by a [`SnapshotStore`] that a whole snapshot ladder can share
+//! so consecutive snapshots reference the same interned paths.
+//!
+//! # Determinism
+//!
+//! Ids are assigned in **first-insertion order**: interning the same
+//! sequence of values into a fresh store always yields the same ids. Every
+//! consumer that needs byte-identical serialized output (at any thread
+//! count) interns at a deterministic serial point and only *reads* the
+//! store from worker threads.
+//!
+//! # Boundary rules
+//!
+//! Ids are meaningful only relative to the store that issued them. Two
+//! stores are the *same* exactly when [`SnapshotStore::same`] says so;
+//! comparing or mixing ids across different stores is a logic error.
+//! Conversions to and from owned values happen at the edges — snapshot
+//! ingestion interns, reporting resolves.
+
+use crate::as_path::AsPath;
+use crate::asn::Asn;
+use crate::prefix::Prefix;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+
+/// Dense handle into a [`SnapshotStore`]'s prefix arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PrefixId(pub u32);
+
+/// Dense handle into a [`SnapshotStore`]'s path arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(pub u32);
+
+/// Append-only, hash-consed arena of [`Prefix`] values.
+#[derive(Debug, Default)]
+pub struct PrefixTable {
+    items: Vec<Prefix>,
+    index: HashMap<Prefix, u32>,
+}
+
+impl PrefixTable {
+    /// Interns `prefix`, returning its id and whether it was already
+    /// present. Ids are issued densely in first-insertion order.
+    pub fn intern(&mut self, prefix: Prefix) -> (PrefixId, bool) {
+        match self.index.get(&prefix) {
+            Some(&id) => (PrefixId(id), true),
+            None => {
+                let id = self.items.len() as u32;
+                self.items.push(prefix);
+                self.index.insert(prefix, id);
+                (PrefixId(id), false)
+            }
+        }
+    }
+
+    /// The id of an already-interned prefix, if any.
+    pub fn lookup(&self, prefix: Prefix) -> Option<PrefixId> {
+        self.index.get(&prefix).copied().map(PrefixId)
+    }
+
+    /// Resolves an id to its prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not issued by this table.
+    pub fn get(&self, id: PrefixId) -> Prefix {
+        self.items[id.0 as usize]
+    }
+
+    /// Number of interned prefixes.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Append-only, hash-consed arena of [`AsPath`] values, with the origin AS
+/// of each path cached at interning time.
+#[derive(Debug, Default)]
+pub struct PathTable {
+    items: Vec<AsPath>,
+    index: HashMap<AsPath, u32>,
+    origins: Vec<Option<Asn>>,
+    bytes_est: usize,
+}
+
+impl PathTable {
+    /// Interns `path`, returning its id and whether it was already present.
+    /// Ids are issued densely in first-insertion order.
+    pub fn intern(&mut self, path: &AsPath) -> (PathId, bool) {
+        match self.index.get(path) {
+            Some(&id) => (PathId(id), true),
+            None => {
+                let id = self.items.len() as u32;
+                self.bytes_est += path_bytes_est(path);
+                self.origins.push(path.origin());
+                self.items.push(path.clone());
+                self.index.insert(path.clone(), id);
+                (PathId(id), false)
+            }
+        }
+    }
+
+    /// Resolves an id to its path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not issued by this table.
+    pub fn get(&self, id: PathId) -> &AsPath {
+        &self.items[id.0 as usize]
+    }
+
+    /// The cached origin AS of an interned path (`None` when the path ends
+    /// in an AS-SET or is empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not issued by this table.
+    pub fn origin(&self, id: PathId) -> Option<Asn> {
+        self.origins[id.0 as usize]
+    }
+
+    /// Number of interned paths.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Estimated heap bytes held by the interned paths.
+    pub fn bytes_est(&self) -> usize {
+        self.bytes_est
+    }
+}
+
+/// Rough per-path heap estimate: segment headers plus ASN payloads.
+fn path_bytes_est(path: &AsPath) -> usize {
+    std::mem::size_of::<AsPath>() + path.raw_len() * std::mem::size_of::<Asn>()
+}
+
+struct StoreInner {
+    prefixes: RwLock<PrefixTable>,
+    paths: RwLock<PathTable>,
+    /// Ids at or above this limit fail to intern (`u32::MAX` in practice;
+    /// lowered by tests to exercise overflow handling).
+    id_limit: u32,
+}
+
+/// Shared interned columnar store for one snapshot or a whole snapshot
+/// ladder.
+///
+/// Cloning is cheap (an [`Arc`] bump) and yields a handle to the *same*
+/// arenas; use [`SnapshotStore::same`] to test identity. Interior locking
+/// makes concurrent reads free of external synchronization; writers should
+/// be confined to deterministic serial points (see the module docs).
+#[derive(Clone)]
+pub struct SnapshotStore(Arc<StoreInner>);
+
+impl Default for SnapshotStore {
+    fn default() -> Self {
+        SnapshotStore::new()
+    }
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("prefixes", &self.prefix_count())
+            .field("paths", &self.path_count())
+            .field("bytes_est", &self.bytes_est())
+            .finish()
+    }
+}
+
+impl SnapshotStore {
+    /// Creates an empty store.
+    pub fn new() -> SnapshotStore {
+        SnapshotStore::with_id_limit(u32::MAX)
+    }
+
+    /// Creates an empty store whose arenas refuse to issue ids at or above
+    /// `limit` — a test hook for exercising id-overflow handling without
+    /// interning four billion values.
+    pub fn with_id_limit(limit: u32) -> SnapshotStore {
+        SnapshotStore(Arc::new(StoreInner {
+            prefixes: RwLock::new(PrefixTable::default()),
+            paths: RwLock::new(PathTable::default()),
+            id_limit: limit,
+        }))
+    }
+
+    /// `true` when `self` and `other` are handles to the same arenas — the
+    /// only condition under which their ids are comparable.
+    pub fn same(&self, other: &SnapshotStore) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Interns a prefix, returning its id and whether it was already
+    /// present.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arena is full (see [`SnapshotStore::try_intern_prefix`]).
+    pub fn intern_prefix(&self, prefix: Prefix) -> (PrefixId, bool) {
+        self.try_intern_prefix(prefix)
+            .expect("prefix arena overflow: id space exhausted")
+    }
+
+    /// Interns a prefix, or returns `None` when the arena has exhausted its
+    /// id space (new value, no id left to issue).
+    pub fn try_intern_prefix(&self, prefix: Prefix) -> Option<(PrefixId, bool)> {
+        let mut table = self.0.prefixes.write().expect("prefix arena poisoned");
+        if table.lookup(prefix).is_none() && table.len() as u32 >= self.0.id_limit {
+            return None;
+        }
+        Some(table.intern(prefix))
+    }
+
+    /// Interns a path, returning its id and whether it was already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arena is full (see [`SnapshotStore::try_intern_path`]).
+    pub fn intern_path(&self, path: &AsPath) -> (PathId, bool) {
+        self.try_intern_path(path)
+            .expect("path arena overflow: id space exhausted")
+    }
+
+    /// Interns a path, or returns `None` when the arena has exhausted its
+    /// id space (new value, no id left to issue).
+    pub fn try_intern_path(&self, path: &AsPath) -> Option<(PathId, bool)> {
+        let mut table = self.0.paths.write().expect("path arena poisoned");
+        if !table.index.contains_key(path) && table.len() as u32 >= self.0.id_limit {
+            return None;
+        }
+        Some(table.intern(path))
+    }
+
+    /// Read access to the prefix arena (resolution and lookups). Hold the
+    /// guard across a batch of resolutions instead of re-acquiring per id.
+    pub fn prefixes(&self) -> RwLockReadGuard<'_, PrefixTable> {
+        self.0.prefixes.read().expect("prefix arena poisoned")
+    }
+
+    /// Read access to the path arena (resolution and origin lookups). Hold
+    /// the guard across a batch of resolutions instead of re-acquiring per
+    /// id.
+    pub fn paths(&self) -> RwLockReadGuard<'_, PathTable> {
+        self.0.paths.read().expect("path arena poisoned")
+    }
+
+    /// The id of an already-interned prefix, if any.
+    pub fn lookup_prefix(&self, prefix: Prefix) -> Option<PrefixId> {
+        self.prefixes().lookup(prefix)
+    }
+
+    /// Resolves a prefix id (single-shot; batch via [`SnapshotStore::prefixes`]).
+    pub fn resolve_prefix(&self, id: PrefixId) -> Prefix {
+        self.prefixes().get(id)
+    }
+
+    /// Resolves a path id to an owned path (single-shot; batch via
+    /// [`SnapshotStore::paths`]).
+    pub fn resolve_path(&self, id: PathId) -> AsPath {
+        self.paths().get(id).clone()
+    }
+
+    /// Number of interned prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.prefixes().len()
+    }
+
+    /// Number of interned paths.
+    pub fn path_count(&self) -> usize {
+        self.paths().len()
+    }
+
+    /// Estimated heap bytes held by the interned paths.
+    pub fn bytes_est(&self) -> usize {
+        self.paths().bytes_est()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> Prefix {
+        Prefix::v4((10 << 24) | (i << 8), 24).unwrap()
+    }
+
+    fn path(s: &str) -> AsPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ids_are_dense_and_first_insertion_ordered() {
+        let store = SnapshotStore::new();
+        let (a, hit_a) = store.intern_path(&path("1 2 3"));
+        let (b, hit_b) = store.intern_path(&path("4 5"));
+        let (a2, hit_a2) = store.intern_path(&path("1 2 3"));
+        assert_eq!((a, hit_a), (PathId(0), false));
+        assert_eq!((b, hit_b), (PathId(1), false));
+        assert_eq!((a2, hit_a2), (PathId(0), true), "hash-consed");
+        assert_eq!(store.path_count(), 2);
+        assert_eq!(store.resolve_path(a), path("1 2 3"));
+        assert_eq!(store.resolve_path(b), path("4 5"));
+    }
+
+    /// Same insertion sequence ⇒ same ids, in a fresh store — the arena
+    /// determinism contract every byte-identity guarantee rests on.
+    #[test]
+    fn same_insertion_sequence_yields_same_ids() {
+        let seq_paths = ["1 2 9", "3 9", "1 2 9", "4 5 9", "3 9"];
+        let seq_prefixes = [p(3), p(1), p(3), p(2)];
+        let run = || {
+            let store = SnapshotStore::new();
+            let path_ids: Vec<u32> = seq_paths
+                .iter()
+                .map(|s| store.intern_path(&path(s)).0 .0)
+                .collect();
+            let prefix_ids: Vec<u32> = seq_prefixes
+                .iter()
+                .map(|&q| store.intern_prefix(q).0 .0)
+                .collect();
+            (path_ids, prefix_ids)
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run().0, vec![0, 1, 0, 2, 1]);
+        assert_eq!(run().1, vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn lookup_and_origin_cache() {
+        let store = SnapshotStore::new();
+        let (id, _) = store.intern_prefix(p(7));
+        assert_eq!(store.lookup_prefix(p(7)), Some(id));
+        assert_eq!(store.lookup_prefix(p(8)), None);
+        let (pid, _) = store.intern_path(&path("1 5 9"));
+        assert_eq!(store.paths().origin(pid), Some(Asn(9)));
+        assert_eq!(store.resolve_prefix(id), p(7));
+    }
+
+    #[test]
+    fn bytes_estimate_grows_only_on_new_paths() {
+        let store = SnapshotStore::new();
+        store.intern_path(&path("1 2 3"));
+        let after_one = store.bytes_est();
+        assert!(after_one > 0);
+        store.intern_path(&path("1 2 3"));
+        assert_eq!(store.bytes_est(), after_one, "re-interning is free");
+        store.intern_path(&path("1 2 3 4"));
+        assert!(store.bytes_est() > after_one);
+    }
+
+    #[test]
+    fn id_overflow_is_refused_not_wrapped() {
+        let store = SnapshotStore::with_id_limit(2);
+        assert!(store.try_intern_path(&path("1")).is_some());
+        assert!(store.try_intern_path(&path("2")).is_some());
+        // Arena full: a *new* value cannot be issued an id…
+        assert_eq!(store.try_intern_path(&path("3")), None);
+        // …but re-interning an existing one still resolves.
+        assert_eq!(store.try_intern_path(&path("1")), Some((PathId(0), true)));
+        assert_eq!(store.try_intern_prefix(p(0)), Some((PrefixId(0), false)));
+        assert_eq!(store.try_intern_prefix(p(1)), Some((PrefixId(1), false)));
+        assert_eq!(store.try_intern_prefix(p(2)), None);
+        assert_eq!(store.path_count(), 2);
+        assert_eq!(store.prefix_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "path arena overflow")]
+    fn panicking_intern_reports_overflow() {
+        let store = SnapshotStore::with_id_limit(0);
+        store.intern_path(&path("1"));
+    }
+
+    #[test]
+    fn clones_share_arenas() {
+        let a = SnapshotStore::new();
+        let b = a.clone();
+        assert!(a.same(&b));
+        b.intern_path(&path("1 9"));
+        assert_eq!(a.path_count(), 1);
+        assert!(!a.same(&SnapshotStore::new()));
+    }
+}

@@ -82,9 +82,7 @@ impl SimTime {
     pub fn from_ymd_hms(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Self {
         let days = days_from_civil(year, month, day);
         assert!(days >= 0, "SimTime cannot represent pre-1970 dates");
-        SimTime(
-            days as u64 * Self::DAY + hour as u64 * 3600 + minute as u64 * 60 + second as u64,
-        )
+        SimTime(days as u64 * Self::DAY + hour as u64 * 3600 + minute as u64 * 60 + second as u64)
     }
 
     /// Builds midnight UTC of a civil date.
@@ -199,7 +197,9 @@ impl FromStr for SimTime {
         if year < 1970 {
             return Err(err());
         }
-        Ok(SimTime::from_ymd_hms(year, month, day, hour, minute, second))
+        Ok(SimTime::from_ymd_hms(
+            year, month, day, hour, minute, second,
+        ))
     }
 }
 

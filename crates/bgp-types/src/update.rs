@@ -57,10 +57,7 @@ impl UpdateRecord {
     /// All prefixes mentioned by the record — announced and withdrawn —
     /// which is the `Prefix(r)` set of the paper's correlation analysis.
     pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
-        self.announced
-            .iter()
-            .chain(self.withdrawn.iter())
-            .copied()
+        self.announced.iter().chain(self.withdrawn.iter()).copied()
     }
 
     /// Number of prefixes mentioned by the record.
@@ -103,7 +100,10 @@ mod tests {
         let r = UpdateRecord::withdraw(
             SimTime::from_unix(100),
             peer(),
-            vec!["192.0.2.0/24".parse().unwrap(), "198.51.100.0/24".parse().unwrap()],
+            vec![
+                "192.0.2.0/24".parse().unwrap(),
+                "198.51.100.0/24".parse().unwrap(),
+            ],
         );
         assert_eq!(r.prefix_count(), 2);
         assert!(r.announced.is_empty());

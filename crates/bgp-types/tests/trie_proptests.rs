@@ -11,10 +11,7 @@ fn arb_prefix() -> impl Strategy<Value = Prefix> {
 }
 
 fn brute_longest(set: &[Prefix], q: Prefix) -> Option<u8> {
-    set.iter()
-        .filter(|p| p.contains(q))
-        .map(|p| p.len())
-        .max()
+    set.iter().filter(|p| p.contains(q)).map(|p| p.len()).max()
 }
 
 fn brute_covering(set: &[Prefix], q: Prefix) -> Option<u8> {

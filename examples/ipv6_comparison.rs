@@ -41,7 +41,11 @@ fn main() {
     let row = |name: &str, a: String, b: String| println!("{name:<28} {a:>12} {b:>12}");
     let s4 = &v4.analysis.stats;
     let s6 = &v6.analysis.stats;
-    row("prefixes", s4.n_prefixes.to_string(), s6.n_prefixes.to_string());
+    row(
+        "prefixes",
+        s4.n_prefixes.to_string(),
+        s6.n_prefixes.to_string(),
+    );
     row("origin ASes", s4.n_ases.to_string(), s6.n_ases.to_string());
     row("atoms", s4.n_atoms.to_string(), s6.n_atoms.to_string());
     row(

@@ -19,7 +19,16 @@ const SCALE: f64 = 1.0 / 150.0;
 fn main() {
     println!(
         "{:<8} {:>8} {:>7} {:>9} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8}",
-        "date", "prefixes", "atoms", "atoms/AS", "1-pfx%", "d1%", "d2%", "d3%", "CAM-8h%", "MPM-8h%"
+        "date",
+        "prefixes",
+        "atoms",
+        "atoms/AS",
+        "1-pfx%",
+        "d1%",
+        "d2%",
+        "d3%",
+        "CAM-8h%",
+        "MPM-8h%"
     );
     for year in [2004, 2008, 2012, 2016, 2020, 2024] {
         let date: SimTime = format!("{year}-07-15 08:00").parse().expect("valid date");

@@ -25,7 +25,12 @@ fn main() -> std::io::Result<()> {
     let archive = Archive::new(&root);
     let rib_files = archive.store_snapshot(&snapshot)?;
     let update_files = archive.store_updates(&snapshot, &events, date)?;
-    println!("wrote {} RIB files and {} update files under {}", rib_files.len(), update_files.len(), root.display());
+    println!(
+        "wrote {} RIB files and {} update files under {}",
+        rib_files.len(),
+        update_files.len(),
+        root.display()
+    );
     for f in rib_files.iter().take(3) {
         let size = std::fs::metadata(f)?.len();
         println!("  {} ({size} bytes)", f.display());
@@ -55,7 +60,10 @@ fn main() -> std::io::Result<()> {
     let analysis = analyze_snapshot(&loaded, Some(&updates), &PipelineConfig::default());
     let r = &analysis.sanitized.report;
     println!("\nsanitization report:");
-    println!("  partial-feed peers excluded : {}", r.excluded_partial_peers);
+    println!(
+        "  partial-feed peers excluded : {}",
+        r.excluded_partial_peers
+    );
     println!(
         "  ADD-PATH peers removed      : {:?}",
         r.removed_addpath_peers
@@ -72,7 +80,10 @@ fn main() -> std::io::Result<()> {
     );
     println!(
         "  prefixes {} → {} (length {}, <2 collectors {}, <4 peer ASes {})",
-        r.prefixes_before, r.prefixes_after, r.dropped_by_length, r.dropped_by_collectors,
+        r.prefixes_before,
+        r.prefixes_after,
+        r.dropped_by_length,
+        r.dropped_by_collectors,
         r.dropped_by_peer_ases
     );
     println!(

@@ -71,11 +71,12 @@ fn main() {
         if let Some(origin) = atom.origin {
             println!("  origin: {origin}");
         }
+        let paths = analysis.atoms.store().paths();
         for (peer_idx, path_id) in atom.signature.iter().take(3) {
             println!(
                 "  via {}: {}",
                 analysis.atoms.peers[*peer_idx as usize],
-                analysis.atoms.paths[*path_id as usize]
+                paths.get(bgp_types::PathId(*path_id))
             );
         }
     }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 gate: cargo build --release && cargo test -q && cargo clippy -D warnings.
+# Tier-1 gate: cargo build --release && cargo test -q && cargo fmt --check
+# && cargo clippy --workspace -D warnings.
 #
-# `check.sh --full` additionally runs the incremental-engine differential
-# proptest suite and the incremental_vs_full Criterion benchmark group
-# (slow; the tier-1 gate already runs both suites' default-sized cases).
+# `check.sh --full` additionally runs the incremental-engine and
+# snapshot-store differential proptest suites plus the incremental_vs_full
+# and interned_vs_owned Criterion benchmark groups (slow; the tier-1 gate
+# already runs both suites' default-sized cases).
 #
 # On machines without crates.io access (no network, empty registry cache)
 # the external dependencies are transparently substituted with the
@@ -38,8 +40,14 @@ run() {
 
 run build --release
 run test -q
+if cargo fmt --help >/dev/null 2>&1; then
+    echo "+ cargo fmt --check" >&2
+    cargo fmt --check
+else
+    echo "check.sh: rustfmt not installed, skipping format step" >&2
+fi
 if cargo clippy --help >/dev/null 2>&1; then
-    run clippy --all-targets -- -D warnings
+    run clippy --workspace --all-targets -- -D warnings
 else
     echo "check.sh: cargo-clippy not installed, skipping lint step" >&2
 fi
@@ -79,9 +87,12 @@ fi
 echo "check.sh: incremental golden metrics fixture OK" >&2
 
 if $full; then
-    # Differential suite (random evolving ladders, byte-identity at 1/2/8
-    # workers) and the incremental_vs_full Criterion group.
+    # Differential suites (random evolving ladders and the owned-data
+    # store reference, byte-identity at 1/2/8 workers) and the
+    # incremental_vs_full / interned_vs_owned Criterion groups.
     run test -q -p atoms-core --test incremental_differential
+    run test -q -p atoms-core --test store_differential
     run bench -p bench --bench incremental
+    run bench -p bench --bench interned
     echo "check.sh: --full incremental tier OK" >&2
 fi

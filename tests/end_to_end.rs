@@ -98,7 +98,10 @@ fn pipeline_inference_matches_ground_truth() {
         .collect();
     assert_eq!(found_addpath, truth_addpath, "ADD-PATH peers detected");
     assert_eq!(found_leakers, truth_leakers, "private-ASN peers detected");
-    assert!(!truth_addpath.is_empty(), "2021 scenarios include broken peers");
+    assert!(
+        !truth_addpath.is_empty(),
+        "2021 scenarios include broken peers"
+    );
     assert!(!truth_leakers.is_empty());
 
     // Full-feed inference: every kept peer really is a full feed; every
@@ -200,13 +203,11 @@ fn atoms_partition_prefixes() {
         // Prefixes within one atom share the origin (when unambiguous),
         // the property the paper uses to argue MOAS cannot contaminate
         // atoms (§2.4.3).
+        let paths = analysis.atoms.store().paths();
         for atom in &analysis.atoms.atoms {
             if let Some(origin) = atom.origin {
                 for &(_, path_id) in &atom.signature {
-                    assert_eq!(
-                        analysis.atoms.paths[path_id as usize].origin(),
-                        Some(origin)
-                    );
+                    assert_eq!(paths.get(bgp_types::PathId(path_id)).origin(), Some(origin));
                 }
             }
         }

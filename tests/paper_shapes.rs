@@ -146,9 +146,8 @@ fn ipv6_is_coarser_than_ipv4() {
     assert!(v6.stats.single_atom_as_share() > v4.stats.single_atom_as_share());
     let f4 = formation(&v4.atoms, PrependMethod::UniqueOnRaw);
     let f6 = formation(&v6.atoms, PrependMethod::UniqueOnRaw);
-    let near = |f: &policy_atoms::atoms::formation::FormationResult| {
-        f.at_distance(1) + f.at_distance(2)
-    };
+    let near =
+        |f: &policy_atoms::atoms::formation::FormationResult| f.at_distance(1) + f.at_distance(2);
     assert!(
         near(&f6) > near(&f4),
         "v6 d1+d2 {:.1} vs v4 {:.1}",
