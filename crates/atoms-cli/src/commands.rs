@@ -11,6 +11,7 @@ use atoms_core::report::{count, pct};
 use atoms_core::sanitize::SanitizeConfig;
 use atoms_core::stability::stability as stability_pair;
 use bgp_collect::{Archive, CapturedSnapshot, CapturedUpdates, ReplayState};
+use bgp_mrt::RecoveryPolicy;
 use bgp_sim::{generate_window, Era, Scenario};
 use bgp_types::{Family, SimTime};
 use std::process::ExitCode;
@@ -31,6 +32,7 @@ pub struct Options {
     pub method: PrependMethod,
     pub threads: Option<usize>,
     pub incremental: bool,
+    pub ingest_policy: RecoveryPolicy,
     pub metrics_json: Option<String>,
     pub timings: bool,
     pub verbose: bool,
@@ -52,6 +54,7 @@ impl Options {
             method: PrependMethod::UniqueOnRaw,
             threads: None,
             incremental: false,
+            ingest_policy: RecoveryPolicy::default(),
             metrics_json: None,
             timings: false,
             verbose: false,
@@ -89,6 +92,9 @@ impl Options {
                     )
                 }
                 "--incremental" => opts.incremental = true,
+                "--ingest-policy" => {
+                    opts.ingest_policy = value(&mut it, "--ingest-policy")?.parse()?
+                }
                 "--out" => opts.out = Some(value(&mut it, "--out")?),
                 "--metrics-json" => opts.metrics_json = Some(value(&mut it, "--metrics-json")?),
                 "--timings" => opts.timings = true,
@@ -198,6 +204,12 @@ pub fn usage(msg: &str) -> ExitCode {
                                 subcommands (stability, replay) patch each\n\
                                 snapshot's atoms from the previous one's\n\
                                 instead of rescanning; output is byte-identical\n\n\
+         ingestion (archive-reading subcommands):\n\
+           --ingest-policy P    strict (default): any malformed MRT record\n\
+                                aborts the read; recover: skip damaged records,\n\
+                                resynchronize, and count them under the\n\
+                                ingest.* metrics; recover-with-cap: recover,\n\
+                                but abort after 4 MiB of skipped bytes\n\n\
          dates: \"yyyy-mm-dd hh:mm\" (quote the space) or yyyy-mm-dd"
     );
     if msg.is_empty() {
@@ -247,7 +259,7 @@ pub fn simulate(opts: &Options) -> Result<(), String> {
 fn load(opts: &Options, date: SimTime) -> Result<(CapturedSnapshot, CapturedUpdates), String> {
     let archive = Archive::new(need(&opts.archive, "--archive")?);
     let snap = archive
-        .load_snapshot(date, opts.family)
+        .load_snapshot_with_policy(date, opts.family, opts.ingest_policy)
         .map_err(|e| e.to_string())?;
     if snap.tables.is_empty() {
         return Err(format!(
@@ -255,7 +267,9 @@ fn load(opts: &Options, date: SimTime) -> Result<(CapturedSnapshot, CapturedUpda
             archive.root().display()
         ));
     }
-    let updates = archive.load_updates(date).map_err(|e| e.to_string())?;
+    let updates = archive
+        .load_updates_with_policy(date, opts.ingest_policy)
+        .map_err(|e| e.to_string())?;
     Ok((snap, updates))
 }
 
@@ -519,6 +533,7 @@ fn clone_opts(opts: &Options) -> Options {
         method: opts.method,
         threads: opts.threads,
         incremental: opts.incremental,
+        ingest_policy: opts.ingest_policy,
         metrics_json: opts.metrics_json.clone(),
         timings: opts.timings,
         verbose: opts.verbose,
@@ -688,6 +703,8 @@ mod tests {
             "--threads",
             "4",
             "--incremental",
+            "--ingest-policy",
+            "recover",
             "--metrics-json",
             "/tmp/m.json",
             "--timings",
@@ -704,6 +721,7 @@ mod tests {
         assert!(o.t1.unwrap() < o.t2.unwrap());
         assert_eq!(o.threads, Some(4));
         assert!(o.incremental);
+        assert_eq!(o.ingest_policy, RecoveryPolicy::Recover);
         assert_eq!(o.metrics_json.as_deref(), Some("/tmp/m.json"));
         assert!(o.timings && o.verbose);
     }
@@ -726,6 +744,11 @@ mod tests {
         assert_eq!(o.method, PrependMethod::UniqueOnRaw);
         assert!(o.date.is_none() && !o.json);
         assert!(!o.incremental, "incremental is opt-in");
+        assert_eq!(
+            o.ingest_policy,
+            RecoveryPolicy::Strict,
+            "strict ingestion is the default: damaged archives must not be silently repaired"
+        );
     }
 
     #[test]
@@ -738,6 +761,22 @@ mod tests {
         assert!(parse(&["--scale", "fast"]).is_err());
         assert!(parse(&["--threads"]).is_err());
         assert!(parse(&["--threads", "many"]).is_err());
+        assert!(parse(&["--ingest-policy"]).is_err());
+        assert!(parse(&["--ingest-policy", "lenient"]).is_err());
+    }
+
+    #[test]
+    fn ingest_policy_aliases() {
+        assert_eq!(
+            parse(&["--ingest-policy", "strict"]).unwrap().ingest_policy,
+            RecoveryPolicy::Strict
+        );
+        assert!(matches!(
+            parse(&["--ingest-policy", "recover-with-cap"])
+                .unwrap()
+                .ingest_policy,
+            RecoveryPolicy::RecoverWithCap { .. }
+        ));
     }
 
     #[test]

@@ -459,6 +459,109 @@ fn siblings_across_families() {
 }
 
 #[test]
+fn ingest_policy_recovers_a_damaged_archive() {
+    let dir = tmpdir("ingest");
+    let date = "2015-07-15 08:00";
+    let out = pa()
+        .args(["simulate", "--date", date, "--scale", "400", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Truncate one collector's updates file mid-record: the classic
+    // interrupted-transfer damage the recovery mode exists for.
+    let mut updates_files: Vec<std::path::PathBuf> = walk(&dir)
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("updates."))
+        })
+        .collect();
+    updates_files.sort();
+    let victim = updates_files.first().expect("simulate wrote updates files");
+    let bytes = std::fs::read(victim).unwrap();
+    assert!(bytes.len() > 8);
+    std::fs::write(victim, &bytes[..bytes.len() - 8]).unwrap();
+
+    // Default (strict) ingestion refuses the damaged archive and names the
+    // broken file, exactly as before the recovery mode existed.
+    let strict = pa()
+        .args(["atoms", "--date", date, "--json", "--archive"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(!strict.status.success(), "strict must refuse damaged input");
+    let stderr = String::from_utf8_lossy(&strict.stderr);
+    assert!(
+        stderr.contains(&*victim.file_name().unwrap().to_string_lossy()),
+        "error should name the damaged file: {stderr}"
+    );
+
+    // --ingest-policy recover completes the analysis and surfaces the
+    // damage in the ingest.* counters.
+    let recover = pa()
+        .args([
+            "atoms",
+            "--date",
+            date,
+            "--json",
+            "--ingest-policy",
+            "recover",
+            "--metrics-json",
+        ])
+        .arg(dir.join("metrics.json"))
+        .arg("--archive")
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        recover.status.success(),
+        "{}",
+        String::from_utf8_lossy(&recover.stderr)
+    );
+    let json: serde_json::Value = serde_json::from_slice(&recover.stdout).unwrap();
+    assert!(json["stats"]["n_atoms"].as_u64().unwrap() > 0);
+    let metrics: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(dir.join("metrics.json")).unwrap()).unwrap();
+    assert_eq!(
+        metrics["counters"]["ingest.recovered_records"].as_u64(),
+        Some(1),
+        "one truncated record: {metrics:?}"
+    );
+    assert!(
+        metrics["counters"]["ingest.skipped_bytes"]
+            .as_u64()
+            .unwrap()
+            > 0,
+        "{metrics:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Recursively lists every file under `dir`.
+fn walk(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(walk(&path));
+        } else {
+            out.push(path);
+        }
+    }
+    out
+}
+
+#[test]
 fn missing_snapshot_is_a_clean_error() {
     let dir = tmpdir("empty");
     std::fs::create_dir_all(&dir).unwrap();

@@ -58,6 +58,7 @@ pub fn analyze_snapshot_observed(
     let update_warnings = updates.map(|u| u.warnings.as_slice()).unwrap_or(&[]);
     if let Some(m) = metrics {
         record_mrt_warnings(m, snap.warnings.iter().chain(update_warnings));
+        record_ingest(m, snap, updates);
     }
     let sanitize_span = metrics.map(|m| m.span("pipeline.sanitize"));
     let sanitized = sanitize_with_observed(
@@ -123,6 +124,7 @@ pub fn analyze_snapshot_chained(
     let update_warnings = updates.map(|u| u.warnings.as_slice()).unwrap_or(&[]);
     if let Some(m) = metrics {
         record_mrt_warnings(m, snap.warnings.iter().chain(update_warnings));
+        record_ingest(m, snap, updates);
     }
     let sanitize_span = metrics.map(|m| m.span("pipeline.sanitize"));
     // Chained snapshots intern into the predecessor's store so the delta
@@ -188,6 +190,19 @@ fn record_mrt_warnings<'a>(metrics: &Metrics, warnings: impl Iterator<Item = &'a
     for (slug, count) in by_kind {
         metrics.warn("mrt", slug, count);
     }
+}
+
+/// Records the ingestion-recovery counters carried by the inputs. Unlike
+/// warnings, both keys are recorded even at zero: a payload that says
+/// `ingest.recovered_records: 0` proves the inputs were read clean, and
+/// golden fixtures can pin the keys' presence.
+fn record_ingest(metrics: &Metrics, snap: &CapturedSnapshot, updates: Option<&CapturedUpdates>) {
+    let mut stats = snap.ingest;
+    if let Some(u) = updates {
+        stats.absorb(u.ingest);
+    }
+    metrics.add("ingest.recovered_records", stats.recovered_records);
+    metrics.add("ingest.skipped_bytes", stats.skipped_bytes);
 }
 
 #[cfg(test)]

@@ -94,6 +94,15 @@ pub struct SanitizeReport {
     /// prefix (kept; context for the paper's §2.4.3 aggregate discussion —
     /// such prefixes legitimately appear without full-table coverage).
     pub covered_by_aggregate: usize,
+    /// Framing failures the MRT reader recovered from while the snapshot's
+    /// RIB inputs were ingested (zero on strict reads and on the in-memory
+    /// path; the update window's recovery accounting is reported separately
+    /// through the pipeline's `ingest.*` metrics). Carried here so a
+    /// sanitization report also says what happened to the raw bytes its
+    /// input came from.
+    pub recovered_records: u64,
+    /// Bytes the MRT reader discarded while resynchronizing the RIB inputs.
+    pub skipped_bytes: u64,
 }
 
 /// The sanitized analysis input: one columnar table per kept vantage
@@ -437,7 +446,11 @@ pub fn sanitize_with_observed_into(
     par: Parallelism,
     metrics: Option<&Metrics>,
 ) -> SanitizedSnapshot {
-    let mut report = SanitizeReport::default();
+    let mut report = SanitizeReport {
+        recovered_records: snap.ingest.recovered_records,
+        skipped_bytes: snap.ingest.skipped_bytes,
+        ..SanitizeReport::default()
+    };
 
     // (1) Full-feed inference over the raw tables.
     let infer_span = metrics.map(|m| m.span("sanitize.infer_full_feed"));

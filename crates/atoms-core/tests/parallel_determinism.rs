@@ -78,7 +78,7 @@ fn captured_from(assignments: &[Vec<(u32, usize)>]) -> CapturedSnapshot {
         family: Family::Ipv4,
         collector_names: vec!["rrc00".to_string()],
         tables,
-        warnings: Vec::new(),
+        ..Default::default()
     }
 }
 

@@ -13,6 +13,10 @@
 //!   --incremental              delta-based atom recomputation: longitudinal
 //!                              sweeps patch each snapshot from the previous
 //!                              one instead of rescanning (identical results)
+//!   --ingest-policy <p>        route update windows through the real MRT
+//!                              wire format under policy p (strict | recover
+//!                              | recover-with-cap) instead of the in-memory
+//!                              conversion; identical results on clean input
 //!   --metrics-json <path>      write pipeline stage/counter/warning metrics
 //!                              after the run (- = stdout); deterministic
 //!   --timings                  include wall-clock durations in the metrics
@@ -24,6 +28,7 @@ use atoms_core::obs::Metrics;
 use atoms_core::parallel::Parallelism;
 use bench::experiments::{run, Comparison, ALL};
 use bench::Workbench;
+use bgp_mrt::RecoveryPolicy;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -35,6 +40,7 @@ fn main() {
     let mut metrics_json: Option<String> = None;
     let mut timings = false;
     let mut incremental = false;
+    let mut ingest_policy: Option<RecoveryPolicy> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -63,6 +69,12 @@ fn main() {
             }
             "--timings" => timings = true,
             "--incremental" => incremental = true,
+            "--ingest-policy" => {
+                let policy = args
+                    .next()
+                    .unwrap_or_else(|| usage("--ingest-policy needs a value"));
+                ingest_policy = Some(policy.parse().unwrap_or_else(|e: String| usage(&e)));
+            }
             "-h" | "--help" => usage(""),
             other => ids.push(other.to_string()),
         }
@@ -74,6 +86,9 @@ fn main() {
     let mut wb = Workbench::new(scale, &out_dir)
         .with_parallelism(parallelism)
         .with_incremental(incremental);
+    if let Some(policy) = ingest_policy {
+        wb = wb.with_ingest_policy(policy);
+    }
     if let Some(m) = &metrics {
         wb = wb.with_metrics(m.clone());
     }
@@ -221,6 +236,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [--scale N] [--out DIR] [--threads N] [--incremental] \
+         [--ingest-policy strict|recover|recover-with-cap] \
          [--metrics-json PATH] [--timings] <id>... | all | report\n ids: {}",
         ALL.join(", ")
     );

@@ -7,8 +7,11 @@ use atoms_core::pipeline::{
     SnapshotAnalysis,
 };
 use atoms_core::sanitize::SanitizeConfig;
+use bgp_collect::capture::{events_by_collector, updates_bytes};
 use bgp_collect::{CapturedSnapshot, CapturedUpdates};
-use bgp_sim::{generate_window, Era, Scenario};
+use bgp_mrt::{RecoveryPolicy, UpdatesReader};
+use bgp_sim::updates::UpdateEvent;
+use bgp_sim::{generate_window, Era, Scenario, SnapshotData};
 use bgp_types::{Family, SimTime};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -44,6 +47,13 @@ pub struct Workbench {
     /// [`prepare_many`]: Workbench::prepare_many
     /// [`stability_ladder`]: Workbench::stability_ladder
     pub incremental: bool,
+    /// MRT framing-failure policy (the harness's `--ingest-policy`): when
+    /// set, every prepared update window round-trips through the real MRT
+    /// wire format — serialized per collector, then read back under this
+    /// policy — instead of the in-memory event conversion, so experiments
+    /// exercise the same ingestion path as archives on disk. `None` keeps
+    /// the fast in-memory path.
+    pub ingest_policy: Option<RecoveryPolicy>,
 }
 
 impl Default for Workbench {
@@ -54,6 +64,7 @@ impl Default for Workbench {
             parallelism: Parallelism::auto(),
             metrics: None,
             incremental: false,
+            ingest_policy: None,
         }
     }
 }
@@ -116,6 +127,13 @@ impl Workbench {
     /// harness's `--incremental`).
     pub fn with_incremental(mut self, incremental: bool) -> Workbench {
         self.incremental = incremental;
+        self
+    }
+
+    /// Same workbench routing update windows through the real MRT wire
+    /// format under `policy` (the harness's `--ingest-policy`).
+    pub fn with_ingest_policy(mut self, policy: RecoveryPolicy) -> Workbench {
+        self.ingest_policy = Some(policy);
         self
     }
 
@@ -207,7 +225,9 @@ impl Workbench {
             date.unix(),
             family,
             scale_key,
-            format!("{cfg:?}"),
+            // The ingest policy selects the capture path (in-memory vs MRT
+            // round trip), so it is part of the snapshot's identity.
+            format!("{cfg:?}|ingest={:?}", self.ingest_policy),
             self.metrics.as_ref().map(Metrics::registry_id),
         )
     }
@@ -269,7 +289,7 @@ impl Workbench {
         let snap = scenario.snapshot(date);
         let events = generate_window(&mut scenario, date, 4, 0x5EED);
         let captured = CapturedSnapshot::from_sim(&snap);
-        let updates = CapturedUpdates::from_sim(&events);
+        let updates = self.capture_updates(&snap, &events, family);
         let (analysis, next) =
             analyze_snapshot_chained(&captured, Some(&updates), cfg, self.metrics.as_ref(), chain);
         let prepared = Arc::new(PreparedSnapshot {
@@ -295,7 +315,7 @@ impl Workbench {
         let snap = scenario.snapshot(date);
         let events = generate_window(&mut scenario, date, 4, 0x5EED);
         let captured = CapturedSnapshot::from_sim(&snap);
-        let updates = CapturedUpdates::from_sim(&events);
+        let updates = self.capture_updates(&snap, &events, family);
         let analysis =
             analyze_snapshot_observed(&captured, Some(&updates), cfg, self.metrics.as_ref());
         PreparedSnapshot {
@@ -304,6 +324,39 @@ impl Workbench {
             updates,
             analysis,
         }
+    }
+
+    /// Captures the update window. Without an [`ingest_policy`] this is the
+    /// direct in-memory event conversion; with one, the events are
+    /// serialized to real MRT wire bytes per collector and read back under
+    /// the policy, exactly as [`bgp_collect::Archive`] does for files on
+    /// disk. The MRT writer and the in-memory conversion are mirror images
+    /// (see [`CapturedUpdates::from_sim`]), so on clean input both paths
+    /// produce the same records — the round trip just also exercises the
+    /// framing layer and fills in the `ingest` accounting.
+    ///
+    /// [`ingest_policy`]: Workbench::ingest_policy
+    fn capture_updates(
+        &self,
+        snap: &SnapshotData,
+        events: &[UpdateEvent],
+        family: Family,
+    ) -> CapturedUpdates {
+        let Some(policy) = self.ingest_policy else {
+            return CapturedUpdates::from_sim(events);
+        };
+        let mut out = CapturedUpdates::default();
+        for (_collector, coll_events) in events_by_collector(snap, events) {
+            let bytes = updates_bytes(&coll_events, family).expect("in-memory MRT write");
+            let (records, warnings, ingest) =
+                UpdatesReader::read_all_with_policy(bytes.as_slice(), policy)
+                    .expect("writer output reads back under any policy");
+            out.records.extend(records);
+            out.warnings.extend(warnings);
+            out.ingest.absorb(ingest);
+        }
+        out.records.sort_by_key(|r| (r.timestamp, r.peer));
+        out
     }
 
     /// Builds the stability ladder: perturbs the same scenario with the
@@ -450,5 +503,34 @@ mod tests {
             "only the chronologically first snapshot computes from scratch"
         );
         assert_eq!(metrics.span_count("incremental.apply"), 2);
+    }
+
+    /// The MRT round-trip capture path (`--ingest-policy`) reproduces the
+    /// in-memory path's analysis on clean input: the writer and the event
+    /// conversion are mirror images, and the simulator emits no framing
+    /// damage — only whole garbled records, which both paths count as
+    /// warnings.
+    #[test]
+    fn ingest_policy_roundtrip_matches_in_memory() {
+        let d: SimTime = "2016-03-03 16:00".parse().unwrap();
+        let fast = Workbench::new(SCALE, "results-test");
+        let baseline = fast.prepare(d, Family::Ipv4);
+
+        for policy in [RecoveryPolicy::Strict, RecoveryPolicy::Recover] {
+            let wire = Workbench::new(SCALE, "results-test").with_ingest_policy(policy);
+            let prepared = wire.prepare(d, Family::Ipv4);
+            assert_eq!(
+                prepared.analysis.atoms, baseline.analysis.atoms,
+                "{policy:?}: the wire round trip must not change the atoms"
+            );
+            assert_eq!(
+                prepared.updates.records, baseline.updates.records,
+                "{policy:?}: record streams must match"
+            );
+            assert!(
+                prepared.updates.ingest.is_clean(),
+                "{policy:?}: writer output carries no framing damage"
+            );
+        }
     }
 }

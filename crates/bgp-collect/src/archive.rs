@@ -12,7 +12,7 @@ use crate::capture::{
     TABLE_DUMP_V2_FROM_YEAR,
 };
 use crate::input::{CapturedSnapshot, CapturedTable, CapturedUpdates};
-use bgp_mrt::reader::{RibDumpReader, UpdatesReader};
+use bgp_mrt::reader::{RecoveryPolicy, RibDumpReader, UpdatesReader};
 use bgp_sim::updates::UpdateEvent;
 use bgp_sim::SnapshotData;
 use bgp_types::{Family, SimTime};
@@ -111,8 +111,21 @@ impl Archive {
 
     /// Loads the full snapshot at `time` across all collectors, returning
     /// the neutral analysis input (ground truth stripped by construction —
-    /// MRT files never carried it).
+    /// MRT files never carried it). Strict: any framing failure in any
+    /// file aborts the load.
     pub fn load_snapshot(&self, time: SimTime, family: Family) -> io::Result<CapturedSnapshot> {
+        self.load_snapshot_with_policy(time, family, RecoveryPolicy::Strict)
+    }
+
+    /// [`Archive::load_snapshot`] under an explicit framing-failure policy.
+    /// Recovery damage is summed across files into the snapshot's `ingest`
+    /// field.
+    pub fn load_snapshot_with_policy(
+        &self,
+        time: SimTime,
+        family: Family,
+        policy: RecoveryPolicy,
+    ) -> io::Result<CapturedSnapshot> {
         let collector_names = self.collectors()?;
         let mut out = CapturedSnapshot {
             timestamp: time,
@@ -126,8 +139,9 @@ impl Archive {
                 continue;
             }
             let file = fs::File::open(&path)?;
-            let dump = RibDumpReader::read_all(io::BufReader::new(file))
+            let dump = RibDumpReader::read_all_with_policy(io::BufReader::new(file), policy)
                 .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+            out.ingest.absorb(dump.ingest);
             out.warnings.extend(dump.warnings.iter().cloned());
             // Regroup per peer.
             let (entries, missing) = dump.entries();
@@ -162,7 +176,19 @@ impl Archive {
     }
 
     /// Loads the update window starting at `time` across all collectors.
+    /// Strict: any framing failure in any file aborts the load.
     pub fn load_updates(&self, time: SimTime) -> io::Result<CapturedUpdates> {
+        self.load_updates_with_policy(time, RecoveryPolicy::Strict)
+    }
+
+    /// [`Archive::load_updates`] under an explicit framing-failure policy.
+    /// Recovery damage is summed across files into the window's `ingest`
+    /// field.
+    pub fn load_updates_with_policy(
+        &self,
+        time: SimTime,
+        policy: RecoveryPolicy,
+    ) -> io::Result<CapturedUpdates> {
         let mut out = CapturedUpdates::default();
         for name in self.collectors()? {
             let path = self.updates_path(&name, time);
@@ -170,10 +196,12 @@ impl Archive {
                 continue;
             }
             let file = fs::File::open(&path)?;
-            let (records, warnings) = UpdatesReader::read_all(io::BufReader::new(file))
-                .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+            let (records, warnings, ingest) =
+                UpdatesReader::read_all_with_policy(io::BufReader::new(file), policy)
+                    .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
             out.records.extend(records);
             out.warnings.extend(warnings);
+            out.ingest.absorb(ingest);
         }
         out.records.sort_by_key(|r| (r.timestamp, r.peer));
         Ok(out)
@@ -244,6 +272,41 @@ mod tests {
         let mem = CapturedUpdates::from_sim(&events);
         assert_eq!(loaded.records.len(), mem.records.len());
         assert!(!loaded.warnings.is_empty(), "garbled peers must warn");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_archive_strict_fails_recover_loads() {
+        let date: SimTime = "2021-07-15 08:00".parse().unwrap();
+        let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 500.0));
+        let mut s = Scenario::build(era);
+        let snap = s.snapshot(date);
+        let events = bgp_sim::generate_window(&mut s, date, 4, 1);
+        let dir = tmpdir("corrupt");
+        let archive = Archive::new(&dir);
+        let files = archive.store_updates(&snap, &events, date).unwrap();
+        let clean = archive.load_updates(date).unwrap();
+        assert!(clean.ingest.is_clean());
+
+        // Damage one file: cut the stream eight bytes before the end, so
+        // its final record's body is truncated.
+        let bytes = fs::read(&files[0]).unwrap();
+        fs::write(&files[0], &bytes[..bytes.len() - 8]).unwrap();
+
+        let err = archive.load_updates(date).unwrap_err();
+        assert!(
+            err.to_string().contains(&*files[0].to_string_lossy()),
+            "strict failure names the damaged file: {err}"
+        );
+
+        let recovered = archive
+            .load_updates_with_policy(date, bgp_mrt::RecoveryPolicy::Recover)
+            .unwrap();
+        assert_eq!(recovered.ingest.recovered_records, 1);
+        assert!(recovered.ingest.skipped_bytes > 0);
+        // Exactly the records before the cut survive; every other file is
+        // untouched.
+        assert_eq!(recovered.records.len(), clean.records.len() - 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 

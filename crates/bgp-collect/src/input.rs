@@ -6,7 +6,7 @@
 //! analysis pipeline, exactly as the paper infers them from RIS/RouteViews
 //! data.
 
-use bgp_mrt::{MrtWarning, WarningKind};
+use bgp_mrt::{IngestStats, MrtWarning, WarningKind};
 use bgp_sim::updates::UpdateEvent;
 use bgp_sim::SnapshotData;
 use bgp_types::{Family, PeerKey, RibEntry, SimTime, UpdateRecord};
@@ -37,6 +37,10 @@ pub struct CapturedSnapshot {
     /// Parse warnings collected while reading the archives (empty on the
     /// in-memory path — RIB dumps of well-formed snapshots decode cleanly).
     pub warnings: Vec<MrtWarning>,
+    /// Framing-recovery accounting from ingestion, summed across the files
+    /// that fed this snapshot (all zeroes on strict reads and on the
+    /// in-memory path).
+    pub ingest: IngestStats,
 }
 
 impl Default for CapturedSnapshot {
@@ -47,6 +51,7 @@ impl Default for CapturedSnapshot {
             collector_names: Vec::new(),
             tables: Vec::new(),
             warnings: Vec::new(),
+            ingest: IngestStats::default(),
         }
     }
 }
@@ -68,6 +73,7 @@ impl CapturedSnapshot {
                 })
                 .collect(),
             warnings: Vec::new(),
+            ingest: IngestStats::default(),
         }
     }
 
@@ -86,6 +92,9 @@ pub struct CapturedUpdates {
     /// Warnings for records that did not decode (the ADD-PATH signatures
     /// the paper keys on).
     pub warnings: Vec<MrtWarning>,
+    /// Framing-recovery accounting from ingestion (all zeroes on strict
+    /// reads and on the in-memory path).
+    pub ingest: IngestStats,
 }
 
 impl CapturedUpdates {
@@ -111,7 +120,11 @@ impl CapturedUpdates {
                 records.push(e.record.clone());
             }
         }
-        CapturedUpdates { records, warnings }
+        CapturedUpdates {
+            records,
+            warnings,
+            ingest: IngestStats::default(),
+        }
     }
 }
 

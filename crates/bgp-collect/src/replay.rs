@@ -160,6 +160,9 @@ impl ReplayState {
             collector_names: base.collector_names.clone(),
             tables,
             warnings: Vec::new(),
+            // A replayed snapshot is as damaged as the inputs it was built
+            // from: keep the base snapshot's recovery accounting.
+            ingest: base.ingest,
         }
     }
 }

@@ -26,6 +26,17 @@ pub enum MrtError {
         /// The cap in force.
         cap: u32,
     },
+    /// A capped recovery read ([`RecoveryPolicy::RecoverWithCap`]) skipped
+    /// more bytes than its budget allows — the stream is damaged beyond
+    /// what the caller agreed to tolerate.
+    ///
+    /// [`RecoveryPolicy::RecoverWithCap`]: crate::RecoveryPolicy::RecoverWithCap
+    SkipBudgetExhausted {
+        /// Total bytes skipped so far, including the overshoot.
+        skipped: u64,
+        /// The budget in force.
+        cap: u64,
+    },
 }
 
 impl fmt::Display for MrtError {
@@ -37,6 +48,12 @@ impl fmt::Display for MrtError {
             }
             MrtError::RecordTooLarge { declared, cap } => {
                 write!(f, "MRT record declares {declared} bytes, cap is {cap}")
+            }
+            MrtError::SkipBudgetExhausted { skipped, cap } => {
+                write!(
+                    f,
+                    "recovery skipped {skipped} bytes, more than the {cap}-byte budget"
+                )
             }
         }
     }
@@ -108,6 +125,12 @@ mod tests {
             cap: 1 << 24,
         };
         assert!(e.to_string().contains("cap"));
+        let e = MrtError::SkipBudgetExhausted {
+            skipped: 4097,
+            cap: 4096,
+        };
+        assert!(e.to_string().contains("4097"));
+        assert!(e.to_string().contains("budget"));
         let e = DecodeError::Truncated { context: "AS_PATH" };
         assert_eq!(e.to_string(), "truncated while decoding AS_PATH");
         assert_eq!(e.context(), "AS_PATH");

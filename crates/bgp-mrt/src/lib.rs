@@ -29,6 +29,12 @@
 //! "Duplicate Path Attribute", "Invalid MP(UN)REACH NLRI") are the paper's
 //! signal for ADD-PATH-incompatible peers.
 //!
+//! Stream-level *framing* failures (a truncated header or body, a length
+//! field past the sanity cap) are fatal by default, but [`RecoveryPolicy`]
+//! lets callers opt into scanning forward to the next plausible record
+//! boundary instead; each survived failure becomes a typed warning and the
+//! damage is accounted in [`IngestStats`].
+//!
 //! # Writing
 //!
 //! The writer half ([`writer`]) produces byte-identical output for identical
@@ -49,7 +55,7 @@ pub mod wire;
 pub mod writer;
 
 pub use error::MrtError;
-pub use reader::{MrtReader, RibDumpReader, UpdatesReader};
+pub use reader::{IngestStats, MrtReader, RecoveryPolicy, RibDumpReader, UpdatesReader};
 pub use record::{
     Bgp4mpMessage, BgpMessage, MrtRecord, PeerEntry, PeerIndexTable, RibEntriesRecord, RibEntryRaw,
     UpdateMessage,

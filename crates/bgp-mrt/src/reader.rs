@@ -8,7 +8,7 @@ use crate::record::{
 };
 use crate::table_dump_v1::{decode_table_dump, SUBTYPE_AFI_IPV4, SUBTYPE_AFI_IPV6};
 use crate::warnings::{MrtWarning, WarningKind};
-use crate::wire::Cursor;
+use crate::wire::{self, Cursor};
 use crate::{
     SUBTYPE_BGP4MP_MESSAGE, SUBTYPE_BGP4MP_MESSAGE_ADDPATH, SUBTYPE_BGP4MP_MESSAGE_AS4,
     SUBTYPE_BGP4MP_MESSAGE_AS4_ADDPATH, SUBTYPE_PEER_INDEX_TABLE, SUBTYPE_RIB_IPV4_UNICAST,
@@ -17,12 +17,89 @@ use crate::{
 };
 use bgp_types::{Asn, Family, PeerKey, RibEntry, RouteAttrs, SimTime, UpdateRecord};
 use bytes::Bytes;
+use serde::{Deserialize, Serialize};
 use std::io::Read;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// Default cap on a single record body; protects against corrupt length
 /// fields demanding absurd allocations.
 pub const DEFAULT_RECORD_CAP: u32 = 32 * 1024 * 1024;
+
+/// Default skip budget for [`RecoveryPolicy::RecoverWithCap`].
+pub const DEFAULT_SKIP_CAP: u64 = 4 * 1024 * 1024;
+
+/// How the reader responds to stream-level framing failures — a truncated
+/// header or body, or a length field past the record-size cap.
+///
+/// Per-record *decode* failures (bad attributes, unknown subtypes, marker
+/// corruption) are warnings under every policy; the policy only governs
+/// failures that today abort the whole stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Framing failures abort the read with an [`MrtError`] (the historical
+    /// behaviour, and still the default).
+    #[default]
+    Strict,
+    /// Skip to the next plausible record boundary, emitting a typed warning
+    /// per failure and counting the damage in [`IngestStats`].
+    Recover,
+    /// Recover, but abort with [`MrtError::SkipBudgetExhausted`] once more
+    /// than `max_skipped_bytes` have been discarded in total.
+    RecoverWithCap {
+        /// Total skipped-byte budget for the stream.
+        max_skipped_bytes: u64,
+    },
+}
+
+impl RecoveryPolicy {
+    /// [`RecoveryPolicy::RecoverWithCap`] with the default
+    /// [`DEFAULT_SKIP_CAP`] budget.
+    pub fn recover_with_default_cap() -> RecoveryPolicy {
+        RecoveryPolicy::RecoverWithCap {
+            max_skipped_bytes: DEFAULT_SKIP_CAP,
+        }
+    }
+}
+
+impl std::str::FromStr for RecoveryPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "strict" => Ok(RecoveryPolicy::Strict),
+            "recover" => Ok(RecoveryPolicy::Recover),
+            "recover-with-cap" => Ok(RecoveryPolicy::recover_with_default_cap()),
+            other => Err(format!(
+                "unknown ingest policy {other:?} (expected strict, recover, or recover-with-cap)"
+            )),
+        }
+    }
+}
+
+/// Damage accounting for one recovery-mode read: how many framing failures
+/// were survived and how many bytes were discarded doing so.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Framing failures recovered from — each one would have aborted a
+    /// strict read.
+    pub recovered_records: u64,
+    /// Bytes discarded while resynchronizing (header/body fragments plus
+    /// everything slid past looking for the next record boundary).
+    pub skipped_bytes: u64,
+}
+
+impl IngestStats {
+    /// Folds another read's stats into this one (multi-file ingestion).
+    pub fn absorb(&mut self, other: IngestStats) {
+        self.recovered_records += other.recovered_records;
+        self.skipped_bytes += other.skipped_bytes;
+    }
+
+    /// True when nothing had to be recovered.
+    pub fn is_clean(&self) -> bool {
+        self.recovered_records == 0 && self.skipped_bytes == 0
+    }
+}
 
 /// A framed-but-undecoded MRT record.
 #[derive(Debug, Clone)]
@@ -48,12 +125,27 @@ pub enum ReadItem {
     Warning(MrtWarning),
 }
 
+/// One framing step in recovery mode: a record, a survived failure, or the
+/// end of the stream.
+enum Frame {
+    Record(RawRecord),
+    Recovered(WarningKind),
+    Eof,
+}
+
 /// Streaming MRT reader: strict per record, tolerant per stream.
 #[derive(Debug)]
 pub struct MrtReader<R> {
     inner: R,
     record_index: u64,
     cap: u32,
+    policy: RecoveryPolicy,
+    stats: IngestStats,
+    /// A header found by resynchronization, to be consumed before reading
+    /// more bytes from `inner`.
+    pending: Option<[u8; 12]>,
+    /// Recovery mode reached the (possibly damaged) end of the stream.
+    done: bool,
 }
 
 impl<R: Read> MrtReader<R> {
@@ -68,7 +160,29 @@ impl<R: Read> MrtReader<R> {
             inner,
             record_index: 0,
             cap,
+            policy: RecoveryPolicy::Strict,
+            stats: IngestStats::default(),
+            pending: None,
+            done: false,
         }
+    }
+
+    /// Wraps a byte source with a framing-failure policy (default cap).
+    pub fn with_policy(inner: R, policy: RecoveryPolicy) -> Self {
+        Self::with_policy_and_cap(inner, policy, DEFAULT_RECORD_CAP)
+    }
+
+    /// Wraps a byte source with a framing-failure policy and a custom
+    /// record-size cap.
+    pub fn with_policy_and_cap(inner: R, policy: RecoveryPolicy, cap: u32) -> Self {
+        let mut reader = Self::with_cap(inner, cap);
+        reader.policy = policy;
+        reader
+    }
+
+    /// Sets the framing-failure policy in place.
+    pub fn set_policy(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
     }
 
     /// Index of the next record to be read.
@@ -76,27 +190,27 @@ impl<R: Read> MrtReader<R> {
         self.record_index
     }
 
+    /// Damage accounting so far (all zeroes outside recovery mode).
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
     /// Frames the next record without decoding its body.
     ///
-    /// Returns `Ok(None)` at a clean end of stream.
+    /// Returns `Ok(None)` at a clean end of stream. This is the raw framing
+    /// API and is *always* strict — framing recovery is a feature of
+    /// [`MrtReader::next`] and the `read_all` drivers, selected by
+    /// [`RecoveryPolicy`].
     pub fn next_raw(&mut self) -> Result<Option<RawRecord>, MrtError> {
         let mut header = [0u8; 12];
-        let mut filled = 0;
-        while filled < header.len() {
-            let n = self.inner.read(&mut header[filled..])?;
-            if n == 0 {
-                return if filled == 0 {
-                    Ok(None)
-                } else {
-                    Err(MrtError::TruncatedHeader { have: filled })
-                };
-            }
-            filled += n;
+        let filled = self.fill(&mut header)?;
+        if filled == 0 {
+            return Ok(None);
         }
-        let timestamp = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
-        let mrt_type = u16::from_be_bytes([header[4], header[5]]);
-        let subtype = u16::from_be_bytes([header[6], header[7]]);
-        let length = u32::from_be_bytes([header[8], header[9], header[10], header[11]]);
+        if filled < header.len() {
+            return Err(MrtError::TruncatedHeader { have: filled });
+        }
+        let (timestamp, mrt_type, subtype, length) = wire::parse_header(&header);
         if length > self.cap {
             return Err(MrtError::RecordTooLarge {
                 declared: length,
@@ -114,19 +228,161 @@ impl<R: Read> MrtReader<R> {
         }))
     }
 
+    /// Reads into `buf` until it is full or the stream ends; returns how
+    /// many bytes were read. Unlike `read_exact`, a short stream is not an
+    /// error — recovery mode needs to know exactly how much arrived.
+    fn fill(&mut self, buf: &mut [u8]) -> Result<usize, MrtError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.inner.read(&mut buf[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        Ok(filled)
+    }
+
+    /// Books one survived framing failure, enforcing the skip budget when
+    /// the policy has one.
+    fn recovered(&mut self, skipped: u64, kind: WarningKind) -> Result<Frame, MrtError> {
+        self.stats.recovered_records += 1;
+        self.stats.skipped_bytes += skipped;
+        if let RecoveryPolicy::RecoverWithCap { max_skipped_bytes } = self.policy {
+            if self.stats.skipped_bytes > max_skipped_bytes {
+                return Err(MrtError::SkipBudgetExhausted {
+                    skipped: self.stats.skipped_bytes,
+                    cap: max_skipped_bytes,
+                });
+            }
+        }
+        Ok(Frame::Recovered(kind))
+    }
+
+    /// Slides a 12-byte window one byte at a time until it holds a
+    /// plausible MRT header (see [`wire::plausible_header`]), which is then
+    /// stashed in `self.pending` for the next framing step. Returns the
+    /// number of bytes discarded. At end of stream the leftover window
+    /// bytes count as discarded and the reader is marked done.
+    fn resync(&mut self, window: &mut [u8; 12]) -> Result<u64, MrtError> {
+        let mut skipped: u64 = 0;
+        loop {
+            let mut next = [0u8; 1];
+            let n = self.inner.read(&mut next)?;
+            window.copy_within(1.., 0);
+            skipped += 1;
+            if n == 0 {
+                // The 11 bytes left in the window can no longer form a
+                // full header.
+                self.done = true;
+                return Ok(skipped + 11);
+            }
+            window[11] = next[0];
+            if wire::plausible_header(window, self.cap) {
+                self.pending = Some(*window);
+                return Ok(skipped);
+            }
+            // Keep a capped scan bounded even before the warning is booked.
+            if let RecoveryPolicy::RecoverWithCap { max_skipped_bytes } = self.policy {
+                if self.stats.skipped_bytes + skipped > max_skipped_bytes {
+                    return Err(MrtError::SkipBudgetExhausted {
+                        skipped: self.stats.skipped_bytes + skipped,
+                        cap: max_skipped_bytes,
+                    });
+                }
+            }
+        }
+    }
+
+    /// One recovery-mode framing step: the next record, a survived framing
+    /// failure, or the end of the (possibly damaged) stream.
+    fn next_frame(&mut self) -> Result<Frame, MrtError> {
+        if self.done {
+            return Ok(Frame::Eof);
+        }
+        let mut header = [0u8; 12];
+        match self.pending.take() {
+            Some(h) => header = h,
+            None => {
+                let have = self.fill(&mut header)?;
+                if have == 0 {
+                    self.done = true;
+                    return Ok(Frame::Eof);
+                }
+                if have < header.len() {
+                    self.done = true;
+                    return self.recovered(
+                        have as u64,
+                        WarningKind::TruncatedHeader { have: have as u8 },
+                    );
+                }
+            }
+        }
+        let (timestamp, mrt_type, subtype, length) = wire::parse_header(&header);
+        if length > self.cap {
+            let skipped = self.resync(&mut header)?;
+            return self.recovered(
+                skipped,
+                WarningKind::OversizedRecord {
+                    declared: length,
+                    cap: self.cap,
+                },
+            );
+        }
+        let mut body = vec![0u8; length as usize];
+        let have = self.fill(&mut body)?;
+        if have < body.len() {
+            self.done = true;
+            return self.recovered(
+                12 + have as u64,
+                WarningKind::TruncatedBody {
+                    declared: length,
+                    have: have as u32,
+                },
+            );
+        }
+        self.record_index += 1;
+        Ok(Frame::Record(RawRecord {
+            timestamp,
+            mrt_type,
+            subtype,
+            body: Bytes::from(body),
+        }))
+    }
+
     /// Decodes the next record, converting per-record failures into
     /// warnings. Returns `Ok(None)` at a clean end of stream; `Err` only
-    /// for stream-fatal conditions.
+    /// for stream-fatal conditions — under [`RecoveryPolicy::Strict`] that
+    /// includes framing failures, under the recovery policies those become
+    /// warnings too and only real I/O errors (or an exhausted skip budget)
+    /// remain fatal.
     ///
     /// (Deliberately named like `Iterator::next`; a fallible pull API
     /// cannot implement `Iterator` without hiding stream-fatal errors.)
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<ReadItem>, MrtError> {
-        let Some(raw) = self.next_raw()? else {
-            return Ok(None);
-        };
-        let index = self.record_index - 1;
-        Ok(Some(decode_record(&raw, index)))
+        if self.policy == RecoveryPolicy::Strict {
+            let Some(raw) = self.next_raw()? else {
+                return Ok(None);
+            };
+            let index = self.record_index - 1;
+            return Ok(Some(decode_record(&raw, index)));
+        }
+        match self.next_frame()? {
+            Frame::Eof => Ok(None),
+            Frame::Record(raw) => {
+                let index = self.record_index - 1;
+                Ok(Some(decode_record(&raw, index)))
+            }
+            Frame::Recovered(kind) => Ok(Some(ReadItem::Warning(MrtWarning {
+                // The record never framed, so it never took an index; the
+                // warning carries the index the next record will get.
+                record_index: self.record_index,
+                timestamp: None,
+                peer: None,
+                kind,
+            }))),
+        }
     }
 
     /// Drains the stream into (records, warnings).
@@ -414,6 +670,8 @@ pub struct RibDump {
     pub v1_routes: Vec<crate::table_dump_v1::TableDumpRecord>,
     /// Warnings collected while reading.
     pub warnings: Vec<MrtWarning>,
+    /// Framing-recovery accounting (all zeroes on strict reads).
+    pub ingest: IngestStats,
 }
 
 impl RibDump {
@@ -474,9 +732,18 @@ pub struct RibDumpReader;
 
 impl RibDumpReader {
     /// Reads until end of stream, collecting the peer table, routes, and
-    /// warnings.
+    /// warnings. Strict: framing failures abort the read.
     pub fn read_all<R: Read>(reader: R) -> Result<RibDump, MrtError> {
-        let mut mrt = MrtReader::new(reader);
+        Self::read_all_with_policy(reader, RecoveryPolicy::Strict)
+    }
+
+    /// [`RibDumpReader::read_all`] under an explicit framing-failure
+    /// policy; recovery damage is reported in the dump's `ingest` field.
+    pub fn read_all_with_policy<R: Read>(
+        reader: R,
+        policy: RecoveryPolicy,
+    ) -> Result<RibDump, MrtError> {
+        let mut mrt = MrtReader::with_policy(reader, policy);
         let mut dump = RibDump::default();
         while let Some(item) = mrt.next()? {
             match item {
@@ -496,6 +763,7 @@ impl RibDumpReader {
                 ReadItem::Warning(w) => dump.warnings.push(w),
             }
         }
+        dump.ingest = mrt.stats();
         Ok(dump)
     }
 }
@@ -506,9 +774,20 @@ pub struct UpdatesReader;
 
 impl UpdatesReader {
     /// Reads until end of stream, converting UPDATE messages into
-    /// [`UpdateRecord`]s. Non-UPDATE BGP messages are ignored.
+    /// [`UpdateRecord`]s. Non-UPDATE BGP messages are ignored. Strict:
+    /// framing failures abort the read.
     pub fn read_all<R: Read>(reader: R) -> Result<(Vec<UpdateRecord>, Vec<MrtWarning>), MrtError> {
-        let mut mrt = MrtReader::new(reader);
+        let (updates, warnings, _) = Self::read_all_with_policy(reader, RecoveryPolicy::Strict)?;
+        Ok((updates, warnings))
+    }
+
+    /// [`UpdatesReader::read_all`] under an explicit framing-failure
+    /// policy; recovery damage is returned as the third element.
+    pub fn read_all_with_policy<R: Read>(
+        reader: R,
+        policy: RecoveryPolicy,
+    ) -> Result<(Vec<UpdateRecord>, Vec<MrtWarning>, IngestStats), MrtError> {
+        let mut mrt = MrtReader::with_policy(reader, policy);
         let mut updates = Vec::new();
         let mut warnings = Vec::new();
         while let Some(item) = mrt.next()? {
@@ -529,6 +808,194 @@ impl UpdatesReader {
                 ReadItem::Warning(w) => warnings.push(w),
             }
         }
-        Ok((updates, warnings))
+        Ok((updates, warnings, mrt.stats()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::UpdateDumpWriter;
+    use std::str::FromStr;
+
+    fn sample_updates(n: usize) -> Vec<u8> {
+        let mut w = UpdateDumpWriter::new(Vec::new(), Asn(12654), "198.51.100.1".parse().unwrap());
+        for i in 0..n {
+            let rec = UpdateRecord::announce(
+                SimTime::from_ymd_hms(2024, 10, 15, 8, 0, (i % 60) as u8),
+                PeerKey::new(Asn(3356), "10.0.0.1".parse().unwrap()),
+                vec![format!("10.{}.0.0/16", i + 1).parse().unwrap()],
+                RouteAttrs::from_path("3356 1299 64496".parse().unwrap()),
+            );
+            w.write_update(&rec).unwrap();
+        }
+        w.into_inner()
+    }
+
+    fn read_recovering(bytes: &[u8]) -> (usize, Vec<MrtWarning>, IngestStats) {
+        let (updates, warnings, stats) =
+            UpdatesReader::read_all_with_policy(bytes, RecoveryPolicy::Recover)
+                .expect("recovery reads of in-memory bytes never fail");
+        (updates.len(), warnings, stats)
+    }
+
+    #[test]
+    fn recovery_policy_parses() {
+        assert_eq!(
+            RecoveryPolicy::from_str("strict").unwrap(),
+            RecoveryPolicy::Strict
+        );
+        assert_eq!(
+            RecoveryPolicy::from_str("recover").unwrap(),
+            RecoveryPolicy::Recover
+        );
+        assert_eq!(
+            RecoveryPolicy::from_str("recover-with-cap").unwrap(),
+            RecoveryPolicy::RecoverWithCap {
+                max_skipped_bytes: DEFAULT_SKIP_CAP
+            }
+        );
+        assert!(RecoveryPolicy::from_str("lenient").is_err());
+    }
+
+    #[test]
+    fn strict_reads_stay_clean_and_strict() {
+        let bytes = sample_updates(3);
+        let (updates, warnings) = UpdatesReader::read_all(&bytes[..]).unwrap();
+        assert_eq!(updates.len(), 3);
+        assert!(warnings.is_empty());
+
+        let mut truncated = sample_updates(2);
+        truncated.extend_from_slice(&[0u8; 6]);
+        assert!(matches!(
+            UpdatesReader::read_all(&truncated[..]),
+            Err(MrtError::TruncatedHeader { have: 6 })
+        ));
+    }
+
+    #[test]
+    fn recover_survives_truncated_header() {
+        let mut bytes = sample_updates(2);
+        bytes.extend_from_slice(&[0u8; 6]);
+        let (n, warnings, stats) = read_recovering(&bytes);
+        assert_eq!(n, 2);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].kind, WarningKind::TruncatedHeader { have: 6 });
+        assert_eq!(warnings[0].timestamp, None);
+        assert_eq!(
+            stats,
+            IngestStats {
+                recovered_records: 1,
+                skipped_bytes: 6
+            }
+        );
+    }
+
+    #[test]
+    fn recover_survives_truncated_body() {
+        let whole = sample_updates(3);
+        let two = sample_updates(2);
+        // Cut the third record five bytes into its body.
+        let cut = two.len() + 12 + 5;
+        let declared = (whole.len() - two.len() - 12) as u32;
+        let (n, warnings, stats) = read_recovering(&whole[..cut]);
+        assert_eq!(n, 2);
+        assert_eq!(
+            warnings[0].kind,
+            WarningKind::TruncatedBody { declared, have: 5 }
+        );
+        assert_eq!(
+            stats,
+            IngestStats {
+                recovered_records: 1,
+                skipped_bytes: 17
+            }
+        );
+    }
+
+    #[test]
+    fn recover_resynchronizes_past_oversized_record() {
+        let one = sample_updates(1);
+        let rest = {
+            let all = sample_updates(3);
+            all[one.len()..].to_vec()
+        };
+        let mut bytes = one;
+        // A header declaring a gigabyte, directly before two valid records.
+        bytes.extend_from_slice(&0xFFFF_FFFFu32.to_be_bytes());
+        bytes.extend_from_slice(&16u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&(1u32 << 30).to_be_bytes());
+        bytes.extend_from_slice(&rest);
+
+        let (n, warnings, stats) = read_recovering(&bytes);
+        assert_eq!(n, 3, "both records after the bad header are recovered");
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(
+            warnings[0].kind,
+            WarningKind::OversizedRecord {
+                declared: 1 << 30,
+                cap: DEFAULT_RECORD_CAP
+            }
+        );
+        assert_eq!(
+            stats,
+            IngestStats {
+                recovered_records: 1,
+                skipped_bytes: 12
+            }
+        );
+    }
+
+    #[test]
+    fn recover_consumes_trailing_garbage() {
+        let mut bytes = sample_updates(1);
+        bytes.extend_from_slice(&[0xAA; 100]);
+        let (n, warnings, stats) = read_recovering(&bytes);
+        assert_eq!(n, 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(matches!(
+            warnings[0].kind,
+            WarningKind::OversizedRecord { .. }
+        ));
+        assert_eq!(stats.skipped_bytes, 100, "every garbage byte accounted");
+    }
+
+    #[test]
+    fn recover_with_cap_aborts_on_heavy_damage() {
+        let mut bytes = sample_updates(1);
+        bytes.extend_from_slice(&[0xAA; 100]);
+        let err = UpdatesReader::read_all_with_policy(
+            &bytes[..],
+            RecoveryPolicy::RecoverWithCap {
+                max_skipped_bytes: 16,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MrtError::SkipBudgetExhausted { cap: 16, skipped } if skipped > 16
+        ));
+    }
+
+    #[test]
+    fn ingest_stats_absorb() {
+        let mut a = IngestStats {
+            recovered_records: 1,
+            skipped_bytes: 10,
+        };
+        assert!(!a.is_clean());
+        assert!(IngestStats::default().is_clean());
+        a.absorb(IngestStats {
+            recovered_records: 2,
+            skipped_bytes: 5,
+        });
+        assert_eq!(
+            a,
+            IngestStats {
+                recovered_records: 3,
+                skipped_bytes: 15
+            }
+        );
     }
 }

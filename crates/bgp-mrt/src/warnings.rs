@@ -44,6 +44,35 @@ pub enum WarningKind {
         /// The dangling index.
         index: u16,
     },
+    /// The stream ended inside a record's 12-byte MRT header. Strict
+    /// readers abort with [`MrtError::TruncatedHeader`]; recovery mode
+    /// reports the tail as this warning instead.
+    ///
+    /// [`MrtError::TruncatedHeader`]: crate::MrtError::TruncatedHeader
+    TruncatedHeader {
+        /// Header bytes present (1..=11).
+        have: u8,
+    },
+    /// The stream ended before a record's declared body length was
+    /// available (recovery mode only; strict readers abort with an
+    /// `UnexpectedEof` I/O error).
+    TruncatedBody {
+        /// The body length the header declared.
+        declared: u32,
+        /// Body bytes actually present.
+        have: u32,
+    },
+    /// A record declared a body larger than the reader's sanity cap.
+    /// Strict readers abort with [`MrtError::RecordTooLarge`]; recovery
+    /// mode skips forward to the next plausible record boundary.
+    ///
+    /// [`MrtError::RecordTooLarge`]: crate::MrtError::RecordTooLarge
+    OversizedRecord {
+        /// The body length the header declared.
+        declared: u32,
+        /// The reader's record-size cap.
+        cap: u32,
+    },
 }
 
 impl WarningKind {
@@ -52,6 +81,8 @@ impl WarningKind {
         let ctx = err.context();
         if ctx == "duplicate path attribute" {
             WarningKind::DuplicatePathAttribute
+        } else if ctx == "BGP marker" {
+            WarningKind::BadMarker
         } else if ctx.contains("MP_REACH") || ctx.contains("MP_UNREACH") {
             WarningKind::InvalidMpReachNlri
         } else {
@@ -75,6 +106,9 @@ impl WarningKind {
             WarningKind::Decode { .. } => "decode",
             WarningKind::BadMarker => "bad_marker",
             WarningKind::MissingPeerIndex { .. } => "missing_peer_index",
+            WarningKind::TruncatedHeader { .. } => "truncated_header",
+            WarningKind::TruncatedBody { .. } => "truncated_body",
+            WarningKind::OversizedRecord { .. } => "oversized_record",
         }
     }
 
@@ -109,6 +143,15 @@ impl fmt::Display for WarningKind {
             WarningKind::BadMarker => write!(f, "BGP message marker is not all-ones"),
             WarningKind::MissingPeerIndex { index } => {
                 write!(f, "RIB entry references unknown peer index {index}")
+            }
+            WarningKind::TruncatedHeader { have } => {
+                write!(f, "stream ends inside an MRT header ({have} of 12 bytes)")
+            }
+            WarningKind::TruncatedBody { declared, have } => {
+                write!(f, "record body truncated ({have} of {declared} bytes)")
+            }
+            WarningKind::OversizedRecord { declared, cap } => {
+                write!(f, "record declares {declared} bytes, cap is {cap}")
             }
         }
     }
@@ -181,6 +224,19 @@ mod tests {
         .is_addpath_signature());
         assert!(!WarningKind::BadMarker.is_addpath_signature());
         assert!(!WarningKind::UnknownType { mrt_type: 12 }.is_addpath_signature());
+        // Framing-recovery warnings say the *stream* was damaged, not that
+        // a peer speaks ADD-PATH — they must never feed peer removal.
+        assert!(!WarningKind::TruncatedHeader { have: 6 }.is_addpath_signature());
+        assert!(!WarningKind::TruncatedBody {
+            declared: 64,
+            have: 10
+        }
+        .is_addpath_signature());
+        assert!(!WarningKind::OversizedRecord {
+            declared: 1 << 30,
+            cap: 1 << 25
+        }
+        .is_addpath_signature());
     }
 
     #[test]
@@ -211,6 +267,15 @@ mod tests {
             },
             WarningKind::BadMarker,
             WarningKind::MissingPeerIndex { index: 3 },
+            WarningKind::TruncatedHeader { have: 6 },
+            WarningKind::TruncatedBody {
+                declared: 64,
+                have: 10,
+            },
+            WarningKind::OversizedRecord {
+                declared: 1 << 30,
+                cap: 1 << 25,
+            },
         ];
         let slugs: std::collections::BTreeSet<&str> = all.iter().map(|k| k.slug()).collect();
         assert_eq!(slugs.len(), all.len(), "slugs are distinct per class");
@@ -245,6 +310,10 @@ mod tests {
             WarningKind::from_decode(&mp),
             WarningKind::InvalidMpReachNlri
         );
+        let marker = DecodeError::Invalid {
+            context: "BGP marker",
+        };
+        assert_eq!(WarningKind::from_decode(&marker), WarningKind::BadMarker);
         let other = DecodeError::Truncated {
             context: "AS_PATH ASN",
         };

@@ -80,6 +80,35 @@ impl Cursor {
     }
 }
 
+/// Splits a 12-byte MRT common header into
+/// `(timestamp, type, subtype, length)`.
+pub fn parse_header(header: &[u8; 12]) -> (u32, u16, u16, u32) {
+    let timestamp = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+    let mrt_type = u16::from_be_bytes([header[4], header[5]]);
+    let subtype = u16::from_be_bytes([header[6], header[7]]);
+    let length = u32::from_be_bytes([header[8], header[9], header[10], header[11]]);
+    (timestamp, mrt_type, subtype, length)
+}
+
+/// A cheap plausibility test used by the resynchronizing reader: could
+/// these 12 bytes be the common header of a record from the archives this
+/// crate handles? True when the type is one this crate recognizes, the
+/// subtype is within the small range those types use, and the declared
+/// length fits under `cap`. Deliberately loose — a false positive costs
+/// one garbage record (contained by per-record decoding), a false negative
+/// loses the rest of the file.
+pub fn plausible_header(header: &[u8; 12], cap: u32) -> bool {
+    let (_, mrt_type, subtype, length) = parse_header(header);
+    matches!(
+        mrt_type,
+        crate::TYPE_TABLE_DUMP
+            | crate::TYPE_TABLE_DUMP_V2
+            | crate::TYPE_BGP4MP
+            | crate::TYPE_BGP4MP_ET
+    ) && subtype <= 16
+        && length <= cap
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +156,31 @@ mod tests {
         let mut c = cur(&[0xFF; 16]);
         assert_eq!(c.u128("v6").unwrap(), u128::MAX);
         assert!(cur(&[0u8; 15]).u128("v6").is_err());
+    }
+
+    #[test]
+    fn header_parse_and_plausibility() {
+        let mut h = [0u8; 12];
+        h[0..4].copy_from_slice(&0x5002_0000u32.to_be_bytes());
+        h[4..6].copy_from_slice(&13u16.to_be_bytes());
+        h[6..8].copy_from_slice(&2u16.to_be_bytes());
+        h[8..12].copy_from_slice(&64u32.to_be_bytes());
+        assert_eq!(parse_header(&h), (0x5002_0000, 13, 2, 64));
+        assert!(plausible_header(&h, 1 << 20));
+
+        // Unknown type.
+        h[4..6].copy_from_slice(&99u16.to_be_bytes());
+        assert!(!plausible_header(&h, 1 << 20));
+        h[4..6].copy_from_slice(&16u16.to_be_bytes());
+        assert!(plausible_header(&h, 1 << 20));
+
+        // Subtype out of the plausible range.
+        h[6..8].copy_from_slice(&17u16.to_be_bytes());
+        assert!(!plausible_header(&h, 1 << 20));
+        h[6..8].copy_from_slice(&4u16.to_be_bytes());
+
+        // Length above the cap.
+        h[8..12].copy_from_slice(&(1u32 << 30).to_be_bytes());
+        assert!(!plausible_header(&h, 1 << 20));
     }
 }

@@ -1,13 +1,23 @@
 //! Fault-injection tests: the tolerant reader must never panic, whatever
 //! bytes it is fed, and must recover everything recoverable.
+//!
+//! The second half of this file maintains the checked-in corrupted-MRT
+//! regression corpus (`tests/corpus/*.mrt`): one file per failure class,
+//! each built deterministically by mutating valid writer output, with the
+//! exact expected warning-slug counts and recovery accounting pinned.
+//! Regenerate with `PA_REGEN_CORPUS=1 cargo test -p bgp-mrt --test
+//! fault_injection` after an intentional writer or corpus change.
 
 use bgp_mrt::attrs::ParsedAttrs;
-use bgp_mrt::reader::{MrtReader, RibDumpReader, UpdatesReader};
+use bgp_mrt::reader::{IngestStats, MrtReader, RecoveryPolicy, RibDumpReader, UpdatesReader};
 use bgp_mrt::record::{PeerEntry, PeerIndexTable};
-use bgp_mrt::writer::{RibDumpWriter, UpdateDumpWriter};
+use bgp_mrt::writer::{CorruptionMode, RibDumpWriter, UpdateDumpWriter};
+use bgp_mrt::MrtError;
 use bgp_types::{Asn, PeerKey, Prefix, RouteAttrs, SimTime, UpdateRecord};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 fn sample_updates_file() -> Vec<u8> {
     let peer = PeerKey::new(Asn(3356), "10.0.0.1".parse().unwrap());
@@ -134,6 +144,34 @@ fn body_corruption_is_contained() {
     assert!(updates.len() >= 19, "got {}", updates.len());
 }
 
+/// Corruptions that are fatal to a strict read must be survivable in
+/// recovery mode: on in-memory bytes — where real I/O errors cannot happen
+/// — an uncapped recovering read must *never* return an error, whatever
+/// the damage.
+#[test]
+fn recovery_reads_never_error() {
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    for file in [sample_updates_file(), sample_rib_file()] {
+        for cut in (0..file.len()).step_by(7) {
+            let mut reader =
+                MrtReader::with_policy_and_cap(&file[..cut], RecoveryPolicy::Recover, 1 << 20);
+            while reader.next().expect("recovery read failed").is_some() {}
+        }
+        for _ in 0..200 {
+            let mut corrupted = file.clone();
+            let pos = rng.random_range(0..corrupted.len());
+            corrupted[pos] ^= 1u8 << rng.random_range(0..8);
+            let mut reader =
+                MrtReader::with_policy_and_cap(&corrupted[..], RecoveryPolicy::Recover, 1 << 20);
+            let mut steps = 0;
+            while reader.next().expect("recovery read failed").is_some() {
+                steps += 1;
+                assert!(steps < 100_000, "reader failed to terminate");
+            }
+        }
+    }
+}
+
 /// Reading a RIB file with the updates reader (and vice versa) must produce
 /// warnings, not panics or phantom data.
 #[test]
@@ -147,4 +185,321 @@ fn cross_reading_is_safe() {
     let dump = RibDumpReader::read_all(&upd[..]).unwrap();
     assert!(dump.routes.is_empty());
     assert!(!dump.warnings.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// The checked-in corrupted-MRT regression corpus.
+// ---------------------------------------------------------------------------
+
+/// Self-contained deterministic position source for the corpus builder.
+/// Deliberately not the `rand` crate: corpus bytes must not depend on which
+/// rand implementation (real or vendor stub) built them.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `n` well-formed BGP4MP update records (one prefix each).
+fn valid_records(n: usize) -> Vec<u8> {
+    let peer = PeerKey::new(Asn(3356), "10.0.0.1".parse().unwrap());
+    let mut w = UpdateDumpWriter::new(Vec::new(), Asn(12654), "198.51.100.1".parse().unwrap());
+    for i in 0..n as u32 {
+        let rec = UpdateRecord::announce(
+            SimTime::from_unix(2000 + i as u64),
+            peer,
+            vec![Prefix::v4((10 << 24) | ((i + 1) << 8), 24).unwrap()],
+            RouteAttrs::from_path("3356 1299 64496".parse().unwrap()),
+        );
+        w.write_update(&rec).unwrap();
+    }
+    w.into_inner()
+}
+
+/// Byte offset where record `i` (zero-based) starts in a valid stream.
+fn record_start(bytes: &[u8], i: usize) -> usize {
+    let mut off = 0;
+    for _ in 0..i {
+        let len = u32::from_be_bytes([
+            bytes[off + 8],
+            bytes[off + 9],
+            bytes[off + 10],
+            bytes[off + 11],
+        ]) as usize;
+        off += 12 + len;
+    }
+    off
+}
+
+/// One record produced through the writer's deliberate-corruption path.
+fn corrupted_record(mode: CorruptionMode) -> Vec<u8> {
+    let peer = PeerKey::new(Asn(3356), "10.0.0.1".parse().unwrap());
+    let rec = UpdateRecord::announce(
+        SimTime::from_unix(2100),
+        peer,
+        vec![Prefix::v4(10 << 24, 24).unwrap()],
+        RouteAttrs::from_path("3356 1299 64496".parse().unwrap()),
+    );
+    let mut w = UpdateDumpWriter::new(Vec::new(), Asn(12654), "198.51.100.1".parse().unwrap());
+    w.write_corrupted(&rec, mode).unwrap();
+    w.into_inner()
+}
+
+/// Builds the corpus: `(file name, bytes)` per failure class, every byte a
+/// deterministic function of this code.
+fn build_corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let mut seed = SplitMix64(0x1A6E_57ED);
+    let mut corpus = Vec::new();
+
+    // Seeded byte truncation: the stream ends inside a record header.
+    let mut bytes = valid_records(3);
+    let tail_header = valid_records(4)[record_start(&valid_records(4), 3)..].to_vec();
+    let keep = 1 + (seed.next() % 11) as usize; // 1..=11 header bytes
+    bytes.extend_from_slice(&tail_header[..keep]);
+    corpus.push(("truncated_header.mrt", bytes));
+
+    // Seeded byte truncation: the stream ends inside a record body.
+    let whole = valid_records(4);
+    let last = record_start(&whole, 3);
+    let body_len = whole.len() - last - 12;
+    let keep = 1 + (seed.next() % (body_len as u64 - 1)) as usize; // 1..body_len
+    corpus.push(("truncated_body.mrt", whole[..last + 12 + keep].to_vec()));
+
+    // Length-field corruption: a header declaring a gigabyte, in front of
+    // two records that must be recovered by resynchronization.
+    let three = valid_records(3);
+    let second = record_start(&three, 1);
+    let mut bytes = three[..second].to_vec();
+    bytes.extend_from_slice(&0xFFFF_FFFFu32.to_be_bytes());
+    bytes.extend_from_slice(&16u16.to_be_bytes());
+    bytes.extend_from_slice(&4u16.to_be_bytes());
+    bytes.extend_from_slice(&(1u32 << 30).to_be_bytes());
+    bytes.extend_from_slice(&three[second..]);
+    corpus.push(("oversized_record.mrt", bytes));
+
+    // The writer's three deliberate corruption modes, each sandwiched
+    // between valid records (decode-level failures, not framing failures).
+    for (name, mode) in [
+        ("unknown_subtype.mrt", CorruptionMode::AddPathSubtype),
+        (
+            "duplicate_attribute.mrt",
+            CorruptionMode::DuplicateAttribute,
+        ),
+        ("invalid_mp_reach.mrt", CorruptionMode::InvalidMpReach),
+    ] {
+        let two = valid_records(2);
+        let second = record_start(&two, 1);
+        let mut bytes = two[..second].to_vec();
+        bytes.extend_from_slice(&corrupted_record(mode));
+        bytes.extend_from_slice(&two[second..]);
+        corpus.push((name, bytes));
+    }
+
+    // Marker corruption: one byte of the second record's 16-byte BGP
+    // marker zeroed. The AS4 v4-session preamble is 20 bytes, so the
+    // marker spans body offsets 20..36.
+    let mut bytes = valid_records(2);
+    let second = record_start(&bytes, 1);
+    let flip = 20 + (seed.next() % 16) as usize;
+    bytes[second + 12 + flip] = 0x00;
+    corpus.push(("bad_marker.mrt", bytes));
+
+    // Attribute splicing: the second record's attribute-block length claims
+    // bytes past the end of its BGP message, so the attribute region no
+    // longer lines up with the message that carries it. The length field
+    // sits after the 20-byte preamble, 16-byte marker, message length (2),
+    // type (1), and the empty withdrawn block (2): body offset 41.
+    let mut bytes = valid_records(2);
+    let second = record_start(&bytes, 1);
+    let attr_len_at = second + 12 + 41;
+    let attr_len = u16::from_be_bytes([bytes[attr_len_at], bytes[attr_len_at + 1]]);
+    let overshoot = attr_len + 100 + (seed.next() % 100) as u16;
+    bytes[attr_len_at..attr_len_at + 2].copy_from_slice(&overshoot.to_be_bytes());
+    corpus.push(("spliced_attributes.mrt", bytes));
+
+    corpus
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// The corpus on disk must be byte-identical to what the builder produces.
+/// Set `PA_REGEN_CORPUS=1` to rewrite the files after an intentional change.
+#[test]
+fn corpus_files_match_builder() {
+    let dir = corpus_dir();
+    if std::env::var_os("PA_REGEN_CORPUS").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, bytes) in build_corpus() {
+            std::fs::write(dir.join(name), bytes).unwrap();
+        }
+        return;
+    }
+    for (name, bytes) in build_corpus() {
+        let on_disk = std::fs::read(dir.join(name)).unwrap_or_else(|e| {
+            panic!("corpus file {name} unreadable ({e}); regenerate with PA_REGEN_CORPUS=1")
+        });
+        assert_eq!(on_disk, bytes, "{name} diverges from its builder");
+    }
+}
+
+/// What a recovering read of one corpus file must produce.
+struct Expected {
+    name: &'static str,
+    records: usize,
+    /// Exact warning-slug counts.
+    slugs: &'static [(&'static str, u64)],
+    stats: IngestStats,
+    /// Whether a strict read survives this file (decode-level damage) or
+    /// aborts (framing damage).
+    strict_ok: bool,
+}
+
+fn expectations() -> Vec<Expected> {
+    vec![
+        Expected {
+            name: "truncated_header.mrt",
+            records: 3,
+            slugs: &[("truncated_header", 1)],
+            stats: IngestStats {
+                recovered_records: 1,
+                skipped_bytes: 3,
+            },
+            strict_ok: false,
+        },
+        Expected {
+            name: "truncated_body.mrt",
+            records: 3,
+            slugs: &[("truncated_body", 1)],
+            stats: IngestStats {
+                recovered_records: 1,
+                skipped_bytes: 55,
+            },
+            strict_ok: false,
+        },
+        Expected {
+            name: "oversized_record.mrt",
+            records: 3,
+            slugs: &[("oversized_record", 1)],
+            stats: IngestStats {
+                recovered_records: 1,
+                skipped_bytes: 12,
+            },
+            strict_ok: false,
+        },
+        Expected {
+            name: "unknown_subtype.mrt",
+            records: 2,
+            slugs: &[("unknown_subtype", 1)],
+            stats: IngestStats::default(),
+            strict_ok: true,
+        },
+        Expected {
+            name: "duplicate_attribute.mrt",
+            records: 2,
+            slugs: &[("duplicate_path_attribute", 1)],
+            stats: IngestStats::default(),
+            strict_ok: true,
+        },
+        Expected {
+            name: "invalid_mp_reach.mrt",
+            records: 2,
+            slugs: &[("invalid_mp_reach_nlri", 1)],
+            stats: IngestStats::default(),
+            strict_ok: true,
+        },
+        Expected {
+            name: "bad_marker.mrt",
+            records: 1,
+            slugs: &[("bad_marker", 1)],
+            stats: IngestStats::default(),
+            strict_ok: true,
+        },
+        Expected {
+            name: "spliced_attributes.mrt",
+            records: 1,
+            slugs: &[("decode", 1)],
+            stats: IngestStats::default(),
+            strict_ok: true,
+        },
+    ]
+}
+
+/// Every corpus file, read with `RecoveryPolicy::Recover`, must produce
+/// exactly the pinned record count, warning-slug counts, and recovery
+/// accounting.
+#[test]
+fn corpus_recovery_outcomes_are_pinned() {
+    let corpus: BTreeMap<_, _> = build_corpus().into_iter().collect();
+    let expectations = expectations();
+    assert_eq!(corpus.len(), expectations.len(), "one expectation per file");
+    for exp in expectations {
+        let bytes = &corpus[exp.name];
+        let (updates, warnings, stats) =
+            UpdatesReader::read_all_with_policy(&bytes[..], RecoveryPolicy::Recover)
+                .unwrap_or_else(|e| panic!("{}: recovery read failed: {e}", exp.name));
+        assert_eq!(updates.len(), exp.records, "{}: record count", exp.name);
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        for w in &warnings {
+            *counts.entry(w.kind.slug()).or_default() += 1;
+        }
+        let expected: BTreeMap<&str, u64> = exp.slugs.iter().copied().collect();
+        assert_eq!(counts, expected, "{}: warning-slug counts", exp.name);
+        assert_eq!(stats, exp.stats, "{}: recovery accounting", exp.name);
+    }
+}
+
+/// Strict reads must keep today's behaviour on every corpus file: framing
+/// damage aborts, decode-level damage yields the same records and warnings
+/// a recovering read does.
+#[test]
+fn corpus_strict_outcomes_are_preserved() {
+    let corpus: BTreeMap<_, _> = build_corpus().into_iter().collect();
+    for exp in expectations() {
+        let bytes = &corpus[exp.name];
+        let strict = UpdatesReader::read_all(&bytes[..]);
+        if !exp.strict_ok {
+            assert!(strict.is_err(), "{}: strict read must fail", exp.name);
+            continue;
+        }
+        let (updates, warnings) = strict.unwrap();
+        let (r_updates, r_warnings, _) =
+            UpdatesReader::read_all_with_policy(&bytes[..], RecoveryPolicy::Recover).unwrap();
+        assert_eq!(updates.len(), r_updates.len(), "{}", exp.name);
+        assert_eq!(warnings, r_warnings, "{}", exp.name);
+    }
+}
+
+/// The capped policy must abort on a file damaged past its budget and
+/// behave exactly like `Recover` when the budget is not reached.
+#[test]
+fn recover_with_cap_budgets_the_corpus() {
+    let corpus: BTreeMap<_, _> = build_corpus().into_iter().collect();
+    let oversized = &corpus["oversized_record.mrt"];
+    let err = UpdatesReader::read_all_with_policy(
+        &oversized[..],
+        RecoveryPolicy::RecoverWithCap {
+            max_skipped_bytes: 4,
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, MrtError::SkipBudgetExhausted { cap: 4, .. }));
+
+    let (updates, warnings, stats) = UpdatesReader::read_all_with_policy(
+        &oversized[..],
+        RecoveryPolicy::recover_with_default_cap(),
+    )
+    .unwrap();
+    let (r_updates, r_warnings, r_stats) =
+        UpdatesReader::read_all_with_policy(&oversized[..], RecoveryPolicy::Recover).unwrap();
+    assert_eq!(updates, r_updates);
+    assert_eq!(warnings, r_warnings);
+    assert_eq!(stats, r_stats);
 }

@@ -266,9 +266,9 @@ const V6_ANCHORS: [Anchor; 4] = [
         n_as: 34_164.0,
         prefixes_per_as: 6.65,
         fragmentation: 0.60,
-        p_multi_unit: 0.60,
-        unit_size_p1: 0.80,
-        unit_size_tail_mean: 5.0,
+        p_multi_unit: 0.46,
+        unit_size_p1: 0.66,
+        unit_size_tail_mean: 6.5,
         p_transit_selective: 0.32,
         p_origin_selective: 0.22,
         multihome_mean: 2.1,

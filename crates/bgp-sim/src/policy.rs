@@ -169,7 +169,16 @@ impl PolicySet {
                         .first()
                         .map(|&p| topo.asns[p as usize].0 as u16)
                         .unwrap_or(65000);
-                    Community::new(asn, 2000 + rng.random_range(0..1000))
+                    // The community value is a pure function of the
+                    // steering request (origin, depth, export targets) —
+                    // not of the unit: an origin steering two units
+                    // identically emits the same community for both, the
+                    // way a provider's action-community template works.
+                    // Units in one atom therefore share their communities
+                    // and their updates can travel in one message.
+                    let _ = rng.random_range(0..1000); // legacy stream slot
+                    let value = steering_value(origin, selective_depth, &export);
+                    Community::new(asn, value)
                 });
                 units.push(Unit {
                     origin,
@@ -278,6 +287,22 @@ fn sample_origin_export(
         to_peers: providers.is_empty() || rng.random_bool(0.5),
         prepends,
     }
+}
+
+/// Deterministic community value for a steering request: hashes the
+/// origin, selective depth, and the provider-directed part of the export
+/// (targets and prepends) so that identically steered units of one origin
+/// carry the same community value. `to_peers` is origin-side lateral
+/// export, not a steering request, and stays out of the value.
+fn steering_value(origin: AsId, depth: u8, export: &OriginExport) -> u16 {
+    let mut x = (origin as u64) << 8 | depth as u64;
+    for (&p, &pre) in export.providers.iter().zip(&export.prepends) {
+        x = x
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(((p as u64) << 8) | pre as u64);
+    }
+    x ^= x >> 29;
+    2000 + (x % 1000) as u16
 }
 
 /// Deterministic per-(transit, unit, neighbor) selective-export decision.

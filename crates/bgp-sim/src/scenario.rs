@@ -256,6 +256,35 @@ impl Scenario {
             self.dirty[u] = false;
         }
         self.any_dirty = false;
+        self.harmonize_steering();
+    }
+
+    /// Units of one origin whose paths coincide at every vantage point are
+    /// observably a single policy; they carry a single steering
+    /// annotation. Without this, a selective-export draw with no visible
+    /// routing effect tags one unit of an atom and not its siblings, and
+    /// their prefixes could never share an UPDATE message — which the
+    /// prefixes of one atom overwhelmingly do (the paper's Fig. 3).
+    fn harmonize_steering(&mut self) {
+        let n_vp = self.vp_ases.len();
+        let mut best: HashMap<(AsId, &[u32]), Option<bgp_types::Community>> = HashMap::new();
+        for (u, unit) in self.policy.units.iter().enumerate() {
+            let row = &self.by_unit_vp[u * n_vp..(u + 1) * n_vp];
+            let entry = best.entry((unit.origin, row)).or_insert(None);
+            *entry = match (*entry, unit.steering_community) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        let harmonized: Vec<Option<bgp_types::Community>> = (0..self.policy.len())
+            .map(|u| {
+                let row = &self.by_unit_vp[u * n_vp..(u + 1) * n_vp];
+                best[&(self.policy.units[u].origin, row)]
+            })
+            .collect();
+        for (unit, c) in self.policy.units.iter_mut().zip(harmonized) {
+            unit.steering_community = c;
+        }
     }
 
     /// The path unit `u` shows at vantage point `vp_idx`, if any.
@@ -542,12 +571,45 @@ impl Scenario {
         Ok(())
     }
 
-    /// Applies a vantage-point-local policy change (e.g. the VP switched
-    /// providers): all units become dirty, but path changes are mostly
+    /// Applies a vantage-point-local policy change — the VP switched
+    /// providers: all units become dirty, but path changes are mostly
     /// confined to that VP's view — the §4.4.1 mechanism.
+    ///
+    /// The switch is literal: the VP AS's first provider edge is replaced
+    /// by a deterministic alternate Tier-1 (Tier-1s cannot create provider
+    /// cycles), so the victim's distant routes are guaranteed to change
+    /// even when the VP is singly homed and no routing tie exists for the
+    /// salt below to flip. Repeated calls keep walking the Tier-1 clique,
+    /// so an "unstable" VP flaps on every perturbation.
     pub fn perturb_vp(&mut self, vp_idx: u32) {
-        let vp_as = self.vp_ases[vp_idx as usize];
-        self.vp_salts[vp_as as usize] = self.vp_salts[vp_as as usize].wrapping_add(1);
+        let vp_as = self.vp_ases[vp_idx as usize] as usize;
+        // Tie-break salt: flips equal-cost choices at (and towards) the VP.
+        self.vp_salts[vp_as] = self.vp_salts[vp_as].wrapping_add(1);
+        // Provider switch: swap providers[vp_as][0] for the lowest Tier-1
+        // that is not already one of the VP's providers.
+        if let Some(&old) = self.topology.providers[vp_as].first() {
+            let alt = (0..self.topology.len() as AsId).find(|&a| {
+                self.topology.tiers[a as usize] == Tier::Tier1
+                    && a != old
+                    && !self.topology.providers[vp_as].contains(&a)
+            });
+            if let Some(alt) = alt {
+                self.topology.providers[vp_as][0] = alt;
+                self.topology.customers[old as usize].retain(|&c| c != vp_as as AsId);
+                self.topology.customers[alt as usize].push(vp_as as AsId);
+                // Units originated by the VP AS must keep exporting only to
+                // actual providers (the validate() invariant).
+                for unit in &mut self.policy.units {
+                    if unit.origin as usize == vp_as {
+                        for p in &mut unit.export.providers {
+                            if *p == old {
+                                *p = alt;
+                            }
+                        }
+                    }
+                }
+            }
+        }
         for d in self.dirty.iter_mut() {
             *d = true;
         }

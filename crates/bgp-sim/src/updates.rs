@@ -80,10 +80,13 @@ pub fn generate_window(
             vec![u]
         };
         for pi in peer_indices {
-            // Group the event's prefixes by the path shown at this peer:
-            // one UPDATE message per distinct path, as a router would send.
-            // Each group remembers a unit on it so the record carries that
-            // unit's communities (units sharing a path share treatment).
+            // Group the event's prefixes by the *full attribute set* shown
+            // at this peer — path AND communities: one UPDATE message per
+            // distinct attribute set, as a router would send. Path alone is
+            // not enough: two units can converge onto the same path at a
+            // peer while one carries a steering community the other lacks,
+            // and a router can never pack NLRI with differing attributes
+            // into one message.
             let mut by_path: Vec<(u32, u32, Vec<bgp_types::Prefix>)> = Vec::new();
             for &eu in &event_units {
                 let Some(visible) = visible_prefixes(scenario, eu, pi) else {
@@ -95,7 +98,11 @@ pub fn generate_window(
                 let path_id = scenario
                     .path_id_at(eu, scenario.peers[pi].vp_idx)
                     .expect("visible ⇒ path present");
-                match by_path.iter_mut().find(|(id, _, _)| *id == path_id) {
+                let community = scenario.policy.units[eu as usize].steering_community;
+                match by_path.iter_mut().find(|(id, gu, _)| {
+                    *id == path_id
+                        && scenario.policy.units[*gu as usize].steering_community == community
+                }) {
                     Some((_, _, prefixes)) => prefixes.extend(visible),
                     None => by_path.push((path_id, eu, visible)),
                 }

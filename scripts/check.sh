@@ -5,7 +5,8 @@
 # `check.sh --full` additionally runs the incremental-engine and
 # snapshot-store differential proptest suites plus the incremental_vs_full
 # and interned_vs_owned Criterion benchmark groups (slow; the tier-1 gate
-# already runs both suites' default-sized cases).
+# already runs both suites' default-sized cases), and verifies the
+# corrupted-MRT corpus is exactly reproducible from its seeded builder.
 #
 # On machines without crates.io access (no network, empty registry cache)
 # the external dependencies are transparently substituted with the
@@ -40,6 +41,10 @@ run() {
 
 run build --release
 run test -q
+# The MRT fault-injection suite is the ingestion-hardening gate: every
+# corrupted-corpus file must be recovered or cleanly rejected, and the
+# recovery accounting is pinned (see crates/bgp-mrt/tests/corpus/).
+run test -q -p bgp-mrt --test fault_injection
 if cargo fmt --help >/dev/null 2>&1; then
     echo "+ cargo fmt --check" >&2
     cargo fmt --check
@@ -86,6 +91,26 @@ if ! diff -u tests/golden/metrics_2012_incremental.json "$golden_tmp/metrics_inc
 fi
 echo "check.sh: incremental golden metrics fixture OK" >&2
 
+# Ingestion-hardening gate: splice a corrupted corpus stream into one
+# collector's updates file. The default strict policy must refuse the
+# archive; --ingest-policy recover must complete the analysis and surface
+# the damage in the ingest.* counters.
+victim=$(find "$golden_tmp/archive" -name 'updates.*.mrt' | sort | head -n1)
+cat crates/bgp-mrt/tests/corpus/oversized_record.mrt >> "$victim"
+if ./target/release/pa atoms --date "2012-07-15 08:00" --archive "$golden_tmp/archive" \
+    >/dev/null 2>&1; then
+    echo "check.sh: strict ingestion accepted a damaged archive" >&2
+    exit 1
+fi
+./target/release/pa atoms --date "2012-07-15 08:00" --archive "$golden_tmp/archive" \
+    --ingest-policy recover --metrics-json "$golden_tmp/metrics_recover.json" >/dev/null
+if ! grep -q '"ingest.recovered_records": 1' "$golden_tmp/metrics_recover.json"; then
+    echo "check.sh: recovery did not report the spliced damage:" >&2
+    grep '"ingest\.' "$golden_tmp/metrics_recover.json" >&2 || true
+    exit 1
+fi
+echo "check.sh: ingest-policy gate OK" >&2
+
 if $full; then
     # Differential suites (random evolving ladders and the owned-data
     # store reference, byte-identity at 1/2/8 workers) and the
@@ -95,4 +120,13 @@ if $full; then
     run bench -p bench --bench incremental
     run bench -p bench --bench interned
     echo "check.sh: --full incremental tier OK" >&2
+    # Corpus regeneration must be a fixed point: rebuilding the corrupted
+    # MRT corpus from the seeded builder has to reproduce the checked-in
+    # bytes exactly.
+    PA_REGEN_CORPUS=1 run test -q -p bgp-mrt --test fault_injection corpus_files_match_builder
+    if ! git diff --exit-code -- crates/bgp-mrt/tests/corpus; then
+        echo "check.sh: regenerated corpus differs from the checked-in files" >&2
+        exit 1
+    fi
+    echo "check.sh: --full corpus regeneration OK" >&2
 fi

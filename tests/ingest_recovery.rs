@@ -1,0 +1,144 @@
+//! End-to-end ingestion hardening: a damaged on-disk archive is refused
+//! under the default strict policy, fully analyzed under `recover`, and the
+//! recovery accounting (`ingest.*` counters) is deterministic — byte-identical
+//! at 1, 2, and 8 worker threads and pinned in a golden fixture.
+//!
+//! Regenerate the fixture after an intentional change with:
+//!
+//! ```text
+//! PA_REGEN_GOLDEN=1 cargo test --test ingest_recovery
+//! ```
+
+use policy_atoms::atoms::obs::Metrics;
+use policy_atoms::atoms::parallel::Parallelism;
+use policy_atoms::atoms::pipeline::{analyze_snapshot_observed, PipelineConfig};
+use policy_atoms::collect::Archive;
+use policy_atoms::mrt::RecoveryPolicy;
+use policy_atoms::sim::{generate_window, Era, Scenario};
+use policy_atoms::types::{Family, SimTime};
+use std::path::{Path, PathBuf};
+
+const GOLDEN: &str = "tests/golden/metrics_ingest.json";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pa-ingest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The checked-in corrupted-MRT corpus (one file per failure class) lives
+/// with the bgp-mrt fault-injection suite.
+fn corpus_file(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("crates/bgp-mrt/tests/corpus")
+        .join(name)
+}
+
+/// Builds a small archive and damages one collector's updates file twice:
+/// splices in the oversized-record corpus stream (forces a resynchronization
+/// mid-file) and truncates the final record (the classic interrupted
+/// transfer). Returns the archive and the damaged file's path.
+fn damaged_archive(tag: &str) -> (Archive, PathBuf) {
+    let date: SimTime = "2018-07-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 400.0));
+    let mut scenario = Scenario::build(era);
+    let snapshot = scenario.snapshot(date);
+    let events = generate_window(&mut scenario, date, 4, 0x5EED);
+
+    let dir = tmpdir(tag);
+    let archive = Archive::new(&dir);
+    archive.store_snapshot(&snapshot).unwrap();
+    let mut files = archive.store_updates(&snapshot, &events, date).unwrap();
+    files.sort();
+    let victim = files.first().expect("at least one updates file").clone();
+
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes.extend_from_slice(&std::fs::read(corpus_file("oversized_record.mrt")).unwrap());
+    assert!(bytes.len() > 8);
+    bytes.truncate(bytes.len() - 8);
+    std::fs::write(&victim, bytes).unwrap();
+    (archive, victim)
+}
+
+#[test]
+fn strict_refuses_and_recover_pins_the_golden_metrics() {
+    let date: SimTime = "2018-07-15 08:00".parse().unwrap();
+    let (archive, victim) = damaged_archive("golden");
+
+    // Strict (the default) refuses the archive and names the damaged file.
+    let err = archive.load_updates(date).expect_err("strict must refuse");
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&*victim.file_name().unwrap().to_string_lossy()),
+        "error should name the damaged file: {msg}"
+    );
+
+    // Recover completes the read and accounts for both damage sites: the
+    // spliced oversized record and the truncated tail.
+    let snap = archive
+        .load_snapshot_with_policy(date, Family::Ipv4, RecoveryPolicy::Recover)
+        .unwrap();
+    let updates = archive
+        .load_updates_with_policy(date, RecoveryPolicy::Recover)
+        .unwrap();
+    assert_eq!(updates.ingest.recovered_records, 2, "{:?}", updates.ingest);
+    assert!(updates.ingest.skipped_bytes > 12, "{:?}", updates.ingest);
+    assert!(snap.ingest.is_clean(), "RIB files are undamaged");
+
+    // The count-only metrics payload — including the ingest.* counters —
+    // must be byte-identical at every thread count.
+    let mut payloads: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let cfg = PipelineConfig {
+            parallelism: Parallelism::new(threads),
+            ..PipelineConfig::default()
+        };
+        let metrics = Metrics::new();
+        let analysis = analyze_snapshot_observed(&snap, Some(&updates), &cfg, Some(&metrics));
+        assert!(analysis.stats.n_atoms > 0);
+        payloads.push(metrics.to_json_string(false));
+    }
+    assert_eq!(payloads[0], payloads[1], "2 threads diverged from serial");
+    assert_eq!(payloads[0], payloads[2], "8 threads diverged from serial");
+
+    let v: serde_json::Value = serde_json::from_str(&payloads[0]).unwrap();
+    assert_eq!(
+        v["counters"]["ingest.recovered_records"].as_u64(),
+        Some(2),
+        "{v:?}"
+    );
+    assert_eq!(
+        v["counters"]["ingest.skipped_bytes"].as_u64(),
+        Some(updates.ingest.skipped_bytes),
+        "{v:?}"
+    );
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN);
+    if std::env::var("PA_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&golden_path, &payloads[0]).unwrap();
+        eprintln!("regenerated {GOLDEN}");
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("cannot read {GOLDEN} (run with PA_REGEN_GOLDEN=1?): {e}"));
+    assert_eq!(
+        payloads[0], golden,
+        "recovery metrics drifted from {GOLDEN}; regenerate with PA_REGEN_GOLDEN=1 if intentional"
+    );
+}
+
+/// `recover-with-cap` sits between the two: it survives the archive's light
+/// damage (well under the 4 MiB budget) and produces the same stream as
+/// plain `recover`.
+#[test]
+fn capped_recovery_matches_plain_recovery_on_light_damage() {
+    let date: SimTime = "2018-07-15 08:00".parse().unwrap();
+    let (archive, _) = damaged_archive("capped");
+    let plain = archive
+        .load_updates_with_policy(date, RecoveryPolicy::Recover)
+        .unwrap();
+    let capped = archive
+        .load_updates_with_policy(date, RecoveryPolicy::recover_with_default_cap())
+        .unwrap();
+    assert_eq!(plain.records, capped.records);
+    assert_eq!(plain.ingest, capped.ingest);
+}
