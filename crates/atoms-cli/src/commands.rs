@@ -5,11 +5,13 @@ use atoms_core::formation::{formation as run_formation, formation_with_regroupin
 use atoms_core::obs::Metrics;
 use atoms_core::parallel::Parallelism;
 use atoms_core::pipeline::{
-    analyze_snapshot_chained, analyze_snapshot_observed, PipelineConfig, SnapshotAnalysis,
+    analyze_sanitized_observed, analyze_snapshot_chained, analyze_snapshot_observed,
+    PipelineConfig, SnapshotAnalysis,
 };
 use atoms_core::report::{count, pct};
-use atoms_core::sanitize::SanitizeConfig;
+use atoms_core::sanitize::{sanitize_with_observed, SanitizeConfig};
 use atoms_core::stability::stability as stability_pair;
+use atoms_core::storedir::StoreDir;
 use bgp_collect::{Archive, CapturedSnapshot, CapturedUpdates, ReplayState};
 use bgp_mrt::RecoveryPolicy;
 use bgp_sim::{generate_window, Era, Scenario};
@@ -33,6 +35,7 @@ pub struct Options {
     pub threads: Option<usize>,
     pub incremental: bool,
     pub ingest_policy: RecoveryPolicy,
+    pub store: Option<String>,
     pub metrics_json: Option<String>,
     pub timings: bool,
     pub verbose: bool,
@@ -55,6 +58,7 @@ impl Options {
             threads: None,
             incremental: false,
             ingest_policy: RecoveryPolicy::default(),
+            store: None,
             metrics_json: None,
             timings: false,
             verbose: false,
@@ -95,6 +99,7 @@ impl Options {
                 "--ingest-policy" => {
                     opts.ingest_policy = value(&mut it, "--ingest-policy")?.parse()?
                 }
+                "--store" => opts.store = Some(value(&mut it, "--store")?),
                 "--out" => opts.out = Some(value(&mut it, "--out")?),
                 "--metrics-json" => opts.metrics_json = Some(value(&mut it, "--metrics-json")?),
                 "--timings" => opts.timings = true,
@@ -193,7 +198,10 @@ pub fn usage(msg: &str) -> ExitCode {
            stability --archive DIR --t1 D --t2 D [--family]\n\
            dynamics  --archive DIR --date D [--family]\n\
            replay    --archive DIR --date D [--t2 T] [--family]\n\
-           siblings  --archive DIR --date D (needs v4+v6 snapshots)\n\n\
+           siblings  --archive DIR --date D (needs v4+v6 snapshots)\n\
+           store build --archive DIR --store DIR --date D [--horizons]\n\
+                     parse + sanitize snapshots into the persistent store\n\
+           store info  --store DIR    list persisted snapshots\n\n\
          observability (analysis subcommands):\n\
            --metrics-json PATH  write stage/counter/warning metrics (- = stdout);\n\
                                 deterministic — identical at any --threads N\n\
@@ -209,7 +217,13 @@ pub fn usage(msg: &str) -> ExitCode {
                                 aborts the read; recover: skip damaged records,\n\
                                 resynchronize, and count them under the\n\
                                 ingest.* metrics; recover-with-cap: recover,\n\
-                                but abort after 4 MiB of skipped bytes\n\n\
+                                but abort after 4 MiB of skipped bytes;\n\
+                                recover-with-cap=<bytes> sets an explicit cap\n\n\
+         snapshot store (atoms, formation, dynamics):\n\
+           --store DIR          persistent snapshot cache: load the sanitized\n\
+                                snapshot from DIR (skipping the MRT parse) on\n\
+                                a hit, or parse and write it through on a\n\
+                                miss; outputs are byte-identical either way\n\n\
          dates: \"yyyy-mm-dd hh:mm\" (quote the space) or yyyy-mm-dd"
     );
     if msg.is_empty() {
@@ -277,9 +291,32 @@ fn analyze(
     opts: &Options,
     date: SimTime,
     metrics: Option<&Metrics>,
+    need_updates: bool,
 ) -> Result<(SnapshotAnalysis, CapturedUpdates), String> {
-    let (snap, updates) = load(opts, date)?;
     let cfg = opts.pipeline_config();
+    if let Some(dir) = &opts.store {
+        let store_dir = StoreDir::new(dir);
+        if let Some(sanitized) = store_dir
+            .load(date, opts.family, &cfg.sanitize, metrics)
+            .map_err(|e| e.to_string())?
+        {
+            // Store hit: the RIB parse and sanitize stages are skipped
+            // entirely; the analysis output is byte-identical to the
+            // parse path by the interning determinism contract. Only
+            // subcommands that correlate with the update window still
+            // read the updates files — the RIB files stay untouched.
+            let analysis = analyze_sanitized_observed(sanitized, &cfg, metrics);
+            let updates = if need_updates {
+                Archive::new(need(&opts.archive, "--archive")?)
+                    .load_updates_with_policy(date, opts.ingest_policy)
+                    .map_err(|e| e.to_string())?
+            } else {
+                CapturedUpdates::default()
+            };
+            return Ok((analysis, updates));
+        }
+    }
+    let (snap, updates) = load(opts, date)?;
     // A single snapshot has no predecessor to diff against: under
     // --incremental this is the engine's full-compute fallback, routed
     // through the chained entry point so its counters are recorded.
@@ -288,7 +325,28 @@ fn analyze(
     } else {
         analyze_snapshot_observed(&snap, Some(&updates), &cfg, metrics)
     };
+    if let Some(dir) = &opts.store {
+        // Write-through: the next run with this key loads at mmap speed.
+        StoreDir::new(dir)
+            .save(&analysis.sanitized, &cfg.sanitize)
+            .map_err(|e| format!("store write-through failed: {e}"))?;
+    }
     Ok((analysis, updates))
+}
+
+/// Refuses `--store` for subcommands whose analysis inputs cannot be
+/// served from a persisted snapshot: stability pools update warnings
+/// across both instants (the snapshot would have been sanitized under a
+/// different warning set), and replay/siblings need the raw captured
+/// snapshot.
+fn reject_store(opts: &Options, subcommand: &str, why: &str) -> Result<(), String> {
+    if opts.store.is_some() {
+        return Err(format!(
+            "--store is not supported by `pa {subcommand}`: {why} \
+             (supported: atoms, formation, dynamics)"
+        ));
+    }
+    Ok(())
 }
 
 /// `pa inspect`: what is in the archive at this date?
@@ -344,7 +402,7 @@ pub fn inspect(opts: &Options) -> Result<(), String> {
 pub fn atoms(opts: &Options) -> Result<(), String> {
     let date = need(&opts.date, "--date")?;
     let metrics = opts.metrics();
-    let (analysis, _) = analyze(opts, date, metrics.as_ref())?;
+    let (analysis, _) = analyze(opts, date, metrics.as_ref(), false)?;
     opts.emit_metrics(&metrics)?;
     let s = &analysis.stats;
     if opts.json {
@@ -403,7 +461,7 @@ pub fn atoms(opts: &Options) -> Result<(), String> {
 pub fn formation(opts: &Options) -> Result<(), String> {
     let date = need(&opts.date, "--date")?;
     let metrics = opts.metrics();
-    let (analysis, _) = analyze(opts, date, metrics.as_ref())?;
+    let (analysis, _) = analyze(opts, date, metrics.as_ref(), false)?;
     let formation_span = metrics.as_ref().map(|m| m.span("pipeline.formation"));
     let f = match opts.method {
         PrependMethod::StripBeforeGrouping => formation_with_regrouping(&analysis.sanitized),
@@ -435,6 +493,12 @@ pub fn formation(opts: &Options) -> Result<(), String> {
 
 /// `pa stability`: CAM/MPM between two archive snapshots.
 pub fn stability(opts: &Options) -> Result<(), String> {
+    reject_store(
+        opts,
+        "stability",
+        "both instants must be sanitized under the pooled warning set of both \
+         update windows, which is not what a cached snapshot was built with",
+    )?;
     let t1 = need(&opts.t1, "--t1")?;
     let t2 = need(&opts.t2, "--t2")?;
     // Broken-peer removal must be consistent across both instants or the
@@ -479,6 +543,12 @@ pub fn stability(opts: &Options) -> Result<(), String> {
 /// `pa siblings`: §7.3 IPv4/IPv6 sibling-atom matching across the two
 /// family snapshots at `--date`.
 pub fn siblings(opts: &Options) -> Result<(), String> {
+    reject_store(
+        opts,
+        "siblings",
+        "sibling matching re-analyzes both family snapshots against their own \
+         update windows",
+    )?;
     let date = need(&opts.date, "--date")?;
     let cfg = opts.pipeline_config();
     let mut v4_opts = Options {
@@ -534,6 +604,7 @@ fn clone_opts(opts: &Options) -> Options {
         threads: opts.threads,
         incremental: opts.incremental,
         ingest_policy: opts.ingest_policy,
+        store: opts.store.clone(),
         metrics_json: opts.metrics_json.clone(),
         timings: opts.timings,
         verbose: opts.verbose,
@@ -543,6 +614,12 @@ fn clone_opts(opts: &Options) -> Options {
 /// `pa replay`: apply the update window to the base snapshot up to `--t2`
 /// and report how the table and the atoms moved.
 pub fn replay(opts: &Options) -> Result<(), String> {
+    reject_store(
+        opts,
+        "replay",
+        "update replay needs the raw captured snapshot, which the store does \
+         not retain",
+    )?;
     let date = need(&opts.date, "--date")?;
     let until = opts.t2.unwrap_or_else(|| date.plus_hours(4));
     let (snap, updates) = load(opts, date)?;
@@ -620,7 +697,7 @@ pub fn replay(opts: &Options) -> Result<(), String> {
 pub fn dynamics(opts: &Options) -> Result<(), String> {
     let date = need(&opts.date, "--date")?;
     let metrics = opts.metrics();
-    let (analysis, updates) = analyze(opts, date, metrics.as_ref())?;
+    let (analysis, updates) = analyze(opts, date, metrics.as_ref(), true)?;
     let dynamics_span = metrics.as_ref().map(|m| m.span("pipeline.dynamics"));
     let (bursts, report) = classify_bursts(
         &analysis.atoms,
@@ -669,6 +746,77 @@ pub fn dynamics(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `pa store`: manage the persistent snapshot store.
+pub fn store(opts: &Options, action: &str) -> Result<(), String> {
+    match action {
+        "build" => store_build(opts),
+        "info" => store_info(opts),
+        other => Err(format!(
+            "unknown store action `{other}` (expected build or info)"
+        )),
+    }
+}
+
+/// `pa store build`: parse, sanitize, and persist the archive snapshots
+/// at `--date` (plus the §2.4.1 horizon ladder under `--horizons`) so
+/// later analysis runs with `--store` skip the MRT parse entirely.
+fn store_build(opts: &Options) -> Result<(), String> {
+    let date = need(&opts.date, "--date")?;
+    let dir = StoreDir::new(need(&opts.store, "--store")?);
+    let cfg = opts.pipeline_config();
+    let metrics = opts.metrics();
+    let mut dates = vec![date];
+    if opts.horizons {
+        dates.extend(
+            [8 * 3600u64, 24 * 3600, 7 * 86_400]
+                .iter()
+                .map(|&off| date.plus_secs(off)),
+        );
+    }
+    for d in dates {
+        let (snap, updates) = load(opts, d)?;
+        let sanitized = sanitize_with_observed(
+            &snap,
+            &updates.warnings,
+            &cfg.sanitize,
+            cfg.parallelism,
+            metrics.as_ref(),
+        );
+        let path = dir
+            .save(&sanitized, &cfg.sanitize)
+            .map_err(|e| format!("store write failed: {e}"))?;
+        println!(
+            "stored {d}: {} peers, {} entries → {}",
+            sanitized.peers.len(),
+            sanitized.tables.iter().map(Vec::len).sum::<usize>(),
+            path.display()
+        );
+    }
+    opts.emit_metrics(&metrics)?;
+    Ok(())
+}
+
+/// `pa store info`: list the persisted snapshots in `--store`.
+fn store_info(opts: &Options) -> Result<(), String> {
+    let dir = StoreDir::new(need(&opts.store, "--store")?);
+    let entries = dir.entries().map_err(|e| e.to_string())?;
+    if entries.is_empty() {
+        println!("no snapshots under {}", dir.root().display());
+        return Ok(());
+    }
+    for e in &entries {
+        let family = match e.family {
+            Family::Ipv4 => "v4",
+            Family::Ipv6 => "v6",
+        };
+        println!(
+            "{}  {} {}  peers {}  prefixes {}  paths {}  entries {}  ({} bytes)",
+            e.file_name, e.timestamp, family, e.peers, e.prefixes, e.paths, e.entries, e.file_len
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,6 +853,8 @@ mod tests {
             "--incremental",
             "--ingest-policy",
             "recover",
+            "--store",
+            "/tmp/s",
             "--metrics-json",
             "/tmp/m.json",
             "--timings",
@@ -722,8 +872,40 @@ mod tests {
         assert_eq!(o.threads, Some(4));
         assert!(o.incremental);
         assert_eq!(o.ingest_policy, RecoveryPolicy::Recover);
+        assert_eq!(o.store.as_deref(), Some("/tmp/s"));
         assert_eq!(o.metrics_json.as_deref(), Some("/tmp/m.json"));
         assert!(o.timings && o.verbose);
+    }
+
+    #[test]
+    fn store_is_rejected_where_outputs_would_diverge() {
+        let o = parse(&[
+            "--store",
+            "/tmp/s",
+            "--t1",
+            "2024-10-15",
+            "--t2",
+            "2024-10-22",
+        ])
+        .unwrap();
+        for (name, f) in [
+            ("stability", stability as fn(&Options) -> Result<(), String>),
+            ("replay", replay),
+            ("siblings", siblings),
+        ] {
+            let err = f(&o).unwrap_err();
+            assert!(
+                err.contains("--store is not supported"),
+                "{name}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn store_requires_a_known_action() {
+        let o = parse(&[]).unwrap();
+        let err = store(&o, "prune").unwrap_err();
+        assert!(err.contains("unknown store action"), "got: {err}");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! pa stability --archive DIR --t1 D --t2 D [--family v4|v6]
 //! pa dynamics  --archive DIR --date D [--family v4|v6]
 //! pa replay    --archive DIR --date D [--t2 T] [--family v4|v6]
+//! pa store build --archive DIR --store DIR --date D [--horizons]
+//! pa store info  --store DIR
 //! ```
 //!
 //! `simulate` writes a synthetic MRT archive; every other subcommand works
@@ -39,9 +41,18 @@ fn main() -> ExitCode {
     }));
 
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else {
+    let Some((cmd, mut rest)) = args.split_first() else {
         return commands::usage("");
     };
+    // `pa store <action> --flags…`: the action rides before the flags.
+    let mut store_action = None;
+    if cmd == "store" {
+        let Some((action, flags)) = rest.split_first() else {
+            return commands::usage("store needs an action: build or info");
+        };
+        store_action = Some(action.as_str());
+        rest = flags;
+    }
     let opts = match commands::Options::parse(rest) {
         Ok(opts) => opts,
         Err(e) => return commands::usage(&e),
@@ -55,6 +66,7 @@ fn main() -> ExitCode {
         "dynamics" => commands::dynamics(&opts),
         "replay" => commands::replay(&opts),
         "siblings" => commands::siblings(&opts),
+        "store" => commands::store(&opts, store_action.expect("set above")),
         "-h" | "--help" | "help" => return commands::usage(""),
         other => return commands::usage(&format!("unknown subcommand `{other}`")),
     };

@@ -108,7 +108,7 @@ impl SnapshotDelta {
             .peers
             .iter()
             .enumerate()
-            .map(|(j, key)| (key, j as u16))
+            .map(|(j, key)| (key, peer_index(j)))
             .collect();
         let old_to_new: Vec<Option<u16>> = prev
             .peers
@@ -125,9 +125,14 @@ impl SnapshotDelta {
         // the delta is identical at any thread count.
         let mut peer_deltas: Vec<PeerDelta> =
             par.map_indexed(curr.peers.len(), |j| match matched_old[j] {
-                Some(i) => diff_tables(curr.store(), j as u16, &prev.tables[i], &curr.tables[j]),
+                Some(i) => diff_tables(
+                    curr.store(),
+                    peer_index(j),
+                    &prev.tables[i],
+                    &curr.tables[j],
+                ),
                 None => PeerDelta {
-                    peer: j as u16,
+                    peer: peer_index(j),
                     announced: curr.tables[j].clone(),
                     ..PeerDelta::default()
                 },
@@ -148,7 +153,7 @@ impl SnapshotDelta {
                 .old_to_new
                 .iter()
                 .enumerate()
-                .all(|(i, new)| *new == Some(i as u16))
+                .all(|(i, new)| matches!(u16::try_from(i), Ok(idx) if *new == Some(idx)))
     }
 
     /// `true` when applying the delta is a no-op (identical snapshots —
@@ -162,6 +167,13 @@ impl SnapshotDelta {
     pub fn ops(&self) -> usize {
         self.peer_deltas.iter().map(PeerDelta::ops).sum()
     }
+}
+
+/// Converts a peer position to the u16 index carried in signatures and
+/// deltas. [`assert_peer_bound`] has already rejected snapshots past the
+/// bound; this refuses (never truncates) should a caller bypass it.
+fn peer_index(j: usize) -> u16 {
+    u16::try_from(j).unwrap_or_else(|_| panic!("peer index {j} exceeds the u16 signature bound"))
 }
 
 /// Merge-walk diff of one peer's sorted, one-entry-per-prefix columnar
@@ -490,6 +502,29 @@ mod tests {
 
     fn snap(tables: &[(u32, &[(&str, &str)])]) -> SanitizedSnapshot {
         snap_into(&SnapshotStore::new(), tables)
+    }
+
+    /// The u16 peer-index bound is enforced up front, never truncated: a
+    /// snapshot with more vantage points than the signature index space
+    /// can address is refused before any cast happens.
+    #[test]
+    #[should_panic(expected = "signature peer indices are u16")]
+    fn delta_refuses_peer_indices_past_u16() {
+        let store = SnapshotStore::new();
+        let n = u16::MAX as usize + 2; // one past the 65 536-peer bound
+        let addr: std::net::IpAddr = "10.0.0.1".parse().unwrap();
+        let peers: Vec<PeerKey> = (0..n)
+            .map(|i| PeerKey::new(Asn(i as u32 + 1), addr))
+            .collect();
+        let over = SanitizedSnapshot::from_owned_tables_into(
+            &store,
+            SimTime::from_unix(0),
+            Family::Ipv4,
+            peers,
+            vec![Vec::new(); n],
+            SanitizeReport::default(),
+        );
+        SnapshotDelta::between(&over, &over, Parallelism::serial());
     }
 
     /// Asserts the incremental step prev → curr (same store) reproduces

@@ -19,6 +19,7 @@
 //! | [`pipeline`] | end-to-end orchestration |
 //! | [`parallel`] | deterministic worker pool backing the parallel stages |
 //! | [`obs`] | stage metrics + structured warning telemetry |
+//! | [`storedir`] | persistent on-disk snapshot store (mmap-able cache) |
 //! | [`dynamics`] | §7.2 atom-level event vs. prefix-noise classification |
 //! | [`siblings`] | §7.3 IPv4/IPv6 sibling-atom matching |
 //! | [`report`] | table/CSV/JSON rendering for the experiment harness |
@@ -28,7 +29,8 @@
 //! ground truth — so everything here works identically on real MRT
 //! archives.
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "mmap"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atom;
@@ -44,6 +46,7 @@ pub mod siblings;
 pub mod splits;
 pub mod stability;
 pub mod stats;
+pub mod storedir;
 pub mod update_corr;
 pub mod vantage;
 
@@ -55,4 +58,5 @@ pub use pipeline::{
     analyze_snapshot, analyze_snapshot_chained, ChainState, PipelineConfig, SnapshotAnalysis,
 };
 pub use sanitize::{sanitize, sanitize_with, SanitizeConfig, SanitizeReport, SanitizedSnapshot};
+pub use storedir::StoreDir;
 pub use vantage::{infer_full_feed, VantageReport};

@@ -55,6 +55,9 @@ struct Inner {
     /// Per-worker job counts by stage (timings-gated: work stealing makes
     /// the split nondeterministic). Summed element-wise across calls.
     worker_items: BTreeMap<String, Vec<u64>>,
+    /// Wall-clock gauges (timings-gated: values depend on machine and
+    /// scheduling, so they are excluded from the deterministic sections).
+    timing_gauges: BTreeMap<String, f64>,
 }
 
 /// Shared metrics registry. Clones share storage.
@@ -133,6 +136,22 @@ impl Metrics {
     /// Reads gauge `name`.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.inner.lock().gauges.get(name).copied()
+    }
+
+    /// Sets timing gauge `name` to `value` (last write wins). Timing
+    /// gauges hold wall-clock measurements (for example `store.open_ms`)
+    /// and are serialized only inside the `timings` object, keeping the
+    /// deterministic sections byte-identical across runs and machines.
+    pub fn set_timing_gauge(&self, name: &str, value: f64) {
+        self.inner
+            .lock()
+            .timing_gauges
+            .insert(name.to_string(), value);
+    }
+
+    /// Reads timing gauge `name`.
+    pub fn timing_gauge(&self, name: &str) -> Option<f64> {
+        self.inner.lock().timing_gauges.get(name).copied()
     }
 
     /// Starts a monotonic stage timer; the returned guard records one
@@ -240,6 +259,8 @@ impl Metrics {
                 },
                 4,
             );
+            out.push_str(",\n");
+            write_map_indented(&mut out, "gauges", &inner.timing_gauges, format_f64, 4);
             out.push_str("\n  }");
         }
         out.push_str("\n}\n");
@@ -284,6 +305,12 @@ impl Metrics {
             for (name, items) in &inner.worker_items {
                 let joined: Vec<String> = items.iter().map(u64::to_string).collect();
                 let _ = writeln!(out, "  {name:<40} [{}]", joined.join(", "));
+            }
+        }
+        if !inner.timing_gauges.is_empty() {
+            let _ = writeln!(out, "timing gauges:");
+            for (name, v) in &inner.timing_gauges {
+                let _ = writeln!(out, "  {name:<40} {}", format_f64(v));
             }
         }
         out
@@ -452,6 +479,20 @@ mod tests {
             s.contains("[6, 1]"),
             "worker items summed element-wise:\n{s}"
         );
+    }
+
+    #[test]
+    fn timing_gauges_are_timings_gated() {
+        let m = Metrics::new();
+        m.set_timing_gauge("store.open_ms", 12.5);
+        assert_eq!(m.timing_gauge("store.open_ms"), Some(12.5));
+        // Deterministic payload stays free of wall-clock values…
+        assert!(!m.to_json_string(false).contains("store.open_ms"));
+        // …while the timings object carries them.
+        let timed = m.to_json_string(true);
+        assert!(timed.contains("store.open_ms"), "missing in:\n{timed}");
+        let v: serde_json::Value = serde_json::from_str(&timed).expect("valid JSON");
+        assert_eq!(v["timings"]["gauges"]["store.open_ms"].as_f64(), Some(12.5));
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::incremental::{self, IncrementalState};
 use crate::obs::Metrics;
 use crate::parallel::Parallelism;
 use crate::sanitize::{
-    sanitize_with_observed, sanitize_with_observed_into, SanitizeConfig, SanitizedSnapshot,
+    record_sanitize_counters, sanitize_with_observed, sanitize_with_observed_into, SanitizeConfig,
+    SanitizedSnapshot,
 };
 use crate::stats::{general_stats, GeneralStats};
 use bgp_collect::{CapturedSnapshot, CapturedUpdates};
@@ -69,6 +70,44 @@ pub fn analyze_snapshot_observed(
         metrics,
     );
     drop(sanitize_span);
+    let atoms_span = metrics.map(|m| m.span("pipeline.atoms"));
+    let atoms = compute_atoms_with_observed(&sanitized, cfg.parallelism, metrics);
+    drop(atoms_span);
+    let stats_span = metrics.map(|m| m.span("pipeline.stats"));
+    let stats = general_stats(&atoms);
+    drop(stats_span);
+    SnapshotAnalysis {
+        sanitized,
+        atoms,
+        stats,
+    }
+}
+
+/// Runs the analysis stages (atoms → stats) on an **already-sanitized**
+/// snapshot — the store-served entry point. A snapshot loaded from the
+/// persisted on-disk store (`crate::storedir`) skips capture and
+/// sanitization entirely; its analysis artifacts must still be
+/// byte-identical to the parse path's, so the exact same atom and stats
+/// code runs, and the deterministic `sanitize.*` counters, `ingest.*`
+/// accounting, and `store.*` gauges are replayed from the loaded report
+/// and arenas so the metrics taxonomy keeps its shape across load paths.
+pub fn analyze_sanitized_observed(
+    sanitized: SanitizedSnapshot,
+    cfg: &PipelineConfig,
+    metrics: Option<&Metrics>,
+) -> SnapshotAnalysis {
+    if let Some(m) = metrics {
+        record_sanitize_counters(m, &sanitized.report, sanitized.peers.len());
+        m.add(
+            "ingest.recovered_records",
+            sanitized.report.recovered_records,
+        );
+        m.add("ingest.skipped_bytes", sanitized.report.skipped_bytes);
+        let store = sanitized.store();
+        m.set_gauge("store.prefixes", store.prefix_count() as f64);
+        m.set_gauge("store.paths", store.path_count() as f64);
+        m.set_gauge("store.bytes_est", store.bytes_est() as f64);
+    }
     let atoms_span = metrics.map(|m| m.span("pipeline.atoms"));
     let atoms = compute_atoms_with_observed(&sanitized, cfg.parallelism, metrics);
     drop(atoms_span);

@@ -180,6 +180,42 @@ impl SanitizedSnapshot {
         }
     }
 
+    /// Builds a snapshot directly from already-interned columnar tables —
+    /// the load-side boundary for the persisted snapshot store. `tables`
+    /// must reference ids issued by `store` and follow the layout contract
+    /// of [`SanitizedSnapshot::tables`] (per-peer, sorted by prefix, one
+    /// entry per prefix, parallel to `peers`); the distinct-prefix cache
+    /// is recomputed here from the referenced id set.
+    pub fn from_interned_parts(
+        store: SnapshotStore,
+        timestamp: SimTime,
+        family: Family,
+        peers: Vec<PeerKey>,
+        tables: Vec<Vec<(PrefixId, PathId)>>,
+        report: SanitizeReport,
+    ) -> SanitizedSnapshot {
+        let mut seen = vec![false; store.prefix_count()];
+        let mut distinct_prefixes = 0;
+        for table in &tables {
+            for &(prefix, _) in table {
+                let slot = &mut seen[prefix.0 as usize];
+                if !*slot {
+                    *slot = true;
+                    distinct_prefixes += 1;
+                }
+            }
+        }
+        SanitizedSnapshot {
+            timestamp,
+            family,
+            peers,
+            tables,
+            report,
+            store,
+            distinct_prefixes,
+        }
+    }
+
     /// Distinct prefixes across all kept tables (cached at construction —
     /// this is a field read, not a per-call set rebuild).
     pub fn prefix_count(&self) -> usize {
@@ -613,7 +649,7 @@ pub fn sanitize_with_observed_into(
 /// folded report so metrics output is thread-count-invariant. The
 /// `sanitize.prefixes.*` family satisfies `before − after ==
 /// dropped_by_cleaning + dropped_by_collectors + dropped_by_peer_ases`.
-fn record_sanitize_counters(m: &Metrics, report: &SanitizeReport, kept_peers: usize) {
+pub(crate) fn record_sanitize_counters(m: &Metrics, report: &SanitizeReport, kept_peers: usize) {
     m.add("sanitize.peers.kept", kept_peers as u64);
     m.add(
         "sanitize.peers.excluded_partial",

@@ -1,0 +1,535 @@
+//! Persistent on-disk snapshot store: a directory of
+//! [`bgp_types::store::persist`] files, one per sanitized snapshot.
+//!
+//! Sanitization is by far the most expensive stage of a cold analysis —
+//! re-parsing MRT and re-filtering every peer table just to rebuild the
+//! same interned arenas. A [`StoreDir`] materializes the *output* of that
+//! stage: the hash-consed arenas, the columnar per-peer tables, and the
+//! sanitization report, keyed by `(timestamp, family, sanitize-config)`.
+//! A later run with the same key loads the snapshot back at file-read (or
+//! mmap) speed and feeds it straight to
+//! [`crate::pipeline::analyze_sanitized_observed`], skipping MRT parsing
+//! entirely; by the interning determinism contract the resulting analysis
+//! artifacts are byte-identical to the parse path's.
+//!
+//! # Cache keying
+//!
+//! Stored snapshots bake in their [`SanitizeConfig`]: a file produced
+//! under one filter configuration is *wrong* for another. File names
+//! therefore carry a 64-bit digest of the config's canonical JSON —
+//! `<stamp>-<v4|v6>-<digest>.pas` — so differently-configured runs never
+//! collide and a config change is simply a cache miss.
+//!
+//! # Load path and safety
+//!
+//! By default files are read into a `Vec<u8>` with `std::fs::read` — no
+//! `unsafe` anywhere (the crate keeps `forbid(unsafe_code)` in this
+//! configuration). With the `mmap` cargo feature on 64-bit unix, files
+//! are memory-mapped read-only instead; the map is the only `unsafe` in
+//! the crate, confined to [`mmap`] and falling back to the safe read on
+//! any failure. Either way the bytes go through
+//! [`PersistedSnapshot::parse`], so a truncated or corrupted file is a
+//! typed error — never a panic or a silently-wrong analysis.
+
+use crate::obs::Metrics;
+use crate::sanitize::{SanitizeConfig, SanitizeReport, SanitizedSnapshot};
+use bgp_types::store::persist::{checksum64, encode_snapshot, PersistedSnapshot};
+use bgp_types::{Family, PeerKey, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// File extension for persisted snapshots ("policy-atom snapshot").
+pub const SNAPSHOT_EXT: &str = "pas";
+
+/// The metadata blob stored in each file's `SNAP_META` section: everything
+/// a [`SanitizedSnapshot`] carries that is not arenas or tables.
+#[derive(Debug, Serialize, Deserialize)]
+struct SnapshotMeta {
+    /// Kept vantage points, parallel to the persisted tables.
+    peers: Vec<PeerKey>,
+    /// The sanitization report of the run that produced the file.
+    report: SanitizeReport,
+}
+
+/// Stable 64-bit digest of a sanitization config (its canonical JSON run
+/// through the persist checksum). Part of the on-disk cache key: snapshots
+/// sanitized under different configs must never be served for each other.
+pub fn config_digest(cfg: &SanitizeConfig) -> u64 {
+    let json = serde_json::to_string(cfg).expect("SanitizeConfig serializes infallibly");
+    checksum64(json.as_bytes())
+}
+
+/// Summary of one persisted snapshot file (the `pa store info` listing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntryInfo {
+    /// File name within the store directory.
+    pub file_name: String,
+    /// Total file size in bytes.
+    pub file_len: u64,
+    /// Snapshot timestamp.
+    pub timestamp: SimTime,
+    /// Address family.
+    pub family: Family,
+    /// Kept vantage points.
+    pub peers: usize,
+    /// Interned prefixes in the arena.
+    pub prefixes: usize,
+    /// Interned paths in the arena.
+    pub paths: usize,
+    /// Total `(prefix, path)` table entries.
+    pub entries: usize,
+}
+
+/// A directory of persisted snapshots.
+#[derive(Debug, Clone)]
+pub struct StoreDir {
+    root: PathBuf,
+}
+
+impl StoreDir {
+    /// A store rooted at `root`. The directory is created lazily on the
+    /// first [`StoreDir::save`]; loads from a nonexistent directory are
+    /// plain cache misses.
+    pub fn new(root: impl Into<PathBuf>) -> StoreDir {
+        StoreDir { root: root.into() }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The file path a snapshot with this cache key lives at.
+    pub fn snapshot_path(
+        &self,
+        timestamp: SimTime,
+        family: Family,
+        cfg: &SanitizeConfig,
+    ) -> PathBuf {
+        let fam = match family {
+            Family::Ipv4 => "v4",
+            Family::Ipv6 => "v6",
+        };
+        self.root.join(format!(
+            "{}-{}-{:016x}.{}",
+            timestamp.archive_stamp(),
+            fam,
+            config_digest(cfg),
+            SNAPSHOT_EXT
+        ))
+    }
+
+    /// Persists a sanitized snapshot under its `(timestamp, family,
+    /// config)` key, atomically (temp file + rename — a concurrent load
+    /// never sees a half-written file). Returns the final path.
+    pub fn save(&self, sanitized: &SanitizedSnapshot, cfg: &SanitizeConfig) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.root)?;
+        let meta = SnapshotMeta {
+            peers: sanitized.peers.clone(),
+            report: sanitized.report.clone(),
+        };
+        let meta_json = serde_json::to_string(&meta).map_err(io::Error::other)?;
+        let bytes = encode_snapshot(
+            sanitized.store(),
+            &sanitized.tables,
+            sanitized.timestamp,
+            sanitized.family,
+            meta_json.as_bytes(),
+        );
+        let path = self.snapshot_path(sanitized.timestamp, sanitized.family, cfg);
+        let tmp = path.with_extension("pas.tmp");
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Loads the snapshot for `(timestamp, family, cfg)` if the store
+    /// holds one.
+    ///
+    /// * `Ok(Some(..))` — cache hit: the snapshot was parsed, validated,
+    ///   and rebuilt; `store.cache_hit`, `store.mapped_bytes` (mmap path
+    ///   only), the `store.open` span, and the `store.open_ms` timing
+    ///   gauge are recorded.
+    /// * `Ok(None)` — cache miss (no such file); `store.cache_miss` is
+    ///   recorded. The caller parses MRT and typically writes through.
+    /// * `Err(..)` — the file exists but is unreadable or fails
+    ///   validation. Corruption is surfaced, never silently re-parsed
+    ///   around: a damaged store is a state the operator must see.
+    pub fn load(
+        &self,
+        timestamp: SimTime,
+        family: Family,
+        cfg: &SanitizeConfig,
+        metrics: Option<&Metrics>,
+    ) -> io::Result<Option<SanitizedSnapshot>> {
+        let path = self.snapshot_path(timestamp, family, cfg);
+        if !path.exists() {
+            if let Some(m) = metrics {
+                m.incr("store.cache_miss");
+            }
+            return Ok(None);
+        }
+        let started = Instant::now();
+        let (bytes, mapped) = read_snapshot_bytes(&path)?;
+        let parsed = PersistedSnapshot::parse(bytes)
+            .map_err(|e| invalid(&path, &format!("invalid snapshot file: {e}")))?;
+        if parsed.timestamp() != timestamp {
+            return Err(invalid(&path, "timestamp does not match its cache key"));
+        }
+        let file_family = parsed
+            .family()
+            .map_err(|e| invalid(&path, &format!("invalid snapshot file: {e}")))?;
+        if file_family != family {
+            return Err(invalid(
+                &path,
+                "address family does not match its cache key",
+            ));
+        }
+        let meta: SnapshotMeta = serde_json::from_slice(parsed.meta())
+            .map_err(|e| invalid(&path, &format!("unreadable snapshot metadata: {e}")))?;
+        if meta.peers.len() != parsed.peer_count() {
+            return Err(invalid(
+                &path,
+                "metadata peer list disagrees with the table count",
+            ));
+        }
+        let (store, tables) = parsed
+            .rebuild()
+            .map_err(|e| invalid(&path, &format!("invalid snapshot file: {e}")))?;
+        let snapshot = SanitizedSnapshot::from_interned_parts(
+            store,
+            timestamp,
+            family,
+            meta.peers,
+            tables,
+            meta.report,
+        );
+        if let Some(m) = metrics {
+            let elapsed = started.elapsed();
+            m.incr("store.cache_hit");
+            if mapped {
+                m.add("store.mapped_bytes", parsed.file_len() as u64);
+            }
+            m.record_span("store.open", elapsed);
+            m.set_timing_gauge("store.open_ms", elapsed.as_secs_f64() * 1e3);
+        }
+        Ok(Some(snapshot))
+    }
+
+    /// Lists every persisted snapshot in the directory, sorted by file
+    /// name (`pa store info`). Files that fail validation are reported as
+    /// errors, not skipped.
+    pub fn entries(&self) -> io::Result<Vec<StoreEntryInfo>> {
+        let mut names: Vec<String> = Vec::new();
+        let dir = match fs::read_dir(&self.root) {
+            Ok(dir) => dir,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        for entry in dir {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(&format!(".{SNAPSHOT_EXT}")) {
+                names.push(name);
+            }
+        }
+        names.sort();
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            let path = self.root.join(&name);
+            let bytes = fs::read(&path)?;
+            let parsed = PersistedSnapshot::parse(bytes.as_slice())
+                .map_err(|e| invalid(&path, &format!("invalid snapshot file: {e}")))?;
+            let family = parsed
+                .family()
+                .map_err(|e| invalid(&path, &format!("invalid snapshot file: {e}")))?;
+            out.push(StoreEntryInfo {
+                file_name: name,
+                file_len: parsed.file_len() as u64,
+                timestamp: parsed.timestamp(),
+                family,
+                peers: parsed.peer_count(),
+                prefixes: parsed.prefix_count(),
+                paths: parsed.path_count(),
+                entries: parsed.entry_count(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+fn invalid(path: &Path, message: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {message}", path.display()),
+    )
+}
+
+/// The bytes of one snapshot file plus whether they are memory-mapped.
+/// Owned reads are the default; the mapped variant only exists under the
+/// `mmap` feature on 64-bit unix.
+enum LoadedBytes {
+    Owned(Vec<u8>),
+    #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+    Mapped(mmap::Mmap),
+}
+
+impl AsRef<[u8]> for LoadedBytes {
+    fn as_ref(&self) -> &[u8] {
+        match self {
+            LoadedBytes::Owned(v) => v.as_slice(),
+            #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+            LoadedBytes::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+fn read_snapshot_bytes(path: &Path) -> io::Result<(LoadedBytes, bool)> {
+    let file = fs::File::open(path)?;
+    match mmap::Mmap::map(&file) {
+        Ok(map) => Ok((LoadedBytes::Mapped(map), true)),
+        // Filesystems without mmap support (and zero-length files) fall
+        // back to the safe read; validation is identical either way.
+        Err(_) => Ok((LoadedBytes::Owned(fs::read(path)?), false)),
+    }
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64", feature = "mmap")))]
+fn read_snapshot_bytes(path: &Path) -> io::Result<(LoadedBytes, bool)> {
+    Ok((LoadedBytes::Owned(fs::read(path)?), false))
+}
+
+/// Read-only private memory map — the one `unsafe` island of the crate,
+/// compiled only under the `mmap` feature on 64-bit unix. Hand-declared
+/// libc bindings keep the vendor-stub/offline build dependency-free.
+#[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+#[allow(unsafe_code)]
+mod mmap {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// An owned read-only mapping of a whole file.
+    pub struct Mmap {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ|MAP_PRIVATE — immutable shared
+    // bytes with no interior mutability, released exactly once in Drop.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `file` read-only in its entirety.
+        pub fn map(file: &File) -> io::Result<Mmap> {
+            let len = file.metadata()?.len();
+            if len == 0 || len > usize::MAX as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "file is empty or too large to map",
+                ));
+            }
+            let len = len as usize;
+            // SAFETY: a fresh PROT_READ|MAP_PRIVATE mapping of a file we
+            // hold open; the kernel chooses the address. Failure is the
+            // sentinel MAP_FAILED (-1), checked below.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mmap { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until Drop; MAP_PRIVATE isolates the view from
+            // concurrent file writes at page granularity.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Asn, Prefix, SnapshotStore};
+
+    fn sample_snapshot(store: &SnapshotStore) -> SanitizedSnapshot {
+        let addr = |i: u32| format!("10.0.0.{i}").parse().unwrap();
+        let peers = vec![
+            PeerKey::new(Asn(100), addr(1)),
+            PeerKey::new(Asn(200), addr(2)),
+        ];
+        let table = |paths: &[(&str, &str)]| -> Vec<(Prefix, AsPath)> {
+            paths
+                .iter()
+                .map(|(p, path)| (p.parse().unwrap(), path.parse().unwrap()))
+                .collect()
+        };
+        SanitizedSnapshot::from_owned_tables_into(
+            store,
+            "2016-01-15 08:00".parse().unwrap(),
+            Family::Ipv4,
+            peers,
+            vec![
+                table(&[("10.0.0.0/24", "100 30 40"), ("10.1.0.0/16", "100 30 50")]),
+                table(&[("10.0.0.0/24", "200 30 40"), ("10.1.0.0/16", "200 30 50")]),
+            ],
+            SanitizeReport::default(),
+        )
+    }
+
+    #[test]
+    fn save_then_load_round_trips_semantically() {
+        let dir = tempdir("roundtrip");
+        let store_dir = StoreDir::new(&dir);
+        let cfg = SanitizeConfig::default();
+        let snap = sample_snapshot(&SnapshotStore::new());
+        let path = store_dir.save(&snap, &cfg).unwrap();
+        assert!(path.exists());
+
+        let m = Metrics::new();
+        let loaded = store_dir
+            .load(snap.timestamp, snap.family, &cfg, Some(&m))
+            .unwrap()
+            .expect("cache hit");
+        // Semantic snapshot equality resolves ids across the two stores.
+        assert_eq!(loaded, snap);
+        assert_eq!(loaded.prefix_count(), snap.prefix_count());
+        assert_eq!(m.counter("store.cache_hit"), 1);
+        assert_eq!(m.counter("store.cache_miss"), 0);
+        assert_eq!(m.span_count("store.open"), 1);
+        assert!(m.timing_gauge("store.open_ms").is_some());
+        #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+        assert!(
+            m.counter("store.mapped_bytes") > 0,
+            "mmap build should map the file"
+        );
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_a_counted_miss() {
+        let dir = tempdir("miss");
+        let m = Metrics::new();
+        let got = StoreDir::new(&dir)
+            .load(
+                SimTime::from_unix(0),
+                Family::Ipv4,
+                &SanitizeConfig::default(),
+                Some(&m),
+            )
+            .unwrap();
+        assert!(got.is_none());
+        assert_eq!(m.counter("store.cache_miss"), 1);
+        assert_eq!(m.counter("store.cache_hit"), 0);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn config_digest_separates_cache_keys() {
+        let base = SanitizeConfig::default();
+        let mut strict = SanitizeConfig::default();
+        strict.min_collectors += 1;
+        assert_ne!(config_digest(&base), config_digest(&strict));
+
+        let dir = tempdir("cfgkey");
+        let store_dir = StoreDir::new(&dir);
+        let snap = sample_snapshot(&SnapshotStore::new());
+        store_dir.save(&snap, &base).unwrap();
+        // The same date under a different config is a miss, not a wrong hit.
+        let got = store_dir
+            .load(snap.timestamp, snap.family, &strict, None)
+            .unwrap();
+        assert!(got.is_none());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn corrupted_file_is_an_error_not_a_silent_miss() {
+        let dir = tempdir("corrupt");
+        let store_dir = StoreDir::new(&dir);
+        let cfg = SanitizeConfig::default();
+        let snap = sample_snapshot(&SnapshotStore::new());
+        let path = store_dir.save(&snap, &cfg).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = store_dir
+            .load(snap.timestamp, snap.family, &cfg, None)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn entries_lists_saved_snapshots() {
+        let dir = tempdir("info");
+        let store_dir = StoreDir::new(&dir);
+        assert!(store_dir.entries().unwrap().is_empty(), "no dir yet");
+        let cfg = SanitizeConfig::default();
+        let snap = sample_snapshot(&SnapshotStore::new());
+        store_dir.save(&snap, &cfg).unwrap();
+        let entries = store_dir.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.timestamp, snap.timestamp);
+        assert_eq!(e.family, Family::Ipv4);
+        assert_eq!(e.peers, 2);
+        assert_eq!(e.entries, 4);
+        assert!(e.file_len > 0);
+        cleanup(&dir);
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pa-storedir-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cleanup(dir: &Path) {
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,159 @@
+//! Round-trip suite for the persistent snapshot store: an analysis served
+//! from a `.pas` file must be byte-identical — atoms, statistics, and
+//! sanitize report — to the same analysis computed from the MRT parse
+//! path, at 1, 2, and 8 workers. A proptest family drives randomly shaped
+//! snapshots through save → load → analyze against the in-memory
+//! original; a deterministic end-to-end case goes through real MRT files
+//! on disk exactly as `pa atoms --store` does.
+
+use atoms_core::atom::compute_atoms_with;
+use atoms_core::obs::Metrics;
+use atoms_core::parallel::Parallelism;
+use atoms_core::pipeline::{analyze_sanitized_observed, analyze_snapshot_observed, PipelineConfig};
+use atoms_core::sanitize::{SanitizeConfig, SanitizeReport, SanitizedSnapshot};
+use atoms_core::storedir::StoreDir;
+use bgp_collect::Archive;
+use bgp_sim::{Era, Scenario};
+use bgp_types::{AsPath, Asn, Family, PeerKey, Prefix, SimTime, SnapshotStore};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn p(i: u32) -> Prefix {
+    Prefix::v4((10 << 24) | ((i % 256) << 8), 24).unwrap()
+}
+
+fn peer(i: usize) -> PeerKey {
+    PeerKey::new(
+        Asn(64_500 + i as u32),
+        IpAddr::V4(Ipv4Addr::from(0x0a00_0000 + i as u32)),
+    )
+}
+
+fn path(j: usize) -> AsPath {
+    format!("{} {} {}", 64_500 + j % 5, 100 + j % 11, 9000 + j % 7)
+        .parse()
+        .unwrap()
+}
+
+/// A fresh store directory per case: cases run concurrently within one
+/// process, so the counter (not just the pid) keys the path.
+fn fresh_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pa-store-roundtrip-{}-{n}", std::process::id()))
+}
+
+fn arb_tables() -> impl Strategy<Value = Vec<Vec<(u32, usize)>>> {
+    prop::collection::vec(prop::collection::vec((0u32..140, 0usize..25), 1..30), 1..6)
+}
+
+fn snapshot_from(assignments: &[Vec<(u32, usize)>]) -> SanitizedSnapshot {
+    let tables: Vec<Vec<(Prefix, AsPath)>> = assignments
+        .iter()
+        .map(|rows| {
+            let dedup: BTreeMap<Prefix, AsPath> =
+                rows.iter().map(|&(i, j)| (p(i), path(j))).collect();
+            dedup.into_iter().collect()
+        })
+        .collect();
+    let peers: Vec<PeerKey> = (0..tables.len()).map(peer).collect();
+    SanitizedSnapshot::from_owned_tables_into(
+        &SnapshotStore::new(),
+        SimTime::from_unix(0),
+        Family::Ipv4,
+        peers,
+        tables,
+        SanitizeReport::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// save → load → analyze reproduces the in-memory snapshot's analysis
+    /// exactly at every thread count, and the loaded snapshot resolves to
+    /// the same owned tables.
+    #[test]
+    fn store_load_reproduces_analysis_at_any_thread_count(assignments in arb_tables()) {
+        let original = snapshot_from(&assignments);
+        let cfg = SanitizeConfig::default();
+        let dir = fresh_dir();
+        let store = StoreDir::new(&dir);
+        store.save(&original, &cfg).expect("store write");
+        let loaded = store
+            .load(SimTime::from_unix(0), Family::Ipv4, &cfg, None)
+            .expect("store read")
+            .expect("just-saved entry is a hit");
+
+        prop_assert_eq!(
+            loaded.resolved_tables(),
+            original.resolved_tables(),
+            "loaded tables must resolve identically"
+        );
+        prop_assert_eq!(&loaded.peers, &original.peers);
+        for threads in [1usize, 2, 8] {
+            let a = compute_atoms_with(&original, Parallelism::new(threads));
+            let b = compute_atoms_with(&loaded, Parallelism::new(threads));
+            prop_assert_eq!(a, b, "atom mismatch at {} threads", threads);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The full disk-to-disk path: real MRT files parsed by [`Archive`],
+/// sanitized, persisted, and served back — stats, report, and atoms all
+/// byte-identical at 1, 2, and 8 workers, with the hit visible in the
+/// store counters.
+#[test]
+fn mrt_parse_and_store_load_agree_end_to_end() {
+    let date: SimTime = "2014-04-15 08:00".parse().unwrap();
+    let family = Family::Ipv4;
+    let era = Era::for_date(date, family, Some(1.0 / 400.0));
+    let mut scenario = Scenario::build(era);
+    let snap = scenario.snapshot(date);
+
+    let archive_dir = fresh_dir();
+    let store_dir = fresh_dir();
+    let archive = Archive::new(&archive_dir);
+    archive.store_snapshot(&snap).expect("write MRT files");
+    let captured = archive.load_snapshot(date, family).expect("MRT parse");
+
+    for threads in [1usize, 2, 8] {
+        let cfg = PipelineConfig {
+            parallelism: Parallelism::new(threads),
+            ..PipelineConfig::default()
+        };
+        let parsed = analyze_snapshot_observed(&captured, None, &cfg, None);
+        let store = StoreDir::new(&store_dir);
+        store
+            .save(&parsed.sanitized, &cfg.sanitize)
+            .expect("store write");
+        let metrics = Metrics::new();
+        let loaded = store
+            .load(date, family, &cfg.sanitize, Some(&metrics))
+            .expect("store read")
+            .expect("hit");
+        let served = analyze_sanitized_observed(loaded, &cfg, Some(&metrics));
+
+        assert_eq!(
+            parsed.atoms, served.atoms,
+            "atoms diverged at {threads} threads"
+        );
+        assert_eq!(
+            serde_json::to_string(&parsed.stats).expect("serializable"),
+            serde_json::to_string(&served.stats).expect("serializable"),
+            "stats diverged at {threads} threads"
+        );
+        assert_eq!(
+            serde_json::to_string(&parsed.sanitized.report).expect("serializable"),
+            serde_json::to_string(&served.sanitized.report).expect("serializable"),
+            "sanitize report diverged at {threads} threads"
+        );
+        assert_eq!(metrics.counter("store.cache_hit"), 1);
+    }
+    let _ = std::fs::remove_dir_all(&archive_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

@@ -1,0 +1,95 @@
+//! Cold-start cost of reaching a sanitized snapshot: MRT parse +
+//! sanitize vs a persistent-store load.
+//!
+//! The same snapshot is written both ways — as a standard MRT archive
+//! and as a `.pas` store file — and both loads are asserted to produce
+//! the same analysis before anything is timed:
+//!
+//! * **mrt_parse_sanitize** — the path every analysis run used to pay:
+//!   read the RIB files, decode the MRT framing, then run the full
+//!   sanitize stage (filters, broken-peer removal, interning);
+//! * **store_load** — open the `.pas` file, verify its checksums, and
+//!   rebuild the interned arenas directly; no MRT decode, no sanitize.
+
+use atoms_core::pipeline::{analyze_sanitized_observed, analyze_snapshot_observed, PipelineConfig};
+use atoms_core::sanitize::{sanitize, SanitizedSnapshot};
+use atoms_core::storedir::StoreDir;
+use bgp_collect::Archive;
+use bgp_sim::{Era, Scenario};
+use bgp_types::{Family, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::path::PathBuf;
+
+fn tmp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pa-bench-store-{tag}-{}", std::process::id()))
+}
+
+fn entry_count(s: &SanitizedSnapshot) -> usize {
+    s.tables.iter().map(Vec::len).sum()
+}
+
+fn bench_store_open(c: &mut Criterion) {
+    let date: SimTime = "2016-01-15 08:00".parse().unwrap();
+    let family = Family::Ipv4;
+    let era = Era::for_date(date, family, Some(1.0 / 200.0));
+    let mut scenario = Scenario::build(era);
+    let snap = scenario.snapshot(date);
+
+    let archive_dir = tmp_root("mrt");
+    let store_root = tmp_root("pas");
+    let archive = Archive::new(&archive_dir);
+    archive.store_snapshot(&snap).expect("write MRT archive");
+
+    let cfg = PipelineConfig::default();
+    let store = StoreDir::new(&store_root);
+
+    // Prime the store from the parsed snapshot, then assert the two
+    // paths produce identical artifacts before the timing means anything.
+    let captured = archive.load_snapshot(date, family).expect("MRT parse");
+    let cold = analyze_snapshot_observed(&captured, None, &cfg, None);
+    store
+        .save(&cold.sanitized, &cfg.sanitize)
+        .expect("store write");
+    let warm_sanitized = store
+        .load(date, family, &cfg.sanitize, None)
+        .expect("store read")
+        .expect("primed entry is a hit");
+    let warm = analyze_sanitized_observed(warm_sanitized, &cfg, None);
+    assert_eq!(
+        cold.atoms, warm.atoms,
+        "store path must reproduce the parse path exactly"
+    );
+    assert_eq!(
+        serde_json::to_string(&cold.stats).expect("serializable"),
+        serde_json::to_string(&warm.stats).expect("serializable"),
+        "general statistics must be byte-identical"
+    );
+
+    let entries = entry_count(&cold.sanitized);
+    let mut group = c.benchmark_group("store_open");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(entries as u64));
+    group.bench_function("mrt_parse_sanitize", |b| {
+        b.iter(|| {
+            let captured = archive.load_snapshot(date, family).expect("MRT parse");
+            let s = sanitize(&captured, &[], &cfg.sanitize);
+            std::hint::black_box(entry_count(&s))
+        })
+    });
+    group.bench_function("store_load", |b| {
+        b.iter(|| {
+            let s = store
+                .load(date, family, &cfg.sanitize, None)
+                .expect("store read")
+                .expect("hit");
+            std::hint::black_box(entry_count(&s))
+        })
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&archive_dir);
+    let _ = std::fs::remove_dir_all(&store_root);
+}
+
+criterion_group!(benches, bench_store_open);
+criterion_main!(benches);

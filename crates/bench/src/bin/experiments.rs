@@ -17,6 +17,10 @@
 //!                              wire format under policy p (strict | recover
 //!                              | recover-with-cap) instead of the in-memory
 //!                              conversion; identical results on clean input
+//!   --store <dir>              persistent snapshot store: load sanitized
+//!                              snapshots from dir (skipping the sanitize
+//!                              stage) on a hit, write them through on a
+//!                              miss; identical results either way
 //!   --metrics-json <path>      write pipeline stage/counter/warning metrics
 //!                              after the run (- = stdout); deterministic
 //!   --timings                  include wall-clock durations in the metrics
@@ -41,6 +45,7 @@ fn main() {
     let mut timings = false;
     let mut incremental = false;
     let mut ingest_policy: Option<RecoveryPolicy> = None;
+    let mut store_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,6 +80,9 @@ fn main() {
                     .unwrap_or_else(|| usage("--ingest-policy needs a value"));
                 ingest_policy = Some(policy.parse().unwrap_or_else(|e: String| usage(&e)));
             }
+            "--store" => {
+                store_dir = Some(args.next().unwrap_or_else(|| usage("--store needs a path")));
+            }
             "-h" | "--help" => usage(""),
             other => ids.push(other.to_string()),
         }
@@ -88,6 +96,9 @@ fn main() {
         .with_incremental(incremental);
     if let Some(policy) = ingest_policy {
         wb = wb.with_ingest_policy(policy);
+    }
+    if let Some(dir) = store_dir {
+        wb = wb.with_store_dir(dir);
     }
     if let Some(m) = &metrics {
         wb = wb.with_metrics(m.clone());
@@ -236,7 +247,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [--scale N] [--out DIR] [--threads N] [--incremental] \
-         [--ingest-policy strict|recover|recover-with-cap] \
+         [--ingest-policy strict|recover|recover-with-cap] [--store DIR] \
          [--metrics-json PATH] [--timings] <id>... | all | report\n ids: {}",
         ALL.join(", ")
     );

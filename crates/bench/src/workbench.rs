@@ -3,10 +3,11 @@
 use atoms_core::obs::Metrics;
 use atoms_core::parallel::Parallelism;
 use atoms_core::pipeline::{
-    analyze_snapshot_chained, analyze_snapshot_observed, ChainState, PipelineConfig,
-    SnapshotAnalysis,
+    analyze_sanitized_observed, analyze_snapshot_chained, analyze_snapshot_observed, ChainState,
+    PipelineConfig, SnapshotAnalysis,
 };
 use atoms_core::sanitize::SanitizeConfig;
+use atoms_core::storedir::StoreDir;
 use bgp_collect::capture::{events_by_collector, updates_bytes};
 use bgp_collect::{CapturedSnapshot, CapturedUpdates};
 use bgp_mrt::{RecoveryPolicy, UpdatesReader};
@@ -54,6 +55,13 @@ pub struct Workbench {
     /// exercise the same ingestion path as archives on disk. `None` keeps
     /// the fast in-memory path.
     pub ingest_policy: Option<RecoveryPolicy>,
+    /// Persistent snapshot store (the harness's `--store`): when set,
+    /// [`prepare_with`] loads the sanitized snapshot from this directory
+    /// on a hit — skipping the sanitize stage entirely — and writes it
+    /// through on a miss. Outputs are byte-identical either way.
+    ///
+    /// [`prepare_with`]: Workbench::prepare_with
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for Workbench {
@@ -65,6 +73,7 @@ impl Default for Workbench {
             metrics: None,
             incremental: false,
             ingest_policy: None,
+            store_dir: None,
         }
     }
 }
@@ -134,6 +143,13 @@ impl Workbench {
     /// format under `policy` (the harness's `--ingest-policy`).
     pub fn with_ingest_policy(mut self, policy: RecoveryPolicy) -> Workbench {
         self.ingest_policy = Some(policy);
+        self
+    }
+
+    /// Same workbench caching sanitized snapshots under `dir` (the
+    /// harness's `--store`).
+    pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Workbench {
+        self.store_dir = Some(dir.into());
         self
     }
 
@@ -316,14 +332,50 @@ impl Workbench {
         let events = generate_window(&mut scenario, date, 4, 0x5EED);
         let captured = CapturedSnapshot::from_sim(&snap);
         let updates = self.capture_updates(&snap, &events, family);
-        let analysis =
-            analyze_snapshot_observed(&captured, Some(&updates), cfg, self.metrics.as_ref());
+        let analysis = self.analyze_stored(&captured, &updates, family, cfg);
         PreparedSnapshot {
             scenario,
             captured,
             updates,
             analysis,
         }
+    }
+
+    /// Analyzes one snapshot through the persistent store when
+    /// [`store_dir`] is set: a hit skips the sanitize stage, a miss runs
+    /// it and writes the result through. Without a store this is exactly
+    /// [`analyze_snapshot_observed`].
+    ///
+    /// [`store_dir`]: Workbench::store_dir
+    fn analyze_stored(
+        &self,
+        captured: &CapturedSnapshot,
+        updates: &CapturedUpdates,
+        family: Family,
+        cfg: &PipelineConfig,
+    ) -> SnapshotAnalysis {
+        let Some(dir) = &self.store_dir else {
+            return analyze_snapshot_observed(captured, Some(updates), cfg, self.metrics.as_ref());
+        };
+        let store = StoreDir::new(dir);
+        match store.load(
+            captured.timestamp,
+            family,
+            &cfg.sanitize,
+            self.metrics.as_ref(),
+        ) {
+            Ok(Some(sanitized)) => {
+                return analyze_sanitized_observed(sanitized, cfg, self.metrics.as_ref())
+            }
+            Ok(None) => {}
+            Err(e) => panic!("snapshot store read failed: {e}"),
+        }
+        let analysis =
+            analyze_snapshot_observed(captured, Some(updates), cfg, self.metrics.as_ref());
+        store
+            .save(&analysis.sanitized, &cfg.sanitize)
+            .expect("snapshot store write");
+        analysis
     }
 
     /// Captures the update window. Without an [`ingest_policy`] this is the
@@ -503,6 +555,33 @@ mod tests {
             "only the chronologically first snapshot computes from scratch"
         );
         assert_eq!(metrics.span_count("incremental.apply"), 2);
+    }
+
+    /// A store-served prepare (`--store`) reproduces the from-scratch
+    /// analysis exactly: the first run writes through, the second loads
+    /// the sanitized snapshot instead of re-sanitizing.
+    #[test]
+    fn store_served_prepare_matches_from_scratch() {
+        let dir = std::env::temp_dir().join(format!("pa-workbench-store-{}", std::process::id()));
+        let d: SimTime = "2016-03-03 20:00".parse().unwrap();
+        let cfg = PipelineConfig::default();
+
+        let plain = Workbench::new(SCALE, "results-test");
+        let baseline = plain.prepare_with(d, Family::Ipv4, &cfg);
+
+        let stored = Workbench::new(SCALE, "results-test").with_store_dir(&dir);
+        let first = stored.prepare_with(d, Family::Ipv4, &cfg); // miss: write-through
+        let metrics = Metrics::new();
+        let observed = Workbench::new(SCALE, "results-test")
+            .with_store_dir(&dir)
+            .with_metrics(metrics.clone());
+        let second = observed.prepare_with(d, Family::Ipv4, &cfg); // hit
+
+        assert_eq!(baseline.analysis.atoms, first.analysis.atoms);
+        assert_eq!(baseline.analysis.atoms, second.analysis.atoms);
+        assert_eq!(metrics.counter("store.cache_hit"), 1);
+        assert_eq!(metrics.counter("store.cache_miss"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// The MRT round-trip capture path (`--ingest-policy`) reproduces the

@@ -69,9 +69,17 @@ impl std::str::FromStr for RecoveryPolicy {
             "strict" => Ok(RecoveryPolicy::Strict),
             "recover" => Ok(RecoveryPolicy::Recover),
             "recover-with-cap" => Ok(RecoveryPolicy::recover_with_default_cap()),
-            other => Err(format!(
-                "unknown ingest policy {other:?} (expected strict, recover, or recover-with-cap)"
-            )),
+            other => {
+                if let Some(budget) = other.strip_prefix("recover-with-cap=") {
+                    let max_skipped_bytes: u64 = budget.parse().map_err(|_| {
+                        format!("bad skip budget {budget:?} in ingest policy (expected bytes as a non-negative integer)")
+                    })?;
+                    return Ok(RecoveryPolicy::RecoverWithCap { max_skipped_bytes });
+                }
+                Err(format!(
+                    "unknown ingest policy {other:?} (expected strict, recover, recover-with-cap, or recover-with-cap=<bytes>)"
+                ))
+            }
         }
     }
 }
@@ -856,6 +864,30 @@ mod tests {
             }
         );
         assert!(RecoveryPolicy::from_str("lenient").is_err());
+    }
+
+    #[test]
+    fn recovery_policy_parses_explicit_cap() {
+        assert_eq!(
+            RecoveryPolicy::from_str("recover-with-cap=65536").unwrap(),
+            RecoveryPolicy::RecoverWithCap {
+                max_skipped_bytes: 65536
+            }
+        );
+        assert_eq!(
+            RecoveryPolicy::from_str("recover-with-cap=0").unwrap(),
+            RecoveryPolicy::RecoverWithCap {
+                max_skipped_bytes: 0
+            }
+        );
+        // The bare spelling keeps the default budget.
+        assert_eq!(
+            RecoveryPolicy::from_str("recover-with-cap").unwrap(),
+            RecoveryPolicy::recover_with_default_cap()
+        );
+        assert!(RecoveryPolicy::from_str("recover-with-cap=").is_err());
+        assert!(RecoveryPolicy::from_str("recover-with-cap=4MiB").is_err());
+        assert!(RecoveryPolicy::from_str("recover-with-cap=-1").is_err());
     }
 
     #[test]

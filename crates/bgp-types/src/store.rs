@@ -30,6 +30,8 @@ use crate::prefix::Prefix;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
+pub mod persist;
+
 /// Dense handle into a [`SnapshotStore`]'s prefix arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PrefixId(pub u32);
@@ -82,6 +84,13 @@ impl PrefixTable {
     /// `true` when nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
+    }
+
+    /// Estimated heap bytes held by the interned prefixes (the arena's
+    /// item vector; the lookup index roughly doubles this but is a
+    /// rebuildable acceleration structure, not payload).
+    pub fn bytes_est(&self) -> usize {
+        self.items.len() * std::mem::size_of::<Prefix>()
     }
 }
 
@@ -289,9 +298,10 @@ impl SnapshotStore {
         self.paths().len()
     }
 
-    /// Estimated heap bytes held by the interned paths.
+    /// Estimated heap bytes held by both arenas (interned prefixes plus
+    /// interned paths).
     pub fn bytes_est(&self) -> usize {
-        self.paths().bytes_est()
+        self.prefixes().bytes_est() + self.paths().bytes_est()
     }
 }
 

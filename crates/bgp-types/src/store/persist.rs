@@ -1,0 +1,924 @@
+//! Versioned, checksummed on-disk form of an interned snapshot.
+//!
+//! One file holds one sanitized snapshot: the hash-consed prefix and path
+//! arenas of its [`SnapshotStore`](crate::SnapshotStore) plus the columnar
+//! per-peer `(PrefixId, PathId)` tables, laid out as plain little-endian
+//! slices behind a fixed header so a loader can memory-map the file and
+//! read sections in place. The layout is:
+//!
+//! ```text
+//! [ header        | 32 B  | magic, version, section count, file length,
+//!                           section-table checksum                      ]
+//! [ section table | 32 B × count | kind, offset, length, checksum each  ]
+//! [ sections…     | 8-byte aligned, zero-padded between                 ]
+//! ```
+//!
+//! Section kinds (every kind exactly once, any order):
+//!
+//! | kind | name        | contents                                         |
+//! |------|-------------|--------------------------------------------------|
+//! | 1    | PREFIXES    | 24 B records: family, plen, pad, u128 LE address |
+//! | 2    | PATH_INDEX  | `(n_paths + 1)` u32 offsets into PATH_TOKENS     |
+//! | 3    | PATH_TOKENS | u32 stream; per segment a header word (bit 31 =  |
+//! |      |             | AS_SET, low 31 bits = member count) then members |
+//! | 4    | SNAP_HEAD   | timestamp u64, family u32, n_peers u32,          |
+//! |      |             | n_entries u64, reserved u64                      |
+//! | 5    | SNAP_META   | opaque caller bytes (report, peers, …)           |
+//! | 6    | SNAP_TABLES | `(n_peers + 1)` u64 entry boundaries, then       |
+//! |      |             | n_entries × (prefix u32, path u32) pairs         |
+//!
+//! Integrity is layered: the header pins the file length and checksums the
+//! section table; every section carries its own 64-bit checksum; and
+//! [`PersistedSnapshot::rebuild`] re-validates structure (id bounds, token
+//! spans, arena uniqueness) so a corrupt file yields a typed
+//! [`PersistError`] — never a panic or a silently-wrong load.
+//!
+//! Versioning policy: `VERSION` bumps on any layout change; readers refuse
+//! unknown versions outright (the format is a cache of re-derivable data,
+//! so migration is "rebuild the store directory", not in-place upgrade).
+//!
+//! This module is pure codec — `&[u8]` in, `Vec<u8>` out — and stays under
+//! the crate's `#![forbid(unsafe_code)]`. Memory mapping (the zero-copy
+//! byte source) lives with the store-directory layer in `atoms-core`,
+//! which hands whatever `AsRef<[u8]>` it obtained to
+//! [`PersistedSnapshot::parse`].
+
+use crate::as_path::{AsPath, Segment};
+use crate::asn::Asn;
+use crate::prefix::{Family, Prefix};
+use crate::store::{PathId, PrefixId, SnapshotStore};
+use crate::timestamp::SimTime;
+use std::fmt;
+
+/// File magic: "policy-atoms snapshot", format generation 1.
+pub const MAGIC: [u8; 8] = *b"PASNAP01";
+/// Current layout version; bumped on any incompatible change.
+pub const VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 32;
+const SECTION_ENTRY_LEN: usize = 32;
+const PREFIX_RECORD_LEN: usize = 24;
+const SNAP_HEAD_LEN: usize = 32;
+const ALIGN: usize = 8;
+/// Hard cap on the section count a reader will accept: the format defines
+/// six kinds, so anything larger is corruption, not growth.
+const MAX_SECTIONS: u32 = 16;
+
+const KIND_PREFIXES: u32 = 1;
+const KIND_PATH_INDEX: u32 = 2;
+const KIND_PATH_TOKENS: u32 = 3;
+const KIND_SNAP_HEAD: u32 = 4;
+const KIND_SNAP_META: u32 = 5;
+const KIND_SNAP_TABLES: u32 = 6;
+
+const FAMILY_V4: u32 = 4;
+const FAMILY_V6: u32 = 6;
+
+/// AS_SET flag in a path-token segment header word.
+const SEGMENT_SET_BIT: u32 = 1 << 31;
+
+/// What [`PersistedSnapshot::rebuild`] reconstructs: a fresh store holding
+/// both arenas plus the columnar per-peer tables.
+pub type RebuiltSnapshot = (SnapshotStore, Vec<Vec<(PrefixId, PathId)>>);
+
+/// Why a persisted snapshot could not be used. Every variant is a refusal
+/// with enough context to name the failing structure; none of the
+/// validation paths panic on untrusted bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The buffer ends before the structure declared at `what` does.
+    Truncated {
+        /// The structure that did not fit.
+        what: &'static str,
+        /// Bytes required to read it.
+        need: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The first 8 bytes are not the snapshot magic.
+    BadMagic,
+    /// The file declares a layout version this reader does not know.
+    UnsupportedVersion(u32),
+    /// The header's recorded file length does not match the buffer.
+    LengthMismatch {
+        /// Length recorded in the header.
+        recorded: u64,
+        /// Length of the buffer handed to the parser.
+        actual: u64,
+    },
+    /// A checksum failed over `what` (flipped or missing bytes).
+    ChecksumMismatch {
+        /// The covered region ("section table" or a section name).
+        what: &'static str,
+    },
+    /// The section table is structurally invalid (overlapping, unaligned,
+    /// out-of-bounds, duplicated, or missing sections).
+    BadSectionTable(&'static str),
+    /// A section's payload failed structural validation.
+    Malformed {
+        /// The section that failed.
+        section: &'static str,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Truncated { what, need, have } => {
+                write!(f, "truncated {what}: need {need} bytes, have {have}")
+            }
+            PersistError::BadMagic => write!(f, "not a persisted snapshot (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot format version {v} (reader knows {VERSION})"
+                )
+            }
+            PersistError::LengthMismatch { recorded, actual } => write!(
+                f,
+                "file length mismatch: header records {recorded} bytes, buffer holds {actual}"
+            ),
+            PersistError::ChecksumMismatch { what } => {
+                write!(f, "checksum mismatch over {what}")
+            }
+            PersistError::BadSectionTable(reason) => write!(f, "bad section table: {reason}"),
+            PersistError::Malformed { section, reason } => {
+                write!(f, "malformed {section} section: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// 64-bit non-cryptographic checksum over a byte slice: 8-byte chunks fed
+/// through a SplitMix64-style finalizer with rotate-multiply chaining.
+/// Self-contained (no external hash crates) and stable across platforms —
+/// the value is part of the on-disk format. Any single flipped bit
+/// avalanches through the finalizer, which is all a corruption detector
+/// needs.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut h = GOLDEN ^ (bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = (h ^ mix(word)).rotate_left(27).wrapping_mul(GOLDEN);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rest.len()].copy_from_slice(rest);
+        h = (h ^ mix(u64::from_le_bytes(tail)))
+            .rotate_left(27)
+            .wrapping_mul(GOLDEN);
+    }
+    mix(h)
+}
+
+fn family_code(family: Family) -> u32 {
+    match family {
+        Family::Ipv4 => FAMILY_V4,
+        Family::Ipv6 => FAMILY_V6,
+    }
+}
+
+fn decode_family(code: u32) -> Option<Family> {
+    match code {
+        FAMILY_V4 => Some(Family::Ipv4),
+        FAMILY_V6 => Some(Family::Ipv6),
+        _ => None,
+    }
+}
+
+/// Serializes one snapshot — the arenas of `store` plus the columnar
+/// `tables` and an opaque `meta` blob — into the flat format described in
+/// the module docs. The inverse is [`PersistedSnapshot::parse`] followed
+/// by [`PersistedSnapshot::rebuild`].
+///
+/// `tables` must reference ids issued by `store` (the
+/// [`SanitizedSnapshot`](crate::SnapshotStore) contract); out-of-range ids
+/// would produce a file that fails its own validation on load.
+pub fn encode_snapshot(
+    store: &SnapshotStore,
+    tables: &[Vec<(PrefixId, PathId)>],
+    timestamp: SimTime,
+    family: Family,
+    meta: &[u8],
+) -> Vec<u8> {
+    // PREFIXES: fixed 24-byte records in id order.
+    let prefixes = store.prefixes();
+    let mut prefixes_bytes = Vec::with_capacity(prefixes.len() * PREFIX_RECORD_LEN);
+    for i in 0..prefixes.len() {
+        let prefix = prefixes.get(PrefixId(i as u32));
+        let (fam, plen, addr): (u8, u8, u128) = match prefix {
+            Prefix::V4(p) => (FAMILY_V4 as u8, p.len(), p.addr() as u128),
+            Prefix::V6(p) => (FAMILY_V6 as u8, p.len(), p.addr()),
+        };
+        prefixes_bytes.push(fam);
+        prefixes_bytes.push(plen);
+        prefixes_bytes.extend_from_slice(&[0u8; 6]);
+        prefixes_bytes.extend_from_slice(&addr.to_le_bytes());
+    }
+    drop(prefixes);
+
+    // PATH_INDEX + PATH_TOKENS: segment-structured u32 stream in id order.
+    let paths = store.paths();
+    let mut index_bytes = Vec::with_capacity((paths.len() + 1) * 4);
+    let mut tokens = Vec::<u8>::new();
+    let mut token_count: u32 = 0;
+    index_bytes.extend_from_slice(&0u32.to_le_bytes());
+    for i in 0..paths.len() {
+        let path = paths.get(PathId(i as u32));
+        for segment in path.segments() {
+            let (set, members): (bool, &[Asn]) = match segment {
+                Segment::Sequence(v) => (false, v),
+                Segment::Set(v) => (true, v),
+            };
+            let header = members.len() as u32 | if set { SEGMENT_SET_BIT } else { 0 };
+            tokens.extend_from_slice(&header.to_le_bytes());
+            token_count += 1;
+            for asn in members {
+                tokens.extend_from_slice(&asn.0.to_le_bytes());
+                token_count += 1;
+            }
+        }
+        index_bytes.extend_from_slice(&token_count.to_le_bytes());
+    }
+    drop(paths);
+
+    // SNAP_HEAD + SNAP_TABLES.
+    let n_entries: u64 = tables.iter().map(|t| t.len() as u64).sum();
+    let mut head = Vec::with_capacity(SNAP_HEAD_LEN);
+    head.extend_from_slice(&timestamp.unix().to_le_bytes());
+    head.extend_from_slice(&family_code(family).to_le_bytes());
+    head.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+    head.extend_from_slice(&n_entries.to_le_bytes());
+    head.extend_from_slice(&0u64.to_le_bytes());
+
+    let mut tables_bytes = Vec::with_capacity((tables.len() + 1) * 8 + n_entries as usize * 8);
+    let mut boundary: u64 = 0;
+    tables_bytes.extend_from_slice(&boundary.to_le_bytes());
+    for table in tables {
+        boundary += table.len() as u64;
+        tables_bytes.extend_from_slice(&boundary.to_le_bytes());
+    }
+    for table in tables {
+        for &(prefix, path) in table {
+            tables_bytes.extend_from_slice(&prefix.0.to_le_bytes());
+            tables_bytes.extend_from_slice(&path.0.to_le_bytes());
+        }
+    }
+
+    let sections: [(u32, &[u8]); 6] = [
+        (KIND_PREFIXES, &prefixes_bytes),
+        (KIND_PATH_INDEX, &index_bytes),
+        (KIND_PATH_TOKENS, &tokens),
+        (KIND_SNAP_HEAD, &head),
+        (KIND_SNAP_META, meta),
+        (KIND_SNAP_TABLES, &tables_bytes),
+    ];
+
+    // Lay out: header, section table, aligned sections.
+    let table_len = sections.len() * SECTION_ENTRY_LEN;
+    let mut offset = align_up(HEADER_LEN + table_len);
+    let mut entries = Vec::with_capacity(sections.len());
+    for (kind, payload) in &sections {
+        entries.push((
+            *kind,
+            offset as u64,
+            payload.len() as u64,
+            checksum64(payload),
+        ));
+        offset = align_up(offset + payload.len());
+    }
+    let file_len = offset;
+
+    let mut table = Vec::with_capacity(table_len);
+    for &(kind, off, len, sum) in &entries {
+        table.extend_from_slice(&kind.to_le_bytes());
+        table.extend_from_slice(&0u32.to_le_bytes());
+        table.extend_from_slice(&off.to_le_bytes());
+        table.extend_from_slice(&len.to_le_bytes());
+        table.extend_from_slice(&sum.to_le_bytes());
+    }
+
+    let mut out = Vec::with_capacity(file_len);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(file_len as u64).to_le_bytes());
+    out.extend_from_slice(&checksum64(&table).to_le_bytes());
+    out.extend_from_slice(&table);
+    for (_, payload) in &sections {
+        while out.len() % ALIGN != 0 {
+            out.push(0);
+        }
+        out.extend_from_slice(payload);
+    }
+    while out.len() < file_len {
+        out.push(0);
+    }
+    out
+}
+
+fn align_up(n: usize) -> usize {
+    n.div_ceil(ALIGN) * ALIGN
+}
+
+/// A parsed-and-validated view over a persisted snapshot's bytes.
+///
+/// `parse` checks the envelope — magic, version, file length, section
+/// table, per-section checksums, and the cheap structural invariants —
+/// without copying any payload, so it is safe to run over a memory map.
+/// Accessors read the validated sections in place; [`rebuild`] is the
+/// boundary conversion back to the in-memory interned representation.
+///
+/// [`rebuild`]: PersistedSnapshot::rebuild
+pub struct PersistedSnapshot<B> {
+    buf: B,
+    /// (offset, len) per kind, indexed by `kind - 1`.
+    sections: [(usize, usize); 6],
+    n_prefixes: usize,
+    n_paths: usize,
+    n_peers: usize,
+    n_entries: usize,
+}
+
+impl<B> fmt::Debug for PersistedSnapshot<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PersistedSnapshot")
+            .field("prefixes", &self.n_prefixes)
+            .field("paths", &self.n_paths)
+            .field("peers", &self.n_peers)
+            .field("entries", &self.n_entries)
+            .finish()
+    }
+}
+
+impl<B: AsRef<[u8]>> PersistedSnapshot<B> {
+    /// Validates `buf` as a persisted snapshot. Returns a typed
+    /// [`PersistError`] on any structural or integrity failure; a
+    /// successful parse guarantees every section accessor is in bounds.
+    pub fn parse(buf: B) -> Result<Self, PersistError> {
+        let bytes = buf.as_ref();
+        if bytes.len() < HEADER_LEN {
+            return Err(PersistError::Truncated {
+                what: "header",
+                need: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = read_u32(bytes, 8);
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let section_count = read_u32(bytes, 12);
+        let file_len = read_u64(bytes, 16);
+        if file_len != bytes.len() as u64 {
+            return Err(PersistError::LengthMismatch {
+                recorded: file_len,
+                actual: bytes.len() as u64,
+            });
+        }
+        if section_count == 0 || section_count > MAX_SECTIONS {
+            return Err(PersistError::BadSectionTable("implausible section count"));
+        }
+        let table_end = HEADER_LEN + section_count as usize * SECTION_ENTRY_LEN;
+        if bytes.len() < table_end {
+            return Err(PersistError::Truncated {
+                what: "section table",
+                need: table_end,
+                have: bytes.len(),
+            });
+        }
+        let table = &bytes[HEADER_LEN..table_end];
+        if checksum64(table) != read_u64(bytes, 24) {
+            return Err(PersistError::ChecksumMismatch {
+                what: "section table",
+            });
+        }
+
+        let mut sections: [Option<(usize, usize, u64)>; 6] = [None; 6];
+        for i in 0..section_count as usize {
+            let at = i * SECTION_ENTRY_LEN;
+            let kind = read_u32(table, at);
+            let offset = read_u64(table, at + 8);
+            let len = read_u64(table, at + 16);
+            let sum = read_u64(table, at + 24);
+            if !(1..=6).contains(&kind) {
+                return Err(PersistError::BadSectionTable("unknown section kind"));
+            }
+            let slot = &mut sections[kind as usize - 1];
+            if slot.is_some() {
+                return Err(PersistError::BadSectionTable("duplicate section kind"));
+            }
+            if offset % ALIGN as u64 != 0 {
+                return Err(PersistError::BadSectionTable("unaligned section offset"));
+            }
+            let end = offset
+                .checked_add(len)
+                .ok_or(PersistError::BadSectionTable("section range overflows"))?;
+            if end > bytes.len() as u64 || offset < table_end as u64 {
+                return Err(PersistError::BadSectionTable("section out of bounds"));
+            }
+            *slot = Some((offset as usize, len as usize, sum));
+        }
+        let mut resolved = [(0usize, 0usize); 6];
+        for (i, slot) in sections.iter().enumerate() {
+            let (offset, len, sum) =
+                slot.ok_or(PersistError::BadSectionTable("missing section kind"))?;
+            if checksum64(&bytes[offset..offset + len]) != sum {
+                return Err(PersistError::ChecksumMismatch {
+                    what: section_name(i as u32 + 1),
+                });
+            }
+            resolved[i] = (offset, len);
+        }
+
+        // Every byte outside the header, section table, and section
+        // payloads must be zero: padding is part of the format, so damage
+        // there is just as tamper-evident as damage to a section, and a
+        // snapshot has exactly one valid byte stream.
+        let mut ranges: [(usize, usize); 7] = [(0, table_end); 7];
+        for (r, &(offset, len)) in ranges[1..].iter_mut().zip(&resolved) {
+            *r = (offset, offset + len);
+        }
+        ranges.sort_unstable();
+        let mut covered = 0usize;
+        for (start, end) in ranges {
+            if start < covered && start != end {
+                return Err(PersistError::BadSectionTable("overlapping sections"));
+            }
+            if bytes[covered..start.max(covered)].iter().any(|&b| b != 0) {
+                return Err(PersistError::Malformed {
+                    section: "padding",
+                    reason: "nonzero byte between sections",
+                });
+            }
+            covered = covered.max(end);
+        }
+        if bytes[covered..].iter().any(|&b| b != 0) {
+            return Err(PersistError::Malformed {
+                section: "padding",
+                reason: "nonzero byte after the last section",
+            });
+        }
+
+        // Cheap structural invariants tying the sections together.
+        let (_, prefixes_len) = resolved[KIND_PREFIXES as usize - 1];
+        if prefixes_len % PREFIX_RECORD_LEN != 0 {
+            return Err(PersistError::Malformed {
+                section: "PREFIXES",
+                reason: "length is not a whole number of records",
+            });
+        }
+        let (_, index_len) = resolved[KIND_PATH_INDEX as usize - 1];
+        if index_len % 4 != 0 || index_len < 4 {
+            return Err(PersistError::Malformed {
+                section: "PATH_INDEX",
+                reason: "length is not (n_paths + 1) offsets",
+            });
+        }
+        let (_, tokens_len) = resolved[KIND_PATH_TOKENS as usize - 1];
+        if tokens_len % 4 != 0 {
+            return Err(PersistError::Malformed {
+                section: "PATH_TOKENS",
+                reason: "length is not a whole number of words",
+            });
+        }
+        let (head_off, head_len) = resolved[KIND_SNAP_HEAD as usize - 1];
+        if head_len != SNAP_HEAD_LEN {
+            return Err(PersistError::Malformed {
+                section: "SNAP_HEAD",
+                reason: "wrong size",
+            });
+        }
+        let n_peers = read_u32(bytes, head_off + 12) as usize;
+        let n_entries = read_u64(bytes, head_off + 16) as usize;
+        let (_, tables_len) = resolved[KIND_SNAP_TABLES as usize - 1];
+        let expect_tables = (n_peers + 1)
+            .checked_mul(8)
+            .and_then(|b| n_entries.checked_mul(8).and_then(|e| b.checked_add(e)));
+        if expect_tables != Some(tables_len) {
+            return Err(PersistError::Malformed {
+                section: "SNAP_TABLES",
+                reason: "length disagrees with SNAP_HEAD peer/entry counts",
+            });
+        }
+
+        let parsed = PersistedSnapshot {
+            buf,
+            sections: resolved,
+            n_prefixes: prefixes_len / PREFIX_RECORD_LEN,
+            n_paths: index_len / 4 - 1,
+            n_peers,
+            n_entries,
+        };
+        parsed.validate_monotonic()?;
+        Ok(parsed)
+    }
+
+    /// Offset monotonicity of the path index and the table boundaries —
+    /// everything later accessors index by.
+    fn validate_monotonic(&self) -> Result<(), PersistError> {
+        let token_words = self.section(KIND_PATH_TOKENS).len() / 4;
+        let index = self.section(KIND_PATH_INDEX);
+        let mut prev = 0u32;
+        for i in 0..=self.n_paths {
+            let off = read_u32(index, i * 4);
+            if (i == 0 && off != 0) || off < prev || off as usize > token_words {
+                return Err(PersistError::Malformed {
+                    section: "PATH_INDEX",
+                    reason: "offsets not monotonically increasing within PATH_TOKENS",
+                });
+            }
+            prev = off;
+        }
+        if prev as usize != token_words {
+            return Err(PersistError::Malformed {
+                section: "PATH_INDEX",
+                reason: "final offset does not cover PATH_TOKENS",
+            });
+        }
+        let tables = self.section(KIND_SNAP_TABLES);
+        let mut prev = 0u64;
+        for i in 0..=self.n_peers {
+            let bound = read_u64(tables, i * 8);
+            if (i == 0 && bound != 0) || bound < prev || bound > self.n_entries as u64 {
+                return Err(PersistError::Malformed {
+                    section: "SNAP_TABLES",
+                    reason: "entry boundaries not monotonically increasing",
+                });
+            }
+            prev = bound;
+        }
+        if prev != self.n_entries as u64 {
+            return Err(PersistError::Malformed {
+                section: "SNAP_TABLES",
+                reason: "final boundary does not cover all entries",
+            });
+        }
+        Ok(())
+    }
+
+    fn section(&self, kind: u32) -> &[u8] {
+        let (offset, len) = self.sections[kind as usize - 1];
+        &self.buf.as_ref()[offset..offset + len]
+    }
+
+    /// Snapshot timestamp.
+    pub fn timestamp(&self) -> SimTime {
+        SimTime::from_unix(read_u64(self.section(KIND_SNAP_HEAD), 0))
+    }
+
+    /// Snapshot address family.
+    pub fn family(&self) -> Result<Family, PersistError> {
+        decode_family(read_u32(self.section(KIND_SNAP_HEAD), 8)).ok_or(PersistError::Malformed {
+            section: "SNAP_HEAD",
+            reason: "unknown address family code",
+        })
+    }
+
+    /// The opaque metadata blob stored alongside the tables.
+    pub fn meta(&self) -> &[u8] {
+        self.section(KIND_SNAP_META)
+    }
+
+    /// Number of interned prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.n_prefixes
+    }
+
+    /// Number of interned paths.
+    pub fn path_count(&self) -> usize {
+        self.n_paths
+    }
+
+    /// Number of peer tables.
+    pub fn peer_count(&self) -> usize {
+        self.n_peers
+    }
+
+    /// Total `(prefix, path)` entries across all peer tables.
+    pub fn entry_count(&self) -> usize {
+        self.n_entries
+    }
+
+    /// Total file size in bytes.
+    pub fn file_len(&self) -> usize {
+        self.buf.as_ref().len()
+    }
+
+    /// Rebuilds the in-memory interned representation: a fresh
+    /// [`SnapshotStore`] holding both arenas (ids equal to the file's, by
+    /// the first-insertion-order contract) plus the columnar tables.
+    ///
+    /// Performs the deep validation `parse` deliberately skips: canonical
+    /// prefixes, well-formed path segments, arena uniqueness, and id
+    /// bounds on every table entry.
+    pub fn rebuild(&self) -> Result<RebuiltSnapshot, PersistError> {
+        let store = SnapshotStore::new();
+
+        let prefixes = self.section(KIND_PREFIXES);
+        for i in 0..self.n_prefixes {
+            let at = i * PREFIX_RECORD_LEN;
+            let addr = u128::from_le_bytes(
+                prefixes[at + 8..at + 24]
+                    .try_into()
+                    .expect("24-byte record"),
+            );
+            let prefix = match prefixes[at] as u32 {
+                FAMILY_V4 if addr <= u32::MAX as u128 => Prefix::v4(addr as u32, prefixes[at + 1]),
+                FAMILY_V6 => Prefix::v6(addr, prefixes[at + 1]),
+                _ => {
+                    return Err(PersistError::Malformed {
+                        section: "PREFIXES",
+                        reason: "unknown family code or v4 address overflow",
+                    })
+                }
+            }
+            .map_err(|_| PersistError::Malformed {
+                section: "PREFIXES",
+                reason: "non-canonical prefix (host bits or bad length)",
+            })?;
+            let (id, hit) = store.intern_prefix(prefix);
+            if hit || id.0 as usize != i {
+                return Err(PersistError::Malformed {
+                    section: "PREFIXES",
+                    reason: "duplicate arena entry",
+                });
+            }
+        }
+
+        let index = self.section(KIND_PATH_INDEX);
+        let tokens = self.section(KIND_PATH_TOKENS);
+        for i in 0..self.n_paths {
+            let start = read_u32(index, i * 4) as usize;
+            let end = read_u32(index, (i + 1) * 4) as usize;
+            let mut segments = Vec::new();
+            let mut at = start;
+            while at < end {
+                let header = read_u32(tokens, at * 4);
+                let count = (header & !SEGMENT_SET_BIT) as usize;
+                at += 1;
+                if count == 0 || at + count > end {
+                    return Err(PersistError::Malformed {
+                        section: "PATH_TOKENS",
+                        reason: "segment overruns its path span",
+                    });
+                }
+                let members: Vec<Asn> = (0..count)
+                    .map(|k| Asn(read_u32(tokens, (at + k) * 4)))
+                    .collect();
+                at += count;
+                segments.push(if header & SEGMENT_SET_BIT != 0 {
+                    Segment::Set(members)
+                } else {
+                    Segment::Sequence(members)
+                });
+            }
+            // `from_segments` canonicalizes; a file whose segments are not
+            // already canonical (adjacent sequences) collapses into a path
+            // that duplicates an earlier id and is refused below.
+            let path = AsPath::from_segments(segments);
+            let (id, hit) = store.intern_path(&path);
+            if hit || id.0 as usize != i {
+                return Err(PersistError::Malformed {
+                    section: "PATH_TOKENS",
+                    reason: "duplicate or non-canonical arena entry",
+                });
+            }
+        }
+
+        let tables_bytes = self.section(KIND_SNAP_TABLES);
+        let pairs_base = (self.n_peers + 1) * 8;
+        let mut tables = Vec::with_capacity(self.n_peers);
+        for peer in 0..self.n_peers {
+            let start = read_u64(tables_bytes, peer * 8) as usize;
+            let end = read_u64(tables_bytes, (peer + 1) * 8) as usize;
+            let mut table = Vec::with_capacity(end - start);
+            for entry in start..end {
+                let at = pairs_base + entry * 8;
+                let prefix = read_u32(tables_bytes, at);
+                let path = read_u32(tables_bytes, at + 4);
+                if prefix as usize >= self.n_prefixes || path as usize >= self.n_paths {
+                    return Err(PersistError::Malformed {
+                        section: "SNAP_TABLES",
+                        reason: "entry references an id outside the arenas",
+                    });
+                }
+                table.push((PrefixId(prefix), PathId(path)));
+            }
+            tables.push(table);
+        }
+        Ok((store, tables))
+    }
+}
+
+fn section_name(kind: u32) -> &'static str {
+    match kind {
+        KIND_PREFIXES => "PREFIXES",
+        KIND_PATH_INDEX => "PATH_INDEX",
+        KIND_PATH_TOKENS => "PATH_TOKENS",
+        KIND_SNAP_HEAD => "SNAP_HEAD",
+        KIND_SNAP_META => "SNAP_META",
+        KIND_SNAP_TABLES => "SNAP_TABLES",
+        _ => "unknown",
+    }
+}
+
+/// Little-endian u32 at `at`; caller guarantees bounds (sections are
+/// length-validated at parse time).
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("validated bounds"))
+}
+
+/// Little-endian u64 at `at`; caller guarantees bounds.
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("validated bounds"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (SnapshotStore, Vec<Vec<(PrefixId, PathId)>>) {
+        let store = SnapshotStore::new();
+        let tables: Vec<Vec<(PrefixId, PathId)>> = vec![
+            vec![
+                (
+                    store.intern_prefix("10.0.0.0/24".parse().unwrap()).0,
+                    store.intern_path(&"1 2 3".parse().unwrap()).0,
+                ),
+                (
+                    store.intern_prefix("10.0.1.0/24".parse().unwrap()).0,
+                    store.intern_path(&"1 2 2 3".parse().unwrap()).0,
+                ),
+            ],
+            vec![
+                (
+                    store.intern_prefix("10.0.0.0/24".parse().unwrap()).0,
+                    store.intern_path(&"4 5 [6 7]".parse().unwrap()).0,
+                ),
+                (
+                    store.intern_prefix("2001:db8::/32".parse().unwrap()).0,
+                    store.intern_path(&"1 2 3".parse().unwrap()).0,
+                ),
+            ],
+            vec![],
+        ];
+        (store, tables)
+    }
+
+    fn encode_sample(meta: &[u8]) -> Vec<u8> {
+        let (store, tables) = sample();
+        encode_snapshot(
+            &store,
+            &tables,
+            "2016-01-15 08:00".parse().unwrap(),
+            Family::Ipv4,
+            meta,
+        )
+    }
+
+    #[test]
+    fn round_trip_rebuilds_identical_arenas_and_tables() {
+        let (store, tables) = sample();
+        let bytes = encode_sample(b"{\"k\":1}");
+        let parsed = PersistedSnapshot::parse(bytes.as_slice()).unwrap();
+        assert_eq!(parsed.timestamp(), "2016-01-15 08:00".parse().unwrap());
+        assert_eq!(parsed.family().unwrap(), Family::Ipv4);
+        assert_eq!(parsed.meta(), b"{\"k\":1}");
+        assert_eq!(parsed.prefix_count(), store.prefix_count());
+        assert_eq!(parsed.path_count(), store.path_count());
+        assert_eq!(parsed.peer_count(), 3);
+        assert_eq!(parsed.entry_count(), 4);
+
+        let (rebuilt, rebuilt_tables) = parsed.rebuild().unwrap();
+        assert_eq!(rebuilt_tables, tables, "ids survive the round trip");
+        for i in 0..store.prefix_count() {
+            assert_eq!(
+                rebuilt.resolve_prefix(PrefixId(i as u32)),
+                store.resolve_prefix(PrefixId(i as u32))
+            );
+        }
+        for i in 0..store.path_count() {
+            assert_eq!(
+                rebuilt.resolve_path(PathId(i as u32)),
+                store.resolve_path(PathId(i as u32))
+            );
+        }
+        assert_eq!(rebuilt.bytes_est(), store.bytes_est());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(encode_sample(b"m"), encode_sample(b"m"));
+    }
+
+    #[test]
+    fn re_encoding_a_rebuild_is_byte_identical() {
+        let bytes = encode_sample(b"meta");
+        let parsed = PersistedSnapshot::parse(bytes.as_slice()).unwrap();
+        let (store, tables) = parsed.rebuild().unwrap();
+        let again = encode_snapshot(
+            &store,
+            &tables,
+            parsed.timestamp(),
+            parsed.family().unwrap(),
+            parsed.meta(),
+        );
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let store = SnapshotStore::new();
+        let bytes = encode_snapshot(&store, &[], SimTime::from_unix(0), Family::Ipv6, b"");
+        let parsed = PersistedSnapshot::parse(bytes.as_slice()).unwrap();
+        assert_eq!(parsed.peer_count(), 0);
+        assert_eq!(parsed.family().unwrap(), Family::Ipv6);
+        let (rebuilt, tables) = parsed.rebuild().unwrap();
+        assert_eq!(rebuilt.prefix_count(), 0);
+        assert!(tables.is_empty());
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        assert_ne!(checksum64(b"a"), checksum64(b"b"));
+        assert_ne!(checksum64(b"ab"), checksum64(b"ba"));
+        assert_ne!(
+            checksum64(&[0u8; 8]),
+            checksum64(&[0u8; 9]),
+            "length-salted"
+        );
+        // Every single-bit flip in a 24-byte buffer changes the value.
+        let base = [0xA5u8; 24];
+        let h = checksum64(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base;
+                m[byte] ^= 1 << bit;
+                assert_ne!(checksum64(&m), h, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed_errors() {
+        let mut bytes = encode_sample(b"");
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            PersistedSnapshot::parse(bytes.as_slice()).unwrap_err(),
+            PersistError::BadMagic
+        );
+        let mut bytes = encode_sample(b"");
+        bytes[8] = 99;
+        assert_eq!(
+            PersistedSnapshot::parse(bytes.as_slice()).unwrap_err(),
+            PersistError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_layer() {
+        let bytes = encode_sample(b"some metadata");
+        assert!(matches!(
+            PersistedSnapshot::parse(&bytes[..10]).unwrap_err(),
+            PersistError::Truncated { what: "header", .. }
+        ));
+        // Anything shorter than the recorded file length is refused before
+        // section checksums are even consulted.
+        for cut in [HEADER_LEN, bytes.len() / 2, bytes.len() - 1] {
+            assert!(matches!(
+                PersistedSnapshot::parse(&bytes[..cut]).unwrap_err(),
+                PersistError::LengthMismatch { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_checksum_mismatch() {
+        let clean = encode_sample(b"0123456789");
+        let parsed = PersistedSnapshot::parse(clean.as_slice()).unwrap();
+        let (meta_off, _) = parsed.sections[KIND_SNAP_META as usize - 1];
+        let mut bytes = clean.clone();
+        bytes[meta_off] ^= 0x01;
+        assert_eq!(
+            PersistedSnapshot::parse(bytes.as_slice()).unwrap_err(),
+            PersistError::ChecksumMismatch { what: "SNAP_META" }
+        );
+    }
+}

@@ -3,10 +3,11 @@
 # && cargo clippy --workspace -D warnings.
 #
 # `check.sh --full` additionally runs the incremental-engine and
-# snapshot-store differential proptest suites plus the incremental_vs_full
-# and interned_vs_owned Criterion benchmark groups (slow; the tier-1 gate
-# already runs both suites' default-sized cases), and verifies the
-# corrupted-MRT corpus is exactly reproducible from its seeded builder.
+# snapshot-store differential proptest suites, the persisted-snapshot
+# corruption and round-trip suites, plus the incremental_vs_full,
+# interned_vs_owned, and store_open Criterion benchmark groups (slow; the
+# tier-1 gate already runs the suites' default-sized cases), and verifies
+# the corrupted-MRT corpus is exactly reproducible from its seeded builder.
 #
 # On machines without crates.io access (no network, empty registry cache)
 # the external dependencies are transparently substituted with the
@@ -91,6 +92,29 @@ if ! diff -u tests/golden/metrics_2012_incremental.json "$golden_tmp/metrics_inc
 fi
 echo "check.sh: incremental golden metrics fixture OK" >&2
 
+# Snapshot-store gate: `pa store build` persists the sanitized snapshot
+# into the on-disk store; `pa atoms --store` must serve byte-identical
+# output from it (and actually hit the store, per the counter) instead of
+# re-reading the RIB files. Runs before the ingest gate damages the
+# archive below.
+./target/release/pa store build --date "2012-07-15 08:00" \
+    --archive "$golden_tmp/archive" --store "$golden_tmp/store" >/dev/null
+./target/release/pa atoms --date "2012-07-15 08:00" --archive "$golden_tmp/archive" \
+    --json > "$golden_tmp/atoms_parsed.json"
+./target/release/pa atoms --date "2012-07-15 08:00" --archive "$golden_tmp/archive" \
+    --store "$golden_tmp/store" --json \
+    --metrics-json "$golden_tmp/metrics_store.json" > "$golden_tmp/atoms_stored.json"
+if ! diff -u "$golden_tmp/atoms_parsed.json" "$golden_tmp/atoms_stored.json"; then
+    echo "check.sh: pa atoms --store output diverged from the parse path" >&2
+    exit 1
+fi
+if ! grep -q '"store.cache_hit": 1' "$golden_tmp/metrics_store.json"; then
+    echo "check.sh: pa atoms --store did not hit the store:" >&2
+    grep '"store\.' "$golden_tmp/metrics_store.json" >&2 || true
+    exit 1
+fi
+echo "check.sh: snapshot-store gate OK" >&2
+
 # Ingestion-hardening gate: splice a corrupted corpus stream into one
 # collector's updates file. The default strict policy must refuse the
 # archive; --ingest-policy recover must complete the analysis and surface
@@ -120,6 +144,15 @@ if $full; then
     run bench -p bench --bench incremental
     run bench -p bench --bench interned
     echo "check.sh: --full incremental tier OK" >&2
+    # Persistent-store tier: the exhaustive corruption suite (every
+    # single-byte flip must surface as a typed error or a divergent
+    # rebuild, never a panic), the store-vs-parse round-trip proptest at
+    # 1/2/8 workers, and the cold-parse-vs-store-open benchmark whose
+    # numbers are recorded in BENCH_store.json.
+    run test -q -p bgp-types --test persist_corruption
+    run test -q -p atoms-core --test store_roundtrip
+    run bench -p bench --bench store_open
+    echo "check.sh: --full persistent-store tier OK (update BENCH_store.json if the numbers moved)" >&2
     # Corpus regeneration must be a fixed point: rebuilding the corrupted
     # MRT corpus from the seeded builder has to reproduce the checked-in
     # bytes exactly.
