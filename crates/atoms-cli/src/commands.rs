@@ -10,6 +10,9 @@ use atoms_core::pipeline::{
 };
 use atoms_core::report::{count, pct};
 use atoms_core::sanitize::{sanitize_with_observed, SanitizeConfig};
+use atoms_core::serve::protocol::{Client, Request};
+use atoms_core::serve::registry::LadderRegistry;
+use atoms_core::serve::{render, ServeOptions};
 use atoms_core::stability::stability as stability_pair;
 use atoms_core::storedir::StoreDir;
 use bgp_collect::{Archive, CapturedSnapshot, CapturedUpdates, ReplayState};
@@ -39,6 +42,13 @@ pub struct Options {
     pub metrics_json: Option<String>,
     pub timings: bool,
     pub verbose: bool,
+    pub listen: Option<String>,
+    pub connect: Option<String>,
+    pub prefix: Option<String>,
+    pub atom: Option<u64>,
+    pub requests: Option<u64>,
+    pub connections: Option<usize>,
+    pub bench_json: Option<String>,
 }
 
 impl Options {
@@ -62,6 +72,13 @@ impl Options {
             metrics_json: None,
             timings: false,
             verbose: false,
+            listen: None,
+            connect: None,
+            prefix: None,
+            atom: None,
+            requests: None,
+            connections: None,
+            bench_json: None,
         };
         let mut it = args.iter();
         let value = |it: &mut std::slice::Iter<String>, flag: &str| {
@@ -100,6 +117,31 @@ impl Options {
                     opts.ingest_policy = value(&mut it, "--ingest-policy")?.parse()?
                 }
                 "--store" => opts.store = Some(value(&mut it, "--store")?),
+                "--listen" => opts.listen = Some(value(&mut it, "--listen")?),
+                "--connect" => opts.connect = Some(value(&mut it, "--connect")?),
+                "--prefix" => opts.prefix = Some(value(&mut it, "--prefix")?),
+                "--atom" => {
+                    opts.atom = Some(
+                        value(&mut it, "--atom")?
+                            .parse()
+                            .map_err(|_| "--atom needs an atom index".to_string())?,
+                    )
+                }
+                "--requests" => {
+                    opts.requests = Some(
+                        value(&mut it, "--requests")?
+                            .parse()
+                            .map_err(|_| "--requests needs a count".to_string())?,
+                    )
+                }
+                "--connections" => {
+                    opts.connections = Some(
+                        value(&mut it, "--connections")?
+                            .parse()
+                            .map_err(|_| "--connections needs a count".to_string())?,
+                    )
+                }
+                "--bench-json" => opts.bench_json = Some(value(&mut it, "--bench-json")?),
                 "--out" => opts.out = Some(value(&mut it, "--out")?),
                 "--metrics-json" => opts.metrics_json = Some(value(&mut it, "--metrics-json")?),
                 "--timings" => opts.timings = true,
@@ -201,7 +243,18 @@ pub fn usage(msg: &str) -> ExitCode {
            siblings  --archive DIR --date D (needs v4+v6 snapshots)\n\
            store build --archive DIR --store DIR --date D [--horizons]\n\
                      parse + sanitize snapshots into the persistent store\n\
-           store info  --store DIR    list persisted snapshots\n\n\
+           store info  --store DIR    list persisted snapshots\n\
+           serve     --store DIR [--listen HOST:PORT] [--connections N]\n\
+                     resident query service over the store ladder; answers\n\
+                     are byte-identical to the batch subcommands\n\
+           query ENDPOINT --connect HOST:PORT [params]\n\
+                     one query against a running daemon: ping, rungs, atoms,\n\
+                     prefix_atom (--prefix P), members (--atom N), formation,\n\
+                     stability, stability_series, split_history (ranges use\n\
+                     --t1/--t2), metrics, shutdown\n\
+           loadgen   --connect HOST:PORT [--requests N] [--connections N]\n\
+                     [--bench-json PATH]  drive a mixed query workload and\n\
+                     report p50/p99 latency + QPS\n\n\
          observability (analysis subcommands):\n\
            --metrics-json PATH  write stage/counter/warning metrics (- = stdout);\n\
                                 deterministic — identical at any --threads N\n\
@@ -219,7 +272,7 @@ pub fn usage(msg: &str) -> ExitCode {
                                 ingest.* metrics; recover-with-cap: recover,\n\
                                 but abort after 4 MiB of skipped bytes;\n\
                                 recover-with-cap=<bytes> sets an explicit cap\n\n\
-         snapshot store (atoms, formation, dynamics):\n\
+         snapshot store (atoms, formation, dynamics, stability, serve):\n\
            --store DIR          persistent snapshot cache: load the sanitized\n\
                                 snapshot from DIR (skipping the MRT parse) on\n\
                                 a hit, or parse and write it through on a\n\
@@ -334,16 +387,16 @@ fn analyze(
     Ok((analysis, updates))
 }
 
-/// Refuses `--store` for subcommands whose analysis inputs cannot be
-/// served from a persisted snapshot: stability pools update warnings
-/// across both instants (the snapshot would have been sanitized under a
-/// different warning set), and replay/siblings need the raw captured
-/// snapshot.
+/// Refuses `--store` for the subcommands whose analysis inputs genuinely
+/// cannot be served from a persisted snapshot: replay and siblings need
+/// the raw captured snapshot and its UPDATE stream, which the store does
+/// not retain. Everything snapshot-only (atoms, formation, dynamics,
+/// stability, serve) goes through the cache.
 fn reject_store(opts: &Options, subcommand: &str, why: &str) -> Result<(), String> {
     if opts.store.is_some() {
         return Err(format!(
             "--store is not supported by `pa {subcommand}`: {why} \
-             (supported: atoms, formation, dynamics)"
+             (supported: atoms, formation, dynamics, stability, serve)"
         ));
     }
     Ok(())
@@ -404,56 +457,9 @@ pub fn atoms(opts: &Options) -> Result<(), String> {
     let metrics = opts.metrics();
     let (analysis, _) = analyze(opts, date, metrics.as_ref(), false)?;
     opts.emit_metrics(&metrics)?;
-    let s = &analysis.stats;
-    if opts.json {
-        let json = serde_json::json!({
-            "date": date.to_string(),
-            "stats": s,
-            "sanitize": analysis.sanitized.report,
-        });
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&json).expect("serializable")
-        );
-        return Ok(());
-    }
-    let r = &analysis.sanitized.report;
-    println!("sanitization:");
-    println!(
-        "  peers: {} kept / {} partial excluded / {} ADD-PATH / {} private-ASN / {} duplicate-heavy",
-        analysis.sanitized.peers.len(),
-        r.excluded_partial_peers,
-        r.removed_addpath_peers.len(),
-        r.removed_private_asn_peers.len(),
-        r.removed_duplicate_peers.len()
-    );
-    println!(
-        "  prefixes: {} → {} (length {}, <collectors {}, <peer-ASes {}); MOAS kept: {}",
-        count(r.prefixes_before),
-        count(r.prefixes_after),
-        r.dropped_by_length,
-        r.dropped_by_collectors,
-        r.dropped_by_peer_ases,
-        r.moas_prefixes
-    );
-    println!("atoms:");
-    println!("  prefixes           {}", count(s.n_prefixes));
-    println!("  origin ASes        {}", count(s.n_ases));
-    println!(
-        "  atoms              {} (mean {:.2}, p99 {}, max {})",
-        count(s.n_atoms),
-        s.mean_atom_size,
-        s.p99_atom_size,
-        s.max_atom_size
-    );
-    println!(
-        "  single-atom ASes   {}",
-        pct(100.0 * s.single_atom_as_share())
-    );
-    println!(
-        "  single-prefix atoms {}",
-        pct(100.0 * s.single_prefix_atom_share())
-    );
+    // The body renderer is shared with the `pa serve` atoms endpoint:
+    // one format string, so the two outputs cannot drift apart.
+    print!("{}", render::atoms_body(date, &analysis, opts.json));
     Ok(())
 }
 
@@ -469,74 +475,68 @@ pub fn formation(opts: &Options) -> Result<(), String> {
     };
     drop(formation_span);
     opts.emit_metrics(&metrics)?;
-    println!(
-        "formation distance over {} atoms ({} origins):",
-        f.n_atoms, f.n_origins
-    );
-    for d in 1..=f.atom_distance_pct.len().min(6) {
-        println!("  distance {d}: {:>5}", pct(f.at_distance(d)));
-    }
-    println!(
-        "  d1 breakdown: single-atom AS {}, unique peer set {}, prepend-only {}",
-        pct(f.d1_breakdown.0),
-        pct(f.d1_breakdown.1),
-        pct(f.d1_breakdown.2)
-    );
-    if f.excluded_indistinguishable > 0 {
-        println!(
-            "  excluded as indistinguishable (method ii): {}",
-            f.excluded_indistinguishable
-        );
-    }
+    print!("{}", render::formation_body(&f));
     Ok(())
 }
 
 /// `pa stability`: CAM/MPM between two archive snapshots.
 pub fn stability(opts: &Options) -> Result<(), String> {
-    reject_store(
-        opts,
-        "stability",
-        "both instants must be sanitized under the pooled warning set of both \
-         update windows, which is not what a cached snapshot was built with",
-    )?;
     let t1 = need(&opts.t1, "--t1")?;
     let t2 = need(&opts.t2, "--t2")?;
-    // Broken-peer removal must be consistent across both instants or the
-    // peer-set difference masquerades as atom churn: pool the update
-    // warnings of both windows and apply them to both analyses (horizon
-    // snapshots often have no updates file of their own).
-    let (snap1, upd1) = load(opts, t1)?;
-    let (snap2, upd2) = load(opts, t2)?;
-    let mut pooled = upd1.clone();
-    pooled.warnings.extend(upd2.warnings.iter().cloned());
-    let cfg = opts.pipeline_config();
     let metrics = opts.metrics();
-    // Under --incremental the t2 atoms are patched from t1's instead of
-    // recomputed — the two instants of a stability pair are exactly the
-    // small-delta successors the engine targets. Output is identical.
-    let (a1, a2) = if opts.incremental {
-        let (a1, chain) =
-            analyze_snapshot_chained(&snap1, Some(&pooled), &cfg, metrics.as_ref(), None);
-        let (a2, _) =
-            analyze_snapshot_chained(&snap2, Some(&pooled), &cfg, metrics.as_ref(), Some(chain));
+    let (a1, a2) = if opts.store.is_some() {
+        // Store path: each instant is served from (or written through to)
+        // the snapshot cache independently, exactly like `pa atoms` — the
+        // stability ladder is snapshot-only, so no update window is read
+        // on a hit. Broken-peer removal is per-instant here: a cached
+        // snapshot was sanitized under its own window's warnings, not the
+        // pooled set of both (the parse path below pools). On archives
+        // whose windows carry no broken-peer warnings the two paths are
+        // byte-identical; `pa serve`'s stability endpoint answers from
+        // the same per-instant cache, so CLI and daemon always agree.
+        let (a1, _) = analyze(opts, t1, metrics.as_ref(), false)?;
+        let (a2, _) = analyze(opts, t2, metrics.as_ref(), false)?;
         (a1, a2)
     } else {
-        (
-            analyze_snapshot_observed(&snap1, Some(&pooled), &cfg, metrics.as_ref()),
-            analyze_snapshot_observed(&snap2, Some(&pooled), &cfg, metrics.as_ref()),
-        )
+        // Broken-peer removal must be consistent across both instants or
+        // the peer-set difference masquerades as atom churn: pool the
+        // update warnings of both windows and apply them to both analyses
+        // (horizon snapshots often have no updates file of their own).
+        let (snap1, upd1) = load(opts, t1)?;
+        let (snap2, upd2) = load(opts, t2)?;
+        let mut pooled = upd1.clone();
+        pooled.warnings.extend(upd2.warnings.iter().cloned());
+        let cfg = opts.pipeline_config();
+        // Under --incremental the t2 atoms are patched from t1's instead
+        // of recomputed — the two instants of a stability pair are
+        // exactly the small-delta successors the engine targets. Output
+        // is identical.
+        if opts.incremental {
+            let (a1, chain) =
+                analyze_snapshot_chained(&snap1, Some(&pooled), &cfg, metrics.as_ref(), None);
+            let (a2, _) = analyze_snapshot_chained(
+                &snap2,
+                Some(&pooled),
+                &cfg,
+                metrics.as_ref(),
+                Some(chain),
+            );
+            (a1, a2)
+        } else {
+            (
+                analyze_snapshot_observed(&snap1, Some(&pooled), &cfg, metrics.as_ref()),
+                analyze_snapshot_observed(&snap2, Some(&pooled), &cfg, metrics.as_ref()),
+            )
+        }
     };
     let stability_span = metrics.as_ref().map(|m| m.span("pipeline.stability"));
     let s = stability_pair(&a1.atoms, &a2.atoms);
     drop(stability_span);
     opts.emit_metrics(&metrics)?;
-    println!(
-        "{} atoms at {t1} vs {} atoms at {t2}",
-        count(a1.atoms.len()),
-        count(a2.atoms.len())
+    print!(
+        "{}",
+        render::stability_body(t1, t2, a1.atoms.len(), a2.atoms.len(), &s)
     );
-    println!("complete atom match  (CAM): {}", pct(s.cam_pct));
-    println!("maximized prefix match (MPM): {}", pct(s.mpm_pct));
     Ok(())
 }
 
@@ -608,6 +608,13 @@ fn clone_opts(opts: &Options) -> Options {
         metrics_json: opts.metrics_json.clone(),
         timings: opts.timings,
         verbose: opts.verbose,
+        listen: opts.listen.clone(),
+        connect: opts.connect.clone(),
+        prefix: opts.prefix.clone(),
+        atom: opts.atom,
+        requests: opts.requests,
+        connections: opts.connections,
+        bench_json: opts.bench_json.clone(),
     }
 }
 
@@ -817,6 +824,154 @@ fn store_info(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `pa serve`: the resident query service over the persistent store.
+pub fn serve(opts: &Options) -> Result<(), String> {
+    let dir = StoreDir::new(need(&opts.store, "--store")?);
+    let cfg = opts.pipeline_config();
+    // The daemon always carries a metrics registry — the `metrics`
+    // endpoint snapshots it live; `--metrics-json` additionally writes
+    // the final state after the drain.
+    let metrics = Metrics::new();
+    let registry = LadderRegistry::open(&dir, &cfg, Some(&metrics)).map_err(|e| e.to_string())?;
+    for rung in registry.rungs() {
+        println!(
+            "rung {} {}: {} atoms over {} prefixes ({} peers)",
+            rung.timestamp,
+            rung.family_label(),
+            count(rung.analysis.atoms.len()),
+            count(rung.analysis.atoms.prefix_count()),
+            rung.analysis.sanitized.peers.len()
+        );
+    }
+    crate::signals::install();
+    let options = ServeOptions {
+        listen: opts
+            .listen
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        max_connections: opts.connections.unwrap_or(64),
+    };
+    let summary = atoms_core::serve::serve(
+        &registry,
+        &options,
+        crate::signals::shutdown_flag(),
+        Some(&metrics),
+        opts.timings,
+        &mut |addr| {
+            // The readiness line scripts and tests poll for; flushed so a
+            // piped consumer sees it before the first query.
+            println!("listening on {addr}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    opts.emit_metrics(&Some(metrics))?;
+    println!(
+        "shutdown: drained after {} connections, {} requests ({} errors)",
+        summary.connections, summary.requests, summary.errors
+    );
+    Ok(())
+}
+
+/// `pa query`: one request against a running daemon, body to stdout.
+pub fn query(opts: &Options, endpoint: &str) -> Result<(), String> {
+    let addr = need(&opts.connect, "--connect")?;
+    let mut req = Request::new(endpoint);
+    if let Some(date) = opts.date {
+        req = req.param("date", &date.to_string());
+    }
+    if let Some(t1) = opts.t1 {
+        // --t1/--t2 double as the from/to bounds of the range endpoints.
+        req = req
+            .param("t1", &t1.to_string())
+            .param("from", &t1.to_string());
+    }
+    if let Some(t2) = opts.t2 {
+        req = req
+            .param("t2", &t2.to_string())
+            .param("to", &t2.to_string());
+    }
+    if let Some(prefix) = &opts.prefix {
+        req = req.param("prefix", prefix);
+    }
+    if let Some(atom) = opts.atom {
+        req = req.param_u64("atom", atom);
+    }
+    req = req.param(
+        "family",
+        match opts.family {
+            Family::Ipv4 => "v4",
+            Family::Ipv6 => "v6",
+        },
+    );
+    if opts.json {
+        req = req.param_bool("json", true);
+    }
+    if opts.timings {
+        req = req.param_bool("timings", true);
+    }
+    let method = match opts.method {
+        PrependMethod::StripBeforeGrouping => "i",
+        PrependMethod::StripAfterGrouping => "ii",
+        PrependMethod::UniqueOnRaw => "iii",
+    };
+    req = req.param("method", method);
+    let mut client = Client::connect(&addr).map_err(|e| format!("cannot connect: {e}"))?;
+    let body = client.call(&req)?;
+    print!("{body}");
+    Ok(())
+}
+
+/// `pa loadgen`: drive a mixed query workload against a running daemon.
+pub fn loadgen(opts: &Options) -> Result<(), String> {
+    let cfg = bench::loadgen::LoadgenConfig {
+        addr: need(&opts.connect, "--connect")?,
+        requests: opts.requests.unwrap_or(10_000),
+        connections: opts.connections.unwrap_or(4),
+        seed: 0x10AD_0617,
+    };
+    let report = bench::loadgen::run(&cfg)?;
+    println!(
+        "{} requests over {} connections in {:.1}s — {:.0} req/s",
+        count(report.requests as usize),
+        report.connections,
+        report.elapsed_secs,
+        report.qps
+    );
+    println!(
+        "latency: p50 {} µs, p99 {} µs; errors {}",
+        report.p50_us, report.p99_us, report.errors
+    );
+    for (endpoint, n) in &report.per_endpoint {
+        println!("  {endpoint:<18} {}", count(*n as usize));
+    }
+    if let Some(path) = &opts.bench_json {
+        let today = chrono_free_today();
+        let entry = bench::loadgen::bench_entry(&report, &cfg.addr, &today);
+        std::fs::write(path, entry).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if report.errors > 0 {
+        return Err(format!(
+            "{} of {} requests failed (the workload only issues valid queries)",
+            report.errors, report.requests
+        ));
+    }
+    Ok(())
+}
+
+/// Today's date (UTC) without a date-time dependency: seconds since the
+/// epoch run through the same civil-date math the simulator uses.
+fn chrono_free_today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let t = SimTime::from_unix(secs).to_string();
+    t.split(' ').next().unwrap_or(&t).to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -859,6 +1014,20 @@ mod tests {
             "/tmp/m.json",
             "--timings",
             "--verbose",
+            "--listen",
+            "127.0.0.1:0",
+            "--connect",
+            "127.0.0.1:4000",
+            "--prefix",
+            "10.0.0.0/24",
+            "--atom",
+            "7",
+            "--requests",
+            "1000000",
+            "--connections",
+            "8",
+            "--bench-json",
+            "/tmp/bench.json",
         ])
         .unwrap();
         assert_eq!(o.date.unwrap().to_string(), "2024-10-15 08:00:00");
@@ -875,10 +1044,19 @@ mod tests {
         assert_eq!(o.store.as_deref(), Some("/tmp/s"));
         assert_eq!(o.metrics_json.as_deref(), Some("/tmp/m.json"));
         assert!(o.timings && o.verbose);
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.connect.as_deref(), Some("127.0.0.1:4000"));
+        assert_eq!(o.prefix.as_deref(), Some("10.0.0.0/24"));
+        assert_eq!(o.atom, Some(7));
+        assert_eq!(o.requests, Some(1_000_000));
+        assert_eq!(o.connections, Some(8));
+        assert_eq!(o.bench_json.as_deref(), Some("/tmp/bench.json"));
     }
 
     #[test]
     fn store_is_rejected_where_outputs_would_diverge() {
+        // Only the update-stream subcommands refuse now: stability became
+        // store-served (its ladder is snapshot-only).
         let o = parse(&[
             "--store",
             "/tmp/s",
@@ -889,8 +1067,7 @@ mod tests {
         ])
         .unwrap();
         for (name, f) in [
-            ("stability", stability as fn(&Options) -> Result<(), String>),
-            ("replay", replay),
+            ("replay", replay as fn(&Options) -> Result<(), String>),
             ("siblings", siblings),
         ] {
             let err = f(&o).unwrap_err();
@@ -898,7 +1075,33 @@ mod tests {
                 err.contains("--store is not supported"),
                 "{name}: unexpected error {err}"
             );
+            assert!(
+                err.contains("stability"),
+                "{name}: the supported list should name stability: {err}"
+            );
         }
+    }
+
+    #[test]
+    fn stability_accepts_store_and_misses_to_the_archive() {
+        // With --store, stability no longer refuses up front: it goes
+        // through the per-instant cache path, which on a miss needs the
+        // archive — so the error is about the missing archive, not about
+        // --store being unsupported.
+        let o = parse(&[
+            "--store",
+            "/tmp/pa-definitely-missing-store",
+            "--t1",
+            "2024-10-15",
+            "--t2",
+            "2024-10-22",
+        ])
+        .unwrap();
+        let err = stability(&o).unwrap_err();
+        assert!(
+            err.contains("missing --archive"),
+            "expected an archive miss, got: {err}"
+        );
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! pa replay    --archive DIR --date D [--t2 T] [--family v4|v6]
 //! pa store build --archive DIR --store DIR --date D [--horizons]
 //! pa store info  --store DIR
+//! pa serve     --store DIR [--listen HOST:PORT] [--connections N]
+//! pa query     ENDPOINT --connect HOST:PORT [params]
+//! pa loadgen   --connect HOST:PORT [--requests N] [--connections N] [--bench-json PATH]
 //! ```
 //!
 //! `simulate` writes a synthetic MRT archive; every other subcommand works
@@ -22,6 +25,7 @@
 //! -readable stage report on stderr).
 
 mod commands;
+mod signals;
 
 use std::process::ExitCode;
 
@@ -44,13 +48,25 @@ fn main() -> ExitCode {
     let Some((cmd, mut rest)) = args.split_first() else {
         return commands::usage("");
     };
-    // `pa store <action> --flags…`: the action rides before the flags.
+    // `pa store <action> --flags…` and `pa query <endpoint> --flags…`:
+    // the action/endpoint word rides before the flags.
     let mut store_action = None;
     if cmd == "store" {
         let Some((action, flags)) = rest.split_first() else {
             return commands::usage("store needs an action: build or info");
         };
         store_action = Some(action.as_str());
+        rest = flags;
+    }
+    let mut query_endpoint = None;
+    if cmd == "query" {
+        let Some((endpoint, flags)) = rest.split_first() else {
+            return commands::usage(
+                "query needs an endpoint: ping, rungs, atoms, prefix_atom, members, \
+                 formation, stability, stability_series, split_history, metrics, shutdown",
+            );
+        };
+        query_endpoint = Some(endpoint.as_str());
         rest = flags;
     }
     let opts = match commands::Options::parse(rest) {
@@ -67,6 +83,9 @@ fn main() -> ExitCode {
         "replay" => commands::replay(&opts),
         "siblings" => commands::siblings(&opts),
         "store" => commands::store(&opts, store_action.expect("set above")),
+        "serve" => commands::serve(&opts),
+        "query" => commands::query(&opts, query_endpoint.expect("set above")),
+        "loadgen" => commands::loadgen(&opts),
         "-h" | "--help" | "help" => return commands::usage(""),
         other => return commands::usage(&format!("unknown subcommand `{other}`")),
     };

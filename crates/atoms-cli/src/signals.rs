@@ -1,0 +1,55 @@
+//! SIGINT/SIGTERM → shutdown flag, for graceful `pa serve` draining.
+//!
+//! The handler only flips a process-wide atomic; the serve accept loop
+//! polls it between accepts and drains in-flight connections before
+//! exiting. Hand-declared libc binding (no `libc` crate) keeps the
+//! offline build dependency-free; on non-unix targets installation is a
+//! no-op and shutdown comes from the `shutdown` endpoint alone.
+
+use std::sync::atomic::AtomicBool;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// The flag the signal handler sets; hand it to `atoms_core::serve`.
+pub fn shutdown_flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+/// Installs the SIGINT and SIGTERM handlers (unix; no-op elsewhere).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a relaxed atomic store, nothing else.
+        super::SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        // `signal(2)`. Declared with a typed handler parameter (ABI-equal
+        // to the C `sighandler_t`) so no fn-pointer casts are needed.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        // SAFETY: `on_signal` is async-signal-safe (single atomic store)
+        // and `signal` is only given live signal numbers; the returned
+        // previous handler is intentionally discarded.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}

@@ -1,0 +1,251 @@
+//! Satellite coverage for `pa serve`: concurrent readers must observe
+//! byte-identical answers to the batch CLI over the same store.
+//!
+//! One simulated archive + store ladder is built per test process; a
+//! single daemon serves it while client threads (1, 2, and 8 at a time)
+//! replay mixed queries and compare every body against the reference
+//! strings captured from `pa atoms`/`pa formation`/`pa stability`.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use atoms_core::serve::protocol::{Client, Request};
+
+const DATE: &str = "2012-07-15 08:00";
+const DATE_8H: &str = "2012-07-15 16:00";
+const DATE_24H: &str = "2012-07-16 08:00";
+
+fn pa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pa"))
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pa-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "command failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Kills the daemon on panic so a failed assertion never leaks a child.
+struct ServerGuard {
+    child: Option<Child>,
+    addr: String,
+}
+
+impl ServerGuard {
+    fn spawn(store: &std::path::Path) -> Self {
+        let mut child = pa()
+            .args(["serve", "--listen", "127.0.0.1:0", "--store"])
+            .arg(store)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn pa serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut addr = None;
+        for line in BufReader::new(stdout).lines() {
+            let line = line.expect("serve stdout");
+            if let Some(rest) = line.strip_prefix("listening on ") {
+                addr = Some(rest.trim().to_string());
+                break;
+            }
+        }
+        ServerGuard {
+            child: Some(child),
+            addr: addr.expect("serve printed its listen address"),
+        }
+    }
+
+    /// Requests a drain and asserts the daemon exits cleanly.
+    fn shutdown(mut self) {
+        let mut client = Client::connect(&self.addr).expect("connect for shutdown");
+        let body = client
+            .call(&Request::new("shutdown"))
+            .expect("shutdown accepted");
+        assert_eq!(body, "draining\n");
+        let status = self
+            .child
+            .take()
+            .expect("child still running")
+            .wait()
+            .expect("wait on pa serve");
+        assert!(status.success(), "serve exited with {status}");
+    }
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Batch-CLI reference bodies every serve answer is compared against.
+struct Reference {
+    atoms_text: String,
+    atoms_json: String,
+    formation_ii: String,
+    stability: String,
+}
+
+fn build_reference(store: &std::path::Path) -> Reference {
+    let atoms_text = run_ok(pa().args(["atoms", "--date", DATE, "--store"]).arg(store));
+    let atoms_json = run_ok(
+        pa().args(["atoms", "--date", DATE, "--json", "--store"])
+            .arg(store),
+    );
+    let formation_ii = run_ok(
+        pa().args(["formation", "--date", DATE, "--method", "ii", "--store"])
+            .arg(store),
+    );
+    let stability = run_ok(
+        pa().args(["stability", "--t1", DATE, "--t2", DATE_8H, "--store"])
+            .arg(store),
+    );
+    Reference {
+        atoms_text,
+        atoms_json,
+        formation_ii,
+        stability,
+    }
+}
+
+/// One reader's worth of mixed queries, all checked byte-for-byte.
+fn exercise_reader(addr: &str, reference: &Reference, rounds: usize) {
+    let mut client = Client::connect(addr).expect("connect reader");
+    for _ in 0..rounds {
+        assert_eq!(client.call(&Request::new("ping")).unwrap(), "pong\n");
+
+        let body = client
+            .call(&Request::new("atoms").param("date", DATE))
+            .unwrap();
+        assert_eq!(body, reference.atoms_text, "atoms text diverged");
+
+        let body = client
+            .call(
+                &Request::new("atoms")
+                    .param("date", DATE)
+                    .param_bool("json", true),
+            )
+            .unwrap();
+        assert_eq!(body, reference.atoms_json, "atoms json diverged");
+
+        let body = client
+            .call(
+                &Request::new("formation")
+                    .param("date", DATE)
+                    .param("method", "ii"),
+            )
+            .unwrap();
+        assert_eq!(body, reference.formation_ii, "formation diverged");
+
+        let body = client
+            .call(
+                &Request::new("stability")
+                    .param("t1", DATE)
+                    .param("t2", DATE_8H),
+            )
+            .unwrap();
+        assert_eq!(body, reference.stability, "stability diverged");
+
+        // prefix→atom and atom→members must agree with each other: every
+        // member the daemon lists for atom 0 must map straight back.
+        let members = client
+            .call(
+                &Request::new("members")
+                    .param("date", DATE)
+                    .param_u64("atom", 0),
+            )
+            .unwrap();
+        let first_prefix = members
+            .lines()
+            .find_map(|l| l.strip_prefix("  "))
+            .expect("atom 0 has at least one member")
+            .trim()
+            .to_string();
+        let lookup = client
+            .call(
+                &Request::new("prefix_atom")
+                    .param("date", DATE)
+                    .param("prefix", &first_prefix),
+            )
+            .unwrap();
+        assert!(
+            lookup.contains("atom #0"),
+            "member {first_prefix} of atom 0 resolved to: {lookup}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_readers_match_batch_cli() {
+    let archive = tmpdir("archive");
+    let store = tmpdir("store");
+    run_ok(
+        pa().args([
+            "simulate",
+            "--date",
+            DATE,
+            "--scale",
+            "400",
+            "--horizons",
+            "--out",
+        ])
+        .arg(&archive),
+    );
+    run_ok(
+        pa().args(["store", "build", "--date", DATE, "--horizons", "--archive"])
+            .arg(&archive)
+            .arg("--store")
+            .arg(&store),
+    );
+
+    let reference = Arc::new(build_reference(&store));
+    let server = ServerGuard::spawn(&store);
+    let addr = server.addr.clone();
+
+    // A lone reader first, then contended rounds: 2 and 8 threads all
+    // hammering the same daemon must each see the batch-CLI bytes.
+    for readers in [1usize, 2, 8] {
+        std::thread::scope(|scope| {
+            for _ in 0..readers {
+                let addr = addr.clone();
+                let reference = Arc::clone(&reference);
+                scope.spawn(move || exercise_reader(&addr, &reference, 4));
+            }
+        });
+    }
+
+    // The range endpoints only need to be self-consistent here; their
+    // byte-level agreement with the CLI is pinned by the per-pair
+    // `stability` checks above sharing the daemon's cache.
+    let mut client = Client::connect(&addr).expect("connect series reader");
+    let series = client
+        .call(
+            &Request::new("stability_series")
+                .param("from", DATE)
+                .param("to", DATE_24H),
+        )
+        .unwrap();
+    assert!(
+        series.contains("CAM") && series.contains("MPM"),
+        "series body: {series}"
+    );
+    let err = client
+        .call(&Request::new("atoms").param("date", "1999-01-01"))
+        .unwrap_err();
+    assert!(err.starts_with("unknown_rung"), "got: {err}");
+
+    server.shutdown();
+}

@@ -20,6 +20,7 @@
 //! | [`parallel`] | deterministic worker pool backing the parallel stages |
 //! | [`obs`] | stage metrics + structured warning telemetry |
 //! | [`storedir`] | persistent on-disk snapshot store (mmap-able cache) |
+//! | [`serve`] | resident query service over the store ladder (`pa serve`) |
 //! | [`dynamics`] | §7.2 atom-level event vs. prefix-noise classification |
 //! | [`siblings`] | §7.3 IPv4/IPv6 sibling-atom matching |
 //! | [`report`] | table/CSV/JSON rendering for the experiment harness |
@@ -42,6 +43,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod sanitize;
+pub mod serve;
 pub mod siblings;
 pub mod splits;
 pub mod stability;

@@ -1,0 +1,231 @@
+//! The resident query service behind `pa serve`.
+//!
+//! A daemon opens the [`crate::storedir::StoreDir`] ladder once,
+//! precomputes every rung's atoms ([`registry::LadderRegistry`]), then
+//! answers concurrent queries over a small length-prefixed JSON protocol
+//! ([`protocol`]) — prefix → atom, atom membership, formation distance,
+//! CAM/MPM stability series, split-event history — with bodies that are
+//! byte-identical to the batch CLI's stdout ([`render`]).
+//!
+//! Concurrency model: one OS thread per connection, spawned inside a
+//! crossbeam scope whose join *is* the connection drain — when shutdown
+//! is requested (SIGTERM/ctrl-c via the caller's flag, or the `shutdown`
+//! endpoint), the accept loop stops and the scope waits for every
+//! in-flight request to finish before [`serve`] returns. All shared
+//! state is immutable (`Arc`-shared interned arenas) or behind
+//! short-lived caches, so readers never block each other.
+
+pub mod protocol;
+pub mod registry;
+pub mod render;
+mod router;
+
+use crate::obs::Metrics;
+use protocol::{read_frame_interruptible, write_frame, POLL_INTERVAL};
+use registry::LadderRegistry;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// `host:port` to bind; port 0 picks a free port (reported through
+    /// the `on_ready` callback).
+    pub listen: String,
+    /// Connections served concurrently before new ones are turned away
+    /// with a `busy` error.
+    pub max_connections: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            listen: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+        }
+    }
+}
+
+/// What happened over one serve run (reported after the drain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted (including ones turned away as busy).
+    pub connections: u64,
+    /// Requests answered.
+    pub requests: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+}
+
+struct Shared<'a> {
+    registry: &'a LadderRegistry,
+    shutdown: &'a AtomicBool,
+    metrics: Option<&'a Metrics>,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    active: AtomicUsize,
+    timings: bool,
+}
+
+/// Runs the query service until `shutdown` turns true (set by the
+/// caller's signal handler or by the `shutdown` endpoint), then drains
+/// in-flight connections and returns the run's totals.
+///
+/// `on_ready` fires once with the bound address — with `:0` this is the
+/// only way to learn the port. `timings` controls whether the `metrics`
+/// endpoint's payload includes wall-clock durations by default.
+pub fn serve(
+    registry: &LadderRegistry,
+    options: &ServeOptions,
+    shutdown: &AtomicBool,
+    metrics: Option<&Metrics>,
+    timings: bool,
+    on_ready: &mut dyn FnMut(SocketAddr),
+) -> io::Result<ServeSummary> {
+    let listener = TcpListener::bind(&options.listen)?;
+    listener.set_nonblocking(true)?;
+    on_ready(listener.local_addr()?);
+    let shared = Shared {
+        registry,
+        shutdown,
+        metrics,
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        active: AtomicUsize::new(0),
+        timings,
+    };
+    let mut connections = 0u64;
+    crossbeam::thread::scope(|scope| -> io::Result<()> {
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    connections += 1;
+                    if let Some(m) = shared.metrics {
+                        m.incr("serve.connections");
+                    }
+                    if shared.active.load(Ordering::SeqCst) >= options.max_connections {
+                        turn_away(stream);
+                        continue;
+                    }
+                    shared.active.fetch_add(1, Ordering::SeqCst);
+                    let shared = &shared;
+                    scope.spawn(move |_| {
+                        handle_connection(stream, shared);
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL.min(std::time::Duration::from_millis(10)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Scope exit joins every connection thread: the drain.
+        Ok(())
+    })
+    .expect("connection threads do not panic")?;
+    Ok(ServeSummary {
+        connections,
+        requests: shared.requests.load(Ordering::SeqCst),
+        errors: shared.errors.load(Ordering::SeqCst),
+    })
+}
+
+/// Refuses a connection over the limit with a `busy` error. Best-effort:
+/// the socket closes either way.
+fn turn_away(mut stream: TcpStream) {
+    let body = error_json("busy", "connection limit reached, retry shortly");
+    let _ = write_frame(&mut stream, body.as_bytes());
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let should_stop = || shared.shutdown.load(Ordering::SeqCst);
+    loop {
+        let payload = match read_frame_interruptible(&mut stream, &should_stop) {
+            Ok(Some(payload)) => payload,
+            // Clean close, shutdown while idle, torn frame, or a dead
+            // peer: nothing more to answer on this connection.
+            Ok(None) | Err(_) => return,
+        };
+        let started = Instant::now();
+        let (response, endpoint, ok, stop_after) = process(shared, &payload);
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        if !ok {
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+        }
+        if let Some(m) = shared.metrics {
+            m.incr("serve.requests");
+            if !ok {
+                m.incr("serve.errors");
+            }
+            m.record_span(&format!("serve.{endpoint}"), started.elapsed());
+        }
+        if write_frame(&mut stream, response.as_bytes()).is_err() {
+            return;
+        }
+        if stop_after {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Answers one request payload. Returns `(response JSON, endpoint label
+/// for the span timer, ok?, close-and-shut-down?)`.
+fn process(shared: &Shared, payload: &[u8]) -> (String, String, bool, bool) {
+    let parsed: Result<serde_json::Value, _> = serde_json::from_slice(payload);
+    let req = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                error_json("bad_frame", &format!("payload is not JSON: {e}")),
+                "invalid".to_string(),
+                false,
+                false,
+            )
+        }
+    };
+    let endpoint = req["endpoint"].as_str().unwrap_or("invalid").to_string();
+    // Endpoints that need server — not ladder — state live here.
+    match endpoint.as_str() {
+        "shutdown" => return (ok_json("draining\n"), endpoint, true, true),
+        "metrics" => {
+            let result = match shared.metrics {
+                Some(m) => {
+                    let timings = req
+                        .get("timings")
+                        .and_then(serde_json::Value::as_bool)
+                        .unwrap_or(shared.timings);
+                    (ok_json(&m.to_json_string(timings)), true)
+                }
+                None => (
+                    error_json("internal", "this server runs without a metrics registry"),
+                    false,
+                ),
+            };
+            return (result.0, endpoint, result.1, false);
+        }
+        _ => {}
+    }
+    match router::handle(shared.registry, &req) {
+        Ok(body) => (ok_json(&body), endpoint, true, false),
+        Err((code, message)) => (error_json(code, &message), endpoint, false, false),
+    }
+}
+
+fn ok_json(body: &str) -> String {
+    serde_json::to_string(&serde_json::json!({"ok": true, "body": body}))
+        .expect("response serializes")
+}
+
+fn error_json(code: &str, message: &str) -> String {
+    serde_json::to_string(&serde_json::json!({"ok": false, "code": code, "error": message}))
+        .expect("response serializes")
+}

@@ -1,0 +1,327 @@
+//! Wire protocol of the query service: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one *frame*: a 4-byte
+//! little-endian payload length followed by that many bytes of UTF-8
+//! JSON. Requests are objects carrying an `"endpoint"` key plus flat
+//! string/number parameters; responses are either
+//! `{"ok": true, "body": "<rendered text>"}` or
+//! `{"ok": false, "code": "<slug>", "error": "<message>"}`.
+//!
+//! The body of a successful response is the *exact* stdout the matching
+//! batch subcommand would print (see [`crate::serve::render`]) — the
+//! byte-identity contract the concurrent-reader tests and the check.sh
+//! serve gate pin.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on a frame payload. Far above any rendered body the
+/// service produces; a larger declared length is a protocol violation
+/// (`bad_frame`), not an allocation request.
+pub const MAX_FRAME: usize = 8 << 20;
+
+/// How long a connection handler waits in one blocking read before
+/// re-checking the shutdown flag.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Consecutive empty polls tolerated *mid-frame* before the peer is
+/// declared dead (× [`POLL_INTERVAL`] ≈ 60 s).
+const MAX_MID_FRAME_STALLS: u32 = 600;
+
+/// Consecutive empty polls tolerated mid-frame once shutdown has been
+/// requested (× [`POLL_INTERVAL`] ≈ 2 s): draining waits for in-flight
+/// requests, not for clients that stopped sending halfway through one.
+const MAX_DRAINING_STALLS: u32 = 20;
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, blocking until it is complete. `Ok(None)` means the
+/// peer closed the connection cleanly before sending a header byte.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match r.read(&mut header) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut header[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame declares {len} bytes, more than MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Reads one frame from a stream whose read timeout is [`POLL_INTERVAL`],
+/// re-checking `should_stop` between polls.
+///
+/// * `Ok(None)` — the peer closed cleanly, or the connection was idle
+///   (no header byte received yet) when `should_stop` turned true.
+/// * `Err(..)` — torn frame, protocol violation, or a peer that stalled
+///   mid-frame past the tolerance.
+///
+/// A frame that has started arriving is read to completion even during
+/// shutdown (bounded by [`MAX_DRAINING_STALLS`]) so draining never tears
+/// a request in half.
+pub(crate) fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    should_stop: &dyn Fn() -> bool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    let mut stalls = 0u32;
+    while got < 4 {
+        match stream.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(torn("connection closed inside a frame header"))
+                }
+            }
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if is_poll_timeout(&e) => {
+                stalls += 1;
+                if got == 0 && should_stop() {
+                    return Ok(None);
+                }
+                if stalled_out(got > 0, stalls, should_stop) {
+                    return Err(torn("peer stalled inside a frame header"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame declares {len} bytes, more than MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    let mut stalls = 0u32;
+    while got < len {
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => return Err(torn("connection closed inside a frame payload")),
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if is_poll_timeout(&e) => {
+                stalls += 1;
+                if stalled_out(true, stalls, should_stop) {
+                    return Err(torn("peer stalled inside a frame payload"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+fn stalled_out(mid_frame: bool, stalls: u32, should_stop: &dyn Fn() -> bool) -> bool {
+    debug_assert!(mid_frame, "idle connections return before counting stalls");
+    stalls >= MAX_MID_FRAME_STALLS || (should_stop() && stalls >= MAX_DRAINING_STALLS)
+}
+
+fn is_poll_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+fn torn(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, message)
+}
+
+/// Builds one request object incrementally without assuming anything
+/// about the JSON library's map type (the vendor-stub and the real
+/// `serde_json` differ there). Parameter values are strings, integers,
+/// or booleans — everything the endpoint table needs.
+#[derive(Debug, Default, Clone)]
+pub struct Request {
+    fields: Vec<(String, String)>,
+}
+
+impl Request {
+    /// A request for `endpoint`.
+    pub fn new(endpoint: &str) -> Request {
+        let mut r = Request::default();
+        r.push("endpoint", &escape_json(endpoint));
+        r
+    }
+
+    /// Adds a string parameter.
+    pub fn param(mut self, key: &str, value: &str) -> Request {
+        self.push(key, &escape_json(value));
+        self
+    }
+
+    /// Adds an integer parameter.
+    pub fn param_u64(mut self, key: &str, value: u64) -> Request {
+        self.push(key, &value.to_string());
+        self
+    }
+
+    /// Adds a boolean parameter.
+    pub fn param_bool(mut self, key: &str, value: bool) -> Request {
+        self.push(key, if value { "true" } else { "false" });
+        self
+    }
+
+    fn push(&mut self, key: &str, rendered: &str) {
+        self.fields.push((key.to_string(), rendered.to_string()));
+    }
+
+    /// The serialized request payload.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, rendered)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape_json(key));
+            out.push(':');
+            out.push_str(rendered);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// JSON string literal (quotes included) for `s`.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A blocking client for one connection to the query service.
+///
+/// Not thread-safe by design: concurrency is one `Client` per thread,
+/// mirroring the server's one-thread-per-connection model.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving daemon at `addr` (`host:port`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and returns the raw response JSON.
+    pub fn call_raw(&mut self, request: &Request) -> io::Result<serde_json::Value> {
+        write_frame(&mut self.stream, request.to_json().as_bytes())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })?;
+        serde_json::from_slice(&payload).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparsable response frame: {e}"),
+            )
+        })
+    }
+
+    /// Sends one request and returns the response body, folding transport
+    /// and service errors into one message.
+    pub fn call(&mut self, request: &Request) -> Result<String, String> {
+        let response = self.call_raw(request).map_err(|e| e.to_string())?;
+        if response["ok"].as_bool() == Some(true) {
+            response["body"]
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "response has no body".to_string())
+        } else {
+            let code = response["code"].as_str().unwrap_or("unknown");
+            let msg = response["error"].as_str().unwrap_or("unspecified error");
+            Err(format!("{code}: {msg}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"endpoint\":\"ping\"}").unwrap();
+        let mut r = io::Cursor::new(buf);
+        let got = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(got, b"{\"endpoint\":\"ping\"}");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_declared_length_is_an_error() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_hang() {
+        let mut buf = 10u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        assert!(read_frame(&mut io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn request_builder_escapes_and_orders() {
+        let r = Request::new("atoms")
+            .param("date", "2012-07-15 08:00")
+            .param_bool("json", true)
+            .param_u64("atom", 7);
+        assert_eq!(
+            r.to_json(),
+            "{\"endpoint\":\"atoms\",\"date\":\"2012-07-15 08:00\",\"json\":true,\"atom\":7}"
+        );
+        let tricky = Request::new("x").param("p", "a\"b\\c\nd");
+        let v: serde_json::Value = serde_json::from_str(&tricky.to_json()).unwrap();
+        assert_eq!(v["p"].as_str(), Some("a\"b\\c\nd"));
+    }
+}

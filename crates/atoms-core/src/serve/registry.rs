@@ -1,0 +1,202 @@
+//! The ladder registry: every persisted snapshot of one sanitize
+//! configuration, loaded once at startup and analyzed into `AtomSet`s.
+//!
+//! A running daemon serves queries from immutable, `Arc`-shared state —
+//! the hash-consed [`bgp_types::SnapshotStore`] arenas behind each
+//! analysis are already `Send + Sync`, so connection threads read them
+//! lock-free. The only mutable state is a pair of derived-result caches
+//! (stability pairs, split-event triples) behind short-lived mutexes,
+//! plus `OnceLock`s for rendered bodies.
+
+use crate::formation::{formation, formation_with_regrouping, PrependMethod};
+use crate::obs::Metrics;
+use crate::pipeline::{analyze_sanitized_observed, PipelineConfig, SnapshotAnalysis};
+use crate::serve::render;
+use crate::splits::{detect_splits, SplitEvent};
+use crate::stability::{stability, StabilityPair};
+use crate::storedir::{config_digest, StoreDir, SNAPSHOT_EXT};
+use bgp_types::{Family, SimTime};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Arc, OnceLock};
+
+/// One rung of the ladder: a persisted snapshot, fully analyzed.
+#[derive(Debug)]
+pub struct Rung {
+    /// Snapshot time.
+    pub timestamp: SimTime,
+    /// Address family.
+    pub family: Family,
+    /// The precomputed analysis (sanitized snapshot, atoms, stats).
+    pub analysis: SnapshotAnalysis,
+    atoms_text: OnceLock<String>,
+    atoms_json: OnceLock<String>,
+    formation_bodies: [OnceLock<String>; 3],
+}
+
+impl Rung {
+    /// The `pa atoms` body for this rung, rendered once and cached.
+    pub fn atoms_body(&self, json: bool) -> &str {
+        let cell = if json {
+            &self.atoms_json
+        } else {
+            &self.atoms_text
+        };
+        cell.get_or_init(|| render::atoms_body(self.timestamp, &self.analysis, json))
+    }
+
+    /// The `pa formation` body for this rung under `method`, rendered
+    /// once per method and cached.
+    pub fn formation_body(&self, method: PrependMethod) -> &str {
+        let idx = match method {
+            PrependMethod::StripBeforeGrouping => 0,
+            PrependMethod::StripAfterGrouping => 1,
+            PrependMethod::UniqueOnRaw => 2,
+        };
+        self.formation_bodies[idx].get_or_init(|| {
+            let f = match method {
+                PrependMethod::StripBeforeGrouping => {
+                    formation_with_regrouping(&self.analysis.sanitized)
+                }
+                m => formation(&self.analysis.atoms, m),
+            };
+            render::formation_body(&f)
+        })
+    }
+
+    /// `v4`/`v6` label used in listings and error messages.
+    pub fn family_label(&self) -> &'static str {
+        family_label(self.family)
+    }
+}
+
+/// `v4`/`v6` label for a family.
+pub fn family_label(family: Family) -> &'static str {
+    match family {
+        Family::Ipv4 => "v4",
+        Family::Ipv6 => "v6",
+    }
+}
+
+/// Every rung of one store directory that matches one pipeline
+/// configuration, sorted by `(family, timestamp)`.
+#[derive(Debug)]
+pub struct LadderRegistry {
+    rungs: Vec<Rung>,
+    stability_cache: Mutex<HashMap<(usize, usize), StabilityPair>>,
+    splits_cache: Mutex<HashMap<usize, Arc<Vec<SplitEvent>>>>,
+}
+
+impl LadderRegistry {
+    /// Opens every `.pas` snapshot in `dir` persisted under `cfg`'s
+    /// sanitize configuration (other configurations' files are ignored —
+    /// they are *wrong* for this run, exactly as in the batch cache) and
+    /// precomputes each rung's atoms.
+    ///
+    /// Errors when the directory holds no matching snapshot: an empty
+    /// service would answer every query with `unknown_rung`, which is an
+    /// operator mistake better surfaced at startup.
+    pub fn open(
+        dir: &StoreDir,
+        cfg: &PipelineConfig,
+        metrics: Option<&Metrics>,
+    ) -> io::Result<LadderRegistry> {
+        let digest_suffix = format!("-{:016x}.{}", config_digest(&cfg.sanitize), SNAPSHOT_EXT);
+        let mut rungs = Vec::new();
+        for entry in dir.entries()? {
+            if !entry.file_name.ends_with(&digest_suffix) {
+                continue;
+            }
+            let sanitized = dir
+                .load(entry.timestamp, entry.family, &cfg.sanitize, metrics)?
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("{} vanished while opening the ladder", entry.file_name),
+                    )
+                })?;
+            rungs.push(Rung {
+                timestamp: entry.timestamp,
+                family: entry.family,
+                analysis: analyze_sanitized_observed(sanitized, cfg, metrics),
+                atoms_text: OnceLock::new(),
+                atoms_json: OnceLock::new(),
+                formation_bodies: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            });
+        }
+        if rungs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "no snapshots for this sanitize configuration under {} \
+                     (expected files ending in {digest_suffix}; run `pa store build` \
+                     with the same flags first)",
+                    dir.root().display()
+                ),
+            ));
+        }
+        rungs.sort_by_key(|r| (r.family, r.timestamp));
+        Ok(LadderRegistry {
+            rungs,
+            stability_cache: Mutex::new(HashMap::new()),
+            splits_cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// All rungs, sorted by `(family, timestamp)`.
+    pub fn rungs(&self) -> &[Rung] {
+        &self.rungs
+    }
+
+    /// The rung at exactly `(date, family)`, with its index.
+    pub fn find(&self, date: SimTime, family: Family) -> Option<(usize, &Rung)> {
+        self.rungs
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.timestamp == date && r.family == family)
+    }
+
+    /// The indices of `family`'s rungs with `from <= timestamp <= to`,
+    /// in timestamp order.
+    pub fn range(&self, family: Family, from: SimTime, to: SimTime) -> Vec<usize> {
+        self.rungs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.family == family && r.timestamp >= from && r.timestamp <= to)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// CAM/MPM between rungs `i` and `j`, computed once per ordered pair.
+    pub fn stability_between(&self, i: usize, j: usize) -> StabilityPair {
+        if let Some(hit) = self.stability_cache.lock().get(&(i, j)) {
+            return *hit;
+        }
+        // Computed outside the lock: CAM/MPM over large atom sets is the
+        // expensive part, and a losing racer just recomputes the same
+        // deterministic value.
+        let pair = stability(&self.rungs[i].analysis.atoms, &self.rungs[j].analysis.atoms);
+        self.stability_cache.lock().insert((i, j), pair);
+        pair
+    }
+
+    /// Split events over the rung triple starting at index `i` (rungs
+    /// `i`, `i+1`, `i+2` — the caller guarantees they exist and share a
+    /// family), computed once per triple.
+    pub fn splits_for_triple(&self, i: usize) -> Arc<Vec<SplitEvent>> {
+        if let Some(hit) = self.splits_cache.lock().get(&i) {
+            return Arc::clone(hit);
+        }
+        let events = Arc::new(detect_splits(
+            &self.rungs[i].analysis.atoms,
+            &self.rungs[i + 1].analysis.atoms,
+            &self.rungs[i + 2].analysis.atoms,
+        ));
+        self.splits_cache
+            .lock()
+            .entry(i)
+            .or_insert_with(|| Arc::clone(&events))
+            .clone()
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared renderers for analysis output bodies.
+//!
+//! The query service answers with the *exact* bytes the batch CLI prints
+//! for the same store — that contract is kept by construction: both `pa
+//! atoms`/`pa formation`/`pa stability` and the serve endpoints call the
+//! functions here, so there is exactly one copy of each format string.
+
+use crate::formation::FormationResult;
+use crate::pipeline::SnapshotAnalysis;
+use crate::report::{count, pct};
+use crate::stability::StabilityPair;
+use bgp_types::SimTime;
+use std::fmt::Write;
+
+/// The `pa atoms` stdout for one analyzed snapshot: the `--json` payload
+/// when `json` is set, the sanitization + atoms text report otherwise.
+pub fn atoms_body(date: SimTime, analysis: &SnapshotAnalysis, json: bool) -> String {
+    let s = &analysis.stats;
+    if json {
+        let payload = serde_json::json!({
+            "date": date.to_string(),
+            "stats": s,
+            "sanitize": analysis.sanitized.report,
+        });
+        return format!(
+            "{}\n",
+            serde_json::to_string_pretty(&payload).expect("serializable")
+        );
+    }
+    let r = &analysis.sanitized.report;
+    let mut out = String::new();
+    writeln!(out, "sanitization:").unwrap();
+    writeln!(
+        out,
+        "  peers: {} kept / {} partial excluded / {} ADD-PATH / {} private-ASN / {} duplicate-heavy",
+        analysis.sanitized.peers.len(),
+        r.excluded_partial_peers,
+        r.removed_addpath_peers.len(),
+        r.removed_private_asn_peers.len(),
+        r.removed_duplicate_peers.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  prefixes: {} → {} (length {}, <collectors {}, <peer-ASes {}); MOAS kept: {}",
+        count(r.prefixes_before),
+        count(r.prefixes_after),
+        r.dropped_by_length,
+        r.dropped_by_collectors,
+        r.dropped_by_peer_ases,
+        r.moas_prefixes
+    )
+    .unwrap();
+    writeln!(out, "atoms:").unwrap();
+    writeln!(out, "  prefixes           {}", count(s.n_prefixes)).unwrap();
+    writeln!(out, "  origin ASes        {}", count(s.n_ases)).unwrap();
+    writeln!(
+        out,
+        "  atoms              {} (mean {:.2}, p99 {}, max {})",
+        count(s.n_atoms),
+        s.mean_atom_size,
+        s.p99_atom_size,
+        s.max_atom_size
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  single-atom ASes   {}",
+        pct(100.0 * s.single_atom_as_share())
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  single-prefix atoms {}",
+        pct(100.0 * s.single_prefix_atom_share())
+    )
+    .unwrap();
+    out
+}
+
+/// The `pa formation` stdout for one formation-distance result.
+pub fn formation_body(f: &FormationResult) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "formation distance over {} atoms ({} origins):",
+        f.n_atoms, f.n_origins
+    )
+    .unwrap();
+    for d in 1..=f.atom_distance_pct.len().min(6) {
+        writeln!(out, "  distance {d}: {:>5}", pct(f.at_distance(d))).unwrap();
+    }
+    writeln!(
+        out,
+        "  d1 breakdown: single-atom AS {}, unique peer set {}, prepend-only {}",
+        pct(f.d1_breakdown.0),
+        pct(f.d1_breakdown.1),
+        pct(f.d1_breakdown.2)
+    )
+    .unwrap();
+    if f.excluded_indistinguishable > 0 {
+        writeln!(
+            out,
+            "  excluded as indistinguishable (method ii): {}",
+            f.excluded_indistinguishable
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// The `pa stability` stdout for one CAM/MPM pair (`n1`/`n2` are the two
+/// instants' atom counts).
+pub fn stability_body(t1: SimTime, t2: SimTime, n1: usize, n2: usize, s: &StabilityPair) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} atoms at {t1} vs {} atoms at {t2}",
+        count(n1),
+        count(n2)
+    )
+    .unwrap();
+    writeln!(out, "complete atom match  (CAM): {}", pct(s.cam_pct)).unwrap();
+    writeln!(out, "maximized prefix match (MPM): {}", pct(s.mpm_pct)).unwrap();
+    out
+}

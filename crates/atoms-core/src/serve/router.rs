@@ -1,0 +1,379 @@
+//! Request routing: one JSON request in, one rendered body (or a typed
+//! error) out.
+//!
+//! # Endpoint table
+//!
+//! | endpoint | parameters | body |
+//! |---|---|---|
+//! | `ping` | — | `pong` |
+//! | `rungs` | — | JSON array of the ladder's snapshots |
+//! | `atoms` | `date`, `family?`, `json?` | `pa atoms` output |
+//! | `prefix_atom` | `prefix`, `date`, `family?`, `json?` | the atom holding the prefix |
+//! | `members` | `atom`, `date`, `family?`, `json?` | the atom's prefix list |
+//! | `formation` | `date`, `family?`, `method?` | `pa formation` output |
+//! | `stability` | `t1`, `t2`, `family?` | `pa stability` output |
+//! | `stability_series` | `from`, `to`, `family?`, `json?` | CAM/MPM per adjacent rung pair |
+//! | `split_history` | `from`, `to`, `family?`, `json?` | split events per rung triple |
+//! | `metrics` | `timings?` | the registry's metrics JSON |
+//! | `shutdown` | — | `draining` (handled in the server loop) |
+//!
+//! # Error codes
+//!
+//! `bad_frame` (unparsable payload), `bad_request` (no endpoint),
+//! `unknown_endpoint`, `bad_param` (missing/malformed parameter),
+//! `unknown_rung` (no snapshot at that date/family), `not_found`
+//! (prefix or atom not in the rung), `busy` (connection limit),
+//! `internal`.
+
+use crate::formation::PrependMethod;
+use crate::report::pct;
+use crate::serve::registry::{family_label, LadderRegistry, Rung};
+use crate::serve::render;
+use crate::splits::DailySplitBreakdown;
+use bgp_types::{Family, Prefix, SimTime};
+use serde_json::Value;
+use std::fmt::Write;
+
+/// A routing failure: `(code, message)`.
+pub(crate) type RouteError = (&'static str, String);
+
+/// Routes one parsed request to its endpoint handler. The `Ok` body is
+/// exactly what the matching batch subcommand would print.
+pub(crate) fn handle(reg: &LadderRegistry, req: &Value) -> Result<String, RouteError> {
+    let endpoint = req["endpoint"]
+        .as_str()
+        .ok_or_else(|| bad_request("request has no \"endpoint\" key"))?;
+    match endpoint {
+        "ping" => Ok("pong\n".to_string()),
+        "rungs" => Ok(rungs_body(reg)),
+        "atoms" => {
+            let (_, rung) = rung_param(reg, req, "date")?;
+            Ok(rung.atoms_body(bool_param(req, "json")).to_string())
+        }
+        "prefix_atom" => prefix_atom(reg, req),
+        "members" => members(reg, req),
+        "formation" => {
+            let (_, rung) = rung_param(reg, req, "date")?;
+            Ok(rung.formation_body(method_param(req)?).to_string())
+        }
+        "stability" => {
+            let (i, r1) = rung_param(reg, req, "t1")?;
+            let (j, r2) = rung_param(reg, req, "t2")?;
+            let pair = reg.stability_between(i, j);
+            Ok(render::stability_body(
+                r1.timestamp,
+                r2.timestamp,
+                r1.analysis.atoms.len(),
+                r2.analysis.atoms.len(),
+                &pair,
+            ))
+        }
+        "stability_series" => stability_series(reg, req),
+        "split_history" => split_history(reg, req),
+        other => Err((
+            "unknown_endpoint",
+            format!("unknown endpoint `{other}` (see the endpoint table in DESIGN.md §12)"),
+        )),
+    }
+}
+
+fn rungs_body(reg: &LadderRegistry) -> String {
+    let mut out = String::from("[");
+    for (i, r) in reg.rungs().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "{{\"date\":\"{}\",\"family\":\"{}\",\"atoms\":{},\"prefixes\":{},\"peers\":{}}}",
+            r.timestamp,
+            r.family_label(),
+            r.analysis.atoms.len(),
+            r.analysis.atoms.prefix_count(),
+            r.analysis.sanitized.peers.len()
+        )
+        .unwrap();
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn prefix_atom(reg: &LadderRegistry, req: &Value) -> Result<String, RouteError> {
+    let (_, rung) = rung_param(reg, req, "date")?;
+    let raw = str_param(req, "prefix")?;
+    let prefix: Prefix = raw
+        .parse()
+        .map_err(|_| bad_param(format!("cannot parse `{raw}` as a prefix")))?;
+    let Some(&idx) = rung.analysis.atoms.prefix_to_atom().get(&prefix) else {
+        return Err((
+            "not_found",
+            format!(
+                "prefix {prefix} is not in the {} {} snapshot (it may have been \
+                 filtered by sanitization)",
+                rung.timestamp,
+                rung.family_label()
+            ),
+        ));
+    };
+    let atom = &rung.analysis.atoms.atoms[idx as usize];
+    if bool_param(req, "json") {
+        let origin = match atom.origin {
+            Some(asn) => format!("\"{asn}\""),
+            None => "null".to_string(),
+        };
+        Ok(format!(
+            "{{\"prefix\":\"{prefix}\",\"atom\":{idx},\"size\":{},\"origin\":{origin}}}\n",
+            atom.size()
+        ))
+    } else {
+        Ok(format!(
+            "prefix {prefix}: atom #{idx} ({} prefixes, origin {})\n",
+            atom.size(),
+            origin_label(atom.origin)
+        ))
+    }
+}
+
+fn members(reg: &LadderRegistry, req: &Value) -> Result<String, RouteError> {
+    let (_, rung) = rung_param(reg, req, "date")?;
+    let idx = u64_param(req, "atom")? as usize;
+    let Some(atom) = rung.analysis.atoms.atoms.get(idx) else {
+        return Err((
+            "not_found",
+            format!(
+                "atom #{idx} is out of range: the {} {} snapshot has {} atoms",
+                rung.timestamp,
+                rung.family_label(),
+                rung.analysis.atoms.len()
+            ),
+        ));
+    };
+    if bool_param(req, "json") {
+        let mut out = format!("{{\"atom\":{idx},\"prefixes\":[");
+        for (i, p) in atom.prefixes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "\"{p}\"").unwrap();
+        }
+        out.push_str("]}\n");
+        Ok(out)
+    } else {
+        let mut out = format!(
+            "atom #{idx} at {} ({}): {} prefixes, origin {}\n",
+            rung.timestamp,
+            rung.family_label(),
+            atom.size(),
+            origin_label(atom.origin)
+        );
+        for p in &atom.prefixes {
+            writeln!(out, "  {p}").unwrap();
+        }
+        Ok(out)
+    }
+}
+
+fn stability_series(reg: &LadderRegistry, req: &Value) -> Result<String, RouteError> {
+    let indices = range_param(reg, req)?;
+    if indices.len() < 2 {
+        return Err(bad_param(format!(
+            "stability_series needs at least 2 snapshots in range, found {}",
+            indices.len()
+        )));
+    }
+    let json = bool_param(req, "json");
+    let mut out = if json {
+        String::from("[")
+    } else {
+        format!("stability series over {} snapshots:\n", indices.len())
+    };
+    for (k, pair_idx) in indices.windows(2).enumerate() {
+        let (i, j) = (pair_idx[0], pair_idx[1]);
+        let (r1, r2) = (&reg.rungs()[i], &reg.rungs()[j]);
+        let s = reg.stability_between(i, j);
+        if json {
+            if k > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"t1\":\"{}\",\"t2\":\"{}\",\"cam_pct\":{},\"mpm_pct\":{}}}",
+                r1.timestamp, r2.timestamp, s.cam_pct, s.mpm_pct
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                out,
+                "  {} → {}  CAM {:>6}  MPM {:>6}",
+                r1.timestamp,
+                r2.timestamp,
+                pct(s.cam_pct),
+                pct(s.mpm_pct)
+            )
+            .unwrap();
+        }
+    }
+    if json {
+        out.push_str("]\n");
+    }
+    Ok(out)
+}
+
+fn split_history(reg: &LadderRegistry, req: &Value) -> Result<String, RouteError> {
+    let indices = range_param(reg, req)?;
+    if indices.len() < 3 {
+        return Err(bad_param(format!(
+            "split_history needs at least 3 snapshots in range (a t, t+1, t+2 \
+             triple), found {}",
+            indices.len()
+        )));
+    }
+    let json = bool_param(req, "json");
+    let mut out = if json {
+        String::from("[")
+    } else {
+        format!(
+            "split events over {} snapshots ({} triples):\n",
+            indices.len(),
+            indices.len() - 2
+        )
+    };
+    for (k, triple) in indices.windows(3).enumerate() {
+        // Consecutive in the registry too (sorted by family, timestamp),
+        // so the cached triple key is just the first global index.
+        debug_assert!(triple[1] == triple[0] + 1 && triple[2] == triple[0] + 2);
+        let events = reg.splits_for_triple(triple[0]);
+        let day = reg.rungs()[triple[2]].timestamp;
+        let b = DailySplitBreakdown::from_events(day, &events);
+        if json {
+            if k > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"day\":\"{}\",\"total\":{},\"multi_observer\":{},\"single_observer\":{}}}",
+                b.day,
+                b.total,
+                b.multi_observer,
+                b.single_observer()
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                out,
+                "  seen {}: {} events, {} multi-observer, {} single-observer",
+                b.day,
+                b.total,
+                b.multi_observer,
+                b.single_observer()
+            )
+            .unwrap();
+        }
+    }
+    if json {
+        out.push_str("]\n");
+    }
+    Ok(out)
+}
+
+fn origin_label(origin: Option<bgp_types::Asn>) -> String {
+    match origin {
+        Some(asn) => asn.to_string(),
+        None => "conflicting".to_string(),
+    }
+}
+
+fn bad_request(msg: &str) -> RouteError {
+    ("bad_request", msg.to_string())
+}
+
+fn bad_param(msg: String) -> RouteError {
+    ("bad_param", msg)
+}
+
+fn str_param<'a>(req: &'a Value, key: &str) -> Result<&'a str, RouteError> {
+    req[key]
+        .as_str()
+        .ok_or_else(|| bad_param(format!("missing string parameter `{key}`")))
+}
+
+fn u64_param(req: &Value, key: &str) -> Result<u64, RouteError> {
+    req[key]
+        .as_u64()
+        .ok_or_else(|| bad_param(format!("missing integer parameter `{key}`")))
+}
+
+fn bool_param(req: &Value, key: &str) -> bool {
+    req.get(key).and_then(Value::as_bool).unwrap_or(false)
+}
+
+fn date_param(req: &Value, key: &str) -> Result<SimTime, RouteError> {
+    let raw = str_param(req, key)?;
+    raw.parse().map_err(|_| {
+        bad_param(format!(
+            "cannot parse `{raw}` as a date (yyyy-mm-dd [hh:mm])"
+        ))
+    })
+}
+
+fn method_param(req: &Value) -> Result<PrependMethod, RouteError> {
+    match req.get("method").and_then(Value::as_str) {
+        None => Ok(PrependMethod::UniqueOnRaw),
+        Some("i" | "1") => Ok(PrependMethod::StripBeforeGrouping),
+        Some("ii" | "2") => Ok(PrependMethod::StripAfterGrouping),
+        Some("iii" | "3") => Ok(PrependMethod::UniqueOnRaw),
+        Some(other) => Err(bad_param(format!("unknown method `{other}`"))),
+    }
+}
+
+fn family_param(req: &Value) -> Result<Family, RouteError> {
+    match req.get("family").and_then(Value::as_str) {
+        None => Ok(Family::Ipv4),
+        Some("v4" | "ipv4" | "4") => Ok(Family::Ipv4),
+        Some("v6" | "ipv6" | "6") => Ok(Family::Ipv6),
+        Some(other) => Err(bad_param(format!("unknown family `{other}`"))),
+    }
+}
+
+/// Resolves a date parameter to a ladder rung, or `unknown_rung` listing
+/// what the store actually holds.
+fn rung_param<'a>(
+    reg: &'a LadderRegistry,
+    req: &Value,
+    key: &str,
+) -> Result<(usize, &'a Rung), RouteError> {
+    let date = date_param(req, key)?;
+    let family = family_param(req)?;
+    reg.find(date, family).ok_or_else(|| {
+        let available: Vec<String> = reg
+            .rungs()
+            .iter()
+            .map(|r| format!("{} {}", r.timestamp, r.family_label()))
+            .collect();
+        (
+            "unknown_rung",
+            format!(
+                "no {} snapshot at {date} in the ladder (available: {})",
+                family_label(family),
+                available.join(", ")
+            ),
+        )
+    })
+}
+
+/// The rung indices of the `from..=to` range (defaulting to the whole
+/// ladder for the family when both bounds are omitted).
+fn range_param(reg: &LadderRegistry, req: &Value) -> Result<Vec<usize>, RouteError> {
+    let family = family_param(req)?;
+    let from = match req.get("from") {
+        Some(_) => date_param(req, "from")?,
+        None => SimTime::from_unix(0),
+    };
+    let to = match req.get("to") {
+        Some(_) => date_param(req, "to")?,
+        // Year 9999: an effectively-unbounded upper default that still
+        // converts to a civil date without overflow.
+        None => SimTime::from_unix(253_402_300_799),
+    };
+    Ok(reg.range(family, from, to))
+}

@@ -39,6 +39,7 @@ use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// File extension for persisted snapshots ("policy-atom snapshot").
@@ -125,6 +126,13 @@ impl StoreDir {
     /// Persists a sanitized snapshot under its `(timestamp, family,
     /// config)` key, atomically (temp file + rename — a concurrent load
     /// never sees a half-written file). Returns the final path.
+    ///
+    /// Safe under concurrent writers of the *same* key: each writer
+    /// stages through its own temp file (process id + a process-wide
+    /// sequence number), so two saves never interleave bytes in one
+    /// staging file; whichever rename lands last wins with a complete
+    /// file either way. A `.tmp` suffix keeps staging files invisible to
+    /// [`StoreDir::entries`] and [`StoreDir::load`].
     pub fn save(&self, sanitized: &SanitizedSnapshot, cfg: &SanitizeConfig) -> io::Result<PathBuf> {
         fs::create_dir_all(&self.root)?;
         let meta = SnapshotMeta {
@@ -140,9 +148,18 @@ impl StoreDir {
             meta_json.as_bytes(),
         );
         let path = self.snapshot_path(sanitized.timestamp, sanitized.family, cfg);
-        let tmp = path.with_extension("pas.tmp");
-        fs::write(&tmp, &bytes)?;
-        fs::rename(&tmp, &path)?;
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "pas.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let staged = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, &path));
+        if staged.is_err() {
+            // Best-effort: never leave a stray staging file behind.
+            let _ = fs::remove_file(&tmp);
+        }
+        staged?;
         Ok(path)
     }
 
@@ -520,6 +537,64 @@ mod tests {
         assert_eq!(e.peers, 2);
         assert_eq!(e.entries, 4);
         assert!(e.file_len > 0);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_of_one_key_never_collide_or_tear() {
+        let dir = tempdir("concurrent-save");
+        let store_dir = StoreDir::new(&dir);
+        let cfg = SanitizeConfig::default();
+        let snap = sample_snapshot(&SnapshotStore::new());
+        // Eight writers race the same cache key repeatedly. With a shared
+        // staging filename this interleaves two writers' bytes in one tmp
+        // file (or renames a file another writer is mid-write on); with
+        // per-writer staging every save must succeed.
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let store_dir = &store_dir;
+                let cfg = &cfg;
+                let snap = &snap;
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        store_dir.save(snap, cfg).expect("concurrent save failed");
+                    }
+                });
+            }
+        });
+        // Whatever rename landed last must be a complete, valid file.
+        let loaded = store_dir
+            .load(snap.timestamp, snap.family, &cfg, None)
+            .expect("the surviving file parses and validates")
+            .expect("cache hit");
+        assert_eq!(loaded, snap);
+        // No staging litter: exactly the one .pas file remains.
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| !n.ends_with(".pas"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray staging files: {leftovers:?}");
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn failed_save_removes_its_staging_file() {
+        let dir = tempdir("failed-save");
+        let store_dir = StoreDir::new(&dir);
+        let cfg = SanitizeConfig::default();
+        let snap = sample_snapshot(&SnapshotStore::new());
+        // Force the rename to fail: occupy the destination with a
+        // directory (rename onto a non-empty directory errors on unix).
+        let dest = store_dir.snapshot_path(snap.timestamp, snap.family, &cfg);
+        fs::create_dir_all(dest.join("occupied")).unwrap();
+        assert!(store_dir.save(&snap, &cfg).is_err());
+        let tmp_litter = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .count();
+        assert_eq!(tmp_litter, 0, "failed save left its staging file behind");
         cleanup(&dir);
     }
 

@@ -5,6 +5,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod loadgen;
 pub mod workbench;
 
 pub use workbench::{PreparedSnapshot, StabilityLadder, Workbench};

@@ -1,0 +1,402 @@
+//! Load generator for the resident query service (`pa loadgen`).
+//!
+//! Drives a mixed query workload against a running `pa serve` daemon —
+//! one client thread per connection, each with its own seeded SplitMix64
+//! stream so the request mix is reproducible and independent of the
+//! `rand` crate in use — and reports p50/p99 latency plus throughput,
+//! optionally as a `BENCH_serve.json`-style entry.
+//!
+//! The workload is discovered, not configured: a discovery pass asks the
+//! daemon for its rung ladder and samples atom memberships to build a
+//! prefix pool, so the generator works against any store.
+
+use atoms_core::serve::protocol::{Client, Request};
+use std::time::Instant;
+
+/// Request mix in percent, in the order `prefix_atom`, `members`,
+/// `atoms`, `stability`, `formation`, `stability_series`,
+/// `split_history`. Weighted toward the point lookups a resident service
+/// exists for.
+const MIX: [(&str, u64); 7] = [
+    ("prefix_atom", 40),
+    ("members", 30),
+    ("atoms", 10),
+    ("stability", 10),
+    ("formation", 5),
+    ("stability_series", 4),
+    ("split_history", 1),
+];
+
+/// Atoms sampled per rung for the prefix pool.
+const POOL_ATOMS_PER_RUNG: u64 = 16;
+
+/// Generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// `host:port` of the running daemon.
+    pub addr: String,
+    /// Total requests across all connections.
+    pub requests: u64,
+    /// Concurrent connections (one client thread each).
+    pub connections: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// One run's merged results.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests actually issued.
+    pub requests: u64,
+    /// Requests that came back as service errors (must be 0 on a healthy
+    /// run — the workload only issues valid queries).
+    pub errors: u64,
+    /// Wall-clock of the query phase (discovery excluded).
+    pub elapsed_secs: f64,
+    /// Requests per second over the query phase.
+    pub qps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Requests per endpoint, in [`MIX`] order.
+    pub per_endpoint: Vec<(String, u64)>,
+    /// Connections used.
+    pub connections: usize,
+}
+
+/// One rung as discovered from the daemon.
+#[derive(Debug, Clone)]
+struct RungInfo {
+    date: String,
+    family: String,
+    atoms: u64,
+}
+
+/// Self-contained SplitMix64: reproducible across rand crate versions
+/// and the vendor-stub harness (same construction as the corrupted-MRT
+/// corpus builder).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// Runs the workload and merges the per-connection results.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    if cfg.requests == 0 || cfg.connections == 0 {
+        return Err("loadgen needs at least 1 request and 1 connection".to_string());
+    }
+    let (rungs, pool) = discover(&cfg.addr)?;
+    let started = Instant::now();
+    let per_conn = split_evenly(cfg.requests, cfg.connections);
+    let results: Vec<Result<WorkerResult, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_conn
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let addr = cfg.addr.clone();
+                let seed = cfg.seed ^ (0xA5A5_0000 + i as u64);
+                let rungs = &rungs;
+                let pool = &pool;
+                scope.spawn(move || worker(&addr, seed, n, rungs, pool))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker does not panic"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = Vec::with_capacity(cfg.requests as usize);
+    let mut errors = 0u64;
+    let mut per_endpoint: Vec<(String, u64)> =
+        MIX.iter().map(|(name, _)| (name.to_string(), 0)).collect();
+    for r in results {
+        let r = r?;
+        latencies.extend_from_slice(&r.latencies_us);
+        errors += r.errors;
+        for (slot, n) in per_endpoint.iter_mut().zip(r.per_endpoint) {
+            slot.1 += n;
+        }
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len() as u64;
+    Ok(LoadgenReport {
+        requests,
+        errors,
+        elapsed_secs: elapsed,
+        qps: requests as f64 / elapsed.max(1e-9),
+        p50_us: percentile(&latencies, 50.0),
+        p99_us: percentile(&latencies, 99.0),
+        per_endpoint,
+        connections: cfg.connections,
+    })
+}
+
+struct WorkerResult {
+    latencies_us: Vec<u64>,
+    errors: u64,
+    per_endpoint: Vec<u64>,
+}
+
+fn worker(
+    addr: &str,
+    seed: u64,
+    requests: u64,
+    rungs: &[RungInfo],
+    pool: &[(String, String, String)], // (prefix, date, family)
+) -> Result<WorkerResult, String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("loadgen cannot connect to {addr}: {e}"))?;
+    let mut rng = SplitMix64(seed);
+    let mut latencies_us = Vec::with_capacity(requests as usize);
+    let mut errors = 0u64;
+    let mut per_endpoint = vec![0u64; MIX.len()];
+    // Rungs grouped by family, for pair/range endpoints.
+    let families: Vec<Vec<&RungInfo>> = {
+        let mut v4 = Vec::new();
+        let mut v6 = Vec::new();
+        for r in rungs {
+            if r.family == "v6" { &mut v6 } else { &mut v4 }.push(r);
+        }
+        [v4, v6].into_iter().filter(|f| !f.is_empty()).collect()
+    };
+    for _ in 0..requests {
+        let (slot, req) = pick_request(&mut rng, rungs, &families, pool);
+        per_endpoint[slot] += 1;
+        let t0 = Instant::now();
+        match client.call(&req) {
+            Ok(_) => {}
+            Err(e) if e.starts_with("not_found") => {
+                // Prefixes sampled at discovery stay resolvable on an
+                // immutable ladder; anything else is a workload bug.
+                errors += 1;
+            }
+            Err(e) => return Err(format!("loadgen request failed: {e}")),
+        }
+        latencies_us.push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    }
+    Ok(WorkerResult {
+        latencies_us,
+        errors,
+        per_endpoint,
+    })
+}
+
+/// Picks one request from the mix. Falls back to `atoms` when the ladder
+/// is too short for the chosen endpoint (pairs need 2 rungs, triples 3).
+fn pick_request(
+    rng: &mut SplitMix64,
+    rungs: &[RungInfo],
+    families: &[Vec<&RungInfo>],
+    pool: &[(String, String, String)],
+) -> (usize, Request) {
+    let roll = rng.below(100);
+    let mut upto = 0;
+    let mut slot = 0;
+    for (i, (_, weight)) in MIX.iter().enumerate() {
+        upto += weight;
+        if roll < upto {
+            slot = i;
+            break;
+        }
+    }
+    let any_rung = &rungs[rng.below(rungs.len() as u64) as usize];
+    let fam = &families[rng.below(families.len() as u64) as usize];
+    let req = match MIX[slot].0 {
+        "prefix_atom" if !pool.is_empty() => {
+            let (prefix, date, family) = &pool[rng.below(pool.len() as u64) as usize];
+            Request::new("prefix_atom")
+                .param("prefix", prefix)
+                .param("date", date)
+                .param("family", family)
+                .param_bool("json", true)
+        }
+        "members" => Request::new("members")
+            .param_u64("atom", rng.below(any_rung.atoms))
+            .param("date", &any_rung.date)
+            .param("family", &any_rung.family)
+            .param_bool("json", true),
+        "stability" if fam.len() >= 2 => {
+            let i = rng.below(fam.len() as u64 - 1) as usize;
+            Request::new("stability")
+                .param("t1", &fam[i].date)
+                .param("t2", &fam[i + 1].date)
+                .param("family", &fam[i].family)
+        }
+        "formation" => Request::new("formation")
+            .param("date", &any_rung.date)
+            .param("family", &any_rung.family),
+        "stability_series" if fam.len() >= 2 => Request::new("stability_series")
+            .param("from", &fam[0].date)
+            .param("to", &fam[fam.len() - 1].date)
+            .param("family", &fam[0].family)
+            .param_bool("json", true),
+        "split_history" if fam.len() >= 3 => Request::new("split_history")
+            .param("from", &fam[0].date)
+            .param("to", &fam[fam.len() - 1].date)
+            .param("family", &fam[0].family)
+            .param_bool("json", true),
+        _ => Request::new("atoms")
+            .param("date", &any_rung.date)
+            .param("family", &any_rung.family)
+            .param_bool("json", rng.below(2) == 0),
+    };
+    (slot, req)
+}
+
+/// Discovery pass: the rung ladder, plus a prefix pool sampled from atom
+/// memberships.
+#[allow(clippy::type_complexity)]
+fn discover(addr: &str) -> Result<(Vec<RungInfo>, Vec<(String, String, String)>), String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("loadgen cannot connect to {addr}: {e}"))?;
+    let body = client.call(&Request::new("rungs"))?;
+    let parsed: serde_json::Value =
+        serde_json::from_str(body.trim_end()).map_err(|e| format!("unparsable rungs body: {e}"))?;
+    let list = parsed
+        .as_array()
+        .ok_or_else(|| "rungs body is not an array".to_string())?;
+    let mut rungs = Vec::with_capacity(list.len());
+    for entry in list {
+        rungs.push(RungInfo {
+            date: entry["date"].as_str().unwrap_or_default().to_string(),
+            family: entry["family"].as_str().unwrap_or_default().to_string(),
+            atoms: entry["atoms"].as_u64().unwrap_or(0),
+        });
+    }
+    if rungs.iter().all(|r| r.atoms == 0) {
+        return Err("the daemon's ladder has no atoms to query".to_string());
+    }
+    let mut pool = Vec::new();
+    for rung in &rungs {
+        let stride = (rung.atoms / POOL_ATOMS_PER_RUNG).max(1);
+        let mut atom = 0;
+        while atom < rung.atoms {
+            let body = client.call(
+                &Request::new("members")
+                    .param_u64("atom", atom)
+                    .param("date", &rung.date)
+                    .param("family", &rung.family)
+                    .param_bool("json", true),
+            )?;
+            let members: serde_json::Value = serde_json::from_str(body.trim_end())
+                .map_err(|e| format!("unparsable members body: {e}"))?;
+            if let Some(prefixes) = members["prefixes"].as_array() {
+                for p in prefixes.iter().take(4) {
+                    if let Some(p) = p.as_str() {
+                        pool.push((p.to_string(), rung.date.clone(), rung.family.clone()));
+                    }
+                }
+            }
+            atom += stride;
+        }
+    }
+    Ok((rungs, pool))
+}
+
+fn split_evenly(total: u64, parts: usize) -> Vec<u64> {
+    let base = total / parts as u64;
+    let extra = (total % parts as u64) as usize;
+    (0..parts).map(|i| base + u64::from(i < extra)).collect()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    // Nearest-rank: smallest value with at least p% of the sample at or
+    // below it.  ceil(p/100 * n) - 1 as a zero-based index.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Renders the report as one `BENCH_serve.json` entry.
+pub fn bench_entry(report: &LoadgenReport, addr: &str, date: &str) -> String {
+    let mut endpoints = String::from("{");
+    for (i, (name, n)) in report.per_endpoint.iter().enumerate() {
+        if i > 0 {
+            endpoints.push(',');
+        }
+        endpoints.push_str(&format!(" \"{name}\": {n}"));
+    }
+    endpoints.push_str(" }");
+    format!(
+        r#"[
+  {{
+    "bench": "serve_loadgen",
+    "source": "pa loadgen --connect {addr} --requests {requests} --connections {connections} --bench-json BENCH_serve.json",
+    "date": "{date}",
+    "workload": {{
+      "mix": "40% prefix_atom, 30% members, 10% atoms, 10% stability, 5% formation, 4% stability_series, 1% split_history",
+      "per_endpoint": {endpoints},
+      "connections": {connections},
+      "protocol": "length-prefixed JSON frames over loopback TCP"
+    }},
+    "results": {{
+      "requests": {requests},
+      "errors": {errors},
+      "elapsed_secs": {elapsed:.1},
+      "qps": {qps:.0},
+      "p50_us": {p50},
+      "p99_us": {p99}
+    }},
+    "acceptance": {{ "target": ">= 1,000,000 mixed queries answered with 0 errors", "met": {met} }},
+    "notes": "1-core container: the daemon and every client thread share one core, so the figures are a floor, not a ceiling. Bodies are byte-identical to the batch CLI by the shared-renderer construction (see DESIGN.md section 12)."
+  }}
+]
+"#,
+        requests = report.requests,
+        connections = report.connections,
+        errors = report.errors,
+        elapsed = report.elapsed_secs,
+        qps = report.qps,
+        p50 = report.p50_us,
+        p99 = report.p99_us,
+        met = report.requests >= 1_000_000 && report.errors == 0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_evenly_covers_the_total() {
+        assert_eq!(split_evenly(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_evenly(3, 8).iter().sum::<u64>(), 3);
+        assert_eq!(split_evenly(1_000_000, 7).iter().sum::<u64>(), 1_000_000);
+    }
+
+    #[test]
+    fn percentile_picks_sane_ranks() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn splitmix_stream_is_stable() {
+        // The workload must not drift with toolchain or rand crate
+        // changes: the generator is self-contained and deterministic.
+        let mut a = SplitMix64(7);
+        let mut b = SplitMix64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+        assert_ne!(SplitMix64(1).next(), SplitMix64(2).next());
+    }
+}

@@ -66,7 +66,8 @@ fi
 # unaffected.
 run build --release -p atoms-cli
 golden_tmp=$(mktemp -d)
-trap 'rm -rf "$golden_tmp"' EXIT
+serve_pid=""
+trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$golden_tmp"' EXIT
 ./target/release/pa simulate --date "2012-07-15 08:00" --scale 400 --horizons \
     --out "$golden_tmp/archive" >/dev/null
 ./target/release/pa atoms --date "2012-07-15 08:00" --archive "$golden_tmp/archive" \
@@ -96,8 +97,9 @@ echo "check.sh: incremental golden metrics fixture OK" >&2
 # into the on-disk store; `pa atoms --store` must serve byte-identical
 # output from it (and actually hit the store, per the counter) instead of
 # re-reading the RIB files. Runs before the ingest gate damages the
-# archive below.
-./target/release/pa store build --date "2012-07-15 08:00" \
+# archive below. --horizons persists the full §2.4.1 ladder so the
+# query-service gate below has rung pairs to compare stability over.
+./target/release/pa store build --date "2012-07-15 08:00" --horizons \
     --archive "$golden_tmp/archive" --store "$golden_tmp/store" >/dev/null
 ./target/release/pa atoms --date "2012-07-15 08:00" --archive "$golden_tmp/archive" \
     --json > "$golden_tmp/atoms_parsed.json"
@@ -114,6 +116,52 @@ if ! grep -q '"store.cache_hit": 1' "$golden_tmp/metrics_store.json"; then
     exit 1
 fi
 echo "check.sh: snapshot-store gate OK" >&2
+
+# Query-service gate: `pa serve` over the same store must answer scripted
+# queries byte-identically to the batch CLI, survive a loadgen burst with
+# zero errors, drain on the shutdown endpoint, and exit 0 with no orphan
+# process. Runs before the ingest gate damages the archive (the daemon
+# and the batch references below read only the store).
+./target/release/pa serve --store "$golden_tmp/store" --listen 127.0.0.1:0 \
+    > "$golden_tmp/serve.log" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr=$(sed -n 's/^listening on //p' "$golden_tmp/serve.log")
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "check.sh: pa serve never reported a listen address" >&2
+    cat "$golden_tmp/serve.log" >&2
+    exit 1
+fi
+./target/release/pa atoms --date "2012-07-15 08:00" \
+    --store "$golden_tmp/store" > "$golden_tmp/batch_atoms.txt"
+./target/release/pa query atoms --date "2012-07-15 08:00" \
+    --connect "$serve_addr" > "$golden_tmp/serve_atoms.txt"
+if ! diff -u "$golden_tmp/batch_atoms.txt" "$golden_tmp/serve_atoms.txt"; then
+    echo "check.sh: pa query atoms diverged from pa atoms --store" >&2
+    exit 1
+fi
+./target/release/pa stability --t1 "2012-07-15 08:00" --t2 "2012-07-15 16:00" \
+    --store "$golden_tmp/store" > "$golden_tmp/batch_stability.txt"
+./target/release/pa query stability --t1 "2012-07-15 08:00" --t2 "2012-07-15 16:00" \
+    --connect "$serve_addr" > "$golden_tmp/serve_stability.txt"
+if ! diff -u "$golden_tmp/batch_stability.txt" "$golden_tmp/serve_stability.txt"; then
+    echo "check.sh: pa query stability diverged from pa stability --store" >&2
+    exit 1
+fi
+./target/release/pa loadgen --connect "$serve_addr" \
+    --requests 2000 --connections 2 >/dev/null
+./target/release/pa query shutdown --connect "$serve_addr" >/dev/null
+if ! wait "$serve_pid"; then
+    echo "check.sh: pa serve did not exit cleanly after shutdown" >&2
+    cat "$golden_tmp/serve.log" >&2
+    exit 1
+fi
+serve_pid=""
+echo "check.sh: query-service gate OK" >&2
 
 # Ingestion-hardening gate: splice a corrupted corpus stream into one
 # collector's updates file. The default strict policy must refuse the
