@@ -15,7 +15,10 @@ use atoms_core::serve::registry::LadderRegistry;
 use atoms_core::serve::{render, ServeOptions};
 use atoms_core::stability::stability as stability_pair;
 use atoms_core::storedir::StoreDir;
-use bgp_collect::{Archive, CapturedSnapshot, CapturedUpdates, ReplayState};
+use atoms_core::stream::{AtomEvent, AtomEventKind, RecomputeWindow, StreamConfig, StreamEngine};
+use bgp_collect::{
+    Archive, CapturedSnapshot, CapturedUpdates, LiveFeed, OutOfOrderPolicy, ReplayState,
+};
 use bgp_mrt::RecoveryPolicy;
 use bgp_sim::{generate_window, Era, Scenario};
 use bgp_types::{Family, SimTime};
@@ -49,6 +52,10 @@ pub struct Options {
     pub requests: Option<u64>,
     pub connections: Option<usize>,
     pub bench_json: Option<String>,
+    pub window: RecomputeWindow,
+    pub checkpoint: Option<u64>,
+    pub selfcheck: bool,
+    pub out_of_order: OutOfOrderPolicy,
 }
 
 impl Options {
@@ -79,6 +86,10 @@ impl Options {
             requests: None,
             connections: None,
             bench_json: None,
+            window: RecomputeWindow::default(),
+            checkpoint: None,
+            selfcheck: false,
+            out_of_order: OutOfOrderPolicy::default(),
         };
         let mut it = args.iter();
         let value = |it: &mut std::slice::Iter<String>, flag: &str| {
@@ -142,6 +153,22 @@ impl Options {
                     )
                 }
                 "--bench-json" => opts.bench_json = Some(value(&mut it, "--bench-json")?),
+                "--window" => opts.window = value(&mut it, "--window")?.parse()?,
+                "--checkpoint" => {
+                    opts.checkpoint = Some(
+                        value(&mut it, "--checkpoint")?
+                            .parse()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                "--checkpoint needs a positive update count".to_string()
+                            })?,
+                    )
+                }
+                "--selfcheck" => opts.selfcheck = true,
+                "--out-of-order" => {
+                    opts.out_of_order = value(&mut it, "--out-of-order")?.parse()?
+                }
                 "--out" => opts.out = Some(value(&mut it, "--out")?),
                 "--metrics-json" => opts.metrics_json = Some(value(&mut it, "--metrics-json")?),
                 "--timings" => opts.timings = true,
@@ -240,6 +267,13 @@ pub fn usage(msg: &str) -> ExitCode {
            stability --archive DIR --t1 D --t2 D [--family]\n\
            dynamics  --archive DIR --date D [--family]\n\
            replay    --archive DIR --date D [--t2 T] [--family]\n\
+           stream    --archive DIR --date D [--window updates:N|time:SECS]\n\
+                     [--checkpoint N] [--selfcheck] [--out-of-order drop|error]\n\
+                     consume the update window as a live merged feed and\n\
+                     recompute atoms continuously, printing split/merge\n\
+                     events; --checkpoint N forces a derivation every N\n\
+                     applied updates; --selfcheck proves each checkpoint\n\
+                     byte-equal to a from-scratch batch recompute\n\
            siblings  --archive DIR --date D (needs v4+v6 snapshots)\n\
            store build --archive DIR --store DIR --date D [--horizons]\n\
                      parse + sanitize snapshots into the persistent store\n\
@@ -250,7 +284,8 @@ pub fn usage(msg: &str) -> ExitCode {
            query ENDPOINT --connect HOST:PORT [params]\n\
                      one query against a running daemon: ping, rungs, atoms,\n\
                      prefix_atom (--prefix P), members (--atom N), formation,\n\
-                     stability, stability_series, split_history (ranges use\n\
+                     stability, stability_series, split_history,\n\
+                     stream_events (ranges use\n\
                      --t1/--t2), metrics, shutdown\n\
            loadgen   --connect HOST:PORT [--requests N] [--connections N]\n\
                      [--bench-json PATH]  drive a mixed query workload and\n\
@@ -615,6 +650,10 @@ fn clone_opts(opts: &Options) -> Options {
         requests: opts.requests,
         connections: opts.connections,
         bench_json: opts.bench_json.clone(),
+        window: opts.window,
+        checkpoint: opts.checkpoint,
+        selfcheck: opts.selfcheck,
+        out_of_order: opts.out_of_order,
     }
 }
 
@@ -697,6 +736,117 @@ pub fn replay(opts: &Options) -> Result<(), String> {
         pct(s.cam_pct),
         pct(s.mpm_pct)
     );
+    Ok(())
+}
+
+/// `pa stream`: consume the archive's update window as a live merged
+/// feed (one BGP4MP session per collector, k-way time-ordered) and
+/// re-derive atoms continuously, printing split/merge events as the
+/// recompute window reveals them.
+pub fn stream(opts: &Options) -> Result<(), String> {
+    reject_store(
+        opts,
+        "stream",
+        "streaming replays the raw captured snapshot against its live \
+         update feed, which the store does not retain",
+    )?;
+    let date = need(&opts.date, "--date")?;
+    let archive = Archive::new(need(&opts.archive, "--archive")?);
+    let snap = archive
+        .load_snapshot_with_policy(date, opts.family, opts.ingest_policy)
+        .map_err(|e| e.to_string())?;
+    if snap.tables.is_empty() {
+        return Err(format!(
+            "no RIB files for {date} under {}",
+            archive.root().display()
+        ));
+    }
+    let mut sources = Vec::new();
+    for (name, path) in archive.updates_files(date).map_err(|e| e.to_string())? {
+        let file = std::fs::File::open(&path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        sources.push((name, std::io::BufReader::new(file)));
+    }
+    if sources.is_empty() {
+        return Err(format!(
+            "no updates files for {date} under {}",
+            archive.root().display()
+        ));
+    }
+    let sessions = sources.len();
+    let mut feed = LiveFeed::new(sources, opts.ingest_policy);
+    let metrics = opts.metrics();
+    let cfg = StreamConfig {
+        window: opts.window,
+        pipeline: opts.pipeline_config(),
+        out_of_order: opts.out_of_order,
+        selfcheck: opts.selfcheck,
+    };
+    let mut engine = StreamEngine::new(&snap, cfg, metrics.as_ref());
+    println!(
+        "base {date}: {} atoms over {} prefixes; {sessions} collector sessions, window {}",
+        count(engine.atoms().len()),
+        count(engine.atoms().prefix_count()),
+        opts.window
+    );
+    let mut splits = 0usize;
+    let mut merges = 0usize;
+    let mut report = |events: &[AtomEvent]| {
+        for e in events {
+            match e.kind {
+                AtomEventKind::Split => splits += 1,
+                AtomEventKind::Merge => merges += 1,
+            }
+            println!("  {e}");
+        }
+    };
+    // Checkpoints fire at batch boundaries: the next applied-update count
+    // at which the atoms are forced up to date (u64::MAX = final only).
+    let mut next = opts.checkpoint.unwrap_or(u64::MAX);
+    while let Some(batch) = feed.poll(256).map_err(|e| e.to_string())? {
+        let events = engine
+            .ingest_batch(&batch, metrics.as_ref())
+            .map_err(|e| e.to_string())?;
+        report(&events);
+        if engine.replay().applied() as u64 >= next {
+            let events = engine
+                .checkpoint(metrics.as_ref())
+                .map_err(|e| e.to_string())?;
+            report(&events);
+            println!(
+                "checkpoint {}: {} atoms over {} prefixes ({} updates applied)",
+                engine.atoms().timestamp,
+                count(engine.atoms().len()),
+                count(engine.atoms().prefix_count()),
+                count(engine.replay().applied())
+            );
+            next = engine.replay().applied() as u64 + opts.checkpoint.expect("next was finite");
+        }
+    }
+    let events = engine
+        .checkpoint(metrics.as_ref())
+        .map_err(|e| e.to_string())?;
+    report(&events);
+    println!(
+        "checkpoint {}: {} atoms over {} prefixes ({} updates applied) [final]",
+        engine.atoms().timestamp,
+        count(engine.atoms().len()),
+        count(engine.atoms().prefix_count()),
+        count(engine.replay().applied())
+    );
+    let stats = feed.stats();
+    println!(
+        "streamed {} updates from {sessions} sessions: {splits} splits, {merges} merges, \
+         {} records recovered ({} bytes skipped), {} out-of-order dropped",
+        count(feed.delivered() as usize),
+        stats.recovered_records,
+        stats.skipped_bytes,
+        engine.replay().rejected_out_of_order()
+    );
+    if opts.selfcheck {
+        println!("selfcheck: every checkpoint matched the batch recompute");
+    }
+    opts.emit_metrics(&metrics)?;
     Ok(())
 }
 
@@ -1028,6 +1178,13 @@ mod tests {
             "8",
             "--bench-json",
             "/tmp/bench.json",
+            "--window",
+            "time:900",
+            "--checkpoint",
+            "500",
+            "--selfcheck",
+            "--out-of-order",
+            "error",
         ])
         .unwrap();
         assert_eq!(o.date.unwrap().to_string(), "2024-10-15 08:00:00");
@@ -1051,6 +1208,10 @@ mod tests {
         assert_eq!(o.requests, Some(1_000_000));
         assert_eq!(o.connections, Some(8));
         assert_eq!(o.bench_json.as_deref(), Some("/tmp/bench.json"));
+        assert_eq!(o.window, RecomputeWindow::Time(900));
+        assert_eq!(o.checkpoint, Some(500));
+        assert!(o.selfcheck);
+        assert_eq!(o.out_of_order, OutOfOrderPolicy::Error);
     }
 
     #[test]
@@ -1069,6 +1230,7 @@ mod tests {
         for (name, f) in [
             ("replay", replay as fn(&Options) -> Result<(), String>),
             ("siblings", siblings),
+            ("stream", stream),
         ] {
             let err = f(&o).unwrap_err();
             assert!(
@@ -1134,6 +1296,14 @@ mod tests {
             RecoveryPolicy::Strict,
             "strict ingestion is the default: damaged archives must not be silently repaired"
         );
+        assert_eq!(o.window, RecomputeWindow::Updates(256));
+        assert_eq!(o.checkpoint, None, "no --checkpoint means final-only");
+        assert!(!o.selfcheck, "the convergence proof is opt-in (it is slow)");
+        assert_eq!(
+            o.out_of_order,
+            OutOfOrderPolicy::Drop,
+            "drop-and-count is the resilient live-monitor default"
+        );
     }
 
     #[test]
@@ -1148,6 +1318,12 @@ mod tests {
         assert!(parse(&["--threads", "many"]).is_err());
         assert!(parse(&["--ingest-policy"]).is_err());
         assert!(parse(&["--ingest-policy", "lenient"]).is_err());
+        assert!(parse(&["--window"]).is_err());
+        assert!(parse(&["--window", "updates:0"]).is_err());
+        assert!(parse(&["--window", "hourly"]).is_err());
+        assert!(parse(&["--checkpoint", "0"]).is_err());
+        assert!(parse(&["--checkpoint", "soon"]).is_err());
+        assert!(parse(&["--out-of-order", "ignore"]).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! pa stability --archive DIR --t1 D --t2 D [--family v4|v6]
 //! pa dynamics  --archive DIR --date D [--family v4|v6]
 //! pa replay    --archive DIR --date D [--t2 T] [--family v4|v6]
+//! pa stream    --archive DIR --date D [--window updates:N|time:SECS] [--checkpoint N] [--selfcheck]
 //! pa store build --archive DIR --store DIR --date D [--horizons]
 //! pa store info  --store DIR
 //! pa serve     --store DIR [--listen HOST:PORT] [--connections N]
@@ -63,7 +64,8 @@ fn main() -> ExitCode {
         let Some((endpoint, flags)) = rest.split_first() else {
             return commands::usage(
                 "query needs an endpoint: ping, rungs, atoms, prefix_atom, members, \
-                 formation, stability, stability_series, split_history, metrics, shutdown",
+                 formation, stability, stability_series, split_history, stream_events, \
+                 metrics, shutdown",
             );
         };
         query_endpoint = Some(endpoint.as_str());
@@ -81,6 +83,7 @@ fn main() -> ExitCode {
         "stability" => commands::stability(&opts),
         "dynamics" => commands::dynamics(&opts),
         "replay" => commands::replay(&opts),
+        "stream" => commands::stream(&opts),
         "siblings" => commands::siblings(&opts),
         "store" => commands::store(&opts, store_action.expect("set above")),
         "serve" => commands::serve(&opts),

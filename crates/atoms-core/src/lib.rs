@@ -11,6 +11,7 @@
 //! | [`mod@sanitize`] | §2.4.3–§2.4.4 prefix filters, AS-SET rules, broken-peer removal |
 //! | [`atom`] | §2.1 atom computation |
 //! | [`incremental`] | delta-based atom recomputation across snapshot ladders |
+//! | [`stream`] | live UPDATE-driven continuous recomputation with checkpoint convergence |
 //! | [`stats`] | §3.2 / §4.1 / §5.1 general statistics and distributions |
 //! | [`update_corr`] | §3.3 / §4.2 / §5.3 correlation with UPDATE records |
 //! | [`formation`] | §3.4 / §4.3 / §5.4 formation distance (methods i–iii) |
@@ -49,6 +50,7 @@ pub mod splits;
 pub mod stability;
 pub mod stats;
 pub mod storedir;
+pub mod stream;
 pub mod update_corr;
 pub mod vantage;
 
@@ -61,4 +63,7 @@ pub use pipeline::{
 };
 pub use sanitize::{sanitize, sanitize_with, SanitizeConfig, SanitizeReport, SanitizedSnapshot};
 pub use storedir::StoreDir;
+pub use stream::{
+    AtomEvent, AtomEventKind, RecomputeWindow, StreamConfig, StreamEngine, StreamError,
+};
 pub use vantage::{infer_full_feed, VantageReport};

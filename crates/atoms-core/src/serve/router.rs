@@ -14,6 +14,7 @@
 //! | `stability` | `t1`, `t2`, `family?` | `pa stability` output |
 //! | `stability_series` | `from`, `to`, `family?`, `json?` | CAM/MPM per adjacent rung pair |
 //! | `split_history` | `from`, `to`, `family?`, `json?` | split events per rung triple |
+//! | `stream_events` | `from`, `to`, `family?`, `json?` | split/merge atom events per adjacent rung pair |
 //! | `metrics` | `timings?` | the registry's metrics JSON |
 //! | `shutdown` | — | `draining` (handled in the server loop) |
 //!
@@ -70,6 +71,7 @@ pub(crate) fn handle(reg: &LadderRegistry, req: &Value) -> Result<String, RouteE
         }
         "stability_series" => stability_series(reg, req),
         "split_history" => split_history(reg, req),
+        "stream_events" => stream_events(reg, req),
         other => Err((
             "unknown_endpoint",
             format!("unknown endpoint `{other}` (see the endpoint table in DESIGN.md §12)"),
@@ -266,6 +268,62 @@ fn split_history(reg: &LadderRegistry, req: &Value) -> Result<String, RouteError
                 b.total,
                 b.multi_observer,
                 b.single_observer()
+            )
+            .unwrap();
+        }
+    }
+    if json {
+        out.push_str("]\n");
+    }
+    Ok(out)
+}
+
+/// The streaming engine's event detector applied to the store ladder:
+/// split/merge atom events between each adjacent rung pair in range —
+/// what `pa stream` would report if the rungs were its checkpoints.
+fn stream_events(reg: &LadderRegistry, req: &Value) -> Result<String, RouteError> {
+    let indices = range_param(reg, req)?;
+    if indices.len() < 2 {
+        return Err(bad_param(format!(
+            "stream_events needs at least 2 snapshots in range, found {}",
+            indices.len()
+        )));
+    }
+    let json = bool_param(req, "json");
+    let mut out = if json {
+        String::from("[")
+    } else {
+        format!("atom events over {} snapshots:\n", indices.len())
+    };
+    for (k, pair_idx) in indices.windows(2).enumerate() {
+        let (r1, r2) = (&reg.rungs()[pair_idx[0]], &reg.rungs()[pair_idx[1]]);
+        let events =
+            crate::stream::detect_events(&r1.analysis.atoms, &r2.analysis.atoms, r2.timestamp);
+        let splits = events
+            .iter()
+            .filter(|e| e.kind == crate::stream::AtomEventKind::Split)
+            .count();
+        if json {
+            if k > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"t1\":\"{}\",\"t2\":\"{}\",\"splits\":{},\"merges\":{}}}",
+                r1.timestamp,
+                r2.timestamp,
+                splits,
+                events.len() - splits
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                out,
+                "  {} → {}  {} splits, {} merges",
+                r1.timestamp,
+                r2.timestamp,
+                splits,
+                events.len() - splits
             )
             .unwrap();
         }

@@ -1,0 +1,587 @@
+//! Live streaming atoms: UPDATE-driven continuous recomputation.
+//!
+//! The batch pipeline derives atoms from eight-hourly RIB snapshots; this
+//! module derives them *continuously* from a live BGP4MP update feed. A
+//! [`StreamEngine`] folds each [`FeedBatch`] into a per-peer RIB replay
+//! ([`ReplayState`]) over the interned [`SnapshotStore`], and re-derives
+//! atoms through the incremental delta engine whenever the configured
+//! [`RecomputeWindow`] elapses — emitting the resulting split/merge
+//! [`AtomEvent`]s as they happen.
+//!
+//! **Convergence invariant.** At every checkpoint the streamed [`AtomSet`]
+//! equals a from-scratch batch recompute of the same replayed snapshot
+//! (same tables, same accumulated warnings), at any thread count. The
+//! incremental path may take arbitrarily many windowed shortcuts in
+//! between; a checkpoint is where it must land exactly. The invariant is
+//! enforced three ways: [`StreamEngine::verify_convergence`] (used by
+//! `pa stream --selfcheck`, the tier-1 e2e gate), the
+//! `stream_differential` proptest suite, and the fault-path suite.
+//!
+//! **Backpressure model.** Update bursts (route-leak storms) do not queue
+//! one recompute per window: every window boundary crossed inside one
+//! batch is *coalesced* into a single recompute at batch end, counted in
+//! `stream.coalesced_windows`. A burst therefore degrades event latency
+//! (events surface at batch granularity) but never correctness — the
+//! post-burst checkpoint still satisfies the invariant.
+//!
+//! [`SnapshotStore`]: bgp_types::SnapshotStore
+
+use crate::atom::{compute_atoms_with, AtomSet};
+use crate::incremental::{self, IncrementalState};
+use crate::obs::Metrics;
+use crate::pipeline::PipelineConfig;
+use crate::sanitize::{sanitize_with_observed, sanitize_with_observed_into, SanitizedSnapshot};
+use bgp_collect::{CapturedSnapshot, FeedBatch, OutOfOrderError, OutOfOrderPolicy, ReplayState};
+use bgp_mrt::MrtWarning;
+use bgp_types::{Prefix, SimTime};
+use std::collections::HashSet;
+use std::fmt;
+use std::str::FromStr;
+
+/// When the engine re-derives atoms from the replayed tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecomputeWindow {
+    /// After every `n` applied updates.
+    Updates(u64),
+    /// After `secs` of *stream* time (update timestamps, not wall clock)
+    /// since the last window boundary.
+    Time(u64),
+}
+
+impl Default for RecomputeWindow {
+    /// 256 applied updates — small enough for sub-window event latency on
+    /// the simulated feeds, large enough that a recompute amortizes.
+    fn default() -> Self {
+        RecomputeWindow::Updates(256)
+    }
+}
+
+impl FromStr for RecomputeWindow {
+    type Err = String;
+
+    /// `updates:N` or `time:SECS`, both strictly positive.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || format!("bad window `{s}` (expected updates:N or time:SECS)");
+        let (kind, value) = s.split_once(':').ok_or_else(err)?;
+        let n: u64 = value.parse().map_err(|_| err())?;
+        if n == 0 {
+            return Err(err());
+        }
+        match kind {
+            "updates" => Ok(RecomputeWindow::Updates(n)),
+            "time" => Ok(RecomputeWindow::Time(n)),
+            _ => Err(err()),
+        }
+    }
+}
+
+impl fmt::Display for RecomputeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecomputeWindow::Updates(n) => write!(f, "updates:{n}"),
+            RecomputeWindow::Time(s) => write!(f, "time:{s}"),
+        }
+    }
+}
+
+/// Streaming-engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct StreamConfig {
+    /// Recompute cadence.
+    pub window: RecomputeWindow,
+    /// Sanitization thresholds and worker-pool sizing, shared with the
+    /// batch pipeline so both paths produce identical atoms.
+    pub pipeline: PipelineConfig,
+    /// What to do with an update older than already-applied state
+    /// (default: drop and count, the resilient live-monitor choice).
+    pub out_of_order: OutOfOrderPolicy,
+    /// Re-prove the convergence invariant at every checkpoint by running
+    /// the batch recompute and comparing (slow; the e2e gate's mode).
+    pub selfcheck: bool,
+}
+
+/// A split or merge observed between two consecutive atom derivations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomEvent {
+    /// Stream time of the derivation that revealed the event.
+    pub seen_at: SimTime,
+    /// Split (one atom scattered) or merge (several atoms fused).
+    pub kind: AtomEventKind,
+    /// The prefixes of the atom that split, or of the atom that resulted
+    /// from the merge — sorted, as atoms keep them.
+    pub prefixes: Vec<Prefix>,
+    /// Fragments the atom scattered into (splits) or parent atoms fused
+    /// (merges). Prefixes that left the table entirely count as one
+    /// pseudo-fragment each, mirroring [`crate::splits`].
+    pub parts: usize,
+}
+
+/// Event polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomEventKind {
+    /// A multi-prefix atom no longer shares one signature row.
+    Split,
+    /// Prefixes from several atoms now share one signature row.
+    Merge,
+}
+
+impl fmt::Display for AtomEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (verb, rel) = match self.kind {
+            AtomEventKind::Split => ("split", "into"),
+            AtomEventKind::Merge => ("merge", "from"),
+        };
+        write!(
+            f,
+            "{} {verb}: {} prefixes ({}…) {rel} {} parts",
+            self.seen_at,
+            self.prefixes.len(),
+            self.prefixes[0],
+            self.parts
+        )
+    }
+}
+
+/// A fatal streaming failure. The engine is *not* poisoned by either
+/// variant: its state is unchanged by the failing call, so it can still
+/// be checkpointed or fed further batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// An out-of-order update under [`OutOfOrderPolicy::Error`].
+    OutOfOrder(OutOfOrderError),
+    /// `selfcheck` found the streamed atoms diverging from the batch
+    /// recompute — the convergence invariant is broken (a bug, never an
+    /// input problem).
+    Divergence {
+        /// Checkpoint stream time.
+        at: SimTime,
+        /// Atom count on the streamed side.
+        streamed: usize,
+        /// Atom count on the batch side.
+        batch: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::OutOfOrder(e) => write!(f, "{e}"),
+            StreamError::Divergence {
+                at,
+                streamed,
+                batch,
+            } => write!(
+                f,
+                "checkpoint divergence at {at}: streamed {streamed} atoms, batch recompute \
+                 {batch} — convergence invariant broken"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// The streaming engine: replayed tables + incremental atom chain.
+#[derive(Debug)]
+pub struct StreamEngine {
+    base: CapturedSnapshot,
+    cfg: StreamConfig,
+    replay: ReplayState,
+    /// Update-stream parse warnings accumulated since the base snapshot;
+    /// they feed broken-peer removal exactly as a batch update window's
+    /// warnings do.
+    warnings: Vec<MrtWarning>,
+    /// The incremental chain: previous sanitized snapshot (owning the
+    /// shared store every rung interns into) and the engine state derived
+    /// from it. Always `Some` between method calls.
+    chain: Option<(SanitizedSnapshot, IncrementalState)>,
+    atoms: AtomSet,
+    /// Replayed state has moved past the atoms (applied updates or new
+    /// warnings since the last derivation).
+    dirty: bool,
+    updates_since_window: u64,
+    window_start: SimTime,
+}
+
+impl StreamEngine {
+    /// Seeds the engine from a base RIB snapshot: replay state, shared
+    /// store, and the initial atom derivation (recorded as the chain's
+    /// one `incremental.full_recomputes`). Also pins the whole `stream.*`
+    /// counter taxonomy at zero so metrics payloads keep their shape even
+    /// before the first batch.
+    pub fn new(base: &CapturedSnapshot, cfg: StreamConfig, metrics: Option<&Metrics>) -> Self {
+        if let Some(m) = metrics {
+            for key in [
+                "stream.batches",
+                "stream.updates",
+                "stream.dropped_updates",
+                "stream.recomputes",
+                "stream.coalesced_windows",
+                "stream.checkpoints",
+                "stream.events.split",
+                "stream.events.merge",
+                "ingest.recovered_records",
+                "ingest.skipped_bytes",
+            ] {
+                m.add(key, 0);
+            }
+        }
+        let replay = ReplayState::from_snapshot(base);
+        let snap = replay.to_snapshot(base);
+        let par = cfg.pipeline.parallelism;
+        let sanitized = sanitize_with_observed(&snap, &[], &cfg.pipeline.sanitize, par, metrics);
+        let (atoms, state) = incremental::step(None, &sanitized, par, metrics);
+        StreamEngine {
+            base: base.clone(),
+            cfg,
+            replay,
+            warnings: Vec::new(),
+            chain: Some((sanitized, state)),
+            atoms,
+            dirty: false,
+            updates_since_window: 0,
+            window_start: snap.timestamp,
+        }
+    }
+
+    /// The current atoms — as of the last derivation, not necessarily the
+    /// last applied update (see [`StreamEngine::is_dirty`]).
+    pub fn atoms(&self) -> &AtomSet {
+        &self.atoms
+    }
+
+    /// `true` when applied updates or new warnings have not yet been
+    /// folded into [`StreamEngine::atoms`].
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// The replayed table state.
+    pub fn replay(&self) -> &ReplayState {
+        &self.replay
+    }
+
+    /// Folds one feed batch into the replay and, if at least one window
+    /// boundary was crossed, performs a single coalesced recompute and
+    /// returns the atom events it revealed.
+    ///
+    /// Damaged-frame accounting carried by the batch lands in the
+    /// `ingest.*` counters and `stream.dropped_updates`; replay-level
+    /// out-of-order drops are added to `stream.dropped_updates` too.
+    /// Under [`OutOfOrderPolicy::Error`] a stale record aborts the batch
+    /// mid-way with [`StreamError::OutOfOrder`]: records before it are
+    /// applied, the offending one is not, and the engine remains
+    /// checkpointable.
+    pub fn ingest_batch(
+        &mut self,
+        batch: &FeedBatch,
+        metrics: Option<&Metrics>,
+    ) -> Result<Vec<AtomEvent>, StreamError> {
+        if let Some(m) = metrics {
+            m.incr("stream.batches");
+            m.add("stream.updates", batch.records.len() as u64);
+            m.add("ingest.recovered_records", batch.ingest.recovered_records);
+            m.add("ingest.skipped_bytes", batch.ingest.skipped_bytes);
+            // A recovered record is an update the stream lost.
+            m.add("stream.dropped_updates", batch.ingest.recovered_records);
+        }
+        if !batch.warnings.is_empty() {
+            self.warnings.extend(batch.warnings.iter().cloned());
+            self.dirty = true;
+        }
+        let mut triggers = 0u64;
+        let mut dropped = 0u64;
+        for rec in &batch.records {
+            let stats = self
+                .replay
+                .apply_with_policy(rec, self.cfg.out_of_order)
+                .map_err(StreamError::OutOfOrder)?;
+            if stats.out_of_order > 0 {
+                dropped += 1;
+                continue;
+            }
+            self.dirty = true;
+            match self.cfg.window {
+                RecomputeWindow::Updates(n) => {
+                    self.updates_since_window += 1;
+                    if self.updates_since_window >= n {
+                        triggers += 1;
+                        self.updates_since_window = 0;
+                    }
+                }
+                RecomputeWindow::Time(secs) => {
+                    if rec.timestamp.since(self.window_start) >= secs {
+                        triggers += 1;
+                        self.window_start = rec.timestamp;
+                    }
+                }
+            }
+        }
+        if dropped > 0 {
+            if let Some(m) = metrics {
+                m.add("stream.dropped_updates", dropped);
+            }
+        }
+        if triggers == 0 {
+            return Ok(Vec::new());
+        }
+        if let Some(m) = metrics {
+            m.add("stream.coalesced_windows", triggers - 1);
+        }
+        Ok(self.recompute(metrics))
+    }
+
+    /// Forces the streamed atoms up to date with the replayed state and
+    /// returns the events of that final derivation (empty when nothing
+    /// was pending). With [`StreamConfig::selfcheck`] set, additionally
+    /// re-proves the convergence invariant against a batch recompute.
+    pub fn checkpoint(&mut self, metrics: Option<&Metrics>) -> Result<Vec<AtomEvent>, StreamError> {
+        let events = if self.dirty {
+            self.recompute(metrics)
+        } else {
+            Vec::new()
+        };
+        if let Some(m) = metrics {
+            m.incr("stream.checkpoints");
+        }
+        if self.cfg.selfcheck {
+            self.verify_convergence()?;
+        }
+        Ok(events)
+    }
+
+    /// From-scratch batch derivation of the engine's current state: the
+    /// replayed snapshot sanitized into a fresh store with the same
+    /// accumulated warnings, atoms computed whole. This is the reference
+    /// side of the convergence invariant.
+    pub fn batch_recompute(&self) -> AtomSet {
+        let snap = self.replay.to_snapshot(&self.base);
+        let par = self.cfg.pipeline.parallelism;
+        let sanitized = sanitize_with_observed(
+            &snap,
+            &self.warnings,
+            &self.cfg.pipeline.sanitize,
+            par,
+            None,
+        );
+        compute_atoms_with(&sanitized, par)
+    }
+
+    /// Proves the convergence invariant for the current atoms (call at a
+    /// checkpoint; a dirty engine trivially diverges).
+    pub fn verify_convergence(&self) -> Result<(), StreamError> {
+        let batch = self.batch_recompute();
+        if batch != self.atoms {
+            return Err(StreamError::Divergence {
+                at: self.atoms.timestamp,
+                streamed: self.atoms.len(),
+                batch: batch.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// One incremental derivation: replayed tables → sanitize into the
+    /// shared store → delta-step the atoms → diff old vs. new sets into
+    /// events.
+    fn recompute(&mut self, metrics: Option<&Metrics>) -> Vec<AtomEvent> {
+        let span = metrics.map(|m| m.span("stream.recompute"));
+        let snap = self.replay.to_snapshot(&self.base);
+        let par = self.cfg.pipeline.parallelism;
+        let (prev_sanitized, prev_state) = self.chain.take().expect("chain always present");
+        let sanitized = sanitize_with_observed_into(
+            prev_sanitized.store(),
+            &snap,
+            &self.warnings,
+            &self.cfg.pipeline.sanitize,
+            par,
+            metrics,
+        );
+        let (atoms, state) = incremental::step(
+            Some((&prev_sanitized, prev_state)),
+            &sanitized,
+            par,
+            metrics,
+        );
+        drop(span);
+        let events = detect_events(&self.atoms, &atoms, snap.timestamp);
+        if let Some(m) = metrics {
+            m.incr("stream.recomputes");
+            let splits = events
+                .iter()
+                .filter(|e| e.kind == AtomEventKind::Split)
+                .count() as u64;
+            m.add("stream.events.split", splits);
+            m.add("stream.events.merge", events.len() as u64 - splits);
+        }
+        self.atoms = atoms;
+        self.chain = Some((sanitized, state));
+        self.dirty = false;
+        self.updates_since_window = 0;
+        self.window_start = snap.timestamp;
+        events
+    }
+}
+
+/// Diffs two consecutive atom sets into split/merge events.
+///
+/// A **split** is a multi-prefix atom of `prev` whose prefixes no longer
+/// share one atom in `curr`; a **merge** is a multi-prefix atom of `curr`
+/// whose prefixes did not share one atom in `prev`. As in
+/// [`crate::splits`], a prefix absent from the other set counts as one
+/// pseudo-fragment of its own, so withdrawals register as scatter.
+/// Events come out in deterministic order: splits in `prev` atom order,
+/// then merges in `curr` atom order.
+pub fn detect_events(prev: &AtomSet, curr: &AtomSet, seen_at: SimTime) -> Vec<AtomEvent> {
+    let mut events = Vec::new();
+    let curr_map = curr.prefix_to_atom();
+    for atom in &prev.atoms {
+        if atom.size() < 2 {
+            continue;
+        }
+        let parts = scatter_count(&atom.prefixes, |p| curr_map.get(p).copied());
+        if parts > 1 {
+            events.push(AtomEvent {
+                seen_at,
+                kind: AtomEventKind::Split,
+                prefixes: atom.prefixes.clone(),
+                parts,
+            });
+        }
+    }
+    let prev_map = prev.prefix_to_atom();
+    for atom in &curr.atoms {
+        if atom.size() < 2 {
+            continue;
+        }
+        let parts = scatter_count(&atom.prefixes, |p| prev_map.get(p).copied());
+        if parts > 1 {
+            events.push(AtomEvent {
+                seen_at,
+                kind: AtomEventKind::Merge,
+                prefixes: atom.prefixes.clone(),
+                parts,
+            });
+        }
+    }
+    events
+}
+
+/// Number of distinct destinations a prefix group maps to, each unmapped
+/// prefix counting as its own pseudo-destination.
+fn scatter_count(prefixes: &[Prefix], dest: impl Fn(&Prefix) -> Option<u32>) -> usize {
+    let mut seen = HashSet::new();
+    let mut missing = 0usize;
+    for p in prefixes {
+        match dest(p) {
+            Some(a) => {
+                seen.insert(a);
+            }
+            None => missing += 1,
+        }
+    }
+    seen.len() + missing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use bgp_types::{Asn, Family, PeerKey};
+
+    fn set(timestamp: u64, atoms: &[&[&str]]) -> AtomSet {
+        // One synthetic peer; each listed group becomes one atom with its
+        // own distinct path.
+        let peers = vec![PeerKey::new(Asn(64500), "10.0.0.1".parse().unwrap())];
+        let paths: Vec<bgp_types::AsPath> = (0..atoms.len())
+            .map(|i| format!("64500 {}", 100 + i).parse().unwrap())
+            .collect();
+        let atoms: Vec<Atom> = atoms
+            .iter()
+            .enumerate()
+            .map(|(i, group)| Atom {
+                prefixes: group.iter().map(|p| p.parse().unwrap()).collect(),
+                signature: vec![(0, i as u32)],
+                origin: Some(Asn(100 + i as u32)),
+            })
+            .collect();
+        AtomSet::from_parts(
+            SimTime::from_unix(timestamp),
+            Family::Ipv4,
+            peers,
+            paths,
+            atoms,
+        )
+    }
+
+    #[test]
+    fn window_parses_and_rejects() {
+        assert_eq!(
+            "updates:64".parse::<RecomputeWindow>().unwrap(),
+            RecomputeWindow::Updates(64)
+        );
+        assert_eq!(
+            "time:900".parse::<RecomputeWindow>().unwrap(),
+            RecomputeWindow::Time(900)
+        );
+        for bad in ["updates", "updates:0", "time:-1", "wall:5", "updates:x"] {
+            assert!(bad.parse::<RecomputeWindow>().is_err(), "{bad}");
+        }
+        assert_eq!(RecomputeWindow::Updates(64).to_string(), "updates:64");
+        assert_eq!(RecomputeWindow::Time(900).to_string(), "time:900");
+    }
+
+    #[test]
+    fn detect_events_finds_a_split() {
+        let prev = set(100, &[&["10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24"]]);
+        let curr = set(200, &[&["10.0.0.0/24", "10.0.1.0/24"], &["10.0.2.0/24"]]);
+        let events = detect_events(&prev, &curr, SimTime::from_unix(200));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AtomEventKind::Split);
+        assert_eq!(events[0].parts, 2);
+        assert_eq!(events[0].prefixes.len(), 3);
+        assert!(events[0].to_string().contains("split"));
+    }
+
+    #[test]
+    fn detect_events_finds_a_merge_and_orders_events() {
+        let prev = set(
+            100,
+            &[
+                &["10.0.0.0/24", "10.0.1.0/24"],
+                &["10.0.2.0/24", "10.0.3.0/24"],
+            ],
+        );
+        // The two pairs cross-merge: each new atom draws from both old ones.
+        let curr = set(
+            200,
+            &[
+                &["10.0.0.0/24", "10.0.2.0/24"],
+                &["10.0.1.0/24", "10.0.3.0/24"],
+            ],
+        );
+        let events = detect_events(&prev, &curr, SimTime::from_unix(200));
+        // Both old atoms split, both new atoms are merges, splits first.
+        assert_eq!(events.len(), 4);
+        assert!(events[..2].iter().all(|e| e.kind == AtomEventKind::Split));
+        assert!(events[2..].iter().all(|e| e.kind == AtomEventKind::Merge));
+        assert!(events[2].to_string().contains("merge"));
+    }
+
+    #[test]
+    fn withdrawn_prefix_counts_as_pseudo_fragment() {
+        let prev = set(100, &[&["10.0.0.0/24", "10.0.1.0/24"]]);
+        let curr = set(200, &[&["10.0.0.0/24"]]);
+        let events = detect_events(&prev, &curr, SimTime::from_unix(200));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AtomEventKind::Split);
+        assert_eq!(events[0].parts, 2, "kept + departed");
+    }
+
+    #[test]
+    fn single_prefix_atoms_never_emit_events() {
+        let prev = set(100, &[&["10.0.0.0/24"], &["10.0.1.0/24"]]);
+        let curr = set(200, &[&["10.0.1.0/24"]]);
+        assert!(detect_events(&prev, &curr, SimTime::from_unix(200)).is_empty());
+    }
+}

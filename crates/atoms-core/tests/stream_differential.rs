@@ -1,0 +1,258 @@
+//! Differential suite for the streaming engine: random evolving update
+//! schedules (announces, withdrawals, path and community churn, peers
+//! appearing mid-stream, stale out-of-order records) where the streamed
+//! [`StreamEngine`] atoms must equal a from-scratch batch recompute of the
+//! same replayed state at **every checkpoint**, at 1, 2, and 8 workers —
+//! the checkpoint-convergence invariant of `atoms_core::stream`.
+//!
+//! Modeled on `incremental_differential.rs`; the reference side here is
+//! deliberately rebuilt in the test (fresh replay, fresh store, whole-set
+//! `compute_atoms_with`) rather than borrowed from the engine, so a bug in
+//! `StreamEngine::batch_recompute` cannot vouch for itself.
+
+use atoms_core::atom::compute_atoms_with;
+use atoms_core::parallel::Parallelism;
+use atoms_core::sanitize::{sanitize_with, SanitizeConfig};
+use atoms_core::{AtomSet, RecomputeWindow, StreamConfig, StreamEngine};
+use bgp_collect::{CapturedSnapshot, CapturedTable, FeedBatch, ReplayState};
+use bgp_types::{
+    AsPath, Asn, Community, Family, PeerKey, Prefix, RibEntry, RouteAttrs, SimTime, UpdateRecord,
+};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn p(i: u32) -> Prefix {
+    Prefix::v4((10 << 24) | ((i % 512) << 8), 24).unwrap()
+}
+
+fn peer(id: usize) -> PeerKey {
+    PeerKey::new(
+        Asn(64_500 + id as u32),
+        IpAddr::V4(Ipv4Addr::from(0x0a00_0000 + id as u32)),
+    )
+}
+
+fn path(j: usize) -> AsPath {
+    format!("{} {} {}", 64_500 + j % 7, 100 + j % 13, 9000 + j % 11)
+        .parse()
+        .unwrap()
+}
+
+/// One scheduled update: `(peer selector, prefix index, path index,
+/// announce?, clock jitter, community tag)`. The jitter byte also decides
+/// which records go out stale (see [`materialize`]).
+type Rec = (usize, u32, usize, bool, u8, u8);
+
+fn arb_base() -> impl Strategy<Value = Vec<Vec<(u32, usize)>>> {
+    prop::collection::vec(prop::collection::vec((0u32..120, 0usize..30), 0..80), 1..5)
+}
+
+fn arb_batches() -> impl Strategy<Value = Vec<Vec<Rec>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (
+                0usize..64,
+                0u32..120,
+                0usize..30,
+                any::<bool>(),
+                any::<u8>(),
+                any::<u8>(),
+            ),
+            0..25,
+        ),
+        1..6,
+    )
+}
+
+fn base_snapshot(base: &[Vec<(u32, usize)>]) -> CapturedSnapshot {
+    CapturedSnapshot {
+        timestamp: SimTime::from_unix(1000),
+        family: Family::Ipv4,
+        collector_names: vec!["rrc00".into()],
+        tables: base
+            .iter()
+            .enumerate()
+            .map(|(id, rows)| CapturedTable {
+                collector: 0,
+                peer: peer(id),
+                entries: rows
+                    .iter()
+                    .map(|&(i, j)| RibEntry::new(p(i), path(j)))
+                    .collect(),
+            })
+            .collect(),
+        ..Default::default()
+    }
+}
+
+/// Turns the abstract schedule into concrete update records on a mostly
+/// monotone clock. Two peer ids beyond the base set model session churn
+/// (new vantage points appearing mid-stream); every eleventh jitter value
+/// back-dates the record by five seconds, producing genuine out-of-order
+/// input that the Drop policy must reject identically on both sides.
+fn materialize(base_peers: usize, batches: &[Vec<Rec>]) -> Vec<Vec<UpdateRecord>> {
+    let ids = base_peers + 2;
+    let mut clock = 1000u64;
+    batches
+        .iter()
+        .map(|batch| {
+            batch
+                .iter()
+                .map(|&(peer_sel, prefix, path_idx, announce, jitter, comm)| {
+                    clock += (jitter % 7) as u64;
+                    let ts = if jitter % 11 == 0 {
+                        clock.saturating_sub(5)
+                    } else {
+                        clock
+                    };
+                    let key = peer(peer_sel % ids);
+                    if announce {
+                        let mut attrs = RouteAttrs::from_path(path(path_idx));
+                        if comm % 3 == 0 {
+                            // Community churn: same path, different tag —
+                            // must not perturb the signature grouping.
+                            attrs.communities = vec![Community::new(64_500, comm as u16)];
+                        }
+                        UpdateRecord::announce(SimTime::from_unix(ts), key, vec![p(prefix)], attrs)
+                    } else {
+                        UpdateRecord::withdraw(SimTime::from_unix(ts), key, vec![p(prefix)])
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The reference side of the invariant: replay every record so far onto a
+/// fresh state, sanitize into a fresh store, compute the atoms whole.
+fn scratch_atoms(base: &CapturedSnapshot, records: &[UpdateRecord], par: Parallelism) -> AtomSet {
+    let mut replay = ReplayState::from_snapshot(base);
+    for r in records {
+        replay.apply(r);
+    }
+    let snap = replay.to_snapshot(base);
+    let sanitized = sanitize_with(&snap, &[], &SanitizeConfig::default(), par);
+    compute_atoms_with(&sanitized, par)
+}
+
+fn batch_of(records: Vec<UpdateRecord>) -> FeedBatch {
+    FeedBatch {
+        records,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Streaming a random schedule batch by batch and checkpointing after
+    /// each reproduces the from-scratch computation at every checkpoint
+    /// and every thread count.
+    #[test]
+    fn streamed_checkpoints_match_scratch_at_any_thread_count(
+        base in arb_base(),
+        batches in arb_batches(),
+    ) {
+        let snap = base_snapshot(&base);
+        let schedule = materialize(base.len(), &batches);
+        for threads in [1usize, 2, 8] {
+            let par = Parallelism::new(threads);
+            let cfg = StreamConfig {
+                window: RecomputeWindow::Updates(4),
+                pipeline: atoms_core::PipelineConfig {
+                    parallelism: par,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let mut engine = StreamEngine::new(&snap, cfg, None);
+            let mut applied: Vec<UpdateRecord> = Vec::new();
+            for (k, records) in schedule.iter().enumerate() {
+                applied.extend(records.iter().cloned());
+                engine.ingest_batch(&batch_of(records.clone()), None).unwrap();
+                engine.checkpoint(None).unwrap();
+                let scratch = scratch_atoms(&snap, &applied, par);
+                prop_assert_eq!(
+                    engine.atoms().interned_paths().len(),
+                    scratch.interned_paths().len(),
+                    "checkpoint {} at {} threads: distinct path count", k, threads
+                );
+                prop_assert_eq!(
+                    engine.atoms(), &scratch,
+                    "checkpoint {} at {} threads: atom set", k, threads
+                );
+            }
+        }
+    }
+
+    /// Back-dating *every* record's timestamp bursts the out-of-order
+    /// path: the engine must drop exactly what a bare replay drops and
+    /// still converge.
+    #[test]
+    fn out_of_order_heavy_schedule_still_converges(
+        base in arb_base(),
+        batches in arb_batches(),
+    ) {
+        let snap = base_snapshot(&base);
+        let mut schedule = materialize(base.len(), &batches);
+        // Reverse each batch's timestamps so most records arrive stale.
+        for records in &mut schedule {
+            let stamps: Vec<SimTime> = records.iter().rev().map(|r| r.timestamp).collect();
+            for (r, ts) in records.iter_mut().zip(stamps) {
+                r.timestamp = ts;
+            }
+        }
+        let cfg = StreamConfig {
+            window: RecomputeWindow::Updates(2),
+            ..Default::default()
+        };
+        let mut engine = StreamEngine::new(&snap, cfg, None);
+        let mut applied: Vec<UpdateRecord> = Vec::new();
+        for records in &schedule {
+            applied.extend(records.iter().cloned());
+            engine.ingest_batch(&batch_of(records.clone()), None).unwrap();
+        }
+        engine.checkpoint(None).unwrap();
+        let scratch = scratch_atoms(&snap, &applied, Parallelism::serial());
+        prop_assert_eq!(engine.atoms(), &scratch);
+        let dropped = {
+            let mut replay = ReplayState::from_snapshot(&snap);
+            for r in &applied { replay.apply(r); }
+            replay.rejected_out_of_order()
+        };
+        prop_assert_eq!(engine.replay().rejected_out_of_order(), dropped);
+    }
+
+    /// The window policy is a latency knob, never a correctness knob:
+    /// per-update, coarse-count, and time-based windows all land on the
+    /// same atoms at every checkpoint.
+    #[test]
+    fn window_policies_agree_at_checkpoints(
+        base in arb_base(),
+        batches in arb_batches(),
+    ) {
+        let snap = base_snapshot(&base);
+        let schedule = materialize(base.len(), &batches);
+        let windows = [
+            RecomputeWindow::Updates(1),
+            RecomputeWindow::Updates(3),
+            RecomputeWindow::Updates(1000),
+            RecomputeWindow::Time(2),
+        ];
+        let mut per_window: Vec<Vec<AtomSet>> = Vec::new();
+        for window in windows {
+            let cfg = StreamConfig { window, ..Default::default() };
+            let mut engine = StreamEngine::new(&snap, cfg, None);
+            let mut checkpoints = Vec::new();
+            for records in &schedule {
+                engine.ingest_batch(&batch_of(records.clone()), None).unwrap();
+                engine.checkpoint(None).unwrap();
+                checkpoints.push(engine.atoms().clone());
+            }
+            per_window.push(checkpoints);
+        }
+        for later in &per_window[1..] {
+            prop_assert_eq!(&per_window[0], later);
+        }
+    }
+}

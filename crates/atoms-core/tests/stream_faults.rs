@@ -1,0 +1,291 @@
+//! Fault-path and backpressure tests for the streaming engine.
+//!
+//! Satellite coverage for `atoms_core::stream`:
+//!
+//! * damaged BGP4MP frames under the `recover` policy yield the same
+//!   checkpoint atoms as a clean feed minus the skipped records, with the
+//!   `ingest.*` / `stream.dropped_updates` accounting pinned;
+//! * the `strict` policy surfaces the framing failure without poisoning
+//!   engine state, and the `error` out-of-order policy does likewise at
+//!   the replay layer;
+//! * a route-leak-style burst coalesces window triggers into a bounded
+//!   number of recomputes with zero correctness drift afterwards.
+
+use atoms_core::obs::Metrics;
+use atoms_core::{RecomputeWindow, StreamConfig, StreamEngine, StreamError};
+use bgp_collect::capture::{events_by_collector, updates_bytes};
+use bgp_collect::{CapturedSnapshot, CapturedUpdates, FeedBatch, MemoryFeed, OutOfOrderPolicy};
+use bgp_mrt::RecoveryPolicy;
+use bgp_sim::{generate_window, Era, Scenario};
+use bgp_types::{Family, RouteAttrs, SimTime, UpdateRecord};
+
+const DATE: &str = "2021-07-15 08:00";
+
+/// Base snapshot plus the per-collector BGP4MP byte sources of the
+/// following 4-hour window.
+fn scenario() -> (CapturedSnapshot, Vec<(String, Vec<u8>)>, CapturedUpdates) {
+    let date: SimTime = DATE.parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 500.0));
+    let mut s = Scenario::build(era);
+    let sim_snap = s.snapshot(date);
+    let base = CapturedSnapshot::from_sim(&sim_snap);
+    let events = generate_window(&mut s, date, 4, 1);
+    let sources: Vec<(String, Vec<u8>)> = events_by_collector(&sim_snap, &events)
+        .into_iter()
+        .map(|(collector, coll_events)| {
+            (
+                sim_snap.collector_names[collector as usize].clone(),
+                updates_bytes(&coll_events, sim_snap.family).unwrap(),
+            )
+        })
+        .collect();
+    (base, sources, CapturedUpdates::from_sim(&events))
+}
+
+/// Streams a feed to exhaustion through a fresh engine; returns the
+/// engine after a final checkpoint.
+fn stream_feed(
+    base: &CapturedSnapshot,
+    mut feed: MemoryFeed,
+    metrics: Option<&Metrics>,
+) -> StreamEngine {
+    let cfg = StreamConfig {
+        window: RecomputeWindow::Updates(32),
+        ..Default::default()
+    };
+    let mut engine = StreamEngine::new(base, cfg, metrics);
+    while let Some(batch) = feed.poll(64).unwrap() {
+        engine.ingest_batch(&batch, metrics).unwrap();
+    }
+    engine.checkpoint(metrics).unwrap();
+    engine
+}
+
+/// Collects every record and warning a feed delivers.
+fn drain(mut feed: MemoryFeed) -> (Vec<UpdateRecord>, Vec<bgp_mrt::MrtWarning>) {
+    let mut records = Vec::new();
+    let mut warnings = Vec::new();
+    while let Some(batch) = feed.poll(64).unwrap() {
+        records.extend(batch.records);
+        warnings.extend(batch.warnings);
+    }
+    (records, warnings)
+}
+
+/// Damages the first source: truncating eight bytes from the tail cuts
+/// the final record's body, which `recover` skips and `strict` refuses.
+fn damage(sources: &[(String, Vec<u8>)]) -> Vec<(String, Vec<u8>)> {
+    let mut damaged = sources.to_vec();
+    let len = damaged[0].1.len();
+    damaged[0].1.truncate(len - 8);
+    damaged
+}
+
+#[test]
+fn recovered_feed_matches_clean_feed_minus_skipped_records() {
+    let (base, sources, _) = scenario();
+    let damaged = damage(&sources);
+
+    // The damaged feed delivers exactly the clean record set minus one.
+    let (clean_records, clean_warnings) = drain(MemoryFeed::from_bytes(
+        sources.clone(),
+        RecoveryPolicy::Recover,
+    ));
+    let (delivered, _) = drain(MemoryFeed::from_bytes(
+        damaged.clone(),
+        RecoveryPolicy::Recover,
+    ));
+    assert_eq!(delivered.len(), clean_records.len() - 1);
+    let mut missing: Vec<UpdateRecord> = clean_records.clone();
+    for r in &delivered {
+        let i = missing.iter().position(|c| c == r).expect("subset");
+        missing.remove(i);
+    }
+    assert_eq!(missing.len(), 1, "exactly the skipped record is absent");
+
+    // Stream the damaged feed; pin the damage accounting.
+    let m = Metrics::new();
+    let streamed = stream_feed(
+        &base,
+        MemoryFeed::from_bytes(damaged, RecoveryPolicy::Recover),
+        Some(&m),
+    );
+    assert_eq!(m.counter("ingest.recovered_records"), 1);
+    assert!(m.counter("ingest.skipped_bytes") > 0);
+    assert_eq!(m.counter("stream.dropped_updates"), 1);
+    streamed.verify_convergence().unwrap();
+
+    // Reference: a clean stream of the surviving records, carrying the
+    // clean feed's parse warnings (the garbled-peer ADD-PATH warnings
+    // feed broken-peer removal on both sides). The one extra *recovery*
+    // warning the damaged feed carries is not an ADD-PATH warning, so it
+    // must not perturb sanitization — the atoms have to come out equal.
+    let clean_minus: Vec<UpdateRecord> = clean_records
+        .into_iter()
+        .filter(|r| r != &missing[0])
+        .collect();
+    let cfg = StreamConfig {
+        window: RecomputeWindow::Updates(32),
+        ..Default::default()
+    };
+    let mut reference = StreamEngine::new(&base, cfg, None);
+    let batch = FeedBatch {
+        records: clean_minus,
+        warnings: clean_warnings,
+        ..Default::default()
+    };
+    reference.ingest_batch(&batch, None).unwrap();
+    reference.checkpoint(None).unwrap();
+    assert_eq!(streamed.atoms(), reference.atoms());
+
+    // And the clean feed itself streams with zero damage accounting.
+    let m2 = Metrics::new();
+    let clean = stream_feed(
+        &base,
+        MemoryFeed::from_bytes(sources, RecoveryPolicy::Recover),
+        Some(&m2),
+    );
+    assert_eq!(m2.counter("ingest.recovered_records"), 0);
+    assert_eq!(m2.counter("ingest.skipped_bytes"), 0);
+    assert_eq!(m2.counter("stream.dropped_updates"), 0);
+    clean.verify_convergence().unwrap();
+    assert_ne!(
+        clean.atoms().timestamp,
+        SimTime::from_unix(0),
+        "sanity: the stream actually advanced"
+    );
+}
+
+#[test]
+fn strict_feed_errors_without_poisoning_the_engine() {
+    let (base, sources, _) = scenario();
+    let mut feed = MemoryFeed::from_bytes(damage(&sources), RecoveryPolicy::Strict);
+    let cfg = StreamConfig {
+        window: RecomputeWindow::Updates(32),
+        ..Default::default()
+    };
+    let mut engine = StreamEngine::new(&base, cfg, None);
+    let mut batches = 0usize;
+    let err = loop {
+        match feed.poll(64) {
+            Ok(Some(batch)) => {
+                engine.ingest_batch(&batch, None).unwrap();
+                batches += 1;
+            }
+            Ok(None) => panic!("the damaged source must surface an error under strict"),
+            Err(e) => break e,
+        }
+    };
+    assert!(err.to_string().contains("header") || err.to_string().contains("I/O"));
+    assert!(batches > 0, "the failure happens mid-stream, not up front");
+    // The engine still holds a consistent pre-failure state: it
+    // checkpoints and converges.
+    engine.checkpoint(None).unwrap();
+    engine.verify_convergence().unwrap();
+    assert!(engine.replay().applied() > 0);
+}
+
+#[test]
+fn out_of_order_error_policy_aborts_batch_but_stays_checkpointable() {
+    let (base, _, updates) = scenario();
+    let cfg = StreamConfig {
+        window: RecomputeWindow::Updates(32),
+        out_of_order: OutOfOrderPolicy::Error,
+        ..Default::default()
+    };
+    let mut engine = StreamEngine::new(&base, cfg, None);
+    let head: Vec<UpdateRecord> = updates.records[..16.min(updates.records.len())].to_vec();
+    engine
+        .ingest_batch(
+            &FeedBatch {
+                records: head,
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+    // A back-dated record (older than the base snapshot) must error...
+    let stale = UpdateRecord::announce(
+        SimTime::from_unix(0),
+        updates.records[0].peer,
+        updates.records[0].announced.clone(),
+        RouteAttrs::default(),
+    );
+    let err = engine
+        .ingest_batch(
+            &FeedBatch {
+                records: vec![stale],
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap_err();
+    assert!(matches!(err, StreamError::OutOfOrder(_)));
+    assert!(err.to_string().contains("out-of-order"));
+    // ...while the engine remains consistent and accepts further input.
+    engine.checkpoint(None).unwrap();
+    engine.verify_convergence().unwrap();
+    let applied_before = engine.replay().applied();
+    let tail: Vec<UpdateRecord> = updates.records[16.min(updates.records.len())..]
+        .iter()
+        .take(16)
+        .cloned()
+        .collect();
+    engine
+        .ingest_batch(
+            &FeedBatch {
+                records: tail.clone(),
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+    assert_eq!(engine.replay().applied(), applied_before + tail.len());
+    engine.checkpoint(None).unwrap();
+    engine.verify_convergence().unwrap();
+}
+
+#[test]
+fn burst_coalesces_windows_into_bounded_recomputes_with_zero_drift() {
+    // Route-leak-style storm: a long window's worth of updates landing as
+    // one giant batch. Every crossed window boundary must coalesce into a
+    // single recompute at batch end (plus at most the checkpoint's one).
+    let date: SimTime = DATE.parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 500.0));
+    let mut s = Scenario::build(era);
+    let base = CapturedSnapshot::from_sim(&s.snapshot(date));
+    let events = generate_window(&mut s, date, 8, 2);
+    let storm = CapturedUpdates::from_sim(&events);
+    assert!(
+        storm.records.len() > 100,
+        "need a real burst, got {}",
+        storm.records.len()
+    );
+
+    let m = Metrics::new();
+    let cfg = StreamConfig {
+        window: RecomputeWindow::Updates(8),
+        ..Default::default()
+    };
+    let mut engine = StreamEngine::new(&base, cfg, Some(&m));
+    let batch = FeedBatch {
+        records: storm.records.clone(),
+        warnings: storm.warnings.clone(),
+        ..Default::default()
+    };
+    engine.ingest_batch(&batch, Some(&m)).unwrap();
+    engine.checkpoint(Some(&m)).unwrap();
+
+    let applied = engine.replay().applied() as u64;
+    let triggers = applied / 8;
+    assert!(triggers > 10, "burst must cross many windows: {triggers}");
+    assert_eq!(m.counter("stream.coalesced_windows"), triggers - 1);
+    assert!(
+        m.counter("stream.recomputes") <= 2,
+        "one coalesced recompute plus at most the checkpoint's: {}",
+        m.counter("stream.recomputes")
+    );
+    // Degraded latency, never correctness: the post-burst checkpoint
+    // satisfies the convergence invariant.
+    engine.verify_convergence().unwrap();
+}

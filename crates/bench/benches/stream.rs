@@ -1,0 +1,135 @@
+//! Sustained streaming throughput vs per-checkpoint batch recomputation.
+//!
+//! The workload is twelve consecutive 4-hour update windows of the 2016
+//! scenario riding on one base RIB snapshot — the daily-churn shape of
+//! the quarterly sweep, consumed as a live feed instead of a snapshot
+//! ladder. Two walks over the same batches:
+//!
+//! * `streamed_ladder`: a [`StreamEngine`] ingests every batch and
+//!   checkpoints after each rung (windowed incremental recomputes);
+//! * `batch_ladder`: the non-streaming alternative — replay each rung,
+//!   then sanitize into a fresh store and recompute the atoms whole.
+//!
+//! Outputs are asserted equal at every checkpoint before timing (the
+//! convergence invariant), so the throughput difference is honest.
+//! Criterion's element throughput is the sustained updates/sec figure
+//! recorded in BENCH_stream.json; the pre-bench instrumented pass prints
+//! the per-checkpoint recompute latencies that accompany it.
+
+use atoms_core::atom::compute_atoms_with;
+use atoms_core::parallel::Parallelism;
+use atoms_core::sanitize::{sanitize_with, SanitizeConfig};
+use atoms_core::stream::{RecomputeWindow, StreamConfig, StreamEngine};
+use bgp_collect::{CapturedSnapshot, CapturedUpdates, FeedBatch, ReplayState};
+use bgp_sim::{generate_window, Era, Scenario};
+use bgp_types::{Family, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
+const RUNGS: usize = 12;
+
+fn workload() -> (CapturedSnapshot, Vec<FeedBatch>) {
+    let date: SimTime = "2016-01-15 08:00".parse().unwrap();
+    let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 200.0));
+    let mut scenario = Scenario::build(era);
+    let base = CapturedSnapshot::from_sim(&scenario.snapshot(date));
+    let mut batches = Vec::with_capacity(RUNGS);
+    for rung in 0..RUNGS {
+        let events = generate_window(
+            &mut scenario,
+            date.plus_days(rung as u64),
+            4,
+            0xBE4C + rung as u64,
+        );
+        let upd = CapturedUpdates::from_sim(&events);
+        batches.push(FeedBatch {
+            records: upd.records,
+            warnings: upd.warnings,
+            ..Default::default()
+        });
+    }
+    (base, batches)
+}
+
+fn stream_cfg() -> StreamConfig {
+    StreamConfig {
+        window: RecomputeWindow::Updates(256),
+        ..Default::default()
+    }
+}
+
+fn walk_streamed(base: &CapturedSnapshot, batches: &[FeedBatch]) -> usize {
+    let mut engine = StreamEngine::new(base, stream_cfg(), None);
+    let mut total = 0;
+    for batch in batches {
+        engine.ingest_batch(batch, None).unwrap();
+        engine.checkpoint(None).unwrap();
+        total += engine.atoms().len();
+    }
+    total
+}
+
+/// The non-streaming alternative: fold each rung into the replay, then
+/// derive its atoms from scratch (fresh store, whole-set computation).
+fn walk_batch(base: &CapturedSnapshot, batches: &[FeedBatch], par: Parallelism) -> usize {
+    let mut replay = ReplayState::from_snapshot(base);
+    let mut warnings = Vec::new();
+    let mut total = 0;
+    for batch in batches {
+        warnings.extend(batch.warnings.iter().cloned());
+        for r in &batch.records {
+            replay.apply(r);
+        }
+        let snap = replay.to_snapshot(base);
+        let sanitized = sanitize_with(&snap, &warnings, &SanitizeConfig::default(), par);
+        total += compute_atoms_with(&sanitized, par).len();
+    }
+    total
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let (base, batches) = workload();
+    let updates: usize = batches.iter().map(|b| b.records.len()).sum();
+    let par = Parallelism::serial();
+
+    // Honest comparison first: every streamed checkpoint must equal the
+    // from-scratch recompute of the same replayed state. The instrumented
+    // pass also yields the per-checkpoint recompute latencies reported in
+    // BENCH_stream.json.
+    {
+        let metrics = atoms_core::obs::Metrics::new();
+        let mut engine = StreamEngine::new(&base, stream_cfg(), Some(&metrics));
+        let mut lat_ms = Vec::with_capacity(RUNGS);
+        for batch in &batches {
+            // A rung's latency is fold-to-checkpoint: the windowed
+            // recomputes inside the batch plus the forcing derivation.
+            let t = Instant::now();
+            engine.ingest_batch(batch, Some(&metrics)).unwrap();
+            engine.checkpoint(Some(&metrics)).unwrap();
+            lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            engine.verify_convergence().unwrap();
+        }
+        let mean = lat_ms.iter().sum::<f64>() / lat_ms.len() as f64;
+        let max = lat_ms.iter().cloned().fold(0.0f64, f64::max);
+        eprintln!(
+            "stream: {updates} updates over {RUNGS} rungs, {} windowed recomputes; \
+             per-checkpoint fold+derive latency mean {mean:.2} ms, max {max:.2} ms \
+             (all checkpoints converged)",
+            metrics.counter("stream.recomputes")
+        );
+    }
+
+    let mut group = c.benchmark_group("stream");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(updates as u64));
+    group.bench_function("streamed_ladder", |b| {
+        b.iter(|| std::hint::black_box(walk_streamed(&base, &batches)))
+    });
+    group.bench_function("batch_ladder", |b| {
+        b.iter(|| std::hint::black_box(walk_batch(&base, &batches, par)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

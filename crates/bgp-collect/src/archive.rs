@@ -109,6 +109,23 @@ impl Archive {
         Ok(names)
     }
 
+    /// Lists the per-collector updates files for the window starting at
+    /// `time`: `(collector name, path)` pairs for the files that exist,
+    /// in sorted collector order. The live-feed simulator
+    /// ([`crate::feed::LiveFeed`]) opens each file as an independent
+    /// BGP4MP session instead of merging them up front the way
+    /// [`Archive::load_updates`] does.
+    pub fn updates_files(&self, time: SimTime) -> io::Result<Vec<(String, PathBuf)>> {
+        let mut out = Vec::new();
+        for name in self.collectors()? {
+            let path = self.updates_path(&name, time);
+            if path.exists() {
+                out.push((name, path));
+            }
+        }
+        Ok(out)
+    }
+
     /// Loads the full snapshot at `time` across all collectors, returning
     /// the neutral analysis input (ground truth stripped by construction —
     /// MRT files never carried it). Strict: any framing failure in any

@@ -1,0 +1,306 @@
+//! Simulated live BGP4MP feed.
+//!
+//! A real BGPStream-style monitor holds one long-lived session per
+//! collector and interleaves their UPDATE messages as they arrive. This
+//! module reproduces that shape over recorded BGP4MP byte streams: one
+//! incremental [`MrtReader`] per collector, k-way merged by timestamp into
+//! bounded [`FeedBatch`]es, so a streaming consumer sees a single
+//! time-ordered update feed without ever materializing the whole window —
+//! exactly what [`crate::archive::Archive::load_updates`] does, minus the
+//! up-front slurp.
+//!
+//! Damaged frames follow the reader's [`RecoveryPolicy`]: under `Recover`
+//! the resync surfaces as [`MrtWarning`]s and `ingest` accounting inside
+//! the batch that crossed the damage; under `Strict` the framing error
+//! propagates out of [`LiveFeed::poll`] and the feed stops.
+
+use crate::capture::{events_by_collector, updates_bytes};
+use bgp_mrt::reader::ReadItem;
+use bgp_mrt::{
+    IngestStats, MrtError, MrtReader, MrtRecord, MrtWarning, RecoveryPolicy, WarningKind,
+};
+use bgp_sim::updates::UpdateEvent;
+use bgp_sim::SnapshotData;
+use bgp_types::UpdateRecord;
+use std::io::{self, Cursor, Read};
+
+/// One bounded slice of the merged feed, as returned by
+/// [`LiveFeed::poll`].
+#[derive(Debug, Clone, Default)]
+pub struct FeedBatch {
+    /// Update records, merged across sources in `(timestamp, peer,
+    /// source)` order.
+    pub records: Vec<UpdateRecord>,
+    /// Parse warnings encountered while producing the batch (damaged
+    /// frames under `Recover`, RIB records inside an updates stream, …).
+    pub warnings: Vec<MrtWarning>,
+    /// Recovery damage crossed while producing **this batch** (not
+    /// cumulative; sum batches or ask [`LiveFeed::stats`] for the total).
+    pub ingest: IngestStats,
+}
+
+impl FeedBatch {
+    /// `true` when the batch carries no records, warnings, or damage.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.warnings.is_empty() && self.ingest.is_clean()
+    }
+}
+
+/// One collector session: a named BGP4MP stream read incrementally with a
+/// one-record lookahead for the merge.
+#[derive(Debug)]
+struct FeedSource<R: Read> {
+    name: String,
+    reader: MrtReader<R>,
+    pending: Option<UpdateRecord>,
+    warnings: Vec<MrtWarning>,
+    done: bool,
+}
+
+impl<R: Read> FeedSource<R> {
+    /// Fills the lookahead slot (skipping non-UPDATE records, collecting
+    /// warnings) until a record is pending or the stream ends.
+    fn advance(&mut self) -> Result<(), MrtError> {
+        while self.pending.is_none() && !self.done {
+            match self.reader.next()? {
+                None => self.done = true,
+                Some(ReadItem::Record(MrtRecord::Bgp4mp(m))) => {
+                    if let Some(u) = m.to_update_record() {
+                        self.pending = Some(u);
+                    }
+                }
+                Some(ReadItem::Record(_)) => self.warnings.push(MrtWarning {
+                    record_index: self.reader.record_index() - 1,
+                    timestamp: None,
+                    peer: None,
+                    kind: WarningKind::Decode {
+                        context: "RIB record inside an updates file".into(),
+                    },
+                }),
+                Some(ReadItem::Warning(w)) => self.warnings.push(w),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A k-way merged live feed over per-collector BGP4MP streams.
+///
+/// The merge key is `(timestamp, peer, source index)` — the same order
+/// [`crate::archive::Archive::load_updates`] sorts the whole window into,
+/// with the source index breaking the remaining ties deterministically.
+/// Because each session is internally time-ordered (as real collector
+/// sessions are), the merged feed is globally time-ordered too, so a
+/// replay consuming it sees no artificial out-of-order records.
+#[derive(Debug)]
+pub struct LiveFeed<R: Read> {
+    sources: Vec<FeedSource<R>>,
+    /// Ingest damage already handed out in earlier batches, so each batch
+    /// reports only its own delta.
+    reported: IngestStats,
+    delivered: u64,
+}
+
+impl<R: Read> LiveFeed<R> {
+    /// Opens a feed over `(collector name, stream)` sessions, all read
+    /// under `policy`.
+    pub fn new(sources: Vec<(String, R)>, policy: RecoveryPolicy) -> LiveFeed<R> {
+        LiveFeed {
+            sources: sources
+                .into_iter()
+                .map(|(name, inner)| FeedSource {
+                    name,
+                    reader: MrtReader::with_policy(inner, policy),
+                    pending: None,
+                    warnings: Vec::new(),
+                    done: false,
+                })
+                .collect(),
+            reported: IngestStats::default(),
+            delivered: 0,
+        }
+    }
+
+    /// Pulls the next batch of at most `max_records` merged records.
+    ///
+    /// Returns `Ok(None)` when every session is exhausted and nothing —
+    /// records, warnings, or damage — remains to report. A `Strict`
+    /// framing failure propagates as `Err`; the error message names the
+    /// offending session. Already-delivered batches are unaffected.
+    pub fn poll(&mut self, max_records: usize) -> Result<Option<FeedBatch>, MrtError> {
+        let mut batch = FeedBatch::default();
+        while batch.records.len() < max_records {
+            for s in &mut self.sources {
+                s.advance()
+                    .map_err(|e| MrtError::Io(io::Error::other(format!("{}: {e}", s.name))))?;
+                batch.warnings.append(&mut s.warnings);
+            }
+            let best = self
+                .sources
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.pending.as_ref().map(|r| (r.timestamp, r.peer, i)))
+                .min();
+            let Some((_, _, i)) = best else {
+                break;
+            };
+            let rec = self.sources[i].pending.take().expect("selected as pending");
+            batch.records.push(rec);
+            self.delivered += 1;
+        }
+        let total = self.stats();
+        batch.ingest = IngestStats {
+            recovered_records: total.recovered_records - self.reported.recovered_records,
+            skipped_bytes: total.skipped_bytes - self.reported.skipped_bytes,
+        };
+        self.reported = total;
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(batch))
+    }
+
+    /// Cumulative recovery damage across every session so far.
+    pub fn stats(&self) -> IngestStats {
+        let mut total = IngestStats::default();
+        for s in &self.sources {
+            total.absorb(s.reader.stats());
+        }
+        total
+    }
+
+    /// Records delivered across all batches so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+/// The in-memory stream type the byte-vector constructors produce.
+pub type MemoryFeed = LiveFeed<Cursor<Vec<u8>>>;
+
+impl MemoryFeed {
+    /// Opens a feed over in-memory `(collector name, BGP4MP bytes)`
+    /// sessions.
+    pub fn from_bytes(sources: Vec<(String, Vec<u8>)>, policy: RecoveryPolicy) -> MemoryFeed {
+        LiveFeed::new(
+            sources
+                .into_iter()
+                .map(|(name, bytes)| (name, Cursor::new(bytes)))
+                .collect(),
+            policy,
+        )
+    }
+
+    /// Builds a feed straight from simulator output: the events are
+    /// serialized per collector with [`updates_bytes`] (garbled peers'
+    /// frames corrupted exactly as on disk) and each collector becomes one
+    /// session.
+    pub fn from_events(
+        snap: &SnapshotData,
+        events: &[UpdateEvent],
+        policy: RecoveryPolicy,
+    ) -> io::Result<MemoryFeed> {
+        let mut sources = Vec::new();
+        for (collector, coll_events) in events_by_collector(snap, events) {
+            let name = snap.collector_names[collector as usize].clone();
+            let bytes = updates_bytes(&coll_events, snap.family)?;
+            sources.push((name, Cursor::new(bytes)));
+        }
+        Ok(LiveFeed::new(sources, policy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::CapturedUpdates;
+    use bgp_sim::{generate_window, Era, Scenario};
+    use bgp_types::{Family, SimTime};
+
+    fn scenario_and_events() -> (SnapshotData, Vec<UpdateEvent>) {
+        let date: SimTime = "2021-07-15 08:00".parse().unwrap();
+        let era = Era::for_date(date, Family::Ipv4, Some(1.0 / 500.0));
+        let mut s = Scenario::build(era);
+        let snap = s.snapshot(date);
+        let events = generate_window(&mut s, date, 4, 1);
+        (snap, events)
+    }
+
+    #[test]
+    fn feed_matches_batch_loader_record_for_record() {
+        let (snap, events) = scenario_and_events();
+        let mut feed = MemoryFeed::from_events(&snap, &events, RecoveryPolicy::Recover).unwrap();
+        let mut records = Vec::new();
+        let mut warnings = 0usize;
+        while let Some(batch) = feed.poll(7).unwrap() {
+            assert!(batch.records.len() <= 7);
+            records.extend(batch.records);
+            warnings += batch.warnings.len();
+        }
+        let mem = CapturedUpdates::from_sim(&events);
+        assert_eq!(records.len(), mem.records.len());
+        assert_eq!(feed.delivered(), records.len() as u64);
+        // Globally time-ordered — the merge never goes backwards.
+        assert!(records.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        // Garbled peers' corrupted frames surface as warnings here just
+        // like they do through the archive loader.
+        assert!(warnings > 0, "garbled peers must warn");
+        assert!(feed.stats().is_clean(), "frame corruption, not damage");
+    }
+
+    #[test]
+    fn exhausted_feed_returns_none_and_stays_none() {
+        let (snap, events) = scenario_and_events();
+        let mut feed = MemoryFeed::from_events(&snap, &events, RecoveryPolicy::Recover).unwrap();
+        while feed.poll(1024).unwrap().is_some() {}
+        assert!(feed.poll(1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn damaged_session_recovers_and_reports_batch_delta() {
+        let (snap, events) = scenario_and_events();
+        let per_coll = events_by_collector(&snap, &events);
+        let mut sources = Vec::new();
+        for (collector, coll_events) in &per_coll {
+            let name = snap.collector_names[*collector as usize].clone();
+            let mut bytes = updates_bytes(coll_events, snap.family).unwrap();
+            if sources.is_empty() {
+                // Truncate the first session's final record body.
+                bytes.truncate(bytes.len() - 8);
+            }
+            sources.push((name, bytes));
+        }
+        let mut feed = MemoryFeed::from_bytes(sources.clone(), RecoveryPolicy::Recover);
+        let mut total = IngestStats::default();
+        let mut records = 0usize;
+        while let Some(batch) = feed.poll(16).unwrap() {
+            total.absorb(batch.ingest);
+            records += batch.records.len();
+        }
+        assert_eq!(total.recovered_records, 1);
+        assert!(total.skipped_bytes > 0);
+        assert_eq!(feed.stats(), total, "batch deltas sum to the total");
+        let clean = CapturedUpdates::from_sim(&events);
+        assert_eq!(records, clean.records.len() - 1, "one record lost");
+
+        // Strict mode surfaces the failure and names the session.
+        let mut strict = MemoryFeed::from_bytes(sources, RecoveryPolicy::Strict);
+        let mut err = None;
+        loop {
+            match strict.poll(16) {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = err.expect("strict read of a truncated session must fail");
+        let name = &snap.collector_names[per_coll[0].0 as usize];
+        assert!(
+            err.to_string().contains(name.as_str()),
+            "error names the session: {err}"
+        );
+    }
+}

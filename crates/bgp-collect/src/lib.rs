@@ -11,6 +11,9 @@
 //!   loading back into analysis inputs.
 //! * **Replay** ([`replay`]): apply update streams to a base snapshot to
 //!   derive table state at any instant between RIB dumps.
+//! * **Live feed** ([`feed`]): k-way merge per-collector BGP4MP streams
+//!   into one time-ordered bounded-batch feed, the way a BGPStream-style
+//!   monitor interleaves its collector sessions.
 //! * **Neutral inputs** ([`input`]): [`CapturedSnapshot`] /
 //!   [`CapturedUpdates`], the boundary types `atoms-core` consumes. They
 //!   carry *no simulator ground truth* — the analysis must infer full-feed
@@ -24,9 +27,11 @@
 
 pub mod archive;
 pub mod capture;
+pub mod feed;
 pub mod input;
 pub mod replay;
 
 pub use archive::Archive;
+pub use feed::{FeedBatch, LiveFeed, MemoryFeed};
 pub use input::{CapturedSnapshot, CapturedTable, CapturedUpdates};
-pub use replay::{ReplayState, ReplayStats};
+pub use replay::{OutOfOrderError, OutOfOrderPolicy, ReplayState, ReplayStats};

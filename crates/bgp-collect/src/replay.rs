@@ -9,6 +9,62 @@
 use crate::input::{CapturedSnapshot, CapturedTable};
 use bgp_types::{PeerKey, Prefix, RibEntry, RouteAttrs, SimTime, UpdateRecord};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// How a replay treats a record strictly older than the newest state it
+/// already applied (see [`ReplayState::apply_with_policy`]).
+///
+/// Batch replays over a time-sorted archive never hit this case, so the
+/// historical drop-and-count behaviour stays the default. A streaming
+/// consumer that wants a hard guarantee of monotone input can opt into
+/// `Error` instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutOfOrderPolicy {
+    /// Reject the record, bump [`ReplayStats::out_of_order`], continue.
+    #[default]
+    Drop,
+    /// Surface an [`OutOfOrderError`]. The state is left exactly as it
+    /// was — the offending record is not applied and no counter moves, so
+    /// the caller can keep using (or checkpoint) the state afterwards.
+    Error,
+}
+
+impl FromStr for OutOfOrderPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "drop" => Ok(OutOfOrderPolicy::Drop),
+            "error" => Ok(OutOfOrderPolicy::Error),
+            other => Err(format!(
+                "unknown out-of-order policy `{other}` (expected drop or error)"
+            )),
+        }
+    }
+}
+
+/// An out-of-order record rejected under [`OutOfOrderPolicy::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfOrderError {
+    /// The rejected record's timestamp.
+    pub record: SimTime,
+    /// The newest timestamp already applied — what the record would have
+    /// had to rewind.
+    pub newest: SimTime,
+}
+
+impl fmt::Display for OutOfOrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out-of-order update: record at {} is older than applied state at {}",
+            self.record, self.newest
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrderError {}
 
 /// Per-peer table state being replayed.
 #[derive(Debug, Clone, Default)]
@@ -90,12 +146,38 @@ impl ReplayState {
     /// most visibly, re-announce a route a later record already withdrew.
     /// Equal timestamps are fine; real streams carry many ties.
     pub fn apply(&mut self, record: &UpdateRecord) -> ReplayStats {
+        self.apply_with_policy(record, OutOfOrderPolicy::Drop)
+            .expect("the Drop policy never errors")
+    }
+
+    /// [`ReplayState::apply`] with an explicit out-of-order policy.
+    ///
+    /// Under [`OutOfOrderPolicy::Drop`] this is exactly `apply` (and never
+    /// returns `Err`). Under [`OutOfOrderPolicy::Error`] a stale record
+    /// yields an [`OutOfOrderError`] instead of a counter bump; the state
+    /// is untouched either way, so an erroring stream can still be
+    /// checkpointed consistently.
+    pub fn apply_with_policy(
+        &mut self,
+        record: &UpdateRecord,
+        policy: OutOfOrderPolicy,
+    ) -> Result<ReplayStats, OutOfOrderError> {
         let mut stats = ReplayStats::default();
         if let Some(last) = self.last_timestamp {
             if record.timestamp < last {
-                self.rejected_out_of_order += 1;
-                stats.out_of_order = 1;
-                return stats;
+                match policy {
+                    OutOfOrderPolicy::Drop => {
+                        self.rejected_out_of_order += 1;
+                        stats.out_of_order = 1;
+                        return Ok(stats);
+                    }
+                    OutOfOrderPolicy::Error => {
+                        return Err(OutOfOrderError {
+                            record: record.timestamp,
+                            newest: last,
+                        });
+                    }
+                }
             }
         }
         if !self.tables.contains_key(&record.peer) {
@@ -115,7 +197,7 @@ impl ReplayState {
         }
         self.applied += 1;
         self.last_timestamp = Some(record.timestamp);
-        stats
+        Ok(stats)
     }
 
     /// Applies every record at or before `until` (records must be in time
@@ -276,6 +358,73 @@ mod tests {
         assert_eq!(state.applied(), 1, "rejected record is not 'applied'");
         // The state's clock did not move backwards either.
         assert_eq!(state.to_snapshot(&snap).timestamp, SimTime::from_unix(1300));
+    }
+
+    /// The explicit Drop policy is byte-for-byte the historical `apply`
+    /// behaviour: stale record dropped, counter bumped, stream continues.
+    #[test]
+    fn out_of_order_policy_drop_counts_and_continues() {
+        let snap = base();
+        let mut state = ReplayState::from_snapshot(&snap);
+        state.apply(&announce(1300, "10.0.2.0/24", "1 9"));
+        let stale = announce(1200, "10.0.3.0/24", "1 9");
+        let stats = state
+            .apply_with_policy(&stale, OutOfOrderPolicy::Drop)
+            .expect("drop never errors");
+        assert_eq!(stats.out_of_order, 1);
+        assert_eq!(state.rejected_out_of_order(), 1);
+        // The stream keeps going: a later record still applies.
+        let stats = state
+            .apply_with_policy(
+                &announce(1400, "10.0.4.0/24", "1 9"),
+                OutOfOrderPolicy::Drop,
+            )
+            .unwrap();
+        assert_eq!(stats.announced, 1);
+        assert_eq!(state.applied(), 2);
+    }
+
+    /// The Error policy surfaces the rejection as a typed error naming
+    /// both timestamps, without mutating the state or its counters.
+    #[test]
+    fn out_of_order_policy_error_surfaces_without_state_change() {
+        let snap = base();
+        let mut state = ReplayState::from_snapshot(&snap);
+        state.apply(&announce(1300, "10.0.2.0/24", "1 9"));
+        let routes_before = state.route_count();
+        let stale = announce(1200, "10.0.3.0/24", "1 9");
+        let err = state
+            .apply_with_policy(&stale, OutOfOrderPolicy::Error)
+            .unwrap_err();
+        assert_eq!(err.record, SimTime::from_unix(1200));
+        assert_eq!(err.newest, SimTime::from_unix(1300));
+        assert!(err.to_string().contains("out-of-order"));
+        // Not poisoned: nothing applied, nothing counted, and the state
+        // still accepts in-order records afterwards.
+        assert_eq!(state.route_count(), routes_before);
+        assert_eq!(state.rejected_out_of_order(), 0, "error is not a drop");
+        assert_eq!(state.applied(), 1);
+        let stats = state
+            .apply_with_policy(
+                &announce(1400, "10.0.4.0/24", "1 9"),
+                OutOfOrderPolicy::Error,
+            )
+            .unwrap();
+        assert_eq!(stats.announced, 1);
+        assert_eq!(state.to_snapshot(&snap).timestamp, SimTime::from_unix(1400));
+    }
+
+    #[test]
+    fn out_of_order_policy_parses_from_str() {
+        assert_eq!(
+            "drop".parse::<OutOfOrderPolicy>().unwrap(),
+            OutOfOrderPolicy::Drop
+        );
+        assert_eq!(
+            "error".parse::<OutOfOrderPolicy>().unwrap(),
+            OutOfOrderPolicy::Error
+        );
+        assert!("strict".parse::<OutOfOrderPolicy>().is_err());
     }
 
     /// Records older than the base snapshot itself are equally stale.

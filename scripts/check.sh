@@ -2,12 +2,13 @@
 # Tier-1 gate: cargo build --release && cargo test -q && cargo fmt --check
 # && cargo clippy --workspace -D warnings.
 #
-# `check.sh --full` additionally runs the incremental-engine and
-# snapshot-store differential proptest suites, the persisted-snapshot
-# corruption and round-trip suites, plus the incremental_vs_full,
-# interned_vs_owned, and store_open Criterion benchmark groups (slow; the
-# tier-1 gate already runs the suites' default-sized cases), and verifies
-# the corrupted-MRT corpus is exactly reproducible from its seeded builder.
+# `check.sh --full` additionally runs the incremental-engine,
+# snapshot-store, and streaming-convergence differential proptest suites,
+# the persisted-snapshot corruption and round-trip suites, plus the
+# incremental_vs_full, interned_vs_owned, store_open, and stream Criterion
+# benchmark groups (slow; the tier-1 gate already runs the suites'
+# default-sized cases), and verifies the corrupted-MRT corpus is exactly
+# reproducible from its seeded builder.
 #
 # On machines without crates.io access (no network, empty registry cache)
 # the external dependencies are transparently substituted with the
@@ -152,6 +153,13 @@ if ! diff -u "$golden_tmp/batch_stability.txt" "$golden_tmp/serve_stability.txt"
     echo "check.sh: pa query stability diverged from pa stability --store" >&2
     exit 1
 fi
+./target/release/pa query stream_events --connect "$serve_addr" \
+    > "$golden_tmp/serve_events.txt"
+if ! grep -q "atom events over 4 snapshots" "$golden_tmp/serve_events.txt"; then
+    echo "check.sh: pa query stream_events did not cover the ladder:" >&2
+    cat "$golden_tmp/serve_events.txt" >&2
+    exit 1
+fi
 ./target/release/pa loadgen --connect "$serve_addr" \
     --requests 2000 --connections 2 >/dev/null
 ./target/release/pa query shutdown --connect "$serve_addr" >/dev/null
@@ -162,6 +170,24 @@ if ! wait "$serve_pid"; then
 fi
 serve_pid=""
 echo "check.sh: query-service gate OK" >&2
+
+# Streaming gate: `pa stream` consumes the archive's update window as a
+# live merged feed and re-derives atoms continuously; --selfcheck proves
+# every checkpoint byte-equal to a from-scratch batch recompute of the
+# same replayed state — the e2e side of the checkpoint-convergence
+# invariant (the stream_differential proptest suite is the other). The
+# count-only metrics payload (stream.* taxonomy included) is
+# deterministic, so it is pinned like the other golden fixtures. Runs
+# before the ingest gate damages the archive below.
+./target/release/pa stream --date "2012-07-15 08:00" --archive "$golden_tmp/archive" \
+    --window updates:64 --checkpoint 200 --selfcheck \
+    --metrics-json "$golden_tmp/metrics_stream.json" >/dev/null
+if ! diff -u tests/golden/metrics_stream.json "$golden_tmp/metrics_stream.json"; then
+    echo "check.sh: pa stream --metrics-json drifted from tests/golden/metrics_stream.json" >&2
+    echo "check.sh: if the change is intentional, regenerate the fixture with the command above" >&2
+    exit 1
+fi
+echo "check.sh: streaming convergence gate OK" >&2
 
 # Ingestion-hardening gate: splice a corrupted corpus stream into one
 # collector's updates file. The default strict policy must refuse the
@@ -192,6 +218,14 @@ if $full; then
     run bench -p bench --bench incremental
     run bench -p bench --bench interned
     echo "check.sh: --full incremental tier OK" >&2
+    # Streaming tier: the checkpoint-convergence differential suite
+    # (streamed vs from-scratch atoms at 1/2/8 workers, out-of-order and
+    # window-policy schedules) and the sustained-throughput benchmark
+    # whose numbers are recorded in BENCH_stream.json.
+    run test -q -p atoms-core --test stream_differential
+    run test -q -p atoms-core --test stream_faults
+    run bench -p bench --bench stream
+    echo "check.sh: --full streaming tier OK (update BENCH_stream.json if the numbers moved)" >&2
     # Persistent-store tier: the exhaustive corruption suite (every
     # single-byte flip must surface as a typed error or a divergent
     # rebuild, never a panic), the store-vs-parse round-trip proptest at
